@@ -1,0 +1,152 @@
+//! Cumulative distribution summaries on the paper's power-of-two axis.
+
+use std::fmt;
+
+/// An empirical CDF over `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use analysis::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![1, 2, 4, 8, 100]);
+/// assert_eq!(cdf.len(), 5);
+/// assert!((cdf.at(4) - 0.6).abs() < 1e-12); // 3 of 5 samples <= 4
+/// assert_eq!(cdf.at(1_000_000), 1.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cdf {
+    sorted: Vec<u64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (unsorted input accepted).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; `0.0` for an empty CDF.
+    pub fn at(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`); `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// CDF values at `2^min_exp, 2^(min_exp+1), …, 2^max_exp` — the
+    /// paper's Figure 5/6 x-axis (they plot from `2^3`).
+    pub fn log2_points(&self, min_exp: u32, max_exp: u32) -> Vec<(u64, f64)> {
+        (min_exp..=max_exp)
+            .map(|e| {
+                let x = 1u64 << e;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+
+    /// Fraction of samples strictly greater than `x` (e.g. the share of
+    /// reuses beyond the L1 TLB reach).
+    pub fn tail_beyond(&self, x: u64) -> f64 {
+        1.0 - self.at(x)
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "cdf(empty)");
+        }
+        write!(
+            f,
+            "cdf(n={}, median={}, p90={})",
+            self.len(),
+            self.median().unwrap_or(0),
+            self.quantile(0.9).unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_is_monotone() {
+        let cdf = Cdf::from_samples(vec![5, 3, 9, 1, 7]);
+        let mut prev = 0.0;
+        for x in 0..12 {
+            let v = cdf.at(x);
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert_eq!(cdf.at(9), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = Cdf::from_samples((1..=100).collect());
+        assert_eq!(cdf.median(), Some(51));
+        assert_eq!(cdf.quantile(0.0), Some(1));
+        assert_eq!(cdf.quantile(1.0), Some(100));
+        assert_eq!(Cdf::default().median(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        let _ = Cdf::from_samples(vec![1]).quantile(1.5);
+    }
+
+    #[test]
+    fn log2_points_cover_axis() {
+        let cdf = Cdf::from_samples(vec![8, 16, 64, 256]);
+        let pts = cdf.log2_points(3, 8);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], (8, 0.25));
+        assert_eq!(pts[5], (256, 1.0));
+    }
+
+    #[test]
+    fn tail_beyond_capacity() {
+        let cdf = Cdf::from_samples(vec![10, 100, 1000]);
+        assert!((cdf.tail_beyond(64) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let cdf = Cdf::from_samples(vec![1, 2, 3]);
+        assert!(cdf.to_string().contains("n=3"));
+        assert_eq!(Cdf::default().to_string(), "cdf(empty)");
+    }
+}

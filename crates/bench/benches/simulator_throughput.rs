@@ -1,0 +1,68 @@
+//! Simulator-throughput benches: how fast the cycle engine itself runs,
+//! in warp instructions per second, across workload shapes and TLB
+//! organizations. (The figure benches measure *what* the simulator
+//! reports; these measure the simulator as a program.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::{GpuConfig, Simulator};
+use orchestrated_tlb::Mechanism;
+use std::time::Duration;
+use workloads::{registry, Scale};
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    for name in ["gemm", "bfs", "atax"] {
+        let spec = registry().into_iter().find(|s| s.name == name).unwrap();
+        let ops = spec.generate(Scale::Test, 42).total_warp_ops() as u64;
+        group.throughput(Throughput::Elements(ops));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let wl = spec.generate(Scale::Test, 42);
+                Simulator::new(GpuConfig::dac23_baseline())
+                    .run(std::hint::black_box(wl))
+                    .total_cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tlb_organizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_organization_cost");
+    let spec = registry().into_iter().find(|s| s.name == "mvt").unwrap();
+    let ops = spec.generate(Scale::Test, 42).total_warp_ops() as u64;
+    for m in [Mechanism::Baseline, Mechanism::Full, Mechanism::Compression] {
+        group.throughput(Throughput::Elements(ops));
+        group.bench_function(m.label(), |b| {
+            b.iter(|| {
+                let wl = spec.generate(Scale::Test, 42);
+                m.simulator(GpuConfig::dac23_baseline())
+                    .run(std::hint::black_box(wl))
+                    .total_cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    for name in ["pagerank", "nw"] {
+        let spec = registry().into_iter().find(|s| s.name == name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(spec.generate(Scale::Test, 42)).total_warp_ops())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = throughput;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_engine_throughput, bench_tlb_organizations,
+              bench_workload_generation
+}
+criterion_main!(throughput);

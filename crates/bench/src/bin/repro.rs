@@ -1,0 +1,345 @@
+//! `repro` — regenerates every table and figure of the paper as text.
+//!
+//! ```text
+//! repro [--scale test|small|paper] [--fig2] [--fig3] [--fig4] [--fig5]
+//!       [--fig6] [--fig10] [--fig11] [--fig12] [--hugepage] [--table2]
+//!       [--all]
+//! ```
+
+use bench::{
+    fig10_11_for, fig11_variance, fig12_for, fig2_for, fig3_4_for, fig5_6_for, geomean,
+    hugepage_for, warp_study, SEED,
+};
+use orchestrated_tlb::{run_benchmark, Mechanism};
+use workloads::{extended_registry, registry, BenchmarkSpec, Scale};
+
+fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+fn bins(b: &[f64; 5]) -> String {
+    b.iter()
+        .map(|x| format!("{:4.0}%", x * 100.0))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn print_table2(specs: &[BenchmarkSpec], scale: Scale) {
+    println!("== Table II: benchmarks (scaled inputs; paper footprints are 0.7-107 GB) ==");
+    println!(
+        "{:<10} {:<10} {:<45} {:>10} {:>9} {:>8}",
+        "bench", "suite", "application", "footprint", "kernels", "TBs"
+    );
+    for spec in specs {
+        let wl = spec.generate(scale, SEED);
+        let tbs: usize = wl.kernels().iter().map(|k| k.tbs.len()).sum();
+        let summary = wl.summary();
+        println!(
+            "{:<10} {:<10} {:<45} {:>8.2}MB {:>9} {:>8}  ({} ops, {:.0}% gather)",
+            spec.name,
+            format!("{:?}", spec.suite),
+            spec.application,
+            wl.footprint_bytes() as f64 / (1024.0 * 1024.0),
+            wl.kernels().len(),
+            tbs,
+            summary.total_ops(),
+            summary.gather_fraction() * 100.0
+        );
+    }
+    println!();
+}
+
+fn print_fig2(specs: &[BenchmarkSpec], scale: Scale) {
+    println!("== Figure 2: baseline L1 TLB hit rate, 64 vs 256 entries ==");
+    println!("{:<10} {:>8} {:>8}", "bench", "64-entry", "256-entry");
+    let rows = fig2_for(specs, scale);
+    for r in &rows {
+        println!("{:<10} {:>8} {:>8}", r.bench, pct(r.hit_64), pct(r.hit_256));
+    }
+    println!(
+        "{:<10} {:>8} {:>8}\n",
+        "mean",
+        pct(rows.iter().map(|r| r.hit_64).sum::<f64>() / rows.len() as f64),
+        pct(rows.iter().map(|r| r.hit_256).sum::<f64>() / rows.len() as f64)
+    );
+}
+
+fn print_fig3_4(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
+    let rows = fig3_4_for(specs, scale, Some(64));
+    if which != "4" {
+        println!("== Figure 3: inter-TB translation reuse (bins b1..b5) ==");
+        println!("{:<10} {}", "bench", "  b1   b2   b3   b4   b5");
+        for r in &rows {
+            println!("{:<10} {}", r.bench, bins(&r.inter));
+        }
+        println!();
+    }
+    if which != "3" {
+        println!("== Figure 4: intra-TB translation reuse (bins b1..b5) ==");
+        println!("{:<10} {}", "bench", "  b1   b2   b3   b4   b5");
+        for r in &rows {
+            println!("{:<10} {}", r.bench, bins(&r.intra));
+        }
+        println!();
+    }
+}
+
+fn print_fig5_6(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
+    let rows = fig5_6_for(specs, scale);
+    let header = || {
+        print!("{:<10}", "bench");
+        for e in bench::DISTANCE_EXPONENTS.0..=bench::DISTANCE_EXPONENTS.1 {
+            print!(" {:>5}", 1u64 << e);
+        }
+        println!("  (CDF at distance <= x; '|' marks 64-entry reach)");
+    };
+    if which != "6" {
+        println!("== Figure 5: intra-TB reuse distance CDF, concurrent TBs ==");
+        header();
+        for r in &rows {
+            print!("{:<10}", r.bench);
+            for (x, v) in &r.concurrent {
+                print!(" {:>4.0}%{}", v * 100.0, if *x == 64 { "|" } else { "" });
+            }
+            println!();
+        }
+        println!();
+    }
+    if which != "5" {
+        println!("== Figure 6: intra-TB reuse distance CDF, one TB at a time ==");
+        header();
+        for r in &rows {
+            print!("{:<10}", r.bench);
+            for (x, v) in &r.isolated {
+                print!(" {:>4.0}%{}", v * 100.0, if *x == 64 { "|" } else { "" });
+            }
+            println!();
+        }
+        println!();
+    }
+}
+
+fn print_fig10_11(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
+    let rows = fig10_11_for(specs, scale);
+    let labels = ["baseline", "sched", "sched+part", "+share"];
+    if which != "11" {
+        println!("== Figure 10: L1 TLB hit rates (higher is better) ==");
+        print!("{:<10}", "bench");
+        for l in labels {
+            print!(" {:>11}", l);
+        }
+        println!();
+        for r in &rows {
+            print!("{:<10}", r.bench);
+            for h in r.hit_rates {
+                print!(" {:>11}", pct(h));
+            }
+            println!();
+        }
+        println!();
+    }
+    if which != "10" {
+        println!("== Figure 11: execution time normalized to baseline (lower is better) ==");
+        print!("{:<10}", "bench");
+        for l in labels {
+            print!(" {:>11}", l);
+        }
+        println!();
+        for r in &rows {
+            print!("{:<10}", r.bench);
+            for t in r.norm_time {
+                print!(" {:>11.3}", t);
+            }
+            println!();
+        }
+        for (i, l) in labels.iter().enumerate() {
+            let g = geomean(rows.iter().map(|r| r.norm_time[i]));
+            println!("geomean {:<11} {:.3}  ({:+.1}% vs baseline)", l, g, (g - 1.0) * 100.0);
+        }
+        println!();
+    }
+}
+
+fn print_fig12(specs: &[BenchmarkSpec], scale: Scale) {
+    println!("== Figure 12: ours + TLB compression, normalized to compression alone ==");
+    let rows = fig12_for(specs, scale);
+    for r in &rows {
+        println!("{:<10} {:>7.3}x", r.bench, r.speedup);
+    }
+    println!(
+        "{:<10} {:>7.3}x\n",
+        "geomean",
+        geomean(rows.iter().map(|r| r.speedup))
+    );
+}
+
+fn print_hugepage(specs: &[BenchmarkSpec], scale: Scale) {
+    println!("== Section V huge-page study (2 MiB pages) ==");
+    println!(
+        "{:<10} {:>14} {:>20}",
+        "bench", "base hit(2MB)", "ours time (norm.)"
+    );
+    let rows = hugepage_for(specs, scale);
+    for r in &rows {
+        println!(
+            "{:<10} {:>14} {:>20.3}",
+            r.bench,
+            pct(r.hit_rate_huge),
+            r.norm_time_ours
+        );
+    }
+    let g = geomean(rows.iter().map(|r| r.norm_time_ours));
+    println!(
+        "{:<10} {:>14} {:>20.3}  ({:+.1}%)\n",
+        "geomean",
+        "",
+        g,
+        (g - 1.0) * 100.0
+    );
+}
+
+fn print_variance(scale: Scale) {
+    let seeds = [42, 1, 7, 1234];
+    println!("== Seed sensitivity: full proposal's normalized time, {} seeds ==", seeds.len());
+    println!("{:<10} {:>8} {:>8}", "bench", "mean", "std");
+    for r in fig11_variance(scale, &seeds) {
+        println!("{:<10} {:>8.3} {:>8.4}", r.bench, r.mean, r.std_dev);
+    }
+    println!();
+}
+
+fn print_warp_study(scale: Scale) {
+    println!("== §VII warp-granularity reuse distances (P[d <= 64-entry reach]) ==");
+    println!("{:<10} {:>10} {:>10}", "bench", "intra-TB", "intra-warp");
+    for r in warp_study(scale) {
+        println!(
+            "{:<10} {:>9.0}% {:>9.0}%",
+            r.bench,
+            r.tb_at_reach * 100.0,
+            r.warp_at_reach * 100.0
+        );
+    }
+    println!();
+}
+
+/// Prints every mechanism's headline counters as CSV for the selected
+/// benchmarks.
+fn print_csv(specs: &[BenchmarkSpec], scale: Scale) {
+    println!("{}", gpu_sim::SimReport::csv_header());
+    for spec in specs {
+        for m in Mechanism::all() {
+            let r = run_benchmark(spec, scale, SEED, m, gpu_sim::GpuConfig::dac23_baseline());
+            println!("{}", r.to_csv_row());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut extended = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--extended" => extended = true,
+            "--bench" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => only.push(name.clone()),
+                    None => {
+                        eprintln!("--bench requires a benchmark name");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--csv" => wanted.push("csv".into()),
+            "--variance" => wanted.push("variance".into()),
+            "--warp-study" => wanted.push("warp".into()),
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?} (use test|small|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--all" => wanted.extend(
+                ["table2", "2", "3", "4", "5", "6", "10", "11", "12", "hugepage"]
+                    .map(String::from),
+            ),
+            flag if flag.starts_with("--fig") => wanted.push(flag[5..].to_owned()),
+            "--table2" => wanted.push("table2".into()),
+            "--hugepage" => wanted.push("hugepage".into()),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        wanted = ["table2", "2", "10", "11"].map(String::from).to_vec();
+    }
+    let mut specs = if extended { extended_registry() } else { registry() };
+    if !only.is_empty() {
+        specs.retain(|s| only.iter().any(|n| n == s.name));
+        if specs.is_empty() {
+            eprintln!("no benchmark matched {only:?}");
+            std::process::exit(2);
+        }
+    }
+    println!("# orchestrated-tlb repro (scale: {scale}, seed: {SEED})\n");
+    let has = |x: &str| wanted.iter().any(|w| w == x);
+    if has("csv") {
+        print_csv(&specs, scale);
+        return;
+    }
+    if has("table2") {
+        print_table2(&specs, scale);
+    }
+    if has("2") {
+        print_fig2(&specs, scale);
+    }
+    if has("3") || has("4") {
+        let which = match (has("3"), has("4")) {
+            (true, false) => "3",
+            (false, true) => "4",
+            _ => "34",
+        };
+        print_fig3_4(&specs, scale, which);
+    }
+    if has("5") || has("6") {
+        let which = match (has("5"), has("6")) {
+            (true, false) => "5",
+            (false, true) => "6",
+            _ => "56",
+        };
+        print_fig5_6(&specs, scale, which);
+    }
+    if has("10") || has("11") {
+        let which = match (has("10"), has("11")) {
+            (true, false) => "10",
+            (false, true) => "11",
+            _ => "1011",
+        };
+        print_fig10_11(&specs, scale, which);
+    }
+    if has("12") {
+        print_fig12(&specs, scale);
+    }
+    if has("hugepage") {
+        print_hugepage(&specs, scale);
+    }
+    if has("variance") {
+        print_variance(scale);
+    }
+    if has("warp") {
+        print_warp_study(scale);
+    }
+}

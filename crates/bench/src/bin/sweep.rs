@@ -1,0 +1,195 @@
+//! `sweep` — architectural sensitivity sweeps around the Table III
+//! baseline, printed as CSV.
+//!
+//! ```text
+//! sweep --param l1-entries|l2-entries|walkers|walk-latency|l2-ports|sms
+//!       [--scale test|small|paper] [--bench <name>]... [--mechanism full|baseline]
+//! ```
+//!
+//! Example: how sensitive is the proposal's win to the number of
+//! page-table walkers?
+//!
+//! ```text
+//! cargo run --release -p bench --bin sweep -- --param walkers --bench atax
+//! ```
+
+use bench::SEED;
+use gpu_sim::GpuConfig;
+use orchestrated_tlb::{run_benchmark, Mechanism};
+use tlb::TlbConfig;
+use workloads::{registry, BenchmarkSpec, Scale};
+
+/// One sweepable parameter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Param {
+    L1Entries,
+    L2Entries,
+    Walkers,
+    WalkLatency,
+    L2Ports,
+    L2Slices,
+    Sms,
+}
+
+impl Param {
+    fn parse(s: &str) -> Option<Param> {
+        Some(match s {
+            "l1-entries" => Param::L1Entries,
+            "l2-entries" => Param::L2Entries,
+            "walkers" => Param::Walkers,
+            "walk-latency" => Param::WalkLatency,
+            "l2-ports" => Param::L2Ports,
+            "l2-slices" => Param::L2Slices,
+            "sms" => Param::Sms,
+            _ => return None,
+        })
+    }
+
+    fn values(self) -> Vec<u64> {
+        match self {
+            Param::L1Entries => vec![16, 32, 64, 128, 256],
+            Param::L2Entries => vec![128, 256, 512, 1024, 2048],
+            Param::Walkers => vec![1, 2, 4, 8, 16, 32],
+            Param::WalkLatency => vec![100, 250, 500, 1000, 2000],
+            Param::L2Ports => vec![1, 2, 4, 8],
+            Param::L2Slices => vec![1, 2, 4, 8, 16],
+            Param::Sms => vec![4, 8, 16, 32],
+        }
+    }
+
+    fn apply(self, value: u64) -> GpuConfig {
+        let base = GpuConfig::dac23_baseline();
+        match self {
+            Param::L1Entries => base.with_l1_tlb(TlbConfig::new(value as usize, 4, 1)),
+            Param::L2Entries => GpuConfig {
+                l2_tlb: TlbConfig::new(value as usize, 16, 10),
+                ..base
+            },
+            Param::Walkers => GpuConfig {
+                walkers: value as usize,
+                ..base
+            },
+            Param::WalkLatency => GpuConfig {
+                walk_latency: value,
+                ..base
+            },
+            Param::L2Ports => GpuConfig {
+                l2_tlb_ports: value as usize,
+                ..base
+            },
+            Param::L2Slices => GpuConfig {
+                l2_tlb_slices: value as usize,
+                ..base
+            },
+            Param::Sms => GpuConfig {
+                num_sms: value as usize,
+                ..base
+            },
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Param::L1Entries => "l1_entries",
+            Param::L2Entries => "l2_entries",
+            Param::Walkers => "walkers",
+            Param::WalkLatency => "walk_latency",
+            Param::L2Ports => "l2_ports",
+            Param::L2Slices => "l2_slices",
+            Param::Sms => "sms",
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut param = None;
+    let mut scale = Scale::Small;
+    let mut only: Vec<String> = Vec::new();
+    let mut mechanism = Mechanism::Full;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--param" => {
+                i += 1;
+                param = args.get(i).and_then(|s| Param::parse(s));
+                if param.is_none() {
+                    eprintln!(
+                        "--param must be one of l1-entries|l2-entries|walkers|walk-latency|l2-ports|l2-slices|sms"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--bench" => {
+                i += 1;
+                if let Some(name) = args.get(i) {
+                    only.push(name.clone());
+                }
+            }
+            "--mechanism" => {
+                i += 1;
+                mechanism = match args.get(i).map(String::as_str) {
+                    Some("full") => Mechanism::Full,
+                    Some("baseline") => Mechanism::Baseline,
+                    Some("sched") => Mechanism::Scheduling,
+                    Some("sched+part") => Mechanism::SchedPartition,
+                    other => {
+                        eprintln!("unknown mechanism {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(param) = param else {
+        eprintln!("--param is required");
+        std::process::exit(2);
+    };
+    let mut specs: Vec<BenchmarkSpec> = registry();
+    if !only.is_empty() {
+        specs.retain(|s| only.iter().any(|n| n == s.name));
+    }
+    if specs.is_empty() {
+        eprintln!("no benchmark selected");
+        std::process::exit(2);
+    }
+
+    println!(
+        "param,value,bench,mechanism,cycles,l1_tlb_hit_rate,l2_tlb_hit_rate,walks,walker_wait"
+    );
+    for &value in &param.values() {
+        let config = param.apply(value);
+        for spec in &specs {
+            let r = run_benchmark(spec, scale, SEED, mechanism, config.clone());
+            println!(
+                "{},{},{},{},{},{:.6},{:.6},{},{}",
+                param.name(),
+                value,
+                spec.name,
+                mechanism.label(),
+                r.total_cycles,
+                r.l1_tlb_hit_rate(),
+                r.l2_tlb.hit_rate(),
+                r.walker.walks,
+                r.walker.queue_wait_cycles
+            );
+        }
+    }
+}

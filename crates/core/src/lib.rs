@@ -1,0 +1,52 @@
+//! # orchestrated-tlb — the DAC'23 paper's contribution
+//!
+//! A from-scratch reproduction of Li, Wang & Tang, *Orchestrated
+//! Scheduling and Partitioning for Improved Address Translation in GPUs*
+//! (DAC 2023). This crate provides the paper's three mechanisms on top of
+//! the `gpu-sim` cycle-level simulator:
+//!
+//! 1. [`TlbAwareScheduler`] — TLB-thrashing-aware TB scheduling driven by
+//!    a per-SM `<TLB_hits, TLB_total>` hardware table (§IV-A),
+//! 2. [`PartitionedTlb`] — the TB-id-indexed, full-VPN-tagged L1 TLB
+//!    partitioning (§IV-B), and
+//! 3. its **dynamic adjacent set sharing** (1-bit flags, spill on
+//!    eviction, reset on TB finish — Figure 9), plus an optional PACT'20
+//!    compression layer for the Figure 12 combination study.
+//!
+//! [`Mechanism`] enumerates the exact configurations evaluated in the
+//! paper, and [`run_benchmark`] runs any Table II benchmark under any of
+//! them.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_sim::GpuConfig;
+//! use orchestrated_tlb::{run_benchmark, Mechanism};
+//! use workloads::{registry, Scale};
+//!
+//! let spec = registry().into_iter().find(|s| s.name == "mvt").unwrap();
+//! let base = run_benchmark(&spec, Scale::Test, 42, Mechanism::Baseline,
+//!                          GpuConfig::dac23_baseline());
+//! let ours = run_benchmark(&spec, Scale::Test, 42, Mechanism::Full,
+//!                          GpuConfig::dac23_baseline());
+//! println!("L1 TLB hit rate: {:.1}% -> {:.1}%",
+//!          base.l1_tlb_hit_rate() * 100.0, ours.l1_tlb_hit_rate() * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod partitioned;
+pub mod related_work;
+mod scheduler;
+mod throttling;
+mod warp_sched;
+mod way_partitioned;
+
+pub use experiment::{run_benchmark, run_benchmark_with_page_size, Mechanism};
+pub use partitioned::{PartitionedTlb, PartitionedTlbConfig, SharingPolicy};
+pub use scheduler::TlbAwareScheduler;
+pub use throttling::ThrottlingTlbAwareScheduler;
+pub use warp_sched::TbClusteredWarpScheduler;
+pub use way_partitioned::WayPartitionedTlb;

@@ -1,0 +1,738 @@
+//! The paper's TB-id-partitioned L1 TLB with dynamic adjacent set sharing
+//! (§IV-B, Figures 8 and 9).
+//!
+//! Instead of indexing sets with VPN bits, the set index is derived from
+//! the hardware TB id (`tb_slot`): with `S` sets and `N` concurrent TBs,
+//! TB `i` owns sets `⌊i·S/N⌋ .. ⌊(i+1)·S/N⌋` (one set each when `N = S =
+//! 16`, the paper's common case; multiple TBs alias onto one set when `N >
+//! S`, footnote 1). Because the set index no longer comes from the
+//! address, every entry stores the **full VPN**.
+//!
+//! **Lookup** probes every set mapped to the TB (each probed set costs one
+//! extra base latency when `per_set_lookup_overhead` is on — the paper
+//! includes this overhead in its results). **Insertion** fills the TB's
+//! own sets; when they are full, the LRU victim *spills* into an empty way
+//! of the **adjacent TB's** sets and that TB's 1-bit sharing flag is set,
+//! after which lookups also probe the neighbour's sets (Figure 9). Flags
+//! reset when the TB occupying the shared sets finishes. Entries are
+//! deliberately **not** flushed on TB completion, preserving inter-TB
+//! reuse.
+//!
+//! With [`PartitionedTlbConfig::compression`] set, each way additionally
+//! holds a PACT'20-style compressed run (the Figure 12 "ours +
+//! compression" configuration); `None` gives plain single-page entries.
+
+use tlb::{CompressionConfig, TlbConfig, TlbOutcome, TlbRequest, TlbStats, TranslationBuffer};
+use vmem::{Ppn, Vpn};
+
+/// How TBs may share each other's TLB sets (paper §IV-B).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SharingPolicy {
+    /// No sharing: strict TB-id partitioning.
+    None,
+    /// The paper's design: a 1-bit flag per TB; an oversubscribed TB
+    /// spills its victim into the adjacent TB's sets and the flag makes
+    /// its lookups search there too.
+    #[default]
+    Adjacent,
+    /// The paper's discussed-but-deferred alternative: a per-TB counter;
+    /// the neighbour's sets are searched only after `threshold` spills,
+    /// filtering one-off spills out of the lookup path.
+    AdjacentCounter {
+        /// Spills required before the sharing flag engages.
+        threshold: u8,
+    },
+    /// The paper's *rejected* alternative: any TB may spill anywhere and
+    /// every lookup searches all sets — maximal capacity, but the
+    /// multi-set probe overhead grows with the whole TLB (the reason the
+    /// paper sticks to adjacent sharing). Provided for the ablation.
+    AllToAll,
+}
+
+impl SharingPolicy {
+    /// Whether spilling is enabled at all.
+    fn spills(self) -> bool {
+        self != SharingPolicy::None
+    }
+}
+
+/// Configuration of the partitioned TLB.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PartitionedTlbConfig {
+    /// Underlying geometry (entries, ways, base latency) — Table III's
+    /// 64-entry 4-way L1 by default.
+    pub geometry: TlbConfig,
+    /// Dynamic set-sharing policy (the paper's full design uses
+    /// [`SharingPolicy::Adjacent`]).
+    pub sharing: SharingPolicy,
+    /// Charge one base latency per probed set (the multi-set lookup
+    /// overhead the paper discusses); `false` models ideal compactors.
+    pub per_set_lookup_overhead: bool,
+    /// A spilled victim may displace a neighbour entry only when that
+    /// entry has been idle at least this many TLB events longer than the
+    /// victim — so sharing balances *under-used* sets (Figure 9) without
+    /// letting two busy neighbours cannibalize each other.
+    pub displacement_margin: u64,
+    /// Optionally compress contiguous translations within each way
+    /// (PACT'20 model) for the Figure 12 combination study.
+    pub compression: Option<CompressionConfig>,
+}
+
+impl PartitionedTlbConfig {
+    /// Partitioning only (the paper's "TLB partitioning" bar).
+    pub fn partition_only() -> Self {
+        PartitionedTlbConfig {
+            geometry: TlbConfig::dac23_l1(),
+            sharing: SharingPolicy::None,
+            per_set_lookup_overhead: true,
+            displacement_margin: 512,
+            compression: None,
+        }
+    }
+
+    /// Partitioning plus dynamic adjacent set sharing (the paper's full
+    /// design).
+    pub fn with_sharing() -> Self {
+        PartitionedTlbConfig {
+            sharing: SharingPolicy::Adjacent,
+            ..Self::partition_only()
+        }
+    }
+}
+
+impl Default for PartitionedTlbConfig {
+    fn default() -> Self {
+        Self::with_sharing()
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Way {
+    valid: bool,
+    /// Run base VPN (the full VPN itself when compression is off).
+    base_vpn: Vpn,
+    /// PPN of the run's base page (or the literal PPN, see `literal`).
+    base_ppn: Ppn,
+    /// Valid pages within the run (bit 0 alone when compression is off).
+    mask: u32,
+    /// Entry holds exactly one translation whose PPN is `base_ppn`
+    /// verbatim (PPN not expressible as run base + offset).
+    literal: bool,
+    stamp: u64,
+}
+
+/// The TB-id-partitioned, full-VPN-tagged L1 TLB with dynamic adjacent
+/// set sharing.
+///
+/// # Example
+///
+/// ```
+/// use orchestrated_tlb::{PartitionedTlb, PartitionedTlbConfig};
+/// use tlb::{TlbRequest, TranslationBuffer};
+/// use vmem::{Ppn, Vpn};
+///
+/// let mut tlb = PartitionedTlb::new(PartitionedTlbConfig::with_sharing());
+/// tlb.set_concurrent_tbs(16); // one set per TB
+/// let req = TlbRequest::new(Vpn::new(0x1234), 3);
+/// tlb.insert(&req, Ppn::new(7));
+/// assert!(tlb.lookup(&req).hit);
+/// // A different TB probing the same page misses: its sets are disjoint.
+/// assert!(!tlb.lookup(&TlbRequest::new(Vpn::new(0x1234), 4)).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedTlb {
+    cfg: PartitionedTlbConfig,
+    ways: Vec<Way>,
+    concurrent_tbs: u8,
+    /// Bit `i` set ⇒ TB `i` spilled into TB `i+1 (mod N)`'s sets.
+    sharing_flags: u16,
+    /// Per-TB spill counters for [`SharingPolicy::AdjacentCounter`].
+    spill_counters: [u8; 16],
+    clock: u64,
+    stats: TlbStats,
+    /// Victims rescued into a neighbour's way.
+    spills: u64,
+}
+
+impl PartitionedTlb {
+    /// Creates an empty partitioned TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a compression degree larger than 32 or not a power of two
+    /// is configured.
+    pub fn new(cfg: PartitionedTlbConfig) -> Self {
+        if let Some(c) = cfg.compression {
+            assert!(
+                c.degree.is_power_of_two() && c.degree <= 32,
+                "compression degree must be a power of two <= 32"
+            );
+        }
+        PartitionedTlb {
+            ways: vec![Way::default(); cfg.geometry.entries],
+            cfg,
+            concurrent_tbs: 16,
+            sharing_flags: 0,
+            spill_counters: [0; 16],
+            clock: 0,
+            stats: TlbStats::default(),
+            spills: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PartitionedTlbConfig {
+        &self.cfg
+    }
+
+    /// Current sharing register (bit `i` = TB `i` shares into its
+    /// neighbour).
+    pub fn sharing_flags(&self) -> u16 {
+        self.sharing_flags
+    }
+
+    /// Victim entries rescued into a neighbour's sets so far.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Number of valid ways.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    fn degree(&self) -> u64 {
+        self.cfg.compression.map(|c| c.degree as u64).unwrap_or(1)
+    }
+
+    fn run_base(&self, vpn: Vpn) -> Vpn {
+        Vpn::new(vpn.raw() & !(self.degree() - 1))
+    }
+
+    fn run_offset(&self, vpn: Vpn) -> u32 {
+        (vpn.raw() & (self.degree() - 1)) as u32
+    }
+
+    fn groups(&self) -> usize {
+        self.concurrent_tbs.max(1) as usize
+    }
+
+    /// The sets owned by TB `tb` under the current concurrency.
+    fn group_of(&self, tb: u8) -> std::ops::Range<usize> {
+        let sets = self.cfg.geometry.sets();
+        let n = self.groups();
+        let tb = tb as usize;
+        if n >= sets {
+            // More TBs than sets: TBs alias onto single sets (footnote 1).
+            let s = tb % sets;
+            s..s + 1
+        } else {
+            (tb * sets / n)..((tb + 1) * sets / n)
+        }
+    }
+
+    fn ways_of_set(&self, set: usize) -> std::ops::Range<usize> {
+        let a = self.cfg.geometry.associativity;
+        set * a..(set + 1) * a
+    }
+
+    /// Whether `tb`'s sharing flag is currently engaged.
+    fn flag_engaged(&self, tb: u8) -> bool {
+        let bit = self.sharing_flags & (1 << (tb as u16 % 16)) != 0;
+        match self.cfg.sharing {
+            SharingPolicy::None => false,
+            SharingPolicy::Adjacent => bit,
+            SharingPolicy::AdjacentCounter { threshold } => {
+                self.spill_counters[tb as usize % 16] >= threshold
+            }
+            SharingPolicy::AllToAll => true,
+        }
+    }
+
+    /// Sets probed by a lookup from `tb`: its own group, plus the
+    /// neighbour's when the sharing flag is engaged (or every set under
+    /// all-to-all sharing).
+    fn searchable_sets(&self, tb: u8) -> Vec<usize> {
+        if self.cfg.sharing == SharingPolicy::AllToAll {
+            return (0..self.cfg.geometry.sets()).collect();
+        }
+        let mut sets: Vec<usize> = self.group_of(tb).collect();
+        if self.flag_engaged(tb) {
+            let neighbour = ((tb as usize + 1) % self.groups()) as u8;
+            sets.extend(self.group_of(neighbour));
+            sets.sort_unstable();
+            sets.dedup();
+        }
+        sets
+    }
+
+    fn lookup_latency(&self, sets_probed: usize, compressed_hit: bool) -> u64 {
+        let base = self.cfg.geometry.lookup_latency;
+        let probe = if self.cfg.per_set_lookup_overhead {
+            base * sets_probed.max(1) as u64
+        } else {
+            base
+        };
+        probe
+            + if compressed_hit {
+                self.cfg
+                    .compression
+                    .map(|c| c.decompress_latency)
+                    .unwrap_or(0)
+            } else {
+                0
+            }
+    }
+
+    /// Finds the way holding `vpn`'s translation among `sets`.
+    fn find(&self, sets: &[usize], vpn: Vpn) -> Option<usize> {
+        let base = self.run_base(vpn);
+        let off = self.run_offset(vpn);
+        for &set in sets {
+            for w in self.ways_of_set(set) {
+                let way = &self.ways[w];
+                if way.valid && way.base_vpn == base && way.mask & (1 << off) != 0 {
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl TranslationBuffer for PartitionedTlb {
+    fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        self.clock += 1;
+        let sets = self.searchable_sets(req.tb_slot);
+        match self.find(&sets, req.vpn) {
+            Some(w) => {
+                let compressed = self.ways[w].mask.count_ones() > 1;
+                let latency = self.lookup_latency(sets.len(), compressed);
+                self.ways[w].stamp = self.clock;
+                let way = &self.ways[w];
+                let off = self.run_offset(req.vpn);
+                let ppn = if way.literal {
+                    way.base_ppn
+                } else {
+                    Ppn::new(way.base_ppn.raw() + off as u64)
+                };
+                self.stats.record(true);
+                TlbOutcome::hit(ppn, latency)
+            }
+            None => {
+                self.stats.record(false);
+                TlbOutcome::miss(self.lookup_latency(sets.len(), false))
+            }
+        }
+    }
+
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        self.clock += 1;
+        let clock = self.clock;
+        let base = self.run_base(req.vpn);
+        let off = self.run_offset(req.vpn);
+        let searchable = self.searchable_sets(req.tb_slot);
+
+        // Refresh in place if the translation is already reachable (and
+        // coherent-remap any stale run bit).
+        let expected_base_ppn = ppn.raw().checked_sub(off as u64);
+        if let Some(w) = self.find(&searchable, req.vpn) {
+            let way = &mut self.ways[w];
+            let coherent = if way.literal {
+                way.mask == 1 << off && way.base_ppn == ppn
+            } else {
+                Some(way.base_ppn.raw()) == expected_base_ppn
+            };
+            if coherent {
+                way.stamp = clock;
+                return;
+            }
+            way.mask &= !(1 << off);
+            if way.mask == 0 {
+                way.valid = false;
+            }
+        }
+
+        // Compression: merge into a compatible run in the TB's own sets.
+        if self.cfg.compression.is_some() {
+            if let Some(expected) = expected_base_ppn {
+                let own: Vec<usize> = self.group_of(req.tb_slot).collect();
+                for &set in &own {
+                    for w in self.ways_of_set(set) {
+                        let way = &mut self.ways[w];
+                        if way.valid
+                            && !way.literal
+                            && way.base_vpn == base
+                            && way.base_ppn == Ppn::new(expected)
+                        {
+                            way.mask |= 1 << off;
+                            way.stamp = clock;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.stats.insertions += 1;
+        let (new_base, new_ppn, literal) = match expected_base_ppn {
+            Some(expected) if self.cfg.compression.is_some() => {
+                (base, Ppn::new(expected), false)
+            }
+            _ if self.cfg.compression.is_none() => (base, ppn, true),
+            _ => (base, ppn, true), // underflow under compression: literal
+        };
+        let make_way = |stamp: u64| Way {
+            valid: true,
+            base_vpn: new_base,
+            base_ppn: new_ppn,
+            mask: 1 << off,
+            literal,
+            stamp,
+        };
+
+        // Candidate set inside the TB's own group, sub-indexed by VPN so
+        // runs spread across a multi-set group.
+        let own: Vec<usize> = self.group_of(req.tb_slot).collect();
+        let candidate = own[(req.vpn.raw() / self.degree()) as usize % own.len()];
+        // 1. An invalid way in the candidate set, then anywhere in the
+        //    group.
+        let empty = self
+            .ways_of_set(candidate)
+            .find(|&w| !self.ways[w].valid)
+            .or_else(|| {
+                own.iter()
+                    .flat_map(|&s| self.ways_of_set(s))
+                    .find(|&w| !self.ways[w].valid)
+            });
+        if let Some(w) = empty {
+            self.ways[w] = make_way(clock);
+            return;
+        }
+        // 2. Evict the LRU way of the candidate set...
+        let victim = self
+            .ways_of_set(candidate)
+            .min_by_key(|&w| self.ways[w].stamp)
+            .expect("associativity is non-zero");
+        // ...but first try to rescue it into another TB's sets (dynamic
+        // sharing, Figure 9): an empty way if one exists, otherwise a way
+        // holding an entry *older* than the victim — the paper's "balance
+        // the number of translations across multiple sets" between
+        // oversubscribed and under-used neighbours.
+        if self.cfg.sharing.spills() {
+            // Adjacent policies spill into the next TB's group; all-to-all
+            // may spill anywhere outside the own group.
+            let candidate_sets: Vec<usize> = if self.cfg.sharing == SharingPolicy::AllToAll {
+                let own: Vec<usize> = self.group_of(req.tb_slot).collect();
+                (0..self.cfg.geometry.sets())
+                    .filter(|s| !own.contains(s))
+                    .collect()
+            } else {
+                let neighbour = ((req.tb_slot as usize + 1) % self.groups()) as u8;
+                self.group_of(neighbour).collect()
+            };
+            let slot = candidate_sets
+                .iter()
+                .flat_map(|&s| self.ways_of_set(s))
+                .min_by_key(|&w| (self.ways[w].valid, self.ways[w].stamp));
+            let displaceable = slot.is_some_and(|w| {
+                !self.ways[w].valid
+                    || self.ways[w]
+                        .stamp
+                        .saturating_add(self.cfg.displacement_margin)
+                        < self.ways[victim].stamp
+            });
+            if displaceable {
+                let w = slot.expect("checked by displaceable");
+                if self.ways[w].valid {
+                    self.stats.evictions += 1;
+                }
+                self.ways[w] = self.ways[victim];
+                self.sharing_flags |= 1 << (req.tb_slot as u16 % 16);
+                self.spill_counters[req.tb_slot as usize % 16] =
+                    self.spill_counters[req.tb_slot as usize % 16].saturating_add(1);
+                self.spills += 1;
+            } else {
+                self.stats.evictions += 1;
+            }
+        } else {
+            self.stats.evictions += 1;
+        }
+        self.ways[victim] = make_way(clock);
+    }
+
+    fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn flush(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+            w.mask = 0;
+        }
+        self.sharing_flags = 0;
+        self.spill_counters = [0; 16];
+    }
+
+    fn capacity(&self) -> usize {
+        self.cfg.geometry.entries
+    }
+
+    fn on_tb_finish(&mut self, tb_slot: u8) {
+        // "We reset the sharing flag of a particular TLB set when a TB
+        // that is currently indexed to that TLB set finishes": the flag
+        // cleared is the *predecessor's* — the TB spilling INTO the
+        // finished TB's sets. Entries are kept (the paper explicitly
+        // avoids flushing to preserve inter-TB reuse).
+        let n = (self.groups() as u16).max(1);
+        let pred = (tb_slot as u16 + n - 1) % n;
+        self.sharing_flags &= !(1 << (pred % 16));
+        self.spill_counters[(pred % 16) as usize] = 0;
+    }
+
+    fn set_concurrent_tbs(&mut self, tbs: u8) {
+        let tbs = tbs.max(1);
+        if tbs != self.concurrent_tbs {
+            self.concurrent_tbs = tbs;
+            // Geometry changed: sharing relationships are stale.
+            self.sharing_flags = 0;
+            self.spill_counters = [0; 16];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(vpn: u64, tb: u8) -> TlbRequest {
+        TlbRequest::new(Vpn::new(vpn), tb)
+    }
+
+    fn tlb(sharing: bool) -> PartitionedTlb {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::dac23_l1(),
+            sharing: if sharing {
+                SharingPolicy::Adjacent
+            } else {
+                SharingPolicy::None
+            },
+            per_set_lookup_overhead: true,
+            displacement_margin: 512,
+            compression: None,
+        });
+        t.set_concurrent_tbs(16);
+        t
+    }
+
+    #[test]
+    fn tb_partitions_are_isolated() {
+        let mut t = tlb(false);
+        t.insert(&req(100, 0), Ppn::new(1));
+        assert!(t.lookup(&req(100, 0)).hit);
+        // Same VPN from every other TB misses: disjoint sets.
+        for tb in 1..16 {
+            assert!(!t.lookup(&req(100, tb)).hit, "tb {tb}");
+        }
+    }
+
+    #[test]
+    fn full_vpn_tags_prevent_aliasing() {
+        let mut t = tlb(false);
+        // VPNs that would alias under index-bit selection coexist in one
+        // TB's set (up to associativity).
+        for i in 0..4u64 {
+            t.insert(&req(16 * i, 5), Ppn::new(i));
+        }
+        for i in 0..4u64 {
+            let out = t.lookup(&req(16 * i, 5));
+            assert!(out.hit);
+            assert_eq!(out.ppn, Some(Ppn::new(i)));
+        }
+    }
+
+    #[test]
+    fn per_tb_capacity_is_one_set_at_full_concurrency() {
+        let mut t = tlb(false);
+        // 16 TBs over 16 sets: TB 0 owns 4 ways. A 5th distinct page
+        // evicts.
+        for i in 0..5u64 {
+            t.insert(&req(1000 + i, 0), Ppn::new(i));
+        }
+        let hits = (0..5u64)
+            .filter(|&i| t.lookup(&req(1000 + i, 0)).hit)
+            .count();
+        assert_eq!(hits, 4);
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sharing_spills_into_neighbour() {
+        let mut t = tlb(true);
+        // Fill TB 0's set (4 ways) and overflow: the victim moves to TB
+        // 1's empty set instead of dying.
+        for i in 0..5u64 {
+            t.insert(&req(2000 + i, 0), Ppn::new(i));
+        }
+        assert_eq!(t.spills(), 1);
+        assert_ne!(t.sharing_flags() & 1, 0, "TB 0's flag set");
+        // All 5 translations still reachable by TB 0 (own + shared set).
+        for i in 0..5u64 {
+            assert!(t.lookup(&req(2000 + i, 0)).hit, "page {i}");
+        }
+        assert_eq!(t.stats().evictions, 0);
+    }
+
+    #[test]
+    fn sharing_flag_reset_on_tb_finish() {
+        let mut t = tlb(true);
+        for i in 0..5u64 {
+            t.insert(&req(2000 + i, 0), Ppn::new(i));
+        }
+        assert_ne!(t.sharing_flags(), 0);
+        // Neighbour TB 1 finishing resets the flag into its sets.
+        t.on_tb_finish(1);
+        assert_eq!(t.sharing_flags() & 1, 0);
+        // Entries are NOT flushed.
+        assert!(t.occupancy() >= 4);
+    }
+
+    #[test]
+    fn lookup_overhead_scales_with_group_size() {
+        let mut t = tlb(false);
+        // 4 concurrent TBs over 16 sets: 4 sets per TB -> 4x latency.
+        t.set_concurrent_tbs(4);
+        let out = t.lookup(&req(1, 0));
+        assert_eq!(out.latency, 4);
+        // 16 TBs -> 1 set -> 1x.
+        t.set_concurrent_tbs(16);
+        let out = t.lookup(&req(1, 0));
+        assert_eq!(out.latency, 1);
+    }
+
+    #[test]
+    fn no_overhead_mode() {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::dac23_l1(),
+            sharing: SharingPolicy::None,
+            per_set_lookup_overhead: false,
+            displacement_margin: 64,
+            compression: None,
+        });
+        t.set_concurrent_tbs(2); // 8 sets per TB
+        assert_eq!(t.lookup(&req(1, 0)).latency, 1);
+    }
+
+    #[test]
+    fn more_tbs_than_sets_alias() {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig::partition_only());
+        t.set_concurrent_tbs(16);
+        // Force the aliasing path with a tiny geometry: 4 sets, 16 TBs.
+        let mut small = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::new(16, 4, 1),
+            sharing: SharingPolicy::None,
+            per_set_lookup_overhead: true,
+            displacement_margin: 512,
+            compression: None,
+        });
+        small.set_concurrent_tbs(16);
+        small.insert(&req(42, 0), Ppn::new(9));
+        // TB 4 aliases onto TB 0's set (4 % 4 == 0) and can see the entry.
+        assert!(small.lookup(&req(42, 4)).hit);
+        // TB 1 cannot.
+        assert!(!small.lookup(&req(42, 1)).hit);
+        drop(t);
+    }
+
+    #[test]
+    fn sharing_preserved_capacity_beats_partition_only() {
+        // Workload: TB 0 cycles through 8 pages; TB 1 idle. With sharing,
+        // TB 0 effectively has 8 ways and stops thrashing.
+        let run = |sharing: bool| -> f64 {
+            let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+                geometry: TlbConfig::new(8, 4, 1), // 2 sets
+                sharing: if sharing { SharingPolicy::Adjacent } else { SharingPolicy::None },
+                per_set_lookup_overhead: true,
+                displacement_margin: 512,
+                compression: None,
+            });
+            t.set_concurrent_tbs(2);
+            for _ in 0..20 {
+                for p in 0..8u64 {
+                    let r = req(p, 0);
+                    if !t.lookup(&r).hit {
+                        t.insert(&r, Ppn::new(p));
+                    }
+                }
+            }
+            t.stats().hit_rate()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with > without + 0.3,
+            "sharing {with:.2} should beat partition-only {without:.2}"
+        );
+    }
+
+    #[test]
+    fn compression_merges_contiguous_runs() {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::dac23_l1(),
+            sharing: SharingPolicy::Adjacent,
+            per_set_lookup_overhead: true,
+            displacement_margin: 64,
+            compression: Some(CompressionConfig::pact20()),
+        });
+        t.set_concurrent_tbs(16);
+        for i in 0..8u64 {
+            t.insert(&req(i, 2), Ppn::new(100 + i));
+        }
+        assert_eq!(t.occupancy(), 1, "8 contiguous pages in one way");
+        for i in 0..8u64 {
+            let out = t.lookup(&req(i, 2));
+            assert!(out.hit);
+            assert_eq!(out.ppn, Some(Ppn::new(100 + i)));
+            // +1 decompression cycle.
+            assert_eq!(out.latency, 2);
+        }
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = tlb(true);
+        for i in 0..5u64 {
+            t.insert(&req(i * 100, 0), Ppn::new(i));
+        }
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.sharing_flags(), 0);
+    }
+
+    #[test]
+    fn remap_is_coherent() {
+        let mut t = tlb(false);
+        t.insert(&req(7, 3), Ppn::new(1));
+        t.insert(&req(7, 3), Ppn::new(2));
+        let out = t.lookup(&req(7, 3));
+        assert!(out.hit);
+        assert_eq!(out.ppn, Some(Ppn::new(2)));
+    }
+
+    #[test]
+    fn concurrency_change_resets_flags_keeps_entries() {
+        let mut t = tlb(true);
+        for i in 0..5u64 {
+            t.insert(&req(3000 + i, 0), Ppn::new(i));
+        }
+        assert_ne!(t.sharing_flags(), 0);
+        let occ = t.occupancy();
+        t.set_concurrent_tbs(8);
+        assert_eq!(t.sharing_flags(), 0);
+        assert_eq!(t.occupancy(), occ);
+    }
+}

@@ -1,0 +1,197 @@
+//! The paper's Table I — the qualitative comparison against prior TLB
+//! techniques — as queryable data (and the rationale for each row).
+//!
+//! The paper argues no prior technique simultaneously handles irregular
+//! accesses, avoids internal fragmentation, works at the GPU L1 (on the
+//! execution critical path), and exploits reuse at TB granularity.
+
+use std::fmt;
+
+/// The capability columns of Table I.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Capabilities {
+    /// Works for irregular access patterns (no stride/contiguity needed).
+    pub irregular_access: bool,
+    /// Avoids internal (intra-page) fragmentation.
+    pub no_internal_fragmentation: bool,
+    /// Handles strided access patterns.
+    pub stride_access: bool,
+    /// Deployable at the GPU L1 TLB (latency-tolerable on the critical
+    /// path).
+    pub suitable_in_gpu_l1: bool,
+    /// Exploits translation reuse at thread-block granularity.
+    pub reuse_at_tb_level: bool,
+}
+
+impl Capabilities {
+    /// Number of satisfied columns (0..=5).
+    pub fn score(&self) -> u32 {
+        u32::from(self.irregular_access)
+            + u32::from(self.no_internal_fragmentation)
+            + u32::from(self.stride_access)
+            + u32::from(self.suitable_in_gpu_l1)
+            + u32::from(self.reuse_at_tb_level)
+    }
+}
+
+/// One row of Table I.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Technique {
+    /// Technique name as in Table I.
+    pub name: &'static str,
+    /// Representative citations from the paper.
+    pub citations: &'static str,
+    /// The five capability columns.
+    pub capabilities: Capabilities,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.capabilities;
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        write!(
+            f,
+            "{:<22} irregular:{:<3} no-frag:{:<3} stride:{:<3} gpu-l1:{:<3} tb-reuse:{:<3}",
+            self.name,
+            mark(c.irregular_access),
+            mark(c.no_internal_fragmentation),
+            mark(c.stride_access),
+            mark(c.suitable_in_gpu_l1),
+            mark(c.reuse_at_tb_level)
+        )
+    }
+}
+
+/// All rows of Table I, in the paper's order (the last row is the paper's
+/// own approach).
+pub fn table1() -> [Technique; 8] {
+    [
+        Technique {
+            name: "TLB clustering",
+            citations: "[3], [4]",
+            capabilities: Capabilities {
+                no_internal_fragmentation: true,
+                ..Default::default()
+            },
+        },
+        Technique {
+            name: "TLB range",
+            citations: "[5]-[7]",
+            capabilities: Capabilities {
+                no_internal_fragmentation: true,
+                ..Default::default()
+            },
+        },
+        Technique {
+            name: "Huge page",
+            citations: "[1], [2], [8]",
+            capabilities: Capabilities {
+                stride_access: true,
+                suitable_in_gpu_l1: true,
+                ..Default::default()
+            },
+        },
+        Technique {
+            name: "Eager paging",
+            citations: "[9], [10]",
+            capabilities: Capabilities {
+                stride_access: true,
+                ..Default::default()
+            },
+        },
+        Technique {
+            name: "Speculative TLB",
+            citations: "[11]",
+            capabilities: Capabilities {
+                no_internal_fragmentation: true,
+                stride_access: true,
+                ..Default::default()
+            },
+        },
+        Technique {
+            name: "TLB probe",
+            citations: "[12]",
+            capabilities: Capabilities {
+                no_internal_fragmentation: true,
+                stride_access: true,
+                suitable_in_gpu_l1: true,
+                ..Default::default()
+            },
+        },
+        Technique {
+            name: "Least-TLB",
+            citations: "[13]",
+            capabilities: Capabilities {
+                irregular_access: true,
+                no_internal_fragmentation: true,
+                stride_access: true,
+                ..Default::default()
+            },
+        },
+        Technique {
+            name: "Our approach",
+            citations: "(this paper)",
+            capabilities: Capabilities {
+                irregular_access: true,
+                no_internal_fragmentation: true,
+                stride_access: true,
+                suitable_in_gpu_l1: true,
+                reuse_at_tb_level: true,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_in_paper_order() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].name, "TLB clustering");
+        assert_eq!(t[7].name, "Our approach");
+    }
+
+    #[test]
+    fn only_the_proposal_satisfies_all_columns() {
+        let t = table1();
+        for row in &t[..7] {
+            assert!(
+                row.capabilities.score() < 5,
+                "{} should not satisfy every column",
+                row.name
+            );
+        }
+        assert_eq!(t[7].capabilities.score(), 5);
+    }
+
+    #[test]
+    fn only_the_proposal_and_least_tlb_handle_irregular() {
+        let irregular: Vec<&str> = table1()
+            .iter()
+            .filter(|t| t.capabilities.irregular_access)
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(irregular, ["Least-TLB", "Our approach"]);
+    }
+
+    #[test]
+    fn only_the_proposal_exploits_tb_reuse() {
+        let tb: Vec<&str> = table1()
+            .iter()
+            .filter(|t| t.capabilities.reuse_at_tb_level)
+            .map(|t| t.name)
+            .collect();
+        assert_eq!(tb, ["Our approach"]);
+    }
+
+    #[test]
+    fn display_renders_every_column() {
+        let s = table1()[7].to_string();
+        for col in ["irregular", "no-frag", "stride", "gpu-l1", "tb-reuse"] {
+            assert!(s.contains(col));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! TB-throttling extension (paper §IV-A: "our approach can be extended to
+//! work with TB throttling to further reduce the TLB thrashing", citing
+//! Kayiran et al., PACT'13).
+//!
+//! [`ThrottlingTlbAwareScheduler`] wraps the TLB-aware policy with a
+//! DYNCTA-style admission gate: when *every* SM's instantaneous L1 TLB
+//! miss rate exceeds a threshold, new TBs are deferred — reducing the
+//! number of concurrent TBs and hence the interference — until some SM's
+//! miss rate recovers. SMs that are running few TBs are always allowed to
+//! take more (forward progress is never blocked: an idle SM accepts TBs
+//! unconditionally).
+
+use crate::scheduler::TlbAwareScheduler;
+use gpu_sim::{SmSnapshot, TbScheduler};
+
+/// A TLB-aware TB scheduler with DYNCTA-style thrash throttling.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::{SmSnapshot, TbScheduler};
+/// use orchestrated_tlb::ThrottlingTlbAwareScheduler;
+///
+/// let mut sched = ThrottlingTlbAwareScheduler::new(0.8);
+/// // Idle SMs accept TBs unconditionally.
+/// let idle = vec![SmSnapshot { free_slots: 16, ..Default::default() }; 2];
+/// assert!(sched.pick_sm(&idle).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThrottlingTlbAwareScheduler {
+    inner: TlbAwareScheduler,
+    /// Miss-rate threshold above which a busy SM refuses additional TBs.
+    threshold: f64,
+    /// Observed miss rates from the inner policy's last decision, kept
+    /// here for the throttling gate.
+    last_rates: Vec<f64>,
+}
+
+impl ThrottlingTlbAwareScheduler {
+    /// Creates the scheduler with the given throttle threshold (e.g.
+    /// `0.8`: SMs missing more than 80% of L1 TLB lookups stop accepting
+    /// TBs while they still have other TBs resident).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is within `(0, 1]`.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        ThrottlingTlbAwareScheduler {
+            inner: TlbAwareScheduler::new(),
+            threshold,
+            last_rates: Vec::new(),
+        }
+    }
+
+    /// The throttle threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn update_rates(&mut self, sms: &[SmSnapshot]) {
+        if self.last_rates.len() != sms.len() {
+            self.last_rates = vec![0.0; sms.len()];
+        }
+        // Cheap instantaneous proxy: lifetime miss rate is fine for the
+        // gate (the inner policy still uses its EWMA window for the
+        // ordering decision).
+        for (r, s) in self.last_rates.iter_mut().zip(sms) {
+            *r = s.miss_rate();
+        }
+    }
+}
+
+impl TbScheduler for ThrottlingTlbAwareScheduler {
+    fn pick_sm(&mut self, sms: &[SmSnapshot]) -> Option<usize> {
+        self.update_rates(sms);
+        // Gate: drop SMs that are already thrashing *and* busy. An SM
+        // with all slots free must stay eligible or the GPU could idle
+        // with pending TBs.
+        let gated: Vec<SmSnapshot> = sms
+            .iter()
+            .zip(&self.last_rates)
+            .map(|(s, &rate)| {
+                let busy = s.free_slots == 0 || s.tlb_accesses > 0;
+                let fully_idle = s.free_slots > 0 && s.tlb_accesses == 0;
+                if busy && !fully_idle && rate > self.threshold {
+                    // Pretend the SM is full so the inner policy skips it.
+                    SmSnapshot {
+                        free_slots: 0,
+                        ..*s
+                    }
+                } else {
+                    *s
+                }
+            })
+            .collect();
+        match self.inner.pick_sm(&gated) {
+            Some(sm) => Some(sm),
+            // Everything gated: defer (the engine retries after the next
+            // completion) unless no TB is running anywhere, in which case
+            // fall through ungated to guarantee progress.
+            None => {
+                let any_room = sms.iter().any(SmSnapshot::has_room);
+                let any_running = sms.iter().any(|s| s.free_slots == 0);
+                if any_room && !any_running {
+                    self.inner.pick_sm(sms)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "tlb-aware+throttle"
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(free: u8, hits: u64, total: u64) -> SmSnapshot {
+        SmSnapshot {
+            free_slots: free,
+            tlb_hits: hits,
+            tlb_accesses: total,
+        }
+    }
+
+    #[test]
+    fn idle_sms_always_accept() {
+        let mut s = ThrottlingTlbAwareScheduler::new(0.5);
+        let sms = vec![snap(16, 0, 0), snap(16, 0, 0)];
+        assert_eq!(s.pick_sm(&sms), Some(0));
+    }
+
+    #[test]
+    fn thrashing_busy_sms_are_deferred() {
+        let mut s = ThrottlingTlbAwareScheduler::new(0.5);
+        // Both SMs have room but are thrashing hard with TBs resident
+        // (accesses > 0 and another busy SM exists).
+        let sms = vec![snap(2, 10, 100), snap(0, 10, 100)];
+        assert_eq!(s.pick_sm(&sms), None, "defer while thrashing");
+    }
+
+    #[test]
+    fn healthy_sm_still_accepts() {
+        let mut s = ThrottlingTlbAwareScheduler::new(0.5);
+        // Establish baseline, then present a healthy SM 1.
+        s.pick_sm(&[snap(0, 0, 0), snap(0, 0, 0)]);
+        let sms = vec![snap(1, 10, 100), snap(1, 90, 100)];
+        assert_eq!(s.pick_sm(&sms), Some(1));
+    }
+
+    #[test]
+    fn progress_guaranteed_when_nothing_running() {
+        let mut s = ThrottlingTlbAwareScheduler::new(0.1);
+        // Thrashing history but every slot free (nothing running): must
+        // still place to avoid a stall.
+        let sms = vec![snap(16, 10, 100), snap(16, 10, 100)];
+        assert!(s.pick_sm(&sms).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        let _ = ThrottlingTlbAwareScheduler::new(0.0);
+    }
+
+    #[test]
+    fn name_and_reset() {
+        let mut s = ThrottlingTlbAwareScheduler::new(0.9);
+        assert_eq!(s.name(), "tlb-aware+throttle");
+        assert!((s.threshold() - 0.9).abs() < 1e-12);
+        s.reset();
+    }
+}

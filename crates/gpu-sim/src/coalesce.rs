@@ -1,0 +1,110 @@
+//! The memory coalescing unit (step ① of the paper's Figure 1).
+//!
+//! The 32 per-lane addresses of a warp memory instruction are merged into
+//! the minimal set of 128-byte line transactions, preserving
+//! first-occurrence order. Contiguous warp accesses coalesce into one or
+//! two transactions; a stride-`N` column slice or an irregular gather
+//! expands into up to 32.
+
+use workloads::LaneAccesses;
+use vmem::VirtAddr;
+
+/// Coalesces one warp access into distinct line-aligned transactions.
+///
+/// Returns the base virtual address of each 128-byte line touched, in
+/// first-touch lane order.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::coalesce;
+/// use workloads::LaneAccesses;
+/// use vmem::VirtAddr;
+///
+/// // 32 contiguous f32 lanes span exactly one 128-byte line.
+/// let acc = LaneAccesses::contiguous(VirtAddr::new(0x1000), 4, 32);
+/// assert_eq!(coalesce(&acc, 128).len(), 1);
+/// ```
+pub fn coalesce(accesses: &LaneAccesses, line_bytes: u64) -> Vec<VirtAddr> {
+    debug_assert!(line_bytes.is_power_of_two());
+    let mask = !(line_bytes - 1);
+    let mut lines: Vec<VirtAddr> = Vec::with_capacity(4);
+    for addr in accesses.addresses() {
+        let line = VirtAddr::new(addr.raw() & mask);
+        // The lane count is <= 32, so a linear scan beats a hash set.
+        if !lines.contains(&line) {
+            lines.push(line);
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_floats_fully_coalesce() {
+        let acc = LaneAccesses::contiguous(VirtAddr::new(0x2000), 4, 32);
+        assert_eq!(coalesce(&acc, 128).len(), 1);
+    }
+
+    #[test]
+    fn misaligned_contiguous_spans_two_lines() {
+        let acc = LaneAccesses::contiguous(VirtAddr::new(0x2040), 4, 32);
+        let lines = coalesce(&acc, 128);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], VirtAddr::new(0x2000));
+        assert_eq!(lines[1], VirtAddr::new(0x2080));
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        let acc = LaneAccesses::broadcast(VirtAddr::new(0x1234));
+        assert_eq!(coalesce(&acc, 128).len(), 1);
+    }
+
+    #[test]
+    fn column_stride_explodes() {
+        // Stride of 1 KiB: every lane in its own line.
+        let acc = LaneAccesses::Strided {
+            base: VirtAddr::new(0),
+            stride: 1024,
+            active_lanes: 32,
+        };
+        assert_eq!(coalesce(&acc, 128).len(), 32);
+    }
+
+    #[test]
+    fn gather_dedups_lines() {
+        let addrs = vec![
+            VirtAddr::new(0x100),
+            VirtAddr::new(0x104),
+            VirtAddr::new(0x900),
+            VirtAddr::new(0x108),
+        ];
+        let lines = coalesce(&LaneAccesses::Gather(addrs), 128);
+        assert_eq!(
+            lines,
+            vec![VirtAddr::new(0x100), VirtAddr::new(0x900)]
+        );
+    }
+
+    #[test]
+    fn order_is_first_touch() {
+        let acc = LaneAccesses::Strided {
+            base: VirtAddr::new(0x1000),
+            stride: -256,
+            active_lanes: 3,
+        };
+        let lines = coalesce(&acc, 128);
+        assert_eq!(
+            lines,
+            vec![
+                VirtAddr::new(0x1000),
+                VirtAddr::new(0xf00),
+                VirtAddr::new(0xe00)
+            ]
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Simulator configuration (the paper's Table III).
+
+use tlb::TlbConfig;
+
+/// Geometry of a data cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Associativity.
+    pub associativity: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` divides evenly into whole sets of
+    /// `associativity` lines. (Set counts need not be powers of two: the
+    /// cache indexes by modulo, matching a sliced L2 whose 12 partitions
+    /// each hold a power-of-two number of sets.)
+    pub fn new(bytes: usize, associativity: usize, line_bytes: usize) -> Self {
+        assert!(bytes > 0 && associativity > 0 && line_bytes > 0);
+        let lines = bytes / line_bytes;
+        assert!(lines % associativity == 0, "lines must fill whole sets");
+        CacheConfig {
+            bytes,
+            associativity,
+            line_bytes,
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.lines() / self.associativity
+    }
+}
+
+/// Full GPU configuration.
+///
+/// [`GpuConfig::dac23_baseline`] reproduces Table III. Latencies that
+/// Table III leaves unspecified (interconnect, L2 data, DRAM, UVM
+/// first-touch fault) follow the gem5-gpu defaults used by the paper's
+/// cited prior work and are documented in DESIGN.md.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Core clock in MHz (for reporting only; the simulator counts
+    /// cycles).
+    pub clock_mhz: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Warp instructions issued per SM per cycle (dual GTO scheduler).
+    pub issue_width: u32,
+    /// Hardware cap on concurrent TBs per SM (Kepler: 16).
+    pub max_concurrent_tbs: u8,
+    /// Per-SM private L1 data cache.
+    pub l1_cache: CacheConfig,
+    /// Shared L2 data cache (aggregate across memory partitions).
+    pub l2_cache: CacheConfig,
+    /// Per-SM private L1 TLB.
+    pub l1_tlb: TlbConfig,
+    /// Shared L2 TLB.
+    pub l2_tlb: TlbConfig,
+    /// Number of shared page-table walkers.
+    pub walkers: usize,
+    /// Base page-table walk latency in cycles (Table III: 500).
+    pub walk_latency: u64,
+    /// Additional walk cycles per radix level touched (0 = the paper's
+    /// flat 500-cycle walks; > 0 makes 2 MiB pages' 3-level walks cheaper
+    /// than 4 KiB pages' 4-level walks).
+    pub walk_latency_per_level: u64,
+    /// L1 data-cache hit latency.
+    pub l1_hit_latency: u64,
+    /// One-way SM-to-partition interconnect latency.
+    pub icnt_latency: u64,
+    /// L2 data-cache access latency.
+    pub l2_hit_latency: u64,
+    /// DRAM access latency beyond L2.
+    pub dram_latency: u64,
+    /// One-time UVM first-touch (demand-paging) penalty per page.
+    pub demand_fault_latency: u64,
+    /// Flush per-SM L1 TLBs at each kernel launch (gem5-gpu invalidates
+    /// GPU TLBs on launch; also the source of the paper's `nw` cold
+    /// misses). The shared L2 TLB is not flushed.
+    pub flush_l1_tlb_on_kernel_launch: bool,
+    /// Lookups the shared L2 TLB can start per cycle (per slice). L1 TLB
+    /// miss floods from all 16 SMs queue on these ports, which is what
+    /// turns poor L1 hit rates into execution-time loss.
+    pub l2_tlb_ports: usize,
+    /// Slices the shared L2 TLB is distributed over (Figure 1 shows it
+    /// spread across the memory partitions; 1 = monolithic). Entries are
+    /// divided evenly; pages map to slices by VPN.
+    pub l2_tlb_slices: usize,
+}
+
+impl GpuConfig {
+    /// The paper's Table III baseline.
+    pub fn dac23_baseline() -> Self {
+        GpuConfig {
+            num_sms: 16,
+            clock_mhz: 1400,
+            max_threads_per_sm: 2048,
+            issue_width: 2,
+            max_concurrent_tbs: 16,
+            l1_cache: CacheConfig::new(16 * 1024, 4, 128),
+            l2_cache: CacheConfig::new(1536 * 1024, 8, 128),
+            l1_tlb: TlbConfig::dac23_l1(),
+            l2_tlb: TlbConfig::dac23_l2(),
+            walkers: 8,
+            walk_latency: 500,
+            walk_latency_per_level: 0,
+            l1_hit_latency: 1,
+            icnt_latency: 20,
+            l2_hit_latency: 30,
+            dram_latency: 200,
+            demand_fault_latency: 2000,
+            flush_l1_tlb_on_kernel_launch: true,
+            l2_tlb_ports: 2,
+            l2_tlb_slices: 1,
+        }
+    }
+
+    /// The Figure 2 variant with a 256-entry L1 TLB.
+    pub fn with_l1_tlb(mut self, l1_tlb: TlbConfig) -> Self {
+        self.l1_tlb = l1_tlb;
+        self
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::dac23_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table3() {
+        let c = GpuConfig::dac23_baseline();
+        assert_eq!(c.num_sms, 16);
+        assert_eq!(c.clock_mhz, 1400);
+        assert_eq!(c.max_threads_per_sm, 2048);
+        assert_eq!(c.l1_cache.bytes, 16 * 1024);
+        assert_eq!(c.l1_cache.line_bytes, 128);
+        assert_eq!(c.l2_cache.bytes, 1536 * 1024);
+        assert_eq!(c.l2_cache.associativity, 8);
+        assert_eq!(c.l1_tlb.entries, 64);
+        assert_eq!(c.l2_tlb.entries, 512);
+        assert_eq!(c.walkers, 8);
+        assert_eq!(c.walk_latency, 500);
+        assert_eq!(c.max_concurrent_tbs, 16);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheConfig::new(16 * 1024, 4, 128);
+        assert_eq!(c.lines(), 128);
+        assert_eq!(c.sets(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn bad_cache_geometry_rejected() {
+        let _ = CacheConfig::new(129 * 3, 2, 129 /* 3 lines, assoc 2 */);
+    }
+
+    #[test]
+    fn l2_slice_geometry_is_non_pow2_sets() {
+        let c = CacheConfig::new(1536 * 1024, 8, 128);
+        assert_eq!(c.sets(), 1536);
+    }
+
+    #[test]
+    fn with_l1_tlb_swaps_config() {
+        let c = GpuConfig::dac23_baseline().with_l1_tlb(TlbConfig::dac23_l1_256());
+        assert_eq!(c.l1_tlb.entries, 256);
+        assert_eq!(c.l2_tlb.entries, 512);
+    }
+}

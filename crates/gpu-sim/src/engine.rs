@@ -1,0 +1,723 @@
+//! The cycle-level GPU timing engine.
+//!
+//! The engine models the execution path of the paper's Figure 1 at warp
+//! granularity: per-SM GTO warp issue, the memory coalescer, per-SM VIPT
+//! L1 cache + private L1 TLB, the shared L2 TLB and L2 cache behind an
+//! interconnect, and the shared page-table-walker pool with UVM demand
+//! paging. Time advances event-to-event (the cycle counter jumps to the
+//! next cycle at which any SM can make progress), which is exact for this
+//! model because all latencies are computed analytically at issue.
+//!
+//! Determinism: SMs are processed in index order at each event cycle and
+//! every policy is seeded/stateless, so runs are bit-reproducible.
+
+use crate::cache::Cache;
+use crate::coalesce::coalesce;
+use crate::config::GpuConfig;
+use crate::report::{SimReport, TranslationEvent};
+use crate::tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
+use crate::warp_sched::{GtoWarpScheduler, WarpScheduler, WarpView};
+use tlb::{SetAssocTlb, TlbRequest, TranslationBuffer};
+use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, VirtAddr, WalkerPool};
+use workloads::{KernelTrace, WarpOp, Workload};
+
+/// Builds L1 TLBs for each SM (lets the `orchestrated-tlb` crate plug in
+/// the partitioned design).
+pub type L1TlbFactory = Box<dyn Fn(&GpuConfig) -> Box<dyn TranslationBuffer>>;
+
+/// Builds one warp scheduler per SM.
+pub type WarpSchedulerFactory = Box<dyn Fn() -> Box<dyn WarpScheduler>>;
+
+/// A configured simulator, ready to run workloads.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::{GpuConfig, Simulator};
+/// use workloads::{registry, Scale};
+///
+/// let wl = registry()[8].generate(Scale::Test, 42); // gemm
+/// let report = Simulator::new(GpuConfig::dac23_baseline()).run(wl);
+/// assert!(report.total_cycles > 0);
+/// assert!(report.l1_tlb_hit_rate() > 0.0);
+/// ```
+pub struct Simulator {
+    config: GpuConfig,
+    tb_scheduler: Box<dyn TbScheduler>,
+    l1_tlb_factory: L1TlbFactory,
+    warp_scheduler_factory: WarpSchedulerFactory,
+    trace_translations: bool,
+    force_max_tbs: Option<u8>,
+}
+
+impl Simulator {
+    /// Creates a baseline simulator: round-robin TB scheduling and
+    /// VPN-indexed set-associative L1 TLBs.
+    pub fn new(config: GpuConfig) -> Self {
+        Simulator {
+            config,
+            tb_scheduler: Box::new(RoundRobinScheduler::new()),
+            l1_tlb_factory: Box::new(|c: &GpuConfig| {
+                Box::new(SetAssocTlb::new(c.l1_tlb)) as Box<dyn TranslationBuffer>
+            }),
+            warp_scheduler_factory: Box::new(|| {
+                Box::new(GtoWarpScheduler::new()) as Box<dyn WarpScheduler>
+            }),
+            trace_translations: false,
+            force_max_tbs: None,
+        }
+    }
+
+    /// Replaces the TB scheduling policy.
+    pub fn with_tb_scheduler(mut self, scheduler: Box<dyn TbScheduler>) -> Self {
+        self.tb_scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the L1 TLB organization.
+    pub fn with_l1_tlb_factory(mut self, factory: L1TlbFactory) -> Self {
+        self.l1_tlb_factory = factory;
+        self
+    }
+
+    /// Replaces the per-SM warp scheduling policy (default: GTO per
+    /// Table III).
+    pub fn with_warp_scheduler_factory(mut self, factory: WarpSchedulerFactory) -> Self {
+        self.warp_scheduler_factory = factory;
+        self
+    }
+
+    /// Records every L1 TLB access into the report (needed by the
+    /// reuse-distance characterization; costs memory).
+    pub fn with_translation_trace(mut self, enable: bool) -> Self {
+        self.trace_translations = enable;
+        self
+    }
+
+    /// Caps concurrent TBs per SM (e.g. `Some(1)` reproduces the paper's
+    /// Figure 6 "one TB at a time" study).
+    pub fn with_max_concurrent_tbs(mut self, cap: Option<u8>) -> Self {
+        self.force_max_tbs = cap;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs the workload to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload references addresses outside its own
+    /// buffers or exhausts the (64 GiB default) physical pool — both are
+    /// generator bugs, not simulation outcomes.
+    pub fn run(&mut self, workload: Workload) -> SimReport {
+        let (name, kernels, space) = workload.into_parts();
+        let n_sms = self.config.num_sms;
+        let mut mem = MemorySystem::new(&self.config, space, self.trace_translations);
+        self.build_l1_tlbs(&mut mem);
+        let mut report = SimReport {
+            workload: name,
+            scheduler: self.tb_scheduler.name().to_owned(),
+            tb_placements: vec![0; n_sms],
+            sm_instructions: vec![0; n_sms],
+            ..Default::default()
+        };
+
+        let mut cycle: u64 = 0;
+        for (kernel_idx, kernel) in kernels.iter().enumerate() {
+            let start = cycle;
+            cycle = self.run_kernel(kernel, kernel_idx as u16, cycle, &mut mem, &mut report);
+            report
+                .kernel_cycles
+                .push((kernel.name.clone(), cycle - start));
+        }
+
+        report.total_cycles = cycle;
+        report.l1_tlb = mem.l1_tlbs.iter().map(|t| t.stats()).collect();
+        report.l2_tlb = mem
+            .l2_tlb
+            .iter()
+            .fold(tlb::TlbStats::default(), |a, t| a + t.stats());
+        report.l1_cache = mem.l1_caches.iter().map(|c| c.stats()).collect();
+        report.l2_cache = mem.l2_cache.stats();
+        report.walker = mem.walkers.stats();
+        report.demand_faults = mem.demand_faults;
+        report.transactions = mem.transactions;
+        report.translation_trace = mem.trace.take().unwrap_or_default();
+        report
+    }
+
+    /// Simulates one kernel launch; returns the cycle at which it
+    /// completes.
+    fn run_kernel(
+        &mut self,
+        kernel: &KernelTrace,
+        kernel_idx: u16,
+        start_cycle: u64,
+        mem: &mut MemorySystem,
+        report: &mut SimReport,
+    ) -> u64 {
+        let n_sms = self.config.num_sms;
+        // Occupancy: the compile-time TB limit, the hardware cap, and the
+        // thread capacity all bound concurrency.
+        let by_threads =
+            (self.config.max_threads_per_sm / kernel.threads_per_tb.max(1)).max(1) as u8;
+        let mut max_tbs = kernel
+            .max_concurrent_tbs_per_sm
+            .min(self.config.max_concurrent_tbs)
+            .min(by_threads);
+        if let Some(cap) = self.force_max_tbs {
+            max_tbs = max_tbs.min(cap);
+        }
+
+        let mut sms: Vec<SmRt> = (0..n_sms)
+            .map(|_| SmRt::new(max_tbs, (self.warp_scheduler_factory)()))
+            .collect();
+        for tlb in &mut mem.l1_tlbs {
+            tlb.set_concurrent_tbs(max_tbs);
+            if self.config.flush_l1_tlb_on_kernel_launch {
+                tlb.flush();
+            }
+        }
+        self.tb_scheduler.reset();
+
+        let mut next_tb = 0usize;
+        let mut cycle = start_cycle;
+        loop {
+            // Dispatch pending TBs while any SM has a free slot.
+            while next_tb < kernel.tbs.len() {
+                let snaps: Vec<SmSnapshot> = sms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sm)| {
+                        let stats = mem.l1_tlbs[i].stats();
+                        SmSnapshot {
+                            free_slots: sm.free_slots.len() as u8,
+                            tlb_hits: stats.hits,
+                            tlb_accesses: stats.accesses(),
+                        }
+                    })
+                    .collect();
+                if !snaps.iter().any(SmSnapshot::has_room) {
+                    break;
+                }
+                let Some(target) = self.tb_scheduler.pick_sm(&snaps) else {
+                    break;
+                };
+                assert!(
+                    snaps[target].has_room(),
+                    "scheduler picked a full SM ({target})"
+                );
+                sms[target].place_tb(kernel, next_tb as u32, cycle);
+                report.tb_placements[target] += 1;
+                next_tb += 1;
+            }
+
+            // Next cycle at which any SM can make progress.
+            let Some(event) = sms.iter().map(SmRt::next_event).min().filter(|&e| e < u64::MAX)
+            else {
+                debug_assert!(next_tb >= kernel.tbs.len(), "idle GPU with pending TBs");
+                break;
+            };
+            cycle = cycle.max(event);
+
+            for sm_idx in 0..n_sms {
+                Self::step_sm(&self.config, sm_idx, cycle, kernel_idx, &mut sms, mem, report);
+            }
+        }
+        cycle
+    }
+
+    /// Retires finished warps/TBs and issues up to `issue_width` warp
+    /// instructions on one SM at `cycle`.
+    fn step_sm(
+        config: &GpuConfig,
+        sm_idx: usize,
+        cycle: u64,
+        kernel_idx: u16,
+        sms: &mut [SmRt],
+        mem: &mut MemorySystem,
+        report: &mut SimReport,
+    ) {
+        let sm = &mut sms[sm_idx];
+        if sm.next_event > cycle {
+            return;
+        }
+
+        // Retire warps whose final op has completed; free TB slots.
+        for w in 0..sm.warps.len() {
+            let warp = &mut sm.warps[w];
+            if !warp.retired && warp.op_idx >= warp.ops.len() && warp.ready_at <= cycle {
+                warp.retired = true;
+                let slot = warp.tb_slot as usize;
+                sm.slot_live_warps[slot] -= 1;
+                if sm.slot_live_warps[slot] == 0 {
+                    sm.free_slots.push(slot as u8);
+                    mem.l1_tlbs[sm_idx].on_tb_finish(slot as u8);
+                }
+            }
+        }
+        if sm.warps.iter().filter(|w| w.retired).count() > 128 {
+            sm.compact();
+        }
+
+        // GTO issue: stay greedy on the last-issued warp, then oldest.
+        let mut issued = 0u32;
+        while issued < config.issue_width {
+            let pick = sm.pick(cycle);
+            let Some(w) = pick else { break };
+            let warp = &mut sm.warps[w];
+            let op = &warp.ops[warp.op_idx];
+            warp.op_idx += 1;
+            report.instructions += 1;
+            report.sm_instructions[sm_idx] += 1;
+            match op {
+                WarpOp::Compute { cycles } => {
+                    warp.ready_at = cycle + (*cycles as u64).max(1);
+                }
+                WarpOp::Load(acc) | WarpOp::Store(acc) => {
+                    let write = op.is_store();
+                    let mut done = cycle + 1;
+                    // Per-instruction TLB coalescing (Power et al.,
+                    // HPCA'14, the paper's reference [19]): one L1 TLB
+                    // lookup per *distinct page* the warp instruction
+                    // touches; the per-line transactions below share the
+                    // translation.
+                    let mut translations: Vec<(vmem::Vpn, (vmem::Ppn, u64))> = Vec::new();
+                    let mut lookups = 0u64;
+                    for (i, line) in coalesce(acc, config.l1_cache.line_bytes as u64)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        let vpn = line.vpn(mem.page_size);
+                        let (ppn, translated_at) = match translations
+                            .iter()
+                            .find(|(v, _)| *v == vpn)
+                        {
+                            Some(&(_, hit)) => hit,
+                            None => {
+                                // Translation lookups leave one per cycle.
+                                let t = mem.translate(
+                                    cycle + lookups,
+                                    sm_idx,
+                                    warp.tb_slot,
+                                    warp.tb_global,
+                                    warp.warp_in_tb,
+                                    kernel_idx,
+                                    line,
+                                );
+                                lookups += 1;
+                                translations.push((vpn, t));
+                                t
+                            }
+                        };
+                        // Transactions leave the LSU one per cycle.
+                        let start = translated_at.max(cycle + i as u64);
+                        let pa = PhysAddr::from_parts(
+                            ppn,
+                            line.page_offset(mem.page_size),
+                            mem.page_size,
+                        );
+                        done = done.max(mem.data_access(start, sm_idx, pa, write));
+                    }
+                    warp.ready_at = done;
+                }
+            }
+            issued += 1;
+        }
+
+        sm.recompute_next_event(cycle, issued >= config.issue_width);
+    }
+}
+
+/// Runtime state of one resident warp.
+struct WarpRt {
+    /// Stable per-SM warp id (launch order; lower = older).
+    id: u32,
+    /// Static ops of this warp.
+    ops: std::sync::Arc<[WarpOp]>,
+    op_idx: usize,
+    ready_at: u64,
+    tb_slot: u8,
+    tb_global: u32,
+    /// Warp index within its TB (for warp-granularity analysis).
+    warp_in_tb: u16,
+    retired: bool,
+}
+
+/// Runtime state of one SM.
+struct SmRt {
+    warps: Vec<WarpRt>,
+    free_slots: Vec<u8>,
+    slot_live_warps: Vec<u32>,
+    scheduler: Box<dyn WarpScheduler>,
+    next_warp_id: u32,
+    /// Reusable scratch for scheduler views: (view, index into `warps`).
+    views: Vec<(WarpView, usize)>,
+    next_event: u64,
+}
+
+impl SmRt {
+    fn new(max_tbs: u8, scheduler: Box<dyn WarpScheduler>) -> Self {
+        SmRt {
+            warps: Vec::new(),
+            free_slots: (0..max_tbs).rev().collect(),
+            slot_live_warps: vec![0; max_tbs as usize],
+            scheduler,
+            next_warp_id: 0,
+            views: Vec::new(),
+            next_event: u64::MAX,
+        }
+    }
+
+    fn place_tb(&mut self, kernel: &KernelTrace, tb_global: u32, cycle: u64) {
+        let slot = self.free_slots.pop().expect("caller checked has_room");
+        let tb = &kernel.tbs[tb_global as usize];
+        let mut live = 0;
+        for (warp_in_tb, warp) in tb.warps().iter().enumerate() {
+            self.warps.push(WarpRt {
+                id: self.next_warp_id,
+                ops: warp.ops().to_vec().into(),
+                op_idx: 0,
+                ready_at: cycle + 1,
+                tb_slot: slot,
+                tb_global,
+                warp_in_tb: warp_in_tb as u16,
+                retired: false,
+            });
+            self.next_warp_id += 1;
+            live += 1;
+        }
+        if live == 0 {
+            // Degenerate empty TB: release the slot immediately.
+            self.free_slots.push(slot);
+        } else {
+            self.slot_live_warps[slot as usize] = live;
+        }
+        self.next_event = self.next_event.min(cycle + 1);
+    }
+
+    /// Asks the warp-scheduling policy for the next warp to issue.
+    fn pick(&mut self, cycle: u64) -> Option<usize> {
+        self.views.clear();
+        for (i, w) in self.warps.iter().enumerate() {
+            if w.retired || w.op_idx >= w.ops.len() {
+                continue;
+            }
+            self.views.push((
+                WarpView {
+                    id: w.id,
+                    tb_slot: w.tb_slot,
+                    ready: w.ready_at <= cycle,
+                },
+                i,
+            ));
+        }
+        // The scheduler sees only the views, in launch order.
+        let view_slice: Vec<WarpView> = self.views.iter().map(|(v, _)| *v).collect();
+        let picked = self.scheduler.pick(&view_slice)?;
+        let (view, warp_idx) = self.views[picked];
+        self.scheduler.issued(view);
+        Some(warp_idx)
+    }
+
+    fn recompute_next_event(&mut self, cycle: u64, issue_limited: bool) {
+        let mut next = u64::MAX;
+        let mut any_ready_now = false;
+        for w in &self.warps {
+            if w.retired {
+                continue;
+            }
+            if w.op_idx < w.ops.len() {
+                if w.ready_at <= cycle {
+                    any_ready_now = true;
+                } else {
+                    next = next.min(w.ready_at);
+                }
+            } else if w.ready_at > cycle {
+                // Completion (retire) event.
+                next = next.min(w.ready_at);
+            } else {
+                // Retirable right now (became done this cycle).
+                any_ready_now = true;
+            }
+        }
+        self.next_event = if any_ready_now || (issue_limited && next != u64::MAX) {
+            cycle + 1
+        } else {
+            next
+        };
+    }
+
+    fn compact(&mut self) {
+        // Stable warp ids survive compaction, so the scheduler's state
+        // stays valid.
+        self.warps.retain(|w| !w.retired);
+    }
+
+    fn next_event(&self) -> u64 {
+        self.next_event
+    }
+}
+
+/// The shared memory subsystem: TLBs, caches, walkers, UVM space.
+struct MemorySystem {
+    l1_tlbs: Vec<Box<dyn TranslationBuffer>>,
+    l1_caches: Vec<Cache>,
+    /// L2 TLB slices (VPN-interleaved; one = monolithic).
+    l2_tlb: Vec<SetAssocTlb>,
+    /// Next-free cycle per L2 TLB port, per slice (miss floods queue
+    /// here).
+    l2_tlb_ports: Vec<Vec<u64>>,
+    l2_cache: Cache,
+    walkers: WalkerPool,
+    space: AddressSpace,
+    page_size: PageSize,
+    walk_latency: u64,
+    walk_latency_per_level: u64,
+    l1_hit_latency: u64,
+    icnt_latency: u64,
+    l2_hit_latency: u64,
+    dram_latency: u64,
+    demand_fault_latency: u64,
+    demand_faults: u64,
+    transactions: u64,
+    trace: Option<Vec<TranslationEvent>>,
+}
+
+impl MemorySystem {
+    fn new(config: &GpuConfig, space: AddressSpace, trace: bool) -> Self {
+        MemorySystem {
+            l1_tlbs: Vec::new(), // filled by Simulator::run via init_tlbs
+            l1_caches: (0..config.num_sms)
+                .map(|_| Cache::new(config.l1_cache))
+                .collect(),
+            l2_tlb: {
+                let slices = config.l2_tlb_slices.max(1);
+                let per_slice = tlb::TlbConfig::new(
+                    (config.l2_tlb.entries / slices).max(config.l2_tlb.associativity),
+                    config.l2_tlb.associativity,
+                    config.l2_tlb.lookup_latency,
+                );
+                (0..slices).map(|_| SetAssocTlb::new(per_slice)).collect()
+            },
+            l2_tlb_ports: vec![
+                vec![0; config.l2_tlb_ports.max(1)];
+                config.l2_tlb_slices.max(1)
+            ],
+            l2_cache: Cache::new(config.l2_cache),
+            walkers: WalkerPool::new(config.walkers, config.walk_latency),
+            page_size: space.page_size(),
+            space,
+            walk_latency: config.walk_latency,
+            walk_latency_per_level: config.walk_latency_per_level,
+            l1_hit_latency: config.l1_hit_latency,
+            icnt_latency: config.icnt_latency,
+            l2_hit_latency: config.l2_hit_latency,
+            dram_latency: config.dram_latency,
+            demand_fault_latency: config.demand_fault_latency,
+            demand_faults: 0,
+            transactions: 0,
+            trace: trace.then(Vec::new),
+        }
+    }
+
+    /// Translates one page (steps ②-⑥ of the paper's Figure 1): L1 TLB,
+    /// then shared L2 TLB, then the walker pool with UVM demand paging.
+    /// Returns the frame and the cycle the PPN becomes available.
+    #[allow(clippy::too_many_arguments)]
+    fn translate(
+        &mut self,
+        cycle: u64,
+        sm: usize,
+        tb_slot: u8,
+        tb_global: u32,
+        warp_in_tb: u16,
+        kernel: u16,
+        line_va: VirtAddr,
+    ) -> (Ppn, u64) {
+        let vpn = line_va.vpn(self.page_size);
+        let req = TlbRequest::with_page_size(vpn, tb_slot, self.page_size);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TranslationEvent {
+                sm: sm as u8,
+                tb_global,
+                warp: warp_in_tb,
+                kernel,
+                vpn: vpn.raw(),
+            });
+        }
+
+        let l1_out = self.l1_tlbs[sm].lookup(&req);
+        if l1_out.hit {
+            return (l1_out.ppn.expect("hit carries ppn"), cycle + l1_out.latency);
+        }
+        // Miss: forward to the VPN-interleaved L2 TLB slice over the
+        // interconnect; the lookup must win one of the slice's ports.
+        let arrive = cycle + l1_out.latency + self.icnt_latency;
+        let slice = (vpn.raw() % self.l2_tlb.len() as u64) as usize;
+        let port = self.l2_tlb_ports[slice]
+            .iter_mut()
+            .min()
+            .expect("at least one port");
+        let at_l2 = arrive.max(*port);
+        *port = at_l2 + 1;
+        let l2_out = self.l2_tlb[slice].lookup(&req);
+        if l2_out.hit {
+            let ppn = l2_out.ppn.expect("hit carries ppn");
+            self.l1_tlbs[sm].insert(&req, ppn);
+            return (ppn, at_l2 + l2_out.latency + self.icnt_latency);
+        }
+        // Page-table walk (plus a one-time UVM fault on first touch).
+        let walk_start = at_l2 + l2_out.latency;
+        let (pa, fault) = self
+            .space
+            .translate_with_fault_info(line_va)
+            .expect("workload addresses must fall inside allocated buffers");
+        let latency = if self.walk_latency_per_level == 0 {
+            self.walk_latency
+        } else {
+            let levels = self
+                .space
+                .walk(line_va)
+                .map(|w| w.levels_touched as u64)
+                .unwrap_or(4);
+            self.walk_latency + self.walk_latency_per_level * levels
+        };
+        let mut done = self.walkers.submit_with_latency(walk_start, vpn, latency);
+        if fault == vmem::FaultKind::DemandPaged {
+            done += self.demand_fault_latency;
+            self.demand_faults += 1;
+        }
+        let ppn = pa.ppn(self.page_size);
+        self.l2_tlb[slice].insert(&req, ppn);
+        self.l1_tlbs[sm].insert(&req, ppn);
+        (ppn, done + self.icnt_latency)
+    }
+
+    /// One coalesced line transaction through the data path: VIPT L1
+    /// probed in parallel with translation (`start` already accounts for
+    /// PPN availability), then L2/DRAM on miss.
+    fn data_access(&mut self, start: u64, sm: usize, pa: PhysAddr, write: bool) -> u64 {
+        self.transactions += 1;
+        let l1_hit = self.l1_caches[sm].access(pa.raw(), write);
+        if l1_hit {
+            start + self.l1_hit_latency
+        } else {
+            let at_l2 = start + self.icnt_latency;
+            let l2_hit = self.l2_cache.access(pa.raw(), write);
+            if l2_hit {
+                at_l2 + self.l2_hit_latency + self.icnt_latency
+            } else {
+                at_l2 + self.l2_hit_latency + self.dram_latency + self.icnt_latency
+            }
+        }
+    }
+}
+
+// The L1 TLBs must be built by the factory owned by `Simulator`, which we
+// cannot do inside `MemorySystem::new` without borrowing `self`; run()
+// fills them in immediately after construction.
+impl Simulator {
+    fn build_l1_tlbs(&self, mem: &mut MemorySystem) {
+        mem.l1_tlbs = (0..self.config.num_sms)
+            .map(|_| (self.l1_tlb_factory)(&self.config))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{registry, Scale};
+
+    fn run_bench(name: &str) -> SimReport {
+        let spec = registry().into_iter().find(|s| s.name == name).unwrap();
+        let wl = spec.generate(Scale::Test, 42);
+        Simulator::new(GpuConfig::dac23_baseline()).run(wl)
+    }
+
+    #[test]
+    fn gemm_runs_to_completion() {
+        let r = run_bench("gemm");
+        assert!(r.total_cycles > 0);
+        assert!(r.instructions > 0);
+        assert!(r.transactions > 0);
+        assert_eq!(r.l1_tlb.len(), 16);
+        // Every TB got placed somewhere.
+        let placed: u32 = r.tb_placements.iter().sum();
+        let n = Scale::Test.matrix_dim() / 16;
+        assert_eq!(placed as usize, n * n);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_bench("bfs");
+        let b = run_bench("bfs");
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.l1_tlb_aggregate(), b.l1_tlb_aggregate());
+    }
+
+    #[test]
+    fn round_robin_balances_placements() {
+        let r = run_bench("pagerank");
+        let max = r.tb_placements.iter().max().unwrap();
+        let min = r.tb_placements.iter().min().unwrap();
+        assert!(max - min <= 1, "round-robin spread: {:?}", r.tb_placements);
+    }
+
+    #[test]
+    fn larger_tlb_does_not_hurt() {
+        let spec = registry().into_iter().find(|s| s.name == "atax").unwrap();
+        let base = Simulator::new(GpuConfig::dac23_baseline()).run(spec.generate(Scale::Test, 42));
+        let big = Simulator::new(
+            GpuConfig::dac23_baseline().with_l1_tlb(tlb::TlbConfig::dac23_l1_256()),
+        )
+        .run(spec.generate(Scale::Test, 42));
+        assert!(big.l1_tlb_hit_rate() >= base.l1_tlb_hit_rate() - 1e-9);
+    }
+
+    #[test]
+    fn translation_trace_collected_when_enabled() {
+        let spec = registry().into_iter().find(|s| s.name == "gemm").unwrap();
+        let wl = spec.generate(Scale::Test, 42);
+        let r = Simulator::new(GpuConfig::dac23_baseline())
+            .with_translation_trace(true)
+            .run(wl);
+        // One event per L1 TLB lookup (page-coalesced, so at most one per
+        // transaction).
+        let lookups = r.l1_tlb_aggregate().accesses();
+        assert_eq!(r.translation_trace.len() as u64, lookups);
+        assert!(lookups <= r.transactions);
+    }
+
+    #[test]
+    fn one_tb_at_a_time_cap_respected() {
+        let spec = registry().into_iter().find(|s| s.name == "mvt").unwrap();
+        let wl = spec.generate(Scale::Test, 42);
+        let r = Simulator::new(GpuConfig::dac23_baseline())
+            .with_max_concurrent_tbs(Some(1))
+            .run(wl);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn kernel_cycles_sum_to_total() {
+        let r = run_bench("nw");
+        let sum: u64 = r.kernel_cycles.iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, r.total_cycles);
+    }
+
+    #[test]
+    fn demand_faults_bounded_by_footprint_pages() {
+        let r = run_bench("gemm");
+        assert!(r.demand_faults > 0, "first touches must fault");
+        // Faults can't exceed total touched pages.
+        let n = Scale::Test.matrix_dim();
+        let pages = (3 * n * n * 4) as u64 / 4096 + 3;
+        assert!(r.demand_faults <= pages);
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulation results.
+
+use crate::cache::CacheStats;
+use std::fmt;
+use tlb::TlbStats;
+use vmem::WalkerStats;
+
+/// One recorded L1 TLB access (used by the characterization figures).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TranslationEvent {
+    /// SM whose private L1 TLB was probed.
+    pub sm: u8,
+    /// Global TB id (within the kernel) that issued the access.
+    pub tb_global: u32,
+    /// Warp index within the TB that issued the access.
+    pub warp: u16,
+    /// Kernel index within the workload.
+    pub kernel: u16,
+    /// Virtual page number probed.
+    pub vpn: u64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// TB scheduling policy name.
+    pub scheduler: String,
+    /// Total execution cycles across all kernel launches.
+    pub total_cycles: u64,
+    /// Per-kernel `(name, cycles)`.
+    pub kernel_cycles: Vec<(String, u64)>,
+    /// Per-SM private L1 TLB statistics.
+    pub l1_tlb: Vec<TlbStats>,
+    /// Shared L2 TLB statistics.
+    pub l2_tlb: TlbStats,
+    /// Per-SM L1 data-cache statistics.
+    pub l1_cache: Vec<CacheStats>,
+    /// Shared L2 data-cache statistics.
+    pub l2_cache: CacheStats,
+    /// Page-table walker activity.
+    pub walker: WalkerStats,
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Warp instructions issued per SM (execution balance).
+    pub sm_instructions: Vec<u64>,
+    /// Memory transactions after coalescing.
+    pub transactions: u64,
+    /// UVM demand-paging faults taken.
+    pub demand_faults: u64,
+    /// TBs placed on each SM (scheduling balance).
+    pub tb_placements: Vec<u32>,
+    /// Recorded L1 TLB access stream (only when tracing was enabled).
+    pub translation_trace: Vec<TranslationEvent>,
+}
+
+impl SimReport {
+    /// The paper's L1 TLB hit-rate metric: the average of the per-SM hit
+    /// rates over SMs that saw traffic ("the average hit rate across all
+    /// SMs as the L1 TLBs are SM private").
+    pub fn l1_tlb_hit_rate(&self) -> f64 {
+        let active: Vec<f64> = self
+            .l1_tlb
+            .iter()
+            .filter(|s| s.accesses() > 0)
+            .map(TlbStats::hit_rate)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+
+    /// Aggregate L1 TLB counters summed over SMs.
+    pub fn l1_tlb_aggregate(&self) -> TlbStats {
+        self.l1_tlb
+            .iter()
+            .copied()
+            .fold(TlbStats::default(), |a, b| a + b)
+    }
+
+    /// Execution time of `self` normalized to `baseline` (< 1 is faster).
+    pub fn normalized_time(&self, baseline: &SimReport) -> f64 {
+        self.total_cycles as f64 / baseline.total_cycles as f64
+    }
+
+    /// Speedup of `self` over `baseline` (> 1 is faster).
+    pub fn speedup(&self, baseline: &SimReport) -> f64 {
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Header row for [`SimReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        concat!(
+            "workload,scheduler,cycles,instructions,transactions,",
+            "l1_tlb_hit_rate,l2_tlb_hit_rate,l1_cache_hit_rate,",
+            "l2_cache_hit_rate,walks,walker_wait_cycles,demand_faults"
+        )
+    }
+
+    /// One CSV row of the headline counters (matches
+    /// [`SimReport::csv_header`]).
+    pub fn to_csv_row(&self) -> String {
+        let l1d = self
+            .l1_cache
+            .iter()
+            .fold(CacheStats::default(), |a, b| CacheStats {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                evictions: a.evictions + b.evictions,
+                writebacks: a.writebacks + b.writebacks,
+            });
+        format!(
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{}",
+            self.workload,
+            self.scheduler,
+            self.total_cycles,
+            self.instructions,
+            self.transactions,
+            self.l1_tlb_hit_rate(),
+            self.l2_tlb.hit_rate(),
+            l1d.hit_rate(),
+            self.l2_cache.hit_rate(),
+            self.walker.walks,
+            self.walker.queue_wait_cycles,
+            self.demand_faults
+        )
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}]: {} cycles, {} instructions, {} transactions",
+            self.workload, self.scheduler, self.total_cycles, self.instructions, self.transactions
+        )?;
+        writeln!(
+            f,
+            "  L1 TLB hit rate (avg/SM): {:.1}%  L2 TLB: {:.1}%  walks: {}  faults: {}",
+            self.l1_tlb_hit_rate() * 100.0,
+            self.l2_tlb.hit_rate() * 100.0,
+            self.walker.walks,
+            self.demand_faults
+        )?;
+        write!(
+            f,
+            "  L1 D$ hit: {:.1}%  L2 D$ hit: {:.1}%",
+            self.l1_cache
+                .iter()
+                .fold(CacheStats::default(), |a, b| CacheStats {
+                    hits: a.hits + b.hits,
+                    misses: a.misses + b.misses,
+                    evictions: a.evictions + b.evictions,
+                    writebacks: a.writebacks + b.writebacks,
+                })
+                .hit_rate()
+                * 100.0,
+            self.l2_cache.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(hits: u64, misses: u64) -> TlbStats {
+        TlbStats {
+            hits,
+            misses,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hit_rate_averages_only_active_sms() {
+        let r = SimReport {
+            l1_tlb: vec![stats(9, 1), stats(0, 0), stats(1, 9)],
+            ..Default::default()
+        };
+        // (0.9 + 0.1) / 2, ignoring the idle SM.
+        assert!((r.l1_tlb_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_zero_when_idle() {
+        let r = SimReport::default();
+        assert_eq!(r.l1_tlb_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_sums() {
+        let r = SimReport {
+            l1_tlb: vec![stats(1, 2), stats(3, 4)],
+            ..Default::default()
+        };
+        let agg = r.l1_tlb_aggregate();
+        assert_eq!(agg.hits, 4);
+        assert_eq!(agg.misses, 6);
+    }
+
+    #[test]
+    fn normalized_time_and_speedup() {
+        let fast = SimReport {
+            total_cycles: 500,
+            ..Default::default()
+        };
+        let slow = SimReport {
+            total_cycles: 1000,
+            ..Default::default()
+        };
+        assert!((fast.normalized_time(&slow) - 0.5).abs() < 1e-12);
+        assert!((fast.speedup(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = SimReport {
+            workload: "gemm".into(),
+            scheduler: "baseline".into(),
+            total_cycles: 10,
+            l1_tlb: vec![stats(1, 1)],
+            l1_cache: vec![CacheStats::default()],
+            ..Default::default()
+        };
+        let header_cols = SimReport::csv_header().split(',').count();
+        let row = r.to_csv_row();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.starts_with("gemm,baseline,10,"));
+        // No stray whitespace or quoting (names are plain tokens).
+        assert!(!row.contains(' '));
+        assert!(!SimReport::csv_header().contains(' '));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = SimReport {
+            workload: "gemm".into(),
+            scheduler: "round-robin".into(),
+            total_cycles: 100,
+            l1_tlb: vec![stats(1, 1)],
+            l1_cache: vec![CacheStats::default()],
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("gemm"));
+        assert!(s.contains("50.0%"));
+    }
+}

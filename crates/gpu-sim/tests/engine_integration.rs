@@ -1,0 +1,275 @@
+//! Integration tests for the timing engine: hand-built workloads with
+//! known answers, plus conservation and policy-behaviour checks.
+
+use gpu_sim::{
+    GpuConfig, GtoWarpScheduler, LrrWarpScheduler, RoundRobinScheduler, Simulator, TbScheduler,
+    WarpScheduler,
+};
+use vmem::{AddressSpace, PageSize};
+use workloads::{KernelTrace, LaneAccesses, TbTrace, WarpOp, Workload, LANES_PER_WARP};
+
+/// Builds a workload with `tbs` thread blocks, each one warp issuing
+/// `ops` contiguous loads over a private region.
+fn simple_workload(tbs: usize, ops: usize) -> Workload {
+    let mut space = AddressSpace::new(PageSize::Small);
+    let buf = space
+        .allocate("data", (tbs * ops * 128) as u64)
+        .expect("fresh space");
+    let mut traces = Vec::with_capacity(tbs);
+    for t in 0..tbs {
+        let mut tb = TbTrace::with_warps(1);
+        let warp = tb.warp_mut(0);
+        for o in 0..ops {
+            warp.push(WarpOp::Load(LaneAccesses::contiguous(
+                buf.addr_of(((t * ops + o) * 128) as u64),
+                4,
+                LANES_PER_WARP as u8,
+            )));
+        }
+        traces.push(tb);
+    }
+    let kernel = KernelTrace {
+        name: "simple".into(),
+        tbs: traces,
+        max_concurrent_tbs_per_sm: 16,
+        threads_per_tb: 32,
+    };
+    Workload::new("simple", vec![kernel], space)
+}
+
+/// A compute-only workload: total time must be close to the serial sum of
+/// compute latencies divided by available parallelism.
+#[test]
+fn compute_only_workload_time_is_predictable() {
+    let mut space = AddressSpace::new(PageSize::Small);
+    space.allocate("unused", 4096).unwrap();
+    let mut tb = TbTrace::with_warps(1);
+    for _ in 0..100 {
+        tb.warp_mut(0).push(WarpOp::Compute { cycles: 10 });
+    }
+    let kernel = KernelTrace {
+        name: "compute".into(),
+        tbs: vec![tb],
+        max_concurrent_tbs_per_sm: 16,
+        threads_per_tb: 32,
+    };
+    let wl = Workload::new("compute", vec![kernel], space);
+    let r = Simulator::new(GpuConfig::dac23_baseline()).run(wl);
+    // One warp, 100 dependent 10-cycle ops: ~1000 cycles plus small
+    // dispatch overhead.
+    assert!(r.total_cycles >= 1000, "cycles {}", r.total_cycles);
+    assert!(r.total_cycles < 1100, "cycles {}", r.total_cycles);
+    assert_eq!(r.instructions, 100);
+    assert_eq!(r.transactions, 0);
+}
+
+/// Each distinct 128-byte line is one transaction; each distinct page one
+/// TLB lookup.
+#[test]
+fn transaction_and_lookup_accounting() {
+    let wl = simple_workload(4, 32); // 4 TBs x 32 line-distinct loads
+    let r = Simulator::new(GpuConfig::dac23_baseline()).run(wl);
+    assert_eq!(r.instructions, 4 * 32);
+    assert_eq!(r.transactions, 4 * 32);
+    // 32 lines per TB = 4096 bytes = exactly one page per TB.
+    assert_eq!(r.l1_tlb_aggregate().accesses(), 4 * 32);
+    assert_eq!(r.demand_faults, 4);
+}
+
+/// More TBs than total slots: dispatch must proceed in waves and still
+/// complete every TB exactly once.
+#[test]
+fn dispatch_waves_complete() {
+    let config = GpuConfig {
+        num_sms: 2,
+        max_concurrent_tbs: 2,
+        ..GpuConfig::dac23_baseline()
+    };
+    let wl = simple_workload(64, 8);
+    let r = Simulator::new(config).run(wl);
+    assert_eq!(r.tb_placements.iter().sum::<u32>(), 64);
+    assert_eq!(r.tb_placements.len(), 2);
+}
+
+/// A scheduler that refuses to place while SMs are busy must not deadlock
+/// the engine (progress is guaranteed once everything drains).
+#[test]
+fn reluctant_scheduler_cannot_deadlock() {
+    #[derive(Debug)]
+    struct Reluctant {
+        rr: RoundRobinScheduler,
+    }
+    impl TbScheduler for Reluctant {
+        fn pick_sm(&mut self, sms: &[gpu_sim::SmSnapshot]) -> Option<usize> {
+            // Only place when every SM is completely idle.
+            if sms.iter().any(|s| s.free_slots == 0) {
+                return None;
+            }
+            self.rr.pick_sm(sms)
+        }
+        fn name(&self) -> &str {
+            "reluctant"
+        }
+    }
+    let config = GpuConfig {
+        num_sms: 2,
+        max_concurrent_tbs: 1,
+        ..GpuConfig::dac23_baseline()
+    };
+    let wl = simple_workload(8, 4);
+    let r = Simulator::new(config)
+        .with_tb_scheduler(Box::new(Reluctant {
+            rr: RoundRobinScheduler::new(),
+        }))
+        .run(wl);
+    assert_eq!(r.tb_placements.iter().sum::<u32>(), 8);
+}
+
+/// GTO and LRR are both deterministic and produce valid (if different)
+/// executions.
+#[test]
+fn warp_scheduler_policies_are_deterministic() {
+    let run = |factory: fn() -> Box<dyn WarpScheduler>| -> (u64, u64) {
+        let wl = simple_workload(32, 16);
+        let r = Simulator::new(GpuConfig::dac23_baseline())
+            .with_warp_scheduler_factory(Box::new(factory))
+            .run(wl);
+        (r.total_cycles, r.l1_tlb_aggregate().hits)
+    };
+    let gto = || Box::new(GtoWarpScheduler::new()) as Box<dyn WarpScheduler>;
+    let lrr = || Box::new(LrrWarpScheduler::new()) as Box<dyn WarpScheduler>;
+    assert_eq!(run(gto), run(gto));
+    assert_eq!(run(lrr), run(lrr));
+}
+
+/// L1 TLBs are flushed per kernel launch by default; disabling the flush
+/// preserves entries across kernels and can only help hit rates for a
+/// workload that re-touches the same pages.
+#[test]
+fn kernel_launch_flush_toggle() {
+    let build = || -> Workload {
+        let mut space = AddressSpace::new(PageSize::Small);
+        let buf = space.allocate("data", 64 * 4096).expect("fresh space");
+        let kernel = |name: &str| -> KernelTrace {
+            let mut tb = TbTrace::with_warps(1);
+            for p in 0..32 {
+                tb.warp_mut(0).push(WarpOp::Load(LaneAccesses::contiguous(
+                    buf.addr_of(p * 4096),
+                    4,
+                    32,
+                )));
+            }
+            KernelTrace {
+                name: name.into(),
+                tbs: vec![tb],
+                max_concurrent_tbs_per_sm: 16,
+                threads_per_tb: 32,
+            }
+        };
+        Workload::new("twice", vec![kernel("k1"), kernel("k2")], space)
+    };
+    let flush = Simulator::new(GpuConfig::dac23_baseline()).run(build());
+    let keep = Simulator::new(GpuConfig {
+        flush_l1_tlb_on_kernel_launch: false,
+        ..GpuConfig::dac23_baseline()
+    })
+    .run(build());
+    assert!(
+        keep.l1_tlb_aggregate().hits > flush.l1_tlb_aggregate().hits,
+        "warm TLB across kernels must hit more: {} vs {}",
+        keep.l1_tlb_aggregate().hits,
+        flush.l1_tlb_aggregate().hits
+    );
+}
+
+/// An L2 TLB with one port serializes miss floods: cycles can only grow
+/// relative to unlimited ports.
+#[test]
+fn l2_tlb_port_contention_costs_time() {
+    let run = |ports: usize| -> u64 {
+        let wl = simple_workload(64, 64);
+        Simulator::new(GpuConfig {
+            l2_tlb_ports: ports,
+            ..GpuConfig::dac23_baseline()
+        })
+        .run(wl)
+        .total_cycles
+    };
+    assert!(run(1) >= run(16));
+}
+
+/// Slicing the L2 TLB preserves correctness (same hits/misses cannot be
+/// guaranteed, but conservation holds and more slices with the same
+/// total entries never changes the access count).
+#[test]
+fn sliced_l2_tlb_conserves_accesses() {
+    let run = |slices: usize| {
+        let wl = simple_workload(32, 32);
+        Simulator::new(GpuConfig {
+            l2_tlb_slices: slices,
+            ..GpuConfig::dac23_baseline()
+        })
+        .run(wl)
+    };
+    let mono = run(1);
+    let sliced = run(8);
+    assert_eq!(
+        mono.l2_tlb.accesses() + mono.l1_tlb_aggregate().hits,
+        sliced.l2_tlb.accesses() + sliced.l1_tlb_aggregate().hits,
+    );
+    assert_eq!(mono.tb_placements, sliced.tb_placements);
+}
+
+/// Per-level walk latency makes huge-page walks (3 levels) cheaper than
+/// small-page walks (4 levels).
+#[test]
+fn per_level_walk_latency_rewards_huge_pages() {
+    use vmem::PageSize as Ps;
+    let run = |ps: Ps| -> u64 {
+        let mut space = AddressSpace::new(ps);
+        let buf = space.allocate("d", 1 << 22).expect("fresh");
+        let mut tb = TbTrace::with_warps(1);
+        for p in 0..64u64 {
+            tb.warp_mut(0).push(WarpOp::Load(LaneAccesses::contiguous(
+                buf.addr_of(p * 4096),
+                4,
+                32,
+            )));
+        }
+        let kernel = KernelTrace {
+            name: "walks".into(),
+            tbs: vec![tb],
+            max_concurrent_tbs_per_sm: 16,
+            threads_per_tb: 32,
+        };
+        Simulator::new(GpuConfig {
+            walk_latency: 100,
+            walk_latency_per_level: 100,
+            ..GpuConfig::dac23_baseline()
+        })
+        .run(Workload::new("walks", vec![kernel], space))
+        .total_cycles
+    };
+    assert!(
+        run(Ps::Large) < run(Ps::Small),
+        "3-level huge-page walks must be cheaper"
+    );
+}
+
+/// Zero-memory workloads still terminate and report sensible stats.
+#[test]
+fn empty_and_degenerate_workloads() {
+    let mut space = AddressSpace::new(PageSize::Small);
+    space.allocate("x", 16).unwrap();
+    // A kernel whose single TB has zero warps.
+    let kernel = KernelTrace {
+        name: "empty".into(),
+        tbs: vec![TbTrace::with_warps(0)],
+        max_concurrent_tbs_per_sm: 16,
+        threads_per_tb: 32,
+    };
+    let wl = Workload::new("empty", vec![kernel], space);
+    let r = Simulator::new(GpuConfig::dac23_baseline()).run(wl);
+    assert_eq!(r.instructions, 0);
+    assert_eq!(r.tb_placements.iter().sum::<u32>(), 1);
+}

@@ -1,0 +1,442 @@
+//! A model of the PACT'20 TLB-compression comparator (Tang et al.,
+//! *Enhancing Address Translations in Throughput Processors via
+//! Compression*), used by the paper's Figure 12 study.
+//!
+//! The compression scheme coalesces translations for runs of virtually
+//! *and* physically contiguous pages into one TLB entry: an entry stores a
+//! compression-aligned base VPN, the PPN the base page would map to, and a
+//! bitmask of which pages in the run are valid. A page hits if its run is
+//! resident, its bit is set, and its PPN is the base PPN plus its offset in
+//! the run — i.e. only contiguous/stride-friendly access patterns actually
+//! compress, which is exactly the property the DAC'23 paper contrasts
+//! against. Decompression adds latency on the hit path, also per the
+//! paper's discussion.
+
+use crate::config::TlbConfig;
+use crate::request::{TlbOutcome, TlbRequest, TranslationBuffer};
+use crate::stats::TlbStats;
+use vmem::{Ppn, Vpn};
+
+/// Parameters of the compression scheme.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CompressionConfig {
+    /// Pages per compressed entry (a power of two; PACT'20 uses runs of 8
+    /// to 16 4 KiB pages per entry).
+    pub degree: usize,
+    /// Extra cycles added to every hit for decompression (critical path).
+    pub decompress_latency: u64,
+}
+
+impl CompressionConfig {
+    /// The configuration used for the Figure 12 comparison: 8 pages per
+    /// entry, 1 extra cycle to decompress.
+    pub fn pact20() -> Self {
+        CompressionConfig {
+            degree: 8,
+            decompress_latency: 1,
+        }
+    }
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        Self::pact20()
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct CompressedWay {
+    valid: bool,
+    /// Base VPN of the run, aligned to `degree`.
+    base_vpn: Vpn,
+    /// PPN the base page of the run maps to (pages in the run map to
+    /// `base_ppn + offset`).
+    base_ppn: Ppn,
+    /// Which pages of the run are resident.
+    mask: u32,
+    /// When `true`, the entry holds exactly one translation and `base_ppn`
+    /// is that page's PPN verbatim (used when the PPN cannot be expressed
+    /// as `base + offset`, e.g. it would underflow).
+    literal: bool,
+    stamp: u64,
+}
+
+/// A set-associative TLB whose entries each cover a run of contiguous
+/// translations (PACT'20 compression model).
+///
+/// # Example
+///
+/// ```
+/// use tlb::{CompressedTlb, CompressionConfig, TlbConfig, TlbRequest, TranslationBuffer};
+/// use vmem::{Ppn, Vpn};
+///
+/// let mut t = CompressedTlb::new(TlbConfig::dac23_l1(), CompressionConfig::pact20());
+/// // Eight contiguous translations compress into a single entry...
+/// for i in 0..8 {
+///     t.insert(&TlbRequest::new(Vpn::new(i), 0), Ppn::new(100 + i));
+/// }
+/// assert_eq!(t.occupied_entries(), 1);
+/// // ...and all of them hit.
+/// assert!(t.lookup(&TlbRequest::new(Vpn::new(5), 0)).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressedTlb {
+    config: TlbConfig,
+    compression: CompressionConfig,
+    ways: Vec<CompressedWay>,
+    clock: u64,
+    stats: TlbStats,
+    /// Translations stored that share an entry with at least one other
+    /// translation (a measure of achieved compression).
+    compressed_fills: u64,
+}
+
+impl CompressedTlb {
+    /// Creates an empty compressed TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compression degree is not a power of two.
+    pub fn new(config: TlbConfig, compression: CompressionConfig) -> Self {
+        assert!(
+            compression.degree.is_power_of_two() && compression.degree > 0,
+            "compression degree must be a power of two"
+        );
+        CompressedTlb {
+            config,
+            compression,
+            ways: vec![CompressedWay::default(); config.entries],
+            clock: 0,
+            stats: TlbStats::default(),
+            compressed_fills: 0,
+        }
+    }
+
+    /// The geometry configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// The compression parameters.
+    pub fn compression(&self) -> &CompressionConfig {
+        &self.compression
+    }
+
+    fn run_base(&self, vpn: Vpn) -> Vpn {
+        Vpn::new(vpn.raw() & !(self.compression.degree as u64 - 1))
+    }
+
+    fn run_offset(&self, vpn: Vpn) -> u32 {
+        (vpn.raw() & (self.compression.degree as u64 - 1)) as u32
+    }
+
+    /// Sets are indexed by the run number so a run always lands in one set.
+    fn set_of(&self, vpn: Vpn) -> usize {
+        ((vpn.raw() / self.compression.degree as u64) as usize) & (self.config.sets() - 1)
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let a = self.config.associativity;
+        set * a..(set + 1) * a
+    }
+
+    /// Number of valid (possibly multi-page) entries resident.
+    pub fn occupied_entries(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Number of page translations resident across all entries.
+    pub fn resident_translations(&self) -> u32 {
+        self.ways
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| w.mask.count_ones())
+            .sum()
+    }
+
+    /// Fills that compressed into an existing entry (shared an entry).
+    pub fn compressed_fills(&self) -> u64 {
+        self.compressed_fills
+    }
+}
+
+impl TranslationBuffer for CompressedTlb {
+    fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        self.clock += 1;
+        let base = self.run_base(req.vpn);
+        let off = self.run_offset(req.vpn);
+        let set = self.set_of(req.vpn);
+        let range = self.set_range(set);
+        let clock = self.clock;
+        for way in &mut self.ways[range] {
+            if way.valid && way.base_vpn == base && way.mask & (1 << off) != 0 {
+                way.stamp = clock;
+                self.stats.record(true);
+                let ppn = if way.literal {
+                    way.base_ppn
+                } else {
+                    Ppn::new(way.base_ppn.raw() + off as u64)
+                };
+                let latency = self.config.lookup_latency
+                    + if way.mask.count_ones() > 1 {
+                        self.compression.decompress_latency
+                    } else {
+                        0
+                    };
+                return TlbOutcome::hit(ppn, latency);
+            }
+        }
+        self.stats.record(false);
+        TlbOutcome::miss(self.config.lookup_latency)
+    }
+
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        self.clock += 1;
+        let base = self.run_base(req.vpn);
+        let off = self.run_offset(req.vpn);
+        // PPN the base page must map to for this fill to compress.
+        let Some(expected_base_ppn) = ppn.raw().checked_sub(off as u64) else {
+            // Physically impossible to express as a contiguous run member;
+            // store as a singleton run below by falling through with a
+            // degenerate base equal to the page itself.
+            return self.insert_singleton(req.vpn, ppn);
+        };
+        let set = self.set_of(req.vpn);
+        let range = self.set_range(set);
+        let clock = self.clock;
+        // Invalidate any stale translation for this page held under a
+        // different PPN (coherence on remap): clear its run bit and drop
+        // the entry entirely when it empties.
+        for way in &mut self.ways[range.clone()] {
+            if way.valid
+                && way.base_vpn == base
+                && way.mask & (1 << off) != 0
+                && (way.literal || way.base_ppn != Ppn::new(expected_base_ppn))
+            {
+                way.mask &= !(1 << off);
+                if way.mask == 0 {
+                    way.valid = false;
+                }
+            }
+        }
+        // Try to compress into an existing compatible entry.
+        if let Some(way) = self.ways[range.clone()].iter_mut().find(|w| {
+            w.valid && !w.literal && w.base_vpn == base && w.base_ppn == Ppn::new(expected_base_ppn)
+        }) {
+            if way.mask & (1 << off) == 0 {
+                way.mask |= 1 << off;
+                self.compressed_fills += 1;
+            }
+            way.stamp = clock;
+            return;
+        }
+        // Allocate a fresh entry for this run.
+        self.stats.insertions += 1;
+        let victim = self.ways[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.valid, w.stamp))
+            .map(|(i, _)| i)
+            .expect("associativity is non-zero");
+        let way = &mut self.ways[range.start + victim];
+        if way.valid {
+            self.stats.evictions += 1;
+        }
+        *way = CompressedWay {
+            valid: true,
+            base_vpn: base,
+            base_ppn: Ppn::new(expected_base_ppn),
+            mask: 1 << off,
+            literal: false,
+            stamp: clock,
+        };
+    }
+
+    fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn flush(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+            w.mask = 0;
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.entries
+    }
+}
+
+impl CompressedTlb {
+    /// Stores a translation that cannot participate in any run (its PPN
+    /// underflows the run base) as a single-page entry keyed at its own
+    /// VPN.
+    fn insert_singleton(&mut self, vpn: Vpn, ppn: Ppn) {
+        self.clock += 1;
+        let set = self.set_of(vpn);
+        let range = self.set_range(set);
+        // Coherence on remap: clear any existing translation for this page.
+        let base = self.run_base(vpn);
+        let off_bit = 1u32 << self.run_offset(vpn);
+        for way in &mut self.ways[range.clone()] {
+            if way.valid && way.base_vpn == base && way.mask & off_bit != 0 {
+                way.mask &= !off_bit;
+                if way.mask == 0 {
+                    way.valid = false;
+                }
+            }
+        }
+        self.stats.insertions += 1;
+        let victim = self.ways[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.valid, w.stamp))
+            .map(|(i, _)| i)
+            .expect("associativity is non-zero");
+        let off = self.run_offset(vpn);
+        let base_vpn = self.run_base(vpn);
+        let way = &mut self.ways[range.start + victim];
+        if way.valid {
+            self.stats.evictions += 1;
+        }
+        *way = CompressedWay {
+            valid: true,
+            base_vpn,
+            base_ppn: ppn,
+            mask: 1 << off,
+            literal: true,
+            stamp: self.clock,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(vpn: u64) -> TlbRequest {
+        TlbRequest::new(Vpn::new(vpn), 0)
+    }
+
+    fn tlb() -> CompressedTlb {
+        CompressedTlb::new(TlbConfig::dac23_l1(), CompressionConfig::pact20())
+    }
+
+    #[test]
+    fn contiguous_run_compresses_to_one_entry() {
+        let mut t = tlb();
+        for i in 0..8 {
+            t.insert(&req(i), Ppn::new(1000 + i));
+        }
+        assert_eq!(t.occupied_entries(), 1);
+        assert_eq!(t.resident_translations(), 8);
+        assert_eq!(t.compressed_fills(), 7);
+        for i in 0..8 {
+            let out = t.lookup(&req(i));
+            assert!(out.hit);
+            assert_eq!(out.ppn, Some(Ppn::new(1000 + i)));
+        }
+    }
+
+    #[test]
+    fn decompression_adds_latency_only_for_compressed_entries() {
+        let mut t = tlb();
+        t.insert(&req(0), Ppn::new(50));
+        // Singleton entry: no decompression cost.
+        assert_eq!(t.lookup(&req(0)).latency, 1);
+        t.insert(&req(1), Ppn::new(51));
+        // Now compressed (two pages in the run): +1 cycle.
+        assert_eq!(t.lookup(&req(0)).latency, 2);
+    }
+
+    #[test]
+    fn non_contiguous_ppns_do_not_compress() {
+        let mut t = tlb();
+        // Same run, but scrambled frames (irregular demand-paging order).
+        t.insert(&req(0), Ppn::new(500));
+        t.insert(&req(1), Ppn::new(77)); // not 501 -> incompatible
+        assert_eq!(t.occupied_entries(), 2);
+        assert!(t.lookup(&req(0)).hit);
+        assert!(t.lookup(&req(1)).hit);
+        assert_eq!(t.lookup(&req(1)).ppn, Some(Ppn::new(77)));
+    }
+
+    #[test]
+    fn compression_extends_reach_beyond_entry_count() {
+        // 4-entry TLB but 4 runs x 8 pages = 32 translations resident.
+        let mut t = CompressedTlb::new(TlbConfig::new(4, 4, 1), CompressionConfig::pact20());
+        for run in 0..4u64 {
+            for i in 0..8u64 {
+                let vpn = run * 8 + i;
+                t.insert(&req(vpn), Ppn::new(1000 * run + i));
+            }
+        }
+        assert_eq!(t.occupied_entries(), 4);
+        t.reset_stats();
+        for vpn in 0..32u64 {
+            assert!(t.lookup(&req(vpn)).hit, "vpn {vpn}");
+        }
+        assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    fn different_runs_with_same_base_dont_alias() {
+        let mut t = tlb();
+        t.insert(&req(0), Ppn::new(100));
+        // Lookup of another page in the run whose bit is clear misses.
+        assert!(!t.lookup(&req(3)).hit);
+    }
+
+    #[test]
+    fn ppn_underflow_stored_as_singleton() {
+        let mut t = tlb();
+        // vpn 5 -> ppn 2 would imply base_ppn = -3; stored as singleton.
+        t.insert(&req(5), Ppn::new(2));
+        let out = t.lookup(&req(5));
+        assert!(out.hit);
+        assert_eq!(out.ppn, Some(Ppn::new(2)));
+        // No other offset in the run hits.
+        assert!(!t.lookup(&req(4)).hit);
+    }
+
+    #[test]
+    fn flush_clears_masks() {
+        let mut t = tlb();
+        for i in 0..8 {
+            t.insert(&req(i), Ppn::new(i));
+        }
+        t.flush();
+        assert_eq!(t.occupied_entries(), 0);
+        assert_eq!(t.resident_translations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_degree_rejected() {
+        let _ = CompressedTlb::new(
+            TlbConfig::dac23_l1(),
+            CompressionConfig {
+                degree: 6,
+                decompress_latency: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn lru_among_runs() {
+        // 1 set x 2 ways, runs of 8.
+        let mut t = CompressedTlb::new(TlbConfig::new(2, 2, 1), CompressionConfig::pact20());
+        t.insert(&req(0), Ppn::new(0)); // run 0
+        t.insert(&req(8), Ppn::new(8)); // run 1
+        assert!(t.lookup(&req(0)).hit); // run 0 recently used
+        t.insert(&req(16), Ppn::new(16)); // run 2 evicts run 1
+        assert!(t.lookup(&req(0)).hit);
+        assert!(!t.lookup(&req(8)).hit);
+        assert!(t.lookup(&req(16)).hit);
+    }
+}

@@ -1,0 +1,45 @@
+//! # tlb — Translation Lookaside Buffer models
+//!
+//! TLB structures for the DAC'23 reproduction of *Orchestrated Scheduling
+//! and Partitioning for Improved Address Translation in GPUs*:
+//!
+//! * [`TranslationBuffer`] — the interface every L1 TLB organization
+//!   implements, so the GPU simulator can swap the baseline VPN-indexed
+//!   TLB for the paper's TB-id-partitioned design (which lives in the
+//!   `orchestrated-tlb` crate).
+//! * [`SetAssocTlb`] — the baseline set-associative, VPN-indexed, LRU TLB
+//!   used for both the per-SM private L1 (64 entries, 4-way, 1-cycle) and
+//!   the shared L2 (512 entries, 16-way, 10-cycle) in Table III.
+//! * [`CompressedTlb`] — a model of the PACT'20 TLB-compression comparator
+//!   used in the paper's Figure 12: contiguous translations coalesce into
+//!   one entry at the cost of (de)compression latency on the critical path.
+//!
+//! # Example
+//!
+//! ```
+//! use tlb::{SetAssocTlb, TlbConfig, TlbRequest, TranslationBuffer};
+//! use vmem::{Ppn, Vpn};
+//!
+//! let mut l1 = SetAssocTlb::new(TlbConfig::dac23_l1());
+//! let req = TlbRequest::new(Vpn::new(0x42), 0);
+//! assert!(!l1.lookup(&req).hit); // cold miss
+//! l1.insert(&req, Ppn::new(7));
+//! let out = l1.lookup(&req);
+//! assert!(out.hit);
+//! assert_eq!(out.ppn, Some(Ppn::new(7)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compressed;
+mod config;
+mod request;
+mod set_assoc;
+mod stats;
+
+pub use compressed::{CompressedTlb, CompressionConfig};
+pub use config::TlbConfig;
+pub use request::{TlbOutcome, TlbRequest, TranslationBuffer};
+pub use set_assoc::SetAssocTlb;
+pub use stats::TlbStats;

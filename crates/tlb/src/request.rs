@@ -1,0 +1,140 @@
+//! The request/outcome types and the [`TranslationBuffer`] trait that all
+//! L1 TLB organizations implement.
+
+use crate::stats::TlbStats;
+use vmem::{PageSize, Ppn, Vpn};
+
+/// A translation request presented to a TLB.
+///
+/// In addition to the virtual page, the request carries the hardware TB
+/// slot (the paper's `TB_id`) of the requesting thread block: the baseline
+/// TLB ignores it, while the paper's partitioned TLB uses it as the set
+/// index.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TlbRequest {
+    /// Virtual page number being translated.
+    pub vpn: Vpn,
+    /// Hardware TB slot of the requesting thread block on this SM
+    /// (0..max concurrent TBs, reused as TBs finish — the paper's `TB_id`).
+    pub tb_slot: u8,
+    /// Page size of the mapping (affects VPN width, not indexing).
+    pub page_size: PageSize,
+}
+
+impl TlbRequest {
+    /// Creates a 4 KiB-page request.
+    pub fn new(vpn: Vpn, tb_slot: u8) -> Self {
+        TlbRequest {
+            vpn,
+            tb_slot,
+            page_size: PageSize::Small,
+        }
+    }
+
+    /// Creates a request with an explicit page size.
+    pub fn with_page_size(vpn: Vpn, tb_slot: u8, page_size: PageSize) -> Self {
+        TlbRequest {
+            vpn,
+            tb_slot,
+            page_size,
+        }
+    }
+}
+
+/// The result of a TLB lookup.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TlbOutcome {
+    /// Whether the translation was present.
+    pub hit: bool,
+    /// The translated frame number on a hit.
+    pub ppn: Option<Ppn>,
+    /// Cycles the lookup occupied the TLB, including any multi-set probe
+    /// or decompression overhead the organization incurs.
+    pub latency: u64,
+}
+
+impl TlbOutcome {
+    /// A hit returning `ppn` after `latency` cycles.
+    pub fn hit(ppn: Ppn, latency: u64) -> Self {
+        TlbOutcome {
+            hit: true,
+            ppn: Some(ppn),
+            latency,
+        }
+    }
+
+    /// A miss detected after `latency` cycles.
+    pub fn miss(latency: u64) -> Self {
+        TlbOutcome {
+            hit: false,
+            ppn: None,
+            latency,
+        }
+    }
+}
+
+/// Interface implemented by every L1 TLB organization.
+///
+/// The GPU simulator is generic over this trait so the baseline
+/// VPN-indexed TLB, the enlarged Figure 2 TLB, the PACT'20 compressed TLB
+/// and the paper's TB-id-partitioned TLB (in `orchestrated-tlb`) are
+/// interchangeable.
+pub trait TranslationBuffer {
+    /// Probes the TLB; records a hit or miss in the stats.
+    fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome;
+
+    /// Installs a translation (called on fill after an L2/walk completes).
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn);
+
+    /// Cumulative statistics.
+    fn stats(&self) -> TlbStats;
+
+    /// Resets statistics (keeps contents).
+    fn reset_stats(&mut self);
+
+    /// Invalidates all entries.
+    fn flush(&mut self);
+
+    /// Total entry capacity.
+    fn capacity(&self) -> usize;
+
+    /// Notification that the TB occupying `tb_slot` finished and released
+    /// its resources. The baseline ignores this; the partitioned TLB uses
+    /// it to reset sharing flags (the entries themselves are *kept* — the
+    /// paper explicitly avoids flushing on TB completion).
+    fn on_tb_finish(&mut self, tb_slot: u8) {
+        let _ = tb_slot;
+    }
+
+    /// Notification of how many TBs can run concurrently on this SM
+    /// (determined at kernel launch). The partitioned TLB uses this to
+    /// size its per-TB set groups.
+    fn set_concurrent_tbs(&mut self, tbs: u8) {
+        let _ = tbs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_constructors() {
+        let h = TlbOutcome::hit(Ppn::new(1), 2);
+        assert!(h.hit);
+        assert_eq!(h.ppn, Some(Ppn::new(1)));
+        assert_eq!(h.latency, 2);
+        let m = TlbOutcome::miss(1);
+        assert!(!m.hit);
+        assert_eq!(m.ppn, None);
+    }
+
+    #[test]
+    fn request_defaults_to_small_pages() {
+        let r = TlbRequest::new(Vpn::new(5), 3);
+        assert_eq!(r.page_size, PageSize::Small);
+        assert_eq!(r.tb_slot, 3);
+        let r2 = TlbRequest::with_page_size(Vpn::new(5), 3, PageSize::Large);
+        assert_eq!(r2.page_size, PageSize::Large);
+    }
+}

@@ -1,0 +1,275 @@
+//! The baseline set-associative, VPN-indexed TLB with true-LRU
+//! replacement.
+//!
+//! This is the organization the paper's Table III assumes for both the
+//! per-SM private L1 TLB and the shared L2 TLB: the set index comes from
+//! the low VPN bits, the remaining bits form the tag, and replacement is
+//! LRU within a set.
+
+use crate::config::TlbConfig;
+use crate::request::{TlbOutcome, TlbRequest, TranslationBuffer};
+use crate::stats::TlbStats;
+use vmem::{Ppn, Vpn};
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Way {
+    valid: bool,
+    vpn: Vpn,
+    ppn: Ppn,
+    /// Monotone use-stamp for LRU (larger = more recent).
+    stamp: u64,
+}
+
+/// A VPN-indexed, set-associative TLB with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use tlb::{SetAssocTlb, TlbConfig, TlbRequest, TranslationBuffer};
+/// use vmem::{Ppn, Vpn};
+///
+/// let mut tlb = SetAssocTlb::new(TlbConfig::new(8, 2, 1));
+/// for i in 0..8 {
+///     tlb.insert(&TlbRequest::new(Vpn::new(i), 0), Ppn::new(i));
+/// }
+/// assert!(tlb.lookup(&TlbRequest::new(Vpn::new(3), 0)).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocTlb {
+    config: TlbConfig,
+    /// `sets() * associativity` ways, set-major.
+    ways: Vec<Way>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl SetAssocTlb {
+    /// Creates an empty TLB with the given geometry.
+    pub fn new(config: TlbConfig) -> Self {
+        SetAssocTlb {
+            config,
+            ways: vec![Way::default(); config.entries],
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The TLB's configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.raw() as usize) & (self.config.sets() - 1)
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let a = self.config.associativity;
+        set * a..(set + 1) * a
+    }
+
+    /// Number of valid entries currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Probes for `vpn` without updating stats or LRU state (diagnostics).
+    pub fn peek(&self, vpn: Vpn) -> Option<Ppn> {
+        let set = self.set_of(vpn);
+        self.ways[self.set_range(set)]
+            .iter()
+            .find(|w| w.valid && w.vpn == vpn)
+            .map(|w| w.ppn)
+    }
+}
+
+impl TranslationBuffer for SetAssocTlb {
+    fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        self.clock += 1;
+        let set = self.set_of(req.vpn);
+        let range = self.set_range(set);
+        let clock = self.clock;
+        for way in &mut self.ways[range] {
+            if way.valid && way.vpn == req.vpn {
+                way.stamp = clock;
+                self.stats.record(true);
+                return TlbOutcome::hit(way.ppn, self.config.lookup_latency);
+            }
+        }
+        self.stats.record(false);
+        TlbOutcome::miss(self.config.lookup_latency)
+    }
+
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        self.clock += 1;
+        let set = self.set_of(req.vpn);
+        let range = self.set_range(set);
+        let clock = self.clock;
+        // Refresh in place if already present (fill races are benign).
+        if let Some(way) = self.ways[range.clone()]
+            .iter_mut()
+            .find(|w| w.valid && w.vpn == req.vpn)
+        {
+            way.ppn = ppn;
+            way.stamp = clock;
+            return;
+        }
+        self.stats.insertions += 1;
+        // Prefer an invalid way; otherwise evict LRU.
+        let victim = self.ways[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.valid, w.stamp))
+            .map(|(i, _)| i)
+            .expect("associativity is non-zero");
+        let way = &mut self.ways[range.start + victim];
+        if way.valid {
+            self.stats.evictions += 1;
+        }
+        *way = Way {
+            valid: true,
+            vpn: req.vpn,
+            ppn,
+            stamp: clock,
+        };
+    }
+
+    fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn flush(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(vpn: u64) -> TlbRequest {
+        TlbRequest::new(Vpn::new(vpn), 0)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        assert!(!t.lookup(&req(1)).hit);
+        t.insert(&req(1), Ppn::new(100));
+        let out = t.lookup(&req(1));
+        assert!(out.hit);
+        assert_eq!(out.ppn, Some(Ppn::new(100)));
+        assert_eq!(out.latency, 1);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways.
+        let mut t = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        t.insert(&req(0), Ppn::new(0));
+        t.insert(&req(1), Ppn::new(1));
+        // Touch 0 so 1 becomes LRU.
+        assert!(t.lookup(&req(0)).hit);
+        t.insert(&req(2), Ppn::new(2));
+        assert!(t.lookup(&req(0)).hit, "recently used entry survives");
+        assert!(!t.lookup(&req(1)).hit, "LRU entry evicted");
+        assert!(t.lookup(&req(2)).hit);
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        // 4 sets x 1 way; VPNs 0..4 map to distinct sets.
+        let mut t = SetAssocTlb::new(TlbConfig::new(4, 1, 1));
+        for i in 0..4 {
+            t.insert(&req(i), Ppn::new(i));
+        }
+        for i in 0..4 {
+            assert!(t.lookup(&req(i)).hit);
+        }
+        // VPN 4 conflicts with VPN 0 only.
+        t.insert(&req(4), Ppn::new(4));
+        assert!(!t.lookup(&req(0)).hit);
+        assert!(t.lookup(&req(1)).hit);
+    }
+
+    #[test]
+    fn reinsert_updates_ppn_without_eviction() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        t.insert(&req(0), Ppn::new(1));
+        t.insert(&req(0), Ppn::new(2));
+        assert_eq!(t.lookup(&req(0)).ppn, Some(Ppn::new(2)));
+        assert_eq!(t.stats().evictions, 0);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        for i in 0..64 {
+            t.insert(&req(i), Ppn::new(i));
+        }
+        assert_eq!(t.occupancy(), 64);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+        assert!(!t.lookup(&req(0)).hit);
+    }
+
+    #[test]
+    fn peek_does_not_perturb_state() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        t.insert(&req(9), Ppn::new(3));
+        assert_eq!(t.peek(Vpn::new(9)), Some(Ppn::new(3)));
+        assert_eq!(t.peek(Vpn::new(10)), None);
+        assert_eq!(t.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn capacity_matches_config() {
+        let t = SetAssocTlb::new(TlbConfig::dac23_l2());
+        assert_eq!(t.capacity(), 512);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_after_warmup() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        // 64 sequential pages fill the TLB exactly (4 per set).
+        for i in 0..64 {
+            t.insert(&req(i), Ppn::new(i));
+        }
+        t.reset_stats();
+        for round in 0..10 {
+            for i in 0..64 {
+                assert!(t.lookup(&req(i)).hit, "round {round} vpn {i}");
+            }
+        }
+        assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        // 128 sequential pages, cyclic: classic LRU thrash, hit rate 0.
+        for _ in 0..4 {
+            for i in 0..128u64 {
+                let r = req(i);
+                if !t.lookup(&r).hit {
+                    t.insert(&r, Ppn::new(i));
+                }
+            }
+        }
+        assert_eq!(t.stats().hits, 0, "cyclic overcapacity scan never hits under LRU");
+    }
+}

@@ -1,0 +1,157 @@
+//! TLB access statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Hit/miss counters for a TLB.
+///
+/// # Example
+///
+/// ```
+/// use tlb::TlbStats;
+///
+/// let mut s = TlbStats::default();
+/// s.record(true);
+/// s.record(false);
+/// assert_eq!(s.accesses(), 2);
+/// assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found the translation.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Valid entries displaced by insertion.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+impl TlbStats {
+    /// Records one lookup outcome.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0.0` when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; `0.0` when no accesses were made (so an idle
+    /// TLB never looks like it is thrashing — the paper's scheduler probes
+    /// miss rates and must prefer idle SMs).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+impl Add for TlbStats {
+    type Output = TlbStats;
+
+    fn add(self, rhs: TlbStats) -> TlbStats {
+        TlbStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+            insertions: self.insertions + rhs.insertions,
+        }
+    }
+}
+
+impl AddAssign for TlbStats {
+    fn add_assign(&mut self, rhs: TlbStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for TlbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits ({:.1}%), {} evictions",
+            self.accesses(),
+            self.hits,
+            self.hit_rate() * 100.0,
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = TlbStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = TlbStats::default();
+        for _ in 0..3 {
+            s.record(true);
+        }
+        s.record(false);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_combines_all_fields() {
+        let a = TlbStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            insertions: 4,
+        };
+        let b = TlbStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            insertions: 40,
+        };
+        let c = a + b;
+        assert_eq!(c.hits, 11);
+        assert_eq!(c.misses, 22);
+        assert_eq!(c.evictions, 33);
+        assert_eq!(c.insertions, 44);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        let mut s = TlbStats::default();
+        s.record(true);
+        s.record(true);
+        assert!(s.to_string().contains("100.0%"));
+    }
+}

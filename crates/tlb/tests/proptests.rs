@@ -1,0 +1,116 @@
+//! Property-based tests for TLB organizations.
+
+use proptest::prelude::*;
+use tlb::{
+    CompressedTlb, CompressionConfig, SetAssocTlb, TlbConfig, TlbRequest, TranslationBuffer,
+};
+use vmem::{Ppn, Vpn};
+
+fn req(vpn: u64) -> TlbRequest {
+    TlbRequest::new(Vpn::new(vpn), 0)
+}
+
+proptest! {
+    /// A TLB never returns a wrong PPN: whatever was inserted last for a
+    /// VPN is what a hit returns.
+    #[test]
+    fn set_assoc_hits_are_correct(ops in proptest::collection::vec((0u64..256, 0u64..1024), 1..300)) {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        let mut truth = std::collections::HashMap::new();
+        for &(vpn, ppn) in &ops {
+            t.insert(&req(vpn), Ppn::new(ppn));
+            truth.insert(vpn, ppn);
+            let out = t.lookup(&req(vpn));
+            prop_assert!(out.hit, "just-inserted entry must hit");
+            prop_assert_eq!(out.ppn, Some(Ppn::new(*truth.get(&vpn).unwrap())));
+        }
+        // Every resident entry agrees with the truth map.
+        for &(vpn, _) in &ops {
+            if let Some(p) = t.peek(Vpn::new(vpn)) {
+                prop_assert_eq!(p.raw(), truth[&vpn]);
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity, and hits + misses == lookups.
+    #[test]
+    fn set_assoc_conservation(vpns in proptest::collection::vec(0u64..10_000, 1..500)) {
+        let mut t = SetAssocTlb::new(TlbConfig::new(16, 4, 1));
+        let mut lookups = 0u64;
+        for &v in &vpns {
+            let out = t.lookup(&req(v));
+            lookups += 1;
+            if !out.hit {
+                t.insert(&req(v), Ppn::new(v));
+            }
+            prop_assert!(t.occupancy() <= t.capacity());
+        }
+        let s = t.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+        prop_assert_eq!(s.insertions, s.misses); // we insert on every miss
+        prop_assert!(s.evictions <= s.insertions);
+    }
+
+    /// The compressed TLB returns exactly the PPNs inserted, regardless of
+    /// whether runs compressed, for fresh insert-then-lookup pairs.
+    #[test]
+    fn compressed_tlb_correctness(
+        ops in proptest::collection::vec((0u64..128, 0u64..4096), 1..300),
+        degree in prop_oneof![Just(2usize), Just(4), Just(8), Just(16)],
+    ) {
+        let cfg = CompressionConfig { degree, decompress_latency: 1 };
+        let mut t = CompressedTlb::new(TlbConfig::dac23_l1(), cfg);
+        for &(vpn, ppn) in &ops {
+            t.insert(&req(vpn), Ppn::new(ppn));
+            let out = t.lookup(&req(vpn));
+            prop_assert!(out.hit);
+            prop_assert_eq!(out.ppn, Some(Ppn::new(ppn)), "vpn {} degree {}", vpn, degree);
+        }
+    }
+
+    /// Contiguous VPN->PPN streams always compress maximally: distinct
+    /// entries = ceil(pages / degree).
+    #[test]
+    fn compressed_tlb_compresses_contiguous(pages in 1u64..64, base_ppn in 0u64..1000) {
+        let cfg = CompressionConfig { degree: 8, decompress_latency: 1 };
+        // Large enough to avoid evictions.
+        let mut t = CompressedTlb::new(TlbConfig::new(256, 4, 1), cfg);
+        for i in 0..pages {
+            t.insert(&req(i), Ppn::new(base_ppn + i));
+        }
+        prop_assert_eq!(t.occupied_entries() as u64, pages.div_ceil(8));
+        prop_assert_eq!(t.resident_translations() as u64, pages);
+    }
+
+    /// Randomly scrambled PPNs never silently alias: every lookup of an
+    /// uninserted VPN misses or (if a run bit happens to be set) still
+    /// returns an inserted page's translation — never an invented one.
+    #[test]
+    fn compressed_tlb_no_phantom_hits(vpns in proptest::collection::hash_set(0u64..64, 1..32)) {
+        let cfg = CompressionConfig { degree: 8, decompress_latency: 1 };
+        let mut t = CompressedTlb::new(TlbConfig::new(256, 4, 1), cfg);
+        let mut rng_ppn = 7919u64;
+        let mut truth = std::collections::HashMap::new();
+        for &v in &vpns {
+            rng_ppn = rng_ppn.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ppn = rng_ppn % 100_000;
+            t.insert(&req(v), Ppn::new(ppn));
+            truth.insert(v, ppn);
+        }
+        for v in 0u64..64 {
+            let out = t.lookup(&req(v));
+            match truth.get(&v) {
+                // Incompatible (uncompressible) translations from one run
+                // crowd a single set and may evict each other, so an
+                // inserted page may legitimately miss — but a hit must
+                // return the exact translation.
+                Some(&p) => {
+                    if out.hit {
+                        prop_assert_eq!(out.ppn, Some(Ppn::new(p)));
+                    }
+                }
+                None => prop_assert!(!out.hit, "phantom hit for vpn {}", v),
+            }
+        }
+    }
+}

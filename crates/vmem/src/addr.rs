@@ -1,0 +1,311 @@
+//! Strongly-typed virtual and physical addresses and page numbers.
+//!
+//! The simulator deals with four address-like quantities that are easy to
+//! confuse when they are all `u64`: virtual addresses, physical addresses,
+//! virtual page numbers (VPNs) and physical page numbers (PPNs). Each gets
+//! a newtype so the compiler keeps them apart (C-NEWTYPE).
+
+use crate::page::PageSize;
+use std::fmt;
+
+/// A virtual address in a UVM address space.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{PageSize, VirtAddr};
+///
+/// let va = VirtAddr::new(0x1234_5678);
+/// assert_eq!(va.vpn(PageSize::Small).raw(), 0x1234_5678 >> 12);
+/// assert_eq!(va.page_offset(PageSize::Small), 0x678);
+/// ```
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(u64);
+
+/// A physical address produced by translation.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{PageSize, PhysAddr, Ppn};
+///
+/// let pa = PhysAddr::from_parts(Ppn::new(7), 0x10, PageSize::Small);
+/// assert_eq!(pa.raw(), (7 << 12) | 0x10);
+/// ```
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(u64);
+
+/// A virtual page number: the virtual address shifted right by the page
+/// size's offset bits.
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vpn(u64);
+
+/// A physical page number (frame number).
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ppn(u64);
+
+macro_rules! addr_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// Wraps a raw 64-bit value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $ty {
+            #[inline]
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            #[inline]
+            fn from(v: $ty) -> u64 {
+                v.0
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($ty), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Octal for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Octal::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_common!(VirtAddr);
+addr_common!(PhysAddr);
+addr_common!(Vpn);
+addr_common!(Ppn);
+
+impl VirtAddr {
+    /// Returns the virtual page number under the given page size.
+    #[inline]
+    pub const fn vpn(self, size: PageSize) -> Vpn {
+        Vpn(self.0 >> size.offset_bits())
+    }
+
+    /// Returns the offset within the page under the given page size.
+    #[inline]
+    pub const fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & size.offset_mask()
+    }
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the 64-bit address space in debug builds.
+    #[inline]
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Builds a virtual address from a page number and in-page offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit within a page of the given size.
+    #[inline]
+    pub fn from_parts(vpn: Vpn, offset: u64, size: PageSize) -> VirtAddr {
+        assert!(
+            offset <= size.offset_mask(),
+            "offset {offset:#x} exceeds page size {size}"
+        );
+        VirtAddr((vpn.0 << size.offset_bits()) | offset)
+    }
+
+    /// Aligns the address down to the containing page boundary.
+    #[inline]
+    #[must_use]
+    pub const fn align_down(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 & !size.offset_mask())
+    }
+
+    /// Aligns the address up to the next page boundary (identity if already
+    /// aligned).
+    #[inline]
+    #[must_use]
+    pub const fn align_up(self, size: PageSize) -> VirtAddr {
+        VirtAddr((self.0 + size.offset_mask()) & !size.offset_mask())
+    }
+
+    /// Returns `true` if the address is aligned to the given page size.
+    #[inline]
+    pub const fn is_aligned(self, size: PageSize) -> bool {
+        self.0 & size.offset_mask() == 0
+    }
+}
+
+impl PhysAddr {
+    /// Returns the physical page number under the given page size.
+    #[inline]
+    pub const fn ppn(self, size: PageSize) -> Ppn {
+        Ppn(self.0 >> size.offset_bits())
+    }
+
+    /// Returns the offset within the frame under the given page size.
+    #[inline]
+    pub const fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & size.offset_mask()
+    }
+
+    /// Builds a physical address from a frame number and in-page offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit within a page of the given size.
+    #[inline]
+    pub fn from_parts(ppn: Ppn, offset: u64, size: PageSize) -> PhysAddr {
+        assert!(
+            offset <= size.offset_mask(),
+            "offset {offset:#x} exceeds page size {size}"
+        );
+        PhysAddr((ppn.0 << size.offset_bits()) | offset)
+    }
+}
+
+impl Vpn {
+    /// Returns the base virtual address of this page.
+    #[inline]
+    pub const fn base_addr(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 << size.offset_bits())
+    }
+
+    /// Returns the next page number.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Vpn {
+        Vpn(self.0 + 1)
+    }
+}
+
+impl Ppn {
+    /// Returns the base physical address of this frame.
+    #[inline]
+    pub const fn base_addr(self, size: PageSize) -> PhysAddr {
+        PhysAddr(self.0 << size.offset_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset_roundtrip_small() {
+        let va = VirtAddr::new(0xdead_beef);
+        let vpn = va.vpn(PageSize::Small);
+        let off = va.page_offset(PageSize::Small);
+        assert_eq!(VirtAddr::from_parts(vpn, off, PageSize::Small), va);
+    }
+
+    #[test]
+    fn vpn_and_offset_roundtrip_large() {
+        let va = VirtAddr::new(0x1234_5678_9abc);
+        let vpn = va.vpn(PageSize::Large);
+        let off = va.page_offset(PageSize::Large);
+        assert_eq!(VirtAddr::from_parts(vpn, off, PageSize::Large), va);
+    }
+
+    #[test]
+    fn phys_roundtrip() {
+        let pa = PhysAddr::new(0xcafe_f00d);
+        let ppn = pa.ppn(PageSize::Small);
+        let off = pa.page_offset(PageSize::Small);
+        assert_eq!(PhysAddr::from_parts(ppn, off, PageSize::Small), pa);
+    }
+
+    #[test]
+    fn align_down_and_up() {
+        let va = VirtAddr::new(0x1234);
+        assert_eq!(va.align_down(PageSize::Small), VirtAddr::new(0x1000));
+        assert_eq!(va.align_up(PageSize::Small), VirtAddr::new(0x2000));
+        let aligned = VirtAddr::new(0x3000);
+        assert_eq!(aligned.align_up(PageSize::Small), aligned);
+        assert!(aligned.is_aligned(PageSize::Small));
+        assert!(!va.is_aligned(PageSize::Small));
+    }
+
+    #[test]
+    fn offset_advances() {
+        let va = VirtAddr::new(0x1000);
+        assert_eq!(va.offset(0x234), VirtAddr::new(0x1234));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn from_parts_rejects_oversized_offset() {
+        let _ = VirtAddr::from_parts(Vpn::new(1), 0x1000, PageSize::Small);
+    }
+
+    #[test]
+    fn vpn_base_addr() {
+        assert_eq!(
+            Vpn::new(3).base_addr(PageSize::Small),
+            VirtAddr::new(3 * 4096)
+        );
+        assert_eq!(Vpn::new(3).next(), Vpn::new(4));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", VirtAddr::new(255)), "0xff");
+        assert_eq!(format!("{:x}", Ppn::new(255)), "ff");
+        assert_eq!(format!("{:b}", Ppn::new(5)), "101");
+        assert_eq!(format!("{:?}", Vpn::new(16)), "Vpn(0x10)");
+    }
+
+    #[test]
+    fn conversions() {
+        let va: VirtAddr = 42u64.into();
+        let raw: u64 = va.into();
+        assert_eq!(raw, 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VirtAddr::new(1) < VirtAddr::new(2));
+        assert!(Ppn::new(9) > Ppn::new(8));
+    }
+}

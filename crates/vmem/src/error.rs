@@ -1,0 +1,76 @@
+//! Error type for virtual-memory operations.
+
+use crate::addr::VirtAddr;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the virtual-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmemError {
+    /// Physical memory is exhausted; no frame could be allocated.
+    OutOfFrames,
+    /// The virtual address is not covered by any allocated buffer.
+    Unmapped(VirtAddr),
+    /// A buffer allocation request had zero size.
+    ZeroSizedAllocation {
+        /// The buffer name passed by the caller.
+        name: String,
+    },
+    /// A buffer with this name already exists in the address space.
+    DuplicateBuffer {
+        /// The buffer name passed by the caller.
+        name: String,
+    },
+    /// A mapping already exists for this virtual page.
+    AlreadyMapped(VirtAddr),
+}
+
+impl fmt::Display for VmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmemError::OutOfFrames => write!(f, "physical frame pool exhausted"),
+            VmemError::Unmapped(va) => {
+                write!(f, "virtual address {va} is not covered by any buffer")
+            }
+            VmemError::ZeroSizedAllocation { name } => {
+                write!(f, "buffer `{name}` requested with zero size")
+            }
+            VmemError::DuplicateBuffer { name } => {
+                write!(f, "buffer `{name}` already exists in this address space")
+            }
+            VmemError::AlreadyMapped(va) => {
+                write!(f, "virtual page containing {va} is already mapped")
+            }
+        }
+    }
+}
+
+impl Error for VmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            VmemError::OutOfFrames.to_string(),
+            VmemError::Unmapped(VirtAddr::new(0x123)).to_string(),
+            VmemError::ZeroSizedAllocation { name: "x".into() }.to_string(),
+            VmemError::DuplicateBuffer { name: "x".into() }.to_string(),
+            VmemError::AlreadyMapped(VirtAddr::new(0x123)).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with('v'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VmemError>();
+    }
+}

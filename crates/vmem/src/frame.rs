@@ -1,0 +1,270 @@
+//! Physical frame allocation.
+//!
+//! The simulator does not store data in frames — only the *identity* of the
+//! frame matters for translation behaviour — so the allocator is a simple
+//! bump allocator with a free list for returned frames. Frames are always
+//! tracked at 4 KiB granularity; a 2 MiB huge page consumes 512 contiguous
+//! small frames.
+
+use crate::addr::Ppn;
+use crate::error::VmemError;
+use crate::page::PageSize;
+
+/// Allocates physical frames for demand paging.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{FrameAllocator, PageSize};
+///
+/// # fn main() -> Result<(), vmem::VmemError> {
+/// let mut alloc = FrameAllocator::new(1024); // 4 MiB of physical memory
+/// let a = alloc.allocate(PageSize::Small)?;
+/// let b = alloc.allocate(PageSize::Small)?;
+/// assert_ne!(a, b);
+/// alloc.free(a, PageSize::Small);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    /// Total number of 4 KiB frames in the pool.
+    capacity_frames: u64,
+    /// Next never-allocated frame (index into the allocation order).
+    next: u64,
+    /// Returned 4 KiB frames available for reuse.
+    free_small: Vec<Ppn>,
+    /// Returned 2 MiB-aligned frame runs available for reuse.
+    free_large: Vec<Ppn>,
+    /// Number of 4 KiB frames currently live.
+    live_frames: u64,
+    /// Huge frames handed out so far in scrambled mode.
+    huge_count: u64,
+    /// Scramble small-frame allocation order (UVM fragmentation model):
+    /// consecutive allocations receive physically scattered frames, as in
+    /// a long-running system with interleaved CPU/GPU faults. Requires a
+    /// power-of-two capacity; huge frames are always contiguous.
+    scramble: bool,
+}
+
+/// Number of 4 KiB frames per 2 MiB huge frame.
+const SMALL_PER_LARGE: u64 = PageSize::Large.bytes() / PageSize::Small.bytes();
+
+/// Odd multiplier for the frame-scrambling permutation (any odd constant
+/// is a bijection modulo a power of two).
+const SCRAMBLE_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FrameAllocator {
+    /// Creates an allocator managing `capacity_frames` 4 KiB frames,
+    /// handing frames out in physically sequential order.
+    pub fn new(capacity_frames: u64) -> Self {
+        FrameAllocator {
+            capacity_frames,
+            next: 0,
+            free_small: Vec::new(),
+            free_large: Vec::new(),
+            live_frames: 0,
+            huge_count: 0,
+            scramble: false,
+        }
+    }
+
+    /// Creates an allocator that scrambles small-frame order
+    /// (deterministically), modeling physical-memory fragmentation under
+    /// UVM demand paging.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity_frames` is a power of two (the scrambling
+    /// permutation is defined modulo a power of two).
+    pub fn new_scrambled(capacity_frames: u64) -> Self {
+        assert!(
+            capacity_frames.is_power_of_two(),
+            "scrambled pool capacity must be a power of two"
+        );
+        FrameAllocator {
+            scramble: true,
+            ..Self::new(capacity_frames)
+        }
+    }
+
+    /// Maps an allocation index to a physical frame number. Scrambled
+    /// small frames are confined to the bottom half of the pool; huge
+    /// frames are carved from the top half (see `allocate`), so the two
+    /// never collide.
+    fn frame_of(&self, index: u64) -> Ppn {
+        if self.scramble {
+            Ppn::new(index.wrapping_mul(SCRAMBLE_MULTIPLIER) & (self.capacity_frames / 2 - 1))
+        } else {
+            Ppn::new(index)
+        }
+    }
+
+    /// Allocates one frame of the given size and returns its PPN
+    /// (expressed in units of the requested page size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::OutOfFrames`] when the pool cannot satisfy the
+    /// request.
+    pub fn allocate(&mut self, size: PageSize) -> Result<Ppn, VmemError> {
+        match size {
+            PageSize::Small => {
+                let limit = if self.scramble {
+                    self.capacity_frames / 2
+                } else {
+                    self.capacity_frames
+                };
+                let ppn = if let Some(ppn) = self.free_small.pop() {
+                    ppn
+                } else if self.next < limit {
+                    let ppn = self.frame_of(self.next);
+                    self.next += 1;
+                    ppn
+                } else {
+                    return Err(VmemError::OutOfFrames);
+                };
+                self.live_frames += 1;
+                Ok(ppn)
+            }
+            PageSize::Large => {
+                let base = if let Some(ppn) = self.free_large.pop() {
+                    ppn
+                } else if self.scramble {
+                    // Huge frames come from the top half, bumping down in
+                    // whole 2 MiB-aligned chunks; small scrambled frames
+                    // stay in the bottom half.
+                    let huge_total = self.capacity_frames / SMALL_PER_LARGE;
+                    let huge_low = self.capacity_frames / 2 / SMALL_PER_LARGE;
+                    if self.huge_count >= huge_total - huge_low {
+                        return Err(VmemError::OutOfFrames);
+                    }
+                    Ppn::new(huge_total - 1 - self.huge_count)
+                } else {
+                    // Align the bump pointer up to a huge-frame boundary.
+                    let aligned = self.next.div_ceil(SMALL_PER_LARGE) * SMALL_PER_LARGE;
+                    if aligned + SMALL_PER_LARGE > self.capacity_frames {
+                        return Err(VmemError::OutOfFrames);
+                    }
+                    // Alignment waste is recycled as small frames.
+                    for f in self.next..aligned {
+                        self.free_small.push(Ppn::new(f));
+                    }
+                    self.next = aligned + SMALL_PER_LARGE;
+                    // Express the huge-frame PPN in 2 MiB units.
+                    Ppn::new(aligned / SMALL_PER_LARGE)
+                };
+                if self.scramble {
+                    self.huge_count += 1;
+                }
+                self.live_frames += SMALL_PER_LARGE;
+                Ok(base)
+            }
+        }
+    }
+
+    /// Returns a frame to the pool.
+    ///
+    /// The PPN must be one previously produced by [`allocate`] with the same
+    /// `size`; the allocator does not validate double-frees.
+    ///
+    /// [`allocate`]: FrameAllocator::allocate
+    pub fn free(&mut self, ppn: Ppn, size: PageSize) {
+        match size {
+            PageSize::Small => {
+                self.free_small.push(ppn);
+                self.live_frames = self.live_frames.saturating_sub(1);
+            }
+            PageSize::Large => {
+                self.free_large.push(ppn);
+                self.live_frames = self.live_frames.saturating_sub(SMALL_PER_LARGE);
+            }
+        }
+    }
+
+    /// Number of 4 KiB frames currently allocated.
+    pub fn live_frames(&self) -> u64 {
+        self.live_frames
+    }
+
+    /// Total pool capacity in 4 KiB frames.
+    pub fn capacity_frames(&self) -> u64 {
+        self.capacity_frames
+    }
+
+    /// Number of 4 KiB frames still allocatable (never-used plus freed).
+    pub fn available_frames(&self) -> u64 {
+        self.capacity_frames - self.next
+            + self.free_small.len() as u64
+            + self.free_large.len() as u64 * SMALL_PER_LARGE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_frames_are_distinct() {
+        let mut a = FrameAllocator::new(16);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let ppn = a.allocate(PageSize::Small).unwrap();
+            assert!(seen.insert(ppn));
+        }
+        assert_eq!(a.allocate(PageSize::Small), Err(VmemError::OutOfFrames));
+    }
+
+    #[test]
+    fn free_allows_reuse() {
+        let mut a = FrameAllocator::new(1);
+        let p = a.allocate(PageSize::Small).unwrap();
+        assert!(a.allocate(PageSize::Small).is_err());
+        a.free(p, PageSize::Small);
+        assert_eq!(a.allocate(PageSize::Small).unwrap(), p);
+    }
+
+    #[test]
+    fn large_frame_consumes_512_small() {
+        let mut a = FrameAllocator::new(1024);
+        let l = a.allocate(PageSize::Large).unwrap();
+        assert_eq!(l, Ppn::new(0));
+        assert_eq!(a.live_frames(), 512);
+        let l2 = a.allocate(PageSize::Large).unwrap();
+        assert_eq!(l2, Ppn::new(1));
+        assert!(a.allocate(PageSize::Large).is_err());
+    }
+
+    #[test]
+    fn large_alignment_waste_recycled_as_small() {
+        let mut a = FrameAllocator::new(1536);
+        let _s = a.allocate(PageSize::Small).unwrap(); // frame 0
+        let l = a.allocate(PageSize::Large).unwrap(); // frames 512..1024
+        assert_eq!(l, Ppn::new(1));
+        // Frames 1..512 were recycled; we can still allocate 511 small ones
+        // plus frames 1024..1536.
+        let mut count = 0;
+        while a.allocate(PageSize::Small).is_ok() {
+            count += 1;
+        }
+        assert_eq!(count, 511 + 512);
+    }
+
+    #[test]
+    fn available_frames_tracks_pool() {
+        let mut a = FrameAllocator::new(10);
+        assert_eq!(a.available_frames(), 10);
+        let p = a.allocate(PageSize::Small).unwrap();
+        assert_eq!(a.available_frames(), 9);
+        a.free(p, PageSize::Small);
+        assert_eq!(a.available_frames(), 10);
+    }
+
+    #[test]
+    fn freed_large_frame_reused() {
+        let mut a = FrameAllocator::new(512);
+        let l = a.allocate(PageSize::Large).unwrap();
+        a.free(l, PageSize::Large);
+        assert_eq!(a.allocate(PageSize::Large).unwrap(), l);
+    }
+}

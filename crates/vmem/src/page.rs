@@ -1,0 +1,119 @@
+//! Page sizes supported by the UVM substrate.
+//!
+//! The paper evaluates with 4 KiB pages and conducts a separate huge-page
+//! (2 MiB) study in Section V.
+
+use std::fmt;
+
+/// Bytes in a 4 KiB page.
+pub const PAGE_SIZE_4K: u64 = 4096;
+
+/// Bytes in a 2 MiB huge page.
+pub const PAGE_SIZE_2M: u64 = 2 * 1024 * 1024;
+
+/// A translation granularity.
+///
+/// # Example
+///
+/// ```
+/// use vmem::PageSize;
+///
+/// assert_eq!(PageSize::Small.bytes(), 4096);
+/// assert_eq!(PageSize::Large.offset_bits(), 21);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// A 4 KiB base page (the paper's default).
+    #[default]
+    Small,
+    /// A 2 MiB huge page (the paper's Section V large-page study).
+    Large,
+}
+
+impl PageSize {
+    /// Number of bytes covered by one page of this size.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small => PAGE_SIZE_4K,
+            PageSize::Large => PAGE_SIZE_2M,
+        }
+    }
+
+    /// Number of low address bits used for the in-page offset.
+    #[inline]
+    pub const fn offset_bits(self) -> u32 {
+        match self {
+            PageSize::Small => 12,
+            PageSize::Large => 21,
+        }
+    }
+
+    /// Mask selecting the in-page offset bits.
+    #[inline]
+    pub const fn offset_mask(self) -> u64 {
+        self.bytes() - 1
+    }
+
+    /// Number of pages needed to cover `bytes` (ceiling division).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vmem::PageSize;
+    ///
+    /// assert_eq!(PageSize::Small.pages_for(1), 1);
+    /// assert_eq!(PageSize::Small.pages_for(4096), 1);
+    /// assert_eq!(PageSize::Small.pages_for(4097), 2);
+    /// assert_eq!(PageSize::Small.pages_for(0), 0);
+    /// ```
+    #[inline]
+    pub const fn pages_for(self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes())
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Small => write!(f, "4KiB"),
+            PageSize::Large => write!(f, "2MiB"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_constants() {
+        assert_eq!(PageSize::Small.bytes(), PAGE_SIZE_4K);
+        assert_eq!(PageSize::Large.bytes(), PAGE_SIZE_2M);
+    }
+
+    #[test]
+    fn offset_bits_consistent_with_bytes() {
+        for size in [PageSize::Small, PageSize::Large] {
+            assert_eq!(1u64 << size.offset_bits(), size.bytes());
+            assert_eq!(size.offset_mask(), size.bytes() - 1);
+        }
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(PageSize::Large.pages_for(PAGE_SIZE_2M + 1), 2);
+        assert_eq!(PageSize::Large.pages_for(PAGE_SIZE_2M), 1);
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(PageSize::default(), PageSize::Small);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PageSize::Small.to_string(), "4KiB");
+        assert_eq!(PageSize::Large.to_string(), "2MiB");
+    }
+}

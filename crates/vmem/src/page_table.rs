@@ -1,0 +1,422 @@
+//! A 4-level x86-64-style radix page table.
+//!
+//! The table maps [`Vpn`]s to [`Ppn`]s through four levels of 512-entry
+//! nodes (9 index bits per level), exactly as the x86-64 tables walked by
+//! gem5-gpu's page-table walkers. 2 MiB huge pages terminate the walk one
+//! level early at the PD level.
+//!
+//! The simulator never stores data in pages, so leaf entries hold only the
+//! frame number and flag bits; interior nodes are arena indices.
+
+use crate::addr::{Ppn, VirtAddr, Vpn};
+use crate::error::VmemError;
+use crate::page::PageSize;
+
+/// Number of radix levels in the table.
+pub const PAGE_TABLE_LEVELS: usize = 4;
+
+/// Index bits consumed per level.
+const BITS_PER_LEVEL: u32 = 9;
+
+/// Entries per node.
+const NODE_ENTRIES: usize = 1 << BITS_PER_LEVEL;
+
+/// Per-leaf permission/status flags.
+///
+/// Only the bits the simulator consults are modeled.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PteFlags {
+    /// Entry holds a valid translation.
+    pub present: bool,
+    /// Page may be written.
+    pub writable: bool,
+    /// Leaf maps a 2 MiB page (set on PD-level leaves).
+    pub huge: bool,
+    /// Page has been written since mapping (set by the simulator on
+    /// write accesses).
+    pub dirty: bool,
+    /// Page has been referenced since mapping.
+    pub accessed: bool,
+}
+
+/// The outcome of a successful page-table walk.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WalkResult {
+    /// The translated frame number, in units of the mapped page size.
+    pub ppn: Ppn,
+    /// Size of the mapping that was hit.
+    pub page_size: PageSize,
+    /// Leaf flags at the time of the walk.
+    pub flags: PteFlags,
+    /// Number of page-table memory references the walk performed
+    /// (4 for a 4 KiB leaf, 3 for a 2 MiB leaf).
+    pub levels_touched: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    entries: Vec<Entry>,
+}
+
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+enum Entry {
+    #[default]
+    Empty,
+    /// Interior pointer into the node arena.
+    Interior(u32),
+    /// Leaf translation.
+    Leaf {
+        ppn: Ppn,
+        flags: PteFlags,
+    },
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            entries: vec![Entry::Empty; NODE_ENTRIES],
+        }
+    }
+}
+
+/// A 4-level radix page table mapping virtual to physical page numbers.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{PageTable, PageSize, Ppn, PteFlags, VirtAddr};
+///
+/// # fn main() -> Result<(), vmem::VmemError> {
+/// let mut pt = PageTable::new();
+/// let va = VirtAddr::new(0x40_0000);
+/// pt.map(va.vpn(PageSize::Small), Ppn::new(7), PageSize::Small,
+///        PteFlags { present: true, writable: true, ..Default::default() })?;
+/// let walk = pt.walk(va).expect("mapped");
+/// assert_eq!(walk.ppn, Ppn::new(7));
+/// assert_eq!(walk.levels_touched, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    /// Node arena; index 0 is the root (PML4).
+    nodes: Vec<Node>,
+    /// Count of live leaf mappings.
+    mapped_pages: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable {
+            nodes: vec![Node::new()],
+            mapped_pages: 0,
+        }
+    }
+
+    /// Splits a small-page VPN into the four per-level indices, root first.
+    fn level_indices(vpn: Vpn) -> [usize; PAGE_TABLE_LEVELS] {
+        let v = vpn.raw();
+        [
+            ((v >> (3 * BITS_PER_LEVEL)) & (NODE_ENTRIES as u64 - 1)) as usize,
+            ((v >> (2 * BITS_PER_LEVEL)) & (NODE_ENTRIES as u64 - 1)) as usize,
+            ((v >> BITS_PER_LEVEL) & (NODE_ENTRIES as u64 - 1)) as usize,
+            (v & (NODE_ENTRIES as u64 - 1)) as usize,
+        ]
+    }
+
+    /// Installs a mapping from `vpn` to `ppn` at the given page size.
+    ///
+    /// For [`PageSize::Large`], `vpn` and `ppn` are expressed in 2 MiB units
+    /// and the leaf is installed at the PD level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::AlreadyMapped`] if a translation (of either
+    /// size) already covers the page.
+    pub fn map(
+        &mut self,
+        vpn: Vpn,
+        ppn: Ppn,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), VmemError> {
+        let flags = PteFlags {
+            huge: size == PageSize::Large,
+            ..flags
+        };
+        // Normalize to small-page VPN space to compute the radix path.
+        let small_vpn = match size {
+            PageSize::Small => vpn,
+            PageSize::Large => Vpn::new(vpn.raw() << BITS_PER_LEVEL),
+        };
+        let idx = Self::level_indices(small_vpn);
+        let leaf_level = match size {
+            PageSize::Small => PAGE_TABLE_LEVELS - 1,
+            PageSize::Large => PAGE_TABLE_LEVELS - 2,
+        };
+
+        let mut node = 0usize;
+        for (level, &i) in idx.iter().enumerate().take(leaf_level) {
+            node = match self.nodes[node].entries[i] {
+                Entry::Interior(n) => n as usize,
+                Entry::Empty => {
+                    let n = self.nodes.len() as u32;
+                    self.nodes.push(Node::new());
+                    self.nodes[node].entries[i] = Entry::Interior(n);
+                    n as usize
+                }
+                Entry::Leaf { .. } => {
+                    // A huge-page leaf already covers this region.
+                    debug_assert!(level == PAGE_TABLE_LEVELS - 2);
+                    return Err(VmemError::AlreadyMapped(
+                        small_vpn.base_addr(PageSize::Small),
+                    ));
+                }
+            };
+        }
+        let slot = &mut self.nodes[node].entries[idx[leaf_level]];
+        if !matches!(slot, Entry::Empty) {
+            return Err(VmemError::AlreadyMapped(
+                small_vpn.base_addr(PageSize::Small),
+            ));
+        }
+        *slot = Entry::Leaf { ppn, flags };
+        self.mapped_pages += 1;
+        Ok(())
+    }
+
+    /// Walks the table for a virtual address.
+    ///
+    /// Returns `None` when the address is unmapped. A successful walk
+    /// reports the number of levels touched, which the walker-latency model
+    /// uses.
+    pub fn walk(&self, va: VirtAddr) -> Option<WalkResult> {
+        let idx = Self::level_indices(va.vpn(PageSize::Small));
+        let mut node = 0usize;
+        for (level, &i) in idx.iter().enumerate() {
+            match self.nodes[node].entries[i] {
+                Entry::Empty => return None,
+                Entry::Interior(n) => node = n as usize,
+                Entry::Leaf { ppn, flags } => {
+                    if !flags.present {
+                        return None;
+                    }
+                    let page_size = if flags.huge {
+                        PageSize::Large
+                    } else {
+                        PageSize::Small
+                    };
+                    return Some(WalkResult {
+                        ppn,
+                        page_size,
+                        flags,
+                        levels_touched: level as u32 + 1,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Convenience wrapper: walks `vpn` (a small-page VPN) by its base
+    /// address.
+    pub fn walk_vpn(&self, vpn: Vpn) -> Option<WalkResult> {
+        self.walk(vpn.base_addr(PageSize::Small))
+    }
+
+    /// Marks the leaf covering `va` accessed (and dirty when `write`).
+    ///
+    /// Returns `false` when the address is unmapped.
+    pub fn mark_accessed(&mut self, va: VirtAddr, write: bool) -> bool {
+        let idx = Self::level_indices(va.vpn(PageSize::Small));
+        let mut node = 0usize;
+        for &i in &idx {
+            match self.nodes[node].entries[i] {
+                Entry::Empty => return false,
+                Entry::Interior(n) => node = n as usize,
+                Entry::Leaf { ppn, mut flags } => {
+                    flags.accessed = true;
+                    flags.dirty |= write;
+                    self.nodes[node].entries[i] = Entry::Leaf { ppn, flags };
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes the mapping covering `va`; returns the removed leaf.
+    pub fn unmap(&mut self, va: VirtAddr) -> Option<WalkResult> {
+        let idx = Self::level_indices(va.vpn(PageSize::Small));
+        let mut node = 0usize;
+        for (level, &i) in idx.iter().enumerate() {
+            match self.nodes[node].entries[i] {
+                Entry::Empty => return None,
+                Entry::Interior(n) => node = n as usize,
+                Entry::Leaf { ppn, flags } => {
+                    self.nodes[node].entries[i] = Entry::Empty;
+                    self.mapped_pages -= 1;
+                    let page_size = if flags.huge {
+                        PageSize::Large
+                    } else {
+                        PageSize::Small
+                    };
+                    return Some(WalkResult {
+                        ppn,
+                        page_size,
+                        flags,
+                        levels_touched: level as u32 + 1,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of live leaf mappings (pages of any size).
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Number of radix nodes allocated (a proxy for table memory).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags() -> PteFlags {
+        PteFlags {
+            present: true,
+            writable: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn map_then_walk_small() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x1234_5000);
+        pt.map(va.vpn(PageSize::Small), Ppn::new(42), PageSize::Small, flags())
+            .unwrap();
+        let w = pt.walk(va).unwrap();
+        assert_eq!(w.ppn, Ppn::new(42));
+        assert_eq!(w.page_size, PageSize::Small);
+        assert_eq!(w.levels_touched, 4);
+        // Neighbouring page is unmapped.
+        assert!(pt.walk(va.offset(4096)).is_none());
+    }
+
+    #[test]
+    fn map_then_walk_large() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x4000_0000); // 2MiB aligned
+        pt.map(va.vpn(PageSize::Large), Ppn::new(3), PageSize::Large, flags())
+            .unwrap();
+        // Any address within the 2MiB region translates.
+        let w = pt.walk(va.offset(0x12_3456)).unwrap();
+        assert_eq!(w.ppn, Ppn::new(3));
+        assert_eq!(w.page_size, PageSize::Large);
+        assert_eq!(w.levels_touched, 3);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new();
+        let vpn = Vpn::new(100);
+        pt.map(vpn, Ppn::new(1), PageSize::Small, flags()).unwrap();
+        assert!(matches!(
+            pt.map(vpn, Ppn::new(2), PageSize::Small, flags()),
+            Err(VmemError::AlreadyMapped(_))
+        ));
+    }
+
+    #[test]
+    fn small_map_under_huge_leaf_rejected() {
+        let mut pt = PageTable::new();
+        let base = VirtAddr::new(0x4000_0000);
+        pt.map(base.vpn(PageSize::Large), Ppn::new(1), PageSize::Large, flags())
+            .unwrap();
+        let inner = base.offset(4096).vpn(PageSize::Small);
+        assert!(matches!(
+            pt.map(inner, Ppn::new(9), PageSize::Small, flags()),
+            Err(VmemError::AlreadyMapped(_))
+        ));
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x8000);
+        pt.map(va.vpn(PageSize::Small), Ppn::new(5), PageSize::Small, flags())
+            .unwrap();
+        assert_eq!(pt.mapped_pages(), 1);
+        let removed = pt.unmap(va).unwrap();
+        assert_eq!(removed.ppn, Ppn::new(5));
+        assert_eq!(pt.mapped_pages(), 0);
+        assert!(pt.walk(va).is_none());
+        assert!(pt.unmap(va).is_none());
+    }
+
+    #[test]
+    fn mark_accessed_sets_flags() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0x9000);
+        pt.map(va.vpn(PageSize::Small), Ppn::new(5), PageSize::Small, flags())
+            .unwrap();
+        assert!(pt.mark_accessed(va, true));
+        let w = pt.walk(va).unwrap();
+        assert!(w.flags.accessed);
+        assert!(w.flags.dirty);
+        assert!(!pt.mark_accessed(VirtAddr::new(0xdead_0000), false));
+    }
+
+    #[test]
+    fn non_present_leaf_misses() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(0xa000);
+        pt.map(
+            va.vpn(PageSize::Small),
+            Ppn::new(5),
+            PageSize::Small,
+            PteFlags::default(),
+        )
+        .unwrap();
+        assert!(pt.walk(va).is_none());
+    }
+
+    #[test]
+    fn distinct_mappings_dont_collide() {
+        let mut pt = PageTable::new();
+        // Map pages that differ only in the level-0 index (stride 512^3).
+        for i in 0..8u64 {
+            let vpn = Vpn::new(i << 27);
+            pt.map(vpn, Ppn::new(i), PageSize::Small, flags()).unwrap();
+        }
+        for i in 0..8u64 {
+            let vpn = Vpn::new(i << 27);
+            assert_eq!(pt.walk_vpn(vpn).unwrap().ppn, Ppn::new(i));
+        }
+        assert_eq!(pt.mapped_pages(), 8);
+    }
+
+    #[test]
+    fn node_count_grows_with_sparse_mappings() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.node_count(), 1);
+        pt.map(Vpn::new(0), Ppn::new(0), PageSize::Small, flags())
+            .unwrap();
+        // Root + 3 interior levels.
+        assert_eq!(pt.node_count(), 4);
+    }
+}

@@ -1,0 +1,476 @@
+//! UVM address spaces with named buffers and first-touch demand paging.
+//!
+//! Workload generators allocate named buffers (`"matrix_a"`, `"csr_row"`,
+//! …) in an [`AddressSpace`] and emit virtual addresses into those buffers.
+//! The space backs pages lazily: the first touch of a page demand-allocates
+//! a physical frame and installs the translation, exactly like UVM demand
+//! paging in the paper's gem5-gpu substrate.
+
+use crate::addr::{PhysAddr, VirtAddr, Vpn};
+use crate::error::VmemError;
+use crate::frame::FrameAllocator;
+use crate::page::PageSize;
+use crate::page_table::{PageTable, PteFlags, WalkResult};
+use std::collections::HashMap;
+
+/// Identifier for an allocated buffer within an [`AddressSpace`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(u32);
+
+impl BufferId {
+    /// Returns the raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A named, contiguous virtual allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Buffer {
+    id: BufferId,
+    name: String,
+    base: VirtAddr,
+    size: u64,
+}
+
+impl Buffer {
+    /// The buffer's identifier.
+    pub fn id(&self) -> BufferId {
+        self.id
+    }
+
+    /// The buffer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The first virtual address of the buffer.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// The buffer length in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Returns the virtual address `offset` bytes into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= size()` — addresses must stay inside the
+    /// allocation.
+    pub fn addr_of(&self, offset: u64) -> VirtAddr {
+        assert!(
+            offset < self.size,
+            "offset {offset:#x} out of bounds for buffer `{}` of size {:#x}",
+            self.name,
+            self.size
+        );
+        self.base.offset(offset)
+    }
+
+    /// Returns `true` when `va` lies inside this buffer.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.base && va.raw() < self.base.raw() + self.size
+    }
+}
+
+/// What happened on a translation request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The page was already backed; no fault.
+    None,
+    /// First touch: a frame was demand-allocated ("far fault" in UVM).
+    DemandPaged,
+}
+
+/// Counters describing demand-paging activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Translations requested through [`AddressSpace::translate_or_fault`].
+    pub translations: u64,
+    /// Demand-paging faults taken (pages backed on first touch).
+    pub demand_faults: u64,
+    /// Total bytes allocated across buffers.
+    pub allocated_bytes: u64,
+}
+
+/// A UVM address space: virtual buffer allocation + lazy physical backing.
+///
+/// The default physical pool is large enough that frame exhaustion never
+/// perturbs the paper's experiments (translation behaviour, not memory
+/// oversubscription, is the object of study); use
+/// [`AddressSpace::with_capacity`] to model a constrained pool.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{AddressSpace, PageSize};
+///
+/// # fn main() -> Result<(), vmem::VmemError> {
+/// let mut space = AddressSpace::new(PageSize::Small);
+/// let a = space.allocate("a", 64 * 1024)?;
+/// let pa1 = space.translate_or_fault(a.addr_of(0))?;
+/// let pa2 = space.translate_or_fault(a.addr_of(8))?;
+/// assert_eq!(pa1.raw() + 8, pa2.raw());
+/// assert_eq!(space.stats().demand_faults, 1); // one page touched
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    page_size: PageSize,
+    page_table: PageTable,
+    frames: FrameAllocator,
+    buffers: Vec<Buffer>,
+    by_name: HashMap<String, BufferId>,
+    /// Next free virtual address for buffer placement.
+    next_va: u64,
+    stats: SpaceStats,
+}
+
+/// Default physical pool: 16 Mi frames = 64 GiB, effectively unbounded for
+/// the scaled workloads.
+const DEFAULT_POOL_FRAMES: u64 = 16 * 1024 * 1024;
+
+/// Buffers are placed starting at 4 GiB and separated by a guard gap so
+/// that out-of-bounds strides fault loudly instead of aliasing.
+const VA_BASE: u64 = 4 << 30;
+
+impl AddressSpace {
+    /// Creates an address space that backs pages of `page_size` on
+    /// demand. Physical frames are handed out in *scrambled* order,
+    /// modeling the fragmentation of a long-running UVM system with
+    /// interleaved CPU/GPU faults (so physically-contiguous runs only
+    /// arise where something actively creates them).
+    pub fn new(page_size: PageSize) -> Self {
+        AddressSpace {
+            page_size,
+            page_table: PageTable::new(),
+            frames: FrameAllocator::new_scrambled(DEFAULT_POOL_FRAMES),
+            buffers: Vec::new(),
+            by_name: HashMap::new(),
+            next_va: VA_BASE,
+            stats: SpaceStats::default(),
+        }
+    }
+
+    /// Creates an address space whose frames are physically sequential in
+    /// first-touch order (an idealized, unfragmented system — the regime
+    /// in which contiguity-based TLB techniques shine).
+    pub fn new_contiguous(page_size: PageSize) -> Self {
+        Self::with_capacity(page_size, DEFAULT_POOL_FRAMES)
+    }
+
+    /// Creates an address space with a bounded physical pool of
+    /// `capacity_frames` 4 KiB frames (sequential frame order).
+    pub fn with_capacity(page_size: PageSize, capacity_frames: u64) -> Self {
+        AddressSpace {
+            page_size,
+            page_table: PageTable::new(),
+            frames: FrameAllocator::new(capacity_frames),
+            buffers: Vec::new(),
+            by_name: HashMap::new(),
+            next_va: VA_BASE,
+            stats: SpaceStats::default(),
+        }
+    }
+
+    /// The translation granularity of this space.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Allocates a named buffer of `size` bytes and returns its handle.
+    ///
+    /// Buffers are aligned to the space's page size and separated by an
+    /// unmapped guard page.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmemError::ZeroSizedAllocation`] when `size == 0`.
+    /// * [`VmemError::DuplicateBuffer`] when `name` is already taken.
+    pub fn allocate(&mut self, name: &str, size: u64) -> Result<Buffer, VmemError> {
+        if size == 0 {
+            return Err(VmemError::ZeroSizedAllocation { name: name.into() });
+        }
+        if self.by_name.contains_key(name) {
+            return Err(VmemError::DuplicateBuffer { name: name.into() });
+        }
+        let id = BufferId(self.buffers.len() as u32);
+        let base = VirtAddr::new(self.next_va).align_up(self.page_size);
+        // Reserve the span plus one guard page.
+        let span = self.page_size.pages_for(size) * self.page_size.bytes();
+        self.next_va = base.raw() + span + self.page_size.bytes();
+        let buffer = Buffer {
+            id,
+            name: name.to_owned(),
+            base,
+            size,
+        };
+        self.buffers.push(buffer.clone());
+        self.by_name.insert(name.to_owned(), id);
+        self.stats.allocated_bytes += size;
+        Ok(buffer)
+    }
+
+    /// Looks up a buffer by name.
+    pub fn buffer(&self, name: &str) -> Option<&Buffer> {
+        self.by_name.get(name).map(|id| &self.buffers[id.0 as usize])
+    }
+
+    /// Looks up a buffer by id.
+    pub fn buffer_by_id(&self, id: BufferId) -> Option<&Buffer> {
+        self.buffers.get(id.0 as usize)
+    }
+
+    /// Iterates over all buffers in allocation order.
+    pub fn buffers(&self) -> impl Iterator<Item = &Buffer> {
+        self.buffers.iter()
+    }
+
+    /// Translates `va`, demand-paging the backing frame on first touch.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmemError::Unmapped`] when `va` lies outside every buffer.
+    /// * [`VmemError::OutOfFrames`] when the physical pool is exhausted.
+    pub fn translate_or_fault(&mut self, va: VirtAddr) -> Result<PhysAddr, VmemError> {
+        self.translate_with_fault_info(va).map(|(pa, _)| pa)
+    }
+
+    /// Like [`translate_or_fault`], also reporting whether a demand fault
+    /// was taken.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`translate_or_fault`].
+    ///
+    /// [`translate_or_fault`]: AddressSpace::translate_or_fault
+    pub fn translate_with_fault_info(
+        &mut self,
+        va: VirtAddr,
+    ) -> Result<(PhysAddr, FaultKind), VmemError> {
+        self.stats.translations += 1;
+        if let Some(walk) = self.page_table.walk(va) {
+            let off = va.page_offset(walk.page_size);
+            return Ok((
+                PhysAddr::from_parts(walk.ppn, off, walk.page_size),
+                FaultKind::None,
+            ));
+        }
+        if !self.is_covered(va) {
+            return Err(VmemError::Unmapped(va));
+        }
+        // Demand-page the frame.
+        let vpn = va.vpn(self.page_size);
+        let ppn = self.frames.allocate(self.page_size)?;
+        self.page_table.map(
+            vpn,
+            ppn,
+            self.page_size,
+            PteFlags {
+                present: true,
+                writable: true,
+                ..Default::default()
+            },
+        )?;
+        self.stats.demand_faults += 1;
+        let off = va.page_offset(self.page_size);
+        Ok((
+            PhysAddr::from_parts(ppn, off, self.page_size),
+            FaultKind::DemandPaged,
+        ))
+    }
+
+    /// Walks the page table without faulting (returns `None` for pages not
+    /// yet touched).
+    pub fn walk(&self, va: VirtAddr) -> Option<WalkResult> {
+        self.page_table.walk(va)
+    }
+
+    /// Pre-faults every page of a buffer (eager backing, used by the
+    /// eager-paging comparison and by tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmemError::OutOfFrames`] from the frame pool.
+    pub fn prefault(&mut self, buffer: &Buffer) -> Result<u64, VmemError> {
+        let mut faulted = 0;
+        let mut va = buffer.base();
+        let end = buffer.base().raw() + buffer.size();
+        while va.raw() < end {
+            let (_, kind) = self.translate_with_fault_info(va)?;
+            if kind == FaultKind::DemandPaged {
+                faulted += 1;
+            }
+            va = va.offset(self.page_size.bytes());
+        }
+        Ok(faulted)
+    }
+
+    /// Returns `true` when `va` falls inside an allocated buffer.
+    pub fn is_covered(&self, va: VirtAddr) -> bool {
+        // Buffers are sorted by base address (monotone allocation), so a
+        // binary search over bases finds the only candidate.
+        let i = self
+            .buffers
+            .partition_point(|b| b.base().raw() <= va.raw());
+        i > 0 && self.buffers[i - 1].contains(va)
+    }
+
+    /// Translation/fault statistics.
+    pub fn stats(&self) -> SpaceStats {
+        self.stats
+    }
+
+    /// Direct access to the underlying page table (for walker models).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Number of distinct virtual pages a buffer spans.
+    pub fn pages_in(&self, buffer: &Buffer) -> u64 {
+        let first = buffer.base().vpn(self.page_size).raw();
+        let last = VirtAddr::new(buffer.base().raw() + buffer.size() - 1)
+            .vpn(self.page_size)
+            .raw();
+        last - first + 1
+    }
+
+    /// The small-page VPN of `va` under this space's page size.
+    pub fn vpn_of(&self, va: VirtAddr) -> Vpn {
+        va.vpn(self.page_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_touch() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let b = s.allocate("buf", 10_000).unwrap();
+        assert_eq!(s.pages_in(&b), 3);
+        let pa = s.translate_or_fault(b.addr_of(0)).unwrap();
+        let pa2 = s.translate_or_fault(b.addr_of(100)).unwrap();
+        assert_eq!(pa.raw() + 100, pa2.raw());
+        assert_eq!(s.stats().demand_faults, 1);
+        // Touch the third page.
+        s.translate_or_fault(b.addr_of(9000)).unwrap();
+        assert_eq!(s.stats().demand_faults, 2);
+    }
+
+    #[test]
+    fn unmapped_addresses_error() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let err = s.translate_or_fault(VirtAddr::new(0x1000)).unwrap_err();
+        assert!(matches!(err, VmemError::Unmapped(_)));
+    }
+
+    #[test]
+    fn guard_gap_between_buffers() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let a = s.allocate("a", 4096).unwrap();
+        let b = s.allocate("b", 4096).unwrap();
+        // One guard page between them.
+        assert!(b.base().raw() >= a.base().raw() + 2 * 4096);
+        // The guard page faults.
+        let guard = VirtAddr::new(a.base().raw() + 4096);
+        assert!(s.translate_or_fault(guard).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        s.allocate("x", 1).unwrap();
+        assert!(matches!(
+            s.allocate("x", 1),
+            Err(VmemError::DuplicateBuffer { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        assert!(matches!(
+            s.allocate("z", 0),
+            Err(VmemError::ZeroSizedAllocation { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let b = s.allocate("named", 8).unwrap();
+        assert_eq!(s.buffer("named").unwrap().id(), b.id());
+        assert_eq!(s.buffer_by_id(b.id()).unwrap().name(), "named");
+        assert!(s.buffer("missing").is_none());
+        assert_eq!(s.buffers().count(), 1);
+    }
+
+    #[test]
+    fn huge_pages_back_2mib_at_a_time() {
+        let mut s = AddressSpace::new(PageSize::Large);
+        let b = s.allocate("big", 3 << 20).unwrap();
+        s.translate_or_fault(b.addr_of(0)).unwrap();
+        s.translate_or_fault(b.addr_of(1 << 20)).unwrap(); // same huge page
+        assert_eq!(s.stats().demand_faults, 1);
+        s.translate_or_fault(b.addr_of(2 << 20)).unwrap(); // second huge page
+        assert_eq!(s.stats().demand_faults, 2);
+    }
+
+    #[test]
+    fn prefault_touches_every_page() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let b = s.allocate("pre", 5 * 4096 + 1).unwrap();
+        let n = s.prefault(&b).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(s.stats().demand_faults, 6);
+        // Second prefault is a no-op.
+        assert_eq!(s.prefault(&b).unwrap(), 0);
+    }
+
+    #[test]
+    fn bounded_pool_exhausts() {
+        let mut s = AddressSpace::with_capacity(PageSize::Small, 2);
+        let b = s.allocate("buf", 3 * 4096).unwrap();
+        s.translate_or_fault(b.addr_of(0)).unwrap();
+        s.translate_or_fault(b.addr_of(4096)).unwrap();
+        assert_eq!(
+            s.translate_or_fault(b.addr_of(2 * 4096)),
+            Err(VmemError::OutOfFrames)
+        );
+    }
+
+    #[test]
+    fn addr_of_panics_out_of_bounds() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let b = s.allocate("buf", 16).unwrap();
+        assert!(std::panic::catch_unwind(|| b.addr_of(16)).is_err());
+    }
+
+    #[test]
+    fn is_covered_matches_buffers() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let a = s.allocate("a", 100).unwrap();
+        let b = s.allocate("b", 100).unwrap();
+        assert!(s.is_covered(a.addr_of(0)));
+        assert!(s.is_covered(a.addr_of(99)));
+        assert!(s.is_covered(b.addr_of(50)));
+        assert!(!s.is_covered(VirtAddr::new(0)));
+        assert!(!s.is_covered(VirtAddr::new(a.base().raw() + 100)));
+    }
+
+    #[test]
+    fn stats_track_allocations_and_translations() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let b = s.allocate("buf", 1234).unwrap();
+        assert_eq!(s.stats().allocated_bytes, 1234);
+        s.translate_or_fault(b.addr_of(0)).unwrap();
+        s.translate_or_fault(b.addr_of(1)).unwrap();
+        assert_eq!(s.stats().translations, 2);
+    }
+}

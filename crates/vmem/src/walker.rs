@@ -1,0 +1,222 @@
+//! Shared page-table-walker pool.
+//!
+//! Table III of the paper configures **8 shared page-table walkers with a
+//! 500-cycle walk latency**. The pool is modeled analytically: each walker
+//! has a next-free cycle; a walk submitted at cycle `t` starts on the
+//! earliest-free walker (no earlier than `t`) and completes a fixed latency
+//! later. Concurrent walks for the *same* VPN coalesce onto the in-flight
+//! walk, as the MSHR-style merging in MASK/gem5-gpu does.
+
+use crate::addr::Vpn;
+use std::collections::HashMap;
+
+/// A submitted walk request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WalkRequest {
+    /// Cycle at which the request reached the walker pool.
+    pub issue_cycle: u64,
+    /// Virtual page being translated.
+    pub vpn: Vpn,
+}
+
+/// Counters describing walker-pool activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalkerStats {
+    /// Walks actually performed by a walker.
+    pub walks: u64,
+    /// Requests that coalesced onto an in-flight walk for the same VPN.
+    pub coalesced: u64,
+    /// Total cycles requests spent waiting for a free walker.
+    pub queue_wait_cycles: u64,
+    /// Maximum observed queue wait for a single request.
+    pub max_queue_wait: u64,
+}
+
+/// A pool of hardware page-table walkers with fixed walk latency.
+///
+/// # Example
+///
+/// ```
+/// use vmem::{Vpn, WalkerPool};
+///
+/// let mut pool = WalkerPool::new(8, 500);
+/// let done = pool.submit(100, Vpn::new(7));
+/// assert_eq!(done, 600);
+/// // A second request for the same page while the walk is in flight
+/// // coalesces and completes at the same time.
+/// assert_eq!(pool.submit(200, Vpn::new(7)), 600);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalkerPool {
+    /// Next-free cycle per walker.
+    free_at: Vec<u64>,
+    latency: u64,
+    /// In-flight walks by VPN -> completion cycle.
+    in_flight: HashMap<Vpn, u64>,
+    stats: WalkerStats,
+}
+
+impl WalkerPool {
+    /// Creates a pool of `walkers` walkers, each walk taking `latency`
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walkers == 0`.
+    pub fn new(walkers: usize, latency: u64) -> Self {
+        assert!(walkers > 0, "walker pool must have at least one walker");
+        WalkerPool {
+            free_at: vec![0; walkers],
+            latency,
+            in_flight: HashMap::new(),
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// Submits a walk at `cycle` and returns its completion cycle.
+    ///
+    /// Requests for a VPN that already has a walk in flight return that
+    /// walk's completion cycle without occupying a walker.
+    pub fn submit(&mut self, cycle: u64, vpn: Vpn) -> u64 {
+        self.submit_with_latency(cycle, vpn, self.latency)
+    }
+
+    /// Like [`WalkerPool::submit`] with an explicit per-walk latency
+    /// (e.g. radix walks whose cost depends on the levels touched).
+    pub fn submit_with_latency(&mut self, cycle: u64, vpn: Vpn, latency: u64) -> u64 {
+        // Drop completed walks from the in-flight map lazily.
+        if self.in_flight.len() > 4 * self.free_at.len() {
+            self.in_flight.retain(|_, done| *done > cycle);
+        }
+        if let Some(&done) = self.in_flight.get(&vpn) {
+            if done > cycle {
+                self.stats.coalesced += 1;
+                return done;
+            }
+        }
+        // Pick the earliest-free walker.
+        let (idx, &start) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .expect("pool is non-empty");
+        let begin = start.max(cycle);
+        let wait = begin - cycle;
+        let done = begin + latency;
+        self.free_at[idx] = done;
+        self.in_flight.insert(vpn, done);
+        self.stats.walks += 1;
+        self.stats.queue_wait_cycles += wait;
+        self.stats.max_queue_wait = self.stats.max_queue_wait.max(wait);
+        done
+    }
+
+    /// Fixed per-walk latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of walkers in the pool.
+    pub fn walkers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WalkerStats {
+        self.stats
+    }
+
+    /// Resets walker occupancy and statistics (keeps configuration).
+    pub fn reset(&mut self) {
+        self.free_at.fill(0);
+        self.in_flight.clear();
+        self.stats = WalkerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_walk_takes_latency() {
+        let mut p = WalkerPool::new(1, 500);
+        assert_eq!(p.submit(0, Vpn::new(1)), 500);
+        assert_eq!(p.stats().walks, 1);
+    }
+
+    #[test]
+    fn pool_parallelism() {
+        let mut p = WalkerPool::new(2, 100);
+        // Two distinct walks at the same cycle proceed in parallel.
+        assert_eq!(p.submit(0, Vpn::new(1)), 100);
+        assert_eq!(p.submit(0, Vpn::new(2)), 100);
+        // Third queues behind one of them.
+        assert_eq!(p.submit(0, Vpn::new(3)), 200);
+        assert_eq!(p.stats().queue_wait_cycles, 100);
+        assert_eq!(p.stats().max_queue_wait, 100);
+    }
+
+    #[test]
+    fn same_vpn_coalesces() {
+        let mut p = WalkerPool::new(8, 500);
+        let d1 = p.submit(10, Vpn::new(42));
+        let d2 = p.submit(20, Vpn::new(42));
+        assert_eq!(d1, d2);
+        assert_eq!(p.stats().walks, 1);
+        assert_eq!(p.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn completed_walk_does_not_coalesce() {
+        let mut p = WalkerPool::new(8, 500);
+        let d1 = p.submit(0, Vpn::new(42));
+        let d2 = p.submit(d1 + 1, Vpn::new(42));
+        assert_eq!(d2, d1 + 1 + 500);
+        assert_eq!(p.stats().walks, 2);
+    }
+
+    #[test]
+    fn eight_walkers_saturate_like_paper_config() {
+        let mut p = WalkerPool::new(8, 500);
+        // 16 distinct walks at cycle 0: first 8 finish at 500, next 8 at 1000.
+        let mut completions: Vec<u64> = (0..16).map(|i| p.submit(0, Vpn::new(i))).collect();
+        completions.sort_unstable();
+        assert_eq!(&completions[..8], &[500; 8]);
+        assert_eq!(&completions[8..], &[1000; 8]);
+    }
+
+    #[test]
+    fn explicit_latency_overrides_default() {
+        let mut p = WalkerPool::new(2, 500);
+        assert_eq!(p.submit_with_latency(0, Vpn::new(1), 50), 50);
+        assert_eq!(p.submit(0, Vpn::new(2)), 500);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = WalkerPool::new(1, 500);
+        p.submit(0, Vpn::new(1));
+        p.reset();
+        assert_eq!(p.stats(), WalkerStats::default());
+        assert_eq!(p.submit(0, Vpn::new(1)), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walker")]
+    fn zero_walkers_rejected() {
+        let _ = WalkerPool::new(0, 500);
+    }
+
+    #[test]
+    fn in_flight_map_pruned() {
+        let mut p = WalkerPool::new(1, 10);
+        for i in 0..1000u64 {
+            p.submit(i * 100, Vpn::new(i));
+        }
+        // Lazy pruning keeps the map bounded (4x walker count threshold
+        // triggers a retain; afterwards only live walks remain).
+        assert!(p.in_flight.len() <= 8);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the vmem substrate.
+
+use proptest::prelude::*;
+use vmem::{
+    AddressSpace, FrameAllocator, PageSize, PageTable, PhysAddr, Ppn, PteFlags, VirtAddr, Vpn,
+    WalkerPool,
+};
+
+fn present() -> PteFlags {
+    PteFlags {
+        present: true,
+        writable: true,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    /// Splitting an address into (vpn, offset) and recombining is identity
+    /// for both page sizes.
+    #[test]
+    fn addr_split_roundtrip(raw in 0u64..(1 << 48), large in any::<bool>()) {
+        let size = if large { PageSize::Large } else { PageSize::Small };
+        let va = VirtAddr::new(raw);
+        let rebuilt = VirtAddr::from_parts(va.vpn(size), va.page_offset(size), size);
+        prop_assert_eq!(rebuilt, va);
+        let pa = PhysAddr::new(raw);
+        let rebuilt = PhysAddr::from_parts(pa.ppn(size), pa.page_offset(size), size);
+        prop_assert_eq!(rebuilt, pa);
+    }
+
+    /// align_down <= addr <= align_up, both aligned, within one page.
+    #[test]
+    fn alignment_invariants(raw in 0u64..(1 << 47)) {
+        let size = PageSize::Small;
+        let va = VirtAddr::new(raw);
+        let down = va.align_down(size);
+        let up = va.align_up(size);
+        prop_assert!(down <= va);
+        prop_assert!(up >= va);
+        prop_assert!(down.is_aligned(size));
+        prop_assert!(up.is_aligned(size));
+        prop_assert!(up.raw() - down.raw() <= size.bytes());
+    }
+
+    /// Page-table map/walk agree on arbitrary sparse VPN sets; unmapped
+    /// VPNs miss.
+    #[test]
+    fn page_table_map_walk_agree(vpns in proptest::collection::hash_set(0u64..(1 << 36), 1..50)) {
+        let mut pt = PageTable::new();
+        let vpns: Vec<u64> = vpns.into_iter().collect();
+        for (i, &v) in vpns.iter().enumerate() {
+            pt.map(Vpn::new(v), Ppn::new(i as u64), PageSize::Small, present()).unwrap();
+        }
+        for (i, &v) in vpns.iter().enumerate() {
+            let w = pt.walk_vpn(Vpn::new(v)).expect("mapped page walks");
+            prop_assert_eq!(w.ppn, Ppn::new(i as u64));
+            prop_assert_eq!(w.levels_touched, 4);
+        }
+        prop_assert_eq!(pt.mapped_pages(), vpns.len() as u64);
+        // A vpn not in the set misses.
+        let absent = vpns.iter().max().unwrap() + 1;
+        prop_assert!(pt.walk_vpn(Vpn::new(absent)).is_none());
+    }
+
+    /// Frame allocator never returns the same live frame twice.
+    #[test]
+    fn frames_unique_while_live(n in 1u64..200) {
+        let mut fa = FrameAllocator::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let p = fa.allocate(PageSize::Small).unwrap();
+            prop_assert!(seen.insert(p));
+        }
+        prop_assert!(fa.allocate(PageSize::Small).is_err());
+    }
+
+    /// Demand paging is idempotent: re-translation returns the same frame,
+    /// and offsets within a page are preserved.
+    #[test]
+    fn translation_stable(offsets in proptest::collection::vec(0u64..65536, 1..40)) {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let b = s.allocate("buf", 65536).unwrap();
+        let mut first: std::collections::HashMap<u64, u64> = Default::default();
+        for &off in &offsets {
+            let pa = s.translate_or_fault(b.addr_of(off)).unwrap();
+            let page = off / 4096;
+            let frame = pa.ppn(PageSize::Small).raw();
+            prop_assert_eq!(pa.page_offset(PageSize::Small), off % 4096);
+            if let Some(&f) = first.get(&page) {
+                prop_assert_eq!(frame, f);
+            } else {
+                first.insert(page, frame);
+            }
+        }
+        // Fault count equals the number of distinct pages touched.
+        prop_assert_eq!(s.stats().demand_faults, first.len() as u64);
+    }
+
+    /// Walker pool: completion is never before issue + latency and walkers
+    /// are conserved (no more than `w` walks overlap).
+    #[test]
+    fn walker_pool_conserves_walkers(
+        w in 1usize..8,
+        lat in 1u64..600,
+        reqs in proptest::collection::vec((0u64..10_000, 0u64..64), 1..100),
+    ) {
+        let mut pool = WalkerPool::new(w, lat);
+        let mut reqs = reqs;
+        reqs.sort_by_key(|&(c, _)| c);
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for &(cycle, vpn) in &reqs {
+            let done = pool.submit(cycle, Vpn::new(vpn));
+            // A coalesced request may ride an in-flight walk and finish in
+            // fewer than `lat` cycles, but never before its own issue.
+            prop_assert!(done > cycle);
+            intervals.push((done - lat, done));
+        }
+        // Check max overlap of actual walks <= w: coalesced requests share
+        // intervals, which dedup removes.
+        intervals.sort_unstable();
+        intervals.dedup();
+        for &(start, _) in &intervals {
+            let overlapping = intervals
+                .iter()
+                .filter(|&&(s, e)| s <= start && start < e)
+                .count();
+            prop_assert!(overlapping <= w, "{} walks overlap with {} walkers", overlapping, w);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Extension workloads: machine-learning kernels.
+//!
+//! The paper's §IV-B defers counter/threshold exploration "to our future
+//! work with other applications (e.g., machine learning and deep learning
+//! applications)". These two generators provide that workload class:
+//!
+//! * [`embedding`] — embedding-table lookups (recommendation-model style):
+//!   every warp gathers a batch of table rows selected by a skewed
+//!   (Zipf-like) id distribution over a multi-megabyte table. The access
+//!   pattern is the extreme version of the graph benchmarks' gathers:
+//!   enormous page footprint, hot-row skew, no stride structure.
+//! * [`mlp`] — a three-layer MLP forward pass: a chain of tiled
+//!   matrix-multiply kernels with shrinking dimensions, i.e. gemm-like
+//!   locality with cross-kernel weight reuse.
+//!
+//! Both are *extensions* — they are not part of the paper's Table II and
+//! are exposed through [`crate::extended_registry`] rather than
+//! [`crate::registry`].
+
+use crate::gen::{elem_addr, ELEM};
+use crate::scale::Scale;
+use crate::trace::{KernelTrace, LaneAccesses, TbTrace, WarpOp, LANES_PER_WARP};
+use crate::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vmem::{AddressSpace, PageSize, VirtAddr};
+
+/// Threads per TB for the embedding kernel (2 warps).
+const EMB_TB_THREADS: usize = 64;
+
+/// Bytes per embedding row (a 16-float embedding vector).
+const EMB_ROW_BYTES: u64 = 64;
+
+/// Table rows and lookups per scale.
+fn embedding_dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        // (table rows, lookups per thread)
+        Scale::Test => (1 << 12, 8),
+        Scale::Small => (1 << 16, 16),
+        Scale::Paper => (1 << 16, 16),
+    }
+}
+
+/// Generates the `embedding` extension workload.
+///
+/// Each thread performs `lookups` gathers from the table at Zipf-skewed
+/// row ids and accumulates into an output vector (one row per thread).
+pub fn embedding(scale: Scale, seed: u64, page_size: PageSize) -> Workload {
+    let (rows, lookups) = embedding_dims(scale);
+    // Enough samples that TB dispatch continues long after every SM is
+    // saturated (the regime where TB scheduling policies act).
+    let batch = rows / 2;
+    let mut space = AddressSpace::new(page_size);
+    let table = space
+        .allocate("emb_table", rows as u64 * EMB_ROW_BYTES)
+        .expect("fresh space");
+    let out = space
+        .allocate("emb_out", batch as u64 * EMB_ROW_BYTES)
+        .expect("fresh space");
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xe3b);
+    let warps_per_tb = EMB_TB_THREADS / LANES_PER_WARP;
+    let num_tbs = batch.div_ceil(EMB_TB_THREADS);
+    let mut tbs = Vec::with_capacity(num_tbs);
+    for tb_idx in 0..num_tbs {
+        let mut tb = TbTrace::with_warps(warps_per_tb);
+        for w in 0..warps_per_tb {
+            let t0 = tb_idx * EMB_TB_THREADS + w * LANES_PER_WARP;
+            if t0 >= batch {
+                break;
+            }
+            let lanes = LANES_PER_WARP.min(batch - t0);
+            let warp = tb.warp_mut(w);
+            for _ in 0..lookups {
+                // One gathered row per lane, Zipf-skewed toward row 0
+                // (hot embeddings), cubing a uniform variate.
+                let addrs: Vec<VirtAddr> = (0..lanes)
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        let row = ((rows as f64) * u * u * u) as u64;
+                        table.addr_of(row.min(rows as u64 - 1) * EMB_ROW_BYTES)
+                    })
+                    .collect();
+                warp.push(WarpOp::Load(LaneAccesses::Gather(addrs)));
+                warp.push(WarpOp::Compute { cycles: 8 });
+            }
+            warp.push(WarpOp::Store(LaneAccesses::Strided {
+                base: out.addr_of(t0 as u64 * EMB_ROW_BYTES),
+                stride: EMB_ROW_BYTES as i64,
+                active_lanes: lanes as u8,
+            }));
+        }
+        tbs.push(tb);
+    }
+    let kernel = KernelTrace {
+        name: "embedding_lookup".into(),
+        tbs,
+        max_concurrent_tbs_per_sm: 16,
+        threads_per_tb: EMB_TB_THREADS as u32,
+    };
+    Workload::new("embedding", vec![kernel], space)
+}
+
+/// MLP layer widths per scale (input → h1 → h2 → output).
+fn mlp_dims(scale: Scale) -> [usize; 4] {
+    match scale {
+        Scale::Test => [64, 64, 32, 16],
+        Scale::Small => [256, 256, 128, 64],
+        Scale::Paper => [256, 256, 128, 64],
+    }
+}
+
+/// Tile edge for the MLP's gemm kernels.
+const TILE: usize = 16;
+
+/// Emits one tiled `C[b][o] = Σ_i X[b][i] * W[i][o]` layer kernel.
+fn layer_kernel(
+    name: &str,
+    x: &vmem::Buffer,
+    w: &vmem::Buffer,
+    y: &vmem::Buffer,
+    batch: usize,
+    in_dim: usize,
+    out_dim: usize,
+) -> KernelTrace {
+    let bt = batch.div_ceil(TILE);
+    let ot = out_dim.div_ceil(TILE);
+    let kt = in_dim.div_ceil(TILE);
+    let mut tbs = Vec::with_capacity(bt * ot);
+    for tb_b in 0..bt {
+        for tb_o in 0..ot {
+            let mut tb = TbTrace::with_warps(TILE * TILE / LANES_PER_WARP);
+            for wi in 0..(TILE * TILE / LANES_PER_WARP) {
+                let warp = tb.warp_mut(wi);
+                let r0 = tb_b * TILE + 2 * wi;
+                for kk in 0..kt {
+                    let k0 = kk * TILE;
+                    for r in [r0, r0 + 1] {
+                        if r >= batch {
+                            continue;
+                        }
+                        warp.push(WarpOp::Load(LaneAccesses::contiguous(
+                            elem_addr(x, (r * in_dim + k0) as u64),
+                            ELEM,
+                            TILE.min(in_dim - k0) as u8,
+                        )));
+                    }
+                    for kr in [k0 + 2 * wi, k0 + 2 * wi + 1] {
+                        if kr >= in_dim {
+                            continue;
+                        }
+                        warp.push(WarpOp::Load(LaneAccesses::contiguous(
+                            elem_addr(w, (kr * out_dim + tb_o * TILE) as u64),
+                            ELEM,
+                            TILE.min(out_dim - tb_o * TILE) as u8,
+                        )));
+                    }
+                    warp.push(WarpOp::Compute { cycles: 16 });
+                }
+                for r in [r0, r0 + 1] {
+                    if r >= batch {
+                        continue;
+                    }
+                    warp.push(WarpOp::Store(LaneAccesses::contiguous(
+                        elem_addr(y, (r * out_dim + tb_o * TILE) as u64),
+                        ELEM,
+                        TILE.min(out_dim - tb_o * TILE) as u8,
+                    )));
+                }
+            }
+            tbs.push(tb);
+        }
+    }
+    KernelTrace {
+        name: name.into(),
+        tbs,
+        max_concurrent_tbs_per_sm: 4,
+        threads_per_tb: (TILE * TILE) as u32,
+    }
+}
+
+/// Generates the `mlp` extension workload: three dense layers over a
+/// batch equal to the first layer's width.
+pub fn mlp(scale: Scale, _seed: u64, page_size: PageSize) -> Workload {
+    let [d0, d1, d2, d3] = mlp_dims(scale);
+    let batch = d0;
+    let mut space = AddressSpace::new(page_size);
+    let act = |space: &mut AddressSpace, name: &str, n: usize| {
+        space
+            .allocate(name, (batch * n) as u64 * ELEM as u64)
+            .expect("fresh space")
+    };
+    let x0 = act(&mut space, "mlp_x0", d0);
+    let x1 = act(&mut space, "mlp_x1", d1);
+    let x2 = act(&mut space, "mlp_x2", d2);
+    let x3 = act(&mut space, "mlp_x3", d3);
+    let w1 = space
+        .allocate("mlp_w1", (d0 * d1) as u64 * ELEM as u64)
+        .expect("fresh space");
+    let w2 = space
+        .allocate("mlp_w2", (d1 * d2) as u64 * ELEM as u64)
+        .expect("fresh space");
+    let w3 = space
+        .allocate("mlp_w3", (d2 * d3) as u64 * ELEM as u64)
+        .expect("fresh space");
+    let kernels = vec![
+        layer_kernel("mlp_layer1", &x0, &w1, &x1, batch, d0, d1),
+        layer_kernel("mlp_layer2", &x1, &w2, &x2, batch, d1, d2),
+        layer_kernel("mlp_layer3", &x2, &w3, &x3, batch, d2, d3),
+    ];
+    Workload::new("mlp", kernels, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_generates_valid_addresses() {
+        let wl = embedding(Scale::Test, 42, PageSize::Small);
+        assert_eq!(wl.kernels().len(), 1);
+        for tb in &wl.kernels()[0].tbs {
+            for va in tb.all_addresses() {
+                assert!(wl.space().is_covered(va));
+            }
+        }
+        assert!(wl.total_warp_ops() > 0);
+    }
+
+    #[test]
+    fn embedding_is_skewed_toward_hot_rows() {
+        let wl = embedding(Scale::Test, 42, PageSize::Small);
+        let table = wl.space().buffer("emb_table").unwrap();
+        let mut page_counts: std::collections::HashMap<u64, u64> = Default::default();
+        for tb in &wl.kernels()[0].tbs {
+            for va in tb.all_addresses().filter(|a| table.contains(*a)) {
+                *page_counts.entry(va.raw() >> 12).or_default() += 1;
+            }
+        }
+        let total: u64 = page_counts.values().sum();
+        let max = page_counts.values().max().copied().unwrap_or(0);
+        assert!(
+            max as f64 > total as f64 / page_counts.len() as f64 * 4.0,
+            "Zipf skew should concentrate accesses on hot pages"
+        );
+    }
+
+    #[test]
+    fn embedding_deterministic_per_seed() {
+        let a = embedding(Scale::Test, 1, PageSize::Small);
+        let b = embedding(Scale::Test, 1, PageSize::Small);
+        assert_eq!(a.kernels()[0].tbs, b.kernels()[0].tbs);
+        let c = embedding(Scale::Test, 2, PageSize::Small);
+        assert_ne!(a.kernels()[0].tbs, c.kernels()[0].tbs);
+    }
+
+    #[test]
+    fn mlp_chains_three_layers() {
+        let wl = mlp(Scale::Test, 42, PageSize::Small);
+        assert_eq!(wl.kernels().len(), 3);
+        let [d0, d1, ..] = mlp_dims(Scale::Test);
+        assert_eq!(
+            wl.kernels()[0].tbs.len(),
+            d0.div_ceil(TILE) * d1.div_ceil(TILE)
+        );
+        for k in wl.kernels() {
+            for tb in &k.tbs {
+                for va in tb.all_addresses() {
+                    assert!(wl.space().is_covered(va), "{}: {va}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_layers_share_activation_pages() {
+        // Layer 2 reads what layer 1 wrote.
+        let wl = mlp(Scale::Test, 42, PageSize::Small);
+        let pages = |k: usize| -> std::collections::HashSet<u64> {
+            wl.kernels()[k]
+                .tbs
+                .iter()
+                .flat_map(|tb| tb.all_addresses())
+                .map(|a| a.raw() >> 12)
+                .collect()
+        };
+        assert!(!pages(0).is_disjoint(&pages(1)));
+        assert!(!pages(1).is_disjoint(&pages(2)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Benchmark trace generators (Table II).
+//!
+//! One module per access-pattern family:
+//!
+//! * [`gemm`] — tiled dense matrix multiply (PolyBench `gemm`).
+//! * [`linalg`] — the matrix-vector family `atax`, `bicg`, `mvt`
+//!   (PolyBench): row-striding and column-contiguous sweeps with heavily
+//!   reused vectors.
+//! * [`conv3d`] — 3D stencil (PolyBench `3dconv`).
+//! * [`nw`] — Needleman-Wunsch wavefront DP (Rodinia `nw`).
+//! * [`graph`] — CSR traversal kernels over a power-law graph: `bfs`
+//!   (Rodinia) and `color`, `mis`, `pagerank` (Pannotia).
+//! * [`ml`] — *extension* workloads beyond Table II: embedding-table
+//!   lookups and an MLP forward pass (the ML/DL application class the
+//!   paper's future work names).
+//!
+//! All generators are deterministic in `(Scale, seed)`.
+
+pub mod conv3d;
+pub mod gemm;
+pub mod graph;
+pub mod linalg;
+pub mod ml;
+pub mod nw;
+
+use vmem::{Buffer, VirtAddr};
+
+/// Byte width of the f32/u32 elements used by every benchmark.
+pub(crate) const ELEM: u32 = 4;
+
+/// The virtual address of element `idx` in `buf` (4-byte elements).
+pub(crate) fn elem_addr(buf: &Buffer, idx: u64) -> VirtAddr {
+    buf.addr_of(idx * ELEM as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmem::{AddressSpace, PageSize};
+
+    #[test]
+    fn elem_addr_scales_by_element_size() {
+        let mut s = AddressSpace::new(PageSize::Small);
+        let b = s.allocate("v", 64).unwrap();
+        assert_eq!(elem_addr(&b, 0), b.base());
+        assert_eq!(elem_addr(&b, 3).raw(), b.base().raw() + 12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests over the workload generators: every generated
+//! trace must satisfy the structural invariants the simulator relies on.
+
+use proptest::prelude::*;
+use workloads::{extended_registry, LaneAccesses, Scale, WarpOp, LANES_PER_WARP};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any benchmark and seed: all addresses stay inside allocated
+    /// buffers, lane counts never exceed the warp width, compute ops have
+    /// non-zero latency, and the TB concurrency hint respects the
+    /// hardware cap.
+    #[test]
+    fn generated_traces_are_well_formed(bench_idx in 0usize..12, seed in 0u64..1000) {
+        let spec = &extended_registry()[bench_idx];
+        let wl = spec.generate(Scale::Test, seed);
+        prop_assert!(!wl.kernels().is_empty(), "{}", spec.name);
+        for kernel in wl.kernels() {
+            prop_assert!(kernel.max_concurrent_tbs_per_sm >= 1);
+            prop_assert!(kernel.max_concurrent_tbs_per_sm <= 16);
+            prop_assert!(kernel.threads_per_tb >= 32);
+            for tb in &kernel.tbs {
+                for warp in tb.warps() {
+                    for op in warp.ops() {
+                        match op {
+                            WarpOp::Compute { cycles } => prop_assert!(*cycles > 0),
+                            WarpOp::Load(acc) | WarpOp::Store(acc) => {
+                                let n = acc.lane_count();
+                                prop_assert!(n >= 1 && n <= LANES_PER_WARP);
+                                for va in acc.addresses() {
+                                    prop_assert!(
+                                        wl.space().is_covered(va),
+                                        "{}: {va} outside buffers",
+                                        spec.name
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generation is a pure function of (scale, seed).
+    #[test]
+    fn generation_is_deterministic(bench_idx in 0usize..12, seed in 0u64..100) {
+        let spec = &extended_registry()[bench_idx];
+        let a = spec.generate(Scale::Test, seed);
+        let b = spec.generate(Scale::Test, seed);
+        prop_assert_eq!(a.total_warp_ops(), b.total_warp_ops());
+        prop_assert_eq!(a.footprint_bytes(), b.footprint_bytes());
+        for (ka, kb) in a.kernels().iter().zip(b.kernels()) {
+            prop_assert_eq!(&ka.name, &kb.name);
+            prop_assert_eq!(&ka.tbs, &kb.tbs);
+        }
+    }
+
+    /// Strided lane accesses enumerate exactly `active_lanes` addresses
+    /// with the declared stride, for arbitrary parameters.
+    #[test]
+    fn strided_access_enumeration(
+        base in 0u64..(1 << 40),
+        stride in -4096i64..4096,
+        lanes in 1u8..=32,
+    ) {
+        // Keep addresses positive.
+        prop_assume!(base as i64 + stride * 32 > 0);
+        let acc = LaneAccesses::Strided {
+            base: vmem::VirtAddr::new(base),
+            stride,
+            active_lanes: lanes,
+        };
+        let addrs: Vec<u64> = acc.addresses().map(|a| a.raw()).collect();
+        prop_assert_eq!(addrs.len(), lanes as usize);
+        for (i, &a) in addrs.iter().enumerate() {
+            prop_assert_eq!(a as i64, base as i64 + stride * i as i64);
+        }
+    }
+}

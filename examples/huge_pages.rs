@@ -1,0 +1,66 @@
+//! The paper's Section V huge-page study: rerun the evaluation with 2 MiB
+//! pages instead of 4 KiB and combine the proposal with huge pages.
+//!
+//! ```text
+//! cargo run --release --example huge_pages
+//! ```
+
+use orchestrated_tlb_repro::gpu_sim::GpuConfig;
+use orchestrated_tlb_repro::orchestrated_tlb::{run_benchmark_with_page_size, Mechanism};
+use orchestrated_tlb_repro::vmem::PageSize;
+use orchestrated_tlb_repro::workloads::{registry, Scale};
+
+fn main() {
+    println!(
+        "{:<10} {:>12} {:>12} {:>16}",
+        "bench", "hit 4KiB", "hit 2MiB", "ours@2MiB time"
+    );
+    let mut geo = 0.0f64;
+    let mut n = 0;
+    for spec in registry() {
+        let small = run_benchmark_with_page_size(
+            &spec,
+            Scale::Small,
+            42,
+            Mechanism::Baseline,
+            GpuConfig::dac23_baseline(),
+            PageSize::Small,
+        );
+        let huge = run_benchmark_with_page_size(
+            &spec,
+            Scale::Small,
+            42,
+            Mechanism::Baseline,
+            GpuConfig::dac23_baseline(),
+            PageSize::Large,
+        );
+        let ours_huge = run_benchmark_with_page_size(
+            &spec,
+            Scale::Small,
+            42,
+            Mechanism::Full,
+            GpuConfig::dac23_baseline(),
+            PageSize::Large,
+        );
+        let norm = ours_huge.normalized_time(&huge);
+        geo += norm.ln();
+        n += 1;
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>16.3}",
+            spec.name,
+            small.l1_tlb_hit_rate() * 100.0,
+            huge.l1_tlb_hit_rate() * 100.0,
+            norm
+        );
+    }
+    let g = (geo / n as f64).exp();
+    println!(
+        "\ngeomean time of ours vs baseline, both with 2 MiB pages: {:.3} ({:+.1}%)",
+        g,
+        (g - 1.0) * 100.0
+    );
+    println!(
+        "paper reference: huge pages raise hit rates substantially on their own; \
+         the proposal adds ~2.1% on top (vs ~12.5% at 4 KiB)"
+    );
+}

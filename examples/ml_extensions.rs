@@ -1,0 +1,86 @@
+//! Exercises the reproduction's extensions beyond the paper's evaluation:
+//! the ML workloads (embedding lookup, MLP) that the paper's future work
+//! names, the TB-throttling scheduler (§IV-A extension), and
+//! translation-reuse-aware warp scheduling (§VII future work).
+//!
+//! ```text
+//! cargo run --release --example ml_extensions
+//! ```
+
+use orchestrated_tlb_repro::gpu_sim::{GpuConfig, Simulator, WarpScheduler};
+use orchestrated_tlb_repro::orchestrated_tlb::{
+    run_benchmark, Mechanism, TbClusteredWarpScheduler, ThrottlingTlbAwareScheduler,
+};
+use orchestrated_tlb_repro::workloads::{extended_registry, Scale};
+
+fn main() {
+    println!("== ML extension workloads under the paper's mechanisms ==\n");
+    for name in ["embedding", "mlp"] {
+        let spec = extended_registry()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("extension workload registered");
+        let base = run_benchmark(
+            &spec,
+            Scale::Small,
+            42,
+            Mechanism::Baseline,
+            GpuConfig::dac23_baseline(),
+        );
+        let full = run_benchmark(
+            &spec,
+            Scale::Small,
+            42,
+            Mechanism::Full,
+            GpuConfig::dac23_baseline(),
+        );
+        println!(
+            "{:<10} baseline: hit {:>5.1}%  |  full proposal: hit {:>5.1}%, time {:.3}",
+            name,
+            base.l1_tlb_hit_rate() * 100.0,
+            full.l1_tlb_hit_rate() * 100.0,
+            full.normalized_time(&base),
+        );
+    }
+
+    println!("\n== TB throttling (§IV-A extension) on embedding ==\n");
+    let spec = extended_registry()
+        .into_iter()
+        .find(|s| s.name == "embedding")
+        .expect("registered");
+    let plain = Simulator::new(GpuConfig::dac23_baseline()).run(spec.generate(Scale::Small, 42));
+    for threshold in [0.6, 0.9] {
+        let r = Simulator::new(GpuConfig::dac23_baseline())
+            .with_tb_scheduler(Box::new(ThrottlingTlbAwareScheduler::new(threshold)))
+            .run(spec.generate(Scale::Small, 42));
+        println!(
+            "throttle @ {threshold:.1}: hit {:>5.1}% (round-robin: {:>5.1}%), time {:.3}",
+            r.l1_tlb_hit_rate() * 100.0,
+            plain.l1_tlb_hit_rate() * 100.0,
+            r.normalized_time(&plain),
+        );
+    }
+
+    println!("\n== TB-clustered warp scheduling (§VII future work) on mlp ==\n");
+    let spec = extended_registry()
+        .into_iter()
+        .find(|s| s.name == "mlp")
+        .expect("registered");
+    let gto = Simulator::new(GpuConfig::dac23_baseline()).run(spec.generate(Scale::Small, 42));
+    let clustered = Simulator::new(GpuConfig::dac23_baseline())
+        .with_warp_scheduler_factory(Box::new(|| {
+            Box::new(TbClusteredWarpScheduler::new()) as Box<dyn WarpScheduler>
+        }))
+        .run(spec.generate(Scale::Small, 42));
+    println!(
+        "gto:          hit {:>5.1}%  cycles {}",
+        gto.l1_tlb_hit_rate() * 100.0,
+        gto.total_cycles
+    );
+    println!(
+        "tb-clustered: hit {:>5.1}%  cycles {} ({:+.1}%)",
+        clustered.l1_tlb_hit_rate() * 100.0,
+        clustered.total_cycles,
+        (clustered.normalized_time(&gto) - 1.0) * 100.0
+    );
+}

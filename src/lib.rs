@@ -1,0 +1,27 @@
+//! # orchestrated-tlb-repro — umbrella crate
+//!
+//! Re-exports the whole reproduction of Li, Wang & Tang, *Orchestrated
+//! Scheduling and Partitioning for Improved Address Translation in GPUs*
+//! (DAC 2023), so examples and downstream users need a single dependency.
+//!
+//! * [`vmem`] — UVM substrate (addresses, page tables, demand paging,
+//!   walker pool).
+//! * [`tlb`] — TLB organizations (baseline set-associative, PACT'20
+//!   compression).
+//! * [`workloads`] — the ten Table II benchmark trace generators.
+//! * [`gpu_sim`] — the cycle-level GPU timing simulator.
+//! * [`orchestrated_tlb`] — the paper's contribution: TLB-aware TB
+//!   scheduling + TB-id-partitioned L1 TLB with dynamic set sharing.
+//! * [`analysis`] — reuse-intensity and reuse-distance characterization.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use gpu_sim;
+pub use orchestrated_tlb;
+pub use tlb;
+pub use vmem;
+pub use workloads;

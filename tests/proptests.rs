@@ -1,0 +1,109 @@
+//! Cross-crate property-based tests: the partitioned TLB is validated
+//! against a reference model, and whole simulations are checked for
+//! conservation invariants under random mechanism/benchmark choices.
+
+use orchestrated_tlb_repro::gpu_sim::GpuConfig;
+use orchestrated_tlb_repro::orchestrated_tlb::{
+    run_benchmark, Mechanism, PartitionedTlb, PartitionedTlbConfig, SharingPolicy,
+};
+use orchestrated_tlb_repro::tlb::{TlbConfig, TlbRequest, TranslationBuffer};
+use orchestrated_tlb_repro::vmem::{Ppn, Vpn};
+use orchestrated_tlb_repro::workloads::{registry, Scale};
+use proptest::prelude::*;
+
+proptest! {
+    /// The partitioned TLB never returns a wrong translation, for any
+    /// interleaving of lookups/inserts from any mix of TB slots, with and
+    /// without sharing.
+    #[test]
+    fn partitioned_tlb_hits_are_always_correct(
+        sharing in any::<bool>(),
+        tbs in 1u8..16,
+        ops in proptest::collection::vec((0u8..16, 0u64..128), 1..400),
+    ) {
+        // Translations are a pure function of the page (as in the
+        // simulator: a page's frame never changes during a run), so every
+        // hit from every slot must agree with it.
+        let ppn_of = |vpn: u64| Ppn::new(vpn.wrapping_mul(2654435761) % 100_000);
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::dac23_l1(),
+            sharing: if sharing {
+                SharingPolicy::Adjacent
+            } else {
+                SharingPolicy::None
+            },
+            ..PartitionedTlbConfig::with_sharing()
+        });
+        t.set_concurrent_tbs(tbs);
+        for &(slot, vpn) in &ops {
+            let slot = slot % tbs;
+            let req = TlbRequest::new(Vpn::new(vpn), slot);
+            t.insert(&req, ppn_of(vpn));
+            // Any hit, from any slot, must return the page's frame.
+            for probe in 0..tbs {
+                let out = t.lookup(&TlbRequest::new(Vpn::new(vpn), probe));
+                if out.hit {
+                    prop_assert_eq!(out.ppn, Some(ppn_of(vpn)),
+                        "slot {} probing vpn {}", probe, vpn);
+                }
+            }
+        }
+        prop_assert!(t.occupancy() <= 64);
+    }
+
+    /// Without sharing, a translation inserted by one TB is invisible to
+    /// TBs with disjoint set groups.
+    #[test]
+    fn partition_isolation(vpn in 0u64..100_000, a in 0u8..16, b in 0u8..16) {
+        prop_assume!(a != b);
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            sharing: SharingPolicy::None,
+            ..PartitionedTlbConfig::partition_only()
+        });
+        t.set_concurrent_tbs(16); // one set each: groups disjoint
+        t.insert(&TlbRequest::new(Vpn::new(vpn), a), Ppn::new(1));
+        prop_assert!(t.lookup(&TlbRequest::new(Vpn::new(vpn), a)).hit);
+        prop_assert!(!t.lookup(&TlbRequest::new(Vpn::new(vpn), b)).hit);
+    }
+
+    /// Lookup latency grows with the number of probed sets and never
+    /// exceeds geometry sets + neighbour sets.
+    #[test]
+    fn lookup_latency_bounds(tbs in 1u8..16, vpn in 0u64..1000) {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig::with_sharing());
+        t.set_concurrent_tbs(tbs);
+        let out = t.lookup(&TlbRequest::new(Vpn::new(vpn), 0));
+        let sets = 16usize;
+        let own = sets / tbs as usize + usize::from(sets % tbs as usize != 0);
+        prop_assert!(out.latency >= 1);
+        prop_assert!(
+            out.latency <= 2 * own as u64 + 1,
+            "latency {} for {} tbs", out.latency, tbs
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whole-simulation conservation: for a random benchmark and
+    /// mechanism, instructions issued equal the static trace's ops, TLB
+    /// accesses are bounded by transactions, and every TB is placed once.
+    #[test]
+    fn simulation_conservation(bench_idx in 0usize..10, mech_idx in 0usize..8) {
+        let spec = &registry()[bench_idx];
+        let mech = Mechanism::all()[mech_idx];
+        let wl = spec.generate(Scale::Test, 7);
+        let total_ops = wl.total_warp_ops() as u64;
+        let total_tbs: u32 = wl.kernels().iter().map(|k| k.tbs.len() as u32).sum();
+        drop(wl);
+        let r = run_benchmark(spec, Scale::Test, 7, mech, GpuConfig::dac23_baseline());
+        prop_assert_eq!(r.instructions, total_ops, "{}/{}", spec.name, mech);
+        prop_assert_eq!(r.tb_placements.iter().sum::<u32>(), total_tbs);
+        let lookups = r.l1_tlb_aggregate().accesses();
+        prop_assert!(lookups <= r.transactions);
+        prop_assert!(r.total_cycles > 0);
+        // L2 TLB only sees L1 misses.
+        prop_assert_eq!(r.l2_tlb.accesses(), r.l1_tlb_aggregate().misses);
+    }
+}

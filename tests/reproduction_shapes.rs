@@ -1,0 +1,161 @@
+//! End-to-end integration tests asserting the qualitative *shapes* of the
+//! paper's results, spanning all crates. Run at `Scale::Small` — the
+//! calibrated evaluation regime (Test scale is too small to thrash a
+//! 64-entry TLB).
+
+use orchestrated_tlb_repro::gpu_sim::GpuConfig;
+use orchestrated_tlb_repro::orchestrated_tlb::{run_benchmark, Mechanism};
+use orchestrated_tlb_repro::workloads::{registry, BenchmarkSpec, Scale};
+
+fn spec(name: &str) -> BenchmarkSpec {
+    registry()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("{name} in registry"))
+}
+
+fn run(name: &str, m: Mechanism) -> orchestrated_tlb_repro::gpu_sim::SimReport {
+    run_benchmark(&spec(name), Scale::Small, 42, m, GpuConfig::dac23_baseline())
+}
+
+/// Figure 2 shape: the matrix-vector kernels have poor baseline L1 TLB
+/// hit rates that a 256-entry TLB largely fixes.
+#[test]
+fn larger_tlb_rescues_thrashing_benchmarks() {
+    for name in ["atax", "mvt"] {
+        let base = run(name, Mechanism::Baseline);
+        let big = run(name, Mechanism::LargeTlb);
+        assert!(
+            base.l1_tlb_hit_rate() < 0.5,
+            "{name} baseline should thrash: {:.2}",
+            base.l1_tlb_hit_rate()
+        );
+        assert!(
+            big.l1_tlb_hit_rate() > base.l1_tlb_hit_rate() + 0.3,
+            "{name}: 256 entries should help substantially"
+        );
+    }
+}
+
+/// Figure 2 shape: gemm already has a high hit rate at 64 entries.
+#[test]
+fn gemm_baseline_hit_rate_is_high() {
+    let r = run("gemm", Mechanism::Baseline);
+    assert!(
+        r.l1_tlb_hit_rate() > 0.9,
+        "gemm hit rate {:.2}",
+        r.l1_tlb_hit_rate()
+    );
+}
+
+/// Figure 10/11 shape: the full proposal improves the matrix-vector
+/// family substantially (hit rate and time).
+#[test]
+fn full_scheme_wins_on_matrix_vector_family() {
+    for name in ["atax", "bicg", "mvt"] {
+        let base = run(name, Mechanism::Baseline);
+        let ours = run(name, Mechanism::Full);
+        assert!(
+            ours.l1_tlb_hit_rate() > base.l1_tlb_hit_rate() + 0.2,
+            "{name}: hit rate should rise"
+        );
+        assert!(
+            ours.total_cycles < base.total_cycles,
+            "{name}: time should drop ({} vs {})",
+            ours.total_cycles,
+            base.total_cycles
+        );
+    }
+}
+
+/// Figure 10 shape: naive partitioning *degrades* the graph benchmarks'
+/// L1 hit rates (fewer entries per TB), and dynamic sharing recovers a
+/// visible part of the loss.
+#[test]
+fn partitioning_hurts_graph_apps_and_sharing_recovers() {
+    for name in ["bfs", "pagerank"] {
+        let base = run(name, Mechanism::Baseline);
+        let part = run(name, Mechanism::SchedPartition);
+        let full = run(name, Mechanism::Full);
+        assert!(
+            part.l1_tlb_hit_rate() < base.l1_tlb_hit_rate() - 0.2,
+            "{name}: partitioning should degrade hit rate"
+        );
+        assert!(
+            full.l1_tlb_hit_rate() > part.l1_tlb_hit_rate() + 0.05,
+            "{name}: sharing should recover part of the loss ({:.3} vs {:.3})",
+            full.l1_tlb_hit_rate(),
+            part.l1_tlb_hit_rate()
+        );
+    }
+}
+
+/// The headline: geomean execution time of the full proposal across all
+/// ten benchmarks improves by ~12.5% (we accept 7%..20%).
+#[test]
+fn headline_geomean_improvement() {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for s in registry() {
+        let base = run_benchmark(&s, Scale::Small, 42, Mechanism::Baseline, GpuConfig::dac23_baseline());
+        let ours = run_benchmark(&s, Scale::Small, 42, Mechanism::Full, GpuConfig::dac23_baseline());
+        log_sum += ours.normalized_time(&base).ln();
+        n += 1;
+    }
+    let geomean = (log_sum / n as f64).exp();
+    assert!(
+        geomean < 0.93 && geomean > 0.80,
+        "geomean normalized time {geomean:.3} should be a substantial win (~0.875 measured; paper: 0.875)"
+    );
+}
+
+/// nw is compute-bound: its execution time barely moves whatever the TLB
+/// does (paper §V, final observation).
+#[test]
+fn nw_is_compute_bound() {
+    let base = run("nw", Mechanism::Baseline);
+    let ours = run("nw", Mechanism::Full);
+    let ratio = ours.normalized_time(&base);
+    assert!(
+        (0.95..=1.06).contains(&ratio),
+        "nw time should be roughly flat, got {ratio:.3}"
+    );
+}
+
+/// The scheduler never throttles parallelism: every TB is placed and
+/// completes under every mechanism.
+#[test]
+fn all_tbs_complete_under_every_mechanism() {
+    let expected: u32 = spec("color")
+        .generate(Scale::Test, 42)
+        .kernels()
+        .iter()
+        .map(|k| k.tbs.len() as u32)
+        .sum();
+    for m in Mechanism::all() {
+        let r = run_benchmark(
+            &spec("color"),
+            Scale::Test,
+            42,
+            m,
+            GpuConfig::dac23_baseline(),
+        );
+        let placed: u32 = r.tb_placements.iter().sum();
+        assert_eq!(placed, expected, "{m}: all TBs placed exactly once");
+    }
+}
+
+/// Determinism across the whole pipeline: two identical runs agree
+/// bit-for-bit on every counter.
+#[test]
+fn end_to_end_determinism() {
+    let a = run("mis", Mechanism::Full);
+    let b = run("mis", Mechanism::Full);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.transactions, b.transactions);
+    assert_eq!(a.l1_tlb_aggregate(), b.l1_tlb_aggregate());
+    assert_eq!(a.l2_tlb, b.l2_tlb);
+    assert_eq!(a.demand_faults, b.demand_faults);
+    assert_eq!(a.tb_placements, b.tb_placements);
+}
