@@ -3,11 +3,13 @@
 //! organizations. (The figure benches measure *what* the simulator
 //! reports; these measure the simulator as a program.)
 
+use bench::{fig10_11_grid, Grid};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpu_sim::{GpuConfig, Simulator};
 use orchestrated_tlb::Mechanism;
+use std::sync::Arc;
 use std::time::Duration;
-use workloads::{registry, Scale};
+use workloads::{registry, Scale, WorkloadCache};
 
 fn bench_engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
@@ -56,6 +58,30 @@ fn bench_workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Grid throughput: the Figure 10/11 cell grid run serially vs over the
+/// parallel worker pool, in grid cells per second. A third variant keeps
+/// the workload cache warm across iterations to isolate the cache's
+/// contribution from the thread-level speedup.
+fn bench_grid_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_throughput");
+    let specs: Vec<_> = registry().into_iter().take(4).collect();
+    let cells = (specs.len() * Mechanism::figure10().len()) as u64;
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("serial_jobs1", |b| {
+        b.iter(|| fig10_11_grid(&specs, Scale::Test, &Grid::new(1)).len())
+    });
+    group.bench_function("parallel_default_jobs", |b| {
+        b.iter(|| fig10_11_grid(&specs, Scale::Test, &Grid::new(0)).len())
+    });
+    let warm = Arc::new(WorkloadCache::new());
+    group.bench_function("parallel_warm_cache", |b| {
+        b.iter(|| {
+            fig10_11_grid(&specs, Scale::Test, &Grid::with_cache(0, Arc::clone(&warm))).len()
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = throughput;
     config = Criterion::default()
@@ -63,6 +89,6 @@ criterion_group! {
         .measurement_time(Duration::from_secs(5))
         .warm_up_time(Duration::from_secs(1));
     targets = bench_engine_throughput, bench_tlb_organizations,
-              bench_workload_generation
+              bench_workload_generation, bench_grid_throughput
 }
 criterion_main!(throughput);

@@ -1,16 +1,20 @@
 //! `repro` — regenerates every table and figure of the paper as text.
 //!
 //! ```text
-//! repro [--scale test|small|paper] [--fig2] [--fig3] [--fig4] [--fig5]
-//!       [--fig6] [--fig10] [--fig11] [--fig12] [--hugepage] [--table2]
-//!       [--all]
+//! repro [--scale test|small|paper] [--jobs N] [--fig2] [--fig3] [--fig4]
+//!       [--fig5] [--fig6] [--fig10] [--fig11] [--fig12] [--hugepage]
+//!       [--table2] [--all]
 //! ```
+//!
+//! `--jobs N` runs up to `N` grid cells (benchmark × mechanism) in
+//! parallel; the default is the machine's available parallelism and the
+//! output is bit-identical for every `N`.
 
 use bench::{
-    fig10_11_for, fig11_variance, fig12_for, fig2_for, fig3_4_for, fig5_6_for, geomean,
-    hugepage_for, warp_study, SEED,
+    fig10_11_grid, fig11_variance_grid, fig12_grid, fig2_grid, fig3_4_grid, fig5_6_grid,
+    geomean, hugepage_grid, warp_study_grid, Grid, SEED,
 };
-use orchestrated_tlb::{run_benchmark, Mechanism};
+use orchestrated_tlb::{run_benchmark_cached, Mechanism};
 use workloads::{extended_registry, registry, BenchmarkSpec, Scale};
 
 fn pct(x: f64) -> String {
@@ -24,17 +28,19 @@ fn bins(b: &[f64; 5]) -> String {
         .join(" ")
 }
 
-fn print_table2(specs: &[BenchmarkSpec], scale: Scale) {
+fn print_table2(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
     println!("== Table II: benchmarks (scaled inputs; paper footprints are 0.7-107 GB) ==");
     println!(
         "{:<10} {:<10} {:<45} {:>10} {:>9} {:>8}",
         "bench", "suite", "application", "footprint", "kernels", "TBs"
     );
-    for spec in specs {
-        let wl = spec.generate(scale, SEED);
+    let idx: Vec<usize> = (0..specs.len()).collect();
+    let rows = grid.map(&idx, |&i| {
+        let spec = &specs[i];
+        let wl = grid.cache().get(spec, scale, SEED);
         let tbs: usize = wl.kernels().iter().map(|k| k.tbs.len()).sum();
         let summary = wl.summary();
-        println!(
+        format!(
             "{:<10} {:<10} {:<45} {:>8.2}MB {:>9} {:>8}  ({} ops, {:.0}% gather)",
             spec.name,
             format!("{:?}", spec.suite),
@@ -44,15 +50,18 @@ fn print_table2(specs: &[BenchmarkSpec], scale: Scale) {
             tbs,
             summary.total_ops(),
             summary.gather_fraction() * 100.0
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!();
 }
 
-fn print_fig2(specs: &[BenchmarkSpec], scale: Scale) {
+fn print_fig2(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
     println!("== Figure 2: baseline L1 TLB hit rate, 64 vs 256 entries ==");
     println!("{:<10} {:>8} {:>8}", "bench", "64-entry", "256-entry");
-    let rows = fig2_for(specs, scale);
+    let rows = fig2_grid(specs, scale, grid);
     for r in &rows {
         println!("{:<10} {:>8} {:>8}", r.bench, pct(r.hit_64), pct(r.hit_256));
     }
@@ -64,8 +73,8 @@ fn print_fig2(specs: &[BenchmarkSpec], scale: Scale) {
     );
 }
 
-fn print_fig3_4(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
-    let rows = fig3_4_for(specs, scale, Some(64));
+fn print_fig3_4(specs: &[BenchmarkSpec], scale: Scale, which: &str, grid: &Grid) {
+    let rows = fig3_4_grid(specs, scale, Some(64), grid);
     if which != "4" {
         println!("== Figure 3: inter-TB translation reuse (bins b1..b5) ==");
         println!("{:<10} {}", "bench", "  b1   b2   b3   b4   b5");
@@ -84,8 +93,8 @@ fn print_fig3_4(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
     }
 }
 
-fn print_fig5_6(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
-    let rows = fig5_6_for(specs, scale);
+fn print_fig5_6(specs: &[BenchmarkSpec], scale: Scale, which: &str, grid: &Grid) {
+    let rows = fig5_6_grid(specs, scale, grid);
     let header = || {
         print!("{:<10}", "bench");
         for e in bench::DISTANCE_EXPONENTS.0..=bench::DISTANCE_EXPONENTS.1 {
@@ -119,8 +128,8 @@ fn print_fig5_6(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
     }
 }
 
-fn print_fig10_11(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
-    let rows = fig10_11_for(specs, scale);
+fn print_fig10_11(specs: &[BenchmarkSpec], scale: Scale, which: &str, grid: &Grid) {
+    let rows = fig10_11_grid(specs, scale, grid);
     let labels = ["baseline", "sched", "sched+part", "+share"];
     if which != "11" {
         println!("== Figure 10: L1 TLB hit rates (higher is better) ==");
@@ -160,9 +169,9 @@ fn print_fig10_11(specs: &[BenchmarkSpec], scale: Scale, which: &str) {
     }
 }
 
-fn print_fig12(specs: &[BenchmarkSpec], scale: Scale) {
+fn print_fig12(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
     println!("== Figure 12: ours + TLB compression, normalized to compression alone ==");
-    let rows = fig12_for(specs, scale);
+    let rows = fig12_grid(specs, scale, grid);
     for r in &rows {
         println!("{:<10} {:>7.3}x", r.bench, r.speedup);
     }
@@ -173,13 +182,13 @@ fn print_fig12(specs: &[BenchmarkSpec], scale: Scale) {
     );
 }
 
-fn print_hugepage(specs: &[BenchmarkSpec], scale: Scale) {
+fn print_hugepage(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
     println!("== Section V huge-page study (2 MiB pages) ==");
     println!(
         "{:<10} {:>14} {:>20}",
         "bench", "base hit(2MB)", "ours time (norm.)"
     );
-    let rows = hugepage_for(specs, scale);
+    let rows = hugepage_grid(specs, scale, grid);
     for r in &rows {
         println!(
             "{:<10} {:>14} {:>20.3}",
@@ -198,20 +207,20 @@ fn print_hugepage(specs: &[BenchmarkSpec], scale: Scale) {
     );
 }
 
-fn print_variance(scale: Scale) {
+fn print_variance(scale: Scale, grid: &Grid) {
     let seeds = [42, 1, 7, 1234];
     println!("== Seed sensitivity: full proposal's normalized time, {} seeds ==", seeds.len());
     println!("{:<10} {:>8} {:>8}", "bench", "mean", "std");
-    for r in fig11_variance(scale, &seeds) {
+    for r in fig11_variance_grid(scale, &seeds, grid) {
         println!("{:<10} {:>8.3} {:>8.4}", r.bench, r.mean, r.std_dev);
     }
     println!();
 }
 
-fn print_warp_study(scale: Scale) {
+fn print_warp_study(scale: Scale, grid: &Grid) {
     println!("== §VII warp-granularity reuse distances (P[d <= 64-entry reach]) ==");
     println!("{:<10} {:>10} {:>10}", "bench", "intra-TB", "intra-warp");
-    for r in warp_study(scale) {
+    for r in warp_study_grid(scale, grid) {
         println!(
             "{:<10} {:>9.0}% {:>9.0}%",
             r.bench,
@@ -224,13 +233,24 @@ fn print_warp_study(scale: Scale) {
 
 /// Prints every mechanism's headline counters as CSV for the selected
 /// benchmarks.
-fn print_csv(specs: &[BenchmarkSpec], scale: Scale) {
+fn print_csv(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
     println!("{}", gpu_sim::SimReport::csv_header());
-    for spec in specs {
-        for m in Mechanism::all() {
-            let r = run_benchmark(spec, scale, SEED, m, gpu_sim::GpuConfig::dac23_baseline());
-            println!("{}", r.to_csv_row());
-        }
+    let cells: Vec<(usize, Mechanism)> = (0..specs.len())
+        .flat_map(|i| Mechanism::all().into_iter().map(move |m| (i, m)))
+        .collect();
+    let rows = grid.map(&cells, |&(i, m)| {
+        run_benchmark_cached(
+            grid.cache(),
+            &specs[i],
+            scale,
+            SEED,
+            m,
+            gpu_sim::GpuConfig::dac23_baseline(),
+        )
+        .to_csv_row()
+    });
+    for row in rows {
+        println!("{row}");
     }
 }
 
@@ -240,10 +260,21 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut extended = false;
     let mut only: Vec<String> = Vec::new();
+    let mut jobs = 0usize; // 0 = available parallelism
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--extended" => extended = true,
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--bench" => {
                 i += 1;
                 match args.get(i) {
@@ -294,17 +325,21 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // One grid (and one workload cache) across every requested figure.
+    // The job count deliberately stays out of the printed header: output
+    // is byte-identical for every --jobs N.
+    let grid = Grid::new(jobs);
     println!("# orchestrated-tlb repro (scale: {scale}, seed: {SEED})\n");
     let has = |x: &str| wanted.iter().any(|w| w == x);
     if has("csv") {
-        print_csv(&specs, scale);
+        print_csv(&specs, scale, &grid);
         return;
     }
     if has("table2") {
-        print_table2(&specs, scale);
+        print_table2(&specs, scale, &grid);
     }
     if has("2") {
-        print_fig2(&specs, scale);
+        print_fig2(&specs, scale, &grid);
     }
     if has("3") || has("4") {
         let which = match (has("3"), has("4")) {
@@ -312,7 +347,7 @@ fn main() {
             (false, true) => "4",
             _ => "34",
         };
-        print_fig3_4(&specs, scale, which);
+        print_fig3_4(&specs, scale, which, &grid);
     }
     if has("5") || has("6") {
         let which = match (has("5"), has("6")) {
@@ -320,7 +355,7 @@ fn main() {
             (false, true) => "6",
             _ => "56",
         };
-        print_fig5_6(&specs, scale, which);
+        print_fig5_6(&specs, scale, which, &grid);
     }
     if has("10") || has("11") {
         let which = match (has("10"), has("11")) {
@@ -328,18 +363,30 @@ fn main() {
             (false, true) => "11",
             _ => "1011",
         };
-        print_fig10_11(&specs, scale, which);
+        print_fig10_11(&specs, scale, which, &grid);
     }
     if has("12") {
-        print_fig12(&specs, scale);
+        print_fig12(&specs, scale, &grid);
     }
     if has("hugepage") {
-        print_hugepage(&specs, scale);
+        print_hugepage(&specs, scale, &grid);
     }
     if has("variance") {
-        print_variance(scale);
+        print_variance(scale, &grid);
     }
     if has("warp") {
-        print_warp_study(scale);
+        print_warp_study(scale, &grid);
+    }
+    // Diagnostics go to stderr so stdout stays byte-identical; hit/miss
+    // counts are themselves deterministic (one generation per unique
+    // key regardless of the job count).
+    if std::env::var_os("REPRO_CACHE_STATS").is_some() {
+        let stats = grid.cache().stats();
+        eprintln!(
+            "# workload cache: {} generated, {} served from cache ({} requests)",
+            stats.misses,
+            stats.hits,
+            stats.requests()
+        );
     }
 }

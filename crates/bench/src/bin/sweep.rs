@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! sweep --param l1-entries|l2-entries|walkers|walk-latency|l2-ports|sms
-//!       [--scale test|small|paper] [--bench <name>]... [--mechanism full|baseline]
+//!       [--scale test|small|paper] [--bench <name>]...
+//!       [--mechanism full|baseline] [--jobs N]
 //! ```
+//!
+//! `--jobs N` runs up to `N` sweep cells (parameter value × benchmark)
+//! in parallel; the default is the machine's available parallelism and
+//! the CSV rows come out in the same order for every `N`.
 //!
 //! Example: how sensitive is the proposal's win to the number of
 //! page-table walkers?
@@ -13,9 +18,9 @@
 //! cargo run --release -p bench --bin sweep -- --param walkers --bench atax
 //! ```
 
-use bench::SEED;
+use bench::{Grid, SEED};
 use gpu_sim::GpuConfig;
-use orchestrated_tlb::{run_benchmark, Mechanism};
+use orchestrated_tlb::{run_benchmark_cached, Mechanism};
 use tlb::TlbConfig;
 use workloads::{registry, BenchmarkSpec, Scale};
 
@@ -107,9 +112,20 @@ fn main() {
     let mut scale = Scale::Small;
     let mut only: Vec<String> = Vec::new();
     let mut mechanism = Mechanism::Full;
+    let mut jobs = 0usize; // 0 = available parallelism
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--param" => {
                 i += 1;
                 param = args.get(i).and_then(|s| Param::parse(s));
@@ -174,22 +190,38 @@ fn main() {
     println!(
         "param,value,bench,mechanism,cycles,l1_tlb_hit_rate,l2_tlb_hit_rate,walks,walker_wait"
     );
-    for &value in &param.values() {
-        let config = param.apply(value);
-        for spec in &specs {
-            let r = run_benchmark(spec, scale, SEED, mechanism, config.clone());
-            println!(
-                "{},{},{},{},{},{:.6},{:.6},{},{}",
-                param.name(),
-                value,
-                spec.name,
-                mechanism.label(),
-                r.total_cycles,
-                r.l1_tlb_hit_rate(),
-                r.l2_tlb.hit_rate(),
-                r.walker.walks,
-                r.walker.queue_wait_cycles
-            );
-        }
+    // One sweep cell per parameter value × benchmark; the grid preserves
+    // cell order, so the CSV comes out value-major like the serial loop.
+    let grid = Grid::new(jobs);
+    let cells: Vec<(u64, usize)> = param
+        .values()
+        .iter()
+        .flat_map(|&value| (0..specs.len()).map(move |i| (value, i)))
+        .collect();
+    let rows = grid.map(&cells, |&(value, i)| {
+        let spec = &specs[i];
+        let r = run_benchmark_cached(
+            grid.cache(),
+            spec,
+            scale,
+            SEED,
+            mechanism,
+            param.apply(value),
+        );
+        format!(
+            "{},{},{},{},{},{:.6},{:.6},{},{}",
+            param.name(),
+            value,
+            spec.name,
+            mechanism.label(),
+            r.total_cycles,
+            r.l1_tlb_hit_rate(),
+            r.l2_tlb.hit_rate(),
+            r.walker.walks,
+            r.walker.queue_wait_cycles
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -12,13 +12,28 @@ use analysis::{
     inter_intensities, intra_intensities, reuse_distance_samples, tb_translation_streams, Cdf,
     DistanceOptions, ReuseBins,
 };
-use gpu_sim::{GpuConfig, SimReport};
-use orchestrated_tlb::{run_benchmark, run_benchmark_with_page_size, Mechanism};
+use gpu_sim::GpuConfig;
+use orchestrated_tlb::{
+    run_benchmark_cached, run_benchmark_cached_with_page_size, Mechanism,
+};
 use vmem::PageSize;
 use workloads::{registry, BenchmarkSpec, Scale};
 
+mod grid;
+
+pub use grid::Grid;
+
 /// The seed used by every experiment (results are deterministic).
 pub const SEED: u64 = 42;
+
+/// Enumerates the grid cells of `specs × options`, benchmark-major (all
+/// of spec 0's options first). Reassembly relies on this order:
+/// `results.chunks(options.len())` yields one benchmark's cells.
+fn cells<M: Copy>(n_specs: usize, options: &[M]) -> Vec<(usize, M)> {
+    (0..n_specs)
+        .flat_map(|i| options.iter().map(move |&m| (i, m)))
+        .collect()
+}
 
 /// Cache-line size used for coalescing in trace analyses.
 pub const LINE_BYTES: u64 = 128;
@@ -42,28 +57,31 @@ pub fn fig2(scale: Scale) -> Vec<Fig2Row> {
 /// [`fig2`] over an explicit benchmark set (e.g.
 /// [`workloads::extended_registry`]).
 pub fn fig2_for(specs: &[BenchmarkSpec], scale: Scale) -> Vec<Fig2Row> {
+    fig2_grid(specs, scale, &Grid::serial())
+}
+
+/// [`fig2`] over a parallel [`Grid`] (one cell per benchmark ×
+/// mechanism; output identical to the serial run).
+pub fn fig2_grid(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) -> Vec<Fig2Row> {
+    let mechs = [Mechanism::Baseline, Mechanism::LargeTlb];
+    let hits = grid.map(&cells(specs.len(), &mechs), |&(i, m)| {
+        run_benchmark_cached(
+            grid.cache(),
+            &specs[i],
+            scale,
+            SEED,
+            m,
+            GpuConfig::dac23_baseline(),
+        )
+        .l1_tlb_hit_rate()
+    });
     specs
         .iter()
-        .map(|spec| {
-            let base = run_benchmark(
-                spec,
-                scale,
-                SEED,
-                Mechanism::Baseline,
-                GpuConfig::dac23_baseline(),
-            );
-            let big = run_benchmark(
-                spec,
-                scale,
-                SEED,
-                Mechanism::LargeTlb,
-                GpuConfig::dac23_baseline(),
-            );
-            Fig2Row {
-                bench: spec.name.to_owned(),
-                hit_64: base.l1_tlb_hit_rate(),
-                hit_256: big.l1_tlb_hit_rate(),
-            }
+        .zip(hits.chunks(mechs.len()))
+        .map(|(spec, h)| Fig2Row {
+            bench: spec.name.to_owned(),
+            hit_64: h[0],
+            hit_256: h[1],
         })
         .collect()
 }
@@ -93,21 +111,31 @@ pub fn fig3_4_for(
     scale: Scale,
     max_tbs: Option<usize>,
 ) -> Vec<Fig34Row> {
-    specs
-        .iter()
-        .map(|spec| {
-            let wl = spec.generate(scale, SEED);
-            let streams = tb_translation_streams(&wl, LINE_BYTES);
-            let inter =
-                ReuseBins::from_intensities(&inter_intensities(&streams, max_tbs)).fractions();
-            let intra = ReuseBins::from_intensities(&intra_intensities(&streams)).fractions();
-            Fig34Row {
-                bench: spec.name.to_owned(),
-                inter,
-                intra,
-            }
-        })
-        .collect()
+    fig3_4_grid(specs, scale, max_tbs, &Grid::serial())
+}
+
+/// [`fig3_4`] over a parallel [`Grid`] (one cell per benchmark — the
+/// study is trace analysis, not simulation).
+pub fn fig3_4_grid(
+    specs: &[BenchmarkSpec],
+    scale: Scale,
+    max_tbs: Option<usize>,
+    grid: &Grid,
+) -> Vec<Fig34Row> {
+    let idx: Vec<usize> = (0..specs.len()).collect();
+    grid.map(&idx, |&i| {
+        let spec = &specs[i];
+        let wl = grid.cache().get(spec, scale, SEED);
+        let streams = tb_translation_streams(&wl, LINE_BYTES);
+        let inter =
+            ReuseBins::from_intensities(&inter_intensities(&streams, max_tbs)).fractions();
+        let intra = ReuseBins::from_intensities(&intra_intensities(&streams)).fractions();
+        Fig34Row {
+            bench: spec.name.to_owned(),
+            inter,
+            intra,
+        }
+    })
 }
 
 /// Per-benchmark result of the Figures 5/6 reuse-distance study.
@@ -135,24 +163,31 @@ pub fn fig5_6(scale: Scale) -> Vec<Fig56Row> {
 
 /// [`fig5_6`] over an explicit benchmark set.
 pub fn fig5_6_for(specs: &[BenchmarkSpec], scale: Scale) -> Vec<Fig56Row> {
+    fig5_6_grid(specs, scale, &Grid::serial())
+}
+
+/// [`fig5_6`] over a parallel [`Grid`] (one cell per benchmark ×
+/// concurrency cap).
+pub fn fig5_6_grid(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) -> Vec<Fig56Row> {
+    let caps: [Option<u8>; 2] = [None, Some(1)];
+    let cdfs = grid.map(&cells(specs.len(), &caps), |&(i, cap)| {
+        let wl = grid.cache().get(&specs[i], scale, SEED);
+        let report = Mechanism::Baseline
+            .simulator(GpuConfig::dac23_baseline())
+            .with_translation_trace(true)
+            .with_max_concurrent_tbs(cap)
+            .run(wl);
+        Cdf::from_samples(reuse_distance_samples(
+            &report.translation_trace,
+            DistanceOptions::intra_tb(),
+        ))
+    });
+    let (lo, hi) = DISTANCE_EXPONENTS;
     specs
         .iter()
-        .map(|spec| {
-            let cdf_for = |cap: Option<u8>| -> Cdf {
-                let wl = spec.generate(scale, SEED);
-                let report = Mechanism::Baseline
-                    .simulator(GpuConfig::dac23_baseline())
-                    .with_translation_trace(true)
-                    .with_max_concurrent_tbs(cap)
-                    .run(wl);
-                Cdf::from_samples(reuse_distance_samples(
-                    &report.translation_trace,
-                    DistanceOptions::intra_tb(),
-                ))
-            };
-            let concurrent = cdf_for(None);
-            let isolated = cdf_for(Some(1));
-            let (lo, hi) = DISTANCE_EXPONENTS;
+        .zip(cdfs.chunks(caps.len()))
+        .map(|(spec, pair)| {
+            let (concurrent, isolated) = (&pair[0], &pair[1]);
             Fig56Row {
                 bench: spec.name.to_owned(),
                 beyond_reach: concurrent.tail_beyond(64),
@@ -182,30 +217,48 @@ pub fn fig10_11(scale: Scale) -> Vec<Fig1011Row> {
 
 /// [`fig10_11`] over an explicit benchmark set.
 pub fn fig10_11_for(specs: &[BenchmarkSpec], scale: Scale) -> Vec<Fig1011Row> {
+    fig10_11_grid(specs, scale, &Grid::serial())
+}
+
+/// [`fig10_11`] over a parallel [`Grid`] (one cell per benchmark ×
+/// mechanism — the main 40-cell grid of the evaluation).
+pub fn fig10_11_grid(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) -> Vec<Fig1011Row> {
+    let mechs = Mechanism::figure10();
+    let reports = grid.map(&cells(specs.len(), &mechs), |&(i, m)| {
+        run_benchmark_cached(
+            grid.cache(),
+            &specs[i],
+            scale,
+            SEED,
+            m,
+            GpuConfig::dac23_baseline(),
+        )
+    });
     specs
         .iter()
-        .map(|spec| fig10_11_one(spec, scale))
+        .zip(reports.chunks(mechs.len()))
+        .map(|(spec, reports)| {
+            let base_cycles = reports[0].total_cycles as f64;
+            let mut hit_rates = [0.0; 4];
+            let mut norm_time = [0.0; 4];
+            for (i, r) in reports.iter().enumerate() {
+                hit_rates[i] = r.l1_tlb_hit_rate();
+                norm_time[i] = r.total_cycles as f64 / base_cycles;
+            }
+            Fig1011Row {
+                bench: spec.name.to_owned(),
+                hit_rates,
+                norm_time,
+            }
+        })
         .collect()
 }
 
 /// One benchmark's Figure 10/11 bars.
 pub fn fig10_11_one(spec: &BenchmarkSpec, scale: Scale) -> Fig1011Row {
-    let reports: Vec<SimReport> = Mechanism::figure10()
-        .iter()
-        .map(|&m| run_benchmark(spec, scale, SEED, m, GpuConfig::dac23_baseline()))
-        .collect();
-    let base_cycles = reports[0].total_cycles as f64;
-    let mut hit_rates = [0.0; 4];
-    let mut norm_time = [0.0; 4];
-    for (i, r) in reports.iter().enumerate() {
-        hit_rates[i] = r.l1_tlb_hit_rate();
-        norm_time[i] = r.total_cycles as f64 / base_cycles;
-    }
-    Fig1011Row {
-        bench: spec.name.to_owned(),
-        hit_rates,
-        norm_time,
-    }
+    fig10_11_grid(std::slice::from_ref(spec), scale, &Grid::serial())
+        .pop()
+        .expect("one spec in, one row out")
 }
 
 /// Per-benchmark result of the Figure 12 compression study.
@@ -225,27 +278,29 @@ pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
 
 /// [`fig12`] over an explicit benchmark set.
 pub fn fig12_for(specs: &[BenchmarkSpec], scale: Scale) -> Vec<Fig12Row> {
+    fig12_grid(specs, scale, &Grid::serial())
+}
+
+/// [`fig12`] over a parallel [`Grid`] (one cell per benchmark ×
+/// mechanism).
+pub fn fig12_grid(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) -> Vec<Fig12Row> {
+    let mechs = [Mechanism::Compression, Mechanism::FullWithCompression];
+    let reports = grid.map(&cells(specs.len(), &mechs), |&(i, m)| {
+        run_benchmark_cached(
+            grid.cache(),
+            &specs[i],
+            scale,
+            SEED,
+            m,
+            GpuConfig::dac23_baseline(),
+        )
+    });
     specs
         .iter()
-        .map(|spec| {
-            let compression = run_benchmark(
-                spec,
-                scale,
-                SEED,
-                Mechanism::Compression,
-                GpuConfig::dac23_baseline(),
-            );
-            let combined = run_benchmark(
-                spec,
-                scale,
-                SEED,
-                Mechanism::FullWithCompression,
-                GpuConfig::dac23_baseline(),
-            );
-            Fig12Row {
-                bench: spec.name.to_owned(),
-                speedup: combined.speedup(&compression),
-            }
+        .zip(reports.chunks(mechs.len()))
+        .map(|(spec, pair)| Fig12Row {
+            bench: spec.name.to_owned(),
+            speedup: pair[1].speedup(&pair[0]),
         })
         .collect()
 }
@@ -269,30 +324,31 @@ pub fn hugepage(scale: Scale) -> Vec<HugePageRow> {
 
 /// [`hugepage`] over an explicit benchmark set.
 pub fn hugepage_for(specs: &[BenchmarkSpec], scale: Scale) -> Vec<HugePageRow> {
+    hugepage_grid(specs, scale, &Grid::serial())
+}
+
+/// [`hugepage`] over a parallel [`Grid`] (one cell per benchmark ×
+/// mechanism, 2 MiB pages).
+pub fn hugepage_grid(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) -> Vec<HugePageRow> {
+    let mechs = [Mechanism::Baseline, Mechanism::Full];
+    let reports = grid.map(&cells(specs.len(), &mechs), |&(i, m)| {
+        run_benchmark_cached_with_page_size(
+            grid.cache(),
+            &specs[i],
+            scale,
+            SEED,
+            m,
+            GpuConfig::dac23_baseline(),
+            PageSize::Large,
+        )
+    });
     specs
         .iter()
-        .map(|spec| {
-            let base = run_benchmark_with_page_size(
-                spec,
-                scale,
-                SEED,
-                Mechanism::Baseline,
-                GpuConfig::dac23_baseline(),
-                PageSize::Large,
-            );
-            let ours = run_benchmark_with_page_size(
-                spec,
-                scale,
-                SEED,
-                Mechanism::Full,
-                GpuConfig::dac23_baseline(),
-                PageSize::Large,
-            );
-            HugePageRow {
-                bench: spec.name.to_owned(),
-                hit_rate_huge: base.l1_tlb_hit_rate(),
-                norm_time_ours: ours.normalized_time(&base),
-            }
+        .zip(reports.chunks(mechs.len()))
+        .map(|(spec, pair)| HugePageRow {
+            bench: spec.name.to_owned(),
+            hit_rate_huge: pair[0].l1_tlb_hit_rate(),
+            norm_time_ours: pair[1].normalized_time(&pair[0]),
         })
         .collect()
 }
@@ -313,28 +369,39 @@ pub struct VarianceRow {
 /// several workload seeds and reports mean ± std of the full proposal's
 /// normalized time.
 pub fn fig11_variance(scale: Scale, seeds: &[u64]) -> Vec<VarianceRow> {
-    registry()
-        .iter()
-        .map(|spec| {
-            let samples: Vec<f64> = seeds
+    fig11_variance_grid(scale, seeds, &Grid::serial())
+}
+
+/// [`fig11_variance`] over a parallel [`Grid`] (one cell per benchmark ×
+/// seed × mechanism).
+pub fn fig11_variance_grid(scale: Scale, seeds: &[u64], grid: &Grid) -> Vec<VarianceRow> {
+    let specs = registry();
+    let mechs = [Mechanism::Baseline, Mechanism::Full];
+    let grid_cells: Vec<(usize, u64, Mechanism)> = (0..specs.len())
+        .flat_map(|i| {
+            seeds
                 .iter()
-                .map(|&seed| {
-                    let base = run_benchmark(
-                        spec,
-                        scale,
-                        seed,
-                        Mechanism::Baseline,
-                        GpuConfig::dac23_baseline(),
-                    );
-                    let ours = run_benchmark(
-                        spec,
-                        scale,
-                        seed,
-                        Mechanism::Full,
-                        GpuConfig::dac23_baseline(),
-                    );
-                    ours.normalized_time(&base)
-                })
+                .flat_map(move |&seed| mechs.into_iter().map(move |m| (i, seed, m)))
+        })
+        .collect();
+    let cycles = grid.map(&grid_cells, |&(i, seed, m)| {
+        run_benchmark_cached(
+            grid.cache(),
+            &specs[i],
+            scale,
+            seed,
+            m,
+            GpuConfig::dac23_baseline(),
+        )
+        .total_cycles
+    });
+    specs
+        .iter()
+        .zip(cycles.chunks(seeds.len() * mechs.len()))
+        .map(|(spec, per_seed)| {
+            let samples: Vec<f64> = per_seed
+                .chunks(mechs.len())
+                .map(|pair| pair[1] as f64 / pair[0] as f64)
                 .collect();
             let n = samples.len() as f64;
             let mean = samples.iter().sum::<f64>() / n;
@@ -362,25 +429,29 @@ pub struct WarpStudyRow {
 /// The paper's §VII future work: reuse distances at warp granularity,
 /// side by side with the TB-granularity Figure 5 numbers.
 pub fn warp_study(scale: Scale) -> Vec<WarpStudyRow> {
-    registry()
-        .iter()
-        .map(|spec| {
-            let wl = spec.generate(scale, SEED);
-            let report = Mechanism::Baseline
-                .simulator(GpuConfig::dac23_baseline())
-                .with_translation_trace(true)
-                .run(wl);
-            let cdf = |opts: DistanceOptions| {
-                Cdf::from_samples(reuse_distance_samples(&report.translation_trace, opts))
-                    .at(64)
-            };
-            WarpStudyRow {
-                bench: spec.name.to_owned(),
-                tb_at_reach: cdf(DistanceOptions::intra_tb()),
-                warp_at_reach: cdf(DistanceOptions::intra_warp()),
-            }
-        })
-        .collect()
+    warp_study_grid(scale, &Grid::serial())
+}
+
+/// [`warp_study`] over a parallel [`Grid`] (one cell per benchmark).
+pub fn warp_study_grid(scale: Scale, grid: &Grid) -> Vec<WarpStudyRow> {
+    let specs = registry();
+    let idx: Vec<usize> = (0..specs.len()).collect();
+    grid.map(&idx, |&i| {
+        let spec = &specs[i];
+        let wl = grid.cache().get(spec, scale, SEED);
+        let report = Mechanism::Baseline
+            .simulator(GpuConfig::dac23_baseline())
+            .with_translation_trace(true)
+            .run(wl);
+        let cdf = |opts: DistanceOptions| {
+            Cdf::from_samples(reuse_distance_samples(&report.translation_trace, opts)).at(64)
+        };
+        WarpStudyRow {
+            bench: spec.name.to_owned(),
+            tb_at_reach: cdf(DistanceOptions::intra_tb()),
+            warp_at_reach: cdf(DistanceOptions::intra_warp()),
+        }
+    })
 }
 
 /// Geometric mean helper used for the paper's summary statistics.

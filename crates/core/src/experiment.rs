@@ -7,7 +7,7 @@ use gpu_sim::{GpuConfig, SimReport, Simulator};
 use std::fmt;
 use tlb::{CompressedTlb, CompressionConfig, SetAssocTlb, TlbConfig, TranslationBuffer};
 use vmem::PageSize;
-use workloads::{BenchmarkSpec, Scale};
+use workloads::{BenchmarkSpec, Scale, Workload, WorkloadCache};
 
 /// A named simulator configuration from the paper's evaluation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -127,13 +127,6 @@ impl Mechanism {
                     })) as Box<dyn TranslationBuffer>
                 }))
             }
-            #[allow(unreachable_patterns)]
-            Mechanism::Full => sim.with_l1_tlb_factory(Box::new(move |_| {
-                Box::new(PartitionedTlb::new(PartitionedTlbConfig {
-                    geometry,
-                    ..PartitionedTlbConfig::with_sharing()
-                })) as Box<dyn TranslationBuffer>
-            })),
             Mechanism::Compression => sim.with_l1_tlb_factory(Box::new(move |_| {
                 Box::new(CompressedTlb::new(geometry, CompressionConfig::pact20()))
                     as Box<dyn TranslationBuffer>
@@ -176,7 +169,42 @@ pub fn run_benchmark_with_page_size(
     config: GpuConfig,
     page_size: PageSize,
 ) -> SimReport {
-    let workload = spec.generate_with_page_size(scale, seed, page_size);
+    run_workload(spec.generate_with_page_size(scale, seed, page_size), mechanism, config)
+}
+
+/// [`run_benchmark`], but serving the workload from `cache` — the
+/// experiment grid re-runs each benchmark under many mechanisms, and the
+/// cache generates the trace once per `(benchmark, scale, seed,
+/// page_size)` instead of once per grid cell.
+pub fn run_benchmark_cached(
+    cache: &WorkloadCache,
+    spec: &BenchmarkSpec,
+    scale: Scale,
+    seed: u64,
+    mechanism: Mechanism,
+    config: GpuConfig,
+) -> SimReport {
+    run_workload(cache.get(spec, scale, seed), mechanism, config)
+}
+
+/// [`run_benchmark_with_page_size`], serving the workload from `cache`.
+pub fn run_benchmark_cached_with_page_size(
+    cache: &WorkloadCache,
+    spec: &BenchmarkSpec,
+    scale: Scale,
+    seed: u64,
+    mechanism: Mechanism,
+    config: GpuConfig,
+    page_size: PageSize,
+) -> SimReport {
+    run_workload(
+        cache.get_with_page_size(spec, scale, seed, page_size),
+        mechanism,
+        config,
+    )
+}
+
+fn run_workload(workload: Workload, mechanism: Mechanism, config: GpuConfig) -> SimReport {
     let mut report = mechanism.simulator(config).run(workload);
     report.scheduler = mechanism.label().to_owned();
     report

@@ -44,7 +44,10 @@ mod throttling;
 mod warp_sched;
 mod way_partitioned;
 
-pub use experiment::{run_benchmark, run_benchmark_with_page_size, Mechanism};
+pub use experiment::{
+    run_benchmark, run_benchmark_cached, run_benchmark_cached_with_page_size,
+    run_benchmark_with_page_size, Mechanism,
+};
 pub use partitioned::{PartitionedTlb, PartitionedTlbConfig, SharingPolicy};
 pub use scheduler::TlbAwareScheduler;
 pub use throttling::ThrottlingTlbAwareScheduler;

@@ -26,9 +26,20 @@ use vmem::VirtAddr;
 /// assert_eq!(coalesce(&acc, 128).len(), 1);
 /// ```
 pub fn coalesce(accesses: &LaneAccesses, line_bytes: u64) -> Vec<VirtAddr> {
+    let mut lines = Vec::with_capacity(4);
+    coalesce_into(accesses, line_bytes, &mut lines);
+    lines
+}
+
+/// [`coalesce`] into a caller-provided buffer (cleared first).
+///
+/// The engine issues one coalesce per warp memory instruction — hundreds
+/// of millions per run — so it reuses one scratch buffer instead of
+/// allocating a fresh `Vec` each time.
+pub fn coalesce_into(accesses: &LaneAccesses, line_bytes: u64, lines: &mut Vec<VirtAddr>) {
     debug_assert!(line_bytes.is_power_of_two());
     let mask = !(line_bytes - 1);
-    let mut lines: Vec<VirtAddr> = Vec::with_capacity(4);
+    lines.clear();
     for addr in accesses.addresses() {
         let line = VirtAddr::new(addr.raw() & mask);
         // The lane count is <= 32, so a linear scan beats a hash set.
@@ -36,7 +47,6 @@ pub fn coalesce(accesses: &LaneAccesses, line_bytes: u64) -> Vec<VirtAddr> {
             lines.push(line);
         }
     }
-    lines
 }
 
 #[cfg(test)]

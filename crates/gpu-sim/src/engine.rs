@@ -12,7 +12,7 @@
 //! every policy is seeded/stateless, so runs are bit-reproducible.
 
 use crate::cache::Cache;
-use crate::coalesce::coalesce;
+use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
 use crate::report::{SimReport, TranslationEvent};
 use crate::tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
@@ -186,6 +186,7 @@ impl Simulator {
 
         let mut next_tb = 0usize;
         let mut cycle = start_cycle;
+        let mut scratch = IssueScratch::default();
         loop {
             // Dispatch pending TBs while any SM has a free slot.
             while next_tb < kernel.tbs.len() {
@@ -225,7 +226,16 @@ impl Simulator {
             cycle = cycle.max(event);
 
             for sm_idx in 0..n_sms {
-                Self::step_sm(&self.config, sm_idx, cycle, kernel_idx, &mut sms, mem, report);
+                Self::step_sm(
+                    &self.config,
+                    sm_idx,
+                    cycle,
+                    kernel_idx,
+                    &mut sms,
+                    mem,
+                    report,
+                    &mut scratch,
+                );
             }
         }
         cycle
@@ -233,6 +243,7 @@ impl Simulator {
 
     /// Retires finished warps/TBs and issues up to `issue_width` warp
     /// instructions on one SM at `cycle`.
+    #[allow(clippy::too_many_arguments)]
     fn step_sm(
         config: &GpuConfig,
         sm_idx: usize,
@@ -241,6 +252,7 @@ impl Simulator {
         sms: &mut [SmRt],
         mem: &mut MemorySystem,
         report: &mut SimReport,
+        scratch: &mut IssueScratch,
     ) {
         let sm = &mut sms[sm_idx];
         if sm.next_event > cycle {
@@ -286,12 +298,11 @@ impl Simulator {
                     // lookup per *distinct page* the warp instruction
                     // touches; the per-line transactions below share the
                     // translation.
-                    let mut translations: Vec<(vmem::Vpn, (vmem::Ppn, u64))> = Vec::new();
+                    let IssueScratch { lines, translations } = scratch;
+                    translations.clear();
                     let mut lookups = 0u64;
-                    for (i, line) in coalesce(acc, config.l1_cache.line_bytes as u64)
-                        .into_iter()
-                        .enumerate()
-                    {
+                    coalesce_into(acc, config.l1_cache.line_bytes as u64, lines);
+                    for (i, &line) in lines.iter().enumerate() {
                         let vpn = line.vpn(mem.page_size);
                         let (ppn, translated_at) = match translations
                             .iter()
@@ -333,12 +344,22 @@ impl Simulator {
     }
 }
 
+/// Reusable per-issue scratch buffers: one warp memory instruction's
+/// coalesced lines and page translations. Hoisted out of the issue loop
+/// so the hot path performs no heap allocation.
+#[derive(Default)]
+struct IssueScratch {
+    lines: Vec<VirtAddr>,
+    translations: Vec<(vmem::Vpn, (vmem::Ppn, u64))>,
+}
+
 /// Runtime state of one resident warp.
 struct WarpRt {
     /// Stable per-SM warp id (launch order; lower = older).
     id: u32,
-    /// Static ops of this warp.
-    ops: std::sync::Arc<[WarpOp]>,
+    /// Static ops of this warp, shared with the workload trace (an `Arc`
+    /// clone at TB placement, not a copy).
+    ops: std::sync::Arc<Vec<WarpOp>>,
     op_idx: usize,
     ready_at: u64,
     tb_slot: u8,
@@ -355,8 +376,11 @@ struct SmRt {
     slot_live_warps: Vec<u32>,
     scheduler: Box<dyn WarpScheduler>,
     next_warp_id: u32,
-    /// Reusable scratch for scheduler views: (view, index into `warps`).
-    views: Vec<(WarpView, usize)>,
+    /// Reusable scratch for scheduler views, in launch order.
+    views: Vec<WarpView>,
+    /// Index into `warps` for each entry of `views` (parallel vector, so
+    /// the scheduler can be handed `&views` without a per-pick collect).
+    view_warps: Vec<usize>,
     next_event: u64,
 }
 
@@ -369,6 +393,7 @@ impl SmRt {
             scheduler,
             next_warp_id: 0,
             views: Vec::new(),
+            view_warps: Vec::new(),
             next_event: u64::MAX,
         }
     }
@@ -380,7 +405,7 @@ impl SmRt {
         for (warp_in_tb, warp) in tb.warps().iter().enumerate() {
             self.warps.push(WarpRt {
                 id: self.next_warp_id,
-                ops: warp.ops().to_vec().into(),
+                ops: warp.shared_ops(),
                 op_idx: 0,
                 ready_at: cycle + 1,
                 tb_slot: slot,
@@ -403,25 +428,23 @@ impl SmRt {
     /// Asks the warp-scheduling policy for the next warp to issue.
     fn pick(&mut self, cycle: u64) -> Option<usize> {
         self.views.clear();
+        self.view_warps.clear();
         for (i, w) in self.warps.iter().enumerate() {
             if w.retired || w.op_idx >= w.ops.len() {
                 continue;
             }
-            self.views.push((
-                WarpView {
-                    id: w.id,
-                    tb_slot: w.tb_slot,
-                    ready: w.ready_at <= cycle,
-                },
-                i,
-            ));
+            self.views.push(WarpView {
+                id: w.id,
+                tb_slot: w.tb_slot,
+                ready: w.ready_at <= cycle,
+            });
+            self.view_warps.push(i);
         }
         // The scheduler sees only the views, in launch order.
-        let view_slice: Vec<WarpView> = self.views.iter().map(|(v, _)| *v).collect();
-        let picked = self.scheduler.pick(&view_slice)?;
-        let (view, warp_idx) = self.views[picked];
+        let picked = self.scheduler.pick(&self.views)?;
+        let view = self.views[picked];
         self.scheduler.issued(view);
-        Some(warp_idx)
+        Some(self.view_warps[picked])
     }
 
     fn recompute_next_event(&mut self, cycle: u64, issue_limited: bool) {

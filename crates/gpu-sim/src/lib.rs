@@ -44,7 +44,7 @@ mod tb_sched;
 mod warp_sched;
 
 pub use cache::{Cache, CacheStats};
-pub use coalesce::coalesce;
+pub use coalesce::{coalesce, coalesce_into};
 pub use config::{CacheConfig, GpuConfig};
 pub use engine::{L1TlbFactory, Simulator, WarpSchedulerFactory};
 pub use report::{SimReport, TranslationEvent};

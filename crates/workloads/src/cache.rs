@@ -1,0 +1,199 @@
+//! A concurrency-safe workload cache for experiment grids.
+//!
+//! The paper's evaluation grid re-runs every benchmark under nine
+//! mechanisms (Figure 10), several TLB capacities (Figure 5) and two page
+//! sizes (Section V). Trace generation is pure — `(benchmark, scale,
+//! seed, page_size)` fully determines the workload — so regenerating the
+//! trace for every grid cell is wasted work. [`WorkloadCache`] generates
+//! each distinct workload once and hands out cheap clones: the kernels'
+//! trace storage is `Arc`-shared ([`Workload`] documents this), and only
+//! the pristine address space is deep-copied so each simulation run can
+//! demand-page privately.
+//!
+//! The cache is safe to share across the parallel grid runner's threads:
+//! the map lock is held only to find or create a cell, and generation
+//! itself runs outside it through [`OnceLock::get_or_init`], so two
+//! threads asking for *different* workloads generate concurrently while
+//! two threads asking for the *same* workload generate it exactly once.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use vmem::PageSize;
+
+use crate::registry::BenchmarkSpec;
+use crate::scale::Scale;
+use crate::trace::Workload;
+
+/// Everything that determines a generated workload.
+type Key = (&'static str, Scale, u64, PageSize);
+
+/// Hit/miss counters of a [`WorkloadCache`] (one miss per distinct
+/// workload generated).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from an already-generated workload.
+    pub hits: u64,
+    /// Requests that generated the workload.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Generates each distinct `(benchmark, scale, seed, page_size)` workload
+/// once and serves shared-storage clones afterwards.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{registry, Scale, WorkloadCache};
+///
+/// let cache = WorkloadCache::new();
+/// let spec = registry().into_iter().find(|s| s.name == "gemm").unwrap();
+/// let first = cache.get(&spec, Scale::Test, 42);
+/// let again = cache.get(&spec, Scale::Test, 42);
+/// assert_eq!(first.total_warp_ops(), again.total_warp_ops());
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Default)]
+pub struct WorkloadCache {
+    entries: Mutex<HashMap<Key, Arc<OnceLock<Workload>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WorkloadCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the workload for `spec` at `scale`/`seed` with 4 KiB
+    /// pages, generating it on first request.
+    pub fn get(&self, spec: &BenchmarkSpec, scale: Scale, seed: u64) -> Workload {
+        self.get_with_page_size(spec, scale, seed, PageSize::Small)
+    }
+
+    /// Returns the workload for `spec` at `scale`/`seed`/`page_size`,
+    /// generating it on first request.
+    pub fn get_with_page_size(
+        &self,
+        spec: &BenchmarkSpec,
+        scale: Scale,
+        seed: u64,
+        page_size: PageSize,
+    ) -> Workload {
+        let cell = {
+            let mut entries = self.entries.lock().expect("cache lock poisoned");
+            Arc::clone(
+                entries
+                    .entry((spec.name, scale, seed, page_size))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        // Generate outside the map lock so distinct workloads build in
+        // parallel; OnceLock still guarantees one generation per key.
+        let mut generated = false;
+        let workload = cell.get_or_init(|| {
+            generated = true;
+            spec.generate_with_page_size(scale, seed, page_size)
+        });
+        if generated {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        workload.clone()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct workloads generated so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::registry;
+
+    fn spec(name: &str) -> BenchmarkSpec {
+        registry().into_iter().find(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn generates_once_per_key() {
+        let cache = WorkloadCache::new();
+        let gemm = spec("gemm");
+        for _ in 0..5 {
+            cache.get(&gemm, Scale::Test, 42);
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 4, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_workloads() {
+        let cache = WorkloadCache::new();
+        let gemm = spec("gemm");
+        let a = cache.get(&gemm, Scale::Test, 42);
+        let b = cache.get(&gemm, Scale::Test, 43);
+        let c = cache.get_with_page_size(&gemm, Scale::Test, 42, PageSize::Large);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(a.name(), b.name());
+        assert_eq!(c.space().page_size(), PageSize::Large);
+    }
+
+    #[test]
+    fn cached_clone_matches_fresh_generation() {
+        let cache = WorkloadCache::new();
+        let bfs = spec("bfs");
+        let cached = cache.get(&bfs, Scale::Test, 42);
+        let fresh = bfs.generate(Scale::Test, 42);
+        assert_eq!(cached.total_warp_ops(), fresh.total_warp_ops());
+        assert_eq!(cached.footprint_bytes(), fresh.footprint_bytes());
+        for (a, b) in cached.kernels().iter().zip(fresh.kernels()) {
+            assert_eq!(a.tbs, b.tbs);
+        }
+    }
+
+    #[test]
+    fn concurrent_access_generates_each_key_once() {
+        let cache = Arc::new(WorkloadCache::new());
+        let names = ["gemm", "bfs", "mvt", "atax"];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for name in names {
+                        let wl = cache.get(&spec(name), Scale::Test, 42);
+                        assert!(wl.total_warp_ops() > 0);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, names.len() as u64);
+        assert_eq!(stats.requests(), 16);
+    }
+}

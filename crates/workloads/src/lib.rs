@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod graph;
 mod registry;
 mod scale;
@@ -37,6 +38,7 @@ mod trace;
 
 pub mod gen;
 
+pub use cache::{CacheStats, WorkloadCache};
 pub use graph::{CsrGraph, RmatParams};
 pub use registry::{extended_registry, registry, BenchmarkSpec, Suite};
 pub use scale::Scale;

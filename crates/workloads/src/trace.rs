@@ -6,6 +6,8 @@
 //! expands into 128-byte line transactions exactly as the hardware
 //! coalescer in Figure 1 of the paper does.
 
+use std::sync::Arc;
+
 use vmem::{AddressSpace, VirtAddr};
 
 /// Threads per warp (Table III: 32 threads/warp).
@@ -141,9 +143,15 @@ impl WarpOp {
 }
 
 /// The ordered op stream of one warp.
+///
+/// Ops live behind an [`Arc`], so cloning a built trace (e.g. when a
+/// workload is shared between experiment-grid cells, or when the engine
+/// instantiates a resident warp) shares the storage instead of copying
+/// it. Building mutates through [`Arc::make_mut`], which is free while
+/// the trace is unshared.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WarpTrace {
-    ops: Vec<WarpOp>,
+    ops: Arc<Vec<WarpOp>>,
 }
 
 impl WarpTrace {
@@ -154,12 +162,17 @@ impl WarpTrace {
 
     /// Appends an op.
     pub fn push(&mut self, op: WarpOp) {
-        self.ops.push(op);
+        Arc::make_mut(&mut self.ops).push(op);
     }
 
     /// The op stream.
     pub fn ops(&self) -> &[WarpOp] {
         &self.ops
+    }
+
+    /// The op stream's shared storage (an `Arc` clone, no copy).
+    pub fn shared_ops(&self) -> Arc<Vec<WarpOp>> {
+        Arc::clone(&self.ops)
     }
 
     /// Number of ops.
@@ -285,10 +298,16 @@ impl TraceSummary {
 
 /// A complete benchmark: kernels plus the UVM address space their
 /// addresses live in.
-#[derive(Debug)]
+///
+/// Kernels sit behind an [`Arc`], so `clone()` shares the (large) trace
+/// storage and deep-copies only the address space — which is cheap while
+/// the workload is pristine (nothing demand-paged yet). This is what
+/// makes a shared workload cache viable: each simulation run gets its own
+/// page table to mutate while every run reads the same trace.
+#[derive(Clone, Debug)]
 pub struct Workload {
     name: String,
-    kernels: Vec<KernelTrace>,
+    kernels: Arc<Vec<KernelTrace>>,
     space: AddressSpace,
 }
 
@@ -297,7 +316,7 @@ impl Workload {
     pub fn new(name: impl Into<String>, kernels: Vec<KernelTrace>, space: AddressSpace) -> Self {
         Workload {
             name: name.into(),
-            kernels,
+            kernels: Arc::new(kernels),
             space,
         }
     }
@@ -324,7 +343,9 @@ impl Workload {
     }
 
     /// Splits the workload into kernels and space (for the simulator).
-    pub fn into_parts(self) -> (String, Vec<KernelTrace>, AddressSpace) {
+    /// The kernels keep their shared storage; a cached workload hands the
+    /// engine an `Arc` clone, not a trace copy.
+    pub fn into_parts(self) -> (String, Arc<Vec<KernelTrace>>, AddressSpace) {
         (self.name, self.kernels, self.space)
     }
 
@@ -383,7 +404,7 @@ impl Workload {
     /// Aggregate shape statistics of the trace.
     pub fn summary(&self) -> TraceSummary {
         let mut s = TraceSummary::default();
-        for kernel in &self.kernels {
+        for kernel in self.kernels.iter() {
             for tb in &kernel.tbs {
                 for warp in tb.warps() {
                     for op in warp.ops() {
