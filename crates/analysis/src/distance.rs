@@ -118,8 +118,9 @@ pub fn reuse_distance_samples(
         let n = events.len();
         let mut fen = Fenwick::new(n);
         // page -> (last position, last (kernel, tb, warp)).
+        // simlint: allow(hash-iter, reason = "keyed get/insert only, never iterated; hot loop over the full event trace")
         let mut last: std::collections::HashMap<u64, (usize, (u16, u32, u16))> =
-            std::collections::HashMap::new();
+            std::collections::HashMap::new(); // simlint: allow(hash-iter, reason = "keyed get/insert only, never iterated")
         for (t, e) in events.iter().enumerate() {
             let key = (e.kernel, e.tb_global, e.warp);
             if let Some(&(t_prev, prev)) = last.get(&e.vpn) {

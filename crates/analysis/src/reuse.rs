@@ -1,7 +1,7 @@
 //! Translation-reuse intensity (the paper's Equation 1, Figures 3 and 4).
 
 use gpu_sim::coalesce;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use workloads::Workload;
 
 /// The translation stream of one thread block: VPNs in program order,
@@ -24,7 +24,7 @@ impl TbStream {
     }
 
     /// The set of distinct pages touched (`uniq(T_c)` in Equation 1).
-    pub fn unique_pages(&self) -> HashSet<u64> {
+    pub fn unique_pages(&self) -> BTreeSet<u64> {
         self.vpns.iter().copied().collect()
     }
 }
@@ -102,7 +102,7 @@ pub fn intra_intensities(streams: &[TbStream]) -> Vec<f64> {
         .iter()
         .filter(|s| !s.is_empty())
         .map(|s| {
-            let mut counts: HashMap<u64, u32> = HashMap::with_capacity(s.len());
+            let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
             for &v in &s.vpns {
                 *counts.entry(v).or_default() += 1;
             }
@@ -134,7 +134,7 @@ pub fn inter_intensities(streams: &[TbStream], max_tbs: Option<usize>) -> Vec<f6
         }
         _ => nonempty,
     };
-    let uniqs: Vec<HashSet<u64>> = picked.iter().map(|s| s.unique_pages()).collect();
+    let uniqs: Vec<BTreeSet<u64>> = picked.iter().map(|s| s.unique_pages()).collect();
     let mut out = Vec::with_capacity(picked.len().saturating_sub(1).pow(2));
     for (i, s1) in picked.iter().enumerate() {
         for (j, uniq2) in uniqs.iter().enumerate() {

@@ -272,7 +272,8 @@ fn ablation_partition_strategy(c: &mut Criterion) {
 fn ablation_warp_scheduler(c: &mut Criterion) {
     println!("\n=== Ablation: warp scheduler (bfs, Scale::Small) ===");
     let spec = registry().into_iter().find(|s| s.name == "bfs").unwrap();
-    let factories: [(&str, fn() -> Box<dyn WarpScheduler>); 3] = [
+    type SchedulerFactory = fn() -> Box<dyn WarpScheduler>;
+    let factories: [(&str, SchedulerFactory); 3] = [
         ("gto", || Box::new(GtoWarpScheduler::new())),
         ("lrr", || Box::new(LrrWarpScheduler::new())),
         ("tb-clustered", || Box::new(TbClusteredWarpScheduler::new())),

@@ -1,14 +1,19 @@
 //! `repro` — regenerates every table and figure of the paper as text.
 //!
 //! ```text
-//! repro [--scale test|small|paper] [--jobs N] [--fig2] [--fig3] [--fig4]
-//!       [--fig5] [--fig6] [--fig10] [--fig11] [--fig12] [--hugepage]
-//!       [--table2] [--all]
+//! repro [--scale test|small|paper] [--jobs N] [--sanitize] [--fig2]
+//!       [--fig3] [--fig4] [--fig5] [--fig6] [--fig10] [--fig11]
+//!       [--fig12] [--hugepage] [--table2] [--all]
 //! ```
 //!
 //! `--jobs N` runs up to `N` grid cells (benchmark × mechanism) in
 //! parallel; the default is the machine's available parallelism and the
 //! output is bit-identical for every `N`.
+//!
+//! `--sanitize` turns on the engine's runtime invariant checks (TLB set
+//! ownership, LRU order, stats identities — see `gpu_sim::sanitize`) for
+//! every simulation in the run; the first violation aborts with a state
+//! dump. Output is unchanged when no violation fires.
 
 use bench::{
     fig10_11_grid, fig11_variance_grid, fig12_grid, fig2_grid, fig3_4_grid, fig5_6_grid,
@@ -77,7 +82,7 @@ fn print_fig3_4(specs: &[BenchmarkSpec], scale: Scale, which: &str, grid: &Grid)
     let rows = fig3_4_grid(specs, scale, Some(64), grid);
     if which != "4" {
         println!("== Figure 3: inter-TB translation reuse (bins b1..b5) ==");
-        println!("{:<10} {}", "bench", "  b1   b2   b3   b4   b5");
+        println!("{:<10}   b1   b2   b3   b4   b5", "bench");
         for r in &rows {
             println!("{:<10} {}", r.bench, bins(&r.inter));
         }
@@ -85,7 +90,7 @@ fn print_fig3_4(specs: &[BenchmarkSpec], scale: Scale, which: &str, grid: &Grid)
     }
     if which != "3" {
         println!("== Figure 4: intra-TB translation reuse (bins b1..b5) ==");
-        println!("{:<10} {}", "bench", "  b1   b2   b3   b4   b5");
+        println!("{:<10}   b1   b2   b3   b4   b5", "bench");
         for r in &rows {
             println!("{:<10} {}", r.bench, bins(&r.intra));
         }
@@ -265,6 +270,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--extended" => extended = true,
+            "--sanitize" => gpu_sim::set_sanitize(true),
             "--jobs" => {
                 i += 1;
                 jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {

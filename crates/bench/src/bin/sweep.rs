@@ -4,12 +4,16 @@
 //! ```text
 //! sweep --param l1-entries|l2-entries|walkers|walk-latency|l2-ports|sms
 //!       [--scale test|small|paper] [--bench <name>]...
-//!       [--mechanism full|baseline] [--jobs N]
+//!       [--mechanism full|baseline] [--jobs N] [--sanitize]
 //! ```
 //!
 //! `--jobs N` runs up to `N` sweep cells (parameter value × benchmark)
 //! in parallel; the default is the machine's available parallelism and
 //! the CSV rows come out in the same order for every `N`.
+//!
+//! `--sanitize` turns on the engine's runtime invariant checks (see
+//! `gpu_sim::sanitize`) for every cell; the first violation aborts with
+//! a state dump. The CSV is unchanged when no violation fires.
 //!
 //! Example: how sensitive is the proposal's win to the number of
 //! page-table walkers?
@@ -116,6 +120,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--sanitize" => gpu_sim::set_sanitize(true),
             "--jobs" => {
                 i += 1;
                 jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {

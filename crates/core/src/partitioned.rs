@@ -22,7 +22,11 @@
 //! holds a PACT'20-style compressed run (the Figure 12 "ours +
 //! compression" configuration); `None` gives plain single-page entries.
 
-use tlb::{CompressionConfig, TlbConfig, TlbOutcome, TlbRequest, TlbStats, TranslationBuffer};
+use std::fmt::Write as _;
+use tlb::{
+    CompressionConfig, InvariantViolation, TlbConfig, TlbOutcome, TlbRequest, TlbStats,
+    TranslationBuffer,
+};
 use vmem::{Ppn, Vpn};
 
 /// How TBs may share each other's TLB sets (paper §IV-B).
@@ -119,6 +123,12 @@ struct Way {
     /// verbatim (PPN not expressible as run base + offset).
     literal: bool,
     stamp: u64,
+    /// TB slot responsible for this entry's placement: the inserting TB,
+    /// the spilling TB for rescued victims, or the set's natural owner
+    /// after adoption (see `on_tb_finish`). The sanitizer checks that
+    /// every entry sits inside its owner's set group unless the owner's
+    /// sharing flag licenses the neighbour placement.
+    owner: u8,
 }
 
 /// The TB-id-partitioned, full-VPN-tagged L1 TLB with dynamic adjacent
@@ -210,11 +220,21 @@ impl PartitionedTlb {
     }
 
     fn run_offset(&self, vpn: Vpn) -> u32 {
+        // simlint: allow(lossy-cast, reason = "masked to the compression degree (<= 32) before the cast")
         (vpn.raw() & (self.degree() - 1)) as u32
     }
 
     fn groups(&self) -> usize {
         self.concurrent_tbs.max(1) as usize
+    }
+
+    /// Folds a hardware slot id onto the live TB groups. The engine only
+    /// issues slots in `0..concurrent_tbs`, but the TLB is also driven
+    /// directly (tests, sanitizer reproducers); an out-of-range id aliases
+    /// onto the groups — mirroring the footnote-1 `tb % sets` aliasing —
+    /// instead of indexing past the geometry.
+    fn norm_slot(&self, tb: u8) -> u8 {
+        (tb as usize % self.groups()) as u8
     }
 
     /// The sets owned by TB `tb` under the current concurrency.
@@ -234,6 +254,21 @@ impl PartitionedTlb {
     fn ways_of_set(&self, set: usize) -> std::ops::Range<usize> {
         let a = self.cfg.geometry.associativity;
         set * a..(set + 1) * a
+    }
+
+    /// The TB slot that naturally owns `set` under the current concurrency
+    /// (the smallest slot whose group contains it). Used when re-homing
+    /// entries whose placing TB can no longer reach them.
+    fn home_tb(&self, set: usize) -> u8 {
+        let sets = self.cfg.geometry.sets();
+        let n = self.groups();
+        if n >= sets {
+            set as u8
+        } else {
+            (0..n as u8)
+                .find(|&tb| self.group_of(tb).contains(&set))
+                .unwrap_or(0)
+        }
     }
 
     /// Whether `tb`'s sharing flag is currently engaged.
@@ -302,6 +337,10 @@ impl PartitionedTlb {
 
 impl TranslationBuffer for PartitionedTlb {
     fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        let req = &TlbRequest {
+            tb_slot: self.norm_slot(req.tb_slot),
+            ..*req
+        };
         self.clock += 1;
         let sets = self.searchable_sets(req.tb_slot);
         match self.find(&sets, req.vpn) {
@@ -327,6 +366,10 @@ impl TranslationBuffer for PartitionedTlb {
     }
 
     fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        let req = &TlbRequest {
+            tb_slot: self.norm_slot(req.tb_slot),
+            ..*req
+        };
         self.clock += 1;
         let clock = self.clock;
         let base = self.run_base(req.vpn);
@@ -389,12 +432,15 @@ impl TranslationBuffer for PartitionedTlb {
             mask: 1 << off,
             literal,
             stamp,
+            owner: req.tb_slot,
         };
 
         // Candidate set inside the TB's own group, sub-indexed by VPN so
-        // runs spread across a multi-set group.
+        // runs spread across a multi-set group. The modulo happens in u64
+        // *before* narrowing so the chosen set is identical on 32-bit
+        // targets.
         let own: Vec<usize> = self.group_of(req.tb_slot).collect();
-        let candidate = own[(req.vpn.raw() / self.degree()) as usize % own.len()];
+        let candidate = own[((req.vpn.raw() / self.degree()) % own.len() as u64) as usize];
         // 1. An invalid way in the candidate set, then anywhere in the
         //    group.
         let empty = self
@@ -413,7 +459,7 @@ impl TranslationBuffer for PartitionedTlb {
         let victim = self
             .ways_of_set(candidate)
             .min_by_key(|&w| self.ways[w].stamp)
-            .expect("associativity is non-zero");
+            .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
         // ...but first try to rescue it into another TB's sets (dynamic
         // sharing, Figure 9): an empty way if one exists, otherwise a way
         // holding an entry *older* than the victim — the paper's "balance
@@ -443,11 +489,15 @@ impl TranslationBuffer for PartitionedTlb {
                         < self.ways[victim].stamp
             });
             if displaceable {
-                let w = slot.expect("checked by displaceable");
+                let w = slot.expect("checked by displaceable"); // simlint: allow(hot-unwrap, reason = "displaceable is only true when slot is Some")
                 if self.ways[w].valid {
                     self.stats.evictions += 1;
                 }
                 self.ways[w] = self.ways[victim];
+                // The rescued entry is now placed under the spiller's
+                // sharing licence, not wherever its previous owner could
+                // reach.
+                self.ways[w].owner = req.tb_slot;
                 self.sharing_flags |= 1 << (req.tb_slot as u16 % 16);
                 self.spill_counters[req.tb_slot as usize % 16] =
                     self.spill_counters[req.tb_slot as usize % 16].saturating_add(1);
@@ -483,6 +533,7 @@ impl TranslationBuffer for PartitionedTlb {
     }
 
     fn on_tb_finish(&mut self, tb_slot: u8) {
+        let tb_slot = self.norm_slot(tb_slot);
         // "We reset the sharing flag of a particular TLB set when a TB
         // that is currently indexed to that TLB set finishes": the flag
         // cleared is the *predecessor's* — the TB spilling INTO the
@@ -492,16 +543,204 @@ impl TranslationBuffer for PartitionedTlb {
         let pred = (tb_slot as u16 + n - 1) % n;
         self.sharing_flags &= !(1 << (pred % 16));
         self.spill_counters[(pred % 16) as usize] = 0;
+        // With the flag gone, the spiller can no longer reach entries it
+        // parked outside its own group; hand those to each set's natural
+        // owner so entry ownership keeps matching lookup reachability.
+        // (When more than 16 TBs alias one flag bit, every aliasing owner
+        // is covered.)
+        let assoc = self.cfg.geometry.associativity;
+        for i in 0..self.ways.len() {
+            let w = self.ways[i];
+            if !w.valid || u16::from(w.owner) % 16 != pred % 16 {
+                continue;
+            }
+            let set = i / assoc;
+            if !self.group_of(w.owner).contains(&set) {
+                self.ways[i].owner = self.home_tb(set);
+            }
+        }
     }
 
     fn set_concurrent_tbs(&mut self, tbs: u8) {
         let tbs = tbs.max(1);
         if tbs != self.concurrent_tbs {
             self.concurrent_tbs = tbs;
-            // Geometry changed: sharing relationships are stale.
+            // Geometry changed: sharing relationships are stale, and set
+            // groups moved under the resident entries — re-home everything
+            // to its set's natural owner.
             self.sharing_flags = 0;
             self.spill_counters = [0; 16];
+            let assoc = self.cfg.geometry.associativity;
+            for i in 0..self.ways.len() {
+                if self.ways[i].valid {
+                    self.ways[i].owner = self.home_tb(i / assoc);
+                }
+            }
         }
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |detail: String| {
+            Err(InvariantViolation::new(
+                "PartitionedTlb",
+                detail,
+                self.dump_state(),
+            ))
+        };
+        if let Err(e) = self.stats.check() {
+            return fail(e);
+        }
+        if self.occupancy() > self.capacity() {
+            return fail(format!(
+                "occupancy {} exceeds capacity {}",
+                self.occupancy(),
+                self.capacity()
+            ));
+        }
+        let n = self.groups();
+        // Flag bits and spill counters for slots that cannot exist must
+        // stay clear (on_tb_finish / set_concurrent_tbs reset them).
+        if n < 16 {
+            if self.sharing_flags >> n != 0 {
+                return fail(format!(
+                    "sharing_flags {:#018b} has bits set for TB slots >= {n}",
+                    self.sharing_flags
+                ));
+            }
+            if let Some(i) = (n..16).find(|&i| self.spill_counters[i] != 0) {
+                return fail(format!("spill counter {i} nonzero with only {n} TB slots"));
+            }
+        }
+        if self.cfg.sharing == SharingPolicy::None && self.sharing_flags != 0 {
+            return fail(format!(
+                "sharing_flags {:#018b} set under SharingPolicy::None",
+                self.sharing_flags
+            ));
+        }
+        let degree_bits = if self.degree() >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.degree()) - 1
+        };
+        for set in 0..self.cfg.geometry.sets() {
+            let range = self.ways_of_set(set);
+            for w in range.clone() {
+                let way = &self.ways[w];
+                if !way.valid {
+                    continue;
+                }
+                if way.mask == 0 {
+                    return fail(format!("set {set}: valid entry with empty run mask"));
+                }
+                if way.mask & !degree_bits != 0 {
+                    return fail(format!(
+                        "set {set}: mask {:#x} has bits beyond compression degree {}",
+                        way.mask,
+                        self.degree()
+                    ));
+                }
+                if way.literal && way.mask.count_ones() != 1 {
+                    return fail(format!(
+                        "set {set}: literal entry covers {} pages (must be 1)",
+                        way.mask.count_ones()
+                    ));
+                }
+                if way.base_vpn.raw() & (self.degree() - 1) != 0 {
+                    return fail(format!(
+                        "set {set}: base VPN {:#x} not aligned to run degree",
+                        way.base_vpn.raw()
+                    ));
+                }
+                if way.stamp > self.clock {
+                    return fail(format!(
+                        "set {set}: stamp {} ahead of clock {}",
+                        way.stamp, self.clock
+                    ));
+                }
+                // Distinct stamps per set keep LRU victim selection a
+                // total order.
+                if self.ways[range.start..w]
+                    .iter()
+                    .any(|o| o.valid && o.stamp == way.stamp)
+                {
+                    return fail(format!(
+                        "set {set}: duplicate LRU stamp {} breaks the recency total order",
+                        way.stamp
+                    ));
+                }
+                // §IV-B placement: an entry lives in its owner's group, or
+                // in territory the owner's sharing flag licenses (the
+                // adjacent group — or anywhere under all-to-all).
+                let owner = way.owner;
+                if self.group_of(owner).contains(&set) {
+                    continue;
+                }
+                let bit = self.sharing_flags & (1 << (u16::from(owner) % 16)) != 0;
+                let licensed = bit
+                    && match self.cfg.sharing {
+                        SharingPolicy::None => false,
+                        SharingPolicy::Adjacent | SharingPolicy::AdjacentCounter { .. } => {
+                            let neighbour = ((owner as usize + 1) % n) as u8;
+                            self.group_of(neighbour).contains(&set)
+                        }
+                        SharingPolicy::AllToAll => true,
+                    };
+                if !licensed {
+                    return fail(format!(
+                        "set {set}: entry vpn={:#x} owned by TB {owner} is outside group \
+                         {:?} and its sharing flag does not license set {set}",
+                        way.base_vpn.raw(),
+                        self.group_of(owner),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dump_state(&self) -> String {
+        let mut s = format!(
+            "PartitionedTlb: {} entries, {}-way, {:?}, concurrent_tbs={}, clock={}\n\
+             sharing_flags={:#018b} spill_counters={:?} spills={}\n\
+             stats {{{:?}}}\n",
+            self.cfg.geometry.entries,
+            self.cfg.geometry.associativity,
+            self.cfg.sharing,
+            self.concurrent_tbs,
+            self.clock,
+            self.sharing_flags,
+            self.spill_counters,
+            self.spills,
+            self.stats
+        );
+        for tb in 0..self.groups().min(self.cfg.geometry.sets()) as u8 {
+            let _ = write!(s, "  tb {tb:2} owns sets {:?}", self.group_of(tb));
+            if tb % 4 == 3 {
+                s.push('\n');
+            }
+        }
+        s.push('\n');
+        for set in 0..self.cfg.geometry.sets() {
+            let ways = &self.ways[self.ways_of_set(set)];
+            if ways.iter().all(|w| !w.valid) {
+                continue;
+            }
+            let _ = write!(s, "  set {set:3}:");
+            for w in ways.iter().filter(|w| w.valid) {
+                let _ = write!(
+                    s,
+                    " [vpn={:#x} ppn={:#x} mask={:#b}{} owner={} @{}]",
+                    w.base_vpn.raw(),
+                    w.base_ppn.raw(),
+                    w.mask,
+                    if w.literal { " literal" } else { "" },
+                    w.owner,
+                    w.stamp
+                );
+            }
+            s.push('\n');
+        }
+        s
     }
 }
 
@@ -721,6 +960,177 @@ mod tests {
         let out = t.lookup(&req(7, 3));
         assert!(out.hit);
         assert_eq!(out.ppn, Some(Ppn::new(2)));
+    }
+
+    fn counter_tlb(threshold: u8) -> PartitionedTlb {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::new(8, 4, 1), // 2 sets x 4 ways
+            sharing: SharingPolicy::AdjacentCounter { threshold },
+            per_set_lookup_overhead: true,
+            displacement_margin: 512,
+            compression: None,
+        });
+        t.set_concurrent_tbs(2); // TB 0 owns set 0, TB 1 owns set 1
+        t
+    }
+
+    #[test]
+    fn adjacent_counter_engages_only_at_threshold() {
+        let mut t = counter_tlb(3);
+        // Fill TB 0's set, then overflow three times: each overflow spills
+        // the LRU victim into TB 1's (empty) set and bumps the counter.
+        for i in 0..5u64 {
+            t.insert(&req(100 + i, 0), Ppn::new(i));
+        }
+        assert_eq!(t.spills(), 1);
+        // One spill < threshold: the spilled page is parked in the
+        // neighbour's set but TB 0's lookups do not search there yet.
+        assert!(!t.lookup(&req(100, 0)).hit, "below threshold: not searchable");
+        t.check_invariants().expect("parked entry is still licensed");
+        t.insert(&req(105, 0), Ppn::new(5));
+        assert_eq!(t.spills(), 2);
+        assert!(!t.lookup(&req(101, 0)).hit, "still below threshold");
+        t.insert(&req(106, 0), Ppn::new(6));
+        assert_eq!(t.spills(), 3);
+        // Third spill reaches the threshold: the flag engages and all
+        // parked pages become reachable again.
+        assert!(t.lookup(&req(100, 0)).hit, "threshold reached: neighbour searched");
+        assert!(t.lookup(&req(101, 0)).hit);
+        assert!(t.lookup(&req(102, 0)).hit);
+        t.check_invariants().expect("engaged sharing keeps invariants");
+    }
+
+    #[test]
+    fn adjacent_counter_disengages_when_neighbour_finishes() {
+        let mut t = counter_tlb(2);
+        for i in 0..6u64 {
+            t.insert(&req(200 + i, 0), Ppn::new(i));
+        }
+        assert!(t.spills() >= 2);
+        assert!(t.lookup(&req(200, 0)).hit, "engaged before TB finish");
+        // TB 1 finishing resets its predecessor's (TB 0's) counter and
+        // flag: sharing disengages and the parked pages go dark for TB 0.
+        t.on_tb_finish(1);
+        assert_eq!(t.sharing_flags() & 1, 0);
+        assert!(!t.lookup(&req(200, 0)).hit, "disengaged after TB finish");
+        // The parked entries were adopted by the set's natural owner, so
+        // the ownership invariant still holds.
+        t.check_invariants().expect("adoption keeps invariants");
+        // TB 1 itself can now hit the adopted entries in its own set.
+        assert!(t.lookup(&req(200, 1)).hit, "neighbour inherits parked entry");
+    }
+
+    fn all_to_all_tlb() -> PartitionedTlb {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::new(16, 4, 1), // 4 sets x 4 ways
+            sharing: SharingPolicy::AllToAll,
+            per_set_lookup_overhead: true,
+            displacement_margin: 512,
+            compression: None,
+        });
+        t.set_concurrent_tbs(4);
+        t
+    }
+
+    #[test]
+    fn all_to_all_spills_anywhere_and_probes_every_set() {
+        let mut t = all_to_all_tlb();
+        // TB 0 owns 4 ways but streams 12 distinct pages: the 8 overflow
+        // victims spill into the other TBs' sets instead of dying.
+        for i in 0..12u64 {
+            t.insert(&req(300 + i, 0), Ppn::new(i));
+            t.check_invariants().expect("spill placement is licensed");
+        }
+        assert_eq!(t.spills(), 8);
+        assert_eq!(t.occupancy(), 12);
+        assert_eq!(t.stats().evictions, 0);
+        for i in 0..12u64 {
+            let out = t.lookup(&req(300 + i, 0));
+            assert!(out.hit, "page {i}");
+            // The cost of all-to-all: every lookup probes all 4 sets.
+            assert_eq!(out.latency, 4);
+        }
+        // Spilled entries landed outside TB 0's single-set group.
+        let own: Vec<usize> = t.group_of(0).collect();
+        let foreign = (0..t.cfg.geometry.sets())
+            .filter(|s| !own.contains(s))
+            .flat_map(|s| t.ways_of_set(s))
+            .filter(|&w| t.ways[w].valid)
+            .count();
+        assert_eq!(foreign, 8);
+    }
+
+    #[test]
+    fn all_to_all_respects_displacement_margin() {
+        let mut t = all_to_all_tlb();
+        // Fill the whole TLB with recently-used entries from all TBs.
+        for tb in 0..4u8 {
+            for i in 0..4u64 {
+                t.insert(&req(1000 + u64::from(tb) * 16 + i, tb), Ppn::new(i));
+            }
+        }
+        assert_eq!(t.occupancy(), 16);
+        let spills_before = t.spills();
+        // TB 0 overflows, but every foreign entry is fresher than the
+        // margin: the victim must die in place, not displace a neighbour.
+        t.insert(&req(2000, 0), Ppn::new(99));
+        assert_eq!(t.spills(), spills_before);
+        assert_eq!(t.stats().evictions, 1);
+        t.check_invariants().expect("margin-blocked spill keeps invariants");
+    }
+
+    #[test]
+    fn corrupted_owner_is_caught_with_state_dump() {
+        let mut t = tlb(true);
+        t.insert(&req(500, 2), Ppn::new(1));
+        let w = t.ways.iter().position(|w| w.valid).unwrap();
+        // Deliberate corruption: claim the entry belongs to TB 9, whose
+        // group is elsewhere and whose sharing flag is clear.
+        t.ways[w].owner = 9;
+        let v = t.check_invariants().unwrap_err();
+        assert!(v.detail.contains("owned by TB 9"), "{}", v.detail);
+        assert!(v.dump.contains("sharing_flags"), "dump lacks flags:\n{}", v.dump);
+        assert!(v.dump.contains("owner=9"), "dump lacks entry:\n{}", v.dump);
+    }
+
+    #[test]
+    fn corrupted_stats_identity_is_caught() {
+        let mut t = tlb(false);
+        t.lookup(&req(1, 0));
+        t.stats.misses += 1; // bypass record()
+        assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_hold_through_mixed_sharing_workload() {
+        for sharing in [
+            SharingPolicy::None,
+            SharingPolicy::Adjacent,
+            SharingPolicy::AdjacentCounter { threshold: 2 },
+            SharingPolicy::AllToAll,
+        ] {
+            let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+                geometry: TlbConfig::new(16, 2, 1), // 8 sets x 2 ways
+                sharing,
+                per_set_lookup_overhead: true,
+                displacement_margin: 8,
+                compression: None,
+            });
+            t.set_concurrent_tbs(8);
+            for step in 0..200u64 {
+                let tb = (step % 8) as u8;
+                let r = req(step * 7 % 31, tb);
+                if !t.lookup(&r).hit {
+                    t.insert(&r, Ppn::new(r.vpn.raw() + 1000));
+                }
+                if step % 37 == 0 {
+                    t.on_tb_finish(tb);
+                }
+                if let Err(v) = t.check_invariants() {
+                    panic!("{sharing:?} step {step}: {v}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -133,6 +133,52 @@ impl TbScheduler for TlbAwareScheduler {
         // Keep the miss-rate estimates: the hardware table persists
         // across kernel launches.
     }
+
+    fn check_invariants(&self, num_sms: usize) -> Result<(), String> {
+        if self.ewma.len() != self.last_seen.len() {
+            return Err(format!(
+                "status table split-brained: {} rate estimates vs {} counter pairs \
+                 (table: {:?}, ewma: {:?})",
+                self.ewma.len(),
+                self.last_seen.len(),
+                self.last_seen,
+                self.ewma
+            ));
+        }
+        // One <TLB_hits, TLB_total> entry per SM; the paper's hardware
+        // budget is a 16-entry table (136 bytes, §IV-A).
+        let budget = num_sms.max(16);
+        if self.last_seen.len() > budget {
+            return Err(format!(
+                "status table grew to {} entries, beyond the {budget}-entry hardware \
+                 budget for {num_sms} SMs (table: {:?})",
+                self.last_seen.len(),
+                self.last_seen
+            ));
+        }
+        if !self.last_seen.is_empty() && self.last_seen.len() != num_sms {
+            return Err(format!(
+                "status table has {} entries for {num_sms} SMs (table: {:?})",
+                self.last_seen.len(),
+                self.last_seen
+            ));
+        }
+        for (i, (&e, &(h, a))) in self.ewma.iter().zip(&self.last_seen).enumerate() {
+            if !(0.0..=1.0).contains(&e) {
+                return Err(format!(
+                    "SM {i}: EWMA miss-rate estimate {e} outside [0, 1] (ewma: {:?})",
+                    self.ewma
+                ));
+            }
+            if h > a {
+                return Err(format!(
+                    "SM {i}: observed {h} hits out of only {a} accesses (table: {:?})",
+                    self.last_seen
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +277,34 @@ mod tests {
         // lax takes it (first in round-robin order).
         assert_eq!(strict.pick_sm(&sms), Some(1));
         assert_eq!(lax.pick_sm(&sms), Some(0));
+    }
+
+    #[test]
+    fn invariants_hold_through_normal_operation() {
+        let mut s = TlbAwareScheduler::new();
+        let sms = vec![snap(1, 50, 100); 4];
+        for _ in 0..10 {
+            s.pick_sm(&sms);
+            s.check_invariants(4).expect("table stays consistent");
+        }
+    }
+
+    #[test]
+    fn oversized_status_table_is_reported() {
+        let mut s = TlbAwareScheduler::new();
+        // Observe a 32-SM machine, then claim the GPU only has 4 SMs: the
+        // 32-entry table no longer matches the hardware.
+        s.pick_sm(&vec![snap(1, 0, 0); 32]);
+        let err = s.check_invariants(4).unwrap_err();
+        assert!(err.contains("32"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn corrupted_ewma_is_reported() {
+        let mut s = TlbAwareScheduler::new();
+        s.pick_sm(&[snap(1, 0, 0); 2]);
+        s.ewma[1] = f64::NAN;
+        assert!(s.check_invariants(2).is_err());
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl WayPartitionedTlb {
     }
 
     fn set_of(&self, vpn: Vpn) -> usize {
-        (vpn.raw() as usize) & (self.config.sets() - 1)
+        // Mask in u64 before narrowing so the set index is identical on
+        // 32-bit hosts.
+        (vpn.raw() & (self.config.sets() as u64 - 1)) as usize
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -121,7 +123,7 @@ impl TranslationBuffer for WayPartitionedTlb {
         let victim = self
             .owned_ways(set, req.tb_slot)
             .min_by_key(|&w| (self.ways[w].valid, self.ways[w].stamp))
-            .expect("every slot owns at least one way");
+            .expect("every slot owns at least one way"); // simlint: allow(hot-unwrap, reason = "way_range clamps to at least one way per slot")
         if self.ways[victim].valid {
             self.stats.evictions += 1;
         }

@@ -1,0 +1,139 @@
+//! Property-based invariant tests for the partitioned TLB and the
+//! TLB-aware scheduler (the sanitizer's structural checks, driven by
+//! random operation sequences instead of the engine).
+//!
+//! Every sequence interleaves lookups, inserts, TB completions and
+//! concurrency changes across all four sharing policies, and re-validates
+//! [`TranslationBuffer::check_invariants`] after *each* operation — the
+//! same checks `--sanitize` runs inside the engine, so a shrunken failure
+//! here is a ready-made reproducer for a sanitizer trip.
+
+use orchestrated_tlb::{PartitionedTlb, PartitionedTlbConfig, SharingPolicy, TlbAwareScheduler};
+use proptest::prelude::*;
+use tlb::{CompressionConfig, TlbConfig, TlbRequest, TranslationBuffer};
+use vmem::{Ppn, Vpn};
+
+/// One random TLB operation.
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Lookup { vpn: u64, tb: u8 },
+    Insert { vpn: u64, tb: u8 },
+    TbFinish { tb: u8 },
+    SetConcurrency { tbs: u8 },
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The compat prop_oneof! has no weight syntax; repeating the hot
+    // lookup/insert arms biases the mix toward them instead.
+    prop_oneof![
+        (0u64..96, 0u8..8).prop_map(|(vpn, tb)| Op::Lookup { vpn, tb }),
+        (0u64..96, 0u8..8).prop_map(|(vpn, tb)| Op::Insert { vpn, tb }),
+        (96u64..192, 0u8..8).prop_map(|(vpn, tb)| Op::Lookup { vpn, tb }),
+        (96u64..192, 0u8..8).prop_map(|(vpn, tb)| Op::Insert { vpn, tb }),
+        (0u8..8).prop_map(|tb| Op::TbFinish { tb }),
+        (1u8..8).prop_map(|tbs| Op::SetConcurrency { tbs }),
+        Just(Op::Flush),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = SharingPolicy> {
+    prop_oneof![
+        Just(SharingPolicy::None),
+        Just(SharingPolicy::Adjacent),
+        (1u8..6).prop_map(|threshold| SharingPolicy::AdjacentCounter { threshold }),
+        Just(SharingPolicy::AllToAll),
+    ]
+}
+
+fn apply(t: &mut PartitionedTlb, op: Op) {
+    match op {
+        Op::Lookup { vpn, tb } => {
+            t.lookup(&TlbRequest::new(Vpn::new(vpn), tb));
+        }
+        Op::Insert { vpn, tb } => {
+            t.insert(&TlbRequest::new(Vpn::new(vpn), tb), Ppn::new(vpn + 1000));
+        }
+        Op::TbFinish { tb } => t.on_tb_finish(tb),
+        Op::SetConcurrency { tbs } => t.set_concurrent_tbs(tbs),
+        Op::Flush => t.flush(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The structural invariants (set ownership licensed by sharing
+    /// flags, LRU total order, stats identity, occupancy bound) survive
+    /// arbitrary operation sequences under every sharing policy.
+    #[test]
+    fn partitioned_tlb_invariants_hold(
+        policy in policy_strategy(),
+        margin in prop_oneof![Just(0u64), Just(4), Just(512)],
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::new(16, 2, 1),
+            sharing: policy,
+            per_set_lookup_overhead: true,
+            displacement_margin: margin,
+            compression: None,
+        });
+        t.set_concurrent_tbs(8);
+        for &op in &ops {
+            apply(&mut t, op);
+            let check = t.check_invariants();
+            prop_assert!(check.is_ok(), "after {:?}: {}", op, check.unwrap_err());
+        }
+    }
+
+    /// Same property with PACT'20 compression layered on top (runs,
+    /// masks and literal entries add their own invariants).
+    #[test]
+    fn compressed_partitioned_tlb_invariants_hold(
+        policy in policy_strategy(),
+        degree in prop_oneof![Just(2usize), Just(4), Just(8)],
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+    ) {
+        let mut t = PartitionedTlb::new(PartitionedTlbConfig {
+            geometry: TlbConfig::new(16, 2, 1),
+            sharing: policy,
+            per_set_lookup_overhead: true,
+            displacement_margin: 8,
+            compression: Some(CompressionConfig {
+                degree,
+                decompress_latency: 1,
+            }),
+        });
+        t.set_concurrent_tbs(4);
+        for &op in &ops {
+            apply(&mut t, op);
+            let check = t.check_invariants();
+            prop_assert!(check.is_ok(), "after {:?}: {}", op, check.unwrap_err());
+        }
+    }
+
+    /// The §IV-A scheduler's status table stays within its hardware
+    /// budget and its EWMA estimates stay in [0, 1] for any observation
+    /// stream.
+    #[test]
+    fn scheduler_table_invariants_hold(
+        num_sms in prop_oneof![Just(4usize), Just(16), Just(32)],
+        rounds in 1usize..40,
+    ) {
+        use gpu_sim::{SmSnapshot, TbScheduler};
+        let mut s = TlbAwareScheduler::new();
+        for r in 0..rounds {
+            let sms: Vec<SmSnapshot> = (0..num_sms)
+                .map(|i| SmSnapshot {
+                    free_slots: ((i + r) % 3) as u8,
+                    tlb_hits: (i as u64 * 7 + r as u64) % 50,
+                    tlb_accesses: 50 + i as u64,
+                })
+                .collect();
+            let _ = s.pick_sm(&sms);
+            prop_assert!(s.check_invariants(num_sms).is_ok(),
+                "round {r}: {:?}", s.check_invariants(num_sms));
+        }
+    }
+}

@@ -95,7 +95,7 @@ impl Cache {
         self.clock += 1;
         let line_addr = pa / self.config.line_bytes as u64;
         let sets = self.config.sets() as u64;
-        let set = (line_addr % sets) as usize;
+        let set = (line_addr % sets) as usize; // simlint: allow(lossy-cast, reason = "modulo in u64 precedes the narrowing")
         let tag = line_addr / sets;
         let a = self.config.associativity;
         let range = set * a..(set + 1) * a;

@@ -25,7 +25,7 @@ impl CacheConfig {
     pub fn new(bytes: usize, associativity: usize, line_bytes: usize) -> Self {
         assert!(bytes > 0 && associativity > 0 && line_bytes > 0);
         let lines = bytes / line_bytes;
-        assert!(lines % associativity == 0, "lines must fill whole sets");
+        assert!(lines.is_multiple_of(associativity), "lines must fill whole sets");
         CacheConfig {
             bytes,
             associativity,

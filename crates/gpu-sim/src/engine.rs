@@ -15,6 +15,7 @@ use crate::cache::Cache;
 use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
 use crate::report::{SimReport, TranslationEvent};
+use crate::sanitize::{sanitize_enabled, Sanitizer};
 use crate::tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
 use crate::warp_sched::{GtoWarpScheduler, WarpScheduler, WarpView};
 use tlb::{SetAssocTlb, TlbRequest, TranslationBuffer};
@@ -48,6 +49,9 @@ pub struct Simulator {
     warp_scheduler_factory: WarpSchedulerFactory,
     trace_translations: bool,
     force_max_tbs: Option<u8>,
+    /// Per-instance sanitizer override; `None` follows the process-wide
+    /// default ([`sanitize_enabled`]).
+    sanitize: Option<bool>,
 }
 
 impl Simulator {
@@ -65,6 +69,7 @@ impl Simulator {
             }),
             trace_translations: false,
             force_max_tbs: None,
+            sanitize: None,
         }
     }
 
@@ -101,6 +106,15 @@ impl Simulator {
         self
     }
 
+    /// Forces the runtime invariant sanitizer on (or off) for this
+    /// simulator, overriding the process-wide default (on in debug builds,
+    /// `--sanitize` in release). See the [`crate::sanitize`] module docs
+    /// for what is checked; the first violation panics with a state dump.
+    pub fn with_sanitizer(mut self, enable: bool) -> Self {
+        self.sanitize = Some(enable);
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &GpuConfig {
         &self.config
@@ -116,7 +130,9 @@ impl Simulator {
     pub fn run(&mut self, workload: Workload) -> SimReport {
         let (name, kernels, space) = workload.into_parts();
         let n_sms = self.config.num_sms;
-        let mut mem = MemorySystem::new(&self.config, space, self.trace_translations);
+        let sanitize = self.sanitize.unwrap_or_else(sanitize_enabled);
+        let mut sanitizer = sanitize.then(|| Sanitizer::new(n_sms));
+        let mut mem = MemorySystem::new(&self.config, space, self.trace_translations, sanitize);
         self.build_l1_tlbs(&mut mem);
         let mut report = SimReport {
             workload: name,
@@ -129,7 +145,14 @@ impl Simulator {
         let mut cycle: u64 = 0;
         for (kernel_idx, kernel) in kernels.iter().enumerate() {
             let start = cycle;
-            cycle = self.run_kernel(kernel, kernel_idx as u16, cycle, &mut mem, &mut report);
+            cycle = self.run_kernel(
+                kernel,
+                kernel_idx as u16,
+                cycle,
+                &mut mem,
+                &mut report,
+                &mut sanitizer,
+            );
             report
                 .kernel_cycles
                 .push((kernel.name.clone(), cycle - start));
@@ -159,6 +182,7 @@ impl Simulator {
         start_cycle: u64,
         mem: &mut MemorySystem,
         report: &mut SimReport,
+        sanitizer: &mut Option<Sanitizer>,
     ) -> u64 {
         let n_sms = self.config.num_sms;
         // Occupancy: the compile-time TB limit, the hardware cap, and the
@@ -237,6 +261,13 @@ impl Simulator {
                     &mut scratch,
                 );
             }
+
+            if let Some(san) = sanitizer.as_mut() {
+                san.after_cycle(cycle, &mem.l1_tlbs, self.tb_scheduler.as_ref(), n_sms);
+            }
+        }
+        if let Some(san) = sanitizer.as_mut() {
+            san.end_of_kernel(cycle, &mem.l1_tlbs, &mem.l2_tlb);
         }
         cycle
     }
@@ -399,7 +430,7 @@ impl SmRt {
     }
 
     fn place_tb(&mut self, kernel: &KernelTrace, tb_global: u32, cycle: u64) {
-        let slot = self.free_slots.pop().expect("caller checked has_room");
+        let slot = self.free_slots.pop().expect("caller checked has_room"); // simlint: allow(hot-unwrap, reason = "dispatch loop asserts has_room before place_tb")
         let tb = &kernel.tbs[tb_global as usize];
         let mut live = 0;
         for (warp_in_tb, warp) in tb.warps().iter().enumerate() {
@@ -509,10 +540,12 @@ struct MemorySystem {
     demand_faults: u64,
     transactions: u64,
     trace: Option<Vec<TranslationEvent>>,
+    /// Run full L1 TLB invariant checks after every fill.
+    sanitize: bool,
 }
 
 impl MemorySystem {
-    fn new(config: &GpuConfig, space: AddressSpace, trace: bool) -> Self {
+    fn new(config: &GpuConfig, space: AddressSpace, trace: bool, sanitize: bool) -> Self {
         MemorySystem {
             l1_tlbs: Vec::new(), // filled by Simulator::run via init_tlbs
             l1_caches: (0..config.num_sms)
@@ -545,6 +578,7 @@ impl MemorySystem {
             demand_faults: 0,
             transactions: 0,
             trace: trace.then(Vec::new),
+            sanitize,
         }
     }
 
@@ -576,7 +610,7 @@ impl MemorySystem {
 
         let l1_out = self.l1_tlbs[sm].lookup(&req);
         if l1_out.hit {
-            return (l1_out.ppn.expect("hit carries ppn"), cycle + l1_out.latency);
+            return (l1_out.ppn.expect("hit carries ppn"), cycle + l1_out.latency); // simlint: allow(hot-unwrap, reason = "TlbOutcome::hit always carries a ppn")
         }
         // Miss: forward to the VPN-interleaved L2 TLB slice over the
         // interconnect; the lookup must win one of the slice's ports.
@@ -585,13 +619,16 @@ impl MemorySystem {
         let port = self.l2_tlb_ports[slice]
             .iter_mut()
             .min()
-            .expect("at least one port");
+            .expect("at least one port"); // simlint: allow(hot-unwrap, reason = "port vectors are sized max(1) at construction")
         let at_l2 = arrive.max(*port);
         *port = at_l2 + 1;
         let l2_out = self.l2_tlb[slice].lookup(&req);
         if l2_out.hit {
-            let ppn = l2_out.ppn.expect("hit carries ppn");
+            let ppn = l2_out.ppn.expect("hit carries ppn"); // simlint: allow(hot-unwrap, reason = "TlbOutcome::hit always carries a ppn")
             self.l1_tlbs[sm].insert(&req, ppn);
+            if self.sanitize {
+                Sanitizer::after_fill(sm, cycle, self.l1_tlbs[sm].as_ref());
+            }
             return (ppn, at_l2 + l2_out.latency + self.icnt_latency);
         }
         // Page-table walk (plus a one-time UVM fault on first touch).
@@ -599,7 +636,7 @@ impl MemorySystem {
         let (pa, fault) = self
             .space
             .translate_with_fault_info(line_va)
-            .expect("workload addresses must fall inside allocated buffers");
+            .expect("workload addresses must fall inside allocated buffers"); // simlint: allow(hot-unwrap, reason = "documented panic contract: out-of-buffer addresses are generator bugs")
         let latency = if self.walk_latency_per_level == 0 {
             self.walk_latency
         } else {
@@ -618,6 +655,9 @@ impl MemorySystem {
         let ppn = pa.ppn(self.page_size);
         self.l2_tlb[slice].insert(&req, ppn);
         self.l1_tlbs[sm].insert(&req, ppn);
+        if self.sanitize {
+            Sanitizer::after_fill(sm, cycle, self.l1_tlbs[sm].as_ref());
+        }
         (ppn, done + self.icnt_latency)
     }
 
@@ -725,6 +765,25 @@ mod tests {
             .with_max_concurrent_tbs(Some(1))
             .run(wl);
         assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn sanitized_run_completes_clean() {
+        // Force the sanitizer on regardless of build profile: a healthy
+        // baseline run must pass every per-fill, per-cycle and
+        // end-of-kernel invariant check without tripping.
+        let spec = registry().into_iter().find(|s| s.name == "gemm").unwrap();
+        let wl = spec.generate(Scale::Test, 42);
+        let r = Simulator::new(GpuConfig::dac23_baseline())
+            .with_sanitizer(true)
+            .run(wl);
+        assert!(r.total_cycles > 0);
+        let unsanitized = Simulator::new(GpuConfig::dac23_baseline())
+            .with_sanitizer(false)
+            .run(spec.generate(Scale::Test, 42));
+        // Checking invariants must not perturb the simulation itself.
+        assert_eq!(r.total_cycles, unsanitized.total_cycles);
+        assert_eq!(r.l1_tlb_aggregate(), unsanitized.l1_tlb_aggregate());
     }
 
     #[test]

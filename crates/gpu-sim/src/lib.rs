@@ -40,6 +40,7 @@ mod coalesce;
 mod config;
 mod engine;
 mod report;
+pub mod sanitize;
 mod tb_sched;
 mod warp_sched;
 
@@ -48,5 +49,6 @@ pub use coalesce::{coalesce, coalesce_into};
 pub use config::{CacheConfig, GpuConfig};
 pub use engine::{L1TlbFactory, Simulator, WarpSchedulerFactory};
 pub use report::{SimReport, TranslationEvent};
+pub use sanitize::{sanitize_enabled, set_sanitize};
 pub use tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
 pub use warp_sched::{GtoWarpScheduler, LrrWarpScheduler, WarpScheduler, WarpView};

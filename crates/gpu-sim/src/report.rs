@@ -56,13 +56,29 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Per-SM L1 TLB stats with the counter identity cross-checked: every
+    /// rate this report derives flows through here, so a TLB model that
+    /// misclassifies a lookup (breaking `hits + misses == lookups`) trips
+    /// a debug assertion instead of silently skewing Figure 10/11 numbers.
+    fn l1_tlb_checked(&self) -> impl Iterator<Item = &TlbStats> {
+        self.l1_tlb.iter().inspect(|s| {
+            debug_assert!(
+                s.check().is_ok(),
+                "per-SM L1 TLB stats violate the lookup identity: {:?} ({})",
+                s,
+                s.check().unwrap_err()
+            );
+        })
+    }
+
     /// The paper's L1 TLB hit-rate metric: the average of the per-SM hit
     /// rates over SMs that saw traffic ("the average hit rate across all
-    /// SMs as the L1 TLBs are SM private").
+    /// SMs as the L1 TLBs are SM private"). Each per-SM rate is derived
+    /// from the raw counters by [`TlbStats::hit_rate`] — the single
+    /// derivation point — after the identity cross-check.
     pub fn l1_tlb_hit_rate(&self) -> f64 {
         let active: Vec<f64> = self
-            .l1_tlb
-            .iter()
+            .l1_tlb_checked()
             .filter(|s| s.accesses() > 0)
             .map(TlbStats::hit_rate)
             .collect();
@@ -73,12 +89,18 @@ impl SimReport {
         }
     }
 
-    /// Aggregate L1 TLB counters summed over SMs.
+    /// Aggregate L1 TLB counters summed over SMs (identity-checked per SM
+    /// and on the sum).
     pub fn l1_tlb_aggregate(&self) -> TlbStats {
-        self.l1_tlb
-            .iter()
+        let agg = self
+            .l1_tlb_checked()
             .copied()
-            .fold(TlbStats::default(), |a, b| a + b)
+            .fold(TlbStats::default(), |a, b| a + b);
+        debug_assert!(
+            agg.check().is_ok(),
+            "aggregated L1 TLB stats violate the lookup identity: {agg:?}"
+        );
+        agg
     }
 
     /// Execution time of `self` normalized to `baseline` (< 1 is faster).
@@ -171,6 +193,7 @@ mod tests {
         TlbStats {
             hits,
             misses,
+            lookups: hits + misses,
             ..Default::default()
         }
     }
@@ -200,6 +223,23 @@ mod tests {
         let agg = r.l1_tlb_aggregate();
         assert_eq!(agg.hits, 4);
         assert_eq!(agg.misses, 6);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lookup identity")]
+    fn broken_lookup_identity_trips_aggregation_check() {
+        let r = SimReport {
+            // hits + misses = 3, but lookups says 7: a TLB model lied.
+            l1_tlb: vec![TlbStats {
+                hits: 1,
+                misses: 2,
+                lookups: 7,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let _ = r.l1_tlb_aggregate();
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Runtime invariant sanitizer for the simulation engine.
+//!
+//! When enabled, the engine validates after TLB fills and after every
+//! event cycle that the memory-system bookkeeping is self-consistent:
+//! each TLB's structural invariants hold (entry placement licensed by the
+//! §IV-B sharing flags, LRU recency a total order per set, occupancy ≤
+//! capacity — see [`TranslationBuffer::check_invariants`]), per-SM stats
+//! are monotone across cycles with `hits + misses == lookups`, and the TB
+//! scheduler's §IV-A status table stays within its hardware budget. The
+//! first violation panics with a full state dump.
+//!
+//! Enablement: on by default in debug builds (`cargo test` exercises it
+//! everywhere), off in release; `repro`/`sweep` accept `--sanitize` which
+//! calls [`set_sanitize`], and [`Simulator::with_sanitizer`] overrides the
+//! global for one simulator instance.
+//!
+//! [`Simulator::with_sanitizer`]: crate::Simulator::with_sanitizer
+
+use crate::tb_sched::TbScheduler;
+use std::sync::atomic::{AtomicBool, Ordering};
+use tlb::{InvariantViolation, TlbStats, TranslationBuffer};
+
+/// Process-wide default, so `--sanitize` reaches every simulator built by
+/// the experiment grid without threading a flag through each call site.
+static ENABLED: AtomicBool = AtomicBool::new(cfg!(debug_assertions));
+
+/// Turns the runtime invariant sanitizer on or off process-wide
+/// (overridable per simulator via `Simulator::with_sanitizer`).
+pub fn set_sanitize(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the sanitizer is currently enabled process-wide. Defaults to
+/// `true` under `#[cfg(debug_assertions)]` and `false` in release builds.
+pub fn sanitize_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Per-run sanitizer state: the previous cycle's per-SM stats, for the
+/// monotonicity check.
+pub(crate) struct Sanitizer {
+    last_l1: Vec<TlbStats>,
+}
+
+impl Sanitizer {
+    pub(crate) fn new(num_sms: usize) -> Self {
+        Sanitizer {
+            last_l1: vec![TlbStats::default(); num_sms],
+        }
+    }
+
+    /// Full structural check of one SM's L1 TLB, called after a fill (the
+    /// path that evicts, spills and flips sharing flags).
+    pub(crate) fn after_fill(sm: usize, cycle: u64, tlb: &dyn TranslationBuffer) {
+        if let Err(v) = tlb.check_invariants() {
+            report(v.in_context(&format!("sm {sm} L1 TLB, post-fill at cycle {cycle}")));
+        }
+    }
+
+    /// Cheap per-event-cycle checks: per-SM stats monotone and internally
+    /// consistent, scheduler status table within budget.
+    pub(crate) fn after_cycle(
+        &mut self,
+        cycle: u64,
+        l1_tlbs: &[Box<dyn TranslationBuffer>],
+        scheduler: &dyn TbScheduler,
+        num_sms: usize,
+    ) {
+        for (sm, tlb) in l1_tlbs.iter().enumerate() {
+            let now = tlb.stats();
+            let prev = self.last_l1[sm];
+            let monotone = now.hits >= prev.hits
+                && now.misses >= prev.misses
+                && now.evictions >= prev.evictions
+                && now.insertions >= prev.insertions
+                && now.lookups >= prev.lookups;
+            if !monotone {
+                report(InvariantViolation::new(
+                    format!("sm {sm} L1 TLB, cycle {cycle}"),
+                    format!("stats went backwards: {prev:?} -> {now:?}"),
+                    tlb.dump_state(),
+                ));
+            }
+            if let Err(e) = now.check() {
+                report(InvariantViolation::new(
+                    format!("sm {sm} L1 TLB, cycle {cycle}"),
+                    e,
+                    tlb.dump_state(),
+                ));
+            }
+            self.last_l1[sm] = now;
+        }
+        if let Err(e) = scheduler.check_invariants(num_sms) {
+            report(InvariantViolation::new(
+                format!("TB scheduler '{}', cycle {cycle}", scheduler.name()),
+                e,
+                String::from("<scheduler state embedded in the detail above>"),
+            ));
+        }
+    }
+
+    /// Exhaustive end-of-kernel sweep: every L1 TLB and L2 TLB slice gets
+    /// a full structural check (too costly per cycle, cheap per kernel).
+    pub(crate) fn end_of_kernel(
+        &mut self,
+        cycle: u64,
+        l1_tlbs: &[Box<dyn TranslationBuffer>],
+        l2_slices: &[impl TranslationBuffer],
+    ) {
+        for (sm, tlb) in l1_tlbs.iter().enumerate() {
+            if let Err(v) = tlb.check_invariants() {
+                report(v.in_context(&format!("sm {sm} L1 TLB, end of kernel at cycle {cycle}")));
+            }
+        }
+        for (i, slice) in l2_slices.iter().enumerate() {
+            if let Err(v) = slice.check_invariants() {
+                report(v.in_context(&format!("L2 TLB slice {i}, end of kernel at cycle {cycle}")));
+            }
+        }
+    }
+}
+
+/// A violation is a simulator bug, never a simulation outcome: abort the
+/// run with the dump rather than producing silently-wrong results.
+fn report(v: InvariantViolation) -> ! {
+    panic!("sanitizer: {v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_follows_debug_assertions() {
+        // Tests build with debug_assertions on, so the sanitizer defaults
+        // to enabled — the whole test suite runs sanitized.
+        assert_eq!(sanitize_enabled(), cfg!(debug_assertions));
+    }
+
+    #[test]
+    #[should_panic(expected = "stats went backwards")]
+    fn regressing_stats_are_fatal() {
+        struct Fake(TlbStats);
+        impl TranslationBuffer for Fake {
+            fn lookup(&mut self, _: &tlb::TlbRequest) -> tlb::TlbOutcome {
+                tlb::TlbOutcome::miss(1)
+            }
+            fn insert(&mut self, _: &tlb::TlbRequest, _: vmem::Ppn) {}
+            fn stats(&self) -> TlbStats {
+                self.0
+            }
+            fn reset_stats(&mut self) {}
+            fn flush(&mut self) {}
+            fn capacity(&self) -> usize {
+                0
+            }
+        }
+        let mut s = Sanitizer::new(1);
+        let mut stats = TlbStats::default();
+        stats.record(true);
+        let tlbs: Vec<Box<dyn TranslationBuffer>> = vec![Box::new(Fake(stats))];
+        let sched = crate::tb_sched::RoundRobinScheduler::new();
+        s.after_cycle(1, &tlbs, &sched, 1);
+        // Counters jump backwards on the next cycle: must panic.
+        let tlbs: Vec<Box<dyn TranslationBuffer>> = vec![Box::new(Fake(TlbStats::default()))];
+        s.after_cycle(2, &tlbs, &sched, 1);
+    }
+}

@@ -51,6 +51,16 @@ pub trait TbScheduler {
 
     /// Resets internal state between kernels.
     fn reset(&mut self) {}
+
+    /// Validates the policy's internal bookkeeping against the hardware
+    /// budget it models (e.g. the §IV-A status table holds one entry per
+    /// SM — 16 for the paper's GPU — and its rate estimates must stay
+    /// finite). `num_sms` is the SM count of the simulated GPU. Called by
+    /// the engine's sanitizer; the default policy has no state to check.
+    fn check_invariants(&self, num_sms: usize) -> Result<(), String> {
+        let _ = num_sms;
+        Ok(())
+    }
 }
 
 /// The baseline round-robin TB scheduler.

@@ -6,8 +6,11 @@ use proptest::prelude::*;
 use vmem::{AddressSpace, PageSize};
 use workloads::{KernelTrace, LaneAccesses, TbTrace, WarpOp, Workload};
 
+/// Raw op stream: per TB, per warp, a list of (op kind, payload) pairs.
+type RawOps = Vec<Vec<Vec<(u8, u64)>>>;
+
 /// Strategy: a small random workload (1 kernel, random TBs/warps/ops).
-fn arb_workload() -> impl Strategy<Value = (Vec<Vec<Vec<(u8, u64)>>>, u8)> {
+fn arb_workload() -> impl Strategy<Value = (RawOps, u8)> {
     // Per TB, per warp: list of (op kind, payload).
     // kind 0: compute(payload%50+1); kind 1: contiguous load at offset;
     // kind 2: strided store at offset.

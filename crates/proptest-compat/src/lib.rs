@@ -2,7 +2,8 @@
 //!
 //! The build environment has no crates-registry access, so this crate
 //! vendors the strategy/macro surface the workspace's property tests
-//! use: the [`Strategy`] trait over integer ranges, tuples, [`Just`],
+//! use: the [`Strategy`] trait (with [`Strategy::prop_map`]) over integer
+//! ranges, tuples, [`Just`],
 //! [`collection::vec`], [`collection::hash_set`] and [`any`], plus the
 //! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
 //! [`prop_oneof!`] macros.
@@ -49,6 +50,27 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `Strategy::prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
 }
 
 /// Blanket impl so strategies can be passed by reference.

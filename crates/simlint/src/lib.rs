@@ -1,0 +1,847 @@
+//! # simlint — workspace-specific static analysis for the simulator
+//!
+//! A std-only linter enforcing the determinism and robustness rules this
+//! reproduction depends on (see `DESIGN.md`, "Correctness tooling"):
+//!
+//! * **hash-iter** — no `HashMap`/`HashSet` in result-producing crates
+//!   (`core`, `gpu-sim`, `tlb`, `vmem`, `workloads`, `analysis`): their
+//!   iteration order is seeded per process and would make figures
+//!   non-reproducible.
+//! * **wall-clock** — no `Instant`/`SystemTime` outside the vendored
+//!   `criterion-compat`: simulated time must come from the engine clock.
+//! * **unseeded-rng** — no `thread_rng`/`from_entropy`/`OsRng`/
+//!   `rand::random`: every stochastic choice must flow from the workload
+//!   seed.
+//! * **lossy-cast** — no narrowing `as` cast in expressions that touch
+//!   VPN/PPN/address values: `(vpn.raw() as usize) % n` truncates before
+//!   the modulo on 32-bit hosts and silently changes set indices.
+//! * **hot-unwrap** — no `.unwrap()`/`.expect()` in the engine hot path
+//!   (TLB lookup/insert and the cycle loop): a panic mid-simulation is
+//!   only acceptable via the sanitizer, which attaches a state dump.
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions, `tests/`,
+//! `benches/`, `examples/` directories) and the vendored `*-compat`
+//! crates are exempt. Individual occurrences can be waived with an escape
+//! comment that names the rule and justifies itself:
+//!
+//! ```text
+//! // simlint: allow(lossy-cast, reason = "masked to 5 bits first")
+//! ```
+//!
+//! placed either at the end of the offending line or alone on the line
+//! above it. An allow with an unknown rule name or a missing reason is
+//! itself a violation.
+//!
+//! The linter is intentionally lexical: it tokenizes Rust (handling
+//! strings, raw strings, char-vs-lifetime quotes, and nested block
+//! comments) rather than parsing it, which keeps it dependency-free and
+//! fast while remaining exact for the patterns above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Crates whose sources produce simulation results (scope of `hash-iter`
+/// and `lossy-cast`).
+const RESULT_CRATES: [&str; 6] = [
+    "crates/core/",
+    "crates/gpu-sim/",
+    "crates/tlb/",
+    "crates/vmem/",
+    "crates/workloads/",
+    "crates/analysis/",
+];
+
+/// Files forming the engine hot path (scope of `hot-unwrap`): the cycle
+/// loop plus every TLB organization's lookup/insert code.
+const HOT_PATHS: [&str; 5] = [
+    "crates/gpu-sim/src/engine.rs",
+    "crates/tlb/src/set_assoc.rs",
+    "crates/tlb/src/compressed.rs",
+    "crates/core/src/partitioned.rs",
+    "crates/core/src/way_partitioned.rs",
+];
+
+/// Narrowing cast targets that can drop address bits (`usize` included:
+/// it is 32-bit on 32-bit hosts).
+const NARROW_TYPES: [&str; 9] = [
+    "u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize", "f32",
+];
+
+/// Identifier fragments that mark a value as address-typed for
+/// `lossy-cast` (matched case-insensitively as substrings, except `raw`
+/// which must match a whole identifier — the accessor on `Vpn`/`Ppn`).
+const ADDR_MARKERS: [&str; 4] = ["vpn", "ppn", "addr", "pfn"];
+
+/// Every rule simlint knows about (validated against allow comments).
+pub const RULES: [&str; 5] = [
+    "hash-iter",
+    "wall-clock",
+    "unseeded-rng",
+    "lossy-cast",
+    "hot-unwrap",
+];
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Rule name (one of [`RULES`], or `bad-allow` for malformed escapes).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A lexed token: its 1-based line and its text (an identifier, a number
+/// literal, or a single punctuation character).
+#[derive(Clone, Debug)]
+struct Token {
+    line: usize,
+    text: String,
+}
+
+/// A `//` comment with its line and whether it had the line to itself.
+#[derive(Clone, Debug)]
+struct LineComment {
+    line: usize,
+    /// Text after the `//`.
+    text: String,
+    /// True when no token precedes the comment on its line.
+    standalone: bool,
+}
+
+struct Lexed {
+    tokens: Vec<Token>,
+    comments: Vec<LineComment>,
+}
+
+/// Tokenizes Rust source, discarding string/char-literal contents and
+/// block comments, and collecting `//` comments for allow parsing.
+fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments = Vec::new();
+    let n = chars.len();
+
+    // Returns the char at `i + k`, or '\0' past the end.
+    let at = |i: usize, k: usize| -> char {
+        if i + k < n {
+            chars[i + k]
+        } else {
+            '\0'
+        }
+    };
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if at(i, 1) == '/' => {
+                let standalone = tokens.last().map(|t| t.line) != Some(line);
+                let start = i + 2;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(LineComment {
+                    line,
+                    text: chars[start..i].iter().collect(),
+                    standalone,
+                });
+            }
+            '/' if at(i, 1) == '*' => {
+                // Nested block comment (discarded; allows must use `//`).
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && at(i, 1) == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && at(i, 1) == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // String literal: skip with escapes.
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. 'a' is a char, 'a (no closing
+                // quote) is a lifetime; '\\x' is always a char.
+                if at(i, 1) == '\\' {
+                    i += 2; // skip '\ and the escape lead
+                    while i < n && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if (at(i, 1).is_alphanumeric() || at(i, 1) == '_') && at(i, 2) != '\'' {
+                    // Lifetime: consume the quote and the identifier.
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    // 'x' (or the degenerate '''): skip to the close.
+                    i += 2;
+                    while i < n && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw/byte string prefixes: r"..", r#".."#, br".."; byte
+                // char b'x'. A raw *identifier* (r#foo) falls through.
+                let mut hashes = 0;
+                while (text == "r" || text == "br") && at(i, hashes) == '#' {
+                    hashes += 1;
+                }
+                if (text == "r" || text == "br") && at(i, hashes) == '"' {
+                    i += hashes + 1;
+                    // Scan for " followed by `hashes` #s.
+                    'raw: while i < n {
+                        if chars[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                        } else if chars[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && at(i, 1 + k) == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                } else if text == "r" && at(i, 0) == '#' {
+                    // Raw identifier r#foo: token is the bare name.
+                    i += 1;
+                    let start = i;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        line,
+                        text: chars[start..i].iter().collect(),
+                    });
+                } else if text == "b" && (at(i, 0) == '"' || at(i, 0) == '\'') {
+                    // Byte string/char: reuse the normal handlers by not
+                    // emitting a token; the next loop iteration sees the
+                    // quote.
+                } else {
+                    tokens.push(Token { line, text });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Number literal (also swallows suffixes, hex digits and
+                // `0..n` range dots — harmless for these rules).
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    line,
+                    text: chars[start..i].iter().collect(),
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    line,
+                    text: c.to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+/// Line ranges (inclusive) covered by `#[test]` / `#[cfg(test)]` items.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        // `#[...]` or `#![...]`.
+        let mut j = i + 1;
+        if tokens.get(j).map(|t| t.text.as_str()) == Some("!") {
+            j += 1;
+        }
+        if tokens.get(j).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]`.
+        let mut depth = 0;
+        let mut close = None;
+        for (k, t) in tokens.iter().enumerate().skip(j) {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { break };
+        let is_test = tokens[j + 1..close].iter().any(|t| t.text == "test");
+        if !is_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = close + 1;
+        while tokens.get(k).map(|t| t.text.as_str()) == Some("#") {
+            let mut depth = 0;
+            let mut advanced = false;
+            for (m, t) in tokens.iter().enumerate().skip(k + 1) {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k = m + 1;
+                            advanced = true;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        // The item extends to the matching `}` of its first block, or to
+        // a `;` for block-less items (e.g. `#[cfg(test)] use ...;`).
+        let mut end_line = tokens[close].line;
+        let mut brace_depth = 0;
+        let mut m = k;
+        while m < tokens.len() {
+            match tokens[m].text.as_str() {
+                "{" => brace_depth += 1,
+                "}" => {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        end_line = tokens[m].line;
+                        break;
+                    }
+                }
+                ";" if brace_depth == 0 => {
+                    end_line = tokens[m].line;
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        regions.push((tokens[i].line, end_line));
+        i = close + 1;
+    }
+    regions
+}
+
+/// Parsed `simlint: allow(rule, reason = "...")` escape.
+enum AllowParse {
+    /// Not a simlint comment at all.
+    NotAllow,
+    /// A well-formed allow for `rule`.
+    Allow(String),
+    /// A malformed allow (its own violation).
+    Bad(String),
+}
+
+fn parse_allow(comment: &str) -> AllowParse {
+    let t = comment.trim();
+    let Some(rest) = t.strip_prefix("simlint:") else {
+        return AllowParse::NotAllow;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return AllowParse::Bad(format!(
+            "malformed simlint comment (expected `allow(<rule>, reason = \"...\")`): {t}"
+        ));
+    };
+    let Some(body) = rest.strip_suffix(')') else {
+        return AllowParse::Bad(String::from("unterminated simlint allow (missing `)`)"));
+    };
+    let mut parts = body.splitn(2, ',');
+    let rule = parts.next().unwrap_or("").trim().to_string();
+    if !RULES.contains(&rule.as_str()) {
+        return AllowParse::Bad(format!(
+            "unknown rule '{rule}' in simlint allow (known: {})",
+            RULES.join(", ")
+        ));
+    }
+    let reason = parts.next().unwrap_or("").trim();
+    let has_reason = reason
+        .strip_prefix("reason")
+        .map(|r| r.trim_start().strip_prefix('=').is_some_and(|v| v.trim().len() > 2))
+        .unwrap_or(false);
+    if !has_reason {
+        return AllowParse::Bad(format!(
+            "simlint allow({rule}) without a `reason = \"...\"` justification"
+        ));
+    }
+    AllowParse::Allow(rule)
+}
+
+/// True when `rel` (a `/`-separated workspace-relative path) is inside a
+/// directory the linter skips entirely.
+fn skipped_path(rel: &str) -> bool {
+    rel.split('/').any(|seg| {
+        seg == "target"
+            || seg == "tests"
+            || seg == "benches"
+            || seg == "examples"
+            || seg.ends_with("-compat")
+    })
+}
+
+/// Lints one source file given its workspace-relative path.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    if skipped_path(rel) {
+        return Vec::new();
+    }
+    let Lexed { tokens, comments } = lex(src);
+    let regions = test_regions(&tokens);
+    let in_test = |line: usize| regions.iter().any(|&(a, b)| line >= a && line <= b);
+
+    // Allow map: line -> rules waived on that line. A trailing comment
+    // waives its own line; a standalone comment waives the next line that
+    // carries tokens.
+    let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    for c in &comments {
+        match parse_allow(&c.text) {
+            AllowParse::NotAllow => {}
+            AllowParse::Bad(msg) => {
+                if !in_test(c.line) {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line: c.line,
+                        rule: "bad-allow".into(),
+                        message: msg,
+                    });
+                }
+            }
+            AllowParse::Allow(rule) => {
+                let target = if c.standalone {
+                    tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line + 1)
+                } else {
+                    c.line
+                };
+                allows.entry(target).or_default().insert(rule);
+            }
+        }
+    }
+
+    let allowed =
+        |line: usize, rule: &str| allows.get(&line).is_some_and(|set| set.contains(rule));
+    let mut push = |line: usize, rule: &str, message: String| {
+        if !in_test(line) && !allowed(line, rule) {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: rule.into(),
+                message,
+            });
+        }
+    };
+
+    let in_result_crate = RESULT_CRATES.iter().any(|p| rel.starts_with(p));
+    let hot = HOT_PATHS.contains(&rel);
+
+    for (i, t) in tokens.iter().enumerate() {
+        let prev = |k: usize| {
+            i.checked_sub(k)
+                .map(|j| tokens[j].text.as_str())
+                .unwrap_or("")
+        };
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if in_result_crate => push(
+                t.line,
+                "hash-iter",
+                format!(
+                    "{} iteration order is randomized per process; use BTreeMap/BTreeSet \
+                     or an index-keyed Vec in result-producing code",
+                    t.text
+                ),
+            ),
+            "Instant" | "SystemTime" => push(
+                t.line,
+                "wall-clock",
+                format!(
+                    "{} reads wall-clock time; simulation results must depend only on \
+                     the simulated cycle counter",
+                    t.text
+                ),
+            ),
+            "thread_rng" | "from_entropy" | "OsRng" => push(
+                t.line,
+                "unseeded-rng",
+                format!(
+                    "{} draws OS entropy; every random choice must derive from the \
+                     workload seed for reproducibility",
+                    t.text
+                ),
+            ),
+            "random" if prev(1) == ":" && prev(2) == ":" && prev(3) == "rand" => push(
+                t.line,
+                "unseeded-rng",
+                String::from(
+                    "rand::random draws from the thread-local OS-seeded generator; \
+                     use the seeded workload RNG",
+                ),
+            ),
+            "as" if in_result_crate => {
+                let target = tokens.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
+                if NARROW_TYPES.contains(&target) {
+                    // Look back a few tokens (within the expression) for
+                    // an address-typed identifier.
+                    let tainted = (1..=8).map(prev).take_while(|p| !matches!(*p, ";" | "{" | "}" | ""))
+                        .any(|p| {
+                            let lower = p.to_ascii_lowercase();
+                            p == "raw" || ADDR_MARKERS.iter().any(|m| lower.contains(m))
+                        });
+                    if tainted {
+                        push(
+                            t.line,
+                            "lossy-cast",
+                            format!(
+                                "narrowing `as {target}` on an address-typed value can \
+                                 truncate on 32-bit hosts; do the arithmetic in u64 and \
+                                 narrow last (or mask explicitly and allow)"
+                            ),
+                        );
+                    }
+                }
+            }
+            "unwrap" | "expect" if hot && prev(1) == "." => push(
+                t.line,
+                "hot-unwrap",
+                format!(
+                    ".{}() in the engine hot path panics without simulator state; \
+                     return an error or let the sanitizer report it with a dump",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+
+    violations.sort();
+    violations
+}
+
+/// Recursively lints every `.rs` file under `root/src` and
+/// `root/crates`, returning findings sorted by `(file, line, rule)`.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files: Vec<(String, std::path::PathBuf)> = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, top, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for (rel, path) in files {
+        let src = fs::read_to_string(&path)?;
+        violations.extend(lint_source(&rel, &src));
+    }
+    violations.sort();
+    Ok(violations)
+}
+
+fn collect_rs(
+    dir: &Path,
+    rel: &str,
+    out: &mut Vec<(String, std::path::PathBuf)>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let name = e.file_name().to_string_lossy().into_owned();
+        let child_rel = format!("{rel}/{name}");
+        let ty = e.file_type()?;
+        if ty.is_dir() {
+            if !skipped_path(&child_rel) {
+                collect_rs(&e.path(), &child_rel, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push((child_rel, e.path()));
+        }
+    }
+    Ok(())
+}
+
+/// Renders violations as a JSON document (hand-rolled; simlint is
+/// dependency-free).
+pub fn to_json(violations: &[Violation]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("{\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&v.file),
+            v.line,
+            esc(&v.rule),
+            esc(&v.message)
+        ));
+    }
+    if !violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!("],\n  \"count\": {}\n}}\n", violations.len()));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: &str = "crates/tlb/src/lib.rs"; // in a result crate, not hot
+
+    #[test]
+    fn hashmap_in_result_crate_is_flagged() {
+        let v = lint_source(F, "use std::collections::HashMap;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "hash-iter");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_outside_result_crates_is_fine() {
+        let v = lint_source("crates/bench/src/lib.rs", "use std::collections::HashMap;\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_cfg_test_module_is_fine() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let _m: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        assert!(lint_source(F, src).is_empty());
+    }
+
+    #[test]
+    fn test_attribute_on_single_fn_is_skipped() {
+        let src = "#[test]\nfn t() { let _ = std::time::Instant::now(); }\nfn live() { let _ = std::time::Instant::now(); }\n";
+        let v = lint_source(F, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn wall_clock_and_rng_sources_flagged() {
+        let v = lint_source(F, "fn f() { let _ = SystemTime::now(); }\n");
+        assert_eq!(v[0].rule, "wall-clock");
+        let v = lint_source(F, "fn f() { let mut r = rand::thread_rng(); }\n");
+        assert_eq!(v[0].rule, "unseeded-rng");
+        let v = lint_source(F, "fn f() -> u32 { rand::random() }\n");
+        assert_eq!(v[0].rule, "unseeded-rng");
+    }
+
+    #[test]
+    fn lossy_cast_needs_address_taint_and_narrow_target() {
+        let v = lint_source(F, "fn f(vpn: Vpn, n: usize) -> usize { (vpn.raw() as usize) % n }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lossy-cast");
+        // Widening is fine.
+        assert!(lint_source(F, "fn f(vpn: Vpn) -> u64 { vpn.raw() as u64 }\n").is_empty());
+        // Narrowing of non-address values is fine.
+        assert!(lint_source(F, "fn f(x: u64) -> usize { x as usize }\n").is_empty());
+    }
+
+    #[test]
+    fn hot_unwrap_only_in_hot_files() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let v = lint_source("crates/gpu-sim/src/engine.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-unwrap");
+        assert!(lint_source(F, src).is_empty());
+        // unwrap_or is a different method.
+        assert!(lint_source(
+            "crates/gpu-sim/src/engine.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_with_reason() {
+        let src = "use std::collections::HashMap; // simlint: allow(hash-iter, reason = \"keyed access only\")\n";
+        assert!(lint_source(F, src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// simlint: allow(hash-iter, reason = \"keyed access only\")\nuse std::collections::HashMap;\n";
+        assert!(lint_source(F, src).is_empty());
+        // ...but not the line after that.
+        let src2 = "// simlint: allow(hash-iter, reason = \"keyed access only\")\nuse std::collections::HashMap;\nuse std::collections::HashSet;\n";
+        let v = lint_source(F, src2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_or_missing_reason_is_a_violation() {
+        let v = lint_source(F, "// simlint: allow(made-up-rule, reason = \"x\")\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "bad-allow");
+        assert!(v[0].message.contains("unknown rule"));
+        let v = lint_source(F, "use std::collections::HashMap; // simlint: allow(hash-iter)\n");
+        assert_eq!(v.len(), 2, "{v:?}"); // the bad allow AND the unsuppressed use
+        assert!(v.iter().any(|v| v.rule == "bad-allow"));
+        assert!(v.iter().any(|v| v.rule == "hash-iter"));
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_do_not_trip_rules() {
+        let src = concat!(
+            "fn f<'a>(x: &'a str) -> &'a str { x }\n",
+            "const S: &str = \"HashMap Instant thread_rng\";\n",
+            "const R: &str = r#\"HashMap \" quote\"#;\n",
+            "/* HashMap /* nested Instant */ still comment */\n",
+            "const C: char = '\"';\n",
+            "// plain comment mentioning HashMap\n",
+        );
+        assert!(lint_source(F, src).is_empty(), "{:?}", lint_source(F, src));
+    }
+
+    #[test]
+    fn compat_and_test_dirs_are_skipped() {
+        let bad = "fn f() { let _ = Instant::now(); }\n";
+        assert!(lint_source("crates/criterion-compat/src/lib.rs", bad).is_empty());
+        assert!(lint_source("crates/tlb/tests/integration.rs", bad).is_empty());
+        assert!(lint_source("crates/bench/benches/sweep.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let v = vec![Violation {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "hash-iter".into(),
+            message: "say \"no\"".into(),
+        }];
+        let j = to_json(&v);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\\\"no\\\""));
+        assert_eq!(to_json(&[]), "{\n  \"violations\": [],\n  \"count\": 0\n}\n");
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The acceptance gate: the post-PR workspace must lint clean.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let v = lint_tree(&root).expect("workspace sources readable");
+        assert!(
+            v.is_empty(),
+            "workspace has simlint violations:\n{}",
+            v.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn injected_violations_in_a_fixture_tree_are_caught() {
+        let dir = std::env::temp_dir().join(format!("simlint-fixture-{}", std::process::id()));
+        let src_dir = dir.join("crates/vmem/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(
+            src_dir.join("bad.rs"),
+            "use std::collections::HashMap;\n\
+             fn t() -> std::time::Instant { std::time::Instant::now() }\n\
+             fn c(vpn: u64, n: usize) -> usize { (vpn as usize) % n }\n",
+        )
+        .unwrap();
+        let v = lint_tree(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        let rules: Vec<&str> = v.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"hash-iter"), "{v:?}");
+        assert!(rules.contains(&"wall-clock"), "{v:?}");
+        assert!(rules.contains(&"lossy-cast"), "{v:?}");
+        assert_eq!(v[0].file, "crates/vmem/src/bad.rs");
+    }
+}

@@ -1,0 +1,89 @@
+//! CLI for the workspace linter. See the crate docs ([`simlint`]) for the
+//! rule set.
+//!
+//! ```text
+//! cargo run -p simlint                # text output, exit 1 on violations
+//! cargo run -p simlint -- --format json
+//! cargo run -p simlint -- --root /path/to/workspace
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: simlint [--format text|json] [--root <workspace-dir>]");
+    std::process::exit(2);
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut format = String::from("text");
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => usage(),
+            },
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => usage(),
+            },
+            "--help" | "-h" => {
+                eprintln!("simlint: determinism/hot-path lints for the simulator workspace");
+                usage();
+            }
+            _ => usage(),
+        }
+    }
+
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("simlint: no workspace root found (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+    let violations = match simlint::lint_tree(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("simlint: failed to read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", simlint::to_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        eprintln!(
+            "simlint: {} violation{} in {}",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" },
+            root.display()
+        );
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

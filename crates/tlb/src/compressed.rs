@@ -14,7 +14,9 @@
 
 use crate::config::TlbConfig;
 use crate::request::{TlbOutcome, TlbRequest, TranslationBuffer};
+use crate::sanitize::InvariantViolation;
 use crate::stats::TlbStats;
+use std::fmt::Write as _;
 use vmem::{Ppn, Vpn};
 
 /// Parameters of the compression scheme.
@@ -237,7 +239,7 @@ impl TranslationBuffer for CompressedTlb {
             .enumerate()
             .min_by_key(|(_, w)| (w.valid, w.stamp))
             .map(|(i, _)| i)
-            .expect("associativity is non-zero");
+            .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
         let way = &mut self.ways[range.start + victim];
         if way.valid {
             self.stats.evictions += 1;
@@ -270,6 +272,90 @@ impl TranslationBuffer for CompressedTlb {
     fn capacity(&self) -> usize {
         self.config.entries
     }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |detail: String| {
+            Err(InvariantViolation::new(
+                "CompressedTlb",
+                detail,
+                self.dump_state(),
+            ))
+        };
+        if let Err(e) = self.stats.check() {
+            return fail(e);
+        }
+        let degree_mask = if self.compression.degree >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.compression.degree) - 1
+        };
+        for set in 0..self.config.sets() {
+            let ways = &self.ways[self.set_range(set)];
+            for (i, w) in ways.iter().enumerate().filter(|(_, w)| w.valid) {
+                if w.mask == 0 {
+                    return fail(format!("set {set} way {i}: valid entry with empty run mask"));
+                }
+                if u64::from(w.mask) & !degree_mask != 0 {
+                    return fail(format!(
+                        "set {set} way {i}: mask {:#x} has bits beyond compression degree {}",
+                        w.mask, self.compression.degree
+                    ));
+                }
+                if w.literal && w.mask.count_ones() != 1 {
+                    return fail(format!(
+                        "set {set} way {i}: literal entry covers {} pages (must be 1)",
+                        w.mask.count_ones()
+                    ));
+                }
+                if w.base_vpn.raw() & (self.compression.degree as u64 - 1) != 0 {
+                    return fail(format!(
+                        "set {set} way {i}: base VPN {:#x} not aligned to run degree",
+                        w.base_vpn.raw()
+                    ));
+                }
+                if w.stamp > self.clock {
+                    return fail(format!(
+                        "set {set} way {i}: stamp {} ahead of clock {}",
+                        w.stamp, self.clock
+                    ));
+                }
+                if ways[..i].iter().any(|o| o.valid && o.stamp == w.stamp) {
+                    return fail(format!(
+                        "set {set}: duplicate LRU stamp {} breaks the recency total order",
+                        w.stamp
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dump_state(&self) -> String {
+        let mut s = format!(
+            "CompressedTlb: {} entries, degree {}, clock {}, stats {{{:?}}}\n",
+            self.config.entries, self.compression.degree, self.clock, self.stats
+        );
+        for set in 0..self.config.sets() {
+            let ways = &self.ways[self.set_range(set)];
+            if ways.iter().all(|w| !w.valid) {
+                continue;
+            }
+            let _ = write!(s, "  set {set:3}:");
+            for w in ways.iter().filter(|w| w.valid) {
+                let _ = write!(
+                    s,
+                    " [base_vpn={:#x} base_ppn={:#x} mask={:#010b}{} @{}]",
+                    w.base_vpn.raw(),
+                    w.base_ppn.raw(),
+                    w.mask,
+                    if w.literal { " literal" } else { "" },
+                    w.stamp
+                );
+            }
+            s.push('\n');
+        }
+        s
+    }
 }
 
 impl CompressedTlb {
@@ -297,7 +383,7 @@ impl CompressedTlb {
             .enumerate()
             .min_by_key(|(_, w)| (w.valid, w.stamp))
             .map(|(i, _)| i)
-            .expect("associativity is non-zero");
+            .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
         let off = self.run_offset(vpn);
         let base_vpn = self.run_base(vpn);
         let way = &mut self.ways[range.start + victim];
@@ -425,6 +511,28 @@ mod tests {
                 decompress_latency: 1,
             },
         );
+    }
+
+    #[test]
+    fn invariants_hold_through_compression_workload() {
+        let mut t = tlb();
+        for i in 0..64u64 {
+            let r = req(i % 21);
+            if !t.lookup(&r).hit {
+                t.insert(&r, Ppn::new(1000 + i % 21));
+            }
+            t.check_invariants().expect("workload keeps invariants");
+        }
+    }
+
+    #[test]
+    fn empty_mask_on_valid_entry_is_reported() {
+        let mut t = tlb();
+        t.insert(&req(0), Ppn::new(100));
+        let w = t.ways.iter_mut().find(|w| w.valid).unwrap();
+        w.mask = 0;
+        let v = t.check_invariants().unwrap_err();
+        assert!(v.detail.contains("empty run mask"), "{}", v.detail);
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl TlbConfig {
     pub fn new(entries: usize, associativity: usize, lookup_latency: u64) -> Self {
         assert!(entries > 0 && associativity > 0, "geometry must be non-zero");
         assert!(
-            entries % associativity == 0,
+            entries.is_multiple_of(associativity),
             "entries {entries} must be a multiple of associativity {associativity}"
         );
         let sets = entries / associativity;

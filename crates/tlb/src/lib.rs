@@ -35,11 +35,13 @@
 mod compressed;
 mod config;
 mod request;
+mod sanitize;
 mod set_assoc;
 mod stats;
 
 pub use compressed::{CompressedTlb, CompressionConfig};
 pub use config::TlbConfig;
 pub use request::{TlbOutcome, TlbRequest, TranslationBuffer};
+pub use sanitize::InvariantViolation;
 pub use set_assoc::SetAssocTlb;
 pub use stats::TlbStats;

@@ -1,6 +1,7 @@
 //! The request/outcome types and the [`TranslationBuffer`] trait that all
 //! L1 TLB organizations implement.
 
+use crate::sanitize::InvariantViolation;
 use crate::stats::TlbStats;
 use vmem::{PageSize, Ppn, Vpn};
 
@@ -111,6 +112,21 @@ pub trait TranslationBuffer {
     /// size its per-TB set groups.
     fn set_concurrent_tbs(&mut self, tbs: u8) {
         let _ = tbs;
+    }
+
+    /// Validates the organization's internal invariants (LRU recency is a
+    /// total order per set, stats identities hold, occupancy ≤ capacity,
+    /// entries live where their owner may place them, ...). Called by the
+    /// simulator's sanitizer after TLB operations; the default assumes
+    /// nothing can go wrong.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        Ok(())
+    }
+
+    /// Human-readable dump of the full internal state, embedded in
+    /// [`InvariantViolation`] reports.
+    fn dump_state(&self) -> String {
+        String::from("<no state dump implemented for this TLB organization>")
     }
 }
 

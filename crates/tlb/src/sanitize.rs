@@ -1,0 +1,82 @@
+//! Runtime invariant checking shared by all TLB organizations.
+//!
+//! Every [`TranslationBuffer`](crate::TranslationBuffer) can describe its
+//! internal-consistency rules via `check_invariants`; the simulator's
+//! sanitizer (see `gpu-sim`) calls it after TLB operations and engine
+//! cycles, and panics with the violation — including a full state dump —
+//! the first time one fires. Keeping the violation type here (rather than
+//! in `gpu-sim`) lets the TLB crates report rich diagnostics without a
+//! dependency cycle.
+
+use std::fmt;
+
+/// A broken internal invariant, carrying enough context to debug it.
+///
+/// # Example
+///
+/// ```
+/// use tlb::InvariantViolation;
+///
+/// let v = InvariantViolation::new("SetAssocTlb", "stamp exceeds clock", "clock=3");
+/// assert!(v.to_string().contains("stamp exceeds clock"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which component detected the violation (e.g. `PartitionedTlb`).
+    pub context: String,
+    /// Which invariant broke, with the offending values.
+    pub detail: String,
+    /// Full state dump of the component at the moment of detection.
+    pub dump: String,
+}
+
+impl InvariantViolation {
+    /// Creates a violation record.
+    pub fn new(
+        context: impl Into<String>,
+        detail: impl Into<String>,
+        dump: impl Into<String>,
+    ) -> Self {
+        InvariantViolation {
+            context: context.into(),
+            detail: detail.into(),
+            dump: dump.into(),
+        }
+    }
+
+    /// Returns a copy with `context` prefixed by `outer` (used by the
+    /// engine to tag which SM's TLB failed).
+    pub fn in_context(mut self, outer: &str) -> Self {
+        self.context = format!("{outer}: {}", self.context);
+        self
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "invariant violated in {}: {}", self.context, self.detail)?;
+        writeln!(f, "--- state dump ---")?;
+        f.write_str(&self.dump)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context_detail_and_dump() {
+        let v = InvariantViolation::new("T", "bad stamp", "set 0: ...");
+        let s = v.to_string();
+        assert!(s.contains("invariant violated in T"));
+        assert!(s.contains("bad stamp"));
+        assert!(s.contains("state dump"));
+        assert!(s.contains("set 0"));
+    }
+
+    #[test]
+    fn in_context_prefixes() {
+        let v = InvariantViolation::new("T", "d", "").in_context("sm3 l1-tlb");
+        assert_eq!(v.context, "sm3 l1-tlb: T");
+    }
+}

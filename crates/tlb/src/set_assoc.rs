@@ -8,7 +8,9 @@
 
 use crate::config::TlbConfig;
 use crate::request::{TlbOutcome, TlbRequest, TranslationBuffer};
+use crate::sanitize::InvariantViolation;
 use crate::stats::TlbStats;
+use std::fmt::Write as _;
 use vmem::{Ppn, Vpn};
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -60,7 +62,9 @@ impl SetAssocTlb {
     }
 
     fn set_of(&self, vpn: Vpn) -> usize {
-        (vpn.raw() as usize) & (self.config.sets() - 1)
+        // Mask in u64 before narrowing so the set index is identical on
+        // 32-bit hosts.
+        (vpn.raw() & (self.config.sets() as u64 - 1)) as usize
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -121,7 +125,7 @@ impl TranslationBuffer for SetAssocTlb {
             .enumerate()
             .min_by_key(|(_, w)| (w.valid, w.stamp))
             .map(|(i, _)| i)
-            .expect("associativity is non-zero");
+            .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
         let way = &mut self.ways[range.start + victim];
         if way.valid {
             self.stats.evictions += 1;
@@ -150,6 +154,68 @@ impl TranslationBuffer for SetAssocTlb {
 
     fn capacity(&self) -> usize {
         self.config.entries
+    }
+
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |detail: String| {
+            Err(InvariantViolation::new(
+                "SetAssocTlb",
+                detail,
+                self.dump_state(),
+            ))
+        };
+        if let Err(e) = self.stats.check() {
+            return fail(e);
+        }
+        if self.occupancy() > self.capacity() {
+            return fail(format!(
+                "occupancy {} exceeds capacity {}",
+                self.occupancy(),
+                self.capacity()
+            ));
+        }
+        for set in 0..self.config.sets() {
+            let ways = &self.ways[self.set_range(set)];
+            for (i, w) in ways.iter().enumerate().filter(|(_, w)| w.valid) {
+                if w.stamp > self.clock {
+                    return fail(format!(
+                        "set {set} way {i}: stamp {} ahead of clock {}",
+                        w.stamp, self.clock
+                    ));
+                }
+                // Distinct stamps per set make LRU a total order: ties
+                // would leave the victim choice to iteration order.
+                if ways[..i].iter().any(|o| o.valid && o.stamp == w.stamp) {
+                    return fail(format!(
+                        "set {set}: duplicate LRU stamp {} breaks the recency total order",
+                        w.stamp
+                    ));
+                }
+                if ways[..i].iter().any(|o| o.valid && o.vpn == w.vpn) {
+                    return fail(format!("set {set}: VPN {:#x} resident twice", w.vpn.raw()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dump_state(&self) -> String {
+        let mut s = format!(
+            "SetAssocTlb: {} entries, {}-way, clock {}, stats {{{:?}}}\n",
+            self.config.entries, self.config.associativity, self.clock, self.stats
+        );
+        for set in 0..self.config.sets() {
+            let ways = &self.ways[self.set_range(set)];
+            if ways.iter().all(|w| !w.valid) {
+                continue;
+            }
+            let _ = write!(s, "  set {set:3}:");
+            for w in ways.iter().filter(|w| w.valid) {
+                let _ = write!(s, " [vpn={:#x} ppn={:#x} @{}]", w.vpn.raw(), w.ppn.raw(), w.stamp);
+            }
+            s.push('\n');
+        }
+        s
     }
 }
 
@@ -256,6 +322,39 @@ mod tests {
             }
         }
         assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    fn invariants_hold_through_a_mixed_workload() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(8, 2, 1));
+        for i in 0..40u64 {
+            let r = req(i % 13);
+            if !t.lookup(&r).hit {
+                t.insert(&r, Ppn::new(i));
+            }
+            t.check_invariants().expect("workload keeps invariants");
+        }
+    }
+
+    #[test]
+    fn corrupted_stamp_is_reported_with_dump() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        t.insert(&req(0), Ppn::new(0));
+        t.insert(&req(1), Ppn::new(1));
+        // Force a duplicate stamp: LRU order is no longer total.
+        let s = t.ways[0].stamp;
+        t.ways[1].stamp = s;
+        let v = t.check_invariants().unwrap_err();
+        assert!(v.detail.contains("duplicate LRU stamp"), "{}", v.detail);
+        assert!(v.dump.contains("set   0"), "dump missing state:\n{}", v.dump);
+    }
+
+    #[test]
+    fn broken_stats_identity_is_reported() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        t.lookup(&req(0));
+        t.stats.hits += 1; // bypass record()
+        assert!(t.check_invariants().is_err());
     }
 
     #[test]

@@ -26,11 +26,16 @@ pub struct TlbStats {
     pub evictions: u64,
     /// Entries inserted.
     pub insertions: u64,
+    /// Total lookups, counted independently of the hit/miss split so the
+    /// identity `hits + misses == lookups` is a checkable invariant (the
+    /// sanitizer and `SimReport` aggregation both assert it).
+    pub lookups: u64,
 }
 
 impl TlbStats {
     /// Records one lookup outcome.
     pub fn record(&mut self, hit: bool) {
+        self.lookups += 1;
         if hit {
             self.hits += 1;
         } else {
@@ -41,6 +46,21 @@ impl TlbStats {
     /// Total lookups.
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
+    }
+
+    /// Checks the counter identity `hits + misses == lookups`.
+    ///
+    /// Every lookup must be classified as exactly one of hit or miss; a
+    /// TLB implementation that bumps `hits`/`misses` without going through
+    /// [`TlbStats::record`] (or vice versa) breaks this and is reported.
+    pub fn check(&self) -> Result<(), String> {
+        if self.hits + self.misses != self.lookups {
+            return Err(format!(
+                "hits ({}) + misses ({}) != lookups ({})",
+                self.hits, self.misses, self.lookups
+            ));
+        }
+        Ok(())
     }
 
     /// Hit rate in `[0, 1]`; `0.0` when no accesses were made.
@@ -75,6 +95,7 @@ impl Add for TlbStats {
             misses: self.misses + rhs.misses,
             evictions: self.evictions + rhs.evictions,
             insertions: self.insertions + rhs.insertions,
+            lookups: self.lookups + rhs.lookups,
         }
     }
 }
@@ -130,21 +151,43 @@ mod tests {
             misses: 2,
             evictions: 3,
             insertions: 4,
+            lookups: 3,
         };
         let b = TlbStats {
             hits: 10,
             misses: 20,
             evictions: 30,
             insertions: 40,
+            lookups: 30,
         };
         let c = a + b;
         assert_eq!(c.hits, 11);
         assert_eq!(c.misses, 22);
         assert_eq!(c.evictions, 33);
         assert_eq!(c.insertions, 44);
+        assert_eq!(c.lookups, 33);
         let mut d = a;
         d += b;
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn record_maintains_lookup_identity() {
+        let mut s = TlbStats::default();
+        for i in 0..10 {
+            s.record(i % 3 == 0);
+        }
+        assert_eq!(s.lookups, 10);
+        assert!(s.check().is_ok());
+    }
+
+    #[test]
+    fn check_reports_broken_identity() {
+        let mut s = TlbStats::default();
+        s.record(true);
+        s.hits += 1; // bypasses record(): identity now broken
+        let err = s.check().unwrap_err();
+        assert!(err.contains("lookups"), "unexpected message: {err}");
     }
 
     #[test]

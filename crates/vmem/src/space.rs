@@ -11,7 +11,7 @@ use crate::error::VmemError;
 use crate::frame::FrameAllocator;
 use crate::page::PageSize;
 use crate::page_table::{PageTable, PteFlags, WalkResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier for an allocated buffer within an [`AddressSpace`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -124,7 +124,7 @@ pub struct AddressSpace {
     page_table: PageTable,
     frames: FrameAllocator,
     buffers: Vec<Buffer>,
-    by_name: HashMap<String, BufferId>,
+    by_name: BTreeMap<String, BufferId>,
     /// Next free virtual address for buffer placement.
     next_va: u64,
     stats: SpaceStats,
@@ -150,7 +150,7 @@ impl AddressSpace {
             page_table: PageTable::new(),
             frames: FrameAllocator::new_scrambled(DEFAULT_POOL_FRAMES),
             buffers: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             next_va: VA_BASE,
             stats: SpaceStats::default(),
         }
@@ -171,7 +171,7 @@ impl AddressSpace {
             page_table: PageTable::new(),
             frames: FrameAllocator::new(capacity_frames),
             buffers: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             next_va: VA_BASE,
             stats: SpaceStats::default(),
         }

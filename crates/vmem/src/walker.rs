@@ -8,7 +8,7 @@
 //! walk, as the MSHR-style merging in MASK/gem5-gpu does.
 
 use crate::addr::Vpn;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A submitted walk request.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -52,7 +52,7 @@ pub struct WalkerPool {
     free_at: Vec<u64>,
     latency: u64,
     /// In-flight walks by VPN -> completion cycle.
-    in_flight: HashMap<Vpn, u64>,
+    in_flight: BTreeMap<Vpn, u64>,
     stats: WalkerStats,
 }
 
@@ -68,7 +68,7 @@ impl WalkerPool {
         WalkerPool {
             free_at: vec![0; walkers],
             latency,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             stats: WalkerStats::default(),
         }
     }

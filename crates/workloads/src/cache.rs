@@ -16,7 +16,7 @@
 //! threads asking for *different* workloads generate concurrently while
 //! two threads asking for the *same* workload generate it exactly once.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // simlint: allow(hash-iter, reason = "cache keyed by (name, scale, seed, page size); never iterated")
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -64,7 +64,7 @@ impl CacheStats {
 /// ```
 #[derive(Default)]
 pub struct WorkloadCache {
-    entries: Mutex<HashMap<Key, Arc<OnceLock<Workload>>>>,
+    entries: Mutex<HashMap<Key, Arc<OnceLock<Workload>>>>, // simlint: allow(hash-iter, reason = "keyed access only; results never depend on entry order")
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -27,7 +27,7 @@ proptest! {
                             WarpOp::Compute { cycles } => prop_assert!(*cycles > 0),
                             WarpOp::Load(acc) | WarpOp::Store(acc) => {
                                 let n = acc.lane_count();
-                                prop_assert!(n >= 1 && n <= LANES_PER_WARP);
+                                prop_assert!((1..=LANES_PER_WARP).contains(&n));
                                 for va in acc.addresses() {
                                     prop_assert!(
                                         wl.space().is_covered(va),

@@ -74,7 +74,7 @@ proptest! {
         t.set_concurrent_tbs(tbs);
         let out = t.lookup(&TlbRequest::new(Vpn::new(vpn), 0));
         let sets = 16usize;
-        let own = sets / tbs as usize + usize::from(sets % tbs as usize != 0);
+        let own = sets / tbs as usize + usize::from(!sets.is_multiple_of(tbs as usize));
         prop_assert!(out.latency >= 1);
         prop_assert!(
             out.latency <= 2 * own as u64 + 1,
