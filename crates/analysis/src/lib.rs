@@ -33,11 +33,13 @@
 mod cdf;
 mod distance;
 mod imbalance;
+mod latency;
 mod reuse;
 
 pub use cdf::Cdf;
 pub use imbalance::{tb_translation_imbalance, Imbalance};
 pub use distance::{reuse_distance_samples, DistanceOptions};
+pub use latency::{latency_shares, LATENCY_COMPONENTS};
 pub use reuse::{
     inter_intensities, intra_intensities, tb_translation_streams, warp_translation_streams,
     ReuseBins, TbStream,

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale test|small|paper] [--jobs N] [--sanitize] [--fig2]
 //!       [--fig3] [--fig4] [--fig5] [--fig6] [--fig10] [--fig11]
-//!       [--fig12] [--hugepage] [--table2] [--all]
+//!       [--fig12] [--hugepage] [--table2] [--breakdown] [--all]
 //! ```
 //!
 //! `--jobs N` runs up to `N` grid cells (benchmark × mechanism) in
@@ -236,6 +236,52 @@ fn print_warp_study(scale: Scale, grid: &Grid) {
     println!();
 }
 
+/// Prints the mem-hier per-level translation-latency attribution for the
+/// baseline and the full proposal: where each translation cycle went
+/// (L1 TLB, interconnect, L2 TLB queueing, L2 TLB lookup, walk, fault).
+fn print_breakdown(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
+    println!("== Translation latency breakdown (share of translation cycles) ==");
+    println!(
+        "{:<10} {:<18} {:>9}{}",
+        "bench",
+        "mechanism",
+        "mean lat",
+        analysis::LATENCY_COMPONENTS
+            .map(|c| format!(" {c:>13}"))
+            .join("")
+    );
+    let mechs = [Mechanism::Baseline, Mechanism::Full];
+    let cells: Vec<(usize, Mechanism)> = (0..specs.len())
+        .flat_map(|i| mechs.into_iter().map(move |m| (i, m)))
+        .collect();
+    let rows = grid.map(&cells, |&(i, m)| {
+        let report = run_benchmark_cached(
+            grid.cache(),
+            &specs[i],
+            scale,
+            SEED,
+            m,
+            gpu_sim::GpuConfig::dac23_baseline(),
+        );
+        report
+            .latency
+            .check()
+            .expect("per-stage latency must sum to end-to-end translation latency");
+        let shares = analysis::latency_shares(&report.latency);
+        format!(
+            "{:<10} {:<18} {:>9.1}{}",
+            specs[i].name,
+            m.to_string(),
+            report.latency.mean_latency(),
+            shares.map(|s| format!(" {:>12.1}%", s * 100.0)).join("")
+        )
+    });
+    for row in rows {
+        println!("{row}");
+    }
+    println!();
+}
+
 /// Prints every mechanism's headline counters as CSV for the selected
 /// benchmarks.
 fn print_csv(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
@@ -292,6 +338,7 @@ fn main() {
                 }
             }
             "--csv" => wanted.push("csv".into()),
+            "--breakdown" => wanted.push("breakdown".into()),
             "--variance" => wanted.push("variance".into()),
             "--warp-study" => wanted.push("warp".into()),
             "--scale" => {
@@ -376,6 +423,9 @@ fn main() {
     }
     if has("hugepage") {
         print_hugepage(&specs, scale, &grid);
+    }
+    if has("breakdown") {
+        print_breakdown(&specs, scale, &grid);
     }
     if has("variance") {
         print_variance(scale, &grid);

@@ -2,7 +2,8 @@
 //! baseline, printed as CSV.
 //!
 //! ```text
-//! sweep --param l1-entries|l2-entries|walkers|walk-latency|l2-ports|sms
+//! sweep --param l1-entries|l2-entries|walkers|walk-latency|l2-ports|
+//!               l2-port-occupancy|l2-slices|sms
 //!       [--scale test|small|paper] [--bench <name>]...
 //!       [--mechanism full|baseline] [--jobs N] [--sanitize]
 //! ```
@@ -36,6 +37,7 @@ enum Param {
     Walkers,
     WalkLatency,
     L2Ports,
+    L2PortOccupancy,
     L2Slices,
     Sms,
 }
@@ -48,6 +50,7 @@ impl Param {
             "walkers" => Param::Walkers,
             "walk-latency" => Param::WalkLatency,
             "l2-ports" => Param::L2Ports,
+            "l2-port-occupancy" => Param::L2PortOccupancy,
             "l2-slices" => Param::L2Slices,
             "sms" => Param::Sms,
             _ => return None,
@@ -61,6 +64,9 @@ impl Param {
             Param::Walkers => vec![1, 2, 4, 8, 16, 32],
             Param::WalkLatency => vec![100, 250, 500, 1000, 2000],
             Param::L2Ports => vec![1, 2, 4, 8],
+            // 1 = pipelined baseline; 10 = a port held for the full
+            // lookup latency (unpipelined L2 TLB).
+            Param::L2PortOccupancy => vec![1, 2, 5, 10],
             Param::L2Slices => vec![1, 2, 4, 8, 16],
             Param::Sms => vec![4, 8, 16, 32],
         }
@@ -86,6 +92,10 @@ impl Param {
                 l2_tlb_ports: value as usize,
                 ..base
             },
+            Param::L2PortOccupancy => GpuConfig {
+                l2_tlb_port_occupancy: value,
+                ..base
+            },
             Param::L2Slices => GpuConfig {
                 l2_tlb_slices: value as usize,
                 ..base
@@ -104,6 +114,7 @@ impl Param {
             Param::Walkers => "walkers",
             Param::WalkLatency => "walk_latency",
             Param::L2Ports => "l2_ports",
+            Param::L2PortOccupancy => "l2_port_occupancy",
             Param::L2Slices => "l2_slices",
             Param::Sms => "sms",
         }
@@ -136,7 +147,7 @@ fn main() {
                 param = args.get(i).and_then(|s| Param::parse(s));
                 if param.is_none() {
                     eprintln!(
-                        "--param must be one of l1-entries|l2-entries|walkers|walk-latency|l2-ports|l2-slices|sms"
+                        "--param must be one of l1-entries|l2-entries|walkers|walk-latency|l2-ports|l2-port-occupancy|l2-slices|sms"
                     );
                     std::process::exit(2);
                 }
@@ -192,9 +203,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    println!(
-        "param,value,bench,mechanism,cycles,l1_tlb_hit_rate,l2_tlb_hit_rate,walks,walker_wait"
-    );
+    println!(concat!(
+        "param,value,bench,mechanism,cycles,l1_tlb_hit_rate,l2_tlb_hit_rate,walks,walker_wait,",
+        "walker_coalesced,walker_max_queue_wait,translations,l1_tlb_cycles,icnt_cycles,",
+        "l2_tlb_queue_cycles,l2_tlb_lookup_cycles,walk_cycles,fault_cycles,translate_cycles"
+    ));
     // One sweep cell per parameter value × benchmark; the grid preserves
     // cell order, so the CSV comes out value-major like the serial loop.
     let grid = Grid::new(jobs);
@@ -214,7 +227,7 @@ fn main() {
             param.apply(value),
         );
         format!(
-            "{},{},{},{},{},{:.6},{:.6},{},{}",
+            "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{}",
             param.name(),
             value,
             spec.name,
@@ -223,7 +236,17 @@ fn main() {
             r.l1_tlb_hit_rate(),
             r.l2_tlb.hit_rate(),
             r.walker.walks,
-            r.walker.queue_wait_cycles
+            r.walker.queue_wait_cycles,
+            r.walker.coalesced,
+            r.walker.max_queue_wait,
+            r.latency.translations,
+            r.latency.l1_tlb_cycles,
+            r.latency.icnt_cycles,
+            r.latency.l2_tlb_queue_cycles,
+            r.latency.l2_tlb_lookup_cycles,
+            r.latency.walk_cycles,
+            r.latency.fault_cycles,
+            r.latency.end_to_end_cycles
         )
     });
     for row in rows {

@@ -1,0 +1,91 @@
+//! The mem-hier latency breakdown must account for every translation
+//! cycle: for any mechanism, sharing policy, and hierarchy shape, the sum
+//! of per-stage contributions (L1 TLB + interconnect + L2 TLB queueing +
+//! L2 TLB lookup + walk + fault) equals the independently accumulated
+//! end-to-end translation latency. The engine debug-asserts this per
+//! translation; these tests pin the aggregate identity in release mode
+//! too, across the whole mechanism × policy space.
+
+use bench::SEED;
+use gpu_sim::{GpuConfig, SimReport, Simulator};
+use orchestrated_tlb::{
+    run_benchmark, Mechanism, PartitionedTlb, PartitionedTlbConfig, SharingPolicy,
+    TlbAwareScheduler,
+};
+use proptest::prelude::*;
+use tlb::TranslationBuffer;
+use workloads::{registry, Scale};
+
+fn assert_breakdown_accounts_for_everything(r: &SimReport, context: &str) {
+    r.latency
+        .check()
+        .unwrap_or_else(|e| panic!("latency identity broken under {context}: {e}"));
+    assert!(
+        r.latency.translations > 0,
+        "no translations recorded under {context}"
+    );
+    assert_eq!(
+        r.latency.stage_sum(),
+        r.latency.end_to_end_cycles,
+        "stage sum != end-to-end under {context}"
+    );
+    r.walker
+        .check()
+        .unwrap_or_else(|e| panic!("walker stats broken under {context}: {e}"));
+}
+
+/// Every mechanism of the paper satisfies the identity (exhaustive, not
+/// sampled: the mechanism list is small and each carries a different L1
+/// TLB organization through the same hierarchy).
+#[test]
+fn every_mechanism_accounts_for_every_translation_cycle() {
+    let spec = registry().into_iter().find(|s| s.name == "bfs").unwrap();
+    for m in Mechanism::all() {
+        let r = run_benchmark(&spec, Scale::Test, SEED, m, GpuConfig::dac23_baseline());
+        assert_breakdown_accounts_for_everything(&r, m.label());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random benchmark × sharing policy × hierarchy shape: the identity
+    /// is structural, not a property of the baseline numbers.
+    #[test]
+    fn breakdown_identity_holds_for_any_sharing_policy_and_shape(
+        bench_idx in 0usize..16,
+        policy_idx in 0usize..4,
+        slices in prop_oneof![Just(1usize), Just(2), Just(4)],
+        occupancy in 1u64..=10,
+        per_level in prop_oneof![Just(0u64), Just(25)],
+    ) {
+        let specs = registry();
+        let spec = &specs[bench_idx % specs.len()];
+        let sharing = [
+            SharingPolicy::None,
+            SharingPolicy::Adjacent,
+            SharingPolicy::AdjacentCounter { threshold: 2 },
+            SharingPolicy::AllToAll,
+        ][policy_idx];
+        let config = GpuConfig {
+            l2_tlb_slices: slices,
+            l2_tlb_port_occupancy: occupancy,
+            walk_latency_per_level: per_level,
+            ..GpuConfig::dac23_baseline()
+        };
+        let r = Simulator::new(config)
+            .with_tb_scheduler(Box::new(TlbAwareScheduler::new()))
+            .with_l1_tlb_factory(Box::new(move |c: &GpuConfig| {
+                Box::new(PartitionedTlb::new(PartitionedTlbConfig {
+                    geometry: c.l1_tlb,
+                    sharing,
+                    ..PartitionedTlbConfig::partition_only()
+                })) as Box<dyn TranslationBuffer>
+            }))
+            .run(spec.generate(Scale::Test, SEED));
+        assert_breakdown_accounts_for_everything(
+            &r,
+            &format!("{} sharing={sharing:?} slices={slices} occ={occupancy} per_level={per_level}", spec.name),
+        );
+    }
+}

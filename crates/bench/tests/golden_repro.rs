@@ -1,0 +1,40 @@
+//! The refactor contract: `repro --all --scale test` is byte-identical to
+//! the golden report checked in before the mem-hier extraction. Any
+//! timing drift — one cycle anywhere, one reordered row — fails this test
+//! before it can silently shift the paper's reproduced figures.
+
+use std::process::Command;
+
+/// The pre-refactor golden output (checked in; regenerate only for a
+/// deliberate, documented timing change — see EXPERIMENTS.md).
+const GOLDEN: &str = include_str!("golden/repro_all_test.txt");
+
+#[test]
+fn repro_all_test_scale_matches_golden_byte_for_byte() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--all", "--scale", "test", "--jobs", "2"])
+        .output()
+        .expect("repro binary must run");
+    assert!(
+        out.status.success(),
+        "repro exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("repro output is UTF-8");
+    if got != GOLDEN {
+        // Locate the first divergence for a readable failure message.
+        let diverge = got
+            .lines()
+            .zip(GOLDEN.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| got.lines().count().min(GOLDEN.lines().count()));
+        let got_line = got.lines().nth(diverge).unwrap_or("<missing>");
+        let want_line = GOLDEN.lines().nth(diverge).unwrap_or("<missing>");
+        panic!(
+            "repro output diverged from golden at line {}:\n  got:  {got_line}\n  want: {want_line}\n\
+             (regenerate tests/golden/repro_all_test.txt only for a deliberate timing change)",
+            diverge + 1
+        );
+    }
+}

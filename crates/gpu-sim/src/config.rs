@@ -1,48 +1,7 @@
 //! Simulator configuration (the paper's Table III).
 
+use mem_hier::{CacheConfig, HierarchyConfig};
 use tlb::TlbConfig;
-
-/// Geometry of a data cache.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub struct CacheConfig {
-    /// Total capacity in bytes.
-    pub bytes: usize,
-    /// Associativity.
-    pub associativity: usize,
-    /// Line size in bytes.
-    pub line_bytes: usize,
-}
-
-impl CacheConfig {
-    /// Creates a cache geometry.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `bytes` divides evenly into whole sets of
-    /// `associativity` lines. (Set counts need not be powers of two: the
-    /// cache indexes by modulo, matching a sliced L2 whose 12 partitions
-    /// each hold a power-of-two number of sets.)
-    pub fn new(bytes: usize, associativity: usize, line_bytes: usize) -> Self {
-        assert!(bytes > 0 && associativity > 0 && line_bytes > 0);
-        let lines = bytes / line_bytes;
-        assert!(lines.is_multiple_of(associativity), "lines must fill whole sets");
-        CacheConfig {
-            bytes,
-            associativity,
-            line_bytes,
-        }
-    }
-
-    /// Number of lines.
-    pub fn lines(&self) -> usize {
-        self.bytes / self.line_bytes
-    }
-
-    /// Number of sets.
-    pub fn sets(&self) -> usize {
-        self.lines() / self.associativity
-    }
-}
 
 /// Full GPU configuration.
 ///
@@ -101,6 +60,11 @@ pub struct GpuConfig {
     /// spread across the memory partitions; 1 = monolithic). Entries are
     /// divided evenly; pages map to slices by VPN.
     pub l2_tlb_slices: usize,
+    /// Cycles a granted lookup holds an L2 TLB port. The baseline's 1
+    /// models fully pipelined lookups (a slice starts `l2_tlb_ports` new
+    /// lookups per cycle regardless of `lookup_latency`); setting it to
+    /// the lookup latency models unpipelined ports.
+    pub l2_tlb_port_occupancy: u64,
 }
 
 impl GpuConfig {
@@ -127,6 +91,30 @@ impl GpuConfig {
             flush_l1_tlb_on_kernel_launch: true,
             l2_tlb_ports: 2,
             l2_tlb_slices: 1,
+            l2_tlb_port_occupancy: 1,
+        }
+    }
+
+    /// The mem-hier view of this configuration, consumed by
+    /// [`mem_hier::HierarchyBuilder`] to assemble the translation and
+    /// data pipeline.
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        HierarchyConfig {
+            num_sms: self.num_sms,
+            l1_cache: self.l1_cache,
+            l2_cache: self.l2_cache,
+            l2_tlb: self.l2_tlb,
+            l2_tlb_slices: self.l2_tlb_slices,
+            l2_tlb_ports: self.l2_tlb_ports,
+            l2_tlb_port_occupancy: self.l2_tlb_port_occupancy,
+            walkers: self.walkers,
+            walk_latency: self.walk_latency,
+            walk_latency_per_level: self.walk_latency_per_level,
+            l1_hit_latency: self.l1_hit_latency,
+            icnt_latency: self.icnt_latency,
+            l2_hit_latency: self.l2_hit_latency,
+            dram_latency: self.dram_latency,
+            demand_fault_latency: self.demand_fault_latency,
         }
     }
 
@@ -165,22 +153,36 @@ mod tests {
     }
 
     #[test]
-    fn cache_geometry() {
-        let c = CacheConfig::new(16 * 1024, 4, 128);
-        assert_eq!(c.lines(), 128);
-        assert_eq!(c.sets(), 32);
+    fn baseline_ports_are_pipelined() {
+        // Occupancy 1 is the pre-mem-hier engine behavior: a port is
+        // held exactly one cycle per granted lookup.
+        assert_eq!(GpuConfig::dac23_baseline().l2_tlb_port_occupancy, 1);
     }
 
     #[test]
-    #[should_panic(expected = "whole sets")]
-    fn bad_cache_geometry_rejected() {
-        let _ = CacheConfig::new(129 * 3, 2, 129 /* 3 lines, assoc 2 */);
-    }
-
-    #[test]
-    fn l2_slice_geometry_is_non_pow2_sets() {
-        let c = CacheConfig::new(1536 * 1024, 8, 128);
-        assert_eq!(c.sets(), 1536);
+    fn hierarchy_view_mirrors_every_field() {
+        let c = GpuConfig {
+            l2_tlb_slices: 4,
+            l2_tlb_port_occupancy: 10,
+            walk_latency_per_level: 25,
+            ..GpuConfig::dac23_baseline()
+        };
+        let h = c.hierarchy();
+        assert_eq!(h.num_sms, c.num_sms);
+        assert_eq!(h.l1_cache, c.l1_cache);
+        assert_eq!(h.l2_cache, c.l2_cache);
+        assert_eq!(h.l2_tlb, c.l2_tlb);
+        assert_eq!(h.l2_tlb_slices, 4);
+        assert_eq!(h.l2_tlb_ports, c.l2_tlb_ports);
+        assert_eq!(h.l2_tlb_port_occupancy, 10);
+        assert_eq!(h.walkers, c.walkers);
+        assert_eq!(h.walk_latency, c.walk_latency);
+        assert_eq!(h.walk_latency_per_level, 25);
+        assert_eq!(h.l1_hit_latency, c.l1_hit_latency);
+        assert_eq!(h.icnt_latency, c.icnt_latency);
+        assert_eq!(h.l2_hit_latency, c.l2_hit_latency);
+        assert_eq!(h.dram_latency, c.dram_latency);
+        assert_eq!(h.demand_fault_latency, c.demand_fault_latency);
     }
 
     #[test]

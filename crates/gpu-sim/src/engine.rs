@@ -11,15 +11,15 @@
 //! Determinism: SMs are processed in index order at each event cycle and
 //! every policy is seeded/stateless, so runs are bit-reproducible.
 
-use crate::cache::Cache;
 use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
 use crate::report::{SimReport, TranslationEvent};
 use crate::sanitize::{sanitize_enabled, Sanitizer};
 use crate::tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
 use crate::warp_sched::{GtoWarpScheduler, WarpScheduler, WarpView};
-use tlb::{SetAssocTlb, TlbRequest, TranslationBuffer};
-use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, VirtAddr, WalkerPool};
+use mem_hier::{Access, Hierarchy, HierarchyBuilder, HitLevel};
+use tlb::{SetAssocTlb, TranslationBuffer};
+use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, VirtAddr};
 use workloads::{KernelTrace, WarpOp, Workload};
 
 /// Builds L1 TLBs for each SM (lets the `orchestrated-tlb` crate plug in
@@ -132,8 +132,11 @@ impl Simulator {
         let n_sms = self.config.num_sms;
         let sanitize = self.sanitize.unwrap_or_else(sanitize_enabled);
         let mut sanitizer = sanitize.then(|| Sanitizer::new(n_sms));
-        let mut mem = MemorySystem::new(&self.config, space, self.trace_translations, sanitize);
-        self.build_l1_tlbs(&mut mem);
+        let l1_tlbs: Vec<Box<dyn TranslationBuffer>> = (0..n_sms)
+            .map(|_| (self.l1_tlb_factory)(&self.config))
+            .collect();
+        let mut mem =
+            MemorySystem::new(&self.config, space, l1_tlbs, self.trace_translations, sanitize);
         let mut report = SimReport {
             workload: name,
             scheduler: self.tb_scheduler.name().to_owned(),
@@ -159,16 +162,14 @@ impl Simulator {
         }
 
         report.total_cycles = cycle;
-        report.l1_tlb = mem.l1_tlbs.iter().map(|t| t.stats()).collect();
-        report.l2_tlb = mem
-            .l2_tlb
-            .iter()
-            .fold(tlb::TlbStats::default(), |a, t| a + t.stats());
-        report.l1_cache = mem.l1_caches.iter().map(|c| c.stats()).collect();
-        report.l2_cache = mem.l2_cache.stats();
-        report.walker = mem.walkers.stats();
-        report.demand_faults = mem.demand_faults;
-        report.transactions = mem.transactions;
+        report.l1_tlb = mem.l1_tlbs().iter().map(|t| t.stats()).collect();
+        report.l2_tlb = mem.hier.l2_tlb_stats();
+        report.l1_cache = mem.hier.l1_cache_stats();
+        report.l2_cache = mem.hier.l2_cache_stats();
+        report.walker = mem.hier.walker_stats();
+        report.demand_faults = mem.hier.demand_faults();
+        report.transactions = mem.hier.transactions();
+        report.latency = *mem.hier.breakdown();
         report.translation_trace = mem.trace.take().unwrap_or_default();
         report
     }
@@ -200,7 +201,7 @@ impl Simulator {
         let mut sms: Vec<SmRt> = (0..n_sms)
             .map(|_| SmRt::new(max_tbs, (self.warp_scheduler_factory)()))
             .collect();
-        for tlb in &mut mem.l1_tlbs {
+        for tlb in mem.l1_tlbs_mut() {
             tlb.set_concurrent_tbs(max_tbs);
             if self.config.flush_l1_tlb_on_kernel_launch {
                 tlb.flush();
@@ -218,7 +219,7 @@ impl Simulator {
                     .iter()
                     .enumerate()
                     .map(|(i, sm)| {
-                        let stats = mem.l1_tlbs[i].stats();
+                        let stats = mem.l1_tlbs()[i].stats();
                         SmSnapshot {
                             free_slots: sm.free_slots.len() as u8,
                             tlb_hits: stats.hits,
@@ -263,11 +264,11 @@ impl Simulator {
             }
 
             if let Some(san) = sanitizer.as_mut() {
-                san.after_cycle(cycle, &mem.l1_tlbs, self.tb_scheduler.as_ref(), n_sms);
+                san.after_cycle(cycle, mem.l1_tlbs(), self.tb_scheduler.as_ref(), n_sms);
             }
         }
         if let Some(san) = sanitizer.as_mut() {
-            san.end_of_kernel(cycle, &mem.l1_tlbs, &mem.l2_tlb);
+            san.end_of_kernel(cycle, mem.l1_tlbs(), mem.hier.l2_slices());
         }
         cycle
     }
@@ -299,7 +300,7 @@ impl Simulator {
                 sm.slot_live_warps[slot] -= 1;
                 if sm.slot_live_warps[slot] == 0 {
                     sm.free_slots.push(slot as u8);
-                    mem.l1_tlbs[sm_idx].on_tb_finish(slot as u8);
+                    mem.l1_tlbs_mut()[sm_idx].on_tb_finish(slot as u8);
                 }
             }
         }
@@ -517,74 +518,48 @@ impl SmRt {
     }
 }
 
-/// The shared memory subsystem: TLBs, caches, walkers, UVM space.
+/// The shared memory subsystem: a thin owner of the mem-hier pipeline
+/// plus the engine-side concerns that do not belong to a hierarchy level
+/// (translation tracing, sanitizer hooks).
 struct MemorySystem {
-    l1_tlbs: Vec<Box<dyn TranslationBuffer>>,
-    l1_caches: Vec<Cache>,
-    /// L2 TLB slices (VPN-interleaved; one = monolithic).
-    l2_tlb: Vec<SetAssocTlb>,
-    /// Next-free cycle per L2 TLB port, per slice (miss floods queue
-    /// here).
-    l2_tlb_ports: Vec<Vec<u64>>,
-    l2_cache: Cache,
-    walkers: WalkerPool,
-    space: AddressSpace,
+    /// The composed translation + data pipeline (see the `mem-hier`
+    /// crate): per-SM L1 TLBs, interconnect, sliced L2 TLB with port
+    /// arbitration, walker pool with UVM demand paging, VIPT caches.
+    hier: Hierarchy,
     page_size: PageSize,
-    walk_latency: u64,
-    walk_latency_per_level: u64,
-    l1_hit_latency: u64,
-    icnt_latency: u64,
-    l2_hit_latency: u64,
-    dram_latency: u64,
-    demand_fault_latency: u64,
-    demand_faults: u64,
-    transactions: u64,
     trace: Option<Vec<TranslationEvent>>,
     /// Run full L1 TLB invariant checks after every fill.
     sanitize: bool,
 }
 
 impl MemorySystem {
-    fn new(config: &GpuConfig, space: AddressSpace, trace: bool, sanitize: bool) -> Self {
+    fn new(
+        config: &GpuConfig,
+        space: AddressSpace,
+        l1_tlbs: Vec<Box<dyn TranslationBuffer>>,
+        trace: bool,
+        sanitize: bool,
+    ) -> Self {
+        let page_size = space.page_size();
         MemorySystem {
-            l1_tlbs: Vec::new(), // filled by Simulator::run via init_tlbs
-            l1_caches: (0..config.num_sms)
-                .map(|_| Cache::new(config.l1_cache))
-                .collect(),
-            l2_tlb: {
-                let slices = config.l2_tlb_slices.max(1);
-                let per_slice = tlb::TlbConfig::new(
-                    (config.l2_tlb.entries / slices).max(config.l2_tlb.associativity),
-                    config.l2_tlb.associativity,
-                    config.l2_tlb.lookup_latency,
-                );
-                (0..slices).map(|_| SetAssocTlb::new(per_slice)).collect()
-            },
-            l2_tlb_ports: vec![
-                vec![0; config.l2_tlb_ports.max(1)];
-                config.l2_tlb_slices.max(1)
-            ],
-            l2_cache: Cache::new(config.l2_cache),
-            walkers: WalkerPool::new(config.walkers, config.walk_latency),
-            page_size: space.page_size(),
-            space,
-            walk_latency: config.walk_latency,
-            walk_latency_per_level: config.walk_latency_per_level,
-            l1_hit_latency: config.l1_hit_latency,
-            icnt_latency: config.icnt_latency,
-            l2_hit_latency: config.l2_hit_latency,
-            dram_latency: config.dram_latency,
-            demand_fault_latency: config.demand_fault_latency,
-            demand_faults: 0,
-            transactions: 0,
+            hier: HierarchyBuilder::new(config.hierarchy()).build(space, l1_tlbs),
+            page_size,
             trace: trace.then(Vec::new),
             sanitize,
         }
     }
 
-    /// Translates one page (steps ②-⑥ of the paper's Figure 1): L1 TLB,
-    /// then shared L2 TLB, then the walker pool with UVM demand paging.
-    /// Returns the frame and the cycle the PPN becomes available.
+    fn l1_tlbs(&self) -> &[Box<dyn TranslationBuffer>] {
+        self.hier.l1_tlbs()
+    }
+
+    fn l1_tlbs_mut(&mut self) -> &mut [Box<dyn TranslationBuffer>] {
+        self.hier.l1_tlbs_mut()
+    }
+
+    /// Translates one page (steps ②-⑥ of the paper's Figure 1) through
+    /// the hierarchy. Returns the frame and the cycle the PPN becomes
+    /// available.
     #[allow(clippy::too_many_arguments)]
     fn translate(
         &mut self,
@@ -597,7 +572,6 @@ impl MemorySystem {
         line_va: VirtAddr,
     ) -> (Ppn, u64) {
         let vpn = line_va.vpn(self.page_size);
-        let req = TlbRequest::with_page_size(vpn, tb_slot, self.page_size);
         if let Some(trace) = &mut self.trace {
             trace.push(TranslationEvent {
                 sm: sm as u8,
@@ -607,88 +581,28 @@ impl MemorySystem {
                 vpn: vpn.raw(),
             });
         }
-
-        let l1_out = self.l1_tlbs[sm].lookup(&req);
-        if l1_out.hit {
-            return (l1_out.ppn.expect("hit carries ppn"), cycle + l1_out.latency); // simlint: allow(hot-unwrap, reason = "TlbOutcome::hit always carries a ppn")
+        let t = self.hier.translate(&Access {
+            at: cycle,
+            sm,
+            tb_slot,
+            va: line_va,
+            vpn,
+            page_size: self.page_size,
+        });
+        // Any resolution below the L1 filled the SM's L1 TLB (the path
+        // that evicts, spills and flips sharing flags): structurally
+        // check it, exactly as the pre-mem-hier engine did post-insert.
+        if self.sanitize && t.level != HitLevel::L1Tlb {
+            Sanitizer::after_fill(sm, cycle, self.hier.l1_tlbs()[sm].as_ref());
         }
-        // Miss: forward to the VPN-interleaved L2 TLB slice over the
-        // interconnect; the lookup must win one of the slice's ports.
-        let arrive = cycle + l1_out.latency + self.icnt_latency;
-        let slice = (vpn.raw() % self.l2_tlb.len() as u64) as usize;
-        let port = self.l2_tlb_ports[slice]
-            .iter_mut()
-            .min()
-            .expect("at least one port"); // simlint: allow(hot-unwrap, reason = "port vectors are sized max(1) at construction")
-        let at_l2 = arrive.max(*port);
-        *port = at_l2 + 1;
-        let l2_out = self.l2_tlb[slice].lookup(&req);
-        if l2_out.hit {
-            let ppn = l2_out.ppn.expect("hit carries ppn"); // simlint: allow(hot-unwrap, reason = "TlbOutcome::hit always carries a ppn")
-            self.l1_tlbs[sm].insert(&req, ppn);
-            if self.sanitize {
-                Sanitizer::after_fill(sm, cycle, self.l1_tlbs[sm].as_ref());
-            }
-            return (ppn, at_l2 + l2_out.latency + self.icnt_latency);
-        }
-        // Page-table walk (plus a one-time UVM fault on first touch).
-        let walk_start = at_l2 + l2_out.latency;
-        let (pa, fault) = self
-            .space
-            .translate_with_fault_info(line_va)
-            .expect("workload addresses must fall inside allocated buffers"); // simlint: allow(hot-unwrap, reason = "documented panic contract: out-of-buffer addresses are generator bugs")
-        let latency = if self.walk_latency_per_level == 0 {
-            self.walk_latency
-        } else {
-            let levels = self
-                .space
-                .walk(line_va)
-                .map(|w| w.levels_touched as u64)
-                .unwrap_or(4);
-            self.walk_latency + self.walk_latency_per_level * levels
-        };
-        let mut done = self.walkers.submit_with_latency(walk_start, vpn, latency);
-        if fault == vmem::FaultKind::DemandPaged {
-            done += self.demand_fault_latency;
-            self.demand_faults += 1;
-        }
-        let ppn = pa.ppn(self.page_size);
-        self.l2_tlb[slice].insert(&req, ppn);
-        self.l1_tlbs[sm].insert(&req, ppn);
-        if self.sanitize {
-            Sanitizer::after_fill(sm, cycle, self.l1_tlbs[sm].as_ref());
-        }
-        (ppn, done + self.icnt_latency)
+        (t.ppn, t.ready_at)
     }
 
     /// One coalesced line transaction through the data path: VIPT L1
     /// probed in parallel with translation (`start` already accounts for
     /// PPN availability), then L2/DRAM on miss.
     fn data_access(&mut self, start: u64, sm: usize, pa: PhysAddr, write: bool) -> u64 {
-        self.transactions += 1;
-        let l1_hit = self.l1_caches[sm].access(pa.raw(), write);
-        if l1_hit {
-            start + self.l1_hit_latency
-        } else {
-            let at_l2 = start + self.icnt_latency;
-            let l2_hit = self.l2_cache.access(pa.raw(), write);
-            if l2_hit {
-                at_l2 + self.l2_hit_latency + self.icnt_latency
-            } else {
-                at_l2 + self.l2_hit_latency + self.dram_latency + self.icnt_latency
-            }
-        }
-    }
-}
-
-// The L1 TLBs must be built by the factory owned by `Simulator`, which we
-// cannot do inside `MemorySystem::new` without borrowing `self`; run()
-// fills them in immediately after construction.
-impl Simulator {
-    fn build_l1_tlbs(&self, mem: &mut MemorySystem) {
-        mem.l1_tlbs = (0..self.config.num_sms)
-            .map(|_| (self.l1_tlb_factory)(&self.config))
-            .collect();
+        self.hier.data_access(start, sm, pa, write)
     }
 }
 

@@ -35,7 +35,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cache;
 mod coalesce;
 mod config;
 mod engine;
@@ -44,9 +43,13 @@ pub mod sanitize;
 mod tb_sched;
 mod warp_sched;
 
-pub use cache::{Cache, CacheStats};
+// The data caches and cache/hierarchy configuration moved to the
+// `mem-hier` crate; re-export them so downstream callers keep compiling
+// against `gpu_sim::{Cache, CacheConfig, ...}` unchanged.
+pub use mem_hier::{Cache, CacheConfig, CacheStats, LatencyBreakdown, TranslationBreakdown};
+
 pub use coalesce::{coalesce, coalesce_into};
-pub use config::{CacheConfig, GpuConfig};
+pub use config::GpuConfig;
 pub use engine::{L1TlbFactory, Simulator, WarpSchedulerFactory};
 pub use report::{SimReport, TranslationEvent};
 pub use sanitize::{sanitize_enabled, set_sanitize};

@@ -1,6 +1,6 @@
 //! Simulation results.
 
-use crate::cache::CacheStats;
+use mem_hier::{CacheStats, LatencyBreakdown};
 use std::fmt;
 use tlb::TlbStats;
 use vmem::WalkerStats;
@@ -51,6 +51,11 @@ pub struct SimReport {
     pub demand_faults: u64,
     /// TBs placed on each SM (scheduling balance).
     pub tb_placements: Vec<u32>,
+    /// Per-level translation-latency attribution (L1 TLB / interconnect /
+    /// L2 TLB queueing / L2 TLB lookup / walk / fault), accumulated by the
+    /// mem-hier pipeline. `latency.check()` holds: the stage cycles sum to
+    /// the independently measured end-to-end translation cycles.
+    pub latency: LatencyBreakdown,
     /// Recorded L1 TLB access stream (only when tracing was enabled).
     pub translation_trace: Vec<TranslationEvent>,
 }
@@ -114,11 +119,18 @@ impl SimReport {
     }
 
     /// Header row for [`SimReport::to_csv_row`].
+    ///
+    /// The first 12 columns are the pre-mem-hier schema and must stay in
+    /// place (downstream notebooks index them by position); new counters
+    /// are appended after `demand_faults` only.
     pub fn csv_header() -> &'static str {
         concat!(
             "workload,scheduler,cycles,instructions,transactions,",
             "l1_tlb_hit_rate,l2_tlb_hit_rate,l1_cache_hit_rate,",
-            "l2_cache_hit_rate,walks,walker_wait_cycles,demand_faults"
+            "l2_cache_hit_rate,walks,walker_wait_cycles,demand_faults,",
+            "walker_coalesced,walker_max_queue_wait,translations,",
+            "l1_tlb_cycles,icnt_cycles,l2_tlb_queue_cycles,",
+            "l2_tlb_lookup_cycles,walk_cycles,fault_cycles,translate_cycles"
         )
     }
 
@@ -134,8 +146,9 @@ impl SimReport {
                 evictions: a.evictions + b.evictions,
                 writebacks: a.writebacks + b.writebacks,
             });
+        let lat = &self.latency;
         format!(
-            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.workload,
             self.scheduler,
             self.total_cycles,
@@ -147,7 +160,17 @@ impl SimReport {
             self.l2_cache.hit_rate(),
             self.walker.walks,
             self.walker.queue_wait_cycles,
-            self.demand_faults
+            self.demand_faults,
+            self.walker.coalesced,
+            self.walker.max_queue_wait,
+            lat.translations,
+            lat.l1_tlb_cycles,
+            lat.icnt_cycles,
+            lat.l2_tlb_queue_cycles,
+            lat.l2_tlb_lookup_cycles,
+            lat.walk_cycles,
+            lat.fault_cycles,
+            lat.end_to_end_cycles
         )
     }
 }
@@ -167,7 +190,7 @@ impl fmt::Display for SimReport {
             self.walker.walks,
             self.demand_faults
         )?;
-        write!(
+        writeln!(
             f,
             "  L1 D$ hit: {:.1}%  L2 D$ hit: {:.1}%",
             self.l1_cache
@@ -181,7 +204,8 @@ impl fmt::Display for SimReport {
                 .hit_rate()
                 * 100.0,
             self.l2_cache.hit_rate() * 100.0
-        )
+        )?;
+        write!(f, "  {}", self.latency)
     }
 }
 
@@ -273,6 +297,56 @@ mod tests {
         // No stray whitespace or quoting (names are plain tokens).
         assert!(!row.contains(' '));
         assert!(!SimReport::csv_header().contains(' '));
+    }
+
+    #[test]
+    fn walker_and_breakdown_counters_round_trip_through_csv() {
+        let r = SimReport {
+            workload: "bfs".into(),
+            scheduler: "baseline".into(),
+            walker: WalkerStats {
+                walks: 10,
+                coalesced: 7,
+                queue_wait_cycles: 40,
+                max_queue_wait: 13,
+            },
+            latency: LatencyBreakdown {
+                translations: 3,
+                l1_tlb_cycles: 3,
+                icnt_cycles: 40,
+                l2_tlb_queue_cycles: 5,
+                l2_tlb_lookup_cycles: 10,
+                walk_cycles: 500,
+                fault_cycles: 2000,
+                end_to_end_cycles: 2558,
+            },
+            ..Default::default()
+        };
+        let header: Vec<&str> = SimReport::csv_header().split(',').collect();
+        let row = r.to_csv_row();
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), header.len());
+        let field = |name: &str| {
+            let i = header
+                .iter()
+                .position(|h| *h == name)
+                .unwrap_or_else(|| panic!("missing column {name}"));
+            cols[i].parse::<u64>().unwrap()
+        };
+        // Walker export (satellite 1): coalesced and max queue wait.
+        assert_eq!(field("walker_coalesced"), 7);
+        assert_eq!(field("walker_max_queue_wait"), 13);
+        // Per-level breakdown columns round-trip exactly.
+        assert_eq!(field("translations"), 3);
+        assert_eq!(field("l1_tlb_cycles"), 3);
+        assert_eq!(field("icnt_cycles"), 40);
+        assert_eq!(field("l2_tlb_queue_cycles"), 5);
+        assert_eq!(field("l2_tlb_lookup_cycles"), 10);
+        assert_eq!(field("walk_cycles"), 500);
+        assert_eq!(field("fault_cycles"), 2000);
+        assert_eq!(field("translate_cycles"), 2558);
+        // And the recovered row still satisfies the stage-sum identity.
+        assert!(r.latency.check().is_ok());
     }
 
     #[test]

@@ -198,6 +198,38 @@ fn l2_tlb_port_contention_costs_time() {
     assert!(run(1) >= run(16));
 }
 
+/// Holding a port for the full lookup latency (unpipelined L2 TLB) can
+/// only add queueing relative to the baseline's fully pipelined ports
+/// (occupancy 1, one cycle per granted lookup), and the added wait is
+/// attributed to the L2 TLB queue component of the latency breakdown.
+#[test]
+fn l2_tlb_port_occupancy_costs_queue_time() {
+    let run = |occupancy: u64| {
+        let wl = simple_workload(64, 64);
+        Simulator::new(GpuConfig {
+            l2_tlb_port_occupancy: occupancy,
+            ..GpuConfig::dac23_baseline()
+        })
+        .run(wl)
+    };
+    let pipelined = run(1);
+    let unpipelined = run(10); // = the baseline's 10-cycle lookup latency
+    assert!(unpipelined.total_cycles >= pipelined.total_cycles);
+    assert!(
+        unpipelined.latency.l2_tlb_queue_cycles >= pipelined.latency.l2_tlb_queue_cycles,
+        "occupancy {} vs {} queue cycles",
+        unpipelined.latency.l2_tlb_queue_cycles,
+        pipelined.latency.l2_tlb_queue_cycles
+    );
+    // Identical TLB behavior: occupancy only shifts timing, never which
+    // lookups hit.
+    assert_eq!(unpipelined.l2_tlb.hits, pipelined.l2_tlb.hits);
+    assert_eq!(unpipelined.l2_tlb.misses, pipelined.l2_tlb.misses);
+    // Both runs satisfy the stage-sum identity.
+    pipelined.latency.check().unwrap();
+    unpipelined.latency.check().unwrap();
+}
+
 /// Slicing the L2 TLB preserves correctness (same hits/misses cannot be
 /// guaranteed, but conservation holds and more slices with the same
 /// total entries never changes the access count).

@@ -59,7 +59,7 @@ struct Line {
 /// # Example
 ///
 /// ```
-/// use gpu_sim::{Cache, CacheConfig};
+/// use mem_hier::{Cache, CacheConfig};
 ///
 /// let mut c = Cache::new(CacheConfig::new(1024, 2, 128));
 /// assert!(!c.access(0x0, false)); // cold miss (fills)

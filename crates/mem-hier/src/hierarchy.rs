@@ -1,0 +1,376 @@
+//! Composition of stages into the baseline translation + data pipeline.
+
+use crate::breakdown::{LatencyBreakdown, TranslationBreakdown};
+use crate::config::HierarchyConfig;
+use crate::stage::{Access, Stage, StageStats};
+use crate::stages::{DataPath, IcntLink, L1TlbStage, L2TlbStage, WalkerStage};
+use tlb::{SetAssocTlb, TlbStats, TranslationBuffer};
+use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, WalkerStats};
+
+/// The hierarchy level that resolved a translation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Resolved by the SM's private L1 TLB (no fill happened).
+    L1Tlb,
+    /// Resolved by the shared L2 TLB (the L1 was filled).
+    L2Tlb,
+    /// Resolved by a page-table walk (L2 and L1 were filled).
+    Walk,
+}
+
+/// The result of one translation through the hierarchy.
+#[derive(Copy, Clone, Debug)]
+pub struct Translation {
+    /// Resolved physical frame.
+    pub ppn: Ppn,
+    /// Cycle at which the PPN is available back at the SM.
+    pub ready_at: u64,
+    /// Which level resolved it.
+    pub level: HitLevel,
+    /// Where the cycles went.
+    pub breakdown: TranslationBreakdown,
+}
+
+/// The composed memory hierarchy: the translation path (L1 TLB ->
+/// icnt -> L2 TLB -> walkers) and the data path (VIPT L1 -> L2 ->
+/// DRAM), with per-level latency attribution for every translation.
+///
+/// Stage timing contract: each stage's outcome satisfies
+/// `ready_at == access.at + queue + service + fault` (debug-asserted
+/// here), so chaining stages makes the end-to-end latency equal the sum
+/// of per-stage contributions by construction — the identity
+/// [`LatencyBreakdown::check`] verifies against an independently
+/// accumulated end-to-end count.
+pub struct Hierarchy {
+    l1_tlb: L1TlbStage,
+    icnt: IcntLink,
+    l2_tlb: L2TlbStage,
+    walker: WalkerStage,
+    data: DataPath,
+    breakdown: LatencyBreakdown,
+}
+
+impl Hierarchy {
+    /// Translates one page access; returns the frame, the cycle it is
+    /// available, and the per-level attribution. Exactly reproduces the
+    /// paper's Figure 1 path: L1 TLB, then (on miss) the interconnect to
+    /// the VPN-owning L2 slice, a port grant, the L2 lookup, and (on
+    /// miss) a page-table walk with UVM first-touch faulting, with fills
+    /// propagating back up.
+    pub fn translate(&mut self, acc: &Access) -> Translation {
+        let l1 = self.l1_tlb.access(acc);
+        debug_assert_eq!(l1.ready_at, acc.at + l1.latency());
+        if let Some(ppn) = l1.ppn {
+            let breakdown = TranslationBreakdown {
+                l1_tlb: l1.service_cycles,
+                ..Default::default()
+            };
+            self.breakdown.record(&breakdown, l1.ready_at - acc.at);
+            return Translation {
+                ppn,
+                ready_at: l1.ready_at,
+                level: HitLevel::L1Tlb,
+                breakdown,
+            };
+        }
+
+        let hop = self.icnt.access(&acc.arriving_at(l1.ready_at));
+        let l2 = self.l2_tlb.access(&acc.arriving_at(hop.ready_at));
+        debug_assert_eq!(l2.ready_at, hop.ready_at + l2.latency());
+        if let Some(ppn) = l2.ppn {
+            self.l1_tlb.fill(acc, ppn);
+            let back = self.icnt.access(&acc.arriving_at(l2.ready_at));
+            let breakdown = TranslationBreakdown {
+                l1_tlb: l1.service_cycles,
+                icnt: hop.service_cycles + back.service_cycles,
+                l2_tlb_queue: l2.queue_cycles,
+                l2_tlb_lookup: l2.service_cycles,
+                ..Default::default()
+            };
+            self.breakdown.record(&breakdown, back.ready_at - acc.at);
+            return Translation {
+                ppn,
+                ready_at: back.ready_at,
+                level: HitLevel::L2Tlb,
+                breakdown,
+            };
+        }
+
+        let walk = self.walker.access(&acc.arriving_at(l2.ready_at));
+        debug_assert_eq!(walk.ready_at, l2.ready_at + walk.latency());
+        let ppn = walk.ppn.expect("completed walks always resolve a frame"); // simlint: allow(hot-unwrap, reason = "WalkerStage::access always returns Some per its panic contract")
+        // Fill order matters for eviction stats: L2 slice first, then the
+        // requesting SM's L1, exactly as the pre-refactor engine did.
+        self.l2_tlb.fill(acc, ppn);
+        self.l1_tlb.fill(acc, ppn);
+        let back = self.icnt.access(&acc.arriving_at(walk.ready_at));
+        let breakdown = TranslationBreakdown {
+            l1_tlb: l1.service_cycles,
+            icnt: hop.service_cycles + back.service_cycles,
+            l2_tlb_queue: l2.queue_cycles,
+            l2_tlb_lookup: l2.service_cycles,
+            walk: walk.queue_cycles + walk.service_cycles,
+            fault: walk.fault_cycles,
+        };
+        self.breakdown.record(&breakdown, back.ready_at - acc.at);
+        Translation {
+            ppn,
+            ready_at: back.ready_at,
+            level: HitLevel::Walk,
+            breakdown,
+        }
+    }
+
+    /// One coalesced line transaction through the data path.
+    pub fn data_access(&mut self, start: u64, sm: usize, pa: PhysAddr, write: bool) -> u64 {
+        self.data.access(start, sm, pa, write)
+    }
+
+    /// The per-SM L1 TLBs, in SM index order.
+    pub fn l1_tlbs(&self) -> &[Box<dyn TranslationBuffer>] {
+        self.l1_tlb.banks()
+    }
+
+    /// Mutable access to the per-SM L1 TLBs.
+    pub fn l1_tlbs_mut(&mut self) -> &mut [Box<dyn TranslationBuffer>] {
+        self.l1_tlb.banks_mut()
+    }
+
+    /// The L2 TLB slices, in interleave order.
+    pub fn l2_slices(&self) -> &[SetAssocTlb] {
+        self.l2_tlb.slices()
+    }
+
+    /// Aggregate L2 TLB counters summed over slices.
+    pub fn l2_tlb_stats(&self) -> TlbStats {
+        self.l2_tlb.tlb_stats()
+    }
+
+    /// Per-SM L1 data-cache counters.
+    pub fn l1_cache_stats(&self) -> Vec<crate::CacheStats> {
+        self.data.l1_stats()
+    }
+
+    /// Shared L2 data-cache counters.
+    pub fn l2_cache_stats(&self) -> crate::CacheStats {
+        self.data.l2_stats()
+    }
+
+    /// Walker-pool activity counters.
+    pub fn walker_stats(&self) -> WalkerStats {
+        self.walker.walker_stats()
+    }
+
+    /// UVM demand faults taken.
+    pub fn demand_faults(&self) -> u64 {
+        self.walker.demand_faults()
+    }
+
+    /// Coalesced line transactions issued on the data path.
+    pub fn transactions(&self) -> u64 {
+        self.data.transactions()
+    }
+
+    /// Page size of the address space being translated.
+    pub fn page_size(&self) -> PageSize {
+        self.walker.page_size()
+    }
+
+    /// The address space being translated.
+    pub fn space(&self) -> &AddressSpace {
+        self.walker.space()
+    }
+
+    /// Aggregate per-level latency attribution over every translation so
+    /// far.
+    pub fn breakdown(&self) -> &LatencyBreakdown {
+        &self.breakdown
+    }
+
+    /// Activity counters per translation stage, in pipeline order.
+    pub fn stage_stats(&self) -> Vec<(&'static str, StageStats)> {
+        vec![
+            (self.l1_tlb.name(), self.l1_tlb.stats()),
+            (self.icnt.name(), self.icnt.stats()),
+            (self.l2_tlb.name(), self.l2_tlb.stats()),
+            (self.walker.name(), self.walker.stats()),
+        ]
+    }
+}
+
+/// Config-driven constructor for the baseline [`Hierarchy`].
+///
+/// Variant hierarchies (a MASK-style TLB-aware L2, a Mosaic-style
+/// multi-page-size level) are built by swapping one stage here; the
+/// engine and every other stage are untouched. See DESIGN.md, "The
+/// mem-hier stage model".
+pub struct HierarchyBuilder {
+    config: HierarchyConfig,
+}
+
+impl HierarchyBuilder {
+    /// Starts a builder from the hierarchy geometry and latencies.
+    pub fn new(config: HierarchyConfig) -> Self {
+        HierarchyBuilder { config }
+    }
+
+    /// Assembles the baseline pipeline around a workload's address
+    /// space and externally built per-SM L1 TLBs (one per SM — the
+    /// engine's pluggable-organization hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_tlbs.len()` differs from the configured SM count.
+    pub fn build(self, space: AddressSpace, l1_tlbs: Vec<Box<dyn TranslationBuffer>>) -> Hierarchy {
+        assert_eq!(
+            l1_tlbs.len(),
+            self.config.num_sms,
+            "one L1 TLB per SM required"
+        );
+        let c = &self.config;
+        Hierarchy {
+            l1_tlb: L1TlbStage::new(l1_tlbs),
+            icnt: IcntLink::new(c.icnt_latency),
+            l2_tlb: L2TlbStage::new(
+                c.l2_tlb,
+                c.l2_tlb_slices,
+                c.l2_tlb_ports,
+                c.l2_tlb_port_occupancy,
+            ),
+            walker: WalkerStage::new(
+                space,
+                c.walkers,
+                c.walk_latency,
+                c.walk_latency_per_level,
+                c.demand_fault_latency,
+            ),
+            data: DataPath::new(c),
+            breakdown: LatencyBreakdown::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use tlb::TlbConfig;
+    use vmem::VirtAddr;
+
+    fn test_config(num_sms: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            num_sms,
+            l1_cache: CacheConfig::new(16 * 1024, 4, 128),
+            l2_cache: CacheConfig::new(1536 * 1024, 8, 128),
+            l2_tlb: TlbConfig::dac23_l2(),
+            l2_tlb_slices: 1,
+            l2_tlb_ports: 2,
+            l2_tlb_port_occupancy: 1,
+            walkers: 8,
+            walk_latency: 500,
+            walk_latency_per_level: 0,
+            l1_hit_latency: 1,
+            icnt_latency: 20,
+            l2_hit_latency: 30,
+            dram_latency: 200,
+            demand_fault_latency: 2000,
+        }
+    }
+
+    fn build(num_sms: usize) -> (Hierarchy, VirtAddr) {
+        let mut space = AddressSpace::new(PageSize::Small);
+        let buf = space.allocate("b", 1 << 20).expect("fresh space");
+        let va = buf.addr_of(0);
+        let tlbs: Vec<Box<dyn TranslationBuffer>> = (0..num_sms)
+            .map(|_| {
+                Box::new(tlb::SetAssocTlb::new(TlbConfig::dac23_l1()))
+                    as Box<dyn TranslationBuffer>
+            })
+            .collect();
+        (
+            HierarchyBuilder::new(test_config(num_sms)).build(space, tlbs),
+            va,
+        )
+    }
+
+    fn access(va: VirtAddr, at: u64, sm: usize) -> Access {
+        Access {
+            at,
+            sm,
+            tb_slot: 0,
+            va,
+            vpn: va.vpn(PageSize::Small),
+            page_size: PageSize::Small,
+        }
+    }
+
+    #[test]
+    fn walk_then_l1_hit_with_exact_baseline_timing() {
+        let (mut h, va) = build(1);
+        // Cold: L1 miss (1) + icnt (20) + L2 lookup (10) + walk (500) +
+        // fault (2000) + icnt back (20).
+        let t = h.translate(&access(va, 0, 0));
+        assert_eq!(t.level, HitLevel::Walk);
+        assert_eq!(t.ready_at, 1 + 20 + 10 + 500 + 2000 + 20);
+        assert_eq!(t.breakdown.total(), t.ready_at);
+        assert_eq!(t.breakdown.fault, 2000);
+        assert_eq!(t.breakdown.walk, 500);
+        // Warm: L1 hit, 1 cycle.
+        let t2 = h.translate(&access(va, 10_000, 0));
+        assert_eq!(t2.level, HitLevel::L1Tlb);
+        assert_eq!(t2.ready_at, 10_001);
+        assert_eq!(t2.breakdown.total(), 1);
+        assert!(h.breakdown().check().is_ok());
+        assert_eq!(h.breakdown().translations, 2);
+    }
+
+    #[test]
+    fn l2_hit_path_fills_l1() {
+        let (mut h, va) = build(2);
+        // SM 0 walks the page in; the L2 TLB now holds it.
+        h.translate(&access(va, 0, 0));
+        // SM 1 misses its own L1 but hits the shared L2.
+        let t = h.translate(&access(va, 5000, 1));
+        assert_eq!(t.level, HitLevel::L2Tlb);
+        assert_eq!(t.ready_at, 5000 + 1 + 20 + 10 + 20);
+        assert_eq!(t.breakdown.walk + t.breakdown.fault, 0);
+        // And SM 1's L1 was filled.
+        let t2 = h.translate(&access(va, 9000, 1));
+        assert_eq!(t2.level, HitLevel::L1Tlb);
+        assert!(h.breakdown().check().is_ok());
+    }
+
+    #[test]
+    fn port_contention_shows_up_as_queue_cycles() {
+        let (mut h, va) = build(4);
+        // Four SMs miss at the same cycle onto one slice with 2 ports:
+        // grants at 21, 21, 22, 22 -> queue cycles 0, 0, 1, 1.
+        let queued: u64 = (0..4)
+            .map(|sm| h.translate(&access(va, 0, sm)).breakdown.l2_tlb_queue)
+            .sum();
+        assert_eq!(queued, 2);
+        assert_eq!(h.breakdown().l2_tlb_queue_cycles, queued);
+        assert!(h.breakdown().check().is_ok());
+    }
+
+    #[test]
+    fn stage_stats_cover_the_pipeline() {
+        let (mut h, va) = build(1);
+        h.translate(&access(va, 0, 0));
+        h.translate(&access(va, 5000, 0));
+        let stats = h.stage_stats();
+        let names: Vec<&str> = stats.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["l1_tlb", "icnt", "l2_tlb", "walker"]);
+        assert_eq!(stats[0].1.accesses, 2, "both translations probe L1");
+        assert_eq!(stats[3].1.accesses, 1, "only the cold one walks");
+        // Two icnt hops for the one L1 miss.
+        assert_eq!(stats[1].1.accesses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one L1 TLB per SM")]
+    fn builder_rejects_mismatched_tlb_count() {
+        let space = AddressSpace::new(PageSize::Small);
+        let _ = HierarchyBuilder::new(test_config(2)).build(space, Vec::new());
+    }
+}

@@ -1,0 +1,516 @@
+//! The baseline pipeline's concrete stages (the paper's Figure 1):
+//! per-SM L1 TLBs, the interconnect hop, the VPN-interleaved L2 TLB,
+//! the shared walker pool, and the VIPT L1/L2/DRAM data path.
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::HierarchyConfig;
+use crate::ports::Ports;
+use crate::stage::{Access, Outcome, Stage, StageStats};
+use tlb::{SetAssocTlb, TlbConfig, TlbRequest, TlbStats, TranslationBuffer};
+use vmem::{AddressSpace, FaultKind, PageSize, PhysAddr, Ppn, WalkerPool, WalkerStats};
+
+fn request(acc: &Access) -> TlbRequest {
+    TlbRequest::with_page_size(acc.vpn, acc.tb_slot, acc.page_size)
+}
+
+/// The per-SM private L1 TLB bank. Each SM owns one
+/// [`TranslationBuffer`], which is how the `orchestrated-tlb` crate
+/// plugs the paper's partitioned/compressed organizations into the
+/// hierarchy without touching any other stage.
+pub struct L1TlbStage {
+    tlbs: Vec<Box<dyn TranslationBuffer>>,
+    stats: StageStats,
+}
+
+impl L1TlbStage {
+    /// Wraps one pre-built TLB per SM.
+    pub fn new(tlbs: Vec<Box<dyn TranslationBuffer>>) -> Self {
+        L1TlbStage {
+            tlbs,
+            stats: StageStats::default(),
+        }
+    }
+
+    /// Fills the requesting SM's TLB after a downstream resolution.
+    pub fn fill(&mut self, acc: &Access, ppn: Ppn) {
+        self.tlbs[acc.sm].insert(&request(acc), ppn);
+    }
+
+    /// The per-SM TLBs, in SM index order.
+    pub fn banks(&self) -> &[Box<dyn TranslationBuffer>] {
+        &self.tlbs
+    }
+
+    /// Mutable access to the per-SM TLBs (kernel-launch flush,
+    /// TB-slot retirement).
+    pub fn banks_mut(&mut self) -> &mut [Box<dyn TranslationBuffer>] {
+        &mut self.tlbs
+    }
+}
+
+impl Stage for L1TlbStage {
+    fn name(&self) -> &'static str {
+        "l1_tlb"
+    }
+
+    fn access(&mut self, acc: &Access) -> Outcome {
+        let out = self.tlbs[acc.sm].lookup(&request(acc));
+        let ppn = if out.hit {
+            Some(out.ppn.expect("hit carries ppn")) // simlint: allow(hot-unwrap, reason = "TlbOutcome::hit always carries a ppn")
+        } else {
+            None
+        };
+        let o = Outcome {
+            ppn,
+            ready_at: acc.at + out.latency,
+            queue_cycles: 0,
+            service_cycles: out.latency,
+            fault_cycles: 0,
+        };
+        self.stats.record(&o);
+        o
+    }
+
+    fn stats(&self) -> StageStats {
+        self.stats
+    }
+}
+
+/// One direction of the SM-to-partition interconnect: a fixed-latency
+/// hop with no arbitration (the engine models contention at the L2 TLB
+/// ports and the walker pool, not on the network itself).
+pub struct IcntLink {
+    latency: u64,
+    stats: StageStats,
+}
+
+impl IcntLink {
+    /// A hop of `latency` cycles.
+    pub fn new(latency: u64) -> Self {
+        IcntLink {
+            latency,
+            stats: StageStats::default(),
+        }
+    }
+
+    /// The hop latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+impl Stage for IcntLink {
+    fn name(&self) -> &'static str {
+        "icnt"
+    }
+
+    fn access(&mut self, acc: &Access) -> Outcome {
+        let o = Outcome {
+            ppn: None,
+            ready_at: acc.at + self.latency,
+            queue_cycles: 0,
+            service_cycles: self.latency,
+            fault_cycles: 0,
+        };
+        self.stats.record(&o);
+        o
+    }
+
+    fn stats(&self) -> StageStats {
+        self.stats
+    }
+}
+
+/// The shared L2 TLB, VPN-interleaved over slices, each slice fronted
+/// by a [`Ports`] bank. Requests first win a port (queueing under miss
+/// floods), then probe the slice.
+pub struct L2TlbStage {
+    slices: Vec<SetAssocTlb>,
+    ports: Vec<Ports>,
+    stats: StageStats,
+}
+
+impl L2TlbStage {
+    /// Divides `config` over `slices` slices (clamped to at least one),
+    /// each with `ports` lookup ports held `occupancy` cycles per grant.
+    pub fn new(config: TlbConfig, slices: usize, ports: usize, occupancy: u64) -> Self {
+        let n = slices.max(1);
+        let per_slice = config.sliced(n);
+        L2TlbStage {
+            slices: (0..n).map(|_| SetAssocTlb::new(per_slice)).collect(),
+            ports: (0..n).map(|_| Ports::new(ports, occupancy)).collect(),
+            stats: StageStats::default(),
+        }
+    }
+
+    fn slice_of(&self, acc: &Access) -> usize {
+        (acc.vpn.raw() % self.slices.len() as u64) as usize
+    }
+
+    /// Fills the slice owning the access's VPN after a walk resolves.
+    pub fn fill(&mut self, acc: &Access, ppn: Ppn) {
+        let s = self.slice_of(acc);
+        self.slices[s].insert(&request(acc), ppn);
+    }
+
+    /// The slices, in interleave order.
+    pub fn slices(&self) -> &[SetAssocTlb] {
+        &self.slices
+    }
+
+    /// Aggregate TLB counters summed over slices.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.slices
+            .iter()
+            .fold(TlbStats::default(), |a, t| a + t.stats())
+    }
+}
+
+impl Stage for L2TlbStage {
+    fn name(&self) -> &'static str {
+        "l2_tlb"
+    }
+
+    fn access(&mut self, acc: &Access) -> Outcome {
+        let s = self.slice_of(acc);
+        let grant = self.ports[s].acquire(acc.at);
+        let out = self.slices[s].lookup(&request(acc));
+        let ppn = if out.hit {
+            Some(out.ppn.expect("hit carries ppn")) // simlint: allow(hot-unwrap, reason = "TlbOutcome::hit always carries a ppn")
+        } else {
+            None
+        };
+        let o = Outcome {
+            ppn,
+            ready_at: grant + out.latency,
+            queue_cycles: grant - acc.at,
+            service_cycles: out.latency,
+            fault_cycles: 0,
+        };
+        self.stats.record(&o);
+        o
+    }
+
+    fn stats(&self) -> StageStats {
+        self.stats
+    }
+}
+
+/// The shared page-table-walker pool plus the UVM address space it
+/// walks. Owns demand-fault accounting: a first touch adds the
+/// configured fault penalty as `fault_cycles`, attributed separately
+/// from the walk itself.
+pub struct WalkerStage {
+    pool: WalkerPool,
+    space: AddressSpace,
+    base_latency: u64,
+    per_level_latency: u64,
+    fault_latency: u64,
+    demand_faults: u64,
+    stats: StageStats,
+}
+
+impl WalkerStage {
+    /// Builds the pool over `space` with the paper's analytic walk
+    /// model: `walk_latency` flat, plus `per_level_latency` per radix
+    /// level touched when non-zero.
+    pub fn new(
+        space: AddressSpace,
+        walkers: usize,
+        walk_latency: u64,
+        per_level_latency: u64,
+        fault_latency: u64,
+    ) -> Self {
+        WalkerStage {
+            pool: WalkerPool::new(walkers, walk_latency),
+            space,
+            base_latency: walk_latency,
+            per_level_latency,
+            fault_latency,
+            demand_faults: 0,
+            stats: StageStats::default(),
+        }
+    }
+
+    /// UVM demand faults taken so far.
+    pub fn demand_faults(&self) -> u64 {
+        self.demand_faults
+    }
+
+    /// Walker-pool activity counters.
+    pub fn walker_stats(&self) -> WalkerStats {
+        self.pool.stats()
+    }
+
+    /// The address space being walked.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Page size of the address space.
+    pub fn page_size(&self) -> PageSize {
+        self.space.page_size()
+    }
+}
+
+impl Stage for WalkerStage {
+    fn name(&self) -> &'static str {
+        "walker"
+    }
+
+    fn access(&mut self, acc: &Access) -> Outcome {
+        // First touch demand-pages the frame in (mutates the space), so
+        // translate before measuring the walk's radix depth.
+        let (pa, fault) = self
+            .space
+            .translate_with_fault_info(acc.va)
+            .expect("workload addresses must fall inside allocated buffers"); // simlint: allow(hot-unwrap, reason = "documented panic contract: out-of-buffer addresses are generator bugs")
+        let latency = if self.per_level_latency == 0 {
+            self.base_latency
+        } else {
+            let levels = self
+                .space
+                .walk(acc.va)
+                .map(|w| w.levels_touched as u64)
+                .unwrap_or(4);
+            self.base_latency + self.per_level_latency * levels
+        };
+        let waited_before = self.pool.stats().queue_wait_cycles;
+        let done = self.pool.submit_with_latency(acc.at, acc.vpn, latency);
+        let queue_cycles = self.pool.stats().queue_wait_cycles - waited_before;
+        let fault_cycles = if fault == FaultKind::DemandPaged {
+            self.demand_faults += 1;
+            self.fault_latency
+        } else {
+            0
+        };
+        let o = Outcome {
+            ppn: Some(pa.ppn(self.space.page_size())),
+            ready_at: done + fault_cycles,
+            queue_cycles,
+            // Coalesced walks ride an in-flight walk: their service time
+            // is whatever remains of it, keeping `ready_at == at +
+            // latency()` exact for every path.
+            service_cycles: done - acc.at - queue_cycles,
+            fault_cycles,
+        };
+        self.stats.record(&o);
+        o
+    }
+
+    fn stats(&self) -> StageStats {
+        self.stats
+    }
+}
+
+/// The VIPT L1 / shared L2 / DRAM data path. Not a translation
+/// [`Stage`]: it consumes physical line addresses after translation,
+/// with the L1 probed in parallel with the TLB (the caller's start
+/// cycle already accounts for PPN availability).
+pub struct DataPath {
+    l1: Vec<Cache>,
+    l2: Cache,
+    l1_hit_latency: u64,
+    icnt_latency: u64,
+    l2_hit_latency: u64,
+    dram_latency: u64,
+    transactions: u64,
+}
+
+impl DataPath {
+    /// One private L1 per SM plus the shared L2.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        DataPath {
+            l1: (0..config.num_sms)
+                .map(|_| Cache::new(config.l1_cache))
+                .collect(),
+            l2: Cache::new(config.l2_cache),
+            l1_hit_latency: config.l1_hit_latency,
+            icnt_latency: config.icnt_latency,
+            l2_hit_latency: config.l2_hit_latency,
+            dram_latency: config.dram_latency,
+            transactions: 0,
+        }
+    }
+
+    /// One coalesced line transaction; returns its completion cycle.
+    pub fn access(&mut self, start: u64, sm: usize, pa: PhysAddr, write: bool) -> u64 {
+        self.transactions += 1;
+        let l1_hit = self.l1[sm].access(pa.raw(), write);
+        if l1_hit {
+            start + self.l1_hit_latency
+        } else {
+            let at_l2 = start + self.icnt_latency;
+            let l2_hit = self.l2.access(pa.raw(), write);
+            if l2_hit {
+                at_l2 + self.l2_hit_latency + self.icnt_latency
+            } else {
+                at_l2 + self.l2_hit_latency + self.dram_latency + self.icnt_latency
+            }
+        }
+    }
+
+    /// Coalesced line transactions issued.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Per-SM L1 data-cache counters.
+    pub fn l1_stats(&self) -> Vec<CacheStats> {
+        self.l1.iter().map(Cache::stats).collect()
+    }
+
+    /// Shared L2 data-cache counters.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use vmem::Vpn;
+
+    fn acc(at: u64, vpn: u64) -> Access {
+        Access {
+            at,
+            sm: 0,
+            tb_slot: 0,
+            va: Vpn::new(vpn).base_addr(PageSize::Small),
+            vpn: Vpn::new(vpn),
+            page_size: PageSize::Small,
+        }
+    }
+
+    #[test]
+    fn l1_stage_miss_then_hit_after_fill() {
+        let mut l1 = L1TlbStage::new(vec![Box::new(SetAssocTlb::new(TlbConfig::dac23_l1()))]);
+        let a = acc(0, 7);
+        let miss = l1.access(&a);
+        assert!(miss.ppn.is_none());
+        assert_eq!(miss.ready_at, 1, "1-cycle lookup");
+        l1.fill(&a, Ppn::new(3));
+        let hit = l1.access(&a.arriving_at(10));
+        assert_eq!(hit.ppn, Some(Ppn::new(3)));
+        assert_eq!(hit.ready_at, 11);
+        assert_eq!(l1.stats().accesses, 2);
+        assert_eq!(l1.stats().resolved, 1);
+    }
+
+    #[test]
+    fn icnt_is_a_pure_delay() {
+        let mut link = IcntLink::new(20);
+        let o = link.access(&acc(5, 1));
+        assert_eq!(o.ready_at, 25);
+        assert_eq!(o.latency(), 20);
+        assert!(o.ppn.is_none());
+    }
+
+    #[test]
+    fn l2_stage_queues_on_ports_and_interleaves_slices() {
+        // 4 slices, 1 port each, occupancy 1.
+        let mut l2 = L2TlbStage::new(TlbConfig::dac23_l2(), 4, 1, 1);
+        assert_eq!(l2.slices().len(), 4);
+        // VPNs 0 and 4 both map to slice 0; back-to-back lookups at the
+        // same cycle serialize on the single port.
+        let first = l2.access(&acc(0, 0));
+        let second = l2.access(&acc(0, 4));
+        assert_eq!(first.queue_cycles, 0);
+        assert_eq!(second.queue_cycles, 1);
+        // VPN 1 lives on slice 1 with an idle port.
+        let other = l2.access(&acc(0, 1));
+        assert_eq!(other.queue_cycles, 0);
+        assert_eq!(l2.tlb_stats().misses, 3);
+    }
+
+    #[test]
+    fn l2_fill_makes_the_owning_slice_hit() {
+        let mut l2 = L2TlbStage::new(TlbConfig::dac23_l2(), 2, 2, 1);
+        let a = acc(0, 5);
+        assert!(l2.access(&a).ppn.is_none());
+        l2.fill(&a, Ppn::new(9));
+        let hit = l2.access(&a.arriving_at(100));
+        assert_eq!(hit.ppn, Some(Ppn::new(9)));
+        // ready = grant(100) + 10-cycle lookup.
+        assert_eq!(hit.ready_at, 110);
+    }
+
+    #[test]
+    fn walker_stage_charges_walk_and_first_touch_fault() {
+        let mut space = AddressSpace::new(PageSize::Small);
+        let buf = space.allocate("b", 1 << 16).expect("fresh space");
+        let va = buf.addr_of(0);
+        let mut w = WalkerStage::new(space, 8, 500, 0, 2000);
+        let a = Access {
+            va,
+            vpn: va.vpn(PageSize::Small),
+            ..acc(0, 0)
+        };
+        let first = w.access(&a);
+        assert_eq!(first.fault_cycles, 2000, "first touch demand-pages");
+        assert_eq!(first.ready_at, 2500);
+        assert_eq!(w.demand_faults(), 1);
+        // Same page later: walk only, no fault.
+        let again = w.access(&a.arriving_at(10_000));
+        assert_eq!(again.fault_cycles, 0);
+        assert_eq!(again.ready_at, 10_500);
+        assert_eq!(w.walker_stats().walks, 2);
+    }
+
+    #[test]
+    fn walker_outcome_latency_is_exact_even_when_coalesced() {
+        let mut space = AddressSpace::new(PageSize::Small);
+        let buf = space.allocate("b", 1 << 16).expect("fresh space");
+        let va = buf.addr_of(0);
+        let mut w = WalkerStage::new(space, 8, 500, 0, 0);
+        let a = Access {
+            va,
+            vpn: va.vpn(PageSize::Small),
+            ..acc(0, 0)
+        };
+        let first = w.access(&a);
+        assert_eq!(first.ready_at, a.at + first.latency());
+        // Coalesce onto the in-flight walk mid-way.
+        let b = a.arriving_at(250);
+        let coalesced = w.access(&b);
+        assert_eq!(coalesced.ready_at, first.ready_at);
+        assert_eq!(coalesced.ready_at, b.at + coalesced.latency());
+        assert_eq!(w.walker_stats().coalesced, 1);
+    }
+
+    #[test]
+    fn data_path_latencies_by_level() {
+        let config = HierarchyConfig {
+            num_sms: 1,
+            l1_cache: CacheConfig::new(512, 2, 128),
+            l2_cache: CacheConfig::new(1024, 2, 128),
+            l2_tlb: TlbConfig::dac23_l2(),
+            l2_tlb_slices: 1,
+            l2_tlb_ports: 2,
+            l2_tlb_port_occupancy: 1,
+            walkers: 8,
+            walk_latency: 500,
+            walk_latency_per_level: 0,
+            l1_hit_latency: 1,
+            icnt_latency: 20,
+            l2_hit_latency: 30,
+            dram_latency: 200,
+            demand_fault_latency: 2000,
+        };
+        let mut d = DataPath::new(&config);
+        let pa = PhysAddr::new(0);
+        // Cold: L1 miss, L2 miss -> DRAM.
+        assert_eq!(d.access(0, 0, pa, false), 20 + 30 + 200 + 20);
+        // L1 now holds the line.
+        assert_eq!(d.access(0, 0, pa, false), 1);
+        // Evict it from L1 only; next access hits L2.
+        let other = PhysAddr::new(2 * 128);
+        let third = PhysAddr::new(4 * 128);
+        d.access(0, 0, other, false);
+        d.access(0, 0, third, false);
+        assert_eq!(d.access(0, 0, pa, false), 20 + 30 + 20);
+        assert_eq!(d.transactions(), 5);
+        assert_eq!(d.l1_stats()[0].accesses(), 5);
+    }
+}

@@ -48,9 +48,10 @@ use std::path::Path;
 
 /// Crates whose sources produce simulation results (scope of `hash-iter`
 /// and `lossy-cast`).
-const RESULT_CRATES: [&str; 6] = [
+const RESULT_CRATES: [&str; 7] = [
     "crates/core/",
     "crates/gpu-sim/",
+    "crates/mem-hier/",
     "crates/tlb/",
     "crates/vmem/",
     "crates/workloads/",
@@ -59,8 +60,11 @@ const RESULT_CRATES: [&str; 6] = [
 
 /// Files forming the engine hot path (scope of `hot-unwrap`): the cycle
 /// loop plus every TLB organization's lookup/insert code.
-const HOT_PATHS: [&str; 5] = [
+const HOT_PATHS: [&str; 8] = [
     "crates/gpu-sim/src/engine.rs",
+    "crates/mem-hier/src/hierarchy.rs",
+    "crates/mem-hier/src/stages.rs",
+    "crates/mem-hier/src/ports.rs",
     "crates/tlb/src/set_assoc.rs",
     "crates/tlb/src/compressed.rs",
     "crates/core/src/partitioned.rs",
@@ -843,5 +847,37 @@ mod tests {
         assert!(rules.contains(&"wall-clock"), "{v:?}");
         assert!(rules.contains(&"lossy-cast"), "{v:?}");
         assert_eq!(v[0].file, "crates/vmem/src/bad.rs");
+    }
+
+    #[test]
+    fn mem_hier_is_a_result_crate_and_its_pipeline_is_hot() {
+        // The extracted hierarchy produces the simulation's timing, so it
+        // gets the full result-crate scope; its per-access pipeline files
+        // additionally get `hot-unwrap`.
+        assert!(RESULT_CRATES.contains(&"crates/mem-hier/"));
+        for f in [
+            "crates/mem-hier/src/hierarchy.rs",
+            "crates/mem-hier/src/stages.rs",
+            "crates/mem-hier/src/ports.rs",
+        ] {
+            assert!(HOT_PATHS.contains(&f), "{f} missing from HOT_PATHS");
+        }
+
+        let dir = std::env::temp_dir().join(format!("simlint-mh-fixture-{}", std::process::id()));
+        let src_dir = dir.join("crates/mem-hier/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(
+            src_dir.join("stages.rs"),
+            "use std::collections::HashMap;\n\
+             fn s(vpn: u64, n: usize) -> usize { (vpn as u32) as usize % n }\n\
+             fn h(x: Option<u64>) -> u64 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let v = lint_tree(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        let rules: Vec<&str> = v.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"hash-iter"), "{v:?}");
+        assert!(rules.contains(&"lossy-cast"), "{v:?}");
+        assert!(rules.contains(&"hot-unwrap"), "{v:?}");
     }
 }

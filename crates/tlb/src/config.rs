@@ -72,6 +72,23 @@ impl TlbConfig {
     pub fn sets(&self) -> usize {
         self.entries / self.associativity
     }
+
+    /// The geometry of one of `slices` VPN-interleaved slices this TLB
+    /// is distributed over: entries divide evenly, clamped so every
+    /// slice keeps at least one full set; associativity and lookup
+    /// latency are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`TlbConfig::new`]) if the per-slice set count is not
+    /// a power of two.
+    pub fn sliced(&self, slices: usize) -> TlbConfig {
+        TlbConfig::new(
+            (self.entries / slices.max(1)).max(self.associativity),
+            self.associativity,
+            self.lookup_latency,
+        )
+    }
 }
 
 impl fmt::Display for TlbConfig {
@@ -123,6 +140,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_rejected() {
         let _ = TlbConfig::new(0, 1, 1);
+    }
+
+    #[test]
+    fn sliced_divides_entries_and_keeps_timing() {
+        let per = TlbConfig::dac23_l2().sliced(4);
+        assert_eq!(per.entries, 128);
+        assert_eq!(per.associativity, 16);
+        assert_eq!(per.lookup_latency, 10);
+        // Clamps at one set per slice rather than underflowing.
+        let tiny = TlbConfig::dac23_l2().sliced(1024);
+        assert_eq!(tiny.entries, 16);
+        assert_eq!(tiny.sets(), 1);
+        // One slice is the identity.
+        assert_eq!(TlbConfig::dac23_l2().sliced(1), TlbConfig::dac23_l2());
+        assert_eq!(TlbConfig::dac23_l2().sliced(0), TlbConfig::dac23_l2());
     }
 
     #[test]

@@ -32,6 +32,28 @@ pub struct WalkerStats {
     pub max_queue_wait: u64,
 }
 
+impl WalkerStats {
+    /// Total requests that reached the pool (performed + coalesced).
+    pub fn requests(&self) -> u64 {
+        self.walks + self.coalesced
+    }
+
+    /// Internal consistency: the max single-request wait can never
+    /// exceed the total wait, and waits require walks.
+    pub fn check(&self) -> Result<(), String> {
+        if self.max_queue_wait > self.queue_wait_cycles {
+            return Err(format!(
+                "max_queue_wait {} exceeds total queue_wait_cycles {}",
+                self.max_queue_wait, self.queue_wait_cycles
+            ));
+        }
+        if self.walks == 0 && (self.queue_wait_cycles > 0 || self.coalesced > 0) {
+            return Err(String::from("activity recorded without any walks"));
+        }
+        Ok(())
+    }
+}
+
 /// A pool of hardware page-table walkers with fixed walk latency.
 ///
 /// # Example
@@ -207,6 +229,29 @@ mod tests {
     #[should_panic(expected = "at least one walker")]
     fn zero_walkers_rejected() {
         let _ = WalkerPool::new(0, 500);
+    }
+
+    #[test]
+    fn stats_requests_and_check() {
+        let mut p = WalkerPool::new(1, 100);
+        p.submit(0, Vpn::new(1));
+        p.submit(50, Vpn::new(1)); // coalesces
+        p.submit(0, Vpn::new(2)); // queues 100 cycles
+        let s = p.stats();
+        assert_eq!(s.requests(), 3);
+        assert!(s.check().is_ok());
+        let bad = WalkerStats {
+            max_queue_wait: 10,
+            queue_wait_cycles: 5,
+            walks: 1,
+            ..Default::default()
+        };
+        assert!(bad.check().is_err());
+        let phantom = WalkerStats {
+            coalesced: 1,
+            ..Default::default()
+        };
+        assert!(phantom.check().is_err());
     }
 
     #[test]

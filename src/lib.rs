@@ -8,6 +8,8 @@
 //!   walker pool).
 //! * [`tlb`] — TLB organizations (baseline set-associative, PACT'20
 //!   compression).
+//! * [`mem_hier`] — composable memory-hierarchy stages with per-level
+//!   latency attribution.
 //! * [`workloads`] — the ten Table II benchmark trace generators.
 //! * [`gpu_sim`] — the cycle-level GPU timing simulator.
 //! * [`orchestrated_tlb`] — the paper's contribution: TLB-aware TB
@@ -21,6 +23,7 @@
 
 pub use analysis;
 pub use gpu_sim;
+pub use mem_hier;
 pub use orchestrated_tlb;
 pub use tlb;
 pub use vmem;
