@@ -1,0 +1,190 @@
+//! `engine-bench` — machine-readable throughput report for the two-phase
+//! parallel engine, written as `BENCH_engine.json`.
+//!
+//! ```text
+//! engine-bench [--out PATH] [--reps N] [--threads N]...
+//! ```
+//!
+//! Runs the same scenarios as the `simulator_throughput` criterion bench
+//! (gemm/bfs/atax under the baseline, plus mvt under the heavier L1 TLB
+//! organizations) once per `--sim-threads` setting (default 1, 2, 4) and
+//! records the best wall time over `--reps` repetitions (default 3) as
+//! simulated cycles per second plus the speedup versus the serial run.
+//!
+//! Wall-clock time is banned in the simulator proper (simlint
+//! `wall-clock`): simulated timing must never depend on the host. This
+//! binary is the one sanctioned consumer — it *measures* the host, it
+//! never feeds the measurement back into a simulation. The determinism
+//! contract is enforced inline: every thread count must report exactly
+//! the serial run's `total_cycles`, or the emitter aborts.
+//!
+//! Schema (`"schema": "bench-engine/v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "bench-engine/v1",
+//!   "scale": "test",
+//!   "reps": 3,
+//!   "scenarios": [
+//!     {
+//!       "bench": "gemm", "mechanism": "baseline", "total_cycles": 12345,
+//!       "runs": [
+//!         { "sim_threads": 1, "best_seconds": 0.01,
+//!           "cycles_per_sec": 1234500.0, "speedup_vs_serial": 1.0 }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+// simlint: allow(wall-clock, reason = "engine-bench measures host throughput; nothing flows back into simulated timing")
+use std::time::Instant;
+
+use bench::SEED;
+use gpu_sim::GpuConfig;
+use orchestrated_tlb::Mechanism;
+use workloads::{registry, Scale, Workload};
+
+/// The scenarios of the `simulator_throughput` criterion groups.
+const SCENARIOS: [(&str, Mechanism); 6] = [
+    ("gemm", Mechanism::Baseline),
+    ("bfs", Mechanism::Baseline),
+    ("atax", Mechanism::Baseline),
+    ("mvt", Mechanism::Baseline),
+    ("mvt", Mechanism::Full),
+    ("mvt", Mechanism::Compression),
+];
+
+/// One timed run: best wall time over `reps`, plus the simulated cycle
+/// count (identical across reps by the determinism contract).
+fn best_of(reps: usize, threads: usize, mechanism: Mechanism, workload: &Workload) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0u64;
+    for _ in 0..reps {
+        let mut sim = mechanism
+            .simulator(GpuConfig::dac23_baseline())
+            .with_sim_threads(threads);
+        let input = workload.clone();
+        // simlint: allow(wall-clock, reason = "engine-bench measures host throughput; nothing flows back into simulated timing")
+        let start = Instant::now();
+        let report = sim.run(input);
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        cycles = report.total_cycles;
+    }
+    (best, cycles)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut reps = 3usize;
+    let mut thread_counts: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--reps" => {
+                i += 1;
+                reps = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--reps requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => thread_counts.push(n),
+                    _ => {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if thread_counts.is_empty() {
+        thread_counts = vec![1, 2, 4];
+    }
+    if thread_counts[0] != 1 {
+        thread_counts.insert(0, 1); // the serial reference is mandatory
+    }
+
+    let specs = registry();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"bench-engine/v1\",");
+    let _ = writeln!(json, "  \"scale\": \"test\",");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"scenarios\": [");
+    for (si, &(name, mechanism)) in SCENARIOS.iter().enumerate() {
+        let spec = specs
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("benchmark {name} missing from the registry"));
+        let workload = spec.generate(Scale::Test, SEED);
+        eprintln!("engine-bench: {name}/{} ...", mechanism.label());
+
+        let mut serial_best = 0.0f64;
+        let mut serial_cycles = 0u64;
+        let mut runs = String::new();
+        for (ti, &threads) in thread_counts.iter().enumerate() {
+            let (best, cycles) = best_of(reps, threads, mechanism, &workload);
+            if ti == 0 {
+                serial_best = best;
+                serial_cycles = cycles;
+            } else if cycles != serial_cycles {
+                eprintln!(
+                    "determinism violated: {name}/{} reported {cycles} cycles at \
+                     --sim-threads {threads} but {serial_cycles} serially",
+                    mechanism.label()
+                );
+                std::process::exit(1);
+            }
+            let sep = if ti + 1 < thread_counts.len() { "," } else { "" };
+            let _ = writeln!(
+                runs,
+                "        {{ \"sim_threads\": {threads}, \"best_seconds\": {best:.6}, \
+                 \"cycles_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3} }}{sep}",
+                cycles as f64 / best,
+                serial_best / best
+            );
+        }
+        let sep = if si + 1 < SCENARIOS.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"bench\": \"{name}\",");
+        let _ = writeln!(json, "      \"mechanism\": \"{}\",", mechanism.label());
+        let _ = writeln!(json, "      \"total_cycles\": {serial_cycles},");
+        let _ = writeln!(json, "      \"runs\": [");
+        json.push_str(&runs);
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "    }}{sep}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("engine-bench: wrote {out_path}");
+}

@@ -2,6 +2,10 @@
 //! the golden report checked in before the mem-hier extraction. Any
 //! timing drift — one cycle anywhere, one reordered row — fails this test
 //! before it can silently shift the paper's reproduced figures.
+//!
+//! The same golden file is the oracle for the two-phase parallel engine:
+//! `--sim-threads N` must not move a single byte for any `N`, so the
+//! thread-count variants below compare against the identical text.
 
 use std::process::Command;
 
@@ -9,15 +13,19 @@ use std::process::Command;
 /// deliberate, documented timing change — see EXPERIMENTS.md).
 const GOLDEN: &str = include_str!("golden/repro_all_test.txt");
 
-#[test]
-fn repro_all_test_scale_matches_golden_byte_for_byte() {
+/// Run `repro --all --scale test` with the given extra flags and assert
+/// the stdout matches the golden file byte for byte, reporting the first
+/// divergent line on failure.
+fn assert_matches_golden(extra: &[&str]) {
+    let mut args = vec!["--all", "--scale", "test", "--jobs", "2"];
+    args.extend_from_slice(extra);
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["--all", "--scale", "test", "--jobs", "2"])
+        .args(&args)
         .output()
         .expect("repro binary must run");
     assert!(
         out.status.success(),
-        "repro exited with {:?}: {}",
+        "repro {args:?} exited with {:?}: {}",
         out.status,
         String::from_utf8_lossy(&out.stderr)
     );
@@ -32,9 +40,24 @@ fn repro_all_test_scale_matches_golden_byte_for_byte() {
         let got_line = got.lines().nth(diverge).unwrap_or("<missing>");
         let want_line = GOLDEN.lines().nth(diverge).unwrap_or("<missing>");
         panic!(
-            "repro output diverged from golden at line {}:\n  got:  {got_line}\n  want: {want_line}\n\
+            "repro {args:?} output diverged from golden at line {}:\n  got:  {got_line}\n  want: {want_line}\n\
              (regenerate tests/golden/repro_all_test.txt only for a deliberate timing change)",
             diverge + 1
         );
     }
+}
+
+#[test]
+fn repro_all_test_scale_matches_golden_byte_for_byte() {
+    assert_matches_golden(&[]);
+}
+
+#[test]
+fn repro_with_two_sim_threads_matches_golden_byte_for_byte() {
+    assert_matches_golden(&["--sim-threads", "2"]);
+}
+
+#[test]
+fn repro_with_four_sim_threads_matches_golden_byte_for_byte() {
+    assert_matches_golden(&["--sim-threads", "4"]);
 }

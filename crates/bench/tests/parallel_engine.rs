@@ -1,0 +1,161 @@
+//! The two-phase engine's determinism contract, pinned from outside the
+//! engine crate: `--sim-threads N` must produce the *same report* — every
+//! counter, every CSV field — for every `N`, across the whole mechanism ×
+//! sharing-policy space. Phase A only touches SM-private state and phase
+//! B drains outboxes in SM-index order, so any divergence here means a
+//! shared structure leaked into phase A (or a merge lost ordering).
+//!
+//! The proptests below pin the other half of the design: the per-SM stat
+//! accumulators are merged with plain `Add`, which is only sound because
+//! every field is an order-independent sum. Splitting any op stream
+//! across SMs and re-merging must equal serial accumulation exactly.
+
+use bench::SEED;
+use gpu_sim::{GpuConfig, LatencyBreakdown, SimReport, Simulator, TranslationBreakdown};
+use orchestrated_tlb::{
+    Mechanism, PartitionedTlb, PartitionedTlbConfig, SharingPolicy, TlbAwareScheduler,
+};
+use proptest::prelude::*;
+use tlb::{TlbStats, TranslationBuffer};
+use workloads::{registry, Scale, Workload};
+
+/// Assert two reports are observably identical: the repro CSV row plus
+/// the per-structure counters the row aggregates away.
+fn assert_reports_equal(serial: &SimReport, parallel: &SimReport, context: &str) {
+    assert_eq!(
+        serial.total_cycles, parallel.total_cycles,
+        "total_cycles diverged under {context}"
+    );
+    assert_eq!(
+        serial.kernel_cycles, parallel.kernel_cycles,
+        "kernel_cycles diverged under {context}"
+    );
+    assert_eq!(
+        serial.to_csv_row(),
+        parallel.to_csv_row(),
+        "CSV row diverged under {context}"
+    );
+    assert_eq!(
+        serial.l1_tlb, parallel.l1_tlb,
+        "per-SM L1 TLB stats diverged under {context}"
+    );
+    assert_eq!(
+        serial.latency, parallel.latency,
+        "latency breakdown diverged under {context}"
+    );
+}
+
+/// Every mechanism of the paper is thread-count invariant (exhaustive:
+/// each mechanism routes a different L1 TLB organization and TB scheduler
+/// through the same two-phase engine).
+#[test]
+fn every_mechanism_is_thread_count_invariant() {
+    let spec = registry().into_iter().find(|s| s.name == "bfs").unwrap();
+    let workload = spec.generate(Scale::Test, SEED);
+    for m in Mechanism::all() {
+        let serial = m
+            .simulator(GpuConfig::dac23_baseline())
+            .with_sim_threads(1)
+            .run(workload.clone());
+        for threads in [2usize, 4] {
+            let parallel = m
+                .simulator(GpuConfig::dac23_baseline())
+                .with_sim_threads(threads)
+                .run(workload.clone());
+            assert_reports_equal(
+                &serial,
+                &parallel,
+                &format!("{} --sim-threads {threads}", m.label()),
+            );
+        }
+    }
+}
+
+/// Every partitioned-TLB sharing policy is thread-count invariant.
+/// Sharing policies are the riskiest case for the private/shared split:
+/// a "shared" way probed from another SM's partition must still be
+/// per-SM-private state in phase A.
+#[test]
+fn every_sharing_policy_is_thread_count_invariant() {
+    let spec = registry().into_iter().find(|s| s.name == "mvt").unwrap();
+    let workload = spec.generate(Scale::Test, SEED);
+    for sharing in [
+        SharingPolicy::None,
+        SharingPolicy::Adjacent,
+        SharingPolicy::AdjacentCounter { threshold: 2 },
+        SharingPolicy::AllToAll,
+    ] {
+        let run = |threads: usize, workload: Workload| {
+            Simulator::new(GpuConfig::dac23_baseline())
+                .with_tb_scheduler(Box::new(TlbAwareScheduler::new()))
+                .with_l1_tlb_factory(Box::new(move |c: &GpuConfig| {
+                    Box::new(PartitionedTlb::new(PartitionedTlbConfig {
+                        geometry: c.l1_tlb,
+                        sharing,
+                        ..PartitionedTlbConfig::partition_only()
+                    })) as Box<dyn TranslationBuffer>
+                }))
+                .with_sim_threads(threads)
+                .run(workload)
+        };
+        let serial = run(1, workload.clone());
+        for threads in [2usize, 4] {
+            let parallel = run(threads, workload.clone());
+            assert_reports_equal(
+                &serial,
+                &parallel,
+                &format!("sharing={sharing:?} --sim-threads {threads}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a lookup stream across any number of per-SM `TlbStats`
+    /// accumulators and merging with `Add` equals serial accumulation.
+    #[test]
+    fn merged_per_sm_tlb_stats_equal_serial_accumulation(
+        ops in collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 0..256),
+        sms in 1usize..=16,
+    ) {
+        let mut serial = TlbStats::default();
+        let mut per_sm = vec![TlbStats::default(); sms];
+        for (i, &(hit, inserted, evicted)) in ops.iter().enumerate() {
+            for s in [&mut serial, &mut per_sm[i % sms]] {
+                s.record(hit);
+                if inserted {
+                    s.insertions += 1;
+                    if evicted {
+                        s.evictions += 1;
+                    }
+                }
+            }
+        }
+        let merged = per_sm.into_iter().fold(TlbStats::default(), |a, b| a + b);
+        prop_assert_eq!(merged, serial);
+        prop_assert_eq!(merged.accesses(), serial.hits + serial.misses);
+    }
+
+    /// Splitting translation completions across per-SM `LatencyBreakdown`
+    /// accumulators and merging with `Add` equals serial accumulation,
+    /// and preserves the per-stage attribution identity.
+    #[test]
+    fn merged_per_sm_latency_breakdowns_equal_serial_accumulation(
+        ops in collection::vec(((0u64..500, 0u64..40), (0u64..100, 0u64..20), (0u64..2000, 0u64..5000)), 0..128),
+        sms in 1usize..=16,
+    ) {
+        let mut serial = LatencyBreakdown::default();
+        let mut per_sm = vec![LatencyBreakdown::default(); sms];
+        for (i, &((l1_tlb, icnt), (l2_tlb_queue, l2_tlb_lookup), (walk, fault))) in ops.iter().enumerate() {
+            let b = TranslationBreakdown { l1_tlb, icnt, l2_tlb_queue, l2_tlb_lookup, walk, fault };
+            serial.record(&b, b.total());
+            per_sm[i % sms].record(&b, b.total());
+        }
+        let merged = per_sm.into_iter().fold(LatencyBreakdown::default(), |a, b| a + b);
+        prop_assert_eq!(merged, serial);
+        prop_assert_eq!(merged.translations, ops.len() as u64);
+        prop_assert!(merged.check().is_ok(), "{:?}", merged.check());
+    }
+}

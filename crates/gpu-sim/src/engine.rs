@@ -8,8 +8,28 @@
 //! next cycle at which any SM can make progress), which is exact for this
 //! model because all latencies are computed analytically at issue.
 //!
-//! Determinism: SMs are processed in index order at each event cycle and
-//! every policy is seeded/stateless, so runs are bit-reproducible.
+//! # Two-phase execution and determinism
+//!
+//! Each event cycle runs in two phases. **Phase A** steps every
+//! event-ready SM against only its own private state (its [`SmRt`], its
+//! [`mem_hier::PerSmFront`] — L1 TLB + VIPT L1 data cache — and a
+//! per-SM outbox), so the steps are independent and may run in parallel
+//! on a persistent `std`-only worker pool (`--sim-threads N`,
+//! [`set_sim_threads`]). **Phase B** drains the outboxes in SM-index
+//! order on the coordinating thread, applying every shared-stage
+//! request ([`mem_hier::SharedRequest`]: L2 TLB, walkers, L2/DRAM data
+//! path) and patching warp completion times.
+//!
+//! Output is byte-identical for every `--sim-threads N` because (1) an
+//! SM step becomes *deferring* at its first private L1 TLB miss — from
+//! that point every translation and data access of the step is replayed
+//! in phase B in original program order, so each private structure sees
+//! exactly the serial operation sequence; (2) phase B applies outboxes
+//! in SM-index order, so each shared structure sees exactly the serial
+//! operation sequence; and (3) all per-SM accumulators are plain
+//! counter sums, merged order-independently. SMs are processed in index
+//! order at each event cycle and every policy is seeded/stateless, so
+//! runs are bit-reproducible.
 
 use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
@@ -17,9 +37,13 @@ use crate::report::{SimReport, TranslationEvent};
 use crate::sanitize::{sanitize_enabled, Sanitizer};
 use crate::tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
 use crate::warp_sched::{GtoWarpScheduler, WarpScheduler, WarpView};
-use mem_hier::{Access, Hierarchy, HierarchyBuilder, HitLevel};
+use mem_hier::{
+    Access, HierarchyBuilder, PerSmFront, SharedBack, SharedRequest, TranslationRef,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use tlb::{SetAssocTlb, TranslationBuffer};
-use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, VirtAddr};
+use vmem::{PageSize, PhysAddr, Ppn, VirtAddr};
 use workloads::{KernelTrace, WarpOp, Workload};
 
 /// Builds L1 TLBs for each SM (lets the `orchestrated-tlb` crate plug in
@@ -28,6 +52,25 @@ pub type L1TlbFactory = Box<dyn Fn(&GpuConfig) -> Box<dyn TranslationBuffer>>;
 
 /// Builds one warp scheduler per SM.
 pub type WarpSchedulerFactory = Box<dyn Fn() -> Box<dyn WarpScheduler>>;
+
+/// Process-wide default for the engine's phase-A worker count, so
+/// `--sim-threads` reaches every simulator built by the experiment grid
+/// without threading a flag through each call site (mirrors
+/// [`crate::sanitize::set_sanitize`]).
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default number of simulation threads used for
+/// phase A of the engine's event loop (clamped to at least 1; also
+/// capped at the SM count per run). Output is byte-identical for every
+/// value — this is purely a wall-clock knob.
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default number of simulation threads (1 = serial).
+pub fn sim_threads() -> usize {
+    SIM_THREADS.load(Ordering::Relaxed)
+}
 
 /// A configured simulator, ready to run workloads.
 ///
@@ -52,6 +95,9 @@ pub struct Simulator {
     /// Per-instance sanitizer override; `None` follows the process-wide
     /// default ([`sanitize_enabled`]).
     sanitize: Option<bool>,
+    /// Per-instance phase-A worker-count override; `None` follows the
+    /// process-wide default ([`sim_threads`]).
+    sim_threads: Option<usize>,
 }
 
 impl Simulator {
@@ -70,6 +116,7 @@ impl Simulator {
             trace_translations: false,
             force_max_tbs: None,
             sanitize: None,
+            sim_threads: None,
         }
     }
 
@@ -115,6 +162,14 @@ impl Simulator {
         self
     }
 
+    /// Sets the phase-A worker count for this simulator, overriding the
+    /// process-wide default ([`set_sim_threads`]). Output is
+    /// byte-identical for every value.
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = Some(threads.max(1));
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &GpuConfig {
         &self.config
@@ -132,11 +187,22 @@ impl Simulator {
         let n_sms = self.config.num_sms;
         let sanitize = self.sanitize.unwrap_or_else(sanitize_enabled);
         let mut sanitizer = sanitize.then(|| Sanitizer::new(n_sms));
+        let threads = self
+            .sim_threads
+            .unwrap_or_else(sim_threads)
+            .clamp(1, n_sms.max(1));
         let l1_tlbs: Vec<Box<dyn TranslationBuffer>> = (0..n_sms)
             .map(|_| (self.l1_tlb_factory)(&self.config))
             .collect();
-        let mut mem =
-            MemorySystem::new(&self.config, space, l1_tlbs, self.trace_translations, sanitize);
+        let page_size = space.page_size();
+        let (mut fronts, back) =
+            HierarchyBuilder::new(self.config.hierarchy()).build_split(space, l1_tlbs);
+        let mut shared = SharedState {
+            back,
+            page_size,
+            trace: self.trace_translations.then(Vec::new),
+            sanitize,
+        };
         let mut report = SimReport {
             workload: name,
             scheduler: self.tb_scheduler.name().to_owned(),
@@ -148,11 +214,17 @@ impl Simulator {
         let mut cycle: u64 = 0;
         for (kernel_idx, kernel) in kernels.iter().enumerate() {
             let start = cycle;
-            cycle = self.run_kernel(
+            cycle = run_kernel(
+                &self.config,
+                &mut self.tb_scheduler,
+                &self.warp_scheduler_factory,
+                threads,
+                self.force_max_tbs,
                 kernel,
                 kernel_idx as u16,
                 cycle,
-                &mut mem,
+                &mut fronts,
+                &mut shared,
                 &mut report,
                 &mut sanitizer,
             );
@@ -162,66 +234,229 @@ impl Simulator {
         }
 
         report.total_cycles = cycle;
-        report.l1_tlb = mem.l1_tlbs().iter().map(|t| t.stats()).collect();
-        report.l2_tlb = mem.hier.l2_tlb_stats();
-        report.l1_cache = mem.hier.l1_cache_stats();
-        report.l2_cache = mem.hier.l2_cache_stats();
-        report.walker = mem.hier.walker_stats();
-        report.demand_faults = mem.hier.demand_faults();
-        report.transactions = mem.hier.transactions();
-        report.latency = *mem.hier.breakdown();
-        report.translation_trace = mem.trace.take().unwrap_or_default();
+        report.l1_tlb = fronts.iter().map(|f| f.tlb().stats()).collect();
+        report.l2_tlb = shared.back.l2_tlb_stats();
+        report.l1_cache = fronts.iter().map(PerSmFront::l1_cache_stats).collect();
+        report.l2_cache = shared.back.l2_cache_stats();
+        report.walker = shared.back.walker_stats();
+        report.demand_faults = shared.back.demand_faults();
+        report.transactions = fronts.iter().map(PerSmFront::transactions).sum();
+        report.latency = fronts
+            .iter()
+            .fold(*shared.back.breakdown(), |a, f| a + *f.breakdown());
+        report.translation_trace = shared.trace.take().unwrap_or_default();
         report
     }
+}
 
-    /// Simulates one kernel launch; returns the cycle at which it
-    /// completes.
-    fn run_kernel(
-        &mut self,
-        kernel: &KernelTrace,
-        kernel_idx: u16,
-        start_cycle: u64,
-        mem: &mut MemorySystem,
-        report: &mut SimReport,
-        sanitizer: &mut Option<Sanitizer>,
-    ) -> u64 {
-        let n_sms = self.config.num_sms;
-        // Occupancy: the compile-time TB limit, the hardware cap, and the
-        // thread capacity all bound concurrency.
-        let by_threads =
-            (self.config.max_threads_per_sm / kernel.threads_per_tb.max(1)).max(1) as u8;
-        let mut max_tbs = kernel
-            .max_concurrent_tbs_per_sm
-            .min(self.config.max_concurrent_tbs)
-            .min(by_threads);
-        if let Some(cap) = self.force_max_tbs {
-            max_tbs = max_tbs.min(cap);
-        }
+/// The shared half of the run: the order-sensitive back of the memory
+/// hierarchy plus the engine-side concerns that live on the coordinator
+/// (translation tracing, sanitizer enablement).
+struct SharedState {
+    back: SharedBack,
+    page_size: PageSize,
+    trace: Option<Vec<TranslationEvent>>,
+    /// Run full L1 TLB invariant checks after every fill.
+    sanitize: bool,
+}
 
-        let mut sms: Vec<SmRt> = (0..n_sms)
-            .map(|_| SmRt::new(max_tbs, (self.warp_scheduler_factory)()))
-            .collect();
-        for tlb in mem.l1_tlbs_mut() {
-            tlb.set_concurrent_tbs(max_tbs);
-            if self.config.flush_l1_tlb_on_kernel_launch {
-                tlb.flush();
+/// Everything one SM touches during phase A: its runtime state, its
+/// private slice of the memory hierarchy, and the per-cycle buffers the
+/// coordinator drains in phase B. Boxed so the worker-pool channels move
+/// a pointer, not the struct.
+struct Lane {
+    sm_idx: usize,
+    sm: SmRt,
+    front: PerSmFront,
+    outbox: Outbox,
+    scratch: IssueScratch,
+    /// Per-cycle translation-trace events, appended to the global trace
+    /// in SM-index order by phase B (= the serial push order).
+    trace: Vec<TranslationEvent>,
+    /// Instructions issued this kernel (merged into the report at kernel
+    /// end; pure sums, so the merge is order-independent).
+    instructions: u64,
+}
+
+/// The phase-A -> phase-B boundary for one SM and one event cycle.
+#[derive(Default)]
+struct Outbox {
+    entries: Vec<OutboxEntry>,
+    /// Translate requests pushed so far (their phase-B results land at
+    /// the matching index of the per-lane `resolved` scratch).
+    n_translates: u32,
+    /// `Some(issue_limited)` when phase A left `next_event` stale because
+    /// deferred completions may move it; phase B recomputes after
+    /// patching warps.
+    recompute: Option<bool>,
+}
+
+impl Outbox {
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Queues a translate request; returns its index in the resolved-
+    /// translations sequence.
+    fn push_translate(&mut self, req: SharedRequest) -> u32 {
+        let idx = self.n_translates;
+        self.n_translates += 1;
+        self.entries.push(OutboxEntry { req, warp: None });
+        idx
+    }
+
+    /// Queues a data request whose completion cycle must fold into
+    /// `warp`'s ready time.
+    fn push_data(&mut self, req: SharedRequest, warp: usize) {
+        self.entries.push(OutboxEntry {
+            req,
+            warp: Some(warp),
+        });
+    }
+}
+
+struct OutboxEntry {
+    req: SharedRequest,
+    /// Index into `SmRt::warps` whose `ready_at` absorbs the completion
+    /// cycle (data requests); `None` for pure translations.
+    warp: Option<usize>,
+}
+
+/// A phase-A work batch: one message per worker per event cycle.
+struct Batch {
+    cycle: u64,
+    lanes: Vec<(usize, Box<Lane>)>,
+}
+
+/// A worker's returned batch. `panicked` carries the payload text of a
+/// panic caught inside the worker, so the coordinator can re-raise it
+/// instead of deadlocking on a missing result.
+struct Done {
+    lanes: Vec<(usize, Box<Lane>)>,
+    panicked: Option<String>,
+}
+
+fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("phase-A worker panicked")
+    }
+}
+
+/// Simulates one kernel launch; returns the cycle at which it completes.
+///
+/// A free function over split borrows of the simulator's fields: the
+/// phase-A workers hold `config` for the kernel's duration while the
+/// coordinator mutates the TB scheduler and report between phases.
+#[allow(clippy::too_many_arguments)]
+fn run_kernel(
+    config: &GpuConfig,
+    tb_scheduler: &mut Box<dyn TbScheduler>,
+    warp_scheduler_factory: &WarpSchedulerFactory,
+    threads: usize,
+    force_max_tbs: Option<u8>,
+    kernel: &KernelTrace,
+    kernel_idx: u16,
+    start_cycle: u64,
+    fronts: &mut Vec<PerSmFront>,
+    shared: &mut SharedState,
+    report: &mut SimReport,
+    sanitizer: &mut Option<Sanitizer>,
+) -> u64 {
+    let n_sms = config.num_sms;
+    // Occupancy: the compile-time TB limit, the hardware cap, and the
+    // thread capacity all bound concurrency.
+    let by_threads = (config.max_threads_per_sm / kernel.threads_per_tb.max(1)).max(1) as u8;
+    let mut max_tbs = kernel
+        .max_concurrent_tbs_per_sm
+        .min(config.max_concurrent_tbs)
+        .min(by_threads);
+    if let Some(cap) = force_max_tbs {
+        max_tbs = max_tbs.min(cap);
+    }
+
+    let mut lanes: Vec<Option<Box<Lane>>> = fronts
+        .drain(..)
+        .enumerate()
+        .map(|(sm_idx, mut front)| {
+            front.tlb_mut().set_concurrent_tbs(max_tbs);
+            if config.flush_l1_tlb_on_kernel_launch {
+                front.tlb_mut().flush();
             }
+            Some(Box::new(Lane {
+                sm_idx,
+                sm: SmRt::new(max_tbs, warp_scheduler_factory()),
+                front,
+                outbox: Outbox::default(),
+                scratch: IssueScratch::default(),
+                trace: Vec::new(),
+                instructions: 0,
+            }))
+        })
+        .collect();
+    tb_scheduler.reset();
+
+    let trace_on = shared.trace.is_some();
+    let page_size = shared.page_size;
+    let workers = threads.saturating_sub(1);
+
+    let end_cycle = std::thread::scope(|scope| {
+        // Persistent phase-A pool: each worker owns a job channel and
+        // shares the return channel. Lanes move through the channels by
+        // Box, one batch message per worker per event cycle. No locks
+        // anywhere: ownership transfer is the only synchronization.
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let mut batch_txs: Vec<mpsc::Sender<Batch>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Batch>();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(mut batch) = rx.recv() {
+                    // Catch panics (sanitizer aborts, debug asserts) so
+                    // the lanes still flow back and the coordinator can
+                    // re-raise instead of hanging on a lost batch.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for (_, lane) in batch.lanes.iter_mut() {
+                            phase_a(config, batch.cycle, kernel_idx, page_size, trace_on, lane);
+                        }
+                    }));
+                    let panicked = caught.err().map(panic_text);
+                    if done_tx
+                        .send(Done {
+                            lanes: batch.lanes,
+                            panicked,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+            batch_txs.push(tx);
         }
-        self.tb_scheduler.reset();
+        drop(done_tx);
 
         let mut next_tb = 0usize;
         let mut cycle = start_cycle;
-        let mut scratch = IssueScratch::default();
+        let mut ready: Vec<usize> = Vec::new();
+        let mut resolved: Vec<(Ppn, u64)> = Vec::new();
         loop {
+            debug_assert!(
+                lanes.iter().all(Option::is_some),
+                "every lane is home at the cycle boundary"
+            );
             // Dispatch pending TBs while any SM has a free slot.
             while next_tb < kernel.tbs.len() {
-                let snaps: Vec<SmSnapshot> = sms
+                let snaps: Vec<SmSnapshot> = lanes
                     .iter()
-                    .enumerate()
-                    .map(|(i, sm)| {
-                        let stats = mem.l1_tlbs()[i].stats();
+                    .flatten()
+                    .map(|lane| {
+                        let stats = lane.front.tlb().stats();
                         SmSnapshot {
-                            free_slots: sm.free_slots.len() as u8,
+                            free_slots: lane.sm.free_slots.len() as u8,
                             tlb_hits: stats.hits,
                             tlb_accesses: stats.accesses(),
                         }
@@ -230,150 +465,354 @@ impl Simulator {
                 if !snaps.iter().any(SmSnapshot::has_room) {
                     break;
                 }
-                let Some(target) = self.tb_scheduler.pick_sm(&snaps) else {
+                let Some(target) = tb_scheduler.pick_sm(&snaps) else {
                     break;
                 };
                 assert!(
                     snaps[target].has_room(),
                     "scheduler picked a full SM ({target})"
                 );
-                sms[target].place_tb(kernel, next_tb as u32, cycle);
+                let Some(lane) = lanes[target].as_mut() else {
+                    unreachable!("lanes are home during dispatch")
+                };
+                lane.sm.place_tb(kernel, next_tb as u32, cycle);
                 report.tb_placements[target] += 1;
                 next_tb += 1;
             }
 
             // Next cycle at which any SM can make progress.
-            let Some(event) = sms.iter().map(SmRt::next_event).min().filter(|&e| e < u64::MAX)
+            let Some(event) = lanes
+                .iter()
+                .flatten()
+                .map(|l| l.sm.next_event())
+                .min()
+                .filter(|&e| e < u64::MAX)
             else {
                 debug_assert!(next_tb >= kernel.tbs.len(), "idle GPU with pending TBs");
                 break;
             };
             cycle = cycle.max(event);
 
-            for sm_idx in 0..n_sms {
-                Self::step_sm(
-                    &self.config,
-                    sm_idx,
-                    cycle,
-                    kernel_idx,
-                    &mut sms,
-                    mem,
-                    report,
-                    &mut scratch,
-                );
+            ready.clear();
+            ready.extend(lanes.iter().enumerate().filter_map(|(i, slot)| {
+                slot.as_ref()
+                    .filter(|l| l.sm.next_event() <= cycle)
+                    .map(|_| i)
+            }));
+
+            // Phase A: step every ready SM against private state only.
+            if batch_txs.is_empty() || ready.len() <= 1 {
+                for &i in &ready {
+                    if let Some(lane) = lanes[i].as_mut() {
+                        phase_a(config, cycle, kernel_idx, page_size, trace_on, lane);
+                    }
+                }
+            } else {
+                let chunks = batch_txs.len() + 1;
+                let per = ready.len().div_ceil(chunks);
+                let mut sent = 0usize;
+                for (k, tx) in batch_txs.iter().enumerate() {
+                    let lo = k * per;
+                    let hi = ((k + 1) * per).min(ready.len());
+                    if lo >= hi {
+                        break;
+                    }
+                    let moved: Vec<(usize, Box<Lane>)> = ready[lo..hi]
+                        .iter()
+                        .map(|&i| {
+                            let Some(lane) = lanes[i].take() else {
+                                unreachable!("ready lane present before phase A")
+                            };
+                            (i, lane)
+                        })
+                        .collect();
+                    tx.send(Batch {
+                        cycle,
+                        lanes: moved,
+                    })
+                    .expect("worker outlives the kernel loop"); // simlint: allow(hot-unwrap, reason = "worker threads only exit when their channel closes at kernel end")
+                    sent += 1;
+                }
+                // Coordinator takes the tail chunk, overlapping with the
+                // workers before blocking on their results.
+                for &i in &ready[(sent * per).min(ready.len())..] {
+                    if let Some(lane) = lanes[i].as_mut() {
+                        phase_a(config, cycle, kernel_idx, page_size, trace_on, lane);
+                    }
+                }
+                let mut panicked: Option<String> = None;
+                for _ in 0..sent {
+                    let done = done_rx
+                        .recv()
+                        .expect("every dispatched batch is sent back"); // simlint: allow(hot-unwrap, reason = "workers return lanes even on panic via catch_unwind")
+                    for (i, lane) in done.lanes {
+                        lanes[i] = Some(lane);
+                    }
+                    if panicked.is_none() {
+                        panicked = done.panicked;
+                    }
+                }
+                if let Some(msg) = panicked {
+                    panic!("{msg}");
+                }
+            }
+
+            // Phase B: drain trace + outboxes in SM-index order — every
+            // shared structure sees the serial operation order exactly.
+            for slot in lanes.iter_mut() {
+                let Some(lane) = slot.as_mut() else { continue };
+                if let Some(trace) = shared.trace.as_mut() {
+                    trace.append(&mut lane.trace);
+                }
+                phase_b(lane, shared, cycle, &mut resolved);
             }
 
             if let Some(san) = sanitizer.as_mut() {
-                san.after_cycle(cycle, mem.l1_tlbs(), self.tb_scheduler.as_ref(), n_sms);
+                let tlbs: Vec<&dyn TranslationBuffer> =
+                    lanes.iter().flatten().map(|l| l.front.tlb()).collect();
+                san.after_cycle(cycle, &tlbs, &**tb_scheduler, n_sms);
             }
         }
         if let Some(san) = sanitizer.as_mut() {
-            san.end_of_kernel(cycle, mem.l1_tlbs(), mem.hier.l2_slices());
+            let tlbs: Vec<&dyn TranslationBuffer> =
+                lanes.iter().flatten().map(|l| l.front.tlb()).collect();
+            san.end_of_kernel(cycle, &tlbs, shared.back.l2_slices());
         }
         cycle
+        // Dropping `batch_txs` here closes the job channels; the workers
+        // drain and exit, and the scope joins them.
+    });
+
+    for slot in &mut lanes {
+        let Some(lane) = slot.take() else {
+            unreachable!("lanes are home after the kernel loop")
+        };
+        debug_assert!(lane.outbox.is_empty() && lane.trace.is_empty());
+        report.instructions += lane.instructions;
+        report.sm_instructions[lane.sm_idx] += lane.instructions;
+        fronts.push(lane.front);
     }
+    end_cycle
+}
 
-    /// Retires finished warps/TBs and issues up to `issue_width` warp
-    /// instructions on one SM at `cycle`.
-    #[allow(clippy::too_many_arguments)]
-    fn step_sm(
-        config: &GpuConfig,
-        sm_idx: usize,
-        cycle: u64,
-        kernel_idx: u16,
-        sms: &mut [SmRt],
-        mem: &mut MemorySystem,
-        report: &mut SimReport,
-        scratch: &mut IssueScratch,
-    ) {
-        let sm = &mut sms[sm_idx];
-        if sm.next_event > cycle {
-            return;
-        }
+/// Phase A for one SM: retire finished warps/TBs, then issue up to
+/// `issue_width` warp instructions at `cycle`, touching only the lane's
+/// private state.
+///
+/// Until the first private L1 TLB miss, translations and data probes run
+/// eagerly (hits complete here). From that miss on the step *defers*:
+/// every remaining translation and data access of the step is pushed to
+/// the outbox in program order and replayed by phase B — including
+/// private L1 probes — so each private structure's operation sequence is
+/// exactly the serial engine's (eager prefix + in-order deferred
+/// suffix).
+fn phase_a(
+    config: &GpuConfig,
+    cycle: u64,
+    kernel_idx: u16,
+    page_size: PageSize,
+    trace_on: bool,
+    lane: &mut Lane,
+) {
+    debug_assert!(lane.sm.next_event() <= cycle, "phase A on an idle lane");
+    debug_assert!(lane.outbox.is_empty(), "phase B must drain the outbox");
+    let sm_idx = lane.sm_idx;
+    let sm = &mut lane.sm;
+    let front = &mut lane.front;
+    let outbox = &mut lane.outbox;
 
-        // Retire warps whose final op has completed; free TB slots.
-        for w in 0..sm.warps.len() {
-            let warp = &mut sm.warps[w];
-            if !warp.retired && warp.op_idx >= warp.ops.len() && warp.ready_at <= cycle {
-                warp.retired = true;
-                let slot = warp.tb_slot as usize;
-                sm.slot_live_warps[slot] -= 1;
-                if sm.slot_live_warps[slot] == 0 {
-                    sm.free_slots.push(slot as u8);
-                    mem.l1_tlbs_mut()[sm_idx].on_tb_finish(slot as u8);
-                }
+    // Retire warps whose final op has completed; free TB slots.
+    for w in 0..sm.warps.len() {
+        let warp = &mut sm.warps[w];
+        if !warp.retired && warp.op_idx >= warp.ops.len() && warp.ready_at <= cycle {
+            warp.retired = true;
+            let slot = warp.tb_slot as usize;
+            sm.slot_live_warps[slot] -= 1;
+            if sm.slot_live_warps[slot] == 0 {
+                sm.free_slots.push(slot as u8);
+                front.tlb_mut().on_tb_finish(slot as u8);
             }
         }
-        if sm.warps.iter().filter(|w| w.retired).count() > 128 {
-            sm.compact();
-        }
+    }
+    if sm.warps.iter().filter(|w| w.retired).count() > 128 {
+        sm.compact();
+    }
 
-        // GTO issue: stay greedy on the last-issued warp, then oldest.
-        let mut issued = 0u32;
-        while issued < config.issue_width {
-            let pick = sm.pick(cycle);
-            let Some(w) = pick else { break };
-            let warp = &mut sm.warps[w];
-            let op = &warp.ops[warp.op_idx];
-            warp.op_idx += 1;
-            report.instructions += 1;
-            report.sm_instructions[sm_idx] += 1;
-            match op {
-                WarpOp::Compute { cycles } => {
-                    warp.ready_at = cycle + (*cycles as u64).max(1);
-                }
-                WarpOp::Load(acc) | WarpOp::Store(acc) => {
-                    let write = op.is_store();
-                    let mut done = cycle + 1;
-                    // Per-instruction TLB coalescing (Power et al.,
-                    // HPCA'14, the paper's reference [19]): one L1 TLB
-                    // lookup per *distinct page* the warp instruction
-                    // touches; the per-line transactions below share the
-                    // translation.
-                    let IssueScratch { lines, translations } = scratch;
-                    translations.clear();
-                    let mut lookups = 0u64;
-                    coalesce_into(acc, config.l1_cache.line_bytes as u64, lines);
-                    for (i, &line) in lines.iter().enumerate() {
-                        let vpn = line.vpn(mem.page_size);
-                        let (ppn, translated_at) = match translations
-                            .iter()
-                            .find(|(v, _)| *v == vpn)
-                        {
-                            Some(&(_, hit)) => hit,
-                            None => {
-                                // Translation lookups leave one per cycle.
-                                let t = mem.translate(
-                                    cycle + lookups,
-                                    sm_idx,
-                                    warp.tb_slot,
-                                    warp.tb_global,
-                                    warp.warp_in_tb,
-                                    kernel_idx,
-                                    line,
-                                );
-                                lookups += 1;
-                                translations.push((vpn, t));
-                                t
+    // GTO issue: stay greedy on the last-issued warp, then oldest.
+    let mut deferred = false;
+    let mut issued = 0u32;
+    while issued < config.issue_width {
+        let pick = sm.pick(cycle);
+        let Some(w) = pick else { break };
+        let warp = &mut sm.warps[w];
+        let op = &warp.ops[warp.op_idx];
+        warp.op_idx += 1;
+        lane.instructions += 1;
+        match op {
+            WarpOp::Compute { cycles } => {
+                warp.ready_at = cycle + (*cycles as u64).max(1);
+            }
+            WarpOp::Load(acc) | WarpOp::Store(acc) => {
+                let write = op.is_store();
+                let mut done = cycle + 1;
+                // Per-instruction TLB coalescing (Power et al.,
+                // HPCA'14, the paper's reference [19]): one L1 TLB
+                // lookup per *distinct page* the warp instruction
+                // touches; the per-line transactions below share the
+                // translation.
+                let IssueScratch {
+                    lines,
+                    translations,
+                } = &mut lane.scratch;
+                translations.clear();
+                let mut lookups = 0u64;
+                coalesce_into(acc, config.l1_cache.line_bytes as u64, lines);
+                for (i, &line) in lines.iter().enumerate() {
+                    let vpn = line.vpn(page_size);
+                    let tref = match translations.iter().find(|(v, _)| *v == vpn) {
+                        Some(&(_, t)) => t,
+                        None => {
+                            // Translation lookups leave one per cycle,
+                            // whether served eagerly or deferred.
+                            let at = cycle + lookups;
+                            lookups += 1;
+                            if trace_on {
+                                lane.trace.push(TranslationEvent {
+                                    sm: sm_idx as u8,
+                                    tb_global: warp.tb_global,
+                                    warp: warp.warp_in_tb,
+                                    kernel: kernel_idx,
+                                    vpn: vpn.raw(),
+                                });
                             }
-                        };
-                        // Transactions leave the LSU one per cycle.
-                        let start = translated_at.max(cycle + i as u64);
-                        let pa = PhysAddr::from_parts(
-                            ppn,
-                            line.page_offset(mem.page_size),
-                            mem.page_size,
-                        );
-                        done = done.max(mem.data_access(start, sm_idx, pa, write));
+                            let acc = Access {
+                                at,
+                                sm: sm_idx,
+                                tb_slot: warp.tb_slot,
+                                va: line,
+                                vpn,
+                                page_size,
+                            };
+                            let t = if deferred {
+                                TransRef::Pending(
+                                    outbox.push_translate(SharedRequest::TranslateReplay { acc }),
+                                )
+                            } else {
+                                let l1 = front.probe_translate(&acc);
+                                match l1.ppn {
+                                    Some(ppn) => TransRef::Done(ppn, l1.ready_at),
+                                    None => {
+                                        deferred = true;
+                                        TransRef::Pending(outbox.push_translate(
+                                            SharedRequest::TranslateMiss {
+                                                acc,
+                                                l1_ready_at: l1.ready_at,
+                                                l1_service_cycles: l1.service_cycles,
+                                            },
+                                        ))
+                                    }
+                                }
+                            };
+                            translations.push((vpn, t));
+                            t
+                        }
+                    };
+                    // Transactions leave the LSU one per cycle.
+                    let min_start = cycle + i as u64;
+                    let page_offset = line.page_offset(page_size);
+                    match tref {
+                        TransRef::Done(ppn, ready) if !deferred => {
+                            let start = ready.max(min_start);
+                            let pa = PhysAddr::from_parts(ppn, page_offset, page_size);
+                            match front.probe_data(start, pa, write) {
+                                Some(d) => done = done.max(d),
+                                None => {
+                                    outbox.push_data(SharedRequest::DataBack { start, pa, write }, w)
+                                }
+                            }
+                        }
+                        // Once deferring, even resolved lines replay in
+                        // phase B so the private L1 data cache sees its
+                        // probes in program order.
+                        TransRef::Done(ppn, ready) => outbox.push_data(
+                            SharedRequest::DataReplay {
+                                translation: TranslationRef::Resolved { ppn, ready_at: ready },
+                                min_start,
+                                page_offset,
+                                write,
+                            },
+                            w,
+                        ),
+                        TransRef::Pending(idx) => outbox.push_data(
+                            SharedRequest::DataReplay {
+                                translation: TranslationRef::Pending(idx),
+                                min_start,
+                                page_offset,
+                                write,
+                            },
+                            w,
+                        ),
                     }
-                    warp.ready_at = done;
+                }
+                // Deferred completions fold in during phase B; every one
+                // of them is >= cycle + 1, so the warp's not-ready status
+                // for the rest of this cycle is already final.
+                warp.ready_at = done;
+            }
+        }
+        issued += 1;
+    }
+
+    if outbox.is_empty() {
+        sm.recompute_next_event(cycle, issued >= config.issue_width);
+    } else {
+        // next_event depends on deferred completion cycles; phase B
+        // recomputes after patching the warps.
+        outbox.recompute = Some(issued >= config.issue_width);
+    }
+}
+
+/// Phase B for one SM: apply its deferred shared-stage requests in push
+/// order against the shared back (and its own front for replays), patch
+/// warp completion times, then settle `next_event`.
+fn phase_b(lane: &mut Lane, shared: &mut SharedState, cycle: u64, resolved: &mut Vec<(Ppn, u64)>) {
+    if lane.outbox.is_empty() {
+        debug_assert!(lane.outbox.recompute.is_none());
+        return;
+    }
+    resolved.clear();
+    let front = &mut lane.front;
+    for entry in lane.outbox.entries.drain(..) {
+        let resp = shared.back.apply(front, &entry.req, resolved);
+        if let Some(ppn) = resp.ppn {
+            resolved.push((ppn, resp.ready_at));
+            // Any resolution below the L1 filled the SM's L1 TLB (the
+            // path that evicts, spills and flips sharing flags):
+            // structurally check it, exactly as the serial engine did
+            // post-insert.
+            if shared.sanitize && resp.filled_l1 {
+                if let Some(acc) = entry.req.translate_acc() {
+                    Sanitizer::after_fill(acc.sm, acc.at, front.tlb());
                 }
             }
-            issued += 1;
         }
-
-        sm.recompute_next_event(cycle, issued >= config.issue_width);
+        if let Some(w) = entry.warp {
+            let warp = &mut lane.sm.warps[w];
+            warp.ready_at = warp.ready_at.max(resp.ready_at);
+        }
     }
+    lane.outbox.n_translates = 0;
+    if let Some(issue_limited) = lane.outbox.recompute.take() {
+        lane.sm.recompute_next_event(cycle, issue_limited);
+    }
+}
+
+/// A phase-A reference to a translation: resolved eagerly (L1 TLB hit)
+/// or pending at an outbox index.
+#[derive(Copy, Clone)]
+enum TransRef {
+    Done(Ppn, u64),
+    Pending(u32),
 }
 
 /// Reusable per-issue scratch buffers: one warp memory instruction's
@@ -382,7 +821,7 @@ impl Simulator {
 #[derive(Default)]
 struct IssueScratch {
     lines: Vec<VirtAddr>,
-    translations: Vec<(vmem::Vpn, (vmem::Ppn, u64))>,
+    translations: Vec<(vmem::Vpn, TransRef)>,
 }
 
 /// Runtime state of one resident warp.
@@ -518,94 +957,6 @@ impl SmRt {
     }
 }
 
-/// The shared memory subsystem: a thin owner of the mem-hier pipeline
-/// plus the engine-side concerns that do not belong to a hierarchy level
-/// (translation tracing, sanitizer hooks).
-struct MemorySystem {
-    /// The composed translation + data pipeline (see the `mem-hier`
-    /// crate): per-SM L1 TLBs, interconnect, sliced L2 TLB with port
-    /// arbitration, walker pool with UVM demand paging, VIPT caches.
-    hier: Hierarchy,
-    page_size: PageSize,
-    trace: Option<Vec<TranslationEvent>>,
-    /// Run full L1 TLB invariant checks after every fill.
-    sanitize: bool,
-}
-
-impl MemorySystem {
-    fn new(
-        config: &GpuConfig,
-        space: AddressSpace,
-        l1_tlbs: Vec<Box<dyn TranslationBuffer>>,
-        trace: bool,
-        sanitize: bool,
-    ) -> Self {
-        let page_size = space.page_size();
-        MemorySystem {
-            hier: HierarchyBuilder::new(config.hierarchy()).build(space, l1_tlbs),
-            page_size,
-            trace: trace.then(Vec::new),
-            sanitize,
-        }
-    }
-
-    fn l1_tlbs(&self) -> &[Box<dyn TranslationBuffer>] {
-        self.hier.l1_tlbs()
-    }
-
-    fn l1_tlbs_mut(&mut self) -> &mut [Box<dyn TranslationBuffer>] {
-        self.hier.l1_tlbs_mut()
-    }
-
-    /// Translates one page (steps ②-⑥ of the paper's Figure 1) through
-    /// the hierarchy. Returns the frame and the cycle the PPN becomes
-    /// available.
-    #[allow(clippy::too_many_arguments)]
-    fn translate(
-        &mut self,
-        cycle: u64,
-        sm: usize,
-        tb_slot: u8,
-        tb_global: u32,
-        warp_in_tb: u16,
-        kernel: u16,
-        line_va: VirtAddr,
-    ) -> (Ppn, u64) {
-        let vpn = line_va.vpn(self.page_size);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TranslationEvent {
-                sm: sm as u8,
-                tb_global,
-                warp: warp_in_tb,
-                kernel,
-                vpn: vpn.raw(),
-            });
-        }
-        let t = self.hier.translate(&Access {
-            at: cycle,
-            sm,
-            tb_slot,
-            va: line_va,
-            vpn,
-            page_size: self.page_size,
-        });
-        // Any resolution below the L1 filled the SM's L1 TLB (the path
-        // that evicts, spills and flips sharing flags): structurally
-        // check it, exactly as the pre-mem-hier engine did post-insert.
-        if self.sanitize && t.level != HitLevel::L1Tlb {
-            Sanitizer::after_fill(sm, cycle, self.hier.l1_tlbs()[sm].as_ref());
-        }
-        (t.ppn, t.ready_at)
-    }
-
-    /// One coalesced line transaction through the data path: VIPT L1
-    /// probed in parallel with translation (`start` already accounts for
-    /// PPN availability), then L2/DRAM on miss.
-    fn data_access(&mut self, start: u64, sm: usize, pa: PhysAddr, write: bool) -> u64 {
-        self.hier.data_access(start, sm, pa, write)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,6 +987,30 @@ mod tests {
         let b = run_bench("bfs");
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.l1_tlb_aggregate(), b.l1_tlb_aggregate());
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        // The tentpole contract: `--sim-threads N` changes wall-clock
+        // only. Every reported number — cycles, stats, the latency
+        // breakdown, even the translation trace — must be identical.
+        let spec = registry().into_iter().find(|s| s.name == "gemm").unwrap();
+        let serial = Simulator::new(GpuConfig::dac23_baseline())
+            .with_sim_threads(1)
+            .with_translation_trace(true)
+            .run(spec.generate(Scale::Test, 42));
+        for threads in [2, 4, 16] {
+            let par = Simulator::new(GpuConfig::dac23_baseline())
+                .with_sim_threads(threads)
+                .with_translation_trace(true)
+                .run(spec.generate(Scale::Test, 42));
+            assert_eq!(serial.total_cycles, par.total_cycles, "{threads} threads");
+            assert_eq!(serial.to_csv_row(), par.to_csv_row(), "{threads} threads");
+            assert_eq!(serial.kernel_cycles, par.kernel_cycles);
+            assert_eq!(serial.l1_tlb, par.l1_tlb);
+            assert_eq!(serial.latency, par.latency);
+            assert_eq!(serial.translation_trace, par.translation_trace);
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use mem_hier::{Cache, CacheConfig, CacheStats, LatencyBreakdown, Translation
 
 pub use coalesce::{coalesce, coalesce_into};
 pub use config::GpuConfig;
-pub use engine::{L1TlbFactory, Simulator, WarpSchedulerFactory};
+pub use engine::{set_sim_threads, sim_threads, L1TlbFactory, Simulator, WarpSchedulerFactory};
 pub use report::{SimReport, TranslationEvent};
 pub use sanitize::{sanitize_enabled, set_sanitize};
 pub use tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};

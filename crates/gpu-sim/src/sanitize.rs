@@ -50,7 +50,9 @@ impl Sanitizer {
     }
 
     /// Full structural check of one SM's L1 TLB, called after a fill (the
-    /// path that evicts, spills and flips sharing flags).
+    /// path that evicts, spills and flips sharing flags). Fills only
+    /// happen in phase B on the coordinating thread, so this hook never
+    /// races a phase-A worker.
     pub(crate) fn after_fill(sm: usize, cycle: u64, tlb: &dyn TranslationBuffer) {
         if let Err(v) = tlb.check_invariants() {
             report(v.in_context(&format!("sm {sm} L1 TLB, post-fill at cycle {cycle}")));
@@ -58,11 +60,13 @@ impl Sanitizer {
     }
 
     /// Cheap per-event-cycle checks: per-SM stats monotone and internally
-    /// consistent, scheduler status table within budget.
+    /// consistent, scheduler status table within budget. Runs after phase
+    /// B (every lane back home on the coordinator), so the borrowed TLB
+    /// views are collected from the per-SM fronts at a phase boundary.
     pub(crate) fn after_cycle(
         &mut self,
         cycle: u64,
-        l1_tlbs: &[Box<dyn TranslationBuffer>],
+        l1_tlbs: &[&dyn TranslationBuffer],
         scheduler: &dyn TbScheduler,
         num_sms: usize,
     ) {
@@ -104,7 +108,7 @@ impl Sanitizer {
     pub(crate) fn end_of_kernel(
         &mut self,
         cycle: u64,
-        l1_tlbs: &[Box<dyn TranslationBuffer>],
+        l1_tlbs: &[&dyn TranslationBuffer],
         l2_slices: &[impl TranslationBuffer],
     ) {
         for (sm, tlb) in l1_tlbs.iter().enumerate() {
@@ -158,11 +162,11 @@ mod tests {
         let mut s = Sanitizer::new(1);
         let mut stats = TlbStats::default();
         stats.record(true);
-        let tlbs: Vec<Box<dyn TranslationBuffer>> = vec![Box::new(Fake(stats))];
+        let warm = Fake(stats);
         let sched = crate::tb_sched::RoundRobinScheduler::new();
-        s.after_cycle(1, &tlbs, &sched, 1);
+        s.after_cycle(1, &[&warm as &dyn TranslationBuffer], &sched, 1);
         // Counters jump backwards on the next cycle: must panic.
-        let tlbs: Vec<Box<dyn TranslationBuffer>> = vec![Box::new(Fake(TlbStats::default()))];
-        s.after_cycle(2, &tlbs, &sched, 1);
+        let reset = Fake(TlbStats::default());
+        s.after_cycle(2, &[&reset as &dyn TranslationBuffer], &sched, 1);
     }
 }

@@ -1,9 +1,10 @@
-//! Composition of stages into the baseline translation + data pipeline.
+//! Composition of the split pipeline ([`PerSmFront`]s + [`SharedBack`])
+//! behind the serial `translate`/`data_access` façade.
 
 use crate::breakdown::{LatencyBreakdown, TranslationBreakdown};
 use crate::config::HierarchyConfig;
-use crate::stage::{Access, Stage, StageStats};
-use crate::stages::{DataPath, IcntLink, L1TlbStage, L2TlbStage, WalkerStage};
+use crate::split::{PerSmFront, SharedBack};
+use crate::stage::{Access, StageStats};
 use tlb::{SetAssocTlb, TlbStats, TranslationBuffer};
 use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, WalkerStats};
 
@@ -35,22 +36,36 @@ pub struct Translation {
 /// icnt -> L2 TLB -> walkers) and the data path (VIPT L1 -> L2 ->
 /// DRAM), with per-level latency attribution for every translation.
 ///
+/// Internally this is the [`PerSmFront`]/[`SharedBack`] split the
+/// SM-parallel engine works with directly (via
+/// [`HierarchyBuilder::build_split`]); this façade fuses the two halves
+/// back into the serial call shape for tests and single-threaded
+/// callers. Both paths run the identical stage code, which is half of
+/// the byte-identical-output argument.
+///
 /// Stage timing contract: each stage's outcome satisfies
 /// `ready_at == access.at + queue + service + fault` (debug-asserted
-/// here), so chaining stages makes the end-to-end latency equal the sum
-/// of per-stage contributions by construction — the identity
-/// [`LatencyBreakdown::check`] verifies against an independently
-/// accumulated end-to-end count.
+/// along the path), so chaining stages makes the end-to-end latency
+/// equal the sum of per-stage contributions by construction — the
+/// identity [`LatencyBreakdown::check`] verifies against an
+/// independently accumulated end-to-end count.
 pub struct Hierarchy {
-    l1_tlb: L1TlbStage,
-    icnt: IcntLink,
-    l2_tlb: L2TlbStage,
-    walker: WalkerStage,
-    data: DataPath,
-    breakdown: LatencyBreakdown,
+    fronts: Vec<PerSmFront>,
+    back: SharedBack,
 }
 
 impl Hierarchy {
+    /// Reassembles a façade from split halves (the inverse of
+    /// [`Hierarchy::into_split`]).
+    pub fn from_split(fronts: Vec<PerSmFront>, back: SharedBack) -> Self {
+        Hierarchy { fronts, back }
+    }
+
+    /// Tears the façade into its phase-A/phase-B halves.
+    pub fn into_split(self) -> (Vec<PerSmFront>, SharedBack) {
+        (self.fronts, self.back)
+    }
+
     /// Translates one page access; returns the frame, the cycle it is
     /// available, and the per-level attribution. Exactly reproduces the
     /// paper's Figure 1 path: L1 TLB, then (on miss) the interconnect to
@@ -58,147 +73,121 @@ impl Hierarchy {
     /// miss) a page-table walk with UVM first-touch faulting, with fills
     /// propagating back up.
     pub fn translate(&mut self, acc: &Access) -> Translation {
-        let l1 = self.l1_tlb.access(acc);
-        debug_assert_eq!(l1.ready_at, acc.at + l1.latency());
+        let front = &mut self.fronts[acc.sm];
+        let l1 = front.probe_translate(acc);
         if let Some(ppn) = l1.ppn {
-            let breakdown = TranslationBreakdown {
-                l1_tlb: l1.service_cycles,
-                ..Default::default()
-            };
-            self.breakdown.record(&breakdown, l1.ready_at - acc.at);
             return Translation {
                 ppn,
                 ready_at: l1.ready_at,
                 level: HitLevel::L1Tlb,
-                breakdown,
+                breakdown: TranslationBreakdown {
+                    l1_tlb: l1.service_cycles,
+                    ..Default::default()
+                },
             };
         }
-
-        let hop = self.icnt.access(&acc.arriving_at(l1.ready_at));
-        let l2 = self.l2_tlb.access(&acc.arriving_at(hop.ready_at));
-        debug_assert_eq!(l2.ready_at, hop.ready_at + l2.latency());
-        if let Some(ppn) = l2.ppn {
-            self.l1_tlb.fill(acc, ppn);
-            let back = self.icnt.access(&acc.arriving_at(l2.ready_at));
-            let breakdown = TranslationBreakdown {
-                l1_tlb: l1.service_cycles,
-                icnt: hop.service_cycles + back.service_cycles,
-                l2_tlb_queue: l2.queue_cycles,
-                l2_tlb_lookup: l2.service_cycles,
-                ..Default::default()
-            };
-            self.breakdown.record(&breakdown, back.ready_at - acc.at);
-            return Translation {
-                ppn,
-                ready_at: back.ready_at,
-                level: HitLevel::L2Tlb,
-                breakdown,
-            };
-        }
-
-        let walk = self.walker.access(&acc.arriving_at(l2.ready_at));
-        debug_assert_eq!(walk.ready_at, l2.ready_at + walk.latency());
-        let ppn = walk.ppn.expect("completed walks always resolve a frame"); // simlint: allow(hot-unwrap, reason = "WalkerStage::access always returns Some per its panic contract")
-        // Fill order matters for eviction stats: L2 slice first, then the
-        // requesting SM's L1, exactly as the pre-refactor engine did.
-        self.l2_tlb.fill(acc, ppn);
-        self.l1_tlb.fill(acc, ppn);
-        let back = self.icnt.access(&acc.arriving_at(walk.ready_at));
-        let breakdown = TranslationBreakdown {
-            l1_tlb: l1.service_cycles,
-            icnt: hop.service_cycles + back.service_cycles,
-            l2_tlb_queue: l2.queue_cycles,
-            l2_tlb_lookup: l2.service_cycles,
-            walk: walk.queue_cycles + walk.service_cycles,
-            fault: walk.fault_cycles,
-        };
-        self.breakdown.record(&breakdown, back.ready_at - acc.at);
-        Translation {
-            ppn,
-            ready_at: back.ready_at,
-            level: HitLevel::Walk,
-            breakdown,
-        }
+        self.back
+            .translate_miss(front, acc, l1.ready_at, l1.service_cycles)
     }
 
     /// One coalesced line transaction through the data path.
     pub fn data_access(&mut self, start: u64, sm: usize, pa: PhysAddr, write: bool) -> u64 {
-        self.data.access(start, sm, pa, write)
+        match self.fronts[sm].probe_data(start, pa, write) {
+            Some(done) => done,
+            None => self.back.data_miss(start, pa, write),
+        }
     }
 
-    /// The per-SM L1 TLBs, in SM index order.
-    pub fn l1_tlbs(&self) -> &[Box<dyn TranslationBuffer>] {
-        self.l1_tlb.banks()
+    /// The per-SM fronts, in SM index order.
+    pub fn fronts(&self) -> &[PerSmFront] {
+        &self.fronts
     }
 
-    /// Mutable access to the per-SM L1 TLBs.
-    pub fn l1_tlbs_mut(&mut self) -> &mut [Box<dyn TranslationBuffer>] {
-        self.l1_tlb.banks_mut()
+    /// Mutable access to the per-SM fronts (kernel-launch flush,
+    /// TB-slot retirement).
+    pub fn fronts_mut(&mut self) -> &mut [PerSmFront] {
+        &mut self.fronts
+    }
+
+    /// One SM's private L1 TLB.
+    pub fn l1_tlb(&self, sm: usize) -> &dyn TranslationBuffer {
+        self.fronts[sm].tlb()
+    }
+
+    /// The shared back half.
+    pub fn back(&self) -> &SharedBack {
+        &self.back
     }
 
     /// The L2 TLB slices, in interleave order.
     pub fn l2_slices(&self) -> &[SetAssocTlb] {
-        self.l2_tlb.slices()
+        self.back.l2_slices()
     }
 
     /// Aggregate L2 TLB counters summed over slices.
     pub fn l2_tlb_stats(&self) -> TlbStats {
-        self.l2_tlb.tlb_stats()
+        self.back.l2_tlb_stats()
     }
 
     /// Per-SM L1 data-cache counters.
     pub fn l1_cache_stats(&self) -> Vec<crate::CacheStats> {
-        self.data.l1_stats()
+        self.fronts.iter().map(PerSmFront::l1_cache_stats).collect()
     }
 
     /// Shared L2 data-cache counters.
     pub fn l2_cache_stats(&self) -> crate::CacheStats {
-        self.data.l2_stats()
+        self.back.l2_cache_stats()
     }
 
     /// Walker-pool activity counters.
     pub fn walker_stats(&self) -> WalkerStats {
-        self.walker.walker_stats()
+        self.back.walker_stats()
     }
 
     /// UVM demand faults taken.
     pub fn demand_faults(&self) -> u64 {
-        self.walker.demand_faults()
+        self.back.demand_faults()
     }
 
     /// Coalesced line transactions issued on the data path.
     pub fn transactions(&self) -> u64 {
-        self.data.transactions()
+        self.fronts.iter().map(PerSmFront::transactions).sum()
     }
 
     /// Page size of the address space being translated.
     pub fn page_size(&self) -> PageSize {
-        self.walker.page_size()
+        self.back.page_size()
     }
 
     /// The address space being translated.
     pub fn space(&self) -> &AddressSpace {
-        self.walker.space()
+        self.back.space()
     }
 
     /// Aggregate per-level latency attribution over every translation so
-    /// far.
-    pub fn breakdown(&self) -> &LatencyBreakdown {
-        &self.breakdown
+    /// far: the fronts' L1-hit share merged with the back's miss-path
+    /// share (an order-independent counter sum).
+    pub fn breakdown(&self) -> LatencyBreakdown {
+        self.fronts
+            .iter()
+            .fold(*self.back.breakdown(), |acc, f| acc + *f.breakdown())
     }
 
-    /// Activity counters per translation stage, in pipeline order.
+    /// Activity counters per translation stage, in pipeline order. The
+    /// `l1_tlb` entry is the fronts' per-SM stage stats merged.
     pub fn stage_stats(&self) -> Vec<(&'static str, StageStats)> {
-        vec![
-            (self.l1_tlb.name(), self.l1_tlb.stats()),
-            (self.icnt.name(), self.icnt.stats()),
-            (self.l2_tlb.name(), self.l2_tlb.stats()),
-            (self.walker.name(), self.walker.stats()),
-        ]
+        let l1 = self
+            .fronts
+            .iter()
+            .fold(StageStats::default(), |acc, f| acc.merged(f.l1_stage_stats()));
+        let mut stats = vec![("l1_tlb", l1)];
+        stats.extend(self.back.stage_stats());
+        stats
     }
 }
 
-/// Config-driven constructor for the baseline [`Hierarchy`].
+/// Config-driven constructor for the baseline [`Hierarchy`] and its
+/// split halves.
 ///
 /// Variant hierarchies (a MASK-style TLB-aware L2, a Mosaic-style
 /// multi-page-size level) are built by swapping one stage here; the
@@ -214,39 +203,41 @@ impl HierarchyBuilder {
         HierarchyBuilder { config }
     }
 
-    /// Assembles the baseline pipeline around a workload's address
-    /// space and externally built per-SM L1 TLBs (one per SM — the
-    /// engine's pluggable-organization hook).
+    /// Assembles the pipeline as its phase-A/phase-B halves around a
+    /// workload's address space and externally built per-SM L1 TLBs (one
+    /// per SM — the engine's pluggable-organization hook).
     ///
     /// # Panics
     ///
     /// Panics if `l1_tlbs.len()` differs from the configured SM count.
-    pub fn build(self, space: AddressSpace, l1_tlbs: Vec<Box<dyn TranslationBuffer>>) -> Hierarchy {
+    pub fn build_split(
+        self,
+        space: AddressSpace,
+        l1_tlbs: Vec<Box<dyn TranslationBuffer>>,
+    ) -> (Vec<PerSmFront>, SharedBack) {
         assert_eq!(
             l1_tlbs.len(),
             self.config.num_sms,
             "one L1 TLB per SM required"
         );
-        let c = &self.config;
-        Hierarchy {
-            l1_tlb: L1TlbStage::new(l1_tlbs),
-            icnt: IcntLink::new(c.icnt_latency),
-            l2_tlb: L2TlbStage::new(
-                c.l2_tlb,
-                c.l2_tlb_slices,
-                c.l2_tlb_ports,
-                c.l2_tlb_port_occupancy,
-            ),
-            walker: WalkerStage::new(
-                space,
-                c.walkers,
-                c.walk_latency,
-                c.walk_latency_per_level,
-                c.demand_fault_latency,
-            ),
-            data: DataPath::new(c),
-            breakdown: LatencyBreakdown::default(),
-        }
+        let fronts = l1_tlbs
+            .into_iter()
+            .enumerate()
+            .map(|(sm, tlb)| PerSmFront::new(sm, tlb, &self.config))
+            .collect();
+        let back = SharedBack::new(&self.config, space);
+        (fronts, back)
+    }
+
+    /// [`HierarchyBuilder::build_split`] fused back into the serial
+    /// façade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_tlbs.len()` differs from the configured SM count.
+    pub fn build(self, space: AddressSpace, l1_tlbs: Vec<Box<dyn TranslationBuffer>>) -> Hierarchy {
+        let (fronts, back) = self.build_split(space, l1_tlbs);
+        Hierarchy::from_split(fronts, back)
     }
 }
 
@@ -365,6 +356,53 @@ mod tests {
         assert_eq!(stats[3].1.accesses, 1, "only the cold one walks");
         // Two icnt hops for the one L1 miss.
         assert_eq!(stats[1].1.accesses, 2);
+    }
+
+    #[test]
+    fn facade_and_split_agree_per_sm() {
+        // The same accesses through the façade and through explicit
+        // split halves produce identical timing and identically merged
+        // stats — the serial/parallel equivalence in miniature.
+        let mut space_a = AddressSpace::new(PageSize::Small);
+        let mut space_b = AddressSpace::new(PageSize::Small);
+        let va = space_a.allocate("b", 1 << 20).expect("fresh space").addr_of(0);
+        let _ = space_b.allocate("b", 1 << 20).expect("fresh space");
+        let mk_tlbs = || -> Vec<Box<dyn TranslationBuffer>> {
+            (0..2)
+                .map(|_| {
+                    Box::new(tlb::SetAssocTlb::new(TlbConfig::dac23_l1()))
+                        as Box<dyn TranslationBuffer>
+                })
+                .collect()
+        };
+        let mut fused = HierarchyBuilder::new(test_config(2)).build(space_a, mk_tlbs());
+        let (mut fronts, mut back) =
+            HierarchyBuilder::new(test_config(2)).build_split(space_b, mk_tlbs());
+        let accs = [access(va, 0, 0), access(va, 40, 1), access(va, 9000, 0)];
+        for a in &accs {
+            let t_fused = fused.translate(a);
+            let front = &mut fronts[a.sm];
+            let l1 = front.probe_translate(a);
+            let t_split = match l1.ppn {
+                Some(ppn) => Translation {
+                    ppn,
+                    ready_at: l1.ready_at,
+                    level: HitLevel::L1Tlb,
+                    breakdown: TranslationBreakdown {
+                        l1_tlb: l1.service_cycles,
+                        ..Default::default()
+                    },
+                },
+                None => back.translate_miss(front, a, l1.ready_at, l1.service_cycles),
+            };
+            assert_eq!(t_fused.ready_at, t_split.ready_at);
+            assert_eq!(t_fused.level, t_split.level);
+        }
+        let merged = fronts
+            .iter()
+            .fold(*back.breakdown(), |acc, f| acc + *f.breakdown());
+        assert_eq!(fused.breakdown(), merged);
+        assert!(merged.check().is_ok());
     }
 
     #[test]

@@ -9,15 +9,21 @@
 //! * [`Stage`] — the uniform interface: an [`Access`] in, an [`Outcome`]
 //!   out, each outcome carrying its own queue/service/fault latency
 //!   contribution and every stage keeping [`StageStats`].
-//! * [`L1TlbStage`], [`IcntLink`], [`L2TlbStage`] (with reusable
-//!   [`Ports`] arbitration), [`WalkerStage`], and the [`DataPath`] — the
-//!   baseline pipeline of the paper's Figure 1.
-//! * [`HierarchyBuilder`] — config-driven composition into a
-//!   [`Hierarchy`], which the engine's `MemorySystem` thinly owns.
+//! * [`PerSmFront`] / [`SharedBack`] — the private/shared split of the
+//!   paper's Figure 1 pipeline. Each front owns one SM's L1 TLB and
+//!   VIPT L1 data cache (steppable on a worker thread); the back owns
+//!   the order-sensitive shared stages — [`IcntLink`], [`L2TlbStage`]
+//!   (with reusable [`Ports`] arbitration), [`WalkerStage`], and the
+//!   L2/DRAM data path — applied in deterministic SM order via
+//!   [`SharedRequest`]s.
+//! * [`HierarchyBuilder`] — config-driven composition into the split
+//!   halves ([`HierarchyBuilder::build_split`]) or the fused serial
+//!   [`Hierarchy`] façade.
 //! * [`LatencyBreakdown`] — per-level attribution (L1 TLB / icnt / L2
 //!   TLB queueing / L2 TLB lookup / walk / fault) whose stage sums are
 //!   cross-checked against independently accumulated end-to-end
-//!   translation latency.
+//!   translation latency; fronts and back each hold their share, merged
+//!   by order-independent counter sums.
 //!
 //! # Example
 //!
@@ -71,6 +77,7 @@ mod cache;
 mod config;
 mod hierarchy;
 mod ports;
+mod split;
 mod stage;
 mod stages;
 
@@ -79,5 +86,6 @@ pub use cache::{Cache, CacheStats};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::{Hierarchy, HierarchyBuilder, HitLevel, Translation};
 pub use ports::Ports;
+pub use split::{PerSmFront, SharedBack, SharedRequest, SharedResponse, TranslationRef};
 pub use stage::{Access, Outcome, Stage, StageStats};
-pub use stages::{DataPath, IcntLink, L1TlbStage, L2TlbStage, WalkerStage};
+pub use stages::{IcntLink, L2TlbStage, WalkerStage};

@@ -1,79 +1,15 @@
-//! The baseline pipeline's concrete stages (the paper's Figure 1):
-//! per-SM L1 TLBs, the interconnect hop, the VPN-interleaved L2 TLB,
-//! the shared walker pool, and the VIPT L1/L2/DRAM data path.
+//! The shared pipeline's concrete stages (the back half of the paper's
+//! Figure 1): the interconnect hop, the VPN-interleaved L2 TLB, and the
+//! shared walker pool. The SM-private stages (L1 TLB, VIPT L1 data
+//! cache) live on [`PerSmFront`](crate::PerSmFront) in `split.rs`.
 
-use crate::cache::{Cache, CacheStats};
-use crate::config::HierarchyConfig;
 use crate::ports::Ports;
 use crate::stage::{Access, Outcome, Stage, StageStats};
 use tlb::{SetAssocTlb, TlbConfig, TlbRequest, TlbStats, TranslationBuffer};
-use vmem::{AddressSpace, FaultKind, PageSize, PhysAddr, Ppn, WalkerPool, WalkerStats};
+use vmem::{AddressSpace, FaultKind, PageSize, Ppn, WalkerPool, WalkerStats};
 
 fn request(acc: &Access) -> TlbRequest {
     TlbRequest::with_page_size(acc.vpn, acc.tb_slot, acc.page_size)
-}
-
-/// The per-SM private L1 TLB bank. Each SM owns one
-/// [`TranslationBuffer`], which is how the `orchestrated-tlb` crate
-/// plugs the paper's partitioned/compressed organizations into the
-/// hierarchy without touching any other stage.
-pub struct L1TlbStage {
-    tlbs: Vec<Box<dyn TranslationBuffer>>,
-    stats: StageStats,
-}
-
-impl L1TlbStage {
-    /// Wraps one pre-built TLB per SM.
-    pub fn new(tlbs: Vec<Box<dyn TranslationBuffer>>) -> Self {
-        L1TlbStage {
-            tlbs,
-            stats: StageStats::default(),
-        }
-    }
-
-    /// Fills the requesting SM's TLB after a downstream resolution.
-    pub fn fill(&mut self, acc: &Access, ppn: Ppn) {
-        self.tlbs[acc.sm].insert(&request(acc), ppn);
-    }
-
-    /// The per-SM TLBs, in SM index order.
-    pub fn banks(&self) -> &[Box<dyn TranslationBuffer>] {
-        &self.tlbs
-    }
-
-    /// Mutable access to the per-SM TLBs (kernel-launch flush,
-    /// TB-slot retirement).
-    pub fn banks_mut(&mut self) -> &mut [Box<dyn TranslationBuffer>] {
-        &mut self.tlbs
-    }
-}
-
-impl Stage for L1TlbStage {
-    fn name(&self) -> &'static str {
-        "l1_tlb"
-    }
-
-    fn access(&mut self, acc: &Access) -> Outcome {
-        let out = self.tlbs[acc.sm].lookup(&request(acc));
-        let ppn = if out.hit {
-            Some(out.ppn.expect("hit carries ppn")) // simlint: allow(hot-unwrap, reason = "TlbOutcome::hit always carries a ppn")
-        } else {
-            None
-        };
-        let o = Outcome {
-            ppn,
-            ready_at: acc.at + out.latency,
-            queue_cycles: 0,
-            service_cycles: out.latency,
-            fault_cycles: 0,
-        };
-        self.stats.record(&o);
-        o
-    }
-
-    fn stats(&self) -> StageStats {
-        self.stats
-    }
 }
 
 /// One direction of the SM-to-partition interconnect: a fixed-latency
@@ -303,73 +239,9 @@ impl Stage for WalkerStage {
     }
 }
 
-/// The VIPT L1 / shared L2 / DRAM data path. Not a translation
-/// [`Stage`]: it consumes physical line addresses after translation,
-/// with the L1 probed in parallel with the TLB (the caller's start
-/// cycle already accounts for PPN availability).
-pub struct DataPath {
-    l1: Vec<Cache>,
-    l2: Cache,
-    l1_hit_latency: u64,
-    icnt_latency: u64,
-    l2_hit_latency: u64,
-    dram_latency: u64,
-    transactions: u64,
-}
-
-impl DataPath {
-    /// One private L1 per SM plus the shared L2.
-    pub fn new(config: &HierarchyConfig) -> Self {
-        DataPath {
-            l1: (0..config.num_sms)
-                .map(|_| Cache::new(config.l1_cache))
-                .collect(),
-            l2: Cache::new(config.l2_cache),
-            l1_hit_latency: config.l1_hit_latency,
-            icnt_latency: config.icnt_latency,
-            l2_hit_latency: config.l2_hit_latency,
-            dram_latency: config.dram_latency,
-            transactions: 0,
-        }
-    }
-
-    /// One coalesced line transaction; returns its completion cycle.
-    pub fn access(&mut self, start: u64, sm: usize, pa: PhysAddr, write: bool) -> u64 {
-        self.transactions += 1;
-        let l1_hit = self.l1[sm].access(pa.raw(), write);
-        if l1_hit {
-            start + self.l1_hit_latency
-        } else {
-            let at_l2 = start + self.icnt_latency;
-            let l2_hit = self.l2.access(pa.raw(), write);
-            if l2_hit {
-                at_l2 + self.l2_hit_latency + self.icnt_latency
-            } else {
-                at_l2 + self.l2_hit_latency + self.dram_latency + self.icnt_latency
-            }
-        }
-    }
-
-    /// Coalesced line transactions issued.
-    pub fn transactions(&self) -> u64 {
-        self.transactions
-    }
-
-    /// Per-SM L1 data-cache counters.
-    pub fn l1_stats(&self) -> Vec<CacheStats> {
-        self.l1.iter().map(Cache::stats).collect()
-    }
-
-    /// Shared L2 data-cache counters.
-    pub fn l2_stats(&self) -> CacheStats {
-        self.l2.stats()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::CacheConfig;
     use vmem::Vpn;
 
     fn acc(at: u64, vpn: u64) -> Access {
@@ -381,21 +253,6 @@ mod tests {
             vpn: Vpn::new(vpn),
             page_size: PageSize::Small,
         }
-    }
-
-    #[test]
-    fn l1_stage_miss_then_hit_after_fill() {
-        let mut l1 = L1TlbStage::new(vec![Box::new(SetAssocTlb::new(TlbConfig::dac23_l1()))]);
-        let a = acc(0, 7);
-        let miss = l1.access(&a);
-        assert!(miss.ppn.is_none());
-        assert_eq!(miss.ready_at, 1, "1-cycle lookup");
-        l1.fill(&a, Ppn::new(3));
-        let hit = l1.access(&a.arriving_at(10));
-        assert_eq!(hit.ppn, Some(Ppn::new(3)));
-        assert_eq!(hit.ready_at, 11);
-        assert_eq!(l1.stats().accesses, 2);
-        assert_eq!(l1.stats().resolved, 1);
     }
 
     #[test]
@@ -477,40 +334,5 @@ mod tests {
         assert_eq!(coalesced.ready_at, first.ready_at);
         assert_eq!(coalesced.ready_at, b.at + coalesced.latency());
         assert_eq!(w.walker_stats().coalesced, 1);
-    }
-
-    #[test]
-    fn data_path_latencies_by_level() {
-        let config = HierarchyConfig {
-            num_sms: 1,
-            l1_cache: CacheConfig::new(512, 2, 128),
-            l2_cache: CacheConfig::new(1024, 2, 128),
-            l2_tlb: TlbConfig::dac23_l2(),
-            l2_tlb_slices: 1,
-            l2_tlb_ports: 2,
-            l2_tlb_port_occupancy: 1,
-            walkers: 8,
-            walk_latency: 500,
-            walk_latency_per_level: 0,
-            l1_hit_latency: 1,
-            icnt_latency: 20,
-            l2_hit_latency: 30,
-            dram_latency: 200,
-            demand_fault_latency: 2000,
-        };
-        let mut d = DataPath::new(&config);
-        let pa = PhysAddr::new(0);
-        // Cold: L1 miss, L2 miss -> DRAM.
-        assert_eq!(d.access(0, 0, pa, false), 20 + 30 + 200 + 20);
-        // L1 now holds the line.
-        assert_eq!(d.access(0, 0, pa, false), 1);
-        // Evict it from L1 only; next access hits L2.
-        let other = PhysAddr::new(2 * 128);
-        let third = PhysAddr::new(4 * 128);
-        d.access(0, 0, other, false);
-        d.access(0, 0, third, false);
-        assert_eq!(d.access(0, 0, pa, false), 20 + 30 + 20);
-        assert_eq!(d.transactions(), 5);
-        assert_eq!(d.l1_stats()[0].accesses(), 5);
     }
 }

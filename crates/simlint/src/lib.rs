@@ -18,6 +18,13 @@
 //! * **hot-unwrap** — no `.unwrap()`/`.expect()` in the engine hot path
 //!   (TLB lookup/insert and the cycle loop): a panic mid-simulation is
 //!   only acceptable via the sanitizer, which attaches a state dump.
+//! * **engine-lock** — no `Mutex`/`RwLock` in the engine hot path: the
+//!   two-phase engine's determinism rests on phase A touching only
+//!   SM-private state and phase B applying shared state in SM-index
+//!   order. A lock in that code means cross-thread sharing whose
+//!   acquisition order (and timing) the scheduler controls — exactly the
+//!   nondeterminism the phase split exists to exclude. Channels moving
+//!   owned data are the sanctioned mechanism.
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions, `tests/`,
 //! `benches/`, `examples/` directories) and the vendored `*-compat`
@@ -58,11 +65,13 @@ const RESULT_CRATES: [&str; 7] = [
     "crates/analysis/",
 ];
 
-/// Files forming the engine hot path (scope of `hot-unwrap`): the cycle
-/// loop plus every TLB organization's lookup/insert code.
-const HOT_PATHS: [&str; 8] = [
+/// Files forming the engine hot path (scope of `hot-unwrap` and
+/// `engine-lock`): the cycle loop plus every TLB organization's
+/// lookup/insert code and the private/shared hierarchy split.
+const HOT_PATHS: [&str; 9] = [
     "crates/gpu-sim/src/engine.rs",
     "crates/mem-hier/src/hierarchy.rs",
+    "crates/mem-hier/src/split.rs",
     "crates/mem-hier/src/stages.rs",
     "crates/mem-hier/src/ports.rs",
     "crates/tlb/src/set_assoc.rs",
@@ -83,12 +92,13 @@ const NARROW_TYPES: [&str; 9] = [
 const ADDR_MARKERS: [&str; 4] = ["vpn", "ppn", "addr", "pfn"];
 
 /// Every rule simlint knows about (validated against allow comments).
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "hash-iter",
     "wall-clock",
     "unseeded-rng",
     "lossy-cast",
     "hot-unwrap",
+    "engine-lock",
 ];
 
 /// One finding.
@@ -594,6 +604,17 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     t.text
                 ),
             ),
+            "Mutex" | "RwLock" if hot => push(
+                t.line,
+                "engine-lock",
+                format!(
+                    "{} in the engine hot path: the two-phase engine stays deterministic \
+                     by construction (SM-private phase A, SM-ordered phase B) — locks \
+                     reintroduce scheduler-ordered sharing; move owned data over channels \
+                     instead",
+                    t.text
+                ),
+            ),
             _ => {}
         }
     }
@@ -753,6 +774,26 @@ mod tests {
     }
 
     #[test]
+    fn engine_lock_only_in_hot_files() {
+        let src = "use std::sync::Mutex;\nfn f() { let _l = std::sync::RwLock::new(0u8); }\n";
+        let v = lint_source("crates/gpu-sim/src/engine.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "engine-lock"), "{v:?}");
+        // The private/shared split is hot too.
+        let v = lint_source("crates/mem-hier/src/split.rs", "use std::sync::Mutex;\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "engine-lock");
+        // Outside the hot path, locks are allowed.
+        assert!(lint_source(F, src).is_empty());
+        // Channels are the sanctioned mechanism and never flagged.
+        assert!(lint_source(
+            "crates/gpu-sim/src/engine.rs",
+            "use std::sync::mpsc::{channel, Sender};\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn trailing_allow_suppresses_with_reason() {
         let src = "use std::collections::HashMap; // simlint: allow(hash-iter, reason = \"keyed access only\")\n";
         assert!(lint_source(F, src).is_empty());
@@ -857,6 +898,7 @@ mod tests {
         assert!(RESULT_CRATES.contains(&"crates/mem-hier/"));
         for f in [
             "crates/mem-hier/src/hierarchy.rs",
+            "crates/mem-hier/src/split.rs",
             "crates/mem-hier/src/stages.rs",
             "crates/mem-hier/src/ports.rs",
         ] {

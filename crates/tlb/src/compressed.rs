@@ -91,6 +91,13 @@ pub struct CompressedTlb {
     /// Translations stored that share an entry with at least one other
     /// translation (a measure of achieved compression).
     compressed_fills: u64,
+    /// Count of valid entries, maintained on insert/evict/flush; equals
+    /// the full-`ways` scan (debug-asserted in
+    /// [`CompressedTlb::occupied_entries`]).
+    occupied: usize,
+    /// Count of resident page translations (set mask bits over valid
+    /// entries), maintained alongside `occupied`.
+    resident: u32,
 }
 
 impl CompressedTlb {
@@ -111,6 +118,8 @@ impl CompressedTlb {
             clock: 0,
             stats: TlbStats::default(),
             compressed_fills: 0,
+            occupied: 0,
+            resident: 0,
         }
     }
 
@@ -142,18 +151,31 @@ impl CompressedTlb {
         set * a..(set + 1) * a
     }
 
-    /// Number of valid (possibly multi-page) entries resident.
+    /// Number of valid (possibly multi-page) entries resident. O(1): the
+    /// maintained counter, cross-checked against the scan in debug
+    /// builds (the sanitizer calls this every event cycle).
     pub fn occupied_entries(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        debug_assert_eq!(
+            self.occupied,
+            self.ways.iter().filter(|w| w.valid).count(),
+            "occupied counter diverged from the valid-entry scan"
+        );
+        self.occupied
     }
 
-    /// Number of page translations resident across all entries.
+    /// Number of page translations resident across all entries. O(1),
+    /// cross-checked like [`CompressedTlb::occupied_entries`].
     pub fn resident_translations(&self) -> u32 {
-        self.ways
-            .iter()
-            .filter(|w| w.valid)
-            .map(|w| w.mask.count_ones())
-            .sum()
+        debug_assert_eq!(
+            self.resident,
+            self.ways
+                .iter()
+                .filter(|w| w.valid)
+                .map(|w| w.mask.count_ones())
+                .sum::<u32>(),
+            "resident counter diverged from the mask-population scan"
+        );
+        self.resident
     }
 
     /// Fills that compressed into an existing entry (shared an entry).
@@ -216,8 +238,10 @@ impl TranslationBuffer for CompressedTlb {
                 && (way.literal || way.base_ppn != Ppn::new(expected_base_ppn))
             {
                 way.mask &= !(1 << off);
+                self.resident -= 1;
                 if way.mask == 0 {
                     way.valid = false;
+                    self.occupied -= 1;
                 }
             }
         }
@@ -228,6 +252,7 @@ impl TranslationBuffer for CompressedTlb {
             if way.mask & (1 << off) == 0 {
                 way.mask |= 1 << off;
                 self.compressed_fills += 1;
+                self.resident += 1;
             }
             way.stamp = clock;
             return;
@@ -243,7 +268,11 @@ impl TranslationBuffer for CompressedTlb {
         let way = &mut self.ways[range.start + victim];
         if way.valid {
             self.stats.evictions += 1;
+            self.resident -= way.mask.count_ones();
+        } else {
+            self.occupied += 1;
         }
+        self.resident += 1;
         *way = CompressedWay {
             valid: true,
             base_vpn: base,
@@ -267,6 +296,8 @@ impl TranslationBuffer for CompressedTlb {
             w.valid = false;
             w.mask = 0;
         }
+        self.occupied = 0;
+        self.resident = 0;
     }
 
     fn capacity(&self) -> usize {
@@ -327,6 +358,29 @@ impl TranslationBuffer for CompressedTlb {
                 }
             }
         }
+        // Counters against the scans, after the per-way structure checks
+        // (those give the more precise diagnosis) and checked here
+        // directly because the accessors' debug asserts panic rather
+        // than report.
+        let scanned_entries = self.ways.iter().filter(|w| w.valid).count();
+        if self.occupied != scanned_entries {
+            return fail(format!(
+                "occupied counter {} != valid-entry scan {scanned_entries}",
+                self.occupied
+            ));
+        }
+        let scanned_pages: u32 = self
+            .ways
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| w.mask.count_ones())
+            .sum();
+        if self.resident != scanned_pages {
+            return fail(format!(
+                "resident counter {} != mask-population scan {scanned_pages}",
+                self.resident
+            ));
+        }
         Ok(())
     }
 
@@ -372,8 +426,10 @@ impl CompressedTlb {
         for way in &mut self.ways[range.clone()] {
             if way.valid && way.base_vpn == base && way.mask & off_bit != 0 {
                 way.mask &= !off_bit;
+                self.resident -= 1;
                 if way.mask == 0 {
                     way.valid = false;
+                    self.occupied -= 1;
                 }
             }
         }
@@ -389,7 +445,11 @@ impl CompressedTlb {
         let way = &mut self.ways[range.start + victim];
         if way.valid {
             self.stats.evictions += 1;
+            self.resident -= way.mask.count_ones();
+        } else {
+            self.occupied += 1;
         }
+        self.resident += 1;
         *way = CompressedWay {
             valid: true,
             base_vpn,
@@ -523,6 +583,38 @@ mod tests {
             }
             t.check_invariants().expect("workload keeps invariants");
         }
+    }
+
+    #[test]
+    fn occupancy_counters_track_remap_churn() {
+        let mut t = tlb();
+        for i in 0..8 {
+            t.insert(&req(i), Ppn::new(1000 + i));
+        }
+        assert_eq!(t.occupied_entries(), 1);
+        assert_eq!(t.resident_translations(), 8);
+        // Remap one page out of the run: coherence clears its bit, then a
+        // fresh singleton-run entry is allocated.
+        t.insert(&req(3), Ppn::new(77));
+        assert_eq!(t.occupied_entries(), 2);
+        assert_eq!(t.resident_translations(), 8);
+        t.check_invariants().expect("counters match scans");
+        // Remap to a PPN that underflows the run base: literal path.
+        t.insert(&req(3), Ppn::new(1));
+        assert_eq!(t.resident_translations(), 8);
+        t.check_invariants().expect("counters match scans");
+        t.flush();
+        assert_eq!(t.occupied_entries(), 0);
+        assert_eq!(t.resident_translations(), 0);
+    }
+
+    #[test]
+    fn corrupted_occupancy_counter_is_reported() {
+        let mut t = tlb();
+        t.insert(&req(0), Ppn::new(100));
+        t.occupied = 5; // bypass insert accounting
+        let v = t.check_invariants().unwrap_err();
+        assert!(v.detail.contains("occupied counter"), "{}", v.detail);
     }
 
     #[test]

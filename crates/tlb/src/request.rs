@@ -80,7 +80,11 @@ impl TlbOutcome {
 /// VPN-indexed TLB, the enlarged Figure 2 TLB, the PACT'20 compressed TLB
 /// and the paper's TB-id-partitioned TLB (in `orchestrated-tlb`) are
 /// interchangeable.
-pub trait TranslationBuffer {
+///
+/// `Send` is a supertrait: the engine's phase-A workers step each SM —
+/// including its private L1 TLB — on a worker thread (every TLB here is
+/// plain owned data, so this costs implementors nothing).
+pub trait TranslationBuffer: Send {
     /// Probes the TLB; records a hit or miss in the stats.
     fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome;
 

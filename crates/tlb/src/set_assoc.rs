@@ -5,6 +5,11 @@
 //! per-SM private L1 TLB and the shared L2 TLB: the set index comes from
 //! the low VPN bits, the remaining bits form the tag, and replacement is
 //! LRU within a set.
+//!
+//! Storage is split structure-of-arrays style: the probe tags live in one
+//! packed `u64` slice (scanned by `lookup` without touching the ppn/stamp
+//! payload), and the payload lives in a parallel vector read only on a
+//! hit or when replacement runs.
 
 use crate::config::TlbConfig;
 use crate::request::{TlbOutcome, TlbRequest, TranslationBuffer};
@@ -13,13 +18,21 @@ use crate::stats::TlbStats;
 use std::fmt::Write as _;
 use vmem::{Ppn, Vpn};
 
+/// Payload of one way; the probe tag is stored separately in
+/// [`SetAssocTlb::tags`].
 #[derive(Copy, Clone, Debug, Default)]
-struct Way {
-    valid: bool,
-    vpn: Vpn,
+struct WayMeta {
     ppn: Ppn,
     /// Monotone use-stamp for LRU (larger = more recent).
     stamp: u64,
+}
+
+/// Packed probe tag: `(vpn << 1) | 1` for a valid way, `0` for invalid.
+/// VPNs are at most 52 bits (64-bit VA minus the 12-bit small-page
+/// offset), so the shift cannot lose bits.
+fn tag_of(vpn: Vpn) -> u64 {
+    debug_assert_eq!(vpn.raw() >> 63, 0, "VPN uses bit 63; tag encoding would alias");
+    (vpn.raw() << 1) | 1
 }
 
 /// A VPN-indexed, set-associative TLB with LRU replacement.
@@ -39,10 +52,18 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct SetAssocTlb {
     config: TlbConfig,
-    /// `sets() * associativity` ways, set-major.
-    ways: Vec<Way>,
+    /// `sets() * associativity` packed probe tags, set-major (see
+    /// [`tag_of`]).
+    tags: Vec<u64>,
+    /// Payload parallel to `tags`. Kept (stamps included) across flushes,
+    /// matching the pre-SoA `Way` layout, so victim tie-breaking among
+    /// invalid ways is unchanged.
+    meta: Vec<WayMeta>,
     clock: u64,
     stats: TlbStats,
+    /// Count of valid ways, maintained on insert/evict/flush; equals the
+    /// full-`tags` scan (debug-asserted in [`SetAssocTlb::occupancy`]).
+    resident: usize,
 }
 
 impl SetAssocTlb {
@@ -50,9 +71,11 @@ impl SetAssocTlb {
     pub fn new(config: TlbConfig) -> Self {
         SetAssocTlb {
             config,
-            ways: vec![Way::default(); config.entries],
+            tags: vec![0; config.entries],
+            meta: vec![WayMeta::default(); config.entries],
             clock: 0,
             stats: TlbStats::default(),
+            resident: 0,
         }
     }
 
@@ -72,18 +95,27 @@ impl SetAssocTlb {
         set * a..(set + 1) * a
     }
 
-    /// Number of valid entries currently resident.
+    /// Number of valid entries currently resident. O(1): returns the
+    /// maintained counter, cross-checked against the scan in debug
+    /// builds (the sanitizer calls this every event cycle).
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        debug_assert_eq!(
+            self.resident,
+            self.tags.iter().filter(|&&t| t != 0).count(),
+            "resident counter diverged from the valid-way scan"
+        );
+        self.resident
     }
 
     /// Probes for `vpn` without updating stats or LRU state (diagnostics).
     pub fn peek(&self, vpn: Vpn) -> Option<Ppn> {
         let set = self.set_of(vpn);
-        self.ways[self.set_range(set)]
+        let range = self.set_range(set);
+        let tag = tag_of(vpn);
+        self.tags[range.clone()]
             .iter()
-            .find(|w| w.valid && w.vpn == vpn)
-            .map(|w| w.ppn)
+            .position(|&t| t == tag)
+            .map(|i| self.meta[range.start + i].ppn)
     }
 }
 
@@ -92,13 +124,14 @@ impl TranslationBuffer for SetAssocTlb {
         self.clock += 1;
         let set = self.set_of(req.vpn);
         let range = self.set_range(set);
-        let clock = self.clock;
-        for way in &mut self.ways[range] {
-            if way.valid && way.vpn == req.vpn {
-                way.stamp = clock;
-                self.stats.record(true);
-                return TlbOutcome::hit(way.ppn, self.config.lookup_latency);
-            }
+        let tag = tag_of(req.vpn);
+        // Hot probe loop: compare against the contiguous tag slice only;
+        // the ppn/stamp payload is touched solely on a hit.
+        if let Some(i) = self.tags[range.clone()].iter().position(|&t| t == tag) {
+            let way = &mut self.meta[range.start + i];
+            way.stamp = self.clock;
+            self.stats.record(true);
+            return TlbOutcome::hit(way.ppn, self.config.lookup_latency);
         }
         self.stats.record(false);
         TlbOutcome::miss(self.config.lookup_latency)
@@ -108,33 +141,29 @@ impl TranslationBuffer for SetAssocTlb {
         self.clock += 1;
         let set = self.set_of(req.vpn);
         let range = self.set_range(set);
-        let clock = self.clock;
+        let tag = tag_of(req.vpn);
         // Refresh in place if already present (fill races are benign).
-        if let Some(way) = self.ways[range.clone()]
-            .iter_mut()
-            .find(|w| w.valid && w.vpn == req.vpn)
-        {
+        if let Some(i) = self.tags[range.clone()].iter().position(|&t| t == tag) {
+            let way = &mut self.meta[range.start + i];
             way.ppn = ppn;
-            way.stamp = clock;
+            way.stamp = self.clock;
             return;
         }
         self.stats.insertions += 1;
         // Prefer an invalid way; otherwise evict LRU.
-        let victim = self.ways[range.clone()]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| (w.valid, w.stamp))
-            .map(|(i, _)| i)
+        let victim = range
+            .clone()
+            .min_by_key(|&i| (self.tags[i] != 0, self.meta[i].stamp))
             .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
-        let way = &mut self.ways[range.start + victim];
-        if way.valid {
+        if self.tags[victim] != 0 {
             self.stats.evictions += 1;
+        } else {
+            self.resident += 1;
         }
-        *way = Way {
-            valid: true,
-            vpn: req.vpn,
+        self.tags[victim] = tag;
+        self.meta[victim] = WayMeta {
             ppn,
-            stamp: clock,
+            stamp: self.clock,
         };
     }
 
@@ -147,9 +176,10 @@ impl TranslationBuffer for SetAssocTlb {
     }
 
     fn flush(&mut self) {
-        for w in &mut self.ways {
-            w.valid = false;
+        for t in &mut self.tags {
+            *t = 0;
         }
+        self.resident = 0;
     }
 
     fn capacity(&self) -> usize {
@@ -167,32 +197,51 @@ impl TranslationBuffer for SetAssocTlb {
         if let Err(e) = self.stats.check() {
             return fail(e);
         }
-        if self.occupancy() > self.capacity() {
+        // Check the counter against the scan before anything calls
+        // `occupancy()` (whose debug assert would panic, not report).
+        let scanned = self.tags.iter().filter(|&&t| t != 0).count();
+        if self.resident != scanned {
             return fail(format!(
-                "occupancy {} exceeds capacity {}",
-                self.occupancy(),
+                "resident counter {} != valid-way scan {scanned}",
+                self.resident
+            ));
+        }
+        if scanned > self.capacity() {
+            return fail(format!(
+                "occupancy {scanned} exceeds capacity {}",
                 self.capacity()
             ));
         }
         for set in 0..self.config.sets() {
-            let ways = &self.ways[self.set_range(set)];
-            for (i, w) in ways.iter().enumerate().filter(|(_, w)| w.valid) {
+            let range = self.set_range(set);
+            for i in range.clone() {
+                if self.tags[i] == 0 {
+                    continue;
+                }
+                let w = &self.meta[i];
                 if w.stamp > self.clock {
                     return fail(format!(
-                        "set {set} way {i}: stamp {} ahead of clock {}",
-                        w.stamp, self.clock
+                        "set {set} way {}: stamp {} ahead of clock {}",
+                        i - range.start,
+                        w.stamp,
+                        self.clock
                     ));
                 }
                 // Distinct stamps per set make LRU a total order: ties
                 // would leave the victim choice to iteration order.
-                if ways[..i].iter().any(|o| o.valid && o.stamp == w.stamp) {
+                if (range.start..i)
+                    .any(|j| self.tags[j] != 0 && self.meta[j].stamp == w.stamp)
+                {
                     return fail(format!(
                         "set {set}: duplicate LRU stamp {} breaks the recency total order",
                         w.stamp
                     ));
                 }
-                if ways[..i].iter().any(|o| o.valid && o.vpn == w.vpn) {
-                    return fail(format!("set {set}: VPN {:#x} resident twice", w.vpn.raw()));
+                if (range.start..i).any(|j| self.tags[j] == self.tags[i]) {
+                    return fail(format!(
+                        "set {set}: VPN {:#x} resident twice",
+                        self.tags[i] >> 1
+                    ));
                 }
             }
         }
@@ -201,17 +250,26 @@ impl TranslationBuffer for SetAssocTlb {
 
     fn dump_state(&self) -> String {
         let mut s = format!(
-            "SetAssocTlb: {} entries, {}-way, clock {}, stats {{{:?}}}\n",
-            self.config.entries, self.config.associativity, self.clock, self.stats
+            "SetAssocTlb: {} entries, {}-way, clock {}, resident {}, stats {{{:?}}}\n",
+            self.config.entries, self.config.associativity, self.clock, self.resident, self.stats
         );
         for set in 0..self.config.sets() {
-            let ways = &self.ways[self.set_range(set)];
-            if ways.iter().all(|w| !w.valid) {
+            let range = self.set_range(set);
+            if self.tags[range.clone()].iter().all(|&t| t == 0) {
                 continue;
             }
             let _ = write!(s, "  set {set:3}:");
-            for w in ways.iter().filter(|w| w.valid) {
-                let _ = write!(s, " [vpn={:#x} ppn={:#x} @{}]", w.vpn.raw(), w.ppn.raw(), w.stamp);
+            for i in range {
+                if self.tags[i] == 0 {
+                    continue;
+                }
+                let _ = write!(
+                    s,
+                    " [vpn={:#x} ppn={:#x} @{}]",
+                    self.tags[i] >> 1,
+                    self.meta[i].ppn.raw(),
+                    self.meta[i].stamp
+                );
             }
             s.push('\n');
         }
@@ -337,16 +395,46 @@ mod tests {
     }
 
     #[test]
+    fn resident_counter_tracks_churn() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(4, 2, 1));
+        assert_eq!(t.occupancy(), 0);
+        for i in 0..4 {
+            t.insert(&req(i), Ppn::new(i));
+        }
+        assert_eq!(t.occupancy(), 4);
+        // Conflict evictions replace; occupancy must not grow past what
+        // the geometry holds.
+        for i in 0..32 {
+            t.insert(&req(i), Ppn::new(i));
+        }
+        assert_eq!(t.occupancy(), 4, "2 sets x 2 ways stay full, not overfull");
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+        t.insert(&req(7), Ppn::new(7));
+        t.insert(&req(7), Ppn::new(8)); // refresh, not a new resident
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
     fn corrupted_stamp_is_reported_with_dump() {
         let mut t = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
         t.insert(&req(0), Ppn::new(0));
         t.insert(&req(1), Ppn::new(1));
         // Force a duplicate stamp: LRU order is no longer total.
-        let s = t.ways[0].stamp;
-        t.ways[1].stamp = s;
+        let s = t.meta[0].stamp;
+        t.meta[1].stamp = s;
         let v = t.check_invariants().unwrap_err();
         assert!(v.detail.contains("duplicate LRU stamp"), "{}", v.detail);
         assert!(v.dump.contains("set   0"), "dump missing state:\n{}", v.dump);
+    }
+
+    #[test]
+    fn corrupted_resident_counter_is_reported() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        t.insert(&req(0), Ppn::new(0));
+        t.resident = 2; // bypass insert accounting
+        let v = t.check_invariants().unwrap_err();
+        assert!(v.detail.contains("resident counter"), "{}", v.detail);
     }
 
     #[test]
