@@ -211,6 +211,22 @@ impl PartitionedTlb {
         self.ways.iter().filter(|w| w.valid).count()
     }
 
+    /// Probes for `vpn` as TB `tb_slot` would, without updating stats,
+    /// stamps, or sharing state (diagnostics; the differential harness
+    /// uses it to compare resident contents against the oracle).
+    pub fn peek(&self, vpn: Vpn, tb_slot: u8) -> Option<Ppn> {
+        let tb = self.norm_slot(tb_slot);
+        let sets = self.searchable_sets(tb);
+        self.find(&sets, vpn).map(|w| {
+            let way = &self.ways[w];
+            if way.literal {
+                way.base_ppn
+            } else {
+                Ppn::new(way.base_ppn.raw() + self.run_offset(vpn) as u64)
+            }
+        })
+    }
+
     fn degree(&self) -> u64 {
         self.cfg.compression.map(|c| c.degree as u64).unwrap_or(1)
     }
@@ -517,6 +533,10 @@ impl TranslationBuffer for PartitionedTlb {
 
     fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+    }
+
+    fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
+        Some(self.peek(req.vpn, req.tb_slot))
     }
 
     fn flush(&mut self) {
@@ -939,6 +959,27 @@ mod tests {
             // +1 decompression cycle.
             assert_eq!(out.latency, 2);
         }
+    }
+
+    #[test]
+    fn peek_sees_exactly_what_lookup_reaches_without_perturbing() {
+        let mut t = tlb(true);
+        for i in 0..5u64 {
+            t.insert(&req(2000 + i, 0), Ppn::new(i));
+        }
+        t.reset_stats();
+        // The spilled page is reachable through TB 0's engaged flag, and
+        // invisible to TB 2 whose sets are elsewhere.
+        for i in 0..5u64 {
+            assert_eq!(t.peek(Vpn::new(2000 + i), 0), Some(Ppn::new(i)), "page {i}");
+            assert_eq!(t.peek(Vpn::new(2000 + i), 2), None);
+        }
+        assert_eq!(t.stats().accesses(), 0, "peek must not touch stats");
+        assert_eq!(
+            t.probe(&req(2000, 0)),
+            Some(Some(Ppn::new(0))),
+            "probe delegates to peek"
+        );
     }
 
     #[test]

@@ -577,6 +577,18 @@ fn run_kernel(
             let tlbs: Vec<&dyn TranslationBuffer> =
                 lanes.iter().flatten().map(|l| l.front.tlb()).collect();
             san.end_of_kernel(cycle, &tlbs, shared.back.l2_slices());
+            for lane in lanes.iter().flatten() {
+                if let Err(e) = lane.front.check_accounting() {
+                    Sanitizer::accounting_failure(
+                        &format!("sm {} mem-hier front", lane.sm_idx),
+                        cycle,
+                        e,
+                    );
+                }
+            }
+            if let Err(e) = shared.back.check_accounting() {
+                Sanitizer::accounting_failure("mem-hier shared back", cycle, e);
+            }
         }
         cycle
         // Dropping `batch_txs` here closes the job channels; the workers

@@ -122,6 +122,18 @@ impl Sanitizer {
             }
         }
     }
+
+    /// Reports a broken cross-accumulator accounting identity found at
+    /// end of kernel (`PerSmFront::check_accounting` /
+    /// `SharedBack::check_accounting`): lost or double-counted
+    /// translations, unattributed latency cycles.
+    pub(crate) fn accounting_failure(context: &str, cycle: u64, detail: String) -> ! {
+        report(InvariantViolation::new(
+            format!("{context}, end of kernel at cycle {cycle}"),
+            detail,
+            String::from("<accounting counters embedded in the detail above>"),
+        ))
+    }
 }
 
 /// A violation is a simulator bug, never a simulation outcome: abort the
@@ -168,5 +180,127 @@ mod tests {
         // Counters jump backwards on the next cycle: must panic.
         let reset = Fake(TlbStats::default());
         s.after_cycle(2, &[&reset as &dyn TranslationBuffer], &sched, 1);
+    }
+
+    /// A TLB whose stats and structural verdict are directly corruptible,
+    /// standing in for an implementation whose state went bad.
+    struct Broken {
+        stats: TlbStats,
+        structural: Option<InvariantViolation>,
+    }
+
+    impl Broken {
+        fn sound() -> Self {
+            Broken {
+                stats: TlbStats::default(),
+                structural: None,
+            }
+        }
+
+        fn structurally(detail: &str, dump: &str) -> Self {
+            Broken {
+                stats: TlbStats::default(),
+                structural: Some(InvariantViolation::new("FakeTlb", detail, dump)),
+            }
+        }
+    }
+
+    impl TranslationBuffer for Broken {
+        fn lookup(&mut self, _: &tlb::TlbRequest) -> tlb::TlbOutcome {
+            tlb::TlbOutcome::miss(1)
+        }
+        fn insert(&mut self, _: &tlb::TlbRequest, _: vmem::Ppn) {}
+        fn stats(&self) -> TlbStats {
+            self.stats
+        }
+        fn reset_stats(&mut self) {}
+        fn flush(&mut self) {}
+        fn capacity(&self) -> usize {
+            0
+        }
+        fn check_invariants(&self) -> Result<(), InvariantViolation> {
+            match &self.structural {
+                Some(v) => Err(v.clone()),
+                None => Ok(()),
+            }
+        }
+        fn dump_state(&self) -> String {
+            String::from("set   0: [corrupted]")
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sm 0 L1 TLB, cycle 7")]
+    fn inconsistent_stats_identity_is_fatal_and_names_the_sm() {
+        // hits + misses != lookups: a lookup was recorded without its
+        // verdict (or vice versa). TlbStats::check must trip.
+        let mut broken = Broken::sound();
+        broken.stats.lookups = 3;
+        broken.stats.hits = 1;
+        let sched = crate::tb_sched::RoundRobinScheduler::new();
+        let mut s = Sanitizer::new(1);
+        s.after_cycle(7, &[&broken as &dyn TranslationBuffer], &sched, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sm 3 L1 TLB, post-fill at cycle 11")]
+    fn post_fill_structural_violation_names_the_sm() {
+        let broken = Broken::structurally("duplicate vpn 42 in set 5", "set   5: [vpn=42 vpn=42]");
+        Sanitizer::after_fill(3, 11, &broken);
+    }
+
+    #[test]
+    #[should_panic(expected = "TB scheduler 'broken-table', cycle 9")]
+    fn scheduler_table_violation_is_fatal_and_names_the_policy() {
+        struct BadTable;
+        impl TbScheduler for BadTable {
+            fn pick_sm(&mut self, _: &[crate::tb_sched::SmSnapshot]) -> Option<usize> {
+                None
+            }
+            fn name(&self) -> &str {
+                "broken-table"
+            }
+            fn check_invariants(&self, num_sms: usize) -> Result<(), String> {
+                Err(format!("status table has 17 rows for {num_sms} SMs"))
+            }
+        }
+        let ok = Broken::sound();
+        let mut s = Sanitizer::new(1);
+        s.after_cycle(9, &[&ok as &dyn TranslationBuffer], &BadTable, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sm 1 L1 TLB, end of kernel at cycle 100")]
+    fn end_of_kernel_l1_violation_names_the_sm() {
+        let ok = Broken::sound();
+        let bad = Broken::structurally("stamp 9 exceeds clock 3", "set   0: [@9]");
+        let mut s = Sanitizer::new(2);
+        let l2: Vec<Broken> = Vec::new();
+        s.end_of_kernel(
+            100,
+            &[&ok as &dyn TranslationBuffer, &bad as &dyn TranslationBuffer],
+            &l2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 TLB slice 1, end of kernel at cycle 100")]
+    fn end_of_kernel_l2_violation_names_the_slice() {
+        let mut s = Sanitizer::new(0);
+        let l2 = vec![
+            Broken::sound(),
+            Broken::structurally("resident 513 exceeds capacity 512", "set 0: []"),
+        ];
+        s.end_of_kernel(100, &[], &l2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sm 2 mem-hier front, end of kernel at cycle 64")]
+    fn accounting_failure_names_the_front() {
+        Sanitizer::accounting_failure(
+            "sm 2 mem-hier front",
+            64,
+            String::from("front attributed 0 translations but the L1 stage resolved 4"),
+        );
     }
 }

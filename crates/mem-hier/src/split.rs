@@ -150,6 +150,48 @@ impl PerSmFront {
     pub fn breakdown(&self) -> &LatencyBreakdown {
         &self.breakdown
     }
+
+    /// Cross-checks the front's accounting: the latency attribution
+    /// identity, the L1 TLB's own counter identity, and the structural
+    /// couplings between the three independent accumulators (stage stats,
+    /// TLB stats, breakdown). The sanitizer runs this at end of kernel;
+    /// the differential harness leans on it to catch lost or
+    /// double-counted translations.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        self.breakdown.check()?;
+        self.l1_tlb.stats().check()?;
+        if self.l1_stats.resolved > self.l1_stats.accesses {
+            return Err(format!(
+                "L1 stage resolved {} of only {} accesses",
+                self.l1_stats.resolved, self.l1_stats.accesses
+            ));
+        }
+        // The front attributes exactly the L1-hit translations: one
+        // breakdown entry per resolved stage access, with every cycle in
+        // the l1_tlb component (miss paths are attributed by the back).
+        if self.breakdown.translations != self.l1_stats.resolved {
+            return Err(format!(
+                "front attributed {} translations but the L1 stage resolved {}",
+                self.breakdown.translations, self.l1_stats.resolved
+            ));
+        }
+        if self.breakdown.stage_sum() != self.breakdown.l1_tlb_cycles {
+            return Err(format!(
+                "front attribution leaked {} cycles outside the l1_tlb component",
+                self.breakdown.stage_sum() - self.breakdown.l1_tlb_cycles
+            ));
+        }
+        // Every stage access is one TLB lookup and vice versa (lookups
+        // survive kernel-launch flushes: neither accumulator resets).
+        let lookups = self.l1_tlb.stats().lookups;
+        if lookups != self.l1_stats.accesses {
+            return Err(format!(
+                "L1 TLB counted {lookups} lookups but the stage recorded {} accesses",
+                self.l1_stats.accesses
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Reference to a translation a deferred data access depends on: either
@@ -477,6 +519,36 @@ impl SharedBack {
             (self.walker.name(), self.walker.stats()),
         ]
     }
+
+    /// Cross-checks the back's accounting: the miss-path latency
+    /// attribution identity, every L2 TLB slice's counter identity, and
+    /// each shared stage's resolution bound. Companion to
+    /// [`PerSmFront::check_accounting`]; the sanitizer runs both at end
+    /// of kernel.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        self.breakdown.check()?;
+        for (i, slice) in self.l2_slices().iter().enumerate() {
+            slice
+                .stats()
+                .check()
+                .map_err(|e| format!("L2 TLB slice {i}: {e}"))?;
+        }
+        for (name, s) in self.stage_stats() {
+            if s.resolved > s.accesses {
+                return Err(format!(
+                    "stage '{name}' resolved {} of only {} accesses",
+                    s.resolved, s.accesses
+                ));
+            }
+            if name == "icnt" && s.resolved != 0 {
+                return Err(format!(
+                    "interconnect is a pure forwarding stage but resolved {} accesses",
+                    s.resolved
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -635,6 +707,38 @@ mod tests {
         );
         assert!(!warm.filled_l1);
         assert_eq!(warm.ready_at, 10_001);
+    }
+
+    #[test]
+    fn accounting_holds_through_a_cold_walk_and_warm_hit() {
+        let mut space = AddressSpace::new(PageSize::Small);
+        let buf = space.allocate("b", 1 << 20).expect("fresh space");
+        let va = buf.addr_of(0);
+        let mut f = front(0);
+        let mut b = SharedBack::new(&config(1), space);
+        let a = Access {
+            va,
+            vpn: va.vpn(PageSize::Small),
+            ..acc(0, 0)
+        };
+        let l1 = f.probe_translate(&a);
+        b.translate_miss(&mut f, &a, l1.ready_at, l1.service_cycles);
+        f.probe_translate(&a.arriving_at(10_000));
+        f.check_accounting().expect("front accounting holds");
+        b.check_accounting().expect("back accounting holds");
+    }
+
+    #[test]
+    fn front_accounting_catches_a_lost_translation() {
+        let mut f = front(0);
+        let a = acc(0, 7);
+        f.probe_translate(&a);
+        f.fill(&a, Ppn::new(3));
+        f.probe_translate(&a.arriving_at(10));
+        // Corrupt the coupling: pretend the hit was never attributed.
+        f.breakdown = LatencyBreakdown::default();
+        let e = f.check_accounting().unwrap_err();
+        assert!(e.contains("attributed 0 translations"), "{e}");
     }
 
     #[test]

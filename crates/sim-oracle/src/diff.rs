@@ -1,0 +1,478 @@
+//! The differential replay core: run one [`Case`] through the optimized
+//! subject and the reference oracle side by side, and report the first
+//! point where they disagree.
+//!
+//! Per operation the harness compares the full lookup outcome (verdict,
+//! PPN, latency), the five statistics counters, and — for the
+//! partitioned model — the sharing register and the spill count. Every
+//! subject hit is additionally checked against the [`InfiniteTlb`]
+//! soundness bound (a TLB may serve stale translations, never invented
+//! ones). `op check` directives and the end of the trace trigger a full
+//! content sweep through non-perturbing probes, which is what makes
+//! eviction-victim bugs observable even when every counter agrees, plus
+//! a run of the subject's own `check_invariants`.
+
+use crate::case::{Case, ModelKind, Mutation, Op, TraceCase};
+use crate::mutate::{EvictMruTlb, SkipFlagReset};
+use crate::partitioned_ref::{OraclePartitionedConfig, OraclePartitionedTlb};
+use crate::reference::{InfiniteTlb, OracleSetAssocTlb};
+use crate::sched_ref::OracleScheduler;
+use gpu_sim::{SmSnapshot, TbScheduler};
+use orchestrated_tlb::{PartitionedTlb, PartitionedTlbConfig, TlbAwareScheduler};
+use std::collections::BTreeSet;
+use std::fmt;
+use tlb::{CompressionConfig, SetAssocTlb, TlbConfig, TlbRequest, TranslationBuffer};
+use vmem::{Ppn, Vpn};
+
+/// The first point where subject and oracle disagreed on a case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the operation that exposed the disagreement (`None` for
+    /// end-of-trace checks and whole-simulation diffs).
+    pub op_index: Option<usize>,
+    /// Which observable disagreed (`outcome`, `stats`, `sharing-flags`,
+    /// `spills`, `content`, `soundness`, `invariant`, `decision`,
+    /// `csv-row`, ...).
+    pub field: String,
+    /// What the oracle (or the other run) said.
+    pub expected: String,
+    /// What the subject said.
+    pub actual: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(
+                f,
+                "divergence at op {i} in `{}`: oracle says {}, subject says {}",
+                self.field, self.expected, self.actual
+            ),
+            None => write!(
+                f,
+                "divergence in `{}`: oracle says {}, subject says {}",
+                self.field, self.expected, self.actual
+            ),
+        }
+    }
+}
+
+impl Divergence {
+    fn new(
+        op_index: Option<usize>,
+        field: &str,
+        expected: impl fmt::Debug,
+        actual: impl fmt::Debug,
+    ) -> Self {
+        Divergence {
+            op_index,
+            field: field.to_owned(),
+            expected: format!("{expected:?}"),
+            actual: format!("{actual:?}"),
+        }
+    }
+}
+
+/// The optimized implementation under test (possibly a mutant).
+enum Subject {
+    Set(SetAssocTlb),
+    EvictMru(EvictMruTlb),
+    Part(PartitionedTlb),
+    NoFlagReset(SkipFlagReset),
+}
+
+impl Subject {
+    fn build(case: &TraceCase) -> Subject {
+        let (entries, associativity, lookup_latency) = case.geometry;
+        let geometry = TlbConfig::new(entries, associativity, lookup_latency);
+        match case.model {
+            ModelKind::SetAssoc => {
+                if case.mutation == Mutation::EvictMru {
+                    Subject::EvictMru(EvictMruTlb::new(geometry))
+                } else {
+                    Subject::Set(SetAssocTlb::new(geometry))
+                }
+            }
+            ModelKind::Partitioned | ModelKind::Scheduler => {
+                let cfg = PartitionedTlbConfig {
+                    geometry,
+                    sharing: case.sharing,
+                    per_set_lookup_overhead: case.overhead,
+                    displacement_margin: case.margin,
+                    compression: case.compression.map(|(degree, decompress_latency)| {
+                        CompressionConfig {
+                            degree,
+                            decompress_latency,
+                        }
+                    }),
+                };
+                let mut tlb = PartitionedTlb::new(cfg);
+                tlb.set_concurrent_tbs(case.concurrency);
+                if case.mutation == Mutation::SkipFlagReset {
+                    Subject::NoFlagReset(SkipFlagReset(tlb))
+                } else {
+                    Subject::Part(tlb)
+                }
+            }
+        }
+    }
+
+    fn as_tb(&mut self) -> &mut dyn TranslationBuffer {
+        match self {
+            Subject::Set(t) => t,
+            Subject::EvictMru(t) => t,
+            Subject::Part(t) => t,
+            Subject::NoFlagReset(t) => t,
+        }
+    }
+
+    fn as_tb_ref(&self) -> &dyn TranslationBuffer {
+        match self {
+            Subject::Set(t) => t,
+            Subject::EvictMru(t) => t,
+            Subject::Part(t) => t,
+            Subject::NoFlagReset(t) => t,
+        }
+    }
+
+    /// `(sharing_flags, spills)` for partitioned subjects.
+    fn sharing_state(&self) -> Option<(u16, u64)> {
+        match self {
+            Subject::Part(t) => Some((t.sharing_flags(), t.spills())),
+            Subject::NoFlagReset(t) => Some((t.sharing_flags(), t.spills())),
+            _ => None,
+        }
+    }
+}
+
+/// The clarity-first reference the subject is diffed against.
+enum Oracle {
+    Set(OracleSetAssocTlb),
+    Part(OraclePartitionedTlb),
+}
+
+impl Oracle {
+    fn build(case: &TraceCase) -> Oracle {
+        let (entries, associativity, lookup_latency) = case.geometry;
+        let geometry = TlbConfig::new(entries, associativity, lookup_latency);
+        match case.model {
+            ModelKind::SetAssoc => Oracle::Set(OracleSetAssocTlb::new(geometry)),
+            ModelKind::Partitioned | ModelKind::Scheduler => {
+                let mut tlb = OraclePartitionedTlb::new(OraclePartitionedConfig {
+                    geometry,
+                    sharing: case.sharing,
+                    per_set_lookup_overhead: case.overhead,
+                    displacement_margin: case.margin,
+                    compression: case.compression,
+                });
+                tlb.set_concurrent_tbs(case.concurrency);
+                Oracle::Part(tlb)
+            }
+        }
+    }
+
+    fn lookup(&mut self, req: &TlbRequest) -> tlb::TlbOutcome {
+        match self {
+            Oracle::Set(t) => t.lookup(req),
+            Oracle::Part(t) => t.lookup(req),
+        }
+    }
+
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        match self {
+            Oracle::Set(t) => t.insert(req, ppn),
+            Oracle::Part(t) => t.insert(req, ppn),
+        }
+    }
+
+    fn flush(&mut self) {
+        match self {
+            Oracle::Set(t) => t.flush(),
+            Oracle::Part(t) => t.flush(),
+        }
+    }
+
+    fn on_tb_finish(&mut self, tb: u8) {
+        if let Oracle::Part(t) = self {
+            t.on_tb_finish(tb);
+        }
+    }
+
+    fn set_concurrent_tbs(&mut self, tbs: u8) {
+        if let Oracle::Part(t) = self {
+            t.set_concurrent_tbs(tbs);
+        }
+    }
+
+    fn peek(&self, vpn: Vpn, tb: u8) -> Option<Ppn> {
+        match self {
+            Oracle::Set(t) => t.peek(vpn),
+            Oracle::Part(t) => t.peek(vpn, tb),
+        }
+    }
+
+    fn stats(&self) -> tlb::TlbStats {
+        match self {
+            Oracle::Set(t) => t.stats(),
+            Oracle::Part(t) => t.stats(),
+        }
+    }
+
+    fn sharing_state(&self) -> Option<(u16, u64)> {
+        match self {
+            Oracle::Part(t) => Some((t.sharing_flags(), t.spills())),
+            Oracle::Set(_) => None,
+        }
+    }
+}
+
+/// Replays a case and returns the first divergence, or `None` when the
+/// subject and oracle agree on every observable.
+pub fn run_case(case: &Case) -> Option<Divergence> {
+    match case {
+        Case::Trace(t) if t.model == ModelKind::Scheduler => run_scheduler_trace(t),
+        Case::Trace(t) => run_tlb_trace(t),
+        Case::Engine(e) => crate::engine_diff::run_engine(e),
+    }
+}
+
+fn run_scheduler_trace(case: &TraceCase) -> Option<Divergence> {
+    let mut oracle = OracleScheduler::new();
+    let mut subject = TlbAwareScheduler::new();
+    for (i, op) in case.ops.iter().enumerate() {
+        match op {
+            Op::Pick { sms } => {
+                let sms: Vec<SmSnapshot> = sms
+                    .iter()
+                    .map(|&(free_slots, tlb_hits, tlb_accesses)| SmSnapshot {
+                        free_slots,
+                        tlb_hits,
+                        tlb_accesses,
+                    })
+                    .collect();
+                let want = oracle.pick_sm(&sms);
+                let got = subject.pick_sm(&sms);
+                if want != got {
+                    return Some(Divergence::new(Some(i), "decision", want, got));
+                }
+                if let Err(e) = subject.check_invariants(sms.len()) {
+                    return Some(Divergence::new(Some(i), "invariant", "Ok", e));
+                }
+            }
+            Op::SchedReset => {
+                oracle.reset();
+                subject.reset();
+            }
+            // TLB ops are meaningless against a scheduler; the fuzzer
+            // never generates them, and hand-written cases that mix them
+            // in simply have them skipped.
+            _ => {}
+        }
+    }
+    None
+}
+
+fn run_tlb_trace(case: &TraceCase) -> Option<Divergence> {
+    let mut subject = Subject::build(case);
+    let mut oracle = Oracle::build(case);
+    let mut infinite = InfiniteTlb::new();
+    // Every VPN the trace mentioned: the content-sweep universe.
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let partitioned = case.model == ModelKind::Partitioned;
+
+    for (i, op) in case.ops.iter().enumerate() {
+        match *op {
+            Op::Lookup { vpn, tb } => {
+                seen.insert(vpn);
+                let req = TlbRequest::new(Vpn::new(vpn), tb);
+                let want = oracle.lookup(&req);
+                let got = subject.as_tb().lookup(&req);
+                if want != got {
+                    return Some(Divergence::new(Some(i), "outcome", want, got));
+                }
+                if got.hit {
+                    if let Err(e) = infinite.check_hit(req.vpn, got.ppn) {
+                        return Some(Divergence::new(Some(i), "soundness", "a sound hit", e));
+                    }
+                }
+            }
+            Op::Insert { vpn, tb, ppn } => {
+                seen.insert(vpn);
+                let req = TlbRequest::new(Vpn::new(vpn), tb);
+                oracle.insert(&req, Ppn::new(ppn));
+                subject.as_tb().insert(&req, Ppn::new(ppn));
+                infinite.insert(req.vpn, Ppn::new(ppn));
+            }
+            Op::Finish { tb } => {
+                oracle.on_tb_finish(tb);
+                subject.as_tb().on_tb_finish(tb);
+            }
+            Op::Concurrency { tbs } => {
+                oracle.set_concurrent_tbs(tbs);
+                subject.as_tb().set_concurrent_tbs(tbs);
+            }
+            Op::Flush => {
+                oracle.flush();
+                subject.as_tb().flush();
+                infinite.flush();
+            }
+            Op::Check => {
+                if let Some(d) = full_check(Some(i), &subject, &oracle, &seen, partitioned) {
+                    return Some(d);
+                }
+            }
+            // Scheduler ops inside a TLB trace are skipped (see above).
+            Op::Pick { .. } | Op::SchedReset => {}
+        }
+        let want = oracle.stats();
+        let got = subject.as_tb_ref().stats();
+        if want != got {
+            return Some(Divergence::new(Some(i), "stats", want, got));
+        }
+        if let (Some(want), Some(got)) = (oracle.sharing_state(), subject.sharing_state()) {
+            if want.0 != got.0 {
+                return Some(Divergence::new(Some(i), "sharing-flags", want.0, got.0));
+            }
+            if want.1 != got.1 {
+                return Some(Divergence::new(Some(i), "spills", want.1, got.1));
+            }
+        }
+    }
+    full_check(None, &subject, &oracle, &seen, partitioned)
+}
+
+/// Content sweep + subject invariants: for every VPN the trace touched,
+/// from every TB viewpoint, the subject's non-perturbing probe must
+/// agree with the oracle's.
+fn full_check(
+    op_index: Option<usize>,
+    subject: &Subject,
+    oracle: &Oracle,
+    seen: &BTreeSet<u64>,
+    partitioned: bool,
+) -> Option<Divergence> {
+    let viewpoints: &[u8] = if partitioned {
+        &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+    } else {
+        &[0]
+    };
+    for &vpn in seen {
+        for &tb in viewpoints {
+            let req = TlbRequest::new(Vpn::new(vpn), tb);
+            let Some(got) = subject.as_tb_ref().probe(&req) else {
+                continue;
+            };
+            let want = oracle.peek(req.vpn, tb);
+            if want != got {
+                return Some(Divergence {
+                    op_index,
+                    field: "content".to_owned(),
+                    expected: format!("vpn {vpn:#x} via tb {tb} -> {want:?}"),
+                    actual: format!("vpn {vpn:#x} via tb {tb} -> {got:?}"),
+                });
+            }
+        }
+    }
+    if let Err(e) = subject.as_tb_ref().check_invariants() {
+        return Some(Divergence::new(op_index, "invariant", "Ok", e.to_string()));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestrated_tlb::SharingPolicy;
+
+    #[test]
+    fn clean_trace_has_no_divergence() {
+        let case = Case::Trace(TraceCase {
+            model: ModelKind::Partitioned,
+            geometry: (16, 2, 1),
+            sharing: SharingPolicy::Adjacent,
+            concurrency: 2,
+            margin: 2,
+            ops: (0..40u64)
+                .flat_map(|i| {
+                    [
+                        Op::Insert {
+                            vpn: i % 11,
+                            tb: (i % 3) as u8,
+                            ppn: 100 + i % 11,
+                        },
+                        Op::Lookup {
+                            vpn: (i + 1) % 11,
+                            tb: (i % 3) as u8,
+                        },
+                    ]
+                })
+                .chain([Op::Finish { tb: 1 }, Op::Check])
+                .collect(),
+            ..TraceCase::default()
+        });
+        assert_eq!(run_case(&case), None);
+    }
+
+    #[test]
+    fn evict_mru_mutant_is_caught_by_content_sweep() {
+        // One set, two ways; touch entry 0 so it is MRU, then overflow.
+        // LRU evicts vpn 1, the mutant evicts vpn 0 — counters agree, the
+        // sweep does not.
+        let case = Case::Trace(TraceCase {
+            model: ModelKind::SetAssoc,
+            geometry: (2, 2, 1),
+            mutation: Mutation::EvictMru,
+            ops: vec![
+                Op::Insert { vpn: 0, tb: 0, ppn: 10 },
+                Op::Insert { vpn: 1, tb: 0, ppn: 11 },
+                Op::Lookup { vpn: 0, tb: 0 },
+                Op::Insert { vpn: 2, tb: 0, ppn: 12 },
+                Op::Check,
+            ],
+            ..TraceCase::default()
+        });
+        let d = run_case(&case).expect("mutant must diverge");
+        assert_eq!(d.field, "content");
+    }
+
+    #[test]
+    fn skip_flag_reset_mutant_is_caught() {
+        // TB 0 spills into TB 1's sets, then TB 1 finishes: the real
+        // implementation clears TB 0's flag, the mutant does not.
+        let mut ops: Vec<Op> = (0..5u64)
+            .map(|i| Op::Insert {
+                vpn: 2000 + i,
+                tb: 0,
+                ppn: i,
+            })
+            .collect();
+        ops.push(Op::Finish { tb: 1 });
+        ops.push(Op::Check);
+        let case = Case::Trace(TraceCase {
+            model: ModelKind::Partitioned,
+            geometry: (64, 4, 1),
+            sharing: SharingPolicy::Adjacent,
+            concurrency: 16,
+            mutation: Mutation::SkipFlagReset,
+            ops,
+            ..TraceCase::default()
+        });
+        let d = run_case(&case).expect("mutant must diverge");
+        assert_eq!(d.field, "sharing-flags");
+    }
+
+    #[test]
+    fn scheduler_trace_replays_cleanly() {
+        let case = Case::Trace(TraceCase {
+            model: ModelKind::Scheduler,
+            ops: vec![
+                Op::Pick { sms: vec![(1, 0, 0), (1, 0, 0)] },
+                Op::Pick { sms: vec![(1, 10, 100), (1, 90, 100)] },
+                Op::SchedReset,
+                Op::Pick { sms: vec![(0, 10, 100), (2, 90, 100)] },
+            ],
+            ..TraceCase::default()
+        });
+        assert_eq!(run_case(&case), None);
+    }
+}

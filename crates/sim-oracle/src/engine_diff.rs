@@ -1,0 +1,122 @@
+//! Whole-simulation differential replay: one benchmark × mechanism ×
+//! machine size, executed with 1 and 2 engine worker threads, reports
+//! diffed field by field.
+//!
+//! The engine's determinism contract says thread count is invisible:
+//! the two-phase event execution makes every statistic byte-identical
+//! regardless of how SMs are spread across workers. This module is that
+//! contract as an executable check, with the runtime sanitizer and the
+//! mem-hier accounting cross-checks enabled so internal invariants are
+//! audited along the way.
+
+use crate::case::EngineCase;
+use crate::diff::Divergence;
+use gpu_sim::{GpuConfig, SimReport};
+use orchestrated_tlb::Mechanism;
+use workloads::{registry, Scale};
+
+fn setup_error(what: String) -> Divergence {
+    Divergence {
+        op_index: None,
+        field: "setup".to_owned(),
+        expected: "a replayable engine case".to_owned(),
+        actual: what,
+    }
+}
+
+/// Runs one simulation of the case at the given thread count.
+fn simulate(case: &EngineCase, threads: usize) -> Result<SimReport, Divergence> {
+    let spec = registry()
+        .into_iter()
+        .find(|s| s.name == case.bench)
+        .ok_or_else(|| setup_error(format!("unknown benchmark {:?}", case.bench)))?;
+    let mechanism = Mechanism::all()
+        .into_iter()
+        .find(|m| m.label() == case.mechanism)
+        .ok_or_else(|| setup_error(format!("unknown mechanism {:?}", case.mechanism)))?;
+    let config = GpuConfig {
+        num_sms: case.sms.max(1),
+        ..GpuConfig::dac23_baseline()
+    };
+    let workload = spec.generate(Scale::Test, case.seed);
+    Ok(mechanism
+        .simulator(config)
+        .with_sim_threads(threads)
+        .with_sanitizer(true)
+        .run(workload))
+}
+
+/// Replays the case with 1 and 2 worker threads and returns the first
+/// report field where the runs disagree.
+pub fn run_engine(case: &EngineCase) -> Option<Divergence> {
+    let serial = match simulate(case, 1) {
+        Ok(r) => r,
+        Err(d) => return Some(d),
+    };
+    let threaded = match simulate(case, 2) {
+        Ok(r) => r,
+        Err(d) => return Some(d),
+    };
+    let diff = |field: &str, expected: String, actual: String| {
+        Some(Divergence {
+            op_index: None,
+            field: field.to_owned(),
+            expected,
+            actual,
+        })
+    };
+    if serial.total_cycles != threaded.total_cycles {
+        return diff(
+            "total-cycles",
+            serial.total_cycles.to_string(),
+            threaded.total_cycles.to_string(),
+        );
+    }
+    for (sm, (a, b)) in serial.l1_tlb.iter().zip(&threaded.l1_tlb).enumerate() {
+        if a != b {
+            return diff(&format!("l1-tlb[{sm}]"), format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+    if serial.l2_tlb != threaded.l2_tlb {
+        return diff(
+            "l2-tlb",
+            format!("{:?}", serial.l2_tlb),
+            format!("{:?}", threaded.l2_tlb),
+        );
+    }
+    // The CSV row folds in every remaining aggregate (walks, per-stage
+    // latency attribution, ...): one comparison covers them all.
+    let (a, b) = (serial.to_csv_row(), threaded.to_csv_row());
+    if a != b {
+        return diff("csv-row", a, b);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_agree_on_a_small_case() {
+        let case = EngineCase {
+            bench: "gemm".to_owned(),
+            mechanism: "sched+part+share".to_owned(),
+            sms: 2,
+            seed: 11,
+        };
+        assert_eq!(run_engine(&case), None);
+    }
+
+    #[test]
+    fn unknown_names_become_setup_divergences() {
+        let case = EngineCase {
+            bench: "no-such-bench".to_owned(),
+            mechanism: "baseline".to_owned(),
+            sms: 2,
+            seed: 0,
+        };
+        let d = run_engine(&case).expect("must not replay");
+        assert_eq!(d.field, "setup");
+    }
+}

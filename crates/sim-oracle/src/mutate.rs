@@ -1,0 +1,208 @@
+//! Deliberately-broken subject variants: the harness's own test suite.
+//!
+//! A differential harness that never fires is indistinguishable from one
+//! that cannot fire. These mutants inject the two classic TLB-model bugs
+//! — a wrong eviction order and a dropped notification — so tests (and
+//! the CI `fuzz-smoke` job) can demonstrate that fuzzing actually
+//! catches them and shrinks them to minimal reproducers. See TESTING.md
+//! for the workflow.
+
+use orchestrated_tlb::PartitionedTlb;
+use tlb::{TlbConfig, TlbOutcome, TlbRequest, TlbStats, TranslationBuffer};
+use vmem::{Ppn, Vpn};
+
+/// A set-associative TLB that evicts the **most**-recently-used way — a
+/// one-comparison bug (`min` vs `max` over the recency stamps) that
+/// leaves every counter identity intact and only shows up in *which*
+/// entry survives. Exactly the class of bug only content comparison
+/// against an oracle can catch.
+#[derive(Debug, Clone)]
+pub struct EvictMruTlb {
+    cfg: TlbConfig,
+    sets: Vec<Vec<(Vpn, Ppn, u64)>>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl EvictMruTlb {
+    /// Creates the mutant.
+    pub fn new(cfg: TlbConfig) -> Self {
+        EvictMruTlb {
+            sets: vec![Vec::new(); cfg.sets()],
+            cfg,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.raw() % self.cfg.sets() as u64) as usize
+    }
+}
+
+impl TranslationBuffer for EvictMruTlb {
+    fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let latency = self.cfg.lookup_latency;
+        let set = self.set_of(req.vpn);
+        for e in &mut self.sets[set] {
+            if e.0 == req.vpn {
+                e.2 = clock;
+                self.stats.record(true);
+                return TlbOutcome::hit(e.1, latency);
+            }
+        }
+        self.stats.record(false);
+        TlbOutcome::miss(latency)
+    }
+
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.cfg.associativity;
+        let idx = self.set_of(req.vpn);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.0 == req.vpn) {
+            e.1 = ppn;
+            e.2 = clock;
+            return;
+        }
+        self.stats.insertions += 1;
+        if set.len() == assoc {
+            // THE BUG: the most-recently-used entry dies instead of the
+            // least-recently-used one.
+            let mru = set
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("a full set is non-empty");
+            set.swap_remove(mru);
+            self.stats.evictions += 1;
+        }
+        set.push((req.vpn, ppn, clock));
+    }
+
+    fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
+        Some(
+            self.sets[self.set_of(req.vpn)]
+                .iter()
+                .find(|e| e.0 == req.vpn)
+                .map(|e| e.1),
+        )
+    }
+
+    fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.cfg.entries
+    }
+}
+
+/// A partitioned TLB that silently drops TB-finish notifications, so
+/// sharing flags never reset and spilled entries stay reachable past
+/// their licence — the paper's §IV-B reset rule, deleted. Stats stay
+/// plausible; the sharing register and post-finish hit verdicts betray
+/// it.
+#[derive(Debug)]
+pub struct SkipFlagReset(pub PartitionedTlb);
+
+impl SkipFlagReset {
+    /// The sharing register of the wrapped subject.
+    pub fn sharing_flags(&self) -> u16 {
+        self.0.sharing_flags()
+    }
+
+    /// Spill count of the wrapped subject.
+    pub fn spills(&self) -> u64 {
+        self.0.spills()
+    }
+}
+
+impl TranslationBuffer for SkipFlagReset {
+    fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        self.0.lookup(req)
+    }
+
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        self.0.insert(req, ppn)
+    }
+
+    fn stats(&self) -> TlbStats {
+        self.0.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.0.reset_stats()
+    }
+
+    fn flush(&mut self) {
+        self.0.flush()
+    }
+
+    fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+
+    fn on_tb_finish(&mut self, _tb_slot: u8) {
+        // THE BUG: the notification is dropped on the floor.
+    }
+
+    fn set_concurrent_tbs(&mut self, tbs: u8) {
+        self.0.set_concurrent_tbs(tbs)
+    }
+
+    fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
+        self.0.probe(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evict_mru_differs_only_in_victim_choice() {
+        let cfg = TlbConfig::new(2, 2, 1); // one set, two ways
+        let mut mutant = EvictMruTlb::new(cfg);
+        let mut real = tlb::SetAssocTlb::new(cfg);
+        let r = |vpn: u64| TlbRequest::new(Vpn::new(vpn), 0);
+        for t in [&mut mutant as &mut dyn TranslationBuffer, &mut real] {
+            t.insert(&r(0), Ppn::new(0));
+            t.insert(&r(1), Ppn::new(1));
+            let _ = t.lookup(&r(0)); // entry 0 becomes MRU
+            t.insert(&r(2), Ppn::new(2));
+        }
+        // Counters agree — the bug is invisible to stats...
+        assert_eq!(mutant.stats(), real.stats());
+        // ...but the surviving entry differs.
+        assert_eq!(real.probe(&r(0)), Some(Some(Ppn::new(0))));
+        assert_eq!(mutant.probe(&r(0)), Some(None), "mutant killed the MRU entry");
+    }
+
+    #[test]
+    fn skip_flag_reset_keeps_flags_engaged() {
+        use orchestrated_tlb::PartitionedTlbConfig;
+        let mut mutant = SkipFlagReset(PartitionedTlb::new(PartitionedTlbConfig::with_sharing()));
+        mutant.set_concurrent_tbs(16);
+        for i in 0..5u64 {
+            mutant.insert(&TlbRequest::new(Vpn::new(2000 + i), 0), Ppn::new(i));
+        }
+        assert_ne!(mutant.sharing_flags() & 1, 0);
+        mutant.on_tb_finish(1);
+        assert_ne!(mutant.sharing_flags() & 1, 0, "mutant never resets the flag");
+    }
+}

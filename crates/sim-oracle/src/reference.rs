@@ -1,0 +1,267 @@
+//! Clarity-first reference models for the baseline TLB.
+//!
+//! [`OracleSetAssocTlb`] restates the VPN-indexed set-associative LRU
+//! TLB with the most obvious data structure available: one growable list
+//! of valid entries per set, no way slots, no packed tags, no maintained
+//! counters. It is observationally equivalent to the optimized
+//! [`tlb::SetAssocTlb`]: which physical way an entry occupies is
+//! invisible through every interface (lookups scan the whole set,
+//! victims are chosen by stamp, stats count events), so a model without
+//! way positions is a valid specification of it.
+//!
+//! [`InfiniteTlb`] is the capacity-free upper bound used for universal
+//! soundness checks that hold for *any* TLB organization.
+
+use std::collections::{BTreeMap, BTreeSet};
+use tlb::{TlbConfig, TlbOutcome, TlbRequest, TlbStats};
+use vmem::{Ppn, Vpn};
+
+/// One cached translation in a reference model.
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    vpn: Vpn,
+    ppn: Ppn,
+    /// Monotone recency stamp (larger = more recently used).
+    stamp: u64,
+}
+
+/// Reference model of the VPN-indexed set-associative TLB with true-LRU
+/// replacement: per-set lists of valid entries, nothing else.
+///
+/// # Example
+///
+/// ```
+/// use sim_oracle::reference::OracleSetAssocTlb;
+/// use tlb::{TlbConfig, TlbRequest};
+/// use vmem::{Ppn, Vpn};
+///
+/// let mut oracle = OracleSetAssocTlb::new(TlbConfig::dac23_l1());
+/// let req = TlbRequest::new(Vpn::new(7), 0);
+/// assert!(!oracle.lookup(&req).hit);
+/// oracle.insert(&req, Ppn::new(70));
+/// assert_eq!(oracle.lookup(&req).ppn, Some(Ppn::new(70)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleSetAssocTlb {
+    cfg: TlbConfig,
+    /// `sets()` lists, each holding at most `associativity` entries.
+    sets: Vec<Vec<Entry>>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl OracleSetAssocTlb {
+    /// Creates an empty reference TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        OracleSetAssocTlb {
+            sets: vec![Vec::new(); cfg.sets()],
+            cfg,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.raw() % self.cfg.sets() as u64) as usize
+    }
+
+    /// Probes the TLB, updating recency and stats — the specification of
+    /// [`tlb::TranslationBuffer::lookup`] for this organization.
+    pub fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let latency = self.cfg.lookup_latency;
+        let set = self.set_of(req.vpn);
+        for e in &mut self.sets[set] {
+            if e.vpn == req.vpn {
+                e.stamp = clock;
+                self.stats.record(true);
+                return TlbOutcome::hit(e.ppn, latency);
+            }
+        }
+        self.stats.record(false);
+        TlbOutcome::miss(latency)
+    }
+
+    /// Installs a translation — the specification of
+    /// [`tlb::TranslationBuffer::insert`]: refresh in place if resident,
+    /// otherwise add, evicting the least-recently-used entry of the set
+    /// when it is full.
+    pub fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.cfg.associativity;
+        let idx = self.set_of(req.vpn);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.vpn == req.vpn) {
+            e.ppn = ppn;
+            e.stamp = clock;
+            return;
+        }
+        self.stats.insertions += 1;
+        if set.len() == assoc {
+            // Evict the entry that has gone longest without use. Stamps
+            // are unique (the clock advances on every operation), so the
+            // minimum is unambiguous.
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("a full set is non-empty");
+            set.swap_remove(lru);
+            self.stats.evictions += 1;
+        }
+        set.push(Entry {
+            vpn: req.vpn,
+            ppn,
+            stamp: clock,
+        });
+    }
+
+    /// Non-perturbing content probe (the specification of
+    /// [`tlb::TranslationBuffer::probe`]).
+    pub fn peek(&self, vpn: Vpn) -> Option<Ppn> {
+        self.sets[self.set_of(vpn)]
+            .iter()
+            .find(|e| e.vpn == vpn)
+            .map(|e| e.ppn)
+    }
+
+    /// Invalidates everything; statistics and the clock are kept.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Number of resident translations.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// A fully-associative, infinite-capacity translation cache: the upper
+/// bound every real TLB must stay under, and the source of universal
+/// soundness checks.
+///
+/// Tracks, per VPN, every PPN the fill path has provided since the last
+/// flush. Any hit a finite TLB reports must (a) be for a VPN that was
+/// inserted at some point since the last flush and (b) return one of the
+/// recorded PPNs — a TLB can serve stale translations (an old mapping
+/// surviving in an unreachable-then-reachable set), but it can never
+/// *invent* one.
+#[derive(Debug, Clone, Default)]
+pub struct InfiniteTlb {
+    /// Every PPN inserted for each VPN since the last flush.
+    inserted: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl InfiniteTlb {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fill.
+    pub fn insert(&mut self, vpn: Vpn, ppn: Ppn) {
+        self.inserted.entry(vpn.raw()).or_default().insert(ppn.raw());
+    }
+
+    /// Forgets everything (mirrors a TLB flush: no stale entry can
+    /// survive one).
+    pub fn flush(&mut self) {
+        self.inserted.clear();
+    }
+
+    /// Whether an infinite TLB would hold `vpn` at all.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.inserted.contains_key(&vpn.raw())
+    }
+
+    /// Checks a subject's hit against the soundness bound; returns a
+    /// description of the violation if the hit is impossible.
+    pub fn check_hit(&self, vpn: Vpn, ppn: Option<Ppn>) -> Result<(), String> {
+        let Some(ppns) = self.inserted.get(&vpn.raw()) else {
+            return Err(format!(
+                "hit on vpn {:#x} which was never inserted since the last flush",
+                vpn.raw()
+            ));
+        };
+        match ppn {
+            Some(p) if ppns.contains(&p.raw()) => Ok(()),
+            Some(p) => Err(format!(
+                "hit on vpn {:#x} returned ppn {:#x}, never provided by any fill (saw {ppns:?})",
+                vpn.raw(),
+                p.raw()
+            )),
+            None => Err(format!("hit on vpn {:#x} carried no ppn", vpn.raw())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb::TranslationBuffer;
+
+    fn req(vpn: u64) -> TlbRequest {
+        TlbRequest::new(Vpn::new(vpn), 0)
+    }
+
+    /// The reference and the optimized implementation agree op-for-op on
+    /// a deterministic churn workload — the oracle's own smoke test.
+    #[test]
+    fn tracks_the_optimized_tlb_through_churn() {
+        let cfg = TlbConfig::new(8, 2, 1);
+        let mut oracle = OracleSetAssocTlb::new(cfg);
+        let mut subject = tlb::SetAssocTlb::new(cfg);
+        for i in 0..300u64 {
+            let r = req(i * 7 % 23);
+            let a = oracle.lookup(&r);
+            let b = subject.lookup(&r);
+            assert_eq!(a, b, "op {i}");
+            if !a.hit {
+                oracle.insert(&r, Ppn::new(1000 + r.vpn.raw()));
+                subject.insert(&r, Ppn::new(1000 + r.vpn.raw()));
+            }
+            if i % 50 == 49 {
+                oracle.flush();
+                subject.flush();
+            }
+        }
+        assert_eq!(oracle.stats(), subject.stats());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t = OracleSetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        t.insert(&req(0), Ppn::new(0));
+        t.insert(&req(1), Ppn::new(1));
+        assert!(t.lookup(&req(0)).hit);
+        t.insert(&req(2), Ppn::new(2));
+        assert_eq!(t.peek(Vpn::new(0)), Some(Ppn::new(0)));
+        assert_eq!(t.peek(Vpn::new(1)), None, "LRU entry evicted");
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn infinite_tlb_rejects_invented_hits() {
+        let mut inf = InfiniteTlb::new();
+        inf.insert(Vpn::new(5), Ppn::new(50));
+        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(50))).is_ok());
+        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(51))).is_err());
+        assert!(inf.check_hit(Vpn::new(6), Some(Ppn::new(60))).is_err());
+        // Remaps accumulate: both PPNs are legitimate (a stale copy may
+        // survive in a temporarily unreachable set).
+        inf.insert(Vpn::new(5), Ppn::new(99));
+        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(50))).is_ok());
+        inf.flush();
+        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(50))).is_err());
+    }
+}

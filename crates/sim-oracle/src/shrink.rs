@@ -1,0 +1,147 @@
+//! Failure shrinking: reduce a diverging case to a minimal reproducer
+//! before it is written to disk, so checked-in `.case` files read like
+//! hand-written regression tests.
+//!
+//! Trace cases go through ddmin-style delta debugging — remove chunks of
+//! operations at halving granularity while the divergence persists —
+//! followed by a one-op-at-a-time sweep. Engine cases only have one
+//! shrinkable axis, the machine size, which is halved while the
+//! divergence survives. The predicate is arbitrary (`reproduces`), so
+//! shrinking works the same for real divergences, mutant self-tests and
+//! unit tests with synthetic predicates.
+
+use crate::case::{Case, TraceCase};
+
+/// Shrinks `case` to a (locally) minimal case still satisfying
+/// `reproduces`. The input case itself must reproduce, otherwise it is
+/// returned unchanged.
+pub fn shrink(case: &Case, reproduces: impl Fn(&Case) -> bool) -> Case {
+    if !reproduces(case) {
+        return case.clone();
+    }
+    match case {
+        Case::Trace(t) => Case::Trace(shrink_trace(t, |t| reproduces(&Case::Trace(t.clone())))),
+        Case::Engine(e) => {
+            let mut best = e.clone();
+            while best.sms > 1 {
+                let mut candidate = best.clone();
+                candidate.sms /= 2;
+                if reproduces(&Case::Engine(candidate.clone())) {
+                    best = candidate;
+                } else {
+                    break;
+                }
+            }
+            Case::Engine(best)
+        }
+    }
+}
+
+fn shrink_trace(case: &TraceCase, reproduces: impl Fn(&TraceCase) -> bool) -> TraceCase {
+    let mut best = case.clone();
+
+    // ddmin: drop contiguous chunks, halving the chunk size whenever no
+    // chunk of the current size can be removed.
+    let mut chunk = (best.ops.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut removed_any = true;
+        while removed_any {
+            removed_any = false;
+            let mut start = 0;
+            while start < best.ops.len() {
+                let end = (start + chunk).min(best.ops.len());
+                let mut candidate = best.clone();
+                candidate.ops.drain(start..end);
+                if reproduces(&candidate) {
+                    best = candidate;
+                    removed_any = true;
+                    // Do not advance: the next chunk now sits at `start`.
+                } else {
+                    start = end;
+                }
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Final one-at-a-time sweep (ddmin with chunk 1 already does this,
+    // but a removal late in the trace can unlock one earlier, so sweep
+    // until a fixed point).
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < best.ops.len() {
+            let mut candidate = best.clone();
+            candidate.ops.remove(i);
+            if reproduces(&candidate) {
+                best = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{EngineCase, ModelKind, Op};
+
+    fn trace_with(ops: Vec<Op>) -> TraceCase {
+        TraceCase {
+            model: ModelKind::SetAssoc,
+            ops,
+            ..TraceCase::default()
+        }
+    }
+
+    /// A synthetic predicate ("the trace still contains both marker
+    /// ops") shrinks a 100-op trace down to exactly the two markers.
+    #[test]
+    fn shrinks_to_the_minimal_witness() {
+        let mut ops: Vec<Op> = (0..100u64).map(|i| Op::Lookup { vpn: i, tb: 0 }).collect();
+        ops[17] = Op::Flush;
+        ops[83] = Op::Check;
+        let case = Case::Trace(trace_with(ops));
+        let needs_both = |c: &Case| {
+            let Case::Trace(t) = c else { return false };
+            t.ops.contains(&Op::Flush) && t.ops.contains(&Op::Check)
+        };
+        let Case::Trace(small) = shrink(&case, needs_both) else {
+            panic!("trace in, trace out");
+        };
+        assert_eq!(small.ops, vec![Op::Flush, Op::Check]);
+    }
+
+    #[test]
+    fn non_reproducing_case_is_returned_unchanged() {
+        let case = Case::Trace(trace_with(vec![Op::Check]));
+        assert_eq!(shrink(&case, |_| false), case);
+    }
+
+    #[test]
+    fn engine_cases_shrink_their_machine() {
+        let case = Case::Engine(EngineCase {
+            bench: "gemm".to_owned(),
+            mechanism: "baseline".to_owned(),
+            sms: 16,
+            seed: 0,
+        });
+        // Divergence "survives" down to 4 SMs but not below.
+        let Case::Engine(small) = shrink(&case, |c| {
+            let Case::Engine(e) = c else { return false };
+            e.sms >= 4
+        }) else {
+            panic!("engine in, engine out");
+        };
+        assert_eq!(small.sms, 4);
+    }
+}

@@ -55,7 +55,7 @@ use std::path::Path;
 
 /// Crates whose sources produce simulation results (scope of `hash-iter`
 /// and `lossy-cast`).
-const RESULT_CRATES: [&str; 7] = [
+const RESULT_CRATES: [&str; 8] = [
     "crates/core/",
     "crates/gpu-sim/",
     "crates/mem-hier/",
@@ -63,6 +63,7 @@ const RESULT_CRATES: [&str; 7] = [
     "crates/vmem/",
     "crates/workloads/",
     "crates/analysis/",
+    "crates/sim-oracle/",
 ];
 
 /// Files forming the engine hot path (scope of `hot-unwrap` and
@@ -896,6 +897,9 @@ mod tests {
         // gets the full result-crate scope; its per-access pipeline files
         // additionally get `hot-unwrap`.
         assert!(RESULT_CRATES.contains(&"crates/mem-hier/"));
+        // The differential oracle's reference models must themselves be
+        // deterministic and cast-safe: divergence verdicts are results.
+        assert!(RESULT_CRATES.contains(&"crates/sim-oracle/"));
         for f in [
             "crates/mem-hier/src/hierarchy.rs",
             "crates/mem-hier/src/split.rs",

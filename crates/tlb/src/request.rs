@@ -118,6 +118,20 @@ pub trait TranslationBuffer: Send {
         let _ = tbs;
     }
 
+    /// Probes for `req` without perturbing any state (no stats, no LRU
+    /// update) — the diagnostics window the differential harness in
+    /// `sim-oracle` uses to compare resident contents (and thereby
+    /// eviction-victim choices) against its reference models.
+    ///
+    /// Returns `None` when the organization does not support
+    /// non-perturbing probes (content comparison is then skipped),
+    /// `Some(None)` when the translation is absent, and `Some(Some(ppn))`
+    /// when it is resident.
+    fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
+        let _ = req;
+        None
+    }
+
     /// Validates the organization's internal invariants (LRU recency is a
     /// total order per set, stats identities hold, occupancy ≤ capacity,
     /// entries live where their owner may place them, ...). Called by the

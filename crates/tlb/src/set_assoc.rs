@@ -175,6 +175,10 @@ impl TranslationBuffer for SetAssocTlb {
         self.stats = TlbStats::default();
     }
 
+    fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
+        Some(self.peek(req.vpn))
+    }
+
     fn flush(&mut self) {
         for t in &mut self.tags {
             *t = 0;
@@ -357,6 +361,15 @@ mod tests {
         t.insert(&req(9), Ppn::new(3));
         assert_eq!(t.peek(Vpn::new(9)), Some(Ppn::new(3)));
         assert_eq!(t.peek(Vpn::new(10)), None);
+        assert_eq!(t.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn probe_matches_peek_and_does_not_perturb() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        t.insert(&req(9), Ppn::new(3));
+        assert_eq!(t.probe(&req(9)), Some(Some(Ppn::new(3))));
+        assert_eq!(t.probe(&req(10)), Some(None));
         assert_eq!(t.stats().accesses(), 0);
     }
 
