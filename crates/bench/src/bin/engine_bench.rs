@@ -2,7 +2,7 @@
 //! parallel engine, written as `BENCH_engine.json`.
 //!
 //! ```text
-//! engine-bench [--out PATH] [--reps N] [--threads N]...
+//! engine-bench [--out PATH] [--reps N] [--threads N]... [--scale S]
 //! ```
 //!
 //! Runs the same scenarios as the `simulator_throughput` criterion bench
@@ -10,6 +10,10 @@
 //! organizations) once per `--sim-threads` setting (default 1, 2, 4) and
 //! records the best wall time over `--reps` repetitions (default 3) as
 //! simulated cycles per second plus the speedup versus the serial run.
+//! `--scale large` generates engine-throughput-sized inputs (seconds of
+//! simulation per run) — the configuration the speedup acceptance
+//! numbers in EXPERIMENTS.md are measured at; the `test` default keeps
+//! the CI smoke fast.
 //!
 //! Wall-clock time is banned in the simulator proper (simlint
 //! `wall-clock`): simulated timing must never depend on the host. This
@@ -18,16 +22,20 @@
 //! contract is enforced inline: every thread count must report exactly
 //! the serial run's `total_cycles`, or the emitter aborts.
 //!
-//! Schema (`"schema": "bench-engine/v1"`):
+//! Schema (`"schema": "bench-engine/v2"` — v1 plus `host_cores`, the
+//! per-scenario `scale`, and a selectable top-level `scale`; every v1
+//! field is unchanged, so v1 consumers only need the version bump):
 //!
 //! ```json
 //! {
-//!   "schema": "bench-engine/v1",
+//!   "schema": "bench-engine/v2",
 //!   "scale": "test",
+//!   "host_cores": 8,
 //!   "reps": 3,
 //!   "scenarios": [
 //!     {
-//!       "bench": "gemm", "mechanism": "baseline", "total_cycles": 12345,
+//!       "bench": "gemm", "mechanism": "baseline", "scale": "test",
+//!       "total_cycles": 12345,
 //!       "runs": [
 //!         { "sim_threads": 1, "best_seconds": 0.01,
 //!           "cycles_per_sec": 1234500.0, "speedup_vs_serial": 1.0 }
@@ -36,6 +44,11 @@
 //!   ]
 //! }
 //! ```
+//!
+//! `host_cores` is the host's available parallelism at measurement
+//! time: speedup numbers are only meaningful relative to it (a 1-core
+//! runner truthfully reports ~1.0x, which is why the acceptance
+//! criterion binds on multi-core runners only).
 
 use std::fmt::Write as _;
 // simlint: allow(wall-clock, reason = "engine-bench measures host throughput; nothing flows back into simulated timing")
@@ -80,6 +93,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_engine.json");
     let mut reps = 3usize;
+    let mut scale = Scale::Test;
     let mut thread_counts: Vec<usize> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -100,6 +114,19 @@ fn main() {
                     Some(n) if n >= 1 => n,
                     _ => {
                         eprintln!("--reps requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(|v| v.as_str()) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    Some("large") => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale {other:?} (use test|small|paper|large)");
                         std::process::exit(2);
                     }
                 };
@@ -128,11 +155,13 @@ fn main() {
         thread_counts.insert(0, 1); // the serial reference is mandatory
     }
 
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let specs = registry();
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"bench-engine/v1\",");
-    let _ = writeln!(json, "  \"scale\": \"test\",");
+    let _ = writeln!(json, "  \"schema\": \"bench-engine/v2\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"scenarios\": [");
     for (si, &(name, mechanism)) in SCENARIOS.iter().enumerate() {
@@ -140,8 +169,8 @@ fn main() {
             .iter()
             .find(|s| s.name == name)
             .unwrap_or_else(|| panic!("benchmark {name} missing from the registry"));
-        let workload = spec.generate(Scale::Test, SEED);
-        eprintln!("engine-bench: {name}/{} ...", mechanism.label());
+        let workload = spec.generate(scale, SEED);
+        eprintln!("engine-bench: {name}/{} at --scale {scale} ...", mechanism.label());
 
         let mut serial_best = 0.0f64;
         let mut serial_cycles = 0u64;
@@ -172,6 +201,7 @@ fn main() {
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"bench\": \"{name}\",");
         let _ = writeln!(json, "      \"mechanism\": \"{}\",", mechanism.label());
+        let _ = writeln!(json, "      \"scale\": \"{scale}\",");
         let _ = writeln!(json, "      \"total_cycles\": {serial_cycles},");
         let _ = writeln!(json, "      \"runs\": [");
         json.push_str(&runs);

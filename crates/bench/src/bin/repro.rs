@@ -364,8 +364,9 @@ fn main() {
                     Some("test") => Scale::Test,
                     Some("small") => Scale::Small,
                     Some("paper") => Scale::Paper,
+                    Some("large") => Scale::Large,
                     other => {
-                        eprintln!("unknown scale {other:?} (use test|small|paper)");
+                        eprintln!("unknown scale {other:?} (use test|small|paper|large)");
                         std::process::exit(2);
                     }
                 };

@@ -172,6 +172,7 @@ fn main() {
                     Some("test") => Scale::Test,
                     Some("small") => Scale::Small,
                     Some("paper") => Scale::Paper,
+                    Some("large") => Scale::Large,
                     other => {
                         eprintln!("unknown scale {other:?}");
                         std::process::exit(2);

@@ -110,6 +110,85 @@ fn every_sharing_policy_is_thread_count_invariant() {
     }
 }
 
+/// Forcing the sharded phase-B drain on every round (`shard_threshold:
+/// 1`) must not change a single byte of the report, across every
+/// mechanism and L2 TLB slice count. Mechanisms whose L1 TLB cannot
+/// defer fills (the compressed TLB's placement inspects the payload)
+/// exercise the serial-fallback gate instead — also byte-identical by
+/// construction.
+#[test]
+fn sharded_drain_is_report_invariant_across_mechanisms_and_slices() {
+    let spec = registry().into_iter().find(|s| s.name == "bfs").unwrap();
+    let workload = spec.generate(Scale::Test, SEED);
+    for slices in [1usize, 2, 4] {
+        let config = GpuConfig {
+            l2_tlb_slices: slices,
+            ..GpuConfig::dac23_baseline()
+        };
+        for m in Mechanism::all() {
+            let serial = m
+                .simulator(config.clone())
+                .with_sim_threads(1)
+                .run(workload.clone());
+            let forced = GpuConfig {
+                shard_threshold: 1,
+                ..config.clone()
+            };
+            let parallel = m
+                .simulator(forced)
+                .with_sim_threads(4)
+                .run(workload.clone());
+            assert_reports_equal(
+                &serial,
+                &parallel,
+                &format!("{} slices={slices} forced-sharded", m.label()),
+            );
+        }
+    }
+}
+
+/// Same forcing across the partitioned TLB's sharing policies. The
+/// partitioned TLB's insert path is payload-dependent (coherence and
+/// run-merge checks compare stored frames), so it reports
+/// `supports_deferred_fill() == false` and every one of these rounds
+/// must take the serial-fallback gate — byte-identically.
+#[test]
+fn sharded_drain_gate_is_invariant_across_sharing_policies() {
+    let spec = registry().into_iter().find(|s| s.name == "mvt").unwrap();
+    let workload = spec.generate(Scale::Test, SEED);
+    for sharing in [
+        SharingPolicy::None,
+        SharingPolicy::AdjacentCounter { threshold: 2 },
+        SharingPolicy::AllToAll,
+    ] {
+        let run = |threads: usize, threshold: usize, workload: Workload| {
+            let config = GpuConfig {
+                shard_threshold: threshold,
+                l2_tlb_slices: 4,
+                ..GpuConfig::dac23_baseline()
+            };
+            Simulator::new(config)
+                .with_tb_scheduler(Box::new(TlbAwareScheduler::new()))
+                .with_l1_tlb_factory(Box::new(move |c: &GpuConfig| {
+                    Box::new(PartitionedTlb::new(PartitionedTlbConfig {
+                        geometry: c.l1_tlb,
+                        sharing,
+                        ..PartitionedTlbConfig::partition_only()
+                    })) as Box<dyn TranslationBuffer>
+                }))
+                .with_sim_threads(threads)
+                .run(workload)
+        };
+        let serial = run(1, 0, workload.clone());
+        let parallel = run(4, 1, workload.clone());
+        assert_reports_equal(
+            &serial,
+            &parallel,
+            &format!("sharing={sharing:?} forced-sharded"),
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -65,6 +65,14 @@ pub struct GpuConfig {
     /// lookups per cycle regardless of `lookup_latency`); setting it to
     /// the lookup latency models unpipelined ports.
     pub l2_tlb_port_occupancy: u64,
+    /// Minimum deferred shared-stage requests in one phase-B round
+    /// before the engine switches from the serial per-SM apply loop to
+    /// the sharded slice-parallel drain (`mem_hier::drain_sharded`);
+    /// 0 disables sharding. Output is byte-identical either way — like
+    /// `--sim-threads`, this is purely a wall-clock knob. Only takes
+    /// effect on multi-threaded runs whose L1 TLBs support deferred
+    /// fills.
+    pub shard_threshold: usize,
 }
 
 impl GpuConfig {
@@ -92,6 +100,7 @@ impl GpuConfig {
             l2_tlb_ports: 2,
             l2_tlb_slices: 1,
             l2_tlb_port_occupancy: 1,
+            shard_threshold: 64,
         }
     }
 

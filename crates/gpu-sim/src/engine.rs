@@ -33,15 +33,18 @@
 
 use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
+use crate::pool::{Job, StopReport, WorkerPool};
 use crate::report::{SimReport, TranslationEvent};
 use crate::sanitize::{sanitize_enabled, Sanitizer};
 use crate::tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
 use crate::warp_sched::{GtoWarpScheduler, WarpScheduler, WarpView};
+use crate::pool::ScopedExec;
 use mem_hier::{
-    Access, HierarchyBuilder, PerSmFront, SharedBack, SharedRequest, TranslationRef,
+    drain_sharded, Access, DrainLane, HierarchyBuilder, PerSmFront, SharedBack, SharedRequest,
+    SharedResponse, TranslationRef,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::Arc;
 use tlb::{SetAssocTlb, TranslationBuffer};
 use vmem::{PageSize, PhysAddr, Ppn, VirtAddr};
 use workloads::{KernelTrace, WarpOp, Workload};
@@ -98,6 +101,9 @@ pub struct Simulator {
     /// Per-instance phase-A worker-count override; `None` follows the
     /// process-wide default ([`sim_threads`]).
     sim_threads: Option<usize>,
+    /// Persistent phase-A worker pool, created lazily on the first
+    /// multi-threaded `run` and reused across kernels and runs.
+    pool: Option<WorkerPool>,
 }
 
 impl Simulator {
@@ -117,6 +123,7 @@ impl Simulator {
             force_max_tbs: None,
             sanitize: None,
             sim_threads: None,
+            pool: None,
         }
     }
 
@@ -191,6 +198,14 @@ impl Simulator {
             .sim_threads
             .unwrap_or_else(sim_threads)
             .clamp(1, n_sms.max(1));
+        // The worker pool persists across kernels and runs; (re)build it
+        // only when the requested worker count changes.
+        let workers = threads.saturating_sub(1);
+        if workers == 0 {
+            self.pool = None;
+        } else if self.pool.as_ref().map(WorkerPool::workers) != Some(workers) {
+            self.pool = Some(WorkerPool::new(workers));
+        }
         let l1_tlbs: Vec<Box<dyn TranslationBuffer>> = (0..n_sms)
             .map(|_| (self.l1_tlb_factory)(&self.config))
             .collect();
@@ -218,7 +233,7 @@ impl Simulator {
                 &self.config,
                 &mut self.tb_scheduler,
                 &self.warp_scheduler_factory,
-                threads,
+                self.pool.as_mut(),
                 self.force_max_tbs,
                 kernel,
                 kernel_idx as u16,
@@ -264,15 +279,18 @@ struct SharedState {
 /// private slice of the memory hierarchy, and the per-cycle buffers the
 /// coordinator drains in phase B. Boxed so the worker-pool channels move
 /// a pointer, not the struct.
-struct Lane {
-    sm_idx: usize,
-    sm: SmRt,
+pub(crate) struct Lane {
+    pub(crate) sm_idx: usize,
+    pub(crate) sm: SmRt,
     front: PerSmFront,
     outbox: Outbox,
     scratch: IssueScratch,
-    /// Per-cycle translation-trace events, appended to the global trace
-    /// in SM-index order by phase B (= the serial push order).
-    trace: Vec<TranslationEvent>,
+    /// Translation-trace events of this kernel, tagged with their event
+    /// cycle. Kept lane-local for the whole kernel (a lane may run many
+    /// cycles ahead on a worker) and merged into the global trace at
+    /// kernel end by a stable sort on cycle — concatenation in SM-index
+    /// order makes ties resolve exactly like the serial push order.
+    trace: Vec<(u64, TranslationEvent)>,
     /// Instructions issued this kernel (merged into the report at kernel
     /// end; pure sums, so the merge is order-independent).
     instructions: u64,
@@ -322,41 +340,181 @@ struct OutboxEntry {
     warp: Option<usize>,
 }
 
-/// A phase-A work batch: one message per worker per event cycle.
-struct Batch {
+/// Per-kernel context shipped to the pool once (inside an `Arc`), so
+/// worker threads need no borrows into the simulator.
+pub(crate) struct RoundCtx {
+    pub(crate) config: GpuConfig,
+    pub(crate) kernel_idx: u16,
+    pub(crate) page_size: PageSize,
+    pub(crate) trace_on: bool,
+}
+
+/// How far one phase-A chain may run before syncing with the
+/// coordinator.
+#[derive(Copy, Clone)]
+pub(crate) struct ChainSpec {
+    /// Exclusive horizon: the chain stops (without stepping) once the
+    /// lane's `next_event` reaches this cycle. Per-cycle rounds use
+    /// `frontier + 1` (exactly one step); epochs use a wide window.
+    pub(crate) epoch_end: u64,
+    /// Stop after any step that frees a TB slot, so the coordinator can
+    /// dispatch at the retire cycle exactly as the serial engine does.
+    /// Only set while undispatched TBs remain.
+    pub(crate) stop_on_retire: bool,
+    /// Lanes that run to the horizon (or go idle) may stay parked on
+    /// their worker; only a [`StopReport`] comes home.
+    pub(crate) park: bool,
+}
+
+/// Why [`run_chain`] returned.
+pub(crate) struct ChainOutcome {
+    /// Cycle of the last `phase_a` step executed (0 if none ran).
+    pub(crate) last_step: u64,
+    /// Stopped with a non-empty outbox awaiting phase B at `last_step`.
+    pub(crate) needs_phase_b: bool,
+    /// The last step freed a TB slot (reported only under
+    /// `stop_on_retire`).
+    pub(crate) retired_tb: bool,
+}
+
+/// Runs one lane's private event chain: repeated `phase_a` steps at the
+/// lane's own `next_event` cycles.
+///
+/// This is exact because each SM's stepping schedule is entirely
+/// self-determined: the serial engine steps SM *i* at cycle *c* iff SM
+/// *i*'s own `next_event` equals *c* (after every step or phase-B patch
+/// the recomputed `next_event` is strictly in the future, so the global
+/// event cycle is always the minimum over per-SM private chains). A
+/// chain therefore only has to stop where cross-SM coupling can reach
+/// it: its first shared request (phase-B feedback patches this lane's
+/// warps), a TB retire while dispatch is still live (placement happens
+/// at the retire cycle), or the epoch horizon.
+pub(crate) fn run_chain(ctx: &RoundCtx, spec: &ChainSpec, lane: &mut Lane) -> ChainOutcome {
+    let mut last_step = 0u64;
+    loop {
+        let e = lane.sm.next_event();
+        if e >= spec.epoch_end {
+            return ChainOutcome {
+                last_step,
+                needs_phase_b: false,
+                retired_tb: false,
+            };
+        }
+        let free_before = lane.sm.free_slots.len();
+        phase_a(
+            &ctx.config,
+            e,
+            ctx.kernel_idx,
+            ctx.page_size,
+            ctx.trace_on,
+            lane,
+        );
+        last_step = e;
+        let retired_tb = spec.stop_on_retire && lane.sm.free_slots.len() > free_before;
+        let needs_phase_b = !lane.outbox.is_empty();
+        if needs_phase_b || retired_tb {
+            return ChainOutcome {
+                last_step,
+                needs_phase_b,
+                retired_tb,
+            };
+        }
+    }
+}
+
+/// Cycles one epoch window may span before every lane syncs with the
+/// coordinator. Chains still stop early at their first shared request,
+/// so this only bounds how far a lane may run ahead unsynchronized.
+const EPOCH_CYCLES: u64 = 4096;
+
+/// Coordinator-side view of one lane's whereabouts and settled state.
+#[derive(Copy, Clone, Default)]
+struct LaneTrack {
+    /// Settled `next_event` (authoritative only while the lane is away;
+    /// home lanes are read live).
+    next_event: u64,
+    /// Reported chain stop awaiting frontier processing.
+    pending: Option<PendingStop>,
+    /// The lane object is on a worker (in flight or parked).
+    away: bool,
+}
+
+#[derive(Copy, Clone)]
+struct PendingStop {
     cycle: u64,
-    lanes: Vec<(usize, Box<Lane>)>,
+    needs_phase_b: bool,
+    retired_tb: bool,
 }
 
-/// A worker's returned batch. `panicked` carries the payload text of a
-/// panic caught inside the worker, so the coordinator can re-raise it
-/// instead of deadlocking on a missing result.
-struct Done {
-    lanes: Vec<(usize, Box<Lane>)>,
-    panicked: Option<String>,
-}
-
-fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = e.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = e.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        String::from("phase-A worker panicked")
+/// One dispatch pass: places TBs while an eligible SM has a free slot.
+///
+/// A lane is dispatch-visible when it is home with no unprocessed stop
+/// — i.e. its state is settled at the dispatch cycle. Lanes that ran
+/// ahead (parked, or stopped at a later frontier) are presented as full:
+/// while TBs remain undispatched every SM stays saturated except at its
+/// own retire stops, so a ran-ahead lane really is full for the whole
+/// window and the synthesized snapshot equals its serial-state snapshot.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_tbs(
+    lanes: &mut [Option<Box<Lane>>],
+    track: &[LaneTrack],
+    tb_scheduler: &mut Box<dyn TbScheduler>,
+    kernel: &KernelTrace,
+    next_tb: &mut usize,
+    cycle: u64,
+    placements: &mut [u32],
+    snaps: &mut Vec<SmSnapshot>,
+) {
+    while *next_tb < kernel.tbs.len() {
+        snaps.clear();
+        for (i, slot) in lanes.iter().enumerate() {
+            let visible = !track[i].away && track[i].pending.is_none();
+            snaps.push(match slot {
+                Some(lane) if visible => {
+                    let stats = lane.front.tlb().stats();
+                    SmSnapshot {
+                        free_slots: lane.sm.free_slots.len() as u8,
+                        tlb_hits: stats.hits,
+                        tlb_accesses: stats.accesses(),
+                    }
+                }
+                _ => SmSnapshot::default(),
+            });
+        }
+        if !snaps.iter().any(SmSnapshot::has_room) {
+            break;
+        }
+        let Some(target) = tb_scheduler.pick_sm(snaps) else {
+            break;
+        };
+        assert!(
+            snaps[target].has_room(),
+            "scheduler picked a full SM ({target})"
+        );
+        let Some(lane) = lanes[target].as_mut() else {
+            unreachable!("dispatch-visible lanes are home")
+        };
+        lane.sm.place_tb(kernel, *next_tb as u32, cycle);
+        placements[target] += 1;
+        *next_tb += 1;
     }
 }
 
 /// Simulates one kernel launch; returns the cycle at which it completes.
 ///
-/// A free function over split borrows of the simulator's fields: the
-/// phase-A workers hold `config` for the kernel's duration while the
-/// coordinator mutates the TB scheduler and report between phases.
+/// Runs per-event-cycle rounds (the exact serial schedule) until epoch
+/// batching is provably transparent — the sanitizer is off (its
+/// per-cycle hook needs every lane home each event cycle) and either
+/// every TB is dispatched or the TB scheduler is occupancy-only — then
+/// switches to multi-cycle epochs where lanes run private chains on the
+/// persistent pool and only coordination frontiers (shared requests, TB
+/// retires) sync with the coordinator.
 #[allow(clippy::too_many_arguments)]
 fn run_kernel(
     config: &GpuConfig,
     tb_scheduler: &mut Box<dyn TbScheduler>,
     warp_scheduler_factory: &WarpSchedulerFactory,
-    threads: usize,
+    mut pool: Option<&mut WorkerPool>,
     force_max_tbs: Option<u8>,
     kernel: &KernelTrace,
     kernel_idx: u16,
@@ -400,153 +558,258 @@ fn run_kernel(
     tb_scheduler.reset();
 
     let trace_on = shared.trace.is_some();
-    let page_size = shared.page_size;
-    let workers = threads.saturating_sub(1);
+    let ctx = Arc::new(RoundCtx {
+        config: config.clone(),
+        kernel_idx,
+        page_size: shared.page_size,
+        trace_on,
+    });
+    let workers = pool.as_ref().map_or(0, |p| p.workers());
+    let occupancy_only = tb_scheduler.occupancy_only();
 
-    let end_cycle = std::thread::scope(|scope| {
-        // Persistent phase-A pool: each worker owns a job channel and
-        // shares the return channel. Lanes move through the channels by
-        // Box, one batch message per worker per event cycle. No locks
-        // anywhere: ownership transfer is the only synchronization.
-        let (done_tx, done_rx) = mpsc::channel::<Done>();
-        let mut batch_txs: Vec<mpsc::Sender<Batch>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = mpsc::channel::<Batch>();
-            let done_tx = done_tx.clone();
-            scope.spawn(move || {
-                while let Ok(mut batch) = rx.recv() {
-                    // Catch panics (sanitizer aborts, debug asserts) so
-                    // the lanes still flow back and the coordinator can
-                    // re-raise instead of hanging on a lost batch.
-                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        for (_, lane) in batch.lanes.iter_mut() {
-                            phase_a(config, batch.cycle, kernel_idx, page_size, trace_on, lane);
-                        }
-                    }));
-                    let panicked = caught.err().map(panic_text);
-                    if done_tx
-                        .send(Done {
-                            lanes: batch.lanes,
-                            panicked,
-                        })
-                        .is_err()
-                    {
-                        return;
-                    }
-                }
-            });
-            batch_txs.push(tx);
+    let mut next_tb = 0usize;
+    let mut cycle = start_cycle;
+    let mut last_step_max = 0u64;
+    let mut ready: Vec<usize> = Vec::new();
+    let mut resolved: Vec<(Ppn, u64)> = Vec::new();
+    let mut snaps: Vec<SmSnapshot> = Vec::with_capacity(n_sms);
+    let mut track: Vec<LaneTrack> = vec![LaneTrack::default(); n_sms];
+    // Owner assignment for epoch parking: lane i lives on executor
+    // `i % (workers + 1)`; executor index `workers` is the coordinator.
+    let executors = workers + 1;
+    // Sharded phase-B drain: scoped executor sized like phase A, plus
+    // per-lane request/response buffers recycled across rounds.
+    let exec = ScopedExec {
+        threads: executors,
+    };
+    let mut shard_scratch: ShardScratch = Vec::new();
+
+    // --- Per-event-cycle rounds (the serial schedule, exactly) -------
+    let mut kernel_over = false;
+    loop {
+        // Epochs become transparent once the per-cycle-only couplings
+        // are gone: the sanitizer's per-cycle hook, and per-event-cycle
+        // dispatch attempts that a stats-driven scheduler could observe.
+        if workers > 0
+            && sanitizer.is_none()
+            && (occupancy_only || next_tb >= kernel.tbs.len())
+        {
+            break;
         }
-        drop(done_tx);
+        dispatch_tbs(
+            &mut lanes,
+            &track,
+            tb_scheduler,
+            kernel,
+            &mut next_tb,
+            cycle,
+            &mut report.tb_placements,
+            &mut snaps,
+        );
 
-        let mut next_tb = 0usize;
-        let mut cycle = start_cycle;
-        let mut ready: Vec<usize> = Vec::new();
-        let mut resolved: Vec<(Ppn, u64)> = Vec::new();
-        loop {
-            debug_assert!(
-                lanes.iter().all(Option::is_some),
-                "every lane is home at the cycle boundary"
-            );
-            // Dispatch pending TBs while any SM has a free slot.
-            while next_tb < kernel.tbs.len() {
-                let snaps: Vec<SmSnapshot> = lanes
-                    .iter()
-                    .flatten()
-                    .map(|lane| {
-                        let stats = lane.front.tlb().stats();
-                        SmSnapshot {
-                            free_slots: lane.sm.free_slots.len() as u8,
-                            tlb_hits: stats.hits,
-                            tlb_accesses: stats.accesses(),
-                        }
-                    })
-                    .collect();
-                if !snaps.iter().any(SmSnapshot::has_room) {
+        // Next cycle at which any SM can make progress.
+        let Some(event) = lanes
+            .iter()
+            .flatten()
+            .map(|l| l.sm.next_event())
+            .min()
+            .filter(|&e| e < u64::MAX)
+        else {
+            debug_assert!(next_tb >= kernel.tbs.len(), "idle GPU with pending TBs");
+            kernel_over = true;
+            break;
+        };
+        cycle = cycle.max(event);
+
+        ready.clear();
+        ready.extend(lanes.iter().enumerate().filter_map(|(i, slot)| {
+            slot.as_ref()
+                .filter(|l| l.sm.next_event() <= cycle)
+                .map(|_| i)
+        }));
+
+        // Phase A: step every ready SM against private state only.
+        let spec = ChainSpec {
+            epoch_end: cycle + 1,
+            stop_on_retire: false,
+            park: false,
+        };
+        if workers == 0 || ready.len() <= 1 {
+            for &i in &ready {
+                if let Some(lane) = lanes[i].as_mut() {
+                    run_chain(&ctx, &spec, lane);
+                }
+            }
+        } else {
+            let pool = pool.as_mut().expect("workers > 0 implies a pool"); // simlint: allow(hot-unwrap, reason = "workers is derived from the pool's own size")
+            let per = ready.len().div_ceil(executors);
+            let mut sent = 0usize;
+            for w in 0..workers {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(ready.len());
+                if lo >= hi {
                     break;
                 }
-                let Some(target) = tb_scheduler.pick_sm(&snaps) else {
-                    break;
-                };
-                assert!(
-                    snaps[target].has_room(),
-                    "scheduler picked a full SM ({target})"
+                let mut moved = pool.buffer();
+                moved.extend(ready[lo..hi].iter().map(|&i| {
+                    let Some(lane) = lanes[i].take() else {
+                        unreachable!("ready lane present before phase A")
+                    };
+                    (i, lane)
+                }));
+                pool.send(
+                    w,
+                    Job::Run {
+                        ctx: Arc::clone(&ctx),
+                        spec,
+                        lanes: moved,
+                        resume: false,
+                    },
                 );
-                let Some(lane) = lanes[target].as_mut() else {
-                    unreachable!("lanes are home during dispatch")
-                };
-                lane.sm.place_tb(kernel, next_tb as u32, cycle);
-                report.tb_placements[target] += 1;
-                next_tb += 1;
+                sent += 1;
             }
+            // Coordinator takes the tail chunk, overlapping with the
+            // workers before blocking on their results.
+            for &i in &ready[(sent * per).min(ready.len())..] {
+                if let Some(lane) = lanes[i].as_mut() {
+                    run_chain(&ctx, &spec, lane);
+                }
+            }
+            let mut panicked: Option<String> = None;
+            for _ in 0..sent {
+                let done = pool.recv();
+                for (i, lane) in done.lanes {
+                    lanes[i] = Some(lane);
+                }
+                if panicked.is_none() {
+                    panicked = done.panicked;
+                }
+            }
+            if let Some(msg) = panicked {
+                panic!("{msg}");
+            }
+        }
 
-            // Next cycle at which any SM can make progress.
-            let Some(event) = lanes
-                .iter()
-                .flatten()
-                .map(|l| l.sm.next_event())
+        // Phase B: drain outboxes in SM-index order — every shared
+        // structure sees the serial operation order exactly (large
+        // rounds reproduce it slice-parallel via the sharded drain).
+        drain_phase_b(
+            &mut lanes,
+            &mut |_| true,
+            shared,
+            cycle,
+            &mut resolved,
+            &mut shard_scratch,
+            &exec,
+            config.shard_threshold,
+        );
+
+        if let Some(san) = sanitizer.as_mut() {
+            let tlbs: Vec<&dyn TranslationBuffer> =
+                lanes.iter().flatten().map(|l| l.front.tlb()).collect();
+            san.after_cycle(cycle, &tlbs, &**tb_scheduler, n_sms);
+        }
+    }
+
+    // --- Epoch rounds ------------------------------------------------
+    if !kernel_over {
+        let pool = pool.expect("epoch mode requires workers"); // simlint: allow(hot-unwrap, reason = "loop above only breaks into epoch mode when workers > 0")
+        loop {
+            // Epoch boundary: nothing in flight, every lane settled.
+            // One dispatch attempt — between frontiers the serial
+            // engine's attempts are provably no-ops (occupancy-only
+            // scheduler, all SMs saturated), so this single attempt
+            // covers the kernel-start fill and the post-frontier state.
+            dispatch_tbs(
+                &mut lanes,
+                &track,
+                tb_scheduler,
+                kernel,
+                &mut next_tb,
+                cycle,
+                &mut report.tb_placements,
+                &mut snaps,
+            );
+            let Some(start) = (0..n_sms)
+                .map(|i| match &lanes[i] {
+                    Some(lane) => lane.sm.next_event(),
+                    None => track[i].next_event,
+                })
                 .min()
                 .filter(|&e| e < u64::MAX)
             else {
                 debug_assert!(next_tb >= kernel.tbs.len(), "idle GPU with pending TBs");
                 break;
             };
-            cycle = cycle.max(event);
+            cycle = cycle.max(start);
+            let spec = ChainSpec {
+                epoch_end: cycle.saturating_add(EPOCH_CYCLES),
+                stop_on_retire: next_tb < kernel.tbs.len(),
+                park: true,
+            };
 
-            ready.clear();
-            ready.extend(lanes.iter().enumerate().filter_map(|(i, slot)| {
-                slot.as_ref()
-                    .filter(|l| l.sm.next_event() <= cycle)
-                    .map(|_| i)
-            }));
-
-            // Phase A: step every ready SM against private state only.
-            if batch_txs.is_empty() || ready.len() <= 1 {
-                for &i in &ready {
-                    if let Some(lane) = lanes[i].as_mut() {
-                        phase_a(config, cycle, kernel_idx, page_size, trace_on, lane);
-                    }
-                }
-            } else {
-                let chunks = batch_txs.len() + 1;
-                let per = ready.len().div_ceil(chunks);
-                let mut sent = 0usize;
-                for (k, tx) in batch_txs.iter().enumerate() {
-                    let lo = k * per;
-                    let hi = ((k + 1) * per).min(ready.len());
-                    if lo >= hi {
-                        break;
-                    }
-                    let moved: Vec<(usize, Box<Lane>)> = ready[lo..hi]
-                        .iter()
-                        .map(|&i| {
+            // Launch: wake runnable parked lanes, ship runnable home
+            // lanes to their owners, run the coordinator's share inline.
+            let mut outstanding = 0usize;
+            for w in 0..workers {
+                let mut moved = pool.buffer();
+                let mut parked_runnable = false;
+                for i in (0..n_sms).filter(|i| i % executors == w) {
+                    if track[i].away {
+                        parked_runnable |= track[i].next_event < spec.epoch_end;
+                    } else if let Some(lane) = &lanes[i] {
+                        if lane.sm.next_event() < spec.epoch_end {
                             let Some(lane) = lanes[i].take() else {
-                                unreachable!("ready lane present before phase A")
+                                unreachable!("checked above")
                             };
-                            (i, lane)
-                        })
-                        .collect();
-                    tx.send(Batch {
-                        cycle,
-                        lanes: moved,
-                    })
-                    .expect("worker outlives the kernel loop"); // simlint: allow(hot-unwrap, reason = "worker threads only exit when their channel closes at kernel end")
-                    sent += 1;
-                }
-                // Coordinator takes the tail chunk, overlapping with the
-                // workers before blocking on their results.
-                for &i in &ready[(sent * per).min(ready.len())..] {
-                    if let Some(lane) = lanes[i].as_mut() {
-                        phase_a(config, cycle, kernel_idx, page_size, trace_on, lane);
+                            track[i].away = true;
+                            moved.push((i, lane));
+                        }
                     }
                 }
+                if moved.is_empty() && !parked_runnable {
+                    pool.recycle(moved);
+                    continue;
+                }
+                pool.send(
+                    w,
+                    Job::Run {
+                        ctx: Arc::clone(&ctx),
+                        spec,
+                        lanes: moved,
+                        resume: true,
+                    },
+                );
+                outstanding += 1;
+            }
+            for i in (0..n_sms).filter(|i| i % executors == workers) {
+                let Some(lane) = lanes[i].as_mut() else { continue };
+                if lane.sm.next_event() >= spec.epoch_end {
+                    continue;
+                }
+                let outcome = run_chain(&ctx, &spec, lane);
+                last_step_max = last_step_max.max(outcome.last_step);
+                track[i].pending = (outcome.needs_phase_b || outcome.retired_tb).then_some(
+                    PendingStop {
+                        cycle: outcome.last_step,
+                        needs_phase_b: outcome.needs_phase_b,
+                        retired_tb: outcome.retired_tb,
+                    },
+                );
+            }
+
+            // Frontier rounds: drain stops in global cycle order.
+            loop {
                 let mut panicked: Option<String> = None;
-                for _ in 0..sent {
-                    let done = done_rx
-                        .recv()
-                        .expect("every dispatched batch is sent back"); // simlint: allow(hot-unwrap, reason = "workers return lanes even on panic via catch_unwind")
+                while outstanding > 0 {
+                    let done = pool.recv();
+                    outstanding -= 1;
                     for (i, lane) in done.lanes {
                         lanes[i] = Some(lane);
+                        track[i].away = false;
+                    }
+                    for r in &done.reports {
+                        absorb_report(r, &mut track, &mut last_step_max);
                     }
                     if panicked.is_none() {
                         panicked = done.panicked;
@@ -555,45 +818,154 @@ fn run_kernel(
                 if let Some(msg) = panicked {
                     panic!("{msg}");
                 }
-            }
 
-            // Phase B: drain trace + outboxes in SM-index order — every
-            // shared structure sees the serial operation order exactly.
-            for slot in lanes.iter_mut() {
-                let Some(lane) = slot.as_mut() else { continue };
-                if let Some(trace) = shared.trace.as_mut() {
-                    trace.append(&mut lane.trace);
+                let Some(frontier) = track
+                    .iter()
+                    .filter_map(|t| t.pending.map(|p| p.cycle))
+                    .min()
+                else {
+                    break; // epoch exhausted: everyone parked or settled
+                };
+                cycle = cycle.max(frontier);
+                drain_phase_b(
+                    &mut lanes,
+                    &mut |i| {
+                        track[i]
+                            .pending
+                            .is_some_and(|p| p.cycle == frontier && p.needs_phase_b)
+                    },
+                    shared,
+                    frontier,
+                    &mut resolved,
+                    &mut shard_scratch,
+                    &exec,
+                    config.shard_threshold,
+                );
+                let mut any_retired = false;
+                for t in track.iter_mut() {
+                    let Some(p) = t.pending else { continue };
+                    if p.cycle != frontier {
+                        continue;
+                    }
+                    any_retired |= p.retired_tb;
+                    t.pending = None;
                 }
-                phase_b(lane, shared, cycle, &mut resolved);
-            }
-
-            if let Some(san) = sanitizer.as_mut() {
-                let tlbs: Vec<&dyn TranslationBuffer> =
-                    lanes.iter().flatten().map(|l| l.front.tlb()).collect();
-                san.after_cycle(cycle, &tlbs, &**tb_scheduler, n_sms);
-            }
-        }
-        if let Some(san) = sanitizer.as_mut() {
-            let tlbs: Vec<&dyn TranslationBuffer> =
-                lanes.iter().flatten().map(|l| l.front.tlb()).collect();
-            san.end_of_kernel(cycle, &tlbs, shared.back.l2_slices());
-            for lane in lanes.iter().flatten() {
-                if let Err(e) = lane.front.check_accounting() {
-                    Sanitizer::accounting_failure(
-                        &format!("sm {} mem-hier front", lane.sm_idx),
-                        cycle,
-                        e,
+                if any_retired && next_tb < kernel.tbs.len() {
+                    dispatch_tbs(
+                        &mut lanes,
+                        &track,
+                        tb_scheduler,
+                        kernel,
+                        &mut next_tb,
+                        frontier,
+                        &mut report.tb_placements,
+                        &mut snaps,
                     );
                 }
-            }
-            if let Err(e) = shared.back.check_accounting() {
-                Sanitizer::accounting_failure("mem-hier shared back", cycle, e);
+
+                // Relaunch every settled home lane with events left in
+                // this epoch (just-drained lanes, plus any lane the
+                // dispatch above woke).
+                for w in 0..workers {
+                    let mut moved = pool.buffer();
+                    for i in (0..n_sms).filter(|i| i % executors == w) {
+                        if track[i].away || track[i].pending.is_some() {
+                            continue;
+                        }
+                        let Some(lane) = &lanes[i] else { continue };
+                        if lane.sm.next_event() < spec.epoch_end {
+                            let Some(lane) = lanes[i].take() else {
+                                unreachable!("checked above")
+                            };
+                            track[i].away = true;
+                            moved.push((i, lane));
+                        }
+                    }
+                    if moved.is_empty() {
+                        pool.recycle(moved);
+                        continue;
+                    }
+                    pool.send(
+                        w,
+                        Job::Run {
+                            ctx: Arc::clone(&ctx),
+                            spec,
+                            lanes: moved,
+                            resume: false,
+                        },
+                    );
+                    outstanding += 1;
+                }
+                for i in (0..n_sms).filter(|i| i % executors == workers) {
+                    if track[i].pending.is_some() {
+                        continue;
+                    }
+                    let Some(lane) = lanes[i].as_mut() else { continue };
+                    if lane.sm.next_event() >= spec.epoch_end {
+                        continue;
+                    }
+                    let outcome = run_chain(&ctx, &spec, lane);
+                    last_step_max = last_step_max.max(outcome.last_step);
+                    track[i].pending = (outcome.needs_phase_b || outcome.retired_tb)
+                        .then_some(PendingStop {
+                            cycle: outcome.last_step,
+                            needs_phase_b: outcome.needs_phase_b,
+                            retired_tb: outcome.retired_tb,
+                        });
+                }
             }
         }
-        cycle
-        // Dropping `batch_txs` here closes the job channels; the workers
-        // drain and exit, and the scope joins them.
-    });
+
+        // Recall parked lanes so kernel-end checks and stat merges see
+        // every lane.
+        let mut recalls = 0usize;
+        for w in 0..workers {
+            if (0..n_sms).any(|i| i % executors == w && track[i].away) {
+                pool.send(w, Job::Recall);
+                recalls += 1;
+            }
+        }
+        for _ in 0..recalls {
+            let done = pool.recv();
+            for (i, lane) in done.lanes {
+                lanes[i] = Some(lane);
+                track[i].away = false;
+            }
+        }
+    }
+    cycle = cycle.max(last_step_max);
+
+    if let Some(san) = sanitizer.as_mut() {
+        let tlbs: Vec<&dyn TranslationBuffer> =
+            lanes.iter().flatten().map(|l| l.front.tlb()).collect();
+        san.end_of_kernel(cycle, &tlbs, shared.back.l2_slices());
+        for lane in lanes.iter().flatten() {
+            if let Err(e) = lane.front.check_accounting() {
+                Sanitizer::accounting_failure(
+                    &format!("sm {} mem-hier front", lane.sm_idx),
+                    cycle,
+                    e,
+                );
+            }
+        }
+        if let Err(e) = shared.back.check_accounting() {
+            Sanitizer::accounting_failure("mem-hier shared back", cycle, e);
+        }
+    }
+
+    // Merge lane-local traces: concatenate in SM-index order, then a
+    // stable sort on cycle reproduces the serial (cycle, SM, push-seq)
+    // global order.
+    if let Some(trace) = shared.trace.as_mut() {
+        let mut tagged: Vec<(u64, TranslationEvent)> = Vec::new();
+        for slot in &mut lanes {
+            if let Some(lane) = slot.as_mut() {
+                tagged.append(&mut lane.trace);
+            }
+        }
+        tagged.sort_by_key(|(c, _)| *c);
+        trace.extend(tagged.into_iter().map(|(_, e)| e));
+    }
 
     for slot in &mut lanes {
         let Some(lane) = slot.take() else {
@@ -604,8 +976,28 @@ fn run_kernel(
         report.sm_instructions[lane.sm_idx] += lane.instructions;
         fronts.push(lane.front);
     }
-    end_cycle
+    cycle
 }
+
+/// Folds one chain stop report into the coordinator's tracking.
+fn absorb_report(r: &StopReport, track: &mut [LaneTrack], last_step_max: &mut u64) {
+    *last_step_max = (*last_step_max).max(r.last_step);
+    let t = &mut track[r.lane];
+    t.next_event = r.next_event;
+    if r.parked {
+        t.away = true;
+        t.pending = None;
+    } else if r.needs_phase_b || r.retired_tb {
+        t.pending = Some(PendingStop {
+            cycle: r.last_step,
+            needs_phase_b: r.needs_phase_b,
+            retired_tb: r.retired_tb,
+        });
+    } else {
+        t.pending = None;
+    }
+}
+
 
 /// Phase A for one SM: retire finished warps/TBs, then issue up to
 /// `issue_width` warp instructions at `cycle`, touching only the lane's
@@ -689,13 +1081,16 @@ fn phase_a(
                             let at = cycle + lookups;
                             lookups += 1;
                             if trace_on {
-                                lane.trace.push(TranslationEvent {
-                                    sm: sm_idx as u8,
-                                    tb_global: warp.tb_global,
-                                    warp: warp.warp_in_tb,
-                                    kernel: kernel_idx,
-                                    vpn: vpn.raw(),
-                                });
+                                lane.trace.push((
+                                    cycle,
+                                    TranslationEvent {
+                                        sm: sm_idx as u8,
+                                        tb_global: warp.tb_global,
+                                        warp: warp.warp_in_tb,
+                                        kernel: kernel_idx,
+                                        vpn: vpn.raw(),
+                                    },
+                                ));
                             }
                             let acc = Access {
                                 at,
@@ -819,6 +1214,115 @@ fn phase_b(lane: &mut Lane, shared: &mut SharedState, cycle: u64, resolved: &mut
     }
 }
 
+/// Reusable per-lane request/response buffers for the sharded drain
+/// (allocated once per kernel, recycled across rounds).
+type ShardScratch = Vec<(Vec<SharedRequest>, Vec<SharedResponse>)>;
+
+/// Phase B for every participating lane: the serial per-SM apply loop
+/// in SM-index order, or — when the round is large enough, the run is
+/// multi-threaded, the sanitizer is off and every participating L1 TLB
+/// supports deferred fills — the sharded slice-parallel drain
+/// ([`drain_sharded`]), which reproduces the serial order byte-exactly.
+///
+/// `take(i)` selects participants (idempotent; called more than once
+/// per lane). A selected lane must be home.
+#[allow(clippy::too_many_arguments)]
+fn drain_phase_b(
+    lanes: &mut [Option<Box<Lane>>],
+    take: &mut dyn FnMut(usize) -> bool,
+    shared: &mut SharedState,
+    cycle: u64,
+    resolved: &mut Vec<(Ppn, u64)>,
+    scratch: &mut ShardScratch,
+    exec: &ScopedExec,
+    threshold: usize,
+) {
+    let mut total = 0usize;
+    let mut deferrable = true;
+    for (i, slot) in lanes.iter().enumerate() {
+        if !take(i) {
+            continue;
+        }
+        let Some(lane) = slot.as_ref() else {
+            unreachable!("phase-B participant lanes are home")
+        };
+        if !lane.outbox.is_empty() {
+            total += lane.outbox.entries.len();
+            deferrable &= lane.front.tlb().supports_deferred_fill();
+        }
+    }
+    let sharded = exec.threads > 1
+        && threshold > 0
+        && total >= threshold
+        && deferrable
+        && !shared.sanitize;
+    if !sharded {
+        for (i, slot) in lanes.iter_mut().enumerate() {
+            if !take(i) {
+                continue;
+            }
+            let Some(lane) = slot.as_mut() else {
+                unreachable!("phase-B participant lanes are home")
+            };
+            phase_b(lane, shared, cycle, resolved);
+        }
+        return;
+    }
+
+    // Copy each participant's requests into the reusable shard buffers
+    // so the drain lanes can borrow the fronts mutably alongside them.
+    while scratch.len() < lanes.len() {
+        scratch.push(Default::default());
+    }
+    let mut drain_lanes: Vec<DrainLane<'_>> = Vec::with_capacity(lanes.len());
+    for (i, (slot, (reqs, resps))) in lanes.iter_mut().zip(scratch.iter_mut()).enumerate() {
+        if !take(i) {
+            continue;
+        }
+        let Some(lane) = slot.as_mut() else {
+            unreachable!("phase-B participant lanes are home")
+        };
+        if lane.outbox.is_empty() {
+            debug_assert!(lane.outbox.recompute.is_none());
+            continue;
+        }
+        reqs.clear();
+        reqs.extend(lane.outbox.entries.iter().map(|e| e.req));
+        resps.clear();
+        drain_lanes.push(DrainLane {
+            sm: lane.sm_idx,
+            front: &mut lane.front,
+            reqs: &reqs[..],
+            resps,
+        });
+    }
+    drain_sharded(&mut shared.back, &mut drain_lanes, exec);
+    drop(drain_lanes);
+
+    // Patch warp completion times and settle `next_event`, exactly as
+    // the tail of the serial [`phase_b`] does.
+    for (i, (slot, (_, resps))) in lanes.iter_mut().zip(scratch.iter_mut()).enumerate() {
+        if !take(i) {
+            continue;
+        }
+        let Some(lane) = slot.as_mut() else { continue };
+        if lane.outbox.is_empty() {
+            continue;
+        }
+        debug_assert_eq!(lane.outbox.entries.len(), resps.len());
+        for (entry, resp) in lane.outbox.entries.drain(..).zip(resps.iter()) {
+            if let Some(w) = entry.warp {
+                let warp = &mut lane.sm.warps[w];
+                warp.ready_at = warp.ready_at.max(resp.ready_at);
+            }
+        }
+        lane.outbox.n_translates = 0;
+        if let Some(issue_limited) = lane.outbox.recompute.take() {
+            lane.sm.recompute_next_event(cycle, issue_limited);
+        }
+    }
+}
+
 /// A phase-A reference to a translation: resolved eagerly (L1 TLB hit)
 /// or pending at an outbox index.
 #[derive(Copy, Clone)]
@@ -853,7 +1357,7 @@ struct WarpRt {
 }
 
 /// Runtime state of one SM.
-struct SmRt {
+pub(crate) struct SmRt {
     warps: Vec<WarpRt>,
     free_slots: Vec<u8>,
     slot_live_warps: Vec<u32>,
@@ -964,7 +1468,7 @@ impl SmRt {
         self.warps.retain(|w| !w.retired);
     }
 
-    fn next_event(&self) -> u64 {
+    pub(crate) fn next_event(&self) -> u64 {
         self.next_event
     }
 }

@@ -1,0 +1,279 @@
+//! The persistent phase-A worker pool.
+//!
+//! One pool lives on each [`crate::Simulator`] and is reused across
+//! kernels, grid cells and repeated `run` calls — worker threads are
+//! spawned once, not per kernel (PR 4 spawned a fresh `thread::scope`
+//! per kernel, which dominated wall-clock at test scale). Lanes move to
+//! workers by `Box` over long-lived mpsc channels; in epoch mode a lane
+//! that ran to the epoch horizon *parks* on its worker — only a small
+//! [`StopReport`] crosses back — so steady-state coordination ships no
+//! lane at all. All `Vec` buffers travel inside the job/done messages
+//! and are recycled on both sides, so the per-round path performs no
+//! heap allocation after warm-up.
+//!
+//! This module is the only place in the engine allowed to spawn threads
+//! (enforced by simlint's `engine-spawn` rule): everything else talks to
+//! the pool through [`WorkerPool::send`]/[`WorkerPool::recv`].
+
+use crate::engine::{run_chain, ChainSpec, Lane, RoundCtx};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Why a lane's phase-A chain stopped (see [`run_chain`]).
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct StopReport {
+    /// Lane (= SM) index.
+    pub lane: usize,
+    /// Cycle of the last `phase_a` step the chain executed (0 if none).
+    pub last_step: u64,
+    /// The lane's settled `next_event` when the chain returned
+    /// (`u64::MAX` when idle).
+    pub next_event: u64,
+    /// The chain stopped mid-epoch at `last_step` with a non-empty
+    /// outbox: phase B must drain it at that cycle.
+    pub needs_phase_b: bool,
+    /// The chain's last step freed at least one TB slot (only reported
+    /// when the spec asked to stop on retires).
+    pub retired_tb: bool,
+    /// The lane stayed on the worker (epoch horizon or idle); only the
+    /// report came home.
+    pub parked: bool,
+}
+
+/// A unit of phase-A work for one worker.
+pub(crate) enum Job {
+    /// Run chains for the shipped lanes (and, when `resume` is set, for
+    /// every parked lane whose `next_event` is inside the epoch).
+    Run {
+        ctx: Arc<RoundCtx>,
+        spec: ChainSpec,
+        lanes: Vec<(usize, Box<Lane>)>,
+        resume: bool,
+    },
+    /// Ship every parked lane home (kernel end).
+    Recall,
+}
+
+/// A worker's reply to one [`Job`].
+pub(crate) struct Done {
+    /// Lanes coming home (stopped for phase B / dispatch, or recalled).
+    pub lanes: Vec<(usize, Box<Lane>)>,
+    /// One report per chain run by this job (parked lanes included).
+    pub reports: Vec<StopReport>,
+    /// Panic payload caught inside the worker, re-raised by the
+    /// coordinator so a sanitizer abort doesn't deadlock the run.
+    pub panicked: Option<String>,
+}
+
+fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("phase-A worker panicked")
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, done_tx: Sender<Done>) {
+    // Lanes parked on this worker between epoch rounds, and recycled
+    // message buffers (reused across rounds; both stay small).
+    let mut parked: Vec<(usize, Box<Lane>)> = Vec::new();
+    let mut spare: Vec<Vec<(usize, Box<Lane>)>> = Vec::new();
+    while let Ok(job) = rx.recv() {
+        let done = match job {
+            Job::Run {
+                ctx,
+                spec,
+                mut lanes,
+                resume,
+            } => {
+                let mut home = spare.pop().unwrap_or_default();
+                let mut reports = Vec::with_capacity(lanes.len() + parked.len());
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for (idx, lane) in lanes.drain(..) {
+                        route(&ctx, &spec, idx, lane, &mut reports, &mut home, &mut parked);
+                    }
+                    if resume {
+                        // Wake parked lanes that have events inside the
+                        // new epoch window; leave the rest parked.
+                        let mut i = 0;
+                        while i < parked.len() {
+                            if parked[i].1.sm.next_event() < spec.epoch_end {
+                                let (idx, lane) = parked.swap_remove(i);
+                                route(&ctx, &spec, idx, lane, &mut reports, &mut home, &mut parked);
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
+                }));
+                let panicked = caught.err().map(panic_text);
+                if panicked.is_some() {
+                    // States are broken anyway; ship everything so no
+                    // lane is lost while the coordinator re-raises.
+                    home.append(&mut parked);
+                }
+                spare.push(lanes);
+                Done {
+                    lanes: home,
+                    reports,
+                    panicked,
+                }
+            }
+            Job::Recall => Done {
+                lanes: std::mem::take(&mut parked),
+                reports: Vec::new(),
+                panicked: None,
+            },
+        };
+        if done_tx.send(done).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs one lane's chain and files it home or parked per the outcome.
+fn route(
+    ctx: &RoundCtx,
+    spec: &ChainSpec,
+    idx: usize,
+    mut lane: Box<Lane>,
+    reports: &mut Vec<StopReport>,
+    home: &mut Vec<(usize, Box<Lane>)>,
+    parked: &mut Vec<(usize, Box<Lane>)>,
+) {
+    let outcome = run_chain(ctx, spec, &mut lane);
+    let can_park = spec.park && !outcome.needs_phase_b && !outcome.retired_tb;
+    reports.push(StopReport {
+        lane: idx,
+        last_step: outcome.last_step,
+        next_event: lane.sm.next_event(),
+        needs_phase_b: outcome.needs_phase_b,
+        retired_tb: outcome.retired_tb,
+        parked: can_park,
+    });
+    if can_park {
+        parked.push((idx, lane));
+    } else {
+        home.push((idx, lane));
+    }
+}
+
+/// A persistent set of phase-A workers (created once per simulator).
+pub(crate) struct WorkerPool {
+    job_txs: Vec<Sender<Job>>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+    /// Recycled outgoing lane buffers.
+    spare: Vec<Vec<(usize, Box<Lane>)>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (callers pass `threads - 1`: the
+    /// coordinator itself executes the remaining share inline).
+    pub fn new(workers: usize) -> Self {
+        let (done_tx, done_rx) = channel::<Done>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let done_tx = done_tx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(rx, done_tx)));
+            job_txs.push(tx);
+        }
+        WorkerPool {
+            job_txs,
+            done_rx,
+            handles,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// A recycled lane buffer for building the next job.
+    pub fn buffer(&mut self) -> Vec<(usize, Box<Lane>)> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Sends a job to worker `w`.
+    pub fn send(&self, w: usize, job: Job) {
+        self.job_txs[w]
+            .send(job)
+            .expect("pool worker outlives the simulator"); // simlint: allow(hot-unwrap, reason = "workers only exit when the pool drops their channel")
+    }
+
+    /// Receives one completed job.
+    pub fn recv(&mut self) -> Done {
+        self.done_rx
+            .recv()
+            .expect("every dispatched job is answered") // simlint: allow(hot-unwrap, reason = "workers reply even on panic via catch_unwind")
+    }
+
+    /// Returns a drained lane buffer to the recycle pile.
+    pub fn recycle(&mut self, mut buf: Vec<(usize, Box<Lane>)>) {
+        buf.clear();
+        self.spare.push(buf);
+    }
+}
+
+/// Runs sharded phase-B drain tasks on scoped threads — the only other
+/// parallelism in the engine besides the persistent lane workers (and,
+/// like them, confined to this module by simlint's `engine-spawn`
+/// rule). Drain tasks borrow the kernel's live state, so they cannot
+/// ride the pool's long-lived channels; a scope per drain is cheap
+/// because the engine only shards large batches.
+pub(crate) struct ScopedExec {
+    /// Total executors (coordinator included) to spread tasks over.
+    pub threads: usize,
+}
+
+impl mem_hier::DrainExec for ScopedExec {
+    fn run<'a>(&self, mut tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        let n = self.threads.min(tasks.len());
+        if n <= 1 {
+            for t in tasks.drain(..) {
+                t();
+            }
+            return;
+        }
+        let mut chunks: Vec<Vec<Box<dyn FnOnce() + Send + 'a>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (i, t) in tasks.drain(..).enumerate() {
+            chunks[i % n].push(t);
+        }
+        std::thread::scope(|s| {
+            let mut it = chunks.into_iter();
+            let own = it.next();
+            for c in it {
+                s.spawn(move || {
+                    for t in c {
+                        t();
+                    }
+                });
+            }
+            // The coordinator executes its own share instead of idling.
+            if let Some(c) = own {
+                for t in c {
+                    t();
+                }
+            }
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops; join so no
+        // detached thread outlives the simulator.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

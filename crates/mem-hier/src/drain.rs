@@ -1,0 +1,770 @@
+//! Sharded phase-B drain: slice-parallel L2 TLB processing with a
+//! deterministic merge.
+//!
+//! The serial drain applies every [`SharedRequest`] in global
+//! `(sm, seq)` order against the whole [`SharedBack`]. That order is
+//! stronger than the hardware needs: the L2 TLB is VPN-interleaved over
+//! slices, each slice fronted by its own port bank, so two requests on
+//! different slices never touch the same shared state — only the walker
+//! pool (whose arbitration and PPN-allocating page table are global) and
+//! the L2 data cache are truly order-sensitive across slices. This
+//! module exploits that to drain a large batch in five passes:
+//!
+//! 1. **Front translate** (parallel over SMs): walk each outbox in push
+//!    order, probing L1 for replays and pre-inserting the L1 fill every
+//!    L2-bound translate will perform — with a provisional *sentinel*
+//!    frame, since placement is payload-independent
+//!    ([`tlb::TranslationBuffer::supports_deferred_fill`]). A replay
+//!    that hits a sentinel resolves to the earlier translate's frame.
+//! 2. **Per-slice L2** (parallel over slices): requests reach their
+//!    slice in `(sm, seq)` order — exactly the serial subsequence — win
+//!    a port, probe, and on a miss pre-insert the slice fill with a
+//!    sentinel naming the pending walk. Stats and attribution accumulate
+//!    in shard-local counters merged by order-independent sums.
+//! 3. **Walks** (serial): L2 misses from all slices merge back into
+//!    global `(sm, seq)` order — byte-identical walker arbitration and
+//!    demand-paging order — then each resolved frame is patched over its
+//!    slice sentinel ([`tlb::TranslationBuffer::patch_ppn`]).
+//! 4. **Resolve + front data** (parallel over SMs): patch L1 sentinels
+//!    with final frames, then replay deferred data accesses against the
+//!    private L1 data cache in push order.
+//! 5. **L2 data** (serial): the shared L2/DRAM legs in global
+//!    `(sm, seq)` order.
+//!
+//! Every structure sees exactly the operation sequence the serial drain
+//! would issue (same order, and — via sentinels — the same final
+//! payloads), so reports are byte-identical; the proptests in the bench
+//! crate and the engine's thread-equivalence goldens enforce it.
+
+use crate::breakdown::{LatencyBreakdown, TranslationBreakdown};
+use crate::split::{PerSmFront, SharedBack, SharedRequest, SharedResponse, TranslationRef};
+use crate::stage::{Access, Outcome, Stage, StageStats};
+use crate::stages::L2TlbStage;
+use tlb::{TlbRequest, TranslationBuffer};
+use vmem::{PhysAddr, Ppn};
+
+/// Executes a batch of independent tasks, possibly in parallel.
+///
+/// The drain's parallel passes produce tasks over disjoint mutable
+/// state, so any execution order (or interleaving) yields the same
+/// result; implementations only trade wall-clock. The engine's worker
+/// pool provides a scoped-thread executor; [`SerialExec`] runs inline
+/// (used by tests and the differential harness).
+pub trait DrainExec {
+    /// Runs every task to completion before returning.
+    fn run<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>);
+}
+
+/// Runs tasks inline on the calling thread.
+pub struct SerialExec;
+
+impl DrainExec for SerialExec {
+    fn run<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        for t in tasks {
+            t();
+        }
+    }
+}
+
+/// One SM's slice of a drain batch: its private front, its deferred
+/// requests in push order, and the response slot the engine reads back.
+pub struct DrainLane<'a> {
+    /// SM index (lanes must be passed in ascending SM order).
+    pub sm: usize,
+    /// The SM's private front (L1 TLB + L1 data cache).
+    pub front: &'a mut PerSmFront,
+    /// Deferred requests, in outbox push order.
+    pub reqs: &'a [SharedRequest],
+    /// Filled with one response per request, in the same order.
+    pub resps: &'a mut Vec<SharedResponse>,
+}
+
+/// Provisional frames are carved from the top of the PPN space, far
+/// above anything an [`vmem::AddressSpace`] allocates: bit 62 marks an
+/// L1 sentinel (low bits = the outbox-local translate index), bit 63 a
+/// slice sentinel (slice index << 40 | slice-local walk index).
+const L1_SENTINEL: u64 = 1 << 62;
+const SLICE_SENTINEL: u64 = 1 << 63;
+const SLICE_SHIFT: u32 = 40;
+
+fn l1_sentinel(t_idx: u32) -> Ppn {
+    Ppn::new(L1_SENTINEL | u64::from(t_idx))
+}
+
+fn slice_sentinel(slice: usize, local: usize) -> Ppn {
+    debug_assert!(local < (1 << SLICE_SHIFT) && (slice as u64) < (1 << 22));
+    Ppn::new(SLICE_SENTINEL | ((slice as u64) << SLICE_SHIFT) | local as u64)
+}
+
+fn treq(acc: &Access) -> TlbRequest {
+    TlbRequest::with_page_size(acc.vpn, acc.tb_slot, acc.page_size)
+}
+
+/// How one translate request's frame and ready cycle get determined.
+#[derive(Copy, Clone)]
+enum Resolve {
+    /// Known outright (L1 hit, or a walk once pass 3 ran).
+    Done(Ppn, u64),
+    /// Frame of an earlier translate in the same outbox (the replay hit
+    /// that translate's provisional L1 entry); own probe ready cycle.
+    Local(u32, u64),
+    /// Frame of walk `local` on `slice` (the lookup hit a slice
+    /// sentinel); own L2-hit ready cycle.
+    SliceWalk { slice: u32, local: u32, ready: u64 },
+    /// Placeholder until a later pass writes `Done`.
+    Pending,
+}
+
+/// An L2-bound translate heading to its slice.
+#[derive(Copy, Clone)]
+struct L2Req {
+    seq: u32,
+    t_idx: u32,
+    acc: Access,
+    /// Cycle the L1 miss verdict left the SM.
+    depart: u64,
+    l1_service: u64,
+}
+
+/// A pending walk, held slice-local until the serial walk pass.
+#[derive(Copy, Clone)]
+struct WalkItem {
+    lane: u32,
+    seq: u32,
+    t_idx: u32,
+    acc: Access,
+    /// Arrival at the walker pool (L2 miss verdict ready).
+    l2_ready: u64,
+    l1_service: u64,
+    l2_queue: u64,
+    l2_lookup: u64,
+    sent: Ppn,
+    /// Resolved frame, written by the walk pass.
+    ppn: Ppn,
+}
+
+/// Outcome of one slice-pass request, parallel to the slice queue.
+#[derive(Copy, Clone)]
+enum SliceOut {
+    /// Real L2 hit: frame and icnt-return ready cycle.
+    Hit(Ppn, u64),
+    /// Hit a slice sentinel: frame comes from that pending walk.
+    HitSent { local: u32, ready: u64 },
+    /// Miss: walk enqueued (resolved by the walk pass).
+    Walk,
+}
+
+#[derive(Default)]
+struct LaneScratch {
+    kinds: Vec<Resolve>,
+    /// `Some(acc)` per translate that pre-inserted an L1 sentinel (every
+    /// L2-bound one) and needs the final frame patched in.
+    fill: Vec<Option<Access>>,
+    l2q: Vec<L2Req>,
+    resolved: Vec<(Ppn, u64)>,
+    /// Deferred shared data legs: (seq, start, line, write).
+    data_q: Vec<(u32, u64, PhysAddr, bool)>,
+}
+
+struct SliceShard {
+    queue: Vec<(u32, L2Req)>,
+    outs: Vec<SliceOut>,
+    walks: Vec<WalkItem>,
+    icnt: StageStats,
+    l2: StageStats,
+    breakdown: LatencyBreakdown,
+}
+
+fn hop(at: u64, latency: u64) -> Outcome {
+    Outcome {
+        ppn: None,
+        ready_at: at + latency,
+        queue_cycles: 0,
+        service_cycles: latency,
+        fault_cycles: 0,
+    }
+}
+
+/// Drains a batch of outboxes through the five-pass sharded pipeline.
+///
+/// `lanes` must be in ascending SM order with every `resps` empty, and
+/// every lane's L1 TLB (and the L2 slices, which always do) must report
+/// [`tlb::TranslationBuffer::supports_deferred_fill`] — the engine
+/// checks this and falls back to the serial drain otherwise. Produces
+/// responses, stats, attribution and structure states byte-identical to
+/// applying every request via [`SharedBack::apply`] in `(sm, seq)`
+/// order.
+pub fn drain_sharded(back: &mut SharedBack, lanes: &mut [DrainLane<'_>], exec: &dyn DrainExec) {
+    let page_size = back.page_size();
+    let lat = back.icnt_latency;
+    let nslices = back.l2_tlb.slices.len();
+    let mut scratch: Vec<LaneScratch> = Vec::new();
+    scratch.resize_with(lanes.len(), LaneScratch::default);
+
+    // Pass 1: front translate, parallel over SMs.
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = lanes
+            .iter_mut()
+            .zip(scratch.iter_mut())
+            .map(|(dl, sc)| Box::new(move || pass_front_translate(dl, sc)) as Box<_>)
+            .collect();
+        exec.run(tasks);
+    }
+
+    // Partition L2-bound translates into per-slice queues; lane-major
+    // iteration keeps each queue in global (sm, seq) order.
+    let mut shards: Vec<SliceShard> = (0..nslices)
+        .map(|_| SliceShard {
+            queue: Vec::new(),
+            outs: Vec::new(),
+            walks: Vec::new(),
+            icnt: StageStats::default(),
+            l2: StageStats::default(),
+            breakdown: LatencyBreakdown::default(),
+        })
+        .collect();
+    for (li, sc) in scratch.iter_mut().enumerate() {
+        for r in sc.l2q.drain(..) {
+            let s = (r.acc.vpn.raw() % nslices as u64) as usize; // simlint: allow(lossy-cast, reason = "modulo by the usize slice count happens in u64 first; the result always fits")
+            shards[s].queue.push((li as u32, r));
+        }
+    }
+
+    let SharedBack {
+        icnt,
+        l2_tlb,
+        walker,
+        l2_data,
+        icnt_latency,
+        l2_hit_latency,
+        dram_latency,
+        breakdown,
+    } = back;
+    let L2TlbStage {
+        slices,
+        ports,
+        stats: l2_stage_stats,
+    } = l2_tlb;
+
+    // Pass 2: per-slice port arbitration + lookup, parallel over slices.
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slices
+            .iter_mut()
+            .zip(ports.iter_mut())
+            .zip(shards.iter_mut())
+            .enumerate()
+            .filter(|(_, ((_, _), shard))| !shard.queue.is_empty())
+            .map(|(s, ((slice, port), shard))| {
+                Box::new(move || pass_slice(s, slice, port, shard, lat)) as Box<_>
+            })
+            .collect();
+        exec.run(tasks);
+    }
+
+    // Record slice hit results; misses resolve in the walk pass.
+    for (s, shard) in shards.iter().enumerate() {
+        for (qi, (lane, r)) in shard.queue.iter().enumerate() {
+            let k = match shard.outs[qi] {
+                SliceOut::Hit(p, ready) => Resolve::Done(p, ready),
+                SliceOut::HitSent { local, ready } => Resolve::SliceWalk {
+                    slice: s as u32,
+                    local,
+                    ready,
+                },
+                SliceOut::Walk => continue,
+            };
+            scratch[*lane as usize].kinds[r.t_idx as usize] = k;
+        }
+    }
+
+    // Pass 3: walks, serial in global (sm, seq) order — the serial
+    // drain's exact walker-arbitration and demand-paging order.
+    let mut order: Vec<(u32, u32, u32, u32)> = Vec::new();
+    for (s, shard) in shards.iter().enumerate() {
+        for (l, w) in shard.walks.iter().enumerate() {
+            order.push((w.lane, w.seq, s as u32, l as u32));
+        }
+    }
+    order.sort_unstable();
+    for (lane, _seq, s, l) in order {
+        let w = shards[s as usize].walks[l as usize];
+        let walk = walker.access(&w.acc.arriving_at(w.l2_ready));
+        let ppn = walk.ppn.expect("completed walks always resolve a frame"); // simlint: allow(hot-unwrap, reason = "WalkerStage::access always returns Some per its panic contract")
+        debug_assert!(ppn.raw() < L1_SENTINEL, "real frames stay below the sentinel space");
+        shards[s as usize].walks[l as usize].ppn = ppn;
+        let patched = slices[s as usize].patch_ppn(&treq(&w.acc), w.sent, ppn);
+        let _ = patched; // evicted-before-patch is benign: the entry is gone
+        let back_hop = hop(walk.ready_at, lat);
+        icnt.stats.record(&back_hop);
+        let b = TranslationBreakdown {
+            l1_tlb: w.l1_service,
+            icnt: 2 * lat,
+            l2_tlb_queue: w.l2_queue,
+            l2_tlb_lookup: w.l2_lookup,
+            walk: walk.queue_cycles + walk.service_cycles,
+            fault: walk.fault_cycles,
+        };
+        breakdown.record(&b, back_hop.ready_at - w.acc.at);
+        scratch[lane as usize].kinds[w.t_idx as usize] = Resolve::Done(ppn, back_hop.ready_at);
+    }
+
+    // Merge shard-local accumulators (order-independent sums).
+    for shard in &shards {
+        icnt.stats = icnt.stats.merged(shard.icnt);
+        *l2_stage_stats = l2_stage_stats.merged(shard.l2);
+        *breakdown += shard.breakdown;
+    }
+
+    // Pass 4: resolve frames, patch L1 sentinels, replay private data
+    // probes — parallel over SMs (walk results are read-only now).
+    {
+        let shards = &shards;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = lanes
+            .iter_mut()
+            .zip(scratch.iter_mut())
+            .map(|(dl, sc)| {
+                Box::new(move || pass_resolve_and_data(dl, sc, shards, page_size)) as Box<_>
+            })
+            .collect();
+        exec.run(tasks);
+    }
+
+    // Pass 5: shared L2/DRAM data legs, serial in (sm, seq) order.
+    for (dl, sc) in lanes.iter_mut().zip(scratch.iter()) {
+        for &(seq, start, pa, write) in &sc.data_q {
+            let at_l2 = start + *icnt_latency;
+            let ready = if l2_data.access(pa.raw(), write) {
+                at_l2 + *l2_hit_latency + *icnt_latency
+            } else {
+                at_l2 + *l2_hit_latency + *dram_latency + *icnt_latency
+            };
+            dl.resps[seq as usize].ready_at = ready;
+        }
+    }
+}
+
+fn pass_front_translate(dl: &mut DrainLane<'_>, sc: &mut LaneScratch) {
+    for (seq, req) in dl.reqs.iter().enumerate() {
+        match *req {
+            SharedRequest::TranslateMiss {
+                acc,
+                l1_ready_at,
+                l1_service_cycles,
+            } => {
+                let t = sc.kinds.len() as u32;
+                sc.kinds.push(Resolve::Pending);
+                sc.fill.push(Some(acc));
+                dl.front.fill(&acc, l1_sentinel(t));
+                sc.l2q.push(L2Req {
+                    seq: seq as u32,
+                    t_idx: t,
+                    acc,
+                    depart: l1_ready_at,
+                    l1_service: l1_service_cycles,
+                });
+            }
+            SharedRequest::TranslateReplay { acc } => {
+                let t = sc.kinds.len() as u32;
+                let o = dl.front.probe_translate(&acc);
+                match o.ppn {
+                    Some(p) if p.raw() & L1_SENTINEL != 0 => {
+                        let local = (p.raw() & !L1_SENTINEL) as u32; // simlint: allow(lossy-cast, reason = "masked value is an outbox-local translate index, not an address")
+                        sc.kinds.push(Resolve::Local(local, o.ready_at));
+                        sc.fill.push(None);
+                    }
+                    Some(p) => {
+                        sc.kinds.push(Resolve::Done(p, o.ready_at));
+                        sc.fill.push(None);
+                    }
+                    None => {
+                        sc.kinds.push(Resolve::Pending);
+                        sc.fill.push(Some(acc));
+                        dl.front.fill(&acc, l1_sentinel(t));
+                        sc.l2q.push(L2Req {
+                            seq: seq as u32,
+                            t_idx: t,
+                            acc,
+                            depart: o.ready_at,
+                            l1_service: o.service_cycles,
+                        });
+                    }
+                }
+            }
+            SharedRequest::DataBack { .. } | SharedRequest::DataReplay { .. } => {}
+        }
+    }
+}
+
+fn pass_slice(
+    s: usize,
+    slice: &mut tlb::SetAssocTlb,
+    port: &mut crate::ports::Ports,
+    shard: &mut SliceShard,
+    lat: u64,
+) {
+
+    for qi in 0..shard.queue.len() {
+        let (lane, r) = shard.queue[qi];
+        let fwd = hop(r.depart, lat);
+        shard.icnt.record(&fwd);
+        let grant = port.acquire(fwd.ready_at);
+        let look = slice.lookup(&treq(&r.acc));
+        let out = Outcome {
+            ppn: if look.hit { look.ppn } else { None },
+            ready_at: grant + look.latency,
+            queue_cycles: grant - fwd.ready_at,
+            service_cycles: look.latency,
+            fault_cycles: 0,
+        };
+        shard.l2.record(&out);
+        if let (true, Some(p)) = (look.hit, look.ppn) {
+            let back_hop = hop(out.ready_at, lat);
+            shard.icnt.record(&back_hop);
+            let b = TranslationBreakdown {
+                l1_tlb: r.l1_service,
+                icnt: 2 * lat,
+                l2_tlb_queue: out.queue_cycles,
+                l2_tlb_lookup: out.service_cycles,
+                ..Default::default()
+            };
+            shard.breakdown.record(&b, back_hop.ready_at - r.acc.at);
+            shard.outs.push(if p.raw() & SLICE_SENTINEL != 0 {
+                SliceOut::HitSent {
+                    local: (p.raw() & ((1 << SLICE_SHIFT) - 1)) as u32,
+                    ready: back_hop.ready_at,
+                }
+            } else {
+                SliceOut::Hit(p, back_hop.ready_at)
+            });
+        } else {
+            let local = shard.walks.len();
+            let sent = slice_sentinel(s, local);
+            slice.insert(&treq(&r.acc), sent);
+            shard.walks.push(WalkItem {
+                lane,
+                seq: r.seq,
+                t_idx: r.t_idx,
+                acc: r.acc,
+                l2_ready: out.ready_at,
+                l1_service: r.l1_service,
+                l2_queue: out.queue_cycles,
+                l2_lookup: out.service_cycles,
+                sent,
+                ppn: Ppn::new(0),
+            });
+            shard.outs.push(SliceOut::Walk);
+        }
+    }
+}
+
+fn pass_resolve_and_data(
+    dl: &mut DrainLane<'_>,
+    sc: &mut LaneScratch,
+    shards: &[SliceShard],
+    page_size: vmem::PageSize,
+) {
+    sc.resolved.clear();
+    for t in 0..sc.kinds.len() {
+        let (p, r) = match sc.kinds[t] {
+            Resolve::Done(p, r) => (p, r),
+            // Local/SliceWalk reference strictly earlier translates and
+            // already-run walks, so the frame is final here.
+            Resolve::Local(j, r) => (sc.resolved[j as usize].0, r),
+            Resolve::SliceWalk { slice, local, ready } => {
+                (shards[slice as usize].walks[local as usize].ppn, ready)
+            }
+            Resolve::Pending => unreachable!("every translate resolves by the walk pass"),
+        };
+        debug_assert!(p.raw() < L1_SENTINEL);
+        sc.resolved.push((p, r));
+    }
+    for (t, f) in sc.fill.iter().enumerate() {
+        if let Some(acc) = f {
+            // A false return means the provisional entry was already
+            // evicted — exactly as the real fill would have been.
+            let _ = dl
+                .front
+                .tlb_mut()
+                .patch_ppn(&treq(acc), l1_sentinel(t as u32), sc.resolved[t].0);
+        }
+    }
+    let mut t = 0usize;
+    for (seq, req) in dl.reqs.iter().enumerate() {
+        let resp = match *req {
+            SharedRequest::TranslateMiss { .. } | SharedRequest::TranslateReplay { .. } => {
+                let (p, r) = sc.resolved[t];
+                let filled = sc.fill[t].is_some();
+                t += 1;
+                SharedResponse {
+                    ppn: Some(p),
+                    ready_at: r,
+                    filled_l1: filled,
+                }
+            }
+            SharedRequest::DataBack { start, pa, write } => {
+                sc.data_q.push((seq as u32, start, pa, write));
+                SharedResponse {
+                    ppn: None,
+                    ready_at: 0,
+                    filled_l1: false,
+                }
+            }
+            SharedRequest::DataReplay {
+                translation,
+                min_start,
+                page_offset,
+                write,
+            } => {
+                let (ppn, t_ready) = match translation {
+                    TranslationRef::Resolved { ppn, ready_at } => (ppn, ready_at),
+                    TranslationRef::Pending(i) => sc.resolved[i as usize],
+                };
+                let start = t_ready.max(min_start);
+                let pa = PhysAddr::from_parts(ppn, page_offset, page_size);
+                match dl.front.probe_data(start, pa, write) {
+                    Some(done) => SharedResponse {
+                        ppn: None,
+                        ready_at: done,
+                        filled_l1: false,
+                    },
+                    None => {
+                        sc.data_q.push((seq as u32, start, pa, write));
+                        SharedResponse {
+                            ppn: None,
+                            ready_at: 0,
+                            filled_l1: false,
+                        }
+                    }
+                }
+            }
+        };
+        dl.resps.push(resp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, HierarchyConfig};
+    use tlb::{SetAssocTlb, TlbConfig};
+    use vmem::{AddressSpace, PageSize, VirtAddr};
+
+    fn config(num_sms: usize, slices: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            num_sms,
+            l1_cache: CacheConfig::new(512, 2, 128),
+            l2_cache: CacheConfig::new(1024, 2, 128),
+            l2_tlb: TlbConfig::new(16, 2, 10),
+            l2_tlb_slices: slices,
+            l2_tlb_ports: 1,
+            l2_tlb_port_occupancy: 2,
+            walkers: 2,
+            walk_latency: 500,
+            walk_latency_per_level: 0,
+            l1_hit_latency: 1,
+            icnt_latency: 20,
+            l2_hit_latency: 30,
+            dram_latency: 200,
+            demand_fault_latency: 2000,
+        }
+    }
+
+    fn setup(num_sms: usize, slices: usize) -> (Vec<PerSmFront>, SharedBack, u64) {
+        let mut space = AddressSpace::new(PageSize::Small);
+        let buf = space.allocate("b", 1 << 22).expect("fresh space");
+        let base = buf.addr_of(0).raw();
+        let cfg = config(num_sms, slices);
+        let fronts = (0..num_sms)
+            .map(|sm| {
+                PerSmFront::new(sm, Box::new(SetAssocTlb::new(TlbConfig::new(8, 2, 1))), &cfg)
+            })
+            .collect();
+        (fronts, SharedBack::new(&cfg, space), base)
+    }
+
+    fn acc(base: u64, at: u64, sm: usize, page: u64) -> Access {
+        // Page index relative to the buffer base (identical in both
+        // twin spaces: allocation is deterministic).
+        let va = VirtAddr::new(base + (page << 12));
+        Access {
+            at,
+            sm,
+            tb_slot: (page % 3) as u8,
+            va,
+            vpn: va.vpn(PageSize::Small),
+            page_size: PageSize::Small,
+        }
+    }
+
+    /// Deterministic mixed batch: translate misses, replays (some
+    /// duplicating earlier VPNs to exercise sentinel hits), raw data
+    /// legs, and data replays pending on earlier translates.
+    fn batch(base: u64, num_sms: usize, seed: u64) -> Vec<Vec<SharedRequest>> {
+        let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        (0..num_sms)
+            .map(|sm| {
+                let mut reqs = Vec::new();
+                let mut translates = 0u32;
+                let n = 6 + (next() % 10) as usize;
+                for i in 0..n {
+                    let page = next() % 24; // small pool: plenty of reuse
+                    let at = (next() % 50) + i as u64;
+                    match next() % 5 {
+                        0 => {
+                            reqs.push(SharedRequest::TranslateMiss {
+                                acc: acc(base, at, sm, page),
+                                l1_ready_at: at + 1,
+                                l1_service_cycles: 1,
+                            });
+                            translates += 1;
+                        }
+                        1 | 2 => {
+                            reqs.push(SharedRequest::TranslateReplay {
+                                acc: acc(base, at, sm, page),
+                            });
+                            translates += 1;
+                        }
+                        3 => reqs.push(SharedRequest::DataBack {
+                            start: at,
+                            pa: PhysAddr::new((next() % 64) << 7),
+                            write: next() % 2 == 0,
+                        }),
+                        _ => {
+                            let translation = if translates > 0 && next() % 2 == 0 {
+                                TranslationRef::Pending((next() % u64::from(translates)) as u32)
+                            } else {
+                                TranslationRef::Resolved {
+                                    ppn: Ppn::new(next() % 64),
+                                    ready_at: at,
+                                }
+                            };
+                            reqs.push(SharedRequest::DataReplay {
+                                translation,
+                                min_start: at,
+                                page_offset: (next() % 32) << 7,
+                                write: next() % 2 == 0,
+                            });
+                        }
+                    }
+                }
+                reqs
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_drain_matches_serial_apply_exactly() {
+        for seed in 0..12 {
+            for slices in [1usize, 2, 4] {
+                let num_sms = 4;
+                // Serial reference: global (sm, seq) apply order.
+                let (mut fronts_a, mut back_a, base) = setup(num_sms, slices);
+                let reqs = batch(base, num_sms, seed);
+                let mut serial: Vec<Vec<SharedResponse>> = Vec::new();
+                for (sm, rs) in reqs.iter().enumerate() {
+                    let mut resolved: Vec<(Ppn, u64)> = Vec::new();
+                    let mut out = Vec::new();
+                    for r in rs {
+                        let resp = back_a.apply(&mut fronts_a[sm], r, &resolved);
+                        if let Some(p) = resp.ppn {
+                            resolved.push((p, resp.ready_at));
+                        }
+                        out.push(resp);
+                    }
+                    serial.push(out);
+                }
+                // Sharded drain over the identical twin.
+                let (mut fronts_b, mut back_b, base_b) = setup(num_sms, slices);
+                assert_eq!(base, base_b, "twin allocation must be deterministic");
+                let mut resps: Vec<Vec<SharedResponse>> = vec![Vec::new(); num_sms];
+                {
+                    let mut lanes: Vec<DrainLane<'_>> = fronts_b
+                        .iter_mut()
+                        .zip(reqs.iter())
+                        .zip(resps.iter_mut())
+                        .enumerate()
+                        .map(|(sm, ((front, reqs), resps))| DrainLane {
+                            sm,
+                            front,
+                            reqs,
+                            resps,
+                        })
+                        .collect();
+                    drain_sharded(&mut back_b, &mut lanes, &SerialExec);
+                }
+                let tag = format!("seed {seed} slices {slices}");
+                for sm in 0..num_sms {
+                    for (i, (a, b)) in serial[sm].iter().zip(&resps[sm]).enumerate() {
+                        assert_eq!(
+                            format!("{a:?}"),
+                            format!("{b:?}"),
+                            "{tag}: sm {sm} response {i} ({:?})",
+                            reqs[sm][i]
+                        );
+                    }
+                    assert_eq!(
+                        format!("{:?}", fronts_a[sm].tlb().stats()),
+                        format!("{:?}", fronts_b[sm].tlb().stats()),
+                        "{tag}: sm {sm} L1 TLB stats"
+                    );
+                    assert_eq!(
+                        format!("{:?} {:?}", fronts_a[sm].breakdown(), fronts_a[sm].l1_cache_stats()),
+                        format!("{:?} {:?}", fronts_b[sm].breakdown(), fronts_b[sm].l1_cache_stats()),
+                        "{tag}: sm {sm} front accounting"
+                    );
+                    // Post-state: resident translations (and thus victim
+                    // choices) must agree entry for entry.
+                    for page in 0..24u64 {
+                        let r = treq(&acc(base, 0, sm, page));
+                        assert_eq!(
+                            fronts_a[sm].tlb().probe(&r),
+                            fronts_b[sm].tlb().probe(&r),
+                            "{tag}: sm {sm} L1 resident state for page {page}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    format!(
+                        "{:?} {:?} {:?} {:?} {:?}",
+                        back_a.breakdown(),
+                        back_a.stage_stats(),
+                        back_a.l2_tlb_stats(),
+                        back_a.walker_stats(),
+                        back_a.l2_cache_stats()
+                    ),
+                    format!(
+                        "{:?} {:?} {:?} {:?} {:?}",
+                        back_b.breakdown(),
+                        back_b.stage_stats(),
+                        back_b.l2_tlb_stats(),
+                        back_b.walker_stats(),
+                        back_b.l2_cache_stats()
+                    ),
+                    "{tag}: shared-back accounting"
+                );
+                assert_eq!(back_a.demand_faults(), back_b.demand_faults(), "{tag}");
+                for (i, (sa, sb)) in back_a
+                    .l2_slices()
+                    .iter()
+                    .zip(back_b.l2_slices())
+                    .enumerate()
+                {
+                    for page in 0..24u64 {
+                        let vpn = acc(base, 0, 0, page).vpn;
+                        assert_eq!(
+                            sa.peek(vpn),
+                            sb.peek(vpn),
+                            "{tag}: L2 slice {i} resident state for page {page}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -74,6 +74,7 @@
 
 mod breakdown;
 mod cache;
+mod drain;
 mod config;
 mod hierarchy;
 mod ports;
@@ -82,6 +83,7 @@ mod stage;
 mod stages;
 
 pub use breakdown::{LatencyBreakdown, TranslationBreakdown};
+pub use drain::{drain_sharded, DrainExec, DrainLane, SerialExec};
 pub use cache::{Cache, CacheStats};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::{Hierarchy, HierarchyBuilder, HitLevel, Translation};

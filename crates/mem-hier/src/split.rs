@@ -290,16 +290,16 @@ pub struct SharedResponse {
 /// sliced L2 TLB, walker pool (owning the address space), and the
 /// L2/DRAM data path. Applied only by the coordinating thread.
 pub struct SharedBack {
-    icnt: IcntLink,
-    l2_tlb: L2TlbStage,
-    walker: WalkerStage,
-    l2_data: Cache,
-    icnt_latency: u64,
-    l2_hit_latency: u64,
-    dram_latency: u64,
+    pub(crate) icnt: IcntLink,
+    pub(crate) l2_tlb: L2TlbStage,
+    pub(crate) walker: WalkerStage,
+    pub(crate) l2_data: Cache,
+    pub(crate) icnt_latency: u64,
+    pub(crate) l2_hit_latency: u64,
+    pub(crate) dram_latency: u64,
     /// Miss-path translations are attributed here (the fronts hold the
     /// L1-hit share).
-    breakdown: LatencyBreakdown,
+    pub(crate) breakdown: LatencyBreakdown,
 }
 
 impl SharedBack {

@@ -17,7 +17,7 @@ fn request(acc: &Access) -> TlbRequest {
 /// ports and the walker pool, not on the network itself).
 pub struct IcntLink {
     latency: u64,
-    stats: StageStats,
+    pub(crate) stats: StageStats,
 }
 
 impl IcntLink {
@@ -61,9 +61,9 @@ impl Stage for IcntLink {
 /// by a [`Ports`] bank. Requests first win a port (queueing under miss
 /// floods), then probe the slice.
 pub struct L2TlbStage {
-    slices: Vec<SetAssocTlb>,
-    ports: Vec<Ports>,
-    stats: StageStats,
+    pub(crate) slices: Vec<SetAssocTlb>,
+    pub(crate) ports: Vec<Ports>,
+    pub(crate) stats: StageStats,
 }
 
 impl L2TlbStage {

@@ -1,13 +1,18 @@
 //! Whole-simulation differential replay: one benchmark × mechanism ×
-//! machine size, executed with 1 and 2 engine worker threads, reports
-//! diffed field by field.
+//! machine size, executed serially and at 2 and 4 engine worker
+//! threads — the 4-thread run once more with the sharded phase-B drain
+//! forced on every round — reports diffed field by field.
 //!
-//! The engine's determinism contract says thread count is invisible:
-//! the two-phase event execution makes every statistic byte-identical
-//! regardless of how SMs are spread across workers. This module is that
-//! contract as an executable check, with the runtime sanitizer and the
-//! mem-hier accounting cross-checks enabled so internal invariants are
-//! audited along the way.
+//! The engine's determinism contract says thread count (and the
+//! serial-vs-sharded drain choice) is invisible: the two-phase event
+//! execution makes every statistic byte-identical regardless of how
+//! SMs are spread across workers or how phase B is parallelized. This
+//! module is that contract as an executable check, with the runtime
+//! sanitizer and the mem-hier accounting cross-checks enabled so
+//! internal invariants are audited along the way. (The forced-sharded
+//! replay runs unsanitized — the sanitizer's per-cycle hook pins the
+//! engine to the serial drain — which is itself a report-identity
+//! check: the sanitizer must never perturb a simulation.)
 
 use crate::case::EngineCase;
 use crate::diff::Divergence;
@@ -24,8 +29,10 @@ fn setup_error(what: String) -> Divergence {
     }
 }
 
-/// Runs one simulation of the case at the given thread count.
-fn simulate(case: &EngineCase, threads: usize) -> Result<SimReport, Divergence> {
+/// Runs one simulation of the case at the given thread count. `shard`
+/// forces the sharded phase-B drain on every round (and turns the
+/// sanitizer off, since its per-cycle hook pins the serial drain).
+fn simulate(case: &EngineCase, threads: usize, shard: bool) -> Result<SimReport, Divergence> {
     let spec = registry()
         .into_iter()
         .find(|s| s.name == case.bench)
@@ -36,50 +43,47 @@ fn simulate(case: &EngineCase, threads: usize) -> Result<SimReport, Divergence> 
         .ok_or_else(|| setup_error(format!("unknown mechanism {:?}", case.mechanism)))?;
     let config = GpuConfig {
         num_sms: case.sms.max(1),
+        shard_threshold: if shard { 1 } else { 0 },
         ..GpuConfig::dac23_baseline()
     };
     let workload = spec.generate(Scale::Test, case.seed);
     Ok(mechanism
         .simulator(config)
         .with_sim_threads(threads)
-        .with_sanitizer(true)
+        .with_sanitizer(!shard)
         .run(workload))
 }
 
-/// Replays the case with 1 and 2 worker threads and returns the first
-/// report field where the runs disagree.
-pub fn run_engine(case: &EngineCase) -> Option<Divergence> {
-    let serial = match simulate(case, 1) {
-        Ok(r) => r,
-        Err(d) => return Some(d),
-    };
-    let threaded = match simulate(case, 2) {
-        Ok(r) => r,
-        Err(d) => return Some(d),
-    };
-    let diff = |field: &str, expected: String, actual: String| {
+/// Diffs `threaded` against the serial reference; `tag` labels the
+/// replay configuration in the divergence's field name.
+fn diff_reports(serial: &SimReport, threaded: &SimReport, tag: &str) -> Option<Divergence> {
+    let diff = |field: String, expected: String, actual: String| {
         Some(Divergence {
             op_index: None,
-            field: field.to_owned(),
+            field,
             expected,
             actual,
         })
     };
     if serial.total_cycles != threaded.total_cycles {
         return diff(
-            "total-cycles",
+            format!("total-cycles@{tag}"),
             serial.total_cycles.to_string(),
             threaded.total_cycles.to_string(),
         );
     }
     for (sm, (a, b)) in serial.l1_tlb.iter().zip(&threaded.l1_tlb).enumerate() {
         if a != b {
-            return diff(&format!("l1-tlb[{sm}]"), format!("{a:?}"), format!("{b:?}"));
+            return diff(
+                format!("l1-tlb[{sm}]@{tag}"),
+                format!("{a:?}"),
+                format!("{b:?}"),
+            );
         }
     }
     if serial.l2_tlb != threaded.l2_tlb {
         return diff(
-            "l2-tlb",
+            format!("l2-tlb@{tag}"),
             format!("{:?}", serial.l2_tlb),
             format!("{:?}", threaded.l2_tlb),
         );
@@ -88,7 +92,27 @@ pub fn run_engine(case: &EngineCase) -> Option<Divergence> {
     // latency attribution, ...): one comparison covers them all.
     let (a, b) = (serial.to_csv_row(), threaded.to_csv_row());
     if a != b {
-        return diff("csv-row", a, b);
+        return diff(format!("csv-row@{tag}"), a, b);
+    }
+    None
+}
+
+/// Replays the case at 2 and 4 worker threads (plus 4 threads with the
+/// sharded drain forced) and returns the first report field where any
+/// replay disagrees with the serial run.
+pub fn run_engine(case: &EngineCase) -> Option<Divergence> {
+    let serial = match simulate(case, 1, false) {
+        Ok(r) => r,
+        Err(d) => return Some(d),
+    };
+    for (threads, shard, tag) in [(2, false, "2t"), (4, false, "4t"), (4, true, "4t-sharded")] {
+        let threaded = match simulate(case, threads, shard) {
+            Ok(r) => r,
+            Err(d) => return Some(d),
+        };
+        if let Some(d) = diff_reports(&serial, &threaded, tag) {
+            return Some(d);
+        }
     }
     None
 }

@@ -25,6 +25,12 @@
 //!   acquisition order (and timing) the scheduler controls — exactly the
 //!   nondeterminism the phase split exists to exclude. Channels moving
 //!   owned data are the sanctioned mechanism.
+//! * **engine-spawn** — no `thread::spawn`/`thread::scope` in the engine
+//!   hot path: all engine parallelism lives in `gpu-sim/src/pool.rs`
+//!   (the persistent worker pool and the sharded-drain scoped executor),
+//!   where lane ownership, panic propagation and deterministic merge
+//!   order are enforced in one place. An ad-hoc thread anywhere else in
+//!   the cycle loop or the hierarchy bypasses those guarantees.
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions, `tests/`,
 //! `benches/`, `examples/` directories) and the vendored `*-compat`
@@ -69,8 +75,9 @@ const RESULT_CRATES: [&str; 8] = [
 /// Files forming the engine hot path (scope of `hot-unwrap` and
 /// `engine-lock`): the cycle loop plus every TLB organization's
 /// lookup/insert code and the private/shared hierarchy split.
-const HOT_PATHS: [&str; 9] = [
+const HOT_PATHS: [&str; 10] = [
     "crates/gpu-sim/src/engine.rs",
+    "crates/mem-hier/src/drain.rs",
     "crates/mem-hier/src/hierarchy.rs",
     "crates/mem-hier/src/split.rs",
     "crates/mem-hier/src/stages.rs",
@@ -93,13 +100,14 @@ const NARROW_TYPES: [&str; 9] = [
 const ADDR_MARKERS: [&str; 4] = ["vpn", "ppn", "addr", "pfn"];
 
 /// Every rule simlint knows about (validated against allow comments).
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "hash-iter",
     "wall-clock",
     "unseeded-rng",
     "lossy-cast",
     "hot-unwrap",
     "engine-lock",
+    "engine-spawn",
 ];
 
 /// One finding.
@@ -605,6 +613,19 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     t.text
                 ),
             ),
+            "spawn" | "scope" if hot && prev(1) == ":" && prev(2) == ":" && prev(3) == "thread" => {
+                push(
+                    t.line,
+                    "engine-spawn",
+                    format!(
+                        "thread::{} in the engine hot path: all engine parallelism must go \
+                         through gpu-sim/src/pool.rs (the worker pool / scoped drain \
+                         executor), which owns lane routing, panic propagation and \
+                         deterministic merges",
+                        t.text
+                    ),
+                )
+            }
             "Mutex" | "RwLock" if hot => push(
                 t.line,
                 "engine-lock",
@@ -790,6 +811,26 @@ mod tests {
         assert!(lint_source(
             "crates/gpu-sim/src/engine.rs",
             "use std::sync::mpsc::{channel, Sender};\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn engine_spawn_only_in_hot_files_and_not_in_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\nfn g() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        let v = lint_source("crates/gpu-sim/src/engine.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "engine-spawn"), "{v:?}");
+        // The sharded drain is hot too.
+        let v = lint_source("crates/mem-hier/src/drain.rs", "fn f() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "engine-spawn");
+        // pool.rs is the sanctioned parallelism module.
+        assert!(lint_source("crates/gpu-sim/src/pool.rs", src).is_empty());
+        // Unrelated identifiers named `scope`/`spawn` are fine.
+        assert!(lint_source(
+            "crates/gpu-sim/src/engine.rs",
+            "fn f(scope: u8) -> u8 { scope }\nfn g() { self.spawn(); }\n"
         )
         .is_empty());
     }

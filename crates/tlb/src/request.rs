@@ -132,6 +132,30 @@ pub trait TranslationBuffer: Send {
         None
     }
 
+    /// Whether [`TranslationBuffer::insert`] chooses its victim and
+    /// placement independently of the inserted `ppn` value. When true,
+    /// the engine's sharded phase-B drain may fill this TLB with a
+    /// provisional sentinel frame the moment the miss is known and
+    /// [`TranslationBuffer::patch_ppn`] the real frame in after the walk
+    /// resolves, without changing which entry was evicted. Organizations
+    /// whose placement inspects the payload (e.g. the compressed TLB's
+    /// base-delta predicate) must leave this `false` (the default),
+    /// which keeps them on the serial drain.
+    fn supports_deferred_fill(&self) -> bool {
+        false
+    }
+
+    /// Replaces the stored frame of the entry tagged by `req` whose
+    /// current frame is exactly `old` with `new`, touching no replacement
+    /// or statistics state. Returns `false` when no such entry exists
+    /// (e.g. the provisional entry was evicted before the walk
+    /// resolved), which is not an error. Only meaningful when
+    /// [`TranslationBuffer::supports_deferred_fill`] is true.
+    fn patch_ppn(&mut self, req: &TlbRequest, old: Ppn, new: Ppn) -> bool {
+        let _ = (req, old, new);
+        false
+    }
+
     /// Validates the organization's internal invariants (LRU recency is a
     /// total order per set, stats identities hold, occupancy ≤ capacity,
     /// entries live where their owner may place them, ...). Called by the

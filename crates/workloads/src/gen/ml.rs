@@ -38,6 +38,7 @@ fn embedding_dims(scale: Scale) -> (usize, usize) {
         Scale::Test => (1 << 12, 8),
         Scale::Small => (1 << 16, 16),
         Scale::Paper => (1 << 16, 16),
+        Scale::Large => (1 << 18, 24),
     }
 }
 
@@ -107,6 +108,7 @@ fn mlp_dims(scale: Scale) -> [usize; 4] {
         Scale::Test => [64, 64, 32, 16],
         Scale::Small => [256, 256, 128, 64],
         Scale::Paper => [256, 256, 128, 64],
+        Scale::Large => [512, 512, 256, 128],
     }
 }
 

@@ -19,6 +19,12 @@ pub enum Scale {
     /// working sets hundreds of times the L1 TLB reach, as in the paper.
     #[default]
     Paper,
+    /// Engine-throughput scale: enough trace volume that one simulation
+    /// runs for seconds, so `--sim-threads` wall-clock comparisons (the
+    /// engine bench's speedup numbers) measure steady-state behaviour
+    /// rather than startup. Translation phenomena match `Paper`; only
+    /// the volume grows.
+    Large,
 }
 
 impl Scale {
@@ -28,6 +34,7 @@ impl Scale {
             Scale::Test => 64,
             Scale::Small => 256,
             Scale::Paper => 512,
+            Scale::Large => 1024,
         }
     }
 
@@ -40,6 +47,7 @@ impl Scale {
             Scale::Test => 64,
             Scale::Small => 128,
             Scale::Paper => 128,
+            Scale::Large => 512,
         }
     }
 
@@ -50,6 +58,7 @@ impl Scale {
             Scale::Test => 2048,
             Scale::Small => 8192,
             Scale::Paper => 8192,
+            Scale::Large => 131072,
         }
     }
 
@@ -62,6 +71,7 @@ impl Scale {
             Scale::Test => 64,
             Scale::Small => 96,
             Scale::Paper => 96,
+            Scale::Large => 96,
         }
     }
 
@@ -71,6 +81,7 @@ impl Scale {
             Scale::Test => 16,
             Scale::Small => 48,
             Scale::Paper => 80,
+            Scale::Large => 112,
         }
     }
 
@@ -81,6 +92,7 @@ impl Scale {
             Scale::Test => 1 << 10,
             Scale::Small => 1 << 15,
             Scale::Paper => 1 << 15,
+            Scale::Large => 1 << 17,
         }
     }
 
@@ -90,6 +102,7 @@ impl Scale {
             Scale::Test => 8,
             Scale::Small => 10,
             Scale::Paper => 12,
+            Scale::Large => 12,
         }
     }
 
@@ -104,6 +117,7 @@ impl Scale {
             Scale::Test => 4,
             Scale::Small => 32,
             Scale::Paper => 32,
+            Scale::Large => 32,
         }
     }
 
@@ -113,6 +127,7 @@ impl Scale {
             Scale::Test => 1,
             Scale::Small => 2,
             Scale::Paper => 2,
+            Scale::Large => 3,
         }
     }
 }
@@ -123,6 +138,7 @@ impl fmt::Display for Scale {
             Scale::Test => write!(f, "test"),
             Scale::Small => write!(f, "small"),
             Scale::Paper => write!(f, "paper"),
+            Scale::Large => write!(f, "large"),
         }
     }
 }
