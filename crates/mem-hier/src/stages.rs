@@ -80,6 +80,7 @@ impl L2TlbStage {
     }
 
     fn slice_of(&self, acc: &Access) -> usize {
+        // simlint: allow(lossy-cast, reason = "modulo slice count bounds the value below the slice-vector length before narrowing")
         (acc.vpn.raw() % self.slices.len() as u64) as usize
     }
 

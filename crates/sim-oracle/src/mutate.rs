@@ -36,6 +36,7 @@ impl EvictMruTlb {
     }
 
     fn set_of(&self, vpn: Vpn) -> usize {
+        // simlint: allow(lossy-cast, reason = "modulo set count bounds the value below the set-vector length before narrowing")
         (vpn.raw() % self.cfg.sets() as u64) as usize
     }
 }

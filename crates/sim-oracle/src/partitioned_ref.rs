@@ -137,6 +137,7 @@ impl OraclePartitionedTlb {
     }
 
     fn run_offset(&self, vpn: Vpn) -> u32 {
+        // simlint: allow(lossy-cast, reason = "modulo compression degree (a small power of two) bounds the offset well below u32")
         (vpn.raw() % self.degree()) as u32
     }
 

@@ -1,11 +1,13 @@
 //! # simlint — workspace-specific static analysis for the simulator
 //!
-//! A std-only linter enforcing the determinism and robustness rules this
-//! reproduction depends on (see `DESIGN.md`, "Correctness tooling"):
+//! A std-only analyzer enforcing the determinism and robustness rules
+//! this reproduction depends on (see `DESIGN.md`, "Correctness tooling"
+//! and "simlint v2 architecture"). It runs in two layers:
 //!
-//! * **hash-iter** — no `HashMap`/`HashSet` in result-producing crates
-//!   (`core`, `gpu-sim`, `tlb`, `vmem`, `workloads`, `analysis`): their
-//!   iteration order is seeded per process and would make figures
+//! **Lexical rules** (v1, per file, exact token patterns):
+//!
+//! * **hash-iter** — no `HashMap`/`HashSet` in result-producing crates:
+//!   their iteration order is seeded per process and would make figures
 //!   non-reproducible.
 //! * **wall-clock** — no `Instant`/`SystemTime` outside the vendored
 //!   `criterion-compat`: simulated time must come from the engine clock.
@@ -25,12 +27,29 @@
 //!   acquisition order (and timing) the scheduler controls — exactly the
 //!   nondeterminism the phase split exists to exclude. Channels moving
 //!   owned data are the sanctioned mechanism.
-//! * **engine-spawn** — no `thread::spawn`/`thread::scope` in the engine
-//!   hot path: all engine parallelism lives in `gpu-sim/src/pool.rs`
-//!   (the persistent worker pool and the sharded-drain scoped executor),
-//!   where lane ownership, panic propagation and deterministic merge
-//!   order are enforced in one place. An ad-hoc thread anywhere else in
-//!   the cycle loop or the hierarchy bypasses those guarantees.
+//! * **engine-spawn** — no `thread::spawn`/`thread::scope` outside
+//!   `gpu-sim/src/pool.rs` (the persistent worker pool and the
+//!   sharded-drain scoped executor), where lane ownership, panic
+//!   propagation and deterministic merge order are enforced in one place.
+//!
+//! **Graph rules** (v2, workspace-wide, over the [`graph::Workspace`]
+//! item/call graph built by [`parser`] on the [`lexer`] token stream):
+//!
+//! * **taint-reaches-report** ([`taint`]) — a nondeterminism source
+//!   (hash iteration, wall clock, unseeded RNG, channel arrival order,
+//!   pointer identity) inside the transitive callee closure of a result
+//!   sink (`SimReport`, CSV writers, `BENCH_*`/golden emitters). This
+//!   computes what the hand-maintained `RESULT_CRATES` list used to
+//!   approximate.
+//! * **phase-a-shared** ([`phase`]) — an item reachable from a phase-A
+//!   entry point (`PerSmFront` methods, `phase_a`/`run_chain`) names
+//!   shared back-half state (`SharedBack`, stages, walkers, icnt).
+//! * **deferred-fill-payload** ([`phase`]) — a `TranslationBuffer`
+//!   claiming `supports_deferred_fill()` whose `insert` placement
+//!   depends on the PPN payload, or which does not override
+//!   `patch_ppn` — the PR 6 sentinel-fill soundness condition.
+//! * **stale-allow** — a `// simlint: allow(...)` escape whose rule no
+//!   longer fires on (or suppresses a taint seed at) its target line.
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions, `tests/`,
 //! `benches/`, `examples/` directories) and the vendored `*-compat`
@@ -43,25 +62,35 @@
 //!
 //! placed either at the end of the offending line or alone on the line
 //! above it. An allow with an unknown rule name or a missing reason is
-//! itself a violation.
+//! itself a violation (`bad-allow`), and an allow nothing fires against
+//! is flagged `stale-allow` so escapes cannot outlive their reasons.
 //!
-//! The linter is intentionally lexical: it tokenizes Rust (handling
-//! strings, raw strings, char-vs-lifetime quotes, and nested block
-//! comments) rather than parsing it, which keeps it dependency-free and
-//! fast while remaining exact for the patterns above.
+//! Workspace runs can additionally be gated by a checked-in
+//! [`baseline`] file with a monotonic ratchet (see `simlint.baseline`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod graph;
+pub mod lexer;
+pub mod parser;
+pub mod phase;
+pub mod taint;
+
+use lexer::{LineComment, Tok};
+use parser::ParsedFile;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Crates whose sources produce simulation results (scope of `hash-iter`
-/// and `lossy-cast`).
-const RESULT_CRATES: [&str; 8] = [
+/// Crates whose sources produce simulation results — the v1 hand-written
+/// scope of `hash-iter` and `lossy-cast`. Kept for one release cycle as
+/// a cross-check against the graph-computed influence set
+/// ([`taint::result_crates`]); the unit tests assert the two agree.
+pub const RESULT_CRATES: [&str; 8] = [
     "crates/core/",
     "crates/gpu-sim/",
     "crates/mem-hier/",
@@ -74,9 +103,13 @@ const RESULT_CRATES: [&str; 8] = [
 
 /// Files forming the engine hot path (scope of `hot-unwrap` and
 /// `engine-lock`): the cycle loop plus every TLB organization's
-/// lookup/insert code and the private/shared hierarchy split.
-const HOT_PATHS: [&str; 10] = [
+/// lookup/insert code and the private/shared hierarchy split. Kept for
+/// one release cycle as a cross-check against graph-derived facts (every
+/// `TranslationBuffer` impl and every phase-entry/shared-state
+/// definition must live in one of these files).
+pub const HOT_PATHS: [&str; 11] = [
     "crates/gpu-sim/src/engine.rs",
+    "crates/gpu-sim/src/pool.rs",
     "crates/mem-hier/src/drain.rs",
     "crates/mem-hier/src/hierarchy.rs",
     "crates/mem-hier/src/split.rs",
@@ -99,8 +132,10 @@ const NARROW_TYPES: [&str; 9] = [
 /// which must match a whole identifier — the accessor on `Vpn`/`Ppn`).
 const ADDR_MARKERS: [&str; 4] = ["vpn", "ppn", "addr", "pfn"];
 
-/// Every rule simlint knows about (validated against allow comments).
-pub const RULES: [&str; 7] = [
+/// Every rule an allow comment may waive. `bad-allow` and `stale-allow`
+/// are deliberately absent: escapes cannot waive the escape hygiene
+/// rules themselves.
+pub const RULES: [&str; 10] = [
     "hash-iter",
     "wall-clock",
     "unseeded-rng",
@@ -108,7 +143,94 @@ pub const RULES: [&str; 7] = [
     "hot-unwrap",
     "engine-lock",
     "engine-spawn",
+    "taint-reaches-report",
+    "phase-a-shared",
+    "deferred-fill-payload",
 ];
+
+/// Metadata for one rule (drives `--list-rules` and the README table).
+pub struct RuleInfo {
+    /// Rule name as it appears in findings and allow comments.
+    pub name: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// All rules simlint can report, in display order.
+pub const RULE_INFOS: [RuleInfo; 12] = [
+    RuleInfo {
+        name: "hash-iter",
+        scope: "result crates",
+        summary: "`HashMap`/`HashSet` in result-producing code: iteration order is randomized per process",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        scope: "all non-test code",
+        summary: "`Instant`/`SystemTime`: simulation results must depend only on the simulated clock",
+    },
+    RuleInfo {
+        name: "unseeded-rng",
+        scope: "all non-test code",
+        summary: "`thread_rng`/`from_entropy`/`OsRng`/`rand::random`: randomness must flow from the workload seed",
+    },
+    RuleInfo {
+        name: "lossy-cast",
+        scope: "result crates",
+        summary: "narrowing `as` cast on a VPN/PPN/address value: truncates on 32-bit hosts before set indexing",
+    },
+    RuleInfo {
+        name: "hot-unwrap",
+        scope: "engine hot path",
+        summary: "`.unwrap()`/`.expect()` in the cycle loop or TLB lookup/insert: panics without a state dump",
+    },
+    RuleInfo {
+        name: "engine-lock",
+        scope: "engine hot path",
+        summary: "`Mutex`/`RwLock` in the hot path: scheduler-ordered sharing breaks two-phase determinism",
+    },
+    RuleInfo {
+        name: "engine-spawn",
+        scope: "workspace (except pool.rs)",
+        summary: "`thread::spawn`/`thread::scope` outside the engine pool: ad-hoc threading leaks arrival order",
+    },
+    RuleInfo {
+        name: "taint-reaches-report",
+        scope: "call graph (sink influence set)",
+        summary: "a nondeterminism source can flow into a `SimReport`/CSV/`BENCH_*`/golden sink",
+    },
+    RuleInfo {
+        name: "phase-a-shared",
+        scope: "call graph (phase-A reachability)",
+        summary: "code reachable from `PerSmFront`/`phase_a` names shared back-half state",
+    },
+    RuleInfo {
+        name: "deferred-fill-payload",
+        scope: "`TranslationBuffer` impls",
+        summary: "`supports_deferred_fill()` with a payload-dependent `insert` or missing `patch_ppn` override",
+    },
+    RuleInfo {
+        name: "stale-allow",
+        scope: "allow escapes",
+        summary: "a `// simlint: allow(...)` whose rule no longer fires on its target line",
+    },
+    RuleInfo {
+        name: "bad-allow",
+        scope: "allow escapes",
+        summary: "a malformed allow: unknown rule name or missing `reason = \"...\"`",
+    },
+];
+
+/// The `--list-rules` table (markdown; README's rules section is
+/// generated from this so docs cannot drift).
+pub fn rules_table_markdown() -> String {
+    let mut s = String::from("| rule | scope | description |\n|---|---|---|\n");
+    for r in &RULE_INFOS {
+        s.push_str(&format!("| `{}` | {} | {} |\n", r.name, r.scope, r.summary));
+    }
+    s
+}
 
 /// One finding.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -117,7 +239,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based source line.
     pub line: usize,
-    /// Rule name (one of [`RULES`], or `bad-allow` for malformed escapes).
+    /// Rule name (one of [`RULE_INFOS`]).
     pub rule: String,
     /// Human-readable explanation.
     pub message: String,
@@ -133,207 +255,9 @@ impl fmt::Display for Violation {
     }
 }
 
-/// A lexed token: its 1-based line and its text (an identifier, a number
-/// literal, or a single punctuation character).
-#[derive(Clone, Debug)]
-struct Token {
-    line: usize,
-    text: String,
-}
-
-/// A `//` comment with its line and whether it had the line to itself.
-#[derive(Clone, Debug)]
-struct LineComment {
-    line: usize,
-    /// Text after the `//`.
-    text: String,
-    /// True when no token precedes the comment on its line.
-    standalone: bool,
-}
-
-struct Lexed {
-    tokens: Vec<Token>,
-    comments: Vec<LineComment>,
-}
-
-/// Tokenizes Rust source, discarding string/char-literal contents and
-/// block comments, and collecting `//` comments for allow parsing.
-fn lex(src: &str) -> Lexed {
-    let chars: Vec<char> = src.chars().collect();
-    let mut i = 0;
-    let mut line = 1;
-    let mut tokens: Vec<Token> = Vec::new();
-    let mut comments = Vec::new();
-    let n = chars.len();
-
-    // Returns the char at `i + k`, or '\0' past the end.
-    let at = |i: usize, k: usize| -> char {
-        if i + k < n {
-            chars[i + k]
-        } else {
-            '\0'
-        }
-    };
-
-    while i < n {
-        let c = chars[i];
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            c if c.is_whitespace() => i += 1,
-            '/' if at(i, 1) == '/' => {
-                let standalone = tokens.last().map(|t| t.line) != Some(line);
-                let start = i + 2;
-                while i < n && chars[i] != '\n' {
-                    i += 1;
-                }
-                comments.push(LineComment {
-                    line,
-                    text: chars[start..i].iter().collect(),
-                    standalone,
-                });
-            }
-            '/' if at(i, 1) == '*' => {
-                // Nested block comment (discarded; allows must use `//`).
-                let mut depth = 1;
-                i += 2;
-                while i < n && depth > 0 {
-                    if chars[i] == '\n' {
-                        line += 1;
-                        i += 1;
-                    } else if chars[i] == '/' && at(i, 1) == '*' {
-                        depth += 1;
-                        i += 2;
-                    } else if chars[i] == '*' && at(i, 1) == '/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                // String literal: skip with escapes.
-                i += 1;
-                while i < n {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '\n' => {
-                            line += 1;
-                            i += 1;
-                        }
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            '\'' => {
-                // Char literal or lifetime. 'a' is a char, 'a (no closing
-                // quote) is a lifetime; '\\x' is always a char.
-                if at(i, 1) == '\\' {
-                    i += 2; // skip '\ and the escape lead
-                    while i < n && chars[i] != '\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                } else if (at(i, 1).is_alphanumeric() || at(i, 1) == '_') && at(i, 2) != '\'' {
-                    // Lifetime: consume the quote and the identifier.
-                    i += 1;
-                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                        i += 1;
-                    }
-                } else {
-                    // 'x' (or the degenerate '''): skip to the close.
-                    i += 2;
-                    while i < n && chars[i] != '\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                }
-            }
-            c if c.is_alphabetic() || c == '_' => {
-                let start = i;
-                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                    i += 1;
-                }
-                let text: String = chars[start..i].iter().collect();
-                // Raw/byte string prefixes: r"..", r#".."#, br".."; byte
-                // char b'x'. A raw *identifier* (r#foo) falls through.
-                let mut hashes = 0;
-                while (text == "r" || text == "br") && at(i, hashes) == '#' {
-                    hashes += 1;
-                }
-                if (text == "r" || text == "br") && at(i, hashes) == '"' {
-                    i += hashes + 1;
-                    // Scan for " followed by `hashes` #s.
-                    'raw: while i < n {
-                        if chars[i] == '\n' {
-                            line += 1;
-                            i += 1;
-                        } else if chars[i] == '"' {
-                            let mut k = 0;
-                            while k < hashes && at(i, 1 + k) == '#' {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                i += 1 + hashes;
-                                break 'raw;
-                            }
-                            i += 1;
-                        } else {
-                            i += 1;
-                        }
-                    }
-                } else if text == "r" && at(i, 0) == '#' {
-                    // Raw identifier r#foo: token is the bare name.
-                    i += 1;
-                    let start = i;
-                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
-                        i += 1;
-                    }
-                    tokens.push(Token {
-                        line,
-                        text: chars[start..i].iter().collect(),
-                    });
-                } else if text == "b" && (at(i, 0) == '"' || at(i, 0) == '\'') {
-                    // Byte string/char: reuse the normal handlers by not
-                    // emitting a token; the next loop iteration sees the
-                    // quote.
-                } else {
-                    tokens.push(Token { line, text });
-                }
-            }
-            c if c.is_ascii_digit() => {
-                // Number literal (also swallows suffixes, hex digits and
-                // `0..n` range dots — harmless for these rules).
-                let start = i;
-                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
-                    i += 1;
-                }
-                tokens.push(Token {
-                    line,
-                    text: chars[start..i].iter().collect(),
-                });
-            }
-            _ => {
-                tokens.push(Token {
-                    line,
-                    text: c.to_string(),
-                });
-                i += 1;
-            }
-        }
-    }
-    Lexed { tokens, comments }
-}
-
-/// Line ranges (inclusive) covered by `#[test]` / `#[cfg(test)]` items.
-fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+/// Line ranges (inclusive) covered by `#[test]` / `#[cfg(test)]` items,
+/// over the code-token stream.
+fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i + 1 < tokens.len() {
@@ -481,26 +405,43 @@ fn skipped_path(rel: &str) -> bool {
     })
 }
 
-/// Lints one source file given its workspace-relative path.
-pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
-    if skipped_path(rel) {
-        return Vec::new();
-    }
-    let Lexed { tokens, comments } = lex(src);
-    let regions = test_regions(&tokens);
+/// One parsed allow escape with its resolved target line.
+struct AllowSite {
+    /// Line the comment itself sits on.
+    comment_line: usize,
+    /// Line the allow waives (the comment's line, or the next code line
+    /// for standalone comments).
+    target_line: usize,
+    rule: String,
+    /// True when the comment sits inside a test region (exempt from
+    /// staleness: test code is not linted, so nothing can fire there).
+    in_test: bool,
+}
+
+/// Per-file lexical results, pre-allow-filtering.
+struct FilePass {
+    /// Lexical findings outside test regions (allows NOT yet applied).
+    fired: Vec<Violation>,
+    /// Parsed allow escapes.
+    allows: Vec<AllowSite>,
+    /// Malformed allows (already final violations).
+    bad_allows: Vec<Violation>,
+}
+
+/// Runs the per-file lexical layer: allow collection plus the v1 token
+/// rules. `code` must be the code-token stream of the file.
+fn lexical_pass(rel: &str, code: &[Tok], comments: &[LineComment]) -> FilePass {
+    let regions = test_regions(code);
     let in_test = |line: usize| regions.iter().any(|&(a, b)| line >= a && line <= b);
 
-    // Allow map: line -> rules waived on that line. A trailing comment
-    // waives its own line; a standalone comment waives the next line that
-    // carries tokens.
-    let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
-    let mut violations: Vec<Violation> = Vec::new();
-    for c in &comments {
+    let mut allows: Vec<AllowSite> = Vec::new();
+    let mut bad_allows: Vec<Violation> = Vec::new();
+    for c in comments {
         match parse_allow(&c.text) {
             AllowParse::NotAllow => {}
             AllowParse::Bad(msg) => {
                 if !in_test(c.line) {
-                    violations.push(Violation {
+                    bad_allows.push(Violation {
                         file: rel.to_string(),
                         line: c.line,
                         rule: "bad-allow".into(),
@@ -510,24 +451,27 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             }
             AllowParse::Allow(rule) => {
                 let target = if c.standalone {
-                    tokens
-                        .iter()
+                    code.iter()
                         .map(|t| t.line)
                         .find(|&l| l > c.line)
                         .unwrap_or(c.line + 1)
                 } else {
                     c.line
                 };
-                allows.entry(target).or_default().insert(rule);
+                allows.push(AllowSite {
+                    comment_line: c.line,
+                    target_line: target,
+                    rule,
+                    in_test: in_test(c.line),
+                });
             }
         }
     }
 
-    let allowed =
-        |line: usize, rule: &str| allows.get(&line).is_some_and(|set| set.contains(rule));
+    let mut fired: Vec<Violation> = Vec::new();
     let mut push = |line: usize, rule: &str, message: String| {
-        if !in_test(line) && !allowed(line, rule) {
-            violations.push(Violation {
+        if !in_test(line) {
+            fired.push(Violation {
                 file: rel.to_string(),
                 line,
                 rule: rule.into(),
@@ -539,10 +483,10 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     let in_result_crate = RESULT_CRATES.iter().any(|p| rel.starts_with(p));
     let hot = HOT_PATHS.contains(&rel);
 
-    for (i, t) in tokens.iter().enumerate() {
+    for (i, t) in code.iter().enumerate() {
         let prev = |k: usize| {
             i.checked_sub(k)
-                .map(|j| tokens[j].text.as_str())
+                .map(|j| code[j].text.as_str())
                 .unwrap_or("")
         };
         match t.text.as_str() {
@@ -582,11 +526,19 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 ),
             ),
             "as" if in_result_crate => {
-                let target = tokens.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
+                let target = code.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
                 if NARROW_TYPES.contains(&target) {
-                    // Look back a few tokens (within the expression) for
-                    // an address-typed identifier.
-                    let tainted = (1..=8).map(prev).take_while(|p| !matches!(*p, ";" | "{" | "}" | ""))
+                    // Look back within the expression for an
+                    // address-typed identifier (14 tokens reaches
+                    // through a masking subexpression like
+                    // `(vpn.raw() & (self.degree() - 1)) as u32`).
+                    // `,` and `:` end the scan: an address ident on the
+                    // other side of an argument or field boundary
+                    // belongs to a different subexpression than the
+                    // cast operand.
+                    let tainted = (1..=14)
+                        .map(prev)
+                        .take_while(|p| !matches!(*p, ";" | "{" | "}" | "," | ":" | ""))
                         .any(|p| {
                             let lower = p.to_ascii_lowercase();
                             p == "raw" || ADDR_MARKERS.iter().any(|m| lower.contains(m))
@@ -613,7 +565,13 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     t.text
                 ),
             ),
-            "spawn" | "scope" if hot && prev(1) == ":" && prev(2) == ":" && prev(3) == "thread" => {
+            "spawn" | "scope"
+                if hot
+                    && !rel.ends_with("pool.rs")
+                    && prev(1) == ":"
+                    && prev(2) == ":"
+                    && prev(3) == "thread" =>
+            {
                 push(
                     t.line,
                     "engine-spawn",
@@ -641,13 +599,58 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    FilePass {
+        fired,
+        allows,
+        bad_allows,
+    }
+}
+
+/// Lints one source file in isolation (lexical layer only — the graph
+/// analyses need the whole workspace; see [`lint_tree`]). Stale allows
+/// are not reported here for the same reason.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    if skipped_path(rel) {
+        return Vec::new();
+    }
+    let lexed = lexer::lex(src);
+    let code = lexed.code_tokens();
+    let pass = lexical_pass(rel, &code, &lexed.comments);
+    let allowed = |line: usize, rule: &str| {
+        pass.allows
+            .iter()
+            .any(|a| a.target_line == line && a.rule == rule)
+    };
+    let mut violations: Vec<Violation> = pass
+        .fired
+        .into_iter()
+        .filter(|v| !allowed(v.line, &v.rule))
+        .collect();
+    violations.extend(pass.bad_allows);
     violations.sort();
     violations
 }
 
+/// A full workspace run: every violation plus the artifacts the CLI and
+/// cross-check tests need.
+pub struct TreeReport {
+    /// All findings, sorted by `(file, line, rule)`, allows applied.
+    pub violations: Vec<Violation>,
+    /// Crates the taint analysis computed as result-influencing.
+    pub result_crates: BTreeSet<String>,
+    /// Files the taint analysis computed as result-influencing.
+    pub result_files: BTreeSet<String>,
+}
+
 /// Recursively lints every `.rs` file under `root/src` and
-/// `root/crates`, returning findings sorted by `(file, line, rule)`.
+/// `root/crates`: the lexical layer per file, then the workspace graph
+/// analyses (taint, phase safety, allow hygiene).
 pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(lint_tree_report(root)?.violations)
+}
+
+/// [`lint_tree`] with the computed influence sets exposed.
+pub fn lint_tree_report(root: &Path) -> io::Result<TreeReport> {
     let mut files: Vec<(String, std::path::PathBuf)> = Vec::new();
     for top in ["src", "crates"] {
         let dir = root.join(top);
@@ -656,13 +659,114 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
         }
     }
     files.sort();
-    let mut violations = Vec::new();
+
+    let mut fired: Vec<Violation> = Vec::new();
+    let mut bad_allows: Vec<Violation> = Vec::new();
+    let mut allow_sites: Vec<(String, AllowSite)> = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
     for (rel, path) in files {
         let src = fs::read_to_string(&path)?;
-        violations.extend(lint_source(&rel, &src));
+        if skipped_path(&rel) {
+            continue;
+        }
+        let lexed = lexer::lex(&src);
+        let code = lexed.code_tokens();
+        let pass = lexical_pass(&rel, &code, &lexed.comments);
+        fired.extend(pass.fired);
+        bad_allows.extend(pass.bad_allows);
+        allow_sites.extend(pass.allows.into_iter().map(|a| (rel.clone(), a)));
+        parsed.push(parser::parse_file(&rel, lexed));
     }
+
+    let ws = graph::Workspace::build(parsed);
+
+    // Allow lookup for the graph analyses: (file, line) -> rules.
+    let mut allow_map: taint::Allows = BTreeMap::new();
+    for (rel, a) in &allow_sites {
+        allow_map
+            .entry((rel.clone(), a.target_line))
+            .or_default()
+            .insert(a.rule.clone());
+    }
+
+    let taint_report = taint::analyze(&ws, &allow_map);
+    fired.extend(taint_report.violations);
+    fired.extend(phase::analyze(&ws));
+
+    // Dedupe by (file, line, rule): the lexical and graph layers can
+    // both fire on the same token (e.g. engine-spawn in a hot file).
+    fired.sort();
+    fired.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+
+    // Apply allows; every suppression (and every suppressed taint seed)
+    // marks its allow as used.
+    let mut used: BTreeSet<(String, usize, String)> = taint_report
+        .used_allows
+        .into_iter()
+        .collect();
+    let mut violations: Vec<Violation> = Vec::new();
+    for v in fired {
+        let key = (v.file.clone(), v.line, v.rule.clone());
+        if allow_sites
+            .iter()
+            .any(|(rel, a)| *rel == v.file && a.target_line == v.line && a.rule == v.rule)
+        {
+            used.insert(key);
+        } else {
+            violations.push(v);
+        }
+    }
+
+    // Allow hygiene: an allow outside test code that suppressed nothing
+    // is stale.
+    for (rel, a) in &allow_sites {
+        if a.in_test {
+            continue;
+        }
+        if !used.contains(&(rel.clone(), a.target_line, a.rule.clone())) {
+            violations.push(Violation {
+                file: rel.clone(),
+                line: a.comment_line,
+                rule: "stale-allow".into(),
+                message: format!(
+                    "allow({}) is stale: the rule does not fire on line {} any more; \
+                     remove the escape (or fix the rule name)",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+
+    violations.extend(bad_allows);
     violations.sort();
-    Ok(violations)
+    violations.dedup();
+    Ok(TreeReport {
+        violations,
+        result_crates: taint_report.result_crates,
+        result_files: taint_report.result_files,
+    })
+}
+
+/// Builds the parsed workspace graph for `root` without running any
+/// rules (cross-check tests and external tooling use this).
+pub fn build_workspace(root: &Path) -> io::Result<graph::Workspace> {
+    let mut files: Vec<(String, std::path::PathBuf)> = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, top, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut parsed = Vec::new();
+    for (rel, path) in files {
+        if skipped_path(&rel) {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        parsed.push(parser::parse_file(&rel, lexer::lex(&src)));
+    }
+    Ok(graph::Workspace::build(parsed))
 }
 
 fn collect_rs(
@@ -687,23 +791,24 @@ fn collect_rs(
     Ok(())
 }
 
+fn json_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders violations as a JSON document (hand-rolled; simlint is
 /// dependency-free).
 pub fn to_json(violations: &[Violation]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
     let mut s = String::from("{\n  \"violations\": [");
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
@@ -711,10 +816,10 @@ pub fn to_json(violations: &[Violation]) -> String {
         }
         s.push_str(&format!(
             "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
-            esc(&v.file),
+            json_esc(&v.file),
             v.line,
-            esc(&v.rule),
-            esc(&v.message)
+            json_esc(&v.rule),
+            json_esc(&v.message)
         ));
     }
     if !violations.is_empty() {
@@ -722,6 +827,61 @@ pub fn to_json(violations: &[Violation]) -> String {
     }
     s.push_str(&format!("],\n  \"count\": {}\n}}\n", violations.len()));
     s
+}
+
+/// Renders violations as SARIF 2.1.0 (for GitHub code scanning upload).
+pub fn to_sarif(violations: &[Violation]) -> String {
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\n      \
+         \"name\": \"simlint\",\n      \"rules\": [",
+    );
+    for (i, r) in RULE_INFOS.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n        {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_esc(r.name),
+            json_esc(r.summary)
+        ));
+    }
+    s.push_str("\n      ]\n    }},\n    \"results\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_esc(&v.rule),
+            json_esc(&v.message),
+            json_esc(&v.file),
+            v.line
+        ));
+    }
+    if !violations.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n  }]\n}\n");
+    s
+}
+
+/// Renders violations as GitHub Actions workflow annotations.
+pub fn to_github(violations: &[Violation]) -> String {
+    let esc = |s: &str| s.replace('%', "%25").replace('\n', "%0A");
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "::error file={},line={},title=simlint({})::{}\n",
+            v.file,
+            v.line,
+            v.rule,
+            esc(&v.message)
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -865,6 +1025,21 @@ mod tests {
     }
 
     #[test]
+    fn graph_rules_are_allowable() {
+        for r in ["taint-reaches-report", "phase-a-shared", "deferred-fill-payload"] {
+            assert!(RULES.contains(&r), "{r} must be waivable");
+        }
+        for r in ["stale-allow", "bad-allow"] {
+            assert!(!RULES.contains(&r), "{r} must not be waivable");
+        }
+        // Every allowable rule is documented; so are the meta rules.
+        for r in RULES {
+            assert!(RULE_INFOS.iter().any(|i| i.name == r), "{r} missing from RULE_INFOS");
+        }
+        assert!(rules_table_markdown().contains("| `stale-allow` |"));
+    }
+
+    #[test]
     fn strings_comments_and_lifetimes_do_not_trip_rules() {
         let src = concat!(
             "fn f<'a>(x: &'a str) -> &'a str { x }\n",
@@ -900,8 +1075,33 @@ mod tests {
     }
 
     #[test]
+    fn sarif_and_github_outputs_are_well_formed() {
+        let v = vec![Violation {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            rule: "phase-a-shared".into(),
+            message: "multi\nline \"msg\"".into(),
+        }];
+        let s = to_sarif(&v);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"phase-a-shared\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("multi\\nline \\\"msg\\\""));
+        // Every known rule is declared in the tool driver.
+        for r in &RULE_INFOS {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.name)), "{} missing", r.name);
+        }
+        let g = to_github(&v);
+        assert_eq!(
+            g,
+            "::error file=crates/x/src/a.rs,line=3,title=simlint(phase-a-shared)::multi%0Aline \"msg\"\n"
+        );
+    }
+
+    #[test]
     fn workspace_is_clean() {
-        // The acceptance gate: the post-PR workspace must lint clean.
+        // The acceptance gate: the post-PR workspace must lint clean —
+        // lexical rules, graph analyses and allow hygiene included.
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let v = lint_tree(&root).expect("workspace sources readable");
         assert!(
@@ -930,6 +1130,48 @@ mod tests {
         assert!(rules.contains(&"wall-clock"), "{v:?}");
         assert!(rules.contains(&"lossy-cast"), "{v:?}");
         assert_eq!(v[0].file, "crates/vmem/src/bad.rs");
+    }
+
+    #[test]
+    fn stale_allow_is_reported_in_tree_runs_only() {
+        let dir = std::env::temp_dir().join(format!("simlint-stale-{}", std::process::id()));
+        let src_dir = dir.join("crates/vmem/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(
+            src_dir.join("lib.rs"),
+            "// simlint: allow(hash-iter, reason = \"it was here once\")\n\
+             pub fn fine() {}\n",
+        )
+        .unwrap();
+        let v = lint_tree(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "stale-allow");
+        assert_eq!(v[0].line, 1);
+        // lint_source cannot judge staleness (no workspace context).
+        let alone = lint_source(
+            "crates/vmem/src/lib.rs",
+            "// simlint: allow(hash-iter, reason = \"it was here once\")\npub fn fine() {}\n",
+        );
+        assert!(alone.is_empty(), "{alone:?}");
+    }
+
+    #[test]
+    fn used_allow_is_not_stale() {
+        let dir = std::env::temp_dir().join(format!("simlint-used-{}", std::process::id()));
+        let src_dir = dir.join("crates/vmem/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(
+            src_dir.join("lib.rs"),
+            "// simlint: allow(hash-iter, reason = \"keyed access only\")\n\
+             use std::collections::HashMap;\n\
+             pub fn get(m: &HashMap<u64, u64>, k: u64) -> u64 { *m.get(&k).unwrap_or(&0) } \
+             // simlint: allow(hash-iter, reason = \"keyed access only\")\n",
+        )
+        .unwrap();
+        let v = lint_tree(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

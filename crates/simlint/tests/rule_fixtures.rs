@@ -1,0 +1,206 @@
+//! Mutation-style sensitivity tests for the v2 graph rules, in the
+//! spirit of `sim-oracle --mutate`: start from a fixture workspace that
+//! lints clean, inject one bug, and require the matching rule to catch
+//! it. A linter that stays green on the mutated tree is a linter that
+//! would miss the same bug in the real workspace.
+//!
+//! Each test materializes the fixture under a unique temp directory and
+//! runs the full [`simlint::lint_tree`] pipeline (lexical pass, item
+//! graph, taint + phase analyses, allow hygiene) — not the per-module
+//! unit entry points, which have their own positive/negative pairs in
+//! `src/taint.rs` and `src/phase.rs`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use simlint::lint_tree;
+
+/// Writes `files` (workspace-relative path, source) under a fresh temp
+/// tree named for the calling test and returns its root.
+fn write_tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("simlint-{name}-{}", std::process::id()));
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    for (rel, src) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, src).unwrap();
+    }
+    root
+}
+
+/// The clean baseline: a report path over keyed (non-iterating) hash
+/// access, a phase-A front that touches only private state, and a
+/// deferred-fill TLB whose insert ignores its payload. `crates/repro/`
+/// is deliberately outside `RESULT_CRATES`, so anything these tests
+/// catch comes from the graph analyses, not the v1 lexical scope.
+const REPORT_RS: &str = "pub struct SimReport { pub cycles: u64 }\n\
+     pub fn emit() -> SimReport { SimReport { cycles: summarize() } }\n";
+
+const AGG_CLEAN: &str = "use std::collections::HashMap;\n\
+     pub fn summarize() -> u64 {\n\
+         let m: HashMap<u64, u64> = HashMap::new();\n\
+         *m.get(&0).unwrap_or(&0)\n\
+     }\n";
+
+const FRONT_CLEAN: &str = "pub struct PerSmFront { sm: usize }\n\
+     impl PerSmFront {\n\
+         pub fn probe(&mut self) { helper(self.sm); }\n\
+     }\n\
+     pub fn helper(_sm: usize) {}\n";
+
+const BACK_RS: &str = "pub struct SharedBack { pub pending: u64 }\n\
+     pub fn apply_back(b: &mut SharedBack) { b.pending = 0; }\n";
+
+const TLB_CLEAN: &str = "pub struct Vpn(pub u64);\npub struct Ppn(pub u64);\n\
+     pub trait TranslationBuffer {\n\
+         fn insert(&mut self, vpn: Vpn, ppn: Ppn);\n\
+         fn supports_deferred_fill(&self) -> bool { false }\n\
+         fn patch_ppn(&mut self, vpn: Vpn, ppn: Ppn) { let _ = (vpn, ppn); }\n\
+     }\n\
+     pub struct DeferTlb { ppn: u64 }\n\
+     impl TranslationBuffer for DeferTlb {\n\
+         fn insert(&mut self, vpn: Vpn, ppn: Ppn) {\n\
+             if vpn.0 > 4 { return; }\n\
+             self.ppn = ppn.0;\n\
+         }\n\
+         fn supports_deferred_fill(&self) -> bool { true }\n\
+         fn patch_ppn(&mut self, _vpn: Vpn, ppn: Ppn) { self.ppn = ppn.0; }\n\
+     }\n";
+
+const BASE: [(&str, &str); 5] = [
+    ("crates/repro/src/report.rs", REPORT_RS),
+    ("crates/repro/src/agg.rs", AGG_CLEAN),
+    ("crates/repro/src/front.rs", FRONT_CLEAN),
+    ("crates/repro/src/back.rs", BACK_RS),
+    ("crates/repro/src/tlb_impl.rs", TLB_CLEAN),
+];
+
+fn lint_and_remove(root: PathBuf) -> Vec<simlint::Violation> {
+    let v = lint_tree(&root).unwrap();
+    fs::remove_dir_all(&root).unwrap();
+    v
+}
+
+#[test]
+fn baseline_fixture_workspace_lints_clean() {
+    let v = lint_and_remove(write_tree("base", &BASE));
+    assert!(v.is_empty(), "mutations below start from a dirty tree:\n{v:?}");
+}
+
+#[test]
+fn mutation_hash_iteration_into_report_path_is_caught() {
+    let mut files = BASE;
+    files[1].1 = "use std::collections::HashMap;\n\
+         pub fn summarize() -> u64 {\n\
+             let m: HashMap<u64, u64> = HashMap::new();\n\
+             let mut s = 0;\n\
+             for (_k, v) in m.iter() { s += v; }\n\
+             s\n\
+         }\n";
+    let v = lint_and_remove(write_tree("mut-taint", &files));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::taint::RULE);
+    assert_eq!(v[0].file, "crates/repro/src/agg.rs");
+    assert_eq!(v[0].line, 5);
+    assert!(
+        v[0].message.contains("`emit` → `summarize`"),
+        "the witness call path to the sink is part of the message: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn mutation_wall_clock_into_report_path_is_caught() {
+    // Same sink, different source kind: a wall-clock read feeding the
+    // summary (e.g. someone "improves" the report with elapsed time).
+    let mut files = BASE;
+    files[1].1 = "pub fn summarize() -> u64 {\n\
+         let t = std::time::Instant::now();\n\
+         t.elapsed().as_nanos() as u64\n\
+     }\n";
+    let v = lint_and_remove(write_tree("mut-clock", &files));
+    // Both layers see this one: the lexical `wall-clock` rule (which is
+    // workspace-wide) and the graph taint rule (which additionally
+    // proves the read can reach the report).
+    let rules: Vec<&str> = v.iter().map(|v| v.rule.as_str()).collect();
+    assert_eq!(rules, vec![simlint::taint::RULE, "wall-clock"], "{v:?}");
+    assert!(v.iter().all(|v| v.line == 2), "{v:?}");
+}
+
+#[test]
+fn mutation_phase_a_reaching_shared_state_is_caught() {
+    let mut files = BASE;
+    files[2].1 = "pub struct PerSmFront { sm: usize }\n\
+         impl PerSmFront {\n\
+             pub fn probe(&mut self) { helper(self.sm); }\n\
+         }\n\
+         pub fn helper(_sm: usize) { let _b: Option<&SharedBack> = None; }\n";
+    let v = lint_and_remove(write_tree("mut-phase", &files));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::phase::RULE_SHARED);
+    assert_eq!(v[0].file, "crates/repro/src/front.rs");
+    assert_eq!(v[0].line, 5);
+    assert!(v[0].message.contains("SharedBack"), "{}", v[0].message);
+}
+
+#[test]
+fn mutation_payload_dependent_deferred_insert_is_caught() {
+    let mut files = BASE;
+    files[4].1 = "pub struct Vpn(pub u64);\npub struct Ppn(pub u64);\n\
+         pub trait TranslationBuffer {\n\
+             fn insert(&mut self, vpn: Vpn, ppn: Ppn);\n\
+             fn supports_deferred_fill(&self) -> bool { false }\n\
+             fn patch_ppn(&mut self, vpn: Vpn, ppn: Ppn) { let _ = (vpn, ppn); }\n\
+         }\n\
+         pub struct DeferTlb { ppn: u64 }\n\
+         impl TranslationBuffer for DeferTlb {\n\
+             fn insert(&mut self, _vpn: Vpn, ppn: Ppn) {\n\
+                 if ppn.0 == 0 { return; }\n\
+                 self.ppn = ppn.0;\n\
+             }\n\
+             fn supports_deferred_fill(&self) -> bool { true }\n\
+             fn patch_ppn(&mut self, _vpn: Vpn, ppn: Ppn) { self.ppn = ppn.0; }\n\
+         }\n";
+    let v = lint_and_remove(write_tree("mut-defer", &files));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::phase::RULE_DEFERRED);
+    assert_eq!(v[0].file, "crates/repro/src/tlb_impl.rs");
+}
+
+#[test]
+fn mutation_stray_thread_spawn_is_caught() {
+    let v = lint_and_remove(write_tree(
+        "mut-spawn",
+        &[
+            ("crates/repro/src/report.rs", REPORT_RS),
+            ("crates/repro/src/agg.rs", AGG_CLEAN),
+            (
+                "crates/repro/src/runner.rs",
+                "pub fn run_all() { std::thread::spawn(|| {}); }\n",
+            ),
+        ],
+    ));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::phase::RULE_SPAWN);
+    assert_eq!(v[0].file, "crates/repro/src/runner.rs");
+}
+
+#[test]
+fn allowed_injected_taint_is_suppressed_and_the_allow_counts_as_used() {
+    // End-to-end allow integration for a graph rule: the same taint
+    // mutation, but with a reasoned allow on the source line. The run
+    // must be clean — the finding suppressed AND no stale-allow echo.
+    let mut files = BASE;
+    files[1].1 = "use std::collections::HashMap;\n\
+         pub fn summarize() -> u64 {\n\
+             let m: HashMap<u64, u64> = HashMap::new();\n\
+             let mut s = 0;\n\
+             // simlint: allow(taint-reaches-report, reason = \"sum is order-independent\")\n\
+             for (_k, v) in m.iter() { s += v; }\n\
+             s\n\
+         }\n";
+    let v = lint_and_remove(write_tree("mut-allow", &files));
+    assert!(v.is_empty(), "{v:?}");
+}

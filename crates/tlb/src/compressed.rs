@@ -143,6 +143,7 @@ impl CompressedTlb {
 
     /// Sets are indexed by the run number so a run always lands in one set.
     fn set_of(&self, vpn: Vpn) -> usize {
+        // simlint: allow(lossy-cast, reason = "the power-of-two set mask commutes with the narrowing: masking after truncation keeps the same low bits as masking in u64 first")
         ((vpn.raw() / self.compression.degree as u64) as usize) & (self.config.sets() - 1)
     }
 
