@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! engine-bench [--out PATH] [--reps N] [--threads N]... [--scale S]
+//!              [--trace-cache DIR] [--trace FILE]...
 //! ```
 //!
 //! Runs the same scenarios as the `simulator_throughput` criterion bench
@@ -49,6 +50,12 @@
 //! time: speedup numbers are only meaningful relative to it (a 1-core
 //! runner truthfully reports ~1.0x, which is why the acceptance
 //! criterion binds on multi-core runners only).
+//!
+//! `--trace-cache DIR` / `--trace FILE` replay each rep by streaming a
+//! `trace/v1` file instead of cloning the in-RAM workload (the
+//! determinism check still binds: streamed cycles must equal serial
+//! in-memory cycles). Wall times then include trace decode, which is
+//! the honest cost of the streaming pipeline.
 
 use std::fmt::Write as _;
 // simlint: allow(wall-clock, reason = "engine-bench measures host throughput; nothing flows back into simulated timing")
@@ -57,7 +64,7 @@ use std::time::Instant;
 use bench::SEED;
 use gpu_sim::GpuConfig;
 use orchestrated_tlb::Mechanism;
-use workloads::{registry, Scale, Workload};
+use workloads::{registry, BenchmarkSpec, Scale, WorkloadCache};
 
 /// The scenarios of the `simulator_throughput` criterion groups.
 const SCENARIOS: [(&str, Mechanism); 6] = [
@@ -70,18 +77,35 @@ const SCENARIOS: [(&str, Mechanism); 6] = [
 ];
 
 /// One timed run: best wall time over `reps`, plus the simulated cycle
-/// count (identical across reps by the determinism contract).
-fn best_of(reps: usize, threads: usize, mechanism: Mechanism, workload: &Workload) -> (f64, u64) {
+/// count (identical across reps by the determinism contract). Each rep
+/// pulls a fresh [`workloads::TraceSource`] from the cache — a clone of
+/// the shared in-RAM workload for a memory cache, a freshly opened
+/// streaming reader for a disk-backed one — so the timed region covers
+/// exactly what a grid cell pays.
+fn best_of(
+    reps: usize,
+    threads: usize,
+    mechanism: Mechanism,
+    cache: &WorkloadCache,
+    spec: &BenchmarkSpec,
+    scale: Scale,
+) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut cycles = 0u64;
     for _ in 0..reps {
         let mut sim = mechanism
             .simulator(GpuConfig::dac23_baseline())
             .with_sim_threads(threads);
-        let input = workload.clone();
+        let input = cache.get_source(spec, scale, SEED);
         // simlint: allow(wall-clock, reason = "engine-bench measures host throughput; nothing flows back into simulated timing")
         let start = Instant::now();
-        let report = sim.run(input);
+        let report = match sim.run_source(input) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace replay of {} failed: {e}", spec.name);
+                std::process::exit(1);
+            }
+        };
         let elapsed = start.elapsed().as_secs_f64();
         best = best.min(elapsed);
         cycles = report.total_cycles;
@@ -95,6 +119,8 @@ fn main() {
     let mut reps = 3usize;
     let mut scale = Scale::Test;
     let mut thread_counts: Vec<usize> = Vec::new();
+    let mut trace_cache: Option<String> = None;
+    let mut traces: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -141,6 +167,26 @@ fn main() {
                     }
                 }
             }
+            "--trace-cache" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => trace_cache = Some(dir.clone()),
+                    None => {
+                        eprintln!("--trace-cache requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(file) => traces.push(file.clone()),
+                    None => {
+                        eprintln!("--trace requires a trace file");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -153,6 +199,17 @@ fn main() {
     }
     if thread_counts[0] != 1 {
         thread_counts.insert(0, 1); // the serial reference is mandatory
+    }
+
+    let cache = match &trace_cache {
+        Some(dir) => WorkloadCache::with_disk(dir),
+        None => WorkloadCache::new(),
+    };
+    for file in &traces {
+        if let Err(e) = cache.preload_trace(std::path::Path::new(file)) {
+            eprintln!("--trace {file}: {e}");
+            std::process::exit(2);
+        }
     }
 
     let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
@@ -169,14 +226,13 @@ fn main() {
             .iter()
             .find(|s| s.name == name)
             .unwrap_or_else(|| panic!("benchmark {name} missing from the registry"));
-        let workload = spec.generate(scale, SEED);
         eprintln!("engine-bench: {name}/{} at --scale {scale} ...", mechanism.label());
 
         let mut serial_best = 0.0f64;
         let mut serial_cycles = 0u64;
         let mut runs = String::new();
         for (ti, &threads) in thread_counts.iter().enumerate() {
-            let (best, cycles) = best_of(reps, threads, mechanism, &workload);
+            let (best, cycles) = best_of(reps, threads, mechanism, &cache, spec, scale);
             if ti == 0 {
                 serial_best = best;
                 serial_cycles = cycles;

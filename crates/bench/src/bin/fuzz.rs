@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fuzz [--seeds A..B] [--iters-per-seed N] [--mutate NAME]
-//!      [--engine-every N] [--out-dir DIR] [--replay FILE]...
+//!      [--engine-every N] [--out-dir DIR] [--trace-cache DIR]
+//!      [--replay FILE]...
 //! ```
 //!
 //! Replays deterministic generated traces (and, every `--engine-every`th
@@ -22,6 +23,13 @@
 //! `--replay FILE` skips generation and replays checked-in `.case`
 //! reproducers (exit 1 if any diverges); `crates/bench/tests/corpus/`
 //! holds the starter corpus.
+//!
+//! `--trace-cache DIR` routes every engine case through an on-disk
+//! `trace/v1` cache: the workload's trace file is written (or reused)
+//! under `DIR` and the thread-equivalence replays stream from it,
+//! recording the file by content hash in any shrunk reproducer (a
+//! `trace <hash> <path>` directive). Campaign results are unchanged —
+//! only where the bytes come from.
 
 use sim_oracle::{fuzz_seed, run_case, Case, Mutation};
 use std::ops::Range;
@@ -34,6 +42,7 @@ struct Args {
     mutation: Mutation,
     engine_every: u64,
     out_dir: PathBuf,
+    trace_cache: Option<PathBuf>,
     replay: Vec<PathBuf>,
 }
 
@@ -41,7 +50,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: fuzz [--seeds A..B] [--iters-per-seed N] [--mutate NAME] \
-         [--engine-every N] [--out-dir DIR] [--replay FILE]..."
+         [--engine-every N] [--out-dir DIR] [--trace-cache DIR] [--replay FILE]..."
     );
     std::process::exit(2);
 }
@@ -53,6 +62,7 @@ fn parse_args() -> Args {
         mutation: Mutation::None,
         engine_every: 4,
         out_dir: PathBuf::from("fuzz-out"),
+        trace_cache: None,
         replay: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,6 +102,9 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage("--engine-every wants an integer"));
             }
             "--out-dir" => parsed.out_dir = PathBuf::from(value(&mut i, "--out-dir")),
+            "--trace-cache" => {
+                parsed.trace_cache = Some(PathBuf::from(value(&mut i, "--trace-cache")));
+            }
             "--replay" => {
                 // Greedy: `--replay a.case b.case c.case` is the natural
                 // shell-glob invocation.
@@ -144,6 +157,9 @@ fn replay_files(files: &[PathBuf]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(dir) = &args.trace_cache {
+        sim_oracle::set_trace_dir(dir);
+    }
     if !args.replay.is_empty() {
         return replay_files(&args.replay);
     }

@@ -21,6 +21,13 @@
 //! ownership, LRU order, stats identities — see `gpu_sim::sanitize`) for
 //! every simulation in the run; the first violation aborts with a state
 //! dump. Output is unchanged when no violation fires.
+//!
+//! `--trace-cache DIR` backs the run's workload cache with an on-disk
+//! `trace/v1` directory (see `trace-gen`): misses write trace files,
+//! hits stream TBs from disk instead of materializing the kernel, and
+//! the output stays byte-identical either way. `--trace FILE`
+//! (repeatable) preloads specific trace files; requests matching their
+//! recorded provenance replay them.
 
 use bench::{
     fig10_11_grid, fig11_variance_grid, fig12_grid, fig2_grid, fig3_4_grid, fig5_6_grid,
@@ -319,11 +326,33 @@ fn main() {
     let mut extended = false;
     let mut only: Vec<String> = Vec::new();
     let mut jobs = 0usize; // 0 = available parallelism
+    let mut trace_cache: Option<String> = None;
+    let mut traces: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--extended" => extended = true,
             "--sanitize" => gpu_sim::set_sanitize(true),
+            "--trace-cache" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => trace_cache = Some(dir.clone()),
+                    None => {
+                        eprintln!("--trace-cache requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(file) => traces.push(file.clone()),
+                    None => {
+                        eprintln!("--trace requires a trace file");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--jobs" => {
                 i += 1;
                 jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
@@ -398,8 +427,19 @@ fn main() {
     }
     // One grid (and one workload cache) across every requested figure.
     // The job count deliberately stays out of the printed header: output
-    // is byte-identical for every --jobs N.
-    let grid = Grid::new(jobs);
+    // is byte-identical for every --jobs N — and for the in-memory vs
+    // trace-streamed paths (--trace-cache / --trace).
+    let cache = std::sync::Arc::new(match &trace_cache {
+        Some(dir) => workloads::WorkloadCache::with_disk(dir),
+        None => workloads::WorkloadCache::new(),
+    });
+    for file in &traces {
+        if let Err(e) = cache.preload_trace(std::path::Path::new(file)) {
+            eprintln!("--trace {file}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let grid = Grid::with_cache(jobs, cache);
     println!("# orchestrated-tlb repro (scale: {scale}, seed: {SEED})\n");
     let has = |x: &str| wanted.iter().any(|w| w == x);
     if has("csv") {

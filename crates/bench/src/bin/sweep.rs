@@ -6,7 +6,7 @@
 //!               l2-port-occupancy|l2-slices|sms
 //!       [--scale test|small|paper] [--bench <name>]...
 //!       [--mechanism full|baseline] [--jobs N] [--sim-threads N]
-//!       [--sanitize]
+//!       [--sanitize] [--trace-cache DIR] [--trace FILE]...
 //! ```
 //!
 //! `--jobs N` runs up to `N` sweep cells (parameter value × benchmark)
@@ -19,6 +19,11 @@
 //! `--sanitize` turns on the engine's runtime invariant checks (see
 //! `gpu_sim::sanitize`) for every cell; the first violation aborts with
 //! a state dump. The CSV is unchanged when no violation fires.
+//!
+//! `--trace-cache DIR` backs the sweep's workload cache with an on-disk
+//! `trace/v1` directory and `--trace FILE` preloads specific trace
+//! files (see `repro` / `trace-gen`); the CSV is byte-identical to the
+//! in-memory run either way.
 //!
 //! Example: how sensitive is the proposal's win to the number of
 //! page-table walkers?
@@ -132,10 +137,32 @@ fn main() {
     let mut only: Vec<String> = Vec::new();
     let mut mechanism = Mechanism::Full;
     let mut jobs = 0usize; // 0 = available parallelism
+    let mut trace_cache: Option<String> = None;
+    let mut traces: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--sanitize" => gpu_sim::set_sanitize(true),
+            "--trace-cache" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => trace_cache = Some(dir.clone()),
+                    None => {
+                        eprintln!("--trace-cache requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(file) => traces.push(file.clone()),
+                    None => {
+                        eprintln!("--trace requires a trace file");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--jobs" => {
                 i += 1;
                 jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
@@ -225,7 +252,17 @@ fn main() {
     ));
     // One sweep cell per parameter value × benchmark; the grid preserves
     // cell order, so the CSV comes out value-major like the serial loop.
-    let grid = Grid::new(jobs);
+    let cache = std::sync::Arc::new(match &trace_cache {
+        Some(dir) => workloads::WorkloadCache::with_disk(dir),
+        None => workloads::WorkloadCache::new(),
+    });
+    for file in &traces {
+        if let Err(e) = cache.preload_trace(std::path::Path::new(file)) {
+            eprintln!("--trace {file}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let grid = Grid::with_cache(jobs, cache);
     let cells: Vec<(u64, usize)> = param
         .values()
         .iter()

@@ -184,10 +184,26 @@ pub fn run_benchmark_cached(
     mechanism: Mechanism,
     config: GpuConfig,
 ) -> SimReport {
-    run_workload(cache.get(spec, scale, seed), mechanism, config)
+    run_benchmark_cached_with_page_size(
+        cache,
+        spec,
+        scale,
+        seed,
+        mechanism,
+        config,
+        PageSize::Small,
+    )
 }
 
 /// [`run_benchmark_with_page_size`], serving the workload from `cache`.
+///
+/// With a memory-only cache this replays the shared in-RAM workload;
+/// with a disk-backed cache (`WorkloadCache::with_disk`, the
+/// `--trace-cache` flag) or a preloaded trace (`--trace`) each run
+/// streams TBs from the `trace/v1` file instead, keeping peak RSS flat.
+/// The two paths produce byte-identical reports (pinned by
+/// `bench/tests/trace_equiv.rs`); a trace that fails mid-replay falls
+/// back to the generated workload so results never change.
 pub fn run_benchmark_cached_with_page_size(
     cache: &WorkloadCache,
     spec: &BenchmarkSpec,
@@ -197,11 +213,24 @@ pub fn run_benchmark_cached_with_page_size(
     config: GpuConfig,
     page_size: PageSize,
 ) -> SimReport {
-    run_workload(
-        cache.get_with_page_size(spec, scale, seed, page_size),
-        mechanism,
-        config,
-    )
+    let source = cache.get_source_with_page_size(spec, scale, seed, page_size);
+    match mechanism.simulator(config.clone()).run_source(source) {
+        Ok(mut report) => {
+            report.scheduler = mechanism.label().to_owned();
+            report
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: trace replay of {} {scale} failed ({e}); regenerating",
+                spec.name
+            );
+            run_workload(
+                cache.get_with_page_size(spec, scale, seed, page_size),
+                mechanism,
+                config,
+            )
+        }
+    }
 }
 
 fn run_workload(workload: Workload, mechanism: Mechanism, config: GpuConfig) -> SimReport {

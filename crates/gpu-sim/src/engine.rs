@@ -33,6 +33,7 @@
 
 use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
+use crate::feed::{KernelFeed, KernelSeq};
 use crate::pool::{Job, StopReport, WorkerPool};
 use crate::report::{SimReport, TranslationEvent};
 use crate::sanitize::{sanitize_enabled, Sanitizer};
@@ -46,8 +47,9 @@ use mem_hier::{
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tlb::{SetAssocTlb, TranslationBuffer};
-use vmem::{PageSize, PhysAddr, Ppn, VirtAddr};
-use workloads::{KernelTrace, WarpOp, Workload};
+use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, VirtAddr};
+use workloads::format::{TraceError, TraceSource};
+use workloads::{TbTrace, WarpOp, Workload};
 
 /// Builds L1 TLBs for each SM (lets the `orchestrated-tlb` crate plug in
 /// the partitioned design).
@@ -191,6 +193,45 @@ impl Simulator {
     /// generator bugs, not simulation outcomes.
     pub fn run(&mut self, workload: Workload) -> SimReport {
         let (name, kernels, space) = workload.into_parts();
+        match self.run_prepared(name, space, KernelSeq::Mem(kernels)) {
+            Ok(report) => report,
+            // The in-memory feed has no I/O to fail on.
+            Err(e) => panic!("in-memory replay cannot fail: {e}"),
+        }
+    }
+
+    /// Runs a [`TraceSource`] to completion. A `Generated` source
+    /// replays from RAM exactly like [`Simulator::run`]; a `File` source
+    /// streams TB traces block by block from disk, keeping only the
+    /// in-flight TBs and one decoded block resident. Reports are
+    /// byte-identical between the two for the same trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if a file-backed source turns out to be
+    /// corrupt or unreadable mid-replay.
+    pub fn run_source(&mut self, source: TraceSource) -> Result<SimReport, TraceError> {
+        match source {
+            TraceSource::Generated(workload) => {
+                let (name, kernels, space) = workload.into_parts();
+                self.run_prepared(name, space, KernelSeq::Mem(kernels))
+            }
+            TraceSource::File(reader) => {
+                let name = reader.workload_name().to_owned();
+                let space = reader.address_space()?;
+                self.run_prepared(name, space, KernelSeq::Stream(Box::new(reader)))
+            }
+        }
+    }
+
+    /// The shared run loop behind [`Simulator::run`] and
+    /// [`Simulator::run_source`].
+    fn run_prepared(
+        &mut self,
+        name: String,
+        space: AddressSpace,
+        seq: KernelSeq,
+    ) -> Result<SimReport, TraceError> {
         let n_sms = self.config.num_sms;
         let sanitize = self.sanitize.unwrap_or_else(sanitize_enabled);
         let mut sanitizer = sanitize.then(|| Sanitizer::new(n_sms));
@@ -227,7 +268,8 @@ impl Simulator {
         };
 
         let mut cycle: u64 = 0;
-        for (kernel_idx, kernel) in kernels.iter().enumerate() {
+        for kernel_idx in 0..seq.len() {
+            let mut feed = seq.feed(kernel_idx)?;
             let start = cycle;
             cycle = run_kernel(
                 &self.config,
@@ -235,17 +277,17 @@ impl Simulator {
                 &self.warp_scheduler_factory,
                 self.pool.as_mut(),
                 self.force_max_tbs,
-                kernel,
+                &mut feed,
                 kernel_idx as u16,
                 cycle,
                 &mut fronts,
                 &mut shared,
                 &mut report,
                 &mut sanitizer,
-            );
+            )?;
             report
                 .kernel_cycles
-                .push((kernel.name.clone(), cycle - start));
+                .push((feed.name().to_owned(), cycle - start));
         }
 
         report.total_cycles = cycle;
@@ -260,7 +302,7 @@ impl Simulator {
             .iter()
             .fold(*shared.back.breakdown(), |a, f| a + *f.breakdown());
         report.translation_trace = shared.trace.take().unwrap_or_default();
-        report
+        Ok(report)
     }
 }
 
@@ -459,13 +501,13 @@ fn dispatch_tbs(
     lanes: &mut [Option<Box<Lane>>],
     track: &[LaneTrack],
     tb_scheduler: &mut Box<dyn TbScheduler>,
-    kernel: &KernelTrace,
+    feed: &mut KernelFeed<'_>,
     next_tb: &mut usize,
     cycle: u64,
     placements: &mut [u32],
     snaps: &mut Vec<SmSnapshot>,
-) {
-    while *next_tb < kernel.tbs.len() {
+) -> Result<(), TraceError> {
+    while *next_tb < feed.tb_count() {
         snaps.clear();
         for (i, slot) in lanes.iter().enumerate() {
             let visible = !track[i].away && track[i].pending.is_none();
@@ -494,10 +536,12 @@ fn dispatch_tbs(
         let Some(lane) = lanes[target].as_mut() else {
             unreachable!("dispatch-visible lanes are home")
         };
-        lane.sm.place_tb(kernel, *next_tb as u32, cycle);
+        let tb = feed.tb(*next_tb)?;
+        lane.sm.place_tb(tb, *next_tb as u32, cycle);
         placements[target] += 1;
         *next_tb += 1;
     }
+    Ok(())
 }
 
 /// Simulates one kernel launch; returns the cycle at which it completes.
@@ -516,20 +560,21 @@ fn run_kernel(
     warp_scheduler_factory: &WarpSchedulerFactory,
     mut pool: Option<&mut WorkerPool>,
     force_max_tbs: Option<u8>,
-    kernel: &KernelTrace,
+    feed: &mut KernelFeed<'_>,
     kernel_idx: u16,
     start_cycle: u64,
     fronts: &mut Vec<PerSmFront>,
     shared: &mut SharedState,
     report: &mut SimReport,
     sanitizer: &mut Option<Sanitizer>,
-) -> u64 {
+) -> Result<u64, TraceError> {
     let n_sms = config.num_sms;
+    let tb_count = feed.tb_count();
     // Occupancy: the compile-time TB limit, the hardware cap, and the
     // thread capacity all bound concurrency.
-    let by_threads = (config.max_threads_per_sm / kernel.threads_per_tb.max(1)).max(1) as u8;
-    let mut max_tbs = kernel
-        .max_concurrent_tbs_per_sm
+    let by_threads = (config.max_threads_per_sm / feed.threads_per_tb().max(1)).max(1) as u8;
+    let mut max_tbs = feed
+        .max_concurrent_tbs_per_sm()
         .min(config.max_concurrent_tbs)
         .min(by_threads);
     if let Some(cap) = force_max_tbs {
@@ -590,22 +635,19 @@ fn run_kernel(
         // Epochs become transparent once the per-cycle-only couplings
         // are gone: the sanitizer's per-cycle hook, and per-event-cycle
         // dispatch attempts that a stats-driven scheduler could observe.
-        if workers > 0
-            && sanitizer.is_none()
-            && (occupancy_only || next_tb >= kernel.tbs.len())
-        {
+        if workers > 0 && sanitizer.is_none() && (occupancy_only || next_tb >= tb_count) {
             break;
         }
         dispatch_tbs(
             &mut lanes,
             &track,
             tb_scheduler,
-            kernel,
+            feed,
             &mut next_tb,
             cycle,
             &mut report.tb_placements,
             &mut snaps,
-        );
+        )?;
 
         // Next cycle at which any SM can make progress.
         let Some(event) = lanes
@@ -615,7 +657,7 @@ fn run_kernel(
             .min()
             .filter(|&e| e < u64::MAX)
         else {
-            debug_assert!(next_tb >= kernel.tbs.len(), "idle GPU with pending TBs");
+            debug_assert!(next_tb >= tb_count, "idle GPU with pending TBs");
             kernel_over = true;
             break;
         };
@@ -724,12 +766,12 @@ fn run_kernel(
                 &mut lanes,
                 &track,
                 tb_scheduler,
-                kernel,
+                feed,
                 &mut next_tb,
                 cycle,
                 &mut report.tb_placements,
                 &mut snaps,
-            );
+            )?;
             let Some(start) = (0..n_sms)
                 .map(|i| match &lanes[i] {
                     Some(lane) => lane.sm.next_event(),
@@ -738,13 +780,13 @@ fn run_kernel(
                 .min()
                 .filter(|&e| e < u64::MAX)
             else {
-                debug_assert!(next_tb >= kernel.tbs.len(), "idle GPU with pending TBs");
+                debug_assert!(next_tb >= tb_count, "idle GPU with pending TBs");
                 break;
             };
             cycle = cycle.max(start);
             let spec = ChainSpec {
                 epoch_end: cycle.saturating_add(EPOCH_CYCLES),
-                stop_on_retire: next_tb < kernel.tbs.len(),
+                stop_on_retire: next_tb < tb_count,
                 park: true,
             };
 
@@ -850,17 +892,17 @@ fn run_kernel(
                     any_retired |= p.retired_tb;
                     t.pending = None;
                 }
-                if any_retired && next_tb < kernel.tbs.len() {
+                if any_retired && next_tb < tb_count {
                     dispatch_tbs(
                         &mut lanes,
                         &track,
                         tb_scheduler,
-                        kernel,
+                        feed,
                         &mut next_tb,
                         frontier,
                         &mut report.tb_placements,
                         &mut snaps,
-                    );
+                    )?;
                 }
 
                 // Relaunch every settled home lane with events left in
@@ -976,7 +1018,7 @@ fn run_kernel(
         report.sm_instructions[lane.sm_idx] += lane.instructions;
         fronts.push(lane.front);
     }
-    cycle
+    Ok(cycle)
 }
 
 /// Folds one chain stop report into the coordinator's tracking.
@@ -1385,9 +1427,13 @@ impl SmRt {
         }
     }
 
-    fn place_tb(&mut self, kernel: &KernelTrace, tb_global: u32, cycle: u64) {
+    /// Instantiates one TB's warps on this SM. Takes only the TB trace
+    /// (not the kernel), so a streaming feed can hand over the current
+    /// decoded TB; each warp's op storage is `Arc`-cloned into the
+    /// resident [`WarpRt`], keeping it alive after the feed recycles the
+    /// decoded block.
+    fn place_tb(&mut self, tb: &TbTrace, tb_global: u32, cycle: u64) {
         let slot = self.free_slots.pop().expect("caller checked has_room"); // simlint: allow(hot-unwrap, reason = "dispatch loop asserts has_room before place_tb")
-        let tb = &kernel.tbs[tb_global as usize];
         let mut live = 0;
         for (warp_in_tb, warp) in tb.warps().iter().enumerate() {
             self.warps.push(WarpRt {

@@ -38,6 +38,7 @@
 mod coalesce;
 mod config;
 mod engine;
+mod feed;
 mod pool;
 mod report;
 pub mod sanitize;

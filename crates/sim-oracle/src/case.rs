@@ -25,7 +25,11 @@
 //! irrelevant to the model (e.g. `sharing` for `model setassoc`) may be
 //! omitted. `kind engine` cases instead carry `bench`, `mechanism`,
 //! `sms` and `seed`, and replay a whole simulation per §V mechanism with
-//! 1 and 2 worker threads, diffing the reports.
+//! 1 and 2 worker threads, diffing the reports. An engine case may also
+//! carry a `trace <hex16-hash> <path>` directive referencing a
+//! `trace/v1` file by its FNV-1a content hash: replay then streams the
+//! workload from that file (after verifying the hash) instead of
+//! regenerating it, so a reproducer pins the exact bytes it diverged on.
 
 use orchestrated_tlb::SharingPolicy;
 use std::fmt::Write as _;
@@ -158,6 +162,18 @@ impl Default for TraceCase {
     }
 }
 
+/// A content-addressed reference to a `trace/v1` file: the replay
+/// refuses to run unless the file's FNV-1a hash matches, so a checked-in
+/// reproducer can never silently diverge against different trace bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRef {
+    /// Expected `workloads::format::file_hash` of the file.
+    pub hash: u64,
+    /// Path to the trace file (relative paths resolve against the
+    /// replaying process's working directory).
+    pub path: String,
+}
+
 /// A whole-simulation differential case: one benchmark × mechanism ×
 /// machine size, replayed with 1 and 2 engine worker threads.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -170,6 +186,9 @@ pub struct EngineCase {
     pub sms: usize,
     /// Workload generation seed.
     pub seed: u64,
+    /// Optional trace file to stream the workload from (hash-verified)
+    /// instead of regenerating it from `bench`/`seed`.
+    pub trace: Option<TraceRef>,
 }
 
 /// Any reproducer the harness can replay.
@@ -250,6 +269,9 @@ impl Case {
                 let _ = writeln!(s, "mechanism {}", e.mechanism);
                 let _ = writeln!(s, "sms {}", e.sms);
                 let _ = writeln!(s, "seed {}", e.seed);
+                if let Some(t) = &e.trace {
+                    let _ = writeln!(s, "trace {:016x} {}", t.hash, t.path);
+                }
             }
         }
         s
@@ -265,6 +287,7 @@ impl Case {
             mechanism: String::new(),
             sms: 4,
             seed: 0,
+            trace: None,
         };
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -359,6 +382,20 @@ impl Case {
                         .first()
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| err("seed wants an integer"))?;
+                }
+                "trace" => {
+                    let hash = rest
+                        .first()
+                        .filter(|h| h.len() == 16)
+                        .and_then(|h| u64::from_str_radix(h, 16).ok())
+                        .ok_or_else(|| err("trace wants a 16-hex-digit hash and a path"))?;
+                    if rest.len() < 2 {
+                        return Err(err("trace wants a 16-hex-digit hash and a path"));
+                    }
+                    engine.trace = Some(TraceRef {
+                        hash,
+                        path: rest[1..].join(" "),
+                    });
                 }
                 "op" => {
                     let int = |i: usize, what: &str| {
@@ -469,8 +506,37 @@ mod tests {
             mechanism: "sched+part+share".to_owned(),
             sms: 4,
             seed: 9,
+            trace: None,
         });
         assert_eq!(Case::parse(&case.serialize()), Ok(case));
+    }
+
+    #[test]
+    fn engine_trace_ref_round_trips() {
+        let case = Case::Engine(EngineCase {
+            bench: "bfs".to_owned(),
+            mechanism: "baseline".to_owned(),
+            sms: 2,
+            seed: 7,
+            trace: Some(TraceRef {
+                hash: 0x0123_4567_89ab_cdef,
+                path: "traces/bfs-test-s7-4k.v1.trace".to_owned(),
+            }),
+        });
+        let text = case.serialize();
+        assert!(text.contains("trace 0123456789abcdef "), "{text}");
+        assert_eq!(Case::parse(&text), Ok(case));
+    }
+
+    #[test]
+    fn bad_trace_directives_name_their_line() {
+        for bad in [
+            "kind engine\nbench gemm\nmechanism baseline\ntrace xyz p\n",
+            "kind engine\nbench gemm\nmechanism baseline\ntrace 0123456789abcdef\n",
+        ] {
+            let e = Case::parse(bad).unwrap_err();
+            assert!(e.contains("line 4"), "{e}");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::case::EngineCase;
 use crate::diff::Divergence;
 use gpu_sim::{GpuConfig, SimReport};
 use orchestrated_tlb::Mechanism;
+use workloads::format::{file_hash, TraceSource};
 use workloads::{registry, Scale};
 
 fn setup_error(what: String) -> Divergence {
@@ -46,12 +47,31 @@ fn simulate(case: &EngineCase, threads: usize, shard: bool) -> Result<SimReport,
         shard_threshold: if shard { 1 } else { 0 },
         ..GpuConfig::dac23_baseline()
     };
-    let workload = spec.generate(Scale::Test, case.seed);
-    Ok(mechanism
+    let mut sim = mechanism
         .simulator(config)
         .with_sim_threads(threads)
-        .with_sanitizer(!shard)
-        .run(workload))
+        .with_sanitizer(!shard);
+    // A trace reference pins the replay input by content hash: refuse
+    // to run (as a setup divergence) rather than silently diverge
+    // against different bytes, and stream from the file on a match.
+    if let Some(t) = &case.trace {
+        let path = std::path::Path::new(&t.path);
+        let actual = file_hash(path)
+            .map_err(|e| setup_error(format!("trace file {}: {e}", t.path)))?;
+        if actual != t.hash {
+            return Err(setup_error(format!(
+                "trace file {} hash {actual:016x} does not match recorded {:016x}",
+                t.path, t.hash
+            )));
+        }
+        let source = TraceSource::open(path)
+            .map_err(|e| setup_error(format!("trace file {}: {e}", t.path)))?;
+        return sim
+            .run_source(source)
+            .map_err(|e| setup_error(format!("trace replay of {}: {e}", t.path)));
+    }
+    let workload = spec.generate(Scale::Test, case.seed);
+    Ok(sim.run(workload))
 }
 
 /// Diffs `threaded` against the serial reference; `tag` labels the
@@ -128,6 +148,7 @@ mod tests {
             mechanism: "sched+part+share".to_owned(),
             sms: 2,
             seed: 11,
+            trace: None,
         };
         assert_eq!(run_engine(&case), None);
     }
@@ -139,8 +160,50 @@ mod tests {
             mechanism: "baseline".to_owned(),
             sms: 2,
             seed: 0,
+            trace: None,
         };
         let d = run_engine(&case).expect("must not replay");
         assert_eq!(d.field, "setup");
+    }
+
+    #[test]
+    fn trace_backed_cases_replay_and_verify_their_hash() {
+        use crate::case::TraceRef;
+
+        let spec = registry().into_iter().find(|s| s.name == "gemm").unwrap();
+        let workload = spec.generate(Scale::Test, 11);
+        let path = std::env::temp_dir()
+            .join(format!("oracle-engine-{}.trace", std::process::id()));
+        workloads::format::write_workload(&path, &workload, "gemm", Some(Scale::Test), 11)
+            .unwrap();
+        let hash = file_hash(&path).unwrap();
+
+        // The streamed replay agrees across thread counts like the
+        // generated one.
+        let case = EngineCase {
+            bench: "gemm".to_owned(),
+            mechanism: "sched+part+share".to_owned(),
+            sms: 2,
+            seed: 11,
+            trace: Some(TraceRef {
+                hash,
+                path: path.display().to_string(),
+            }),
+        };
+        assert_eq!(run_engine(&case), None);
+
+        // A wrong hash is a refusal, not a replay of the wrong bytes.
+        let tampered = EngineCase {
+            trace: Some(TraceRef {
+                hash: hash ^ 1,
+                path: path.display().to_string(),
+            }),
+            ..case
+        };
+        let d = run_engine(&tampered).expect("hash mismatch must not replay");
+        assert_eq!(d.field, "setup");
+        assert!(d.actual.contains("does not match"), "{d}");
+
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -13,12 +13,27 @@
 //! slot reuse, single-set pressure, neighbour-spill storms, pathological
 //! strides, concurrency reshaping, and plain uniform churn as a control.
 
-use crate::case::{Case, EngineCase, ModelKind, Mutation, Op, TraceCase};
+use crate::case::{Case, EngineCase, ModelKind, Mutation, Op, TraceCase, TraceRef};
 use crate::diff::{run_case, Divergence};
 use crate::shrink::shrink;
 use orchestrated_tlb::{Mechanism, SharingPolicy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// The campaign-wide trace cache directory (`fuzz --trace-cache DIR`).
+static TRACE_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Routes every subsequent engine case through an on-disk `trace/v1`
+/// cache: `gen_engine` writes (or reuses) the workload's trace file
+/// under `dir` and attaches a hash-verified [`TraceRef`], so the
+/// engine-equivalence replays stream from disk exactly like a
+/// `--trace-cache` grid run. Set-once per process; later calls are
+/// ignored.
+pub fn set_trace_dir(dir: impl Into<PathBuf>) {
+    let _ = TRACE_DIR.set(dir.into());
+}
 
 /// Outcome of one fuzzing seed.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,13 +106,41 @@ fn shrink_divergence(case: &Case, d: Divergence) -> (Case, Divergence) {
 fn gen_engine(seed: u64) -> EngineCase {
     let benches = workloads::registry();
     let mechanisms = Mechanism::all();
+    let spec = &benches[(seed % benches.len() as u64) as usize];
     EngineCase {
-        bench: benches[(seed % benches.len() as u64) as usize].name.to_owned(),
+        bench: spec.name.to_owned(),
         mechanism: mechanisms[(seed / benches.len() as u64 % mechanisms.len() as u64) as usize]
             .label()
             .to_owned(),
         sms: [2, 4, 8][(seed % 3) as usize],
         seed,
+        trace: trace_ref_for(spec, seed),
+    }
+}
+
+/// The [`TraceRef`] for an engine case when a trace directory is set:
+/// ensures the trace file exists (writing it on first use) and records
+/// its content hash. Any disk failure falls back to generated replay
+/// with a warning — the campaign's results never depend on the disk.
+fn trace_ref_for(spec: &workloads::BenchmarkSpec, seed: u64) -> Option<TraceRef> {
+    let dir = TRACE_DIR.get()?;
+    let cache = workloads::WorkloadCache::with_disk(dir);
+    let ensured = cache
+        .ensure_trace_file(spec, workloads::Scale::Test, seed, vmem::PageSize::Small)
+        .and_then(|path| Ok((workloads::format::file_hash(&path)?, path)));
+    match ensured {
+        Ok((hash, path)) => Some(TraceRef {
+            hash,
+            path: path.display().to_string(),
+        }),
+        Err(e) => {
+            eprintln!(
+                "warning: trace cache unusable for engine case {} seed {seed}: {e}; \
+                 falling back to generated replay",
+                spec.name
+            );
+            None
+        }
     }
 }
 

@@ -55,7 +55,7 @@ pub mod reference;
 pub mod sched_ref;
 pub mod shrink;
 
-pub use case::{Case, EngineCase, ModelKind, Mutation, Op, TraceCase};
+pub use case::{Case, EngineCase, ModelKind, Mutation, Op, TraceCase, TraceRef};
 pub use diff::{run_case, Divergence};
-pub use fuzz::{fuzz_seed, FuzzReport};
+pub use fuzz::{fuzz_seed, set_trace_dir, FuzzReport};
 pub use shrink::shrink;

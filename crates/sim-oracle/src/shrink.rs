@@ -134,6 +134,7 @@ mod tests {
             mechanism: "baseline".to_owned(),
             sms: 16,
             seed: 0,
+            trace: None,
         });
         // Divergence "survives" down to 4 SMs but not below.
         let Case::Engine(small) = shrink(&case, |c| {

@@ -107,8 +107,9 @@ pub const RESULT_CRATES: [&str; 8] = [
 /// one release cycle as a cross-check against graph-derived facts (every
 /// `TranslationBuffer` impl and every phase-entry/shared-state
 /// definition must live in one of these files).
-pub const HOT_PATHS: [&str; 11] = [
+pub const HOT_PATHS: [&str; 12] = [
     "crates/gpu-sim/src/engine.rs",
+    "crates/gpu-sim/src/feed.rs",
     "crates/gpu-sim/src/pool.rs",
     "crates/mem-hier/src/drain.rs",
     "crates/mem-hier/src/hierarchy.rs",

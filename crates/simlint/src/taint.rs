@@ -137,6 +137,9 @@ pub fn sink_marker(ws: &Workspace, id: ItemId) -> Option<String> {
                 if t.text.to_ascii_lowercase().contains("csv") {
                     return Some(format!("CSV writer `{}`", t.text));
                 }
+                if t.text.to_ascii_lowercase().contains("tracewriter") {
+                    return Some(format!("trace writer `{}`", t.text));
+                }
             }
             TokKind::Str => {
                 if t.text.contains("BENCH_") {
@@ -147,6 +150,9 @@ pub fn sink_marker(ws: &Workspace, id: ItemId) -> Option<String> {
                 }
                 if t.text.contains("golden") {
                     return Some("produces a golden file".into());
+                }
+                if t.text.contains(".trace") {
+                    return Some("writes a .trace artifact".into());
                 }
             }
             _ => {}

@@ -69,12 +69,26 @@ const TLB_CLEAN: &str = "pub struct Vpn(pub u64);\npub struct Ppn(pub u64);\n\
          fn patch_ppn(&mut self, _vpn: Vpn, ppn: Ppn) { self.ppn = ppn.0; }\n\
      }\n";
 
-const BASE: [(&str, &str); 5] = [
+/// A second sink family: a trace writer (recognized by the
+/// `TraceWriter` identifier, like the real `workloads::format` encoder)
+/// whose payload comes from a keyed — hence deterministic — encoder.
+const TRACE_RS: &str = "pub struct TraceWriter { pub written: u64 }\n\
+     pub fn dump() -> TraceWriter { TraceWriter { written: encode() } }\n";
+
+const ENC_CLEAN: &str = "use std::collections::HashMap;\n\
+     pub fn encode() -> u64 {\n\
+         let m: HashMap<u64, u64> = HashMap::new();\n\
+         *m.get(&0).unwrap_or(&0)\n\
+     }\n";
+
+const BASE: [(&str, &str); 7] = [
     ("crates/repro/src/report.rs", REPORT_RS),
     ("crates/repro/src/agg.rs", AGG_CLEAN),
     ("crates/repro/src/front.rs", FRONT_CLEAN),
     ("crates/repro/src/back.rs", BACK_RS),
     ("crates/repro/src/tlb_impl.rs", TLB_CLEAN),
+    ("crates/repro/src/trace.rs", TRACE_RS),
+    ("crates/repro/src/trace_enc.rs", ENC_CLEAN),
 ];
 
 fn lint_and_remove(root: PathBuf) -> Vec<simlint::Violation> {
@@ -107,6 +121,31 @@ fn mutation_hash_iteration_into_report_path_is_caught() {
     assert!(
         v[0].message.contains("`emit` → `summarize`"),
         "the witness call path to the sink is part of the message: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn mutation_hash_iteration_into_trace_writer_path_is_caught() {
+    // The trace writer is a sink in its own right: nondeterministic
+    // bytes in a trace file would silently re-seed every downstream
+    // replay, so the taint rule must treat `TraceWriter` like a report.
+    let mut files = BASE;
+    files[6].1 = "use std::collections::HashMap;\n\
+         pub fn encode() -> u64 {\n\
+             let m: HashMap<u64, u64> = HashMap::new();\n\
+             let mut s = 0;\n\
+             for (_k, v) in m.iter() { s += v; }\n\
+             s\n\
+         }\n";
+    let v = lint_and_remove(write_tree("mut-trace", &files));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::taint::RULE);
+    assert_eq!(v[0].file, "crates/repro/src/trace_enc.rs");
+    assert_eq!(v[0].line, 5);
+    assert!(
+        v[0].message.contains("`dump` → `encode`"),
+        "the witness call path to the trace-writer sink is part of the message: {}",
         v[0].message
     );
 }

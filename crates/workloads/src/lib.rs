@@ -36,9 +36,11 @@ mod registry;
 mod scale;
 mod trace;
 
+pub mod format;
 pub mod gen;
 
 pub use cache::{CacheStats, WorkloadCache};
+pub use format::{TraceError, TraceReader, TraceSource, TraceWriter};
 pub use graph::{CsrGraph, RmatParams};
 pub use registry::{extended_registry, registry, BenchmarkSpec, Suite};
 pub use scale::Scale;

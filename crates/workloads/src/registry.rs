@@ -1,5 +1,6 @@
 //! The benchmark registry (the paper's Table II).
 
+use crate::format::TraceSource;
 use crate::gen;
 use crate::scale::Scale;
 use crate::trace::Workload;
@@ -57,6 +58,24 @@ impl BenchmarkSpec {
         page_size: PageSize,
     ) -> Workload {
         (self.generator)(scale, seed, page_size)
+    }
+
+    /// Generates the workload as an in-memory [`TraceSource`] with 4 KiB
+    /// pages (file-backed sources come from
+    /// [`WorkloadCache::get_source`](crate::WorkloadCache::get_source)).
+    pub fn source(&self, scale: Scale, seed: u64) -> TraceSource {
+        TraceSource::Generated(self.generate(scale, seed))
+    }
+
+    /// Generates the workload as an in-memory [`TraceSource`] with an
+    /// explicit page size.
+    pub fn source_with_page_size(
+        &self,
+        scale: Scale,
+        seed: u64,
+        page_size: PageSize,
+    ) -> TraceSource {
+        TraceSource::Generated(self.generate_with_page_size(scale, seed, page_size))
     }
 }
 

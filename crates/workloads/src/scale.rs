@@ -143,6 +143,24 @@ impl fmt::Display for Scale {
     }
 }
 
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] names (used by CLI flags and the
+    /// `trace/v1` footer's scale tag).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "test" => Ok(Scale::Test),
+            "small" => Ok(Scale::Small),
+            "paper" => Ok(Scale::Paper),
+            "large" => Ok(Scale::Large),
+            other => Err(format!(
+                "unknown scale {other:?} (expected test|small|paper|large)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +190,13 @@ mod tests {
     fn display_names() {
         assert_eq!(Scale::Test.to_string(), "test");
         assert_eq!(Scale::Paper.to_string(), "paper");
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for s in [Scale::Test, Scale::Small, Scale::Paper, Scale::Large] {
+            assert_eq!(s.to_string().parse::<Scale>(), Ok(s));
+        }
+        assert!("huge".parse::<Scale>().is_err());
     }
 }

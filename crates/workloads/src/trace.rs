@@ -6,7 +6,7 @@
 //! expands into 128-byte line transactions exactly as the hardware
 //! coalescer in Figure 1 of the paper does.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use vmem::{AddressSpace, VirtAddr};
 
@@ -309,6 +309,11 @@ pub struct Workload {
     name: String,
     kernels: Arc<Vec<KernelTrace>>,
     space: AddressSpace,
+    /// Cached [`TraceSummary`], computed at most once per trace storage
+    /// (clones share it, like the kernels). A trace read back from a
+    /// `trace/v1` file is primed from the footer, so `summary()` never
+    /// pays the full-decode pass.
+    summary: Arc<OnceLock<TraceSummary>>,
 }
 
 impl Workload {
@@ -318,6 +323,7 @@ impl Workload {
             name: name.into(),
             kernels: Arc::new(kernels),
             space,
+            summary: Arc::new(OnceLock::new()),
         }
     }
 
@@ -401,8 +407,21 @@ impl Workload {
         Ok(())
     }
 
-    /// Aggregate shape statistics of the trace.
+    /// Aggregate shape statistics of the trace. Computed on first use
+    /// (one O(ops) pass) and cached; clones of this workload share the
+    /// cache along with the trace storage.
     pub fn summary(&self) -> TraceSummary {
+        *self.summary.get_or_init(|| self.compute_summary())
+    }
+
+    /// Seeds the summary cache with an externally computed value (the
+    /// `trace/v1` reader primes it from the file footer). A no-op if the
+    /// summary was already computed.
+    pub fn prime_summary(&self, summary: TraceSummary) {
+        let _ = self.summary.set(summary);
+    }
+
+    fn compute_summary(&self) -> TraceSummary {
         let mut s = TraceSummary::default();
         for kernel in self.kernels.iter() {
             for tb in &kernel.tbs {
