@@ -298,6 +298,14 @@ impl Simulator {
         report.walker = shared.back.walker_stats();
         report.demand_faults = shared.back.demand_faults();
         report.transactions = fronts.iter().map(PerSmFront::transactions).sum();
+        // Memo fast-path hits across every TLB in the hierarchy. The
+        // lookup streams (and therefore the memo hit/miss pattern) are
+        // thread-count invariant, so this counter is too.
+        report.fastpath_hits = fronts
+            .iter()
+            .map(|f| f.tlb().fastpath_hits())
+            .chain(shared.back.l2_slices().iter().map(|s| s.fastpath_hits()))
+            .sum();
         report.latency = fronts
             .iter()
             .fold(*shared.back.breakdown(), |a, f| a + *f.breakdown());
@@ -464,10 +472,35 @@ pub(crate) fn run_chain(ctx: &RoundCtx, spec: &ChainSpec, lane: &mut Lane) -> Ch
     }
 }
 
-/// Cycles one epoch window may span before every lane syncs with the
-/// coordinator. Chains still stop early at their first shared request,
-/// so this only bounds how far a lane may run ahead unsynchronized.
-const EPOCH_CYCLES: u64 = 4096;
+/// The engine's per-round sharding policy, derived from
+/// [`GpuConfig::shard_threshold`] and [`GpuConfig::shard_lane_overhead`].
+///
+/// A phase-B round *meets* the policy when its deferred batch is large
+/// enough to amortize both the fixed drain setup (`threshold`) and the
+/// per-participating-lane cost (`lane_overhead` requests per lane).
+/// Whether the engine then actually shards additionally requires more
+/// than one executor — but the policy predicate itself never looks at
+/// the thread count, so the [`SimReport::sharded_rounds`] counter it
+/// feeds is identical for every `--sim-threads N`.
+#[derive(Copy, Clone)]
+struct ShardPolicy {
+    threshold: usize,
+    lane_overhead: usize,
+}
+
+impl ShardPolicy {
+    fn of(config: &GpuConfig) -> Self {
+        ShardPolicy {
+            threshold: config.shard_threshold,
+            lane_overhead: config.shard_lane_overhead,
+        }
+    }
+
+    /// Thread-count-independent half of the shard decision.
+    fn met(&self, total: usize, participants: usize) -> bool {
+        self.threshold > 0 && total >= self.threshold + participants * self.lane_overhead
+    }
+}
 
 /// Coordinator-side view of one lane's whereabouts and settled state.
 #[derive(Copy, Clone, Default)]
@@ -508,6 +541,19 @@ fn dispatch_tbs(
     snaps: &mut Vec<SmSnapshot>,
 ) -> Result<(), TraceError> {
     while *next_tb < feed.tb_count() {
+        // Cheap pre-check before building snapshots: dispatch can only
+        // proceed when some dispatch-visible lane has a free slot —
+        // exactly the `has_room` test below, read straight off the
+        // lanes. Most calls land here with every SM saturated, so this
+        // skips the per-SM stats snapshot on the hot path.
+        let any_room = lanes.iter().enumerate().any(|(i, slot)| {
+            !track[i].away
+                && track[i].pending.is_none()
+                && slot.as_ref().is_some_and(|l| !l.sm.free_slots.is_empty())
+        });
+        if !any_room {
+            break;
+        }
         snaps.clear();
         for (i, slot) in lanes.iter().enumerate() {
             let visible = !track[i].away && track[i].pending.is_none();
@@ -626,7 +672,10 @@ fn run_kernel(
     // per-lane request/response buffers recycled across rounds.
     let exec = ScopedExec {
         threads: executors,
+        chunk: config.shard_chunk,
     };
+    let policy = ShardPolicy::of(config);
+    let epoch_cycles = config.epoch_cycles.max(1);
     let mut shard_scratch: ShardScratch = Vec::new();
 
     // --- Per-event-cycle rounds (the serial schedule, exactly) -------
@@ -743,7 +792,8 @@ fn run_kernel(
             &mut resolved,
             &mut shard_scratch,
             &exec,
-            config.shard_threshold,
+            policy,
+            &mut report.sharded_rounds,
         );
 
         if let Some(san) = sanitizer.as_mut() {
@@ -785,7 +835,7 @@ fn run_kernel(
             };
             cycle = cycle.max(start);
             let spec = ChainSpec {
-                epoch_end: cycle.saturating_add(EPOCH_CYCLES),
+                epoch_end: cycle.saturating_add(epoch_cycles),
                 stop_on_retire: next_tb < tb_count,
                 park: true,
             };
@@ -881,7 +931,8 @@ fn run_kernel(
                     &mut resolved,
                     &mut shard_scratch,
                     &exec,
-                    config.shard_threshold,
+                    policy,
+                    &mut report.sharded_rounds,
                 );
                 let mut any_retired = false;
                 for t in track.iter_mut() {
@@ -1067,29 +1118,45 @@ fn phase_a(
     let front = &mut lane.front;
     let outbox = &mut lane.outbox;
 
-    // Retire warps whose final op has completed; free TB slots.
-    for w in 0..sm.warps.len() {
-        let warp = &mut sm.warps[w];
-        if !warp.retired && warp.op_idx >= warp.ops.len() && warp.ready_at <= cycle {
-            warp.retired = true;
-            let slot = warp.tb_slot as usize;
-            sm.slot_live_warps[slot] -= 1;
-            if sm.slot_live_warps[slot] == 0 {
-                sm.free_slots.push(slot as u8);
-                front.tlb_mut().on_tb_finish(slot as u8);
+    // Retire warps whose final op has completed; free TB slots. The
+    // whole scan is skipped while `earliest_done` proves no finished
+    // warp can be due yet — a skipped scan would have retired nothing,
+    // so the serial decision sequence is unchanged.
+    if sm.earliest_done <= cycle {
+        sm.earliest_done = u64::MAX;
+        for w in 0..sm.warps.len() {
+            let warp = &mut sm.warps[w];
+            if warp.retired || warp.op_idx < warp.ops.len() {
+                continue;
+            }
+            if warp.ready_at <= cycle {
+                warp.retired = true;
+                sm.retired_warps += 1;
+                let slot = warp.tb_slot as usize;
+                sm.slot_live_warps[slot] -= 1;
+                if sm.slot_live_warps[slot] == 0 {
+                    sm.free_slots.push(slot as u8);
+                    front.tlb_mut().on_tb_finish(slot as u8);
+                }
+            } else {
+                let due = warp.ready_at;
+                sm.earliest_done = sm.earliest_done.min(due);
             }
         }
     }
-    if sm.warps.iter().filter(|w| w.retired).count() > 128 {
+    if sm.retired_warps > 128 {
         sm.compact();
     }
 
-    // GTO issue: stay greedy on the last-issued warp, then oldest.
+    // GTO issue: stay greedy on the last-issued warp, then oldest. The
+    // scheduler views are built once for the cycle and patched in place
+    // per issue (only the issued warp changes between picks).
     let mut deferred = false;
     let mut issued = 0u32;
+    sm.build_views(cycle);
     while issued < config.issue_width {
-        let pick = sm.pick(cycle);
-        let Some(w) = pick else { break };
+        let pick = sm.pick();
+        let Some((w, view_idx)) = pick else { break };
         let warp = &mut sm.warps[w];
         let op = &warp.ops[warp.op_idx];
         warp.op_idx += 1;
@@ -1209,15 +1276,28 @@ fn phase_a(
                 warp.ready_at = done;
             }
         }
+        let finished = warp.op_idx >= warp.ops.len();
+        if finished {
+            // The warp just issued its final op: it becomes retirable at
+            // its completion (phase B only ever moves that later, so the
+            // bound stays conservative).
+            let due = warp.ready_at;
+            sm.earliest_done = sm.earliest_done.min(due);
+        }
+        sm.after_issue(view_idx, finished);
         issued += 1;
     }
 
+    // `issue_limited` licenses the `recompute_next_event` short-circuit,
+    // which requires at least one issue this cycle — guaranteed by
+    // `issued >= issue_width` only when the width is non-zero.
+    let issue_limited = config.issue_width > 0 && issued >= config.issue_width;
     if outbox.is_empty() {
-        sm.recompute_next_event(cycle, issued >= config.issue_width);
+        sm.recompute_next_event(cycle, issue_limited);
     } else {
         // next_event depends on deferred completion cycles; phase B
         // recomputes after patching the warps.
-        outbox.recompute = Some(issued >= config.issue_width);
+        outbox.recompute = Some(issue_limited);
     }
 }
 
@@ -1261,9 +1341,10 @@ fn phase_b(lane: &mut Lane, shared: &mut SharedState, cycle: u64, resolved: &mut
 type ShardScratch = Vec<(Vec<SharedRequest>, Vec<SharedResponse>)>;
 
 /// Phase B for every participating lane: the serial per-SM apply loop
-/// in SM-index order, or — when the round is large enough, the run is
-/// multi-threaded, the sanitizer is off and every participating L1 TLB
-/// supports deferred fills — the sharded slice-parallel drain
+/// in SM-index order, or — when the round meets the [`ShardPolicy`],
+/// the run is multi-threaded, the sanitizer is off and every
+/// participating L1 TLB supports deferred fills — the sharded
+/// slice-parallel drain
 /// ([`drain_sharded`]), which reproduces the serial order byte-exactly.
 ///
 /// `take(i)` selects participants (idempotent; called more than once
@@ -1277,9 +1358,11 @@ fn drain_phase_b(
     resolved: &mut Vec<(Ppn, u64)>,
     scratch: &mut ShardScratch,
     exec: &ScopedExec,
-    threshold: usize,
+    policy: ShardPolicy,
+    sharded_rounds: &mut u64,
 ) {
     let mut total = 0usize;
+    let mut participants = 0usize;
     let mut deferrable = true;
     for (i, slot) in lanes.iter().enumerate() {
         if !take(i) {
@@ -1290,14 +1373,26 @@ fn drain_phase_b(
         };
         if !lane.outbox.is_empty() {
             total += lane.outbox.entries.len();
+            participants += 1;
             deferrable &= lane.front.tlb().supports_deferred_fill();
         }
     }
-    let sharded = exec.threads > 1
-        && threshold > 0
-        && total >= threshold
-        && deferrable
-        && !shared.sanitize;
+    // Most per-cycle rounds defer nothing: every outbox is empty, the
+    // serial apply loop below would visit 16 lanes just to return from
+    // each, and the policy can never be met (`threshold > 0`). Skip
+    // them outright — byte-exact, since `phase_b` on an empty outbox is
+    // a no-op.
+    if total == 0 {
+        return;
+    }
+    // The policy predicate is thread-count independent (the round's
+    // batch is identical for every `--sim-threads N`), so the counter it
+    // feeds is too; only the actual shard additionally needs executors.
+    let met = policy.met(total, participants) && deferrable && !shared.sanitize;
+    if met {
+        *sharded_rounds += 1;
+    }
+    let sharded = met && exec.threads > 1;
     if !sharded {
         for (i, slot) in lanes.iter_mut().enumerate() {
             if !take(i) {
@@ -1411,6 +1506,15 @@ pub(crate) struct SmRt {
     /// the scheduler can be handed `&views` without a per-pick collect).
     view_warps: Vec<usize>,
     next_event: u64,
+    /// Lower bound on the earliest cycle any finished warp can retire
+    /// (`u64::MAX` when none is pending). Phase-B patches only push
+    /// completion times later, so the bound stays valid and the per-step
+    /// retire scan can be skipped outright while `cycle` is below it —
+    /// a skipped scan provably would have retired nothing.
+    earliest_done: u64,
+    /// Retired warps still occupying `warps` (drives compaction without
+    /// a per-step recount).
+    retired_warps: usize,
 }
 
 impl SmRt {
@@ -1424,6 +1528,8 @@ impl SmRt {
             views: Vec::new(),
             view_warps: Vec::new(),
             next_event: u64::MAX,
+            earliest_done: u64::MAX,
+            retired_warps: 0,
         }
     }
 
@@ -1436,6 +1542,10 @@ impl SmRt {
         let slot = self.free_slots.pop().expect("caller checked has_room"); // simlint: allow(hot-unwrap, reason = "dispatch loop asserts has_room before place_tb")
         let mut live = 0;
         for (warp_in_tb, warp) in tb.warps().iter().enumerate() {
+            if warp.shared_ops().is_empty() {
+                // A warp with no ops is retirable at its first event.
+                self.earliest_done = self.earliest_done.min(cycle + 1);
+            }
             self.warps.push(WarpRt {
                 id: self.next_warp_id,
                 ops: warp.shared_ops(),
@@ -1458,8 +1568,12 @@ impl SmRt {
         self.next_event = self.next_event.min(cycle + 1);
     }
 
-    /// Asks the warp-scheduling policy for the next warp to issue.
-    fn pick(&mut self, cycle: u64) -> Option<usize> {
+    /// Rebuilds the scheduler views (live warps in launch order) for a
+    /// new issue cycle. [`SmRt::pick`] then consumes the cached views;
+    /// between picks of the same cycle only the issued warp changes, so
+    /// [`SmRt::after_issue`] patches its entry in place instead of
+    /// rescanning the warp vector per issue slot.
+    fn build_views(&mut self, cycle: u64) {
         self.views.clear();
         self.view_warps.clear();
         for (i, w) in self.warps.iter().enumerate() {
@@ -1473,14 +1587,44 @@ impl SmRt {
             });
             self.view_warps.push(i);
         }
+    }
+
+    /// Asks the warp-scheduling policy for the next warp to issue, from
+    /// the views cached by [`SmRt::build_views`]. Returns the warp index
+    /// and its view index (for [`SmRt::after_issue`]).
+    fn pick(&mut self) -> Option<(usize, usize)> {
         // The scheduler sees only the views, in launch order.
         let picked = self.scheduler.pick(&self.views)?;
         let view = self.views[picked];
         self.scheduler.issued(view);
-        Some(self.view_warps[picked])
+        Some((self.view_warps[picked], picked))
+    }
+
+    /// Patches the cached views after issuing the warp behind view
+    /// `view_idx`. An issued warp's `ready_at` always lands strictly in
+    /// the future (compute latencies are clamped to ≥ 1, transactions
+    /// complete at `cycle + 1` at the earliest), so its view simply goes
+    /// not-ready; a warp that issued its final op leaves the views
+    /// entirely, exactly as a rebuild would drop it.
+    fn after_issue(&mut self, view_idx: usize, finished: bool) {
+        if finished {
+            self.views.remove(view_idx);
+            self.view_warps.remove(view_idx);
+        } else {
+            self.views[view_idx].ready = false;
+        }
     }
 
     fn recompute_next_event(&mut self, cycle: u64, issue_limited: bool) {
+        // Callers pass `issue_limited` only when at least one op issued
+        // this cycle, and an issued warp's `ready_at` is strictly future
+        // — so a future event exists (`next != u64::MAX` below) and the
+        // scan's verdict is `cycle + 1` whatever `any_ready_now` says.
+        // Skip the warp scan outright.
+        if issue_limited {
+            self.next_event = cycle + 1;
+            return;
+        }
         let mut next = u64::MAX;
         let mut any_ready_now = false;
         for w in &self.warps {
@@ -1512,6 +1656,7 @@ impl SmRt {
         // Stable warp ids survive compaction, so the scheduler's state
         // stays valid.
         self.warps.retain(|w| !w.retired);
+        self.retired_warps = 0;
     }
 
     pub(crate) fn next_event(&self) -> u64 {
@@ -1572,6 +1717,46 @@ mod tests {
             assert_eq!(serial.l1_tlb, par.l1_tlb);
             assert_eq!(serial.latency, par.latency);
             assert_eq!(serial.translation_trace, par.translation_trace);
+        }
+    }
+
+    #[test]
+    fn memo_fastpath_serves_lookups_in_a_real_run() {
+        // Warps re-touch the same page line after line, so the MRU memo
+        // must serve a meaningful share of lookups; every fast-path hit
+        // is a hit, so the counter is bounded by the hit totals.
+        let r = run_bench("gemm");
+        assert!(r.fastpath_hits > 0, "memo fast path never engaged");
+        let bound = r.l1_tlb_aggregate().hits + r.l2_tlb.hits;
+        assert!(r.fastpath_hits <= bound, "{} > {bound}", r.fastpath_hits);
+    }
+
+    #[test]
+    fn shard_policy_rounds_are_thread_invariant() {
+        // The `sharded_rounds` counter must not depend on the thread
+        // count: a serial run (which never shards) reports the same
+        // policy-met rounds as a parallel run (which shards them).
+        let spec = registry().into_iter().find(|s| s.name == "gemm").unwrap();
+        let config = GpuConfig {
+            shard_threshold: 1,
+            shard_lane_overhead: 0,
+            ..GpuConfig::dac23_baseline()
+        };
+        let run = |threads: usize| {
+            Simulator::new(config.clone())
+                .with_sim_threads(threads)
+                .with_sanitizer(false)
+                .run(spec.generate(Scale::Test, 42))
+        };
+        let serial = run(1);
+        assert!(serial.sharded_rounds > 0, "forced policy never met");
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(
+                serial.sharded_rounds, par.sharded_rounds,
+                "{threads} threads"
+            );
+            assert_eq!(serial.to_csv_row(), par.to_csv_row(), "{threads} threads");
         }
     }
 

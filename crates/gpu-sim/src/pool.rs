@@ -231,6 +231,10 @@ impl WorkerPool {
 pub(crate) struct ScopedExec {
     /// Total executors (coordinator included) to spread tasks over.
     pub threads: usize,
+    /// Consecutive tasks dealt to one executor before the deal moves on
+    /// (1 = pure round-robin). Tasks are mutually independent, so the
+    /// deal only shifts wall-clock balance, never output.
+    pub chunk: usize,
 }
 
 impl mem_hier::DrainExec for ScopedExec {
@@ -242,10 +246,11 @@ impl mem_hier::DrainExec for ScopedExec {
             }
             return;
         }
+        let chunk = self.chunk.max(1);
         let mut chunks: Vec<Vec<Box<dyn FnOnce() + Send + 'a>>> =
             (0..n).map(|_| Vec::new()).collect();
         for (i, t) in tasks.drain(..).enumerate() {
-            chunks[i % n].push(t);
+            chunks[(i / chunk) % n].push(t);
         }
         std::thread::scope(|s| {
             let mut it = chunks.into_iter();

@@ -58,6 +58,16 @@ pub struct SimReport {
     pub latency: LatencyBreakdown,
     /// Recorded L1 TLB access stream (only when tracing was enabled).
     pub translation_trace: Vec<TranslationEvent>,
+    /// Phase-B rounds whose deferred batch met the engine's shard
+    /// policy. The policy predicate never reads the thread count, so a
+    /// serial run reports the same number as any `--sim-threads N` run
+    /// (where those rounds actually take the sharded drain).
+    pub sharded_rounds: u64,
+    /// TLB lookups (all levels) served by the exact MRU memo fast path
+    /// instead of a tag walk. Pure wall-clock accounting: the fast path
+    /// is byte-identical to the walk it skips, and the lookup streams
+    /// are thread-count invariant, so this counter is too.
+    pub fastpath_hits: u64,
 }
 
 impl SimReport {
@@ -130,7 +140,8 @@ impl SimReport {
             "l2_cache_hit_rate,walks,walker_wait_cycles,demand_faults,",
             "walker_coalesced,walker_max_queue_wait,translations,",
             "l1_tlb_cycles,icnt_cycles,l2_tlb_queue_cycles,",
-            "l2_tlb_lookup_cycles,walk_cycles,fault_cycles,translate_cycles"
+            "l2_tlb_lookup_cycles,walk_cycles,fault_cycles,translate_cycles,",
+            "sharded_rounds,fastpath_hits"
         )
     }
 
@@ -148,7 +159,7 @@ impl SimReport {
             });
         let lat = &self.latency;
         format!(
-            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.workload,
             self.scheduler,
             self.total_cycles,
@@ -170,7 +181,9 @@ impl SimReport {
             lat.l2_tlb_lookup_cycles,
             lat.walk_cycles,
             lat.fault_cycles,
-            lat.end_to_end_cycles
+            lat.end_to_end_cycles,
+            self.sharded_rounds,
+            self.fastpath_hits
         )
     }
 }
@@ -320,6 +333,8 @@ mod tests {
                 fault_cycles: 2000,
                 end_to_end_cycles: 2558,
             },
+            sharded_rounds: 21,
+            fastpath_hits: 4242,
             ..Default::default()
         };
         let header: Vec<&str> = SimReport::csv_header().split(',').collect();
@@ -345,6 +360,10 @@ mod tests {
         assert_eq!(field("walk_cycles"), 500);
         assert_eq!(field("fault_cycles"), 2000);
         assert_eq!(field("translate_cycles"), 2558);
+        // Serial hot-path counters (appended columns): shard-policy
+        // rounds and memo fast-path hits round-trip exactly.
+        assert_eq!(field("sharded_rounds"), 21);
+        assert_eq!(field("fastpath_hits"), 4242);
         // And the recovered row still satisfies the stage-sum identity.
         assert!(r.latency.check().is_ok());
     }

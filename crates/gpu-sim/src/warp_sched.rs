@@ -75,8 +75,14 @@ impl GtoWarpScheduler {
 impl WarpScheduler for GtoWarpScheduler {
     fn pick(&mut self, warps: &[WarpView]) -> Option<usize> {
         if let Some(last) = self.last {
-            if let Some(i) = warps.iter().position(|w| w.id == last && w.ready) {
-                return Some(i);
+            // Launch order means ascending (unique) ids, so the greedy
+            // warp — the common case — is found by binary search rather
+            // than a scan.
+            debug_assert!(warps.windows(2).all(|w| w[0].id < w[1].id));
+            if let Ok(i) = warps.binary_search_by_key(&last, |w| w.id) {
+                if warps[i].ready {
+                    return Some(i);
+                }
             }
         }
         // Oldest = lowest stable id; launch order preserves it.

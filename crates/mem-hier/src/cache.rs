@@ -71,16 +71,54 @@ pub struct Cache {
     lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
+    /// `(line_shift, set_mask)` when both the line size and the set
+    /// count are powers of two, letting the per-access address split run
+    /// on shifts and masks instead of 64-bit divisions. Yields exactly
+    /// the `(set, tag)` pair of the div/mod path (`None` = non-pow2
+    /// geometry, e.g. a 12-slice L2, which takes `set_magic` below).
+    pow2: Option<(u32, u32)>,
+    /// `floor(2^64 / sets)` for the multiply-high division on non-pow2
+    /// set counts (unused — zero — when `pow2` is `Some` or `sets == 1`).
+    set_magic: u64,
+}
+
+/// Exact `(n / d, n % d)` via one widening multiply instead of hardware
+/// division, with `magic = floor(2^64 / d)` and `d >= 2`.
+///
+/// `n * magic / 2^64 = n/d - n*(2^64 mod d)/(d * 2^64)`, and the error
+/// term is below `n / 2^64 < 1`, so the estimate is `floor(n/d)` or one
+/// less — a single conditional fix-up restores exactness for every
+/// `n < 2^64`.
+fn divmod_by_magic(n: u64, d: u64, magic: u64) -> (u64, u64) {
+    debug_assert!(d >= 2 && magic == u64::MAX / d);
+    let mut q = ((n as u128 * magic as u128) >> 64) as u64;
+    let mut r = n - q * d;
+    if r >= d {
+        q += 1;
+        r -= d;
+    }
+    debug_assert!((q, r) == (n / d, n % d));
+    (q, r)
 }
 
 impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
+        let pow2 = (config.line_bytes.is_power_of_two() && config.sets().is_power_of_two())
+            .then(|| (config.line_bytes.trailing_zeros(), config.sets().trailing_zeros()));
+        let sets = config.sets() as u64;
+        let set_magic = if pow2.is_none() && sets >= 2 {
+            u64::MAX / sets
+        } else {
+            0
+        };
         Cache {
             lines: vec![Line::default(); config.lines()],
             config,
             clock: 0,
             stats: CacheStats::default(),
+            pow2,
+            set_magic,
         }
     }
 
@@ -93,10 +131,30 @@ impl Cache {
     /// on hit. Misses allocate (write-allocate for stores).
     pub fn access(&mut self, pa: u64, write: bool) -> bool {
         self.clock += 1;
-        let line_addr = pa / self.config.line_bytes as u64;
-        let sets = self.config.sets() as u64;
-        let set = (line_addr % sets) as usize; // simlint: allow(lossy-cast, reason = "modulo in u64 precedes the narrowing")
-        let tag = line_addr / sets;
+        let (set, tag) = match self.pow2 {
+            Some((line_shift, set_bits)) => {
+                let line_addr = pa >> line_shift;
+                // Mask in u64 before narrowing, as below.
+                let set = (line_addr & ((1u64 << set_bits) - 1)) as usize; // simlint: allow(lossy-cast, reason = "mask in u64 precedes the narrowing")
+                (set, line_addr >> set_bits)
+            }
+            None => {
+                let line_addr = if self.config.line_bytes.is_power_of_two() {
+                    pa >> self.config.line_bytes.trailing_zeros()
+                } else {
+                    pa / self.config.line_bytes as u64
+                };
+                let sets = self.config.sets() as u64;
+                if sets >= 2 {
+                    let (tag, set) = divmod_by_magic(line_addr, sets, self.set_magic);
+                    // The remainder sits below the set count, so the
+                    // narrowing is exact.
+                    (set as usize, tag)
+                } else {
+                    (0, line_addr)
+                }
+            }
+        };
         let a = self.config.associativity;
         let range = set * a..(set + 1) * a;
         let clock = self.clock;
@@ -217,6 +275,24 @@ mod tests {
         c.access(6 * 128, false);
         assert_eq!(c.stats().evictions, 2);
         assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn non_pow2_sets_exercise_reciprocal_split() {
+        // The dac23 L2 geometry: 1536 sets takes the multiply-high
+        // fallback, whose debug assert cross-checks every split against
+        // plain div/mod. Hammer it with well-spread addresses.
+        let mut c = Cache::new(CacheConfig::new(1536 * 1024, 8, 128));
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..4096 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            c.access(x >> 16, x & 1 == 1);
+        }
+        assert_eq!(c.stats().accesses(), 4096);
+        c.access(0xdead_beef_0000, false);
+        assert!(c.access(0xdead_beef_0000 + 64, false), "same 128B line");
     }
 
     #[test]

@@ -569,15 +569,17 @@ mod tests {
         }
     }
 
-    fn setup(num_sms: usize, slices: usize) -> (Vec<PerSmFront>, SharedBack, u64) {
+    fn setup(
+        num_sms: usize,
+        slices: usize,
+        l1: &dyn Fn() -> Box<dyn TranslationBuffer>,
+    ) -> (Vec<PerSmFront>, SharedBack, u64) {
         let mut space = AddressSpace::new(PageSize::Small);
         let buf = space.allocate("b", 1 << 22).expect("fresh space");
         let base = buf.addr_of(0).raw();
         let cfg = config(num_sms, slices);
         let fronts = (0..num_sms)
-            .map(|sm| {
-                PerSmFront::new(sm, Box::new(SetAssocTlb::new(TlbConfig::new(8, 2, 1))), &cfg)
-            })
+            .map(|sm| PerSmFront::new(sm, l1(), &cfg))
             .collect();
         (fronts, SharedBack::new(&cfg, space), base)
     }
@@ -658,13 +660,16 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn sharded_drain_matches_serial_apply_exactly() {
+    /// Runs the serial-vs-sharded twin comparison for one L1 TLB
+    /// organization. Every lane's L1 must report
+    /// `supports_deferred_fill` — the drain's sentinel protocol depends
+    /// on it.
+    fn twin_check(mech: &str, l1: &dyn Fn() -> Box<dyn TranslationBuffer>) {
         for seed in 0..12 {
             for slices in [1usize, 2, 4] {
                 let num_sms = 4;
                 // Serial reference: global (sm, seq) apply order.
-                let (mut fronts_a, mut back_a, base) = setup(num_sms, slices);
+                let (mut fronts_a, mut back_a, base) = setup(num_sms, slices, l1);
                 let reqs = batch(base, num_sms, seed);
                 let mut serial: Vec<Vec<SharedResponse>> = Vec::new();
                 for (sm, rs) in reqs.iter().enumerate() {
@@ -680,7 +685,7 @@ mod tests {
                     serial.push(out);
                 }
                 // Sharded drain over the identical twin.
-                let (mut fronts_b, mut back_b, base_b) = setup(num_sms, slices);
+                let (mut fronts_b, mut back_b, base_b) = setup(num_sms, slices, l1);
                 assert_eq!(base, base_b, "twin allocation must be deterministic");
                 let mut resps: Vec<Vec<SharedResponse>> = vec![Vec::new(); num_sms];
                 {
@@ -698,7 +703,7 @@ mod tests {
                         .collect();
                     drain_sharded(&mut back_b, &mut lanes, &SerialExec);
                 }
-                let tag = format!("seed {seed} slices {slices}");
+                let tag = format!("{mech}: seed {seed} slices {slices}");
                 for sm in 0..num_sms {
                     for (i, (a, b)) in serial[sm].iter().zip(&resps[sm]).enumerate() {
                         assert_eq!(
@@ -766,5 +771,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sharded_drain_matches_serial_apply_exactly() {
+        twin_check("set-assoc", &|| {
+            Box::new(SetAssocTlb::new(TlbConfig::new(8, 2, 1)))
+        });
+    }
+
+    #[test]
+    fn sharded_drain_matches_serial_apply_for_partitioned_l1() {
+        // The paper's own mechanism: TB-id partitioning with adjacent
+        // sharing (compression off, so deferred fill is sound). The tiny
+        // geometry forces the 16-TBs-over-4-sets aliasing path plus
+        // spills, so sentinel fills exercise placement, rescue, and the
+        // full-scan patch.
+        use orchestrated_tlb::{PartitionedTlb, PartitionedTlbConfig};
+        twin_check("partitioned", &|| {
+            let t = PartitionedTlb::new(PartitionedTlbConfig {
+                geometry: TlbConfig::new(8, 2, 1),
+                ..PartitionedTlbConfig::with_sharing()
+            });
+            assert!(t.supports_deferred_fill());
+            Box::new(t)
+        });
     }
 }

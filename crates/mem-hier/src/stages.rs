@@ -196,21 +196,18 @@ impl Stage for WalkerStage {
     }
 
     fn access(&mut self, acc: &Access) -> Outcome {
-        // First touch demand-pages the frame in (mutates the space), so
-        // translate before measuring the walk's radix depth.
-        let (pa, fault) = self
+        // One radix traversal serves both the translation (first touch
+        // demand-pages the frame in, mutating the space) and the walk's
+        // measured depth — `translate_with_walk_info` reports the level
+        // count a separate post-translation walk would.
+        let (pa, fault, levels) = self
             .space
-            .translate_with_fault_info(acc.va)
+            .translate_with_walk_info(acc.va)
             .expect("workload addresses must fall inside allocated buffers"); // simlint: allow(hot-unwrap, reason = "documented panic contract: out-of-buffer addresses are generator bugs")
         let latency = if self.per_level_latency == 0 {
             self.base_latency
         } else {
-            let levels = self
-                .space
-                .walk(acc.va)
-                .map(|w| w.levels_touched as u64)
-                .unwrap_or(4);
-            self.base_latency + self.per_level_latency * levels
+            self.base_latency + self.per_level_latency * levels as u64
         };
         let waited_before = self.pool.stats().queue_wait_cycles;
         let done = self.pool.submit_with_latency(acc.at, acc.vpn, latency);

@@ -12,10 +12,14 @@
 //! - lookups probing the own group plus (flag engaged) the successor
 //!   TB's group, in ascending set order, paying one base latency per
 //!   probed set when the multi-set overhead is modelled;
-//! - insertion preferring the VPN-chosen candidate set, then any empty
-//!   way in the group, then rescuing the candidate set's LRU victim into
-//!   the neighbour's sets when the displacement margin licenses it
-//!   (setting the spiller's sharing flag), and only then truly evicting;
+//! - insertion refreshing an already-resident page in place — with
+//!   compression off the refresh is *unconditional* (last writer wins;
+//!   no payload comparison, the property that licenses the engine's
+//!   deferred fills), under compression only when run-coherent — then
+//!   preferring the VPN-chosen candidate set, then any empty way in the
+//!   group, then rescuing the candidate set's LRU victim into the
+//!   neighbour's sets when the displacement margin licenses it (setting
+//!   the spiller's sharing flag), and only then truly evicting;
 //! - PACT'20 run compression (merge into a coherent run of the own
 //!   group, decompress latency on multi-page hits);
 //! - sharing-flag reset and entry adoption when the TB occupying the
@@ -275,12 +279,23 @@ impl OraclePartitionedTlb {
         // The PPN the run base would need for `ppn` to sit at `off`.
         let expected_base_ppn = ppn.raw().checked_sub(u64::from(off));
 
-        // 1. Already reachable? Refresh in place when the mapping is
-        //    unchanged; otherwise drop the stale page from its run (the
-        //    slot's stamp survives even if the run empties).
+        // 1. Already reachable? Without compression the refresh is
+        //    *unconditional* — last writer wins, no payload comparison —
+        //    which is exactly what makes the subject's compression-off
+        //    insert deferred-fill eligible (a sentinel PPN must steer
+        //    replacement identically to the real one). Under compression
+        //    the base-delta predicate is inherently payload-dependent:
+        //    refresh only when coherent, otherwise drop the stale page
+        //    from its run (the slot's stamp survives even if the run
+        //    empties).
         if let Some((set, way)) = self.find(&self.searchable_sets(tb), req.vpn) {
             let slot = &mut self.sets[set][way];
             let e = slot.entry.as_mut().expect("find returns live slots");
+            if self.cfg.compression.is_none() {
+                e.base_ppn = ppn;
+                slot.stamp = clock;
+                return;
+            }
             let coherent = if e.literal {
                 e.mask == 1 << off && e.base_ppn == ppn
             } else {
@@ -630,7 +645,7 @@ mod tests {
         let ops: &[(u64, u8, Option<u64>)] = &[
             (100, 1, Some(1)), // TB 1 fills its set
             (101, 1, Some(2)),
-            (100, 1, Some(50)), // incoherent remap: invalidates, stamp stays
+            (100, 1, Some(50)), // remap: refreshes in place (last writer wins)
             (1, 0, Some(10)),   // TB 0 fills its set...
             (2, 0, Some(11)),
             (3, 0, Some(12)), // ...set is 2-way: overflow spills into TB 1

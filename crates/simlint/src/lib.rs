@@ -1189,6 +1189,12 @@ mod tests {
             "crates/mem-hier/src/split.rs",
             "crates/mem-hier/src/stages.rs",
             "crates/mem-hier/src/ports.rs",
+            // The deferred-fill fast paths (partitioned `insert`/`place`/
+            // `patch_ppn` and the per-organization MRU memos) all live in
+            // these files and must stay under hot-path scrutiny.
+            "crates/tlb/src/set_assoc.rs",
+            "crates/tlb/src/compressed.rs",
+            "crates/core/src/partitioned.rs",
         ] {
             assert!(HOT_PATHS.contains(&f), "{f} missing from HOT_PATHS");
         }

@@ -159,10 +159,20 @@ fn deferred_fill(ws: &Workspace, out: &mut Vec<Violation>) {
     }) {
         let it = ws.item(id);
         let ty = it.self_ty.clone().unwrap_or_default();
-        // Only implementors that can answer `true` make the promise.
-        if !body_mentions(ws, id, "true") {
+        // Only implementors that can answer `true` make the promise: a
+        // body that is exactly `false` opts out. Anything else — a bare
+        // `true` or a *conditional* claim like
+        // `self.cfg.compression.is_none()` — is analyzed.
+        if claims_only_false(ws, id) {
             continue;
         }
+        // A conditional claim licenses `insert` regions guarded on the
+        // claim's own identifiers: inside
+        // `if self.cfg.compression.is_some() { … }` the payload may drive
+        // placement, because the claim promises deferred fills never take
+        // that configuration. An unconditional `true` claim licenses
+        // nothing.
+        let guards = claim_idents(ws, id);
         let insert = ws.items_where(|ws, j| {
             let jt = ws.item(j);
             jt.kind == ItemKind::Fn && jt.name == "insert" && jt.self_ty.as_deref() == Some(ty.as_str())
@@ -192,7 +202,7 @@ fn deferred_fill(ws: &Workspace, out: &mut Vec<Violation>) {
             let Some(payload) = params.iter().rev().find(|p| p.name != "self") else {
                 continue;
             };
-            if let Some((line, why)) = payload_dependent(ws, ins, &payload.name, 0) {
+            if let Some((line, why)) = payload_dependent(ws, ins, &payload.name, 0, &guards) {
                 out.push(Violation {
                     file: ws.rel(ins).to_string(),
                     line,
@@ -209,30 +219,114 @@ fn deferred_fill(ws: &Workspace, out: &mut Vec<Violation>) {
     }
 }
 
-fn body_mentions(ws: &Workspace, id: ItemId, ident: &str) -> bool {
+/// True when the item's body is exactly the single token `false` — the
+/// canonical "never defers" opt-out (the trait default and explicit
+/// `{ false }` overrides).
+fn claims_only_false(ws: &Workspace, id: ItemId) -> bool {
     let (fi, it) = &ws.items[id];
     let toks = &ws.files[*fi].toks;
     let (start, end) = it.body;
-    toks[start.min(toks.len())..end.min(toks.len())]
+    let mut significant = toks[start.min(toks.len())..end.min(toks.len())]
         .iter()
-        .any(|t| t.kind == TokKind::Ident && t.text == ident)
+        .filter(|t| t.text != "{" && t.text != "}");
+    significant.next().map(|t| t.text.as_str()) == Some("false") && significant.next().is_none()
+}
+
+/// Identifiers a conditional `supports_deferred_fill` body conditions
+/// its claim on (`compression` for `self.cfg.compression.is_none()`).
+/// Access-path plumbing (`self`, `cfg`, `config`) and the
+/// `Option`-test method names are excluded: they appear in guards that
+/// have nothing to do with the claim (`self.cfg.sharing`,
+/// `x.is_some()`) and must not license them. Empty for the
+/// unconditional `{ true }` claim.
+fn claim_idents(ws: &Workspace, id: ItemId) -> Vec<String> {
+    let (fi, it) = &ws.items[id];
+    let toks = &ws.files[*fi].toks;
+    let (start, end) = it.body;
+    let mut out: Vec<String> = toks[start.min(toks.len())..end.min(toks.len())]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .filter(|t| {
+            !matches!(
+                t.text.as_str(),
+                "self" | "true" | "false" | "cfg" | "config" | "is_none" | "is_some"
+            )
+        })
+        .map(|t| t.text.clone())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Marks the body tokens of `toks[start..end]` that sit inside a block
+/// whose `if`/`while`/`match` head names one of `guards`. Within such a
+/// block the payload may drive placement: the conditional claim promises
+/// that configuration never answers `true`, so deferred fills never
+/// reach it. Granularity is the guarded block itself — a guarded `match`
+/// licenses all its arms, and `else` branches are deliberately NOT
+/// licensed: the opposite configuration is exactly the one that must
+/// stay payload-independent.
+fn licensed_spans(toks: &[crate::lexer::Tok], start: usize, end: usize, guards: &[String]) -> Vec<bool> {
+    let mut lic = vec![false; end.saturating_sub(start)];
+    if guards.is_empty() {
+        return lic;
+    }
+    let mut depth = 0usize;
+    let mut lic_stack: Vec<usize> = Vec::new();
+    let mut in_head = false;
+    let mut head_mentions = false;
+    for k in start..end {
+        let t = &toks[k];
+        match t.text.as_str() {
+            "if" | "while" | "match" => {
+                in_head = true;
+                head_mentions = false;
+            }
+            "{" => {
+                depth += 1;
+                if in_head {
+                    in_head = false;
+                    if head_mentions {
+                        lic_stack.push(depth);
+                    }
+                }
+            }
+            "}" => {
+                if lic_stack.last() == Some(&depth) {
+                    lic_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {
+                if in_head && t.kind == TokKind::Ident && guards.iter().any(|g| g == &t.text) {
+                    head_mentions = true;
+                }
+            }
+        }
+        lic[k - start] = !lic_stack.is_empty();
+    }
+    lic
 }
 
 /// Does the value of parameter `param` influence control flow or
 /// placement inside item `id`? Returns the offending line and a verb
 /// phrase. Recurses one level through `self.helper(...)` calls that
-/// forward the payload.
+/// forward the payload. Occurrences inside regions licensed by a
+/// conditional claim's `guards` (see [`licensed_spans`]) are exempt.
 fn payload_dependent(
     ws: &Workspace,
     id: ItemId,
     param: &str,
     depth: usize,
+    guards: &[String],
 ) -> Option<(usize, String)> {
     let (fi, it) = &ws.items[id];
     let toks = &ws.files[*fi].toks;
     let (start, end) = it.body;
     let end = end.min(toks.len());
     let txt = |k: usize| -> &str { toks.get(k).map(|t| t.text.as_str()).unwrap_or("") };
+    let lic = licensed_spans(toks, start, end, guards);
 
     let mut cond_active = false;
     let mut bracket_depth = 0usize;
@@ -244,6 +338,9 @@ fn payload_dependent(
             "[" => bracket_depth += 1,
             "]" => bracket_depth = bracket_depth.saturating_sub(1),
             _ => {}
+        }
+        if lic[k - start] {
+            continue;
         }
         if t.kind != TokKind::Ident || t.text != param {
             continue;
@@ -277,6 +374,12 @@ fn payload_dependent(
     let self_ty = it.self_ty.as_deref()?;
     for k in start..end {
         if txt(k) != "self" || txt(k + 1) != "." {
+            continue;
+        }
+        // Calls inside licensed regions may forward the payload into
+        // payload-dependent helpers: the claim guarantees those paths are
+        // never taken by a deferred fill.
+        if lic[k - start] {
             continue;
         }
         let m = txt(k + 2).to_string();
@@ -318,7 +421,7 @@ fn payload_dependent(
                 .filter(|p| p.name != "self")
                 .collect();
             if let Some(p) = hp.get(argi) {
-                if let Some(hit) = payload_dependent(ws, h, &p.name, depth + 1) {
+                if let Some(hit) = payload_dependent(ws, h, &p.name, depth + 1, guards) {
                     return Some(hit);
                 }
             }
@@ -489,6 +592,91 @@ mod tests {
         // but `.0` is tuple-field access via `.` punct + Num, not a
         // method call, so it stays clean. Lazy answers false: ignored.
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn conditional_claim_licenses_guarded_payload_use() {
+        // CondTlb defers only when compression is off; the
+        // payload-dependent merge logic lives entirely under the
+        // `compression.is_some()` guard, which the conditional claim
+        // licenses. The unguarded tail is payload-independent: clean.
+        let w = ws(&[(
+            "crates/tlb/src/cond.rs",
+            &format!(
+                "{TLB_TRAIT}\
+                 pub struct Cfg {{ pub compression: Option<u64> }}\n\
+                 pub struct CondTlb {{ cfg: Cfg, slot: u64 }}\n\
+                 impl TranslationBuffer for CondTlb {{\n\
+                     fn insert(&mut self, vpn: Vpn, ppn: Ppn) {{\n\
+                         if self.cfg.compression.is_some() {{\n\
+                             if ppn.0 == 0 {{ return; }}\n\
+                             self.slot = ppn.0;\n\
+                             return;\n\
+                         }}\n\
+                         self.slot = vpn.0;\n\
+                     }}\n\
+                     fn supports_deferred_fill(&self) -> bool {{ self.cfg.compression.is_none() }}\n\
+                     fn patch_ppn(&mut self, _vpn: Vpn, ppn: Ppn) {{ self.slot = ppn.0; }}\n\
+                 }}\n"
+            ),
+        )]);
+        let v = analyze(&w);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn conditional_claim_with_unguarded_payload_use_is_flagged() {
+        // Same conditional claim, but the payload branch sits OUTSIDE the
+        // compression guard — the deferred path itself is
+        // payload-dependent and must be caught.
+        let w = ws(&[(
+            "crates/tlb/src/condbad.rs",
+            &format!(
+                "{TLB_TRAIT}\
+                 pub struct Cfg {{ pub compression: Option<u64> }}\n\
+                 pub struct CondBad {{ cfg: Cfg, slot: u64 }}\n\
+                 impl TranslationBuffer for CondBad {{\n\
+                     fn insert(&mut self, vpn: Vpn, ppn: Ppn) {{\n\
+                         if self.cfg.compression.is_some() {{ self.slot = 1; return; }}\n\
+                         if ppn.0 == 0 {{ return; }}\n\
+                         self.slot = vpn.0;\n\
+                     }}\n\
+                     fn supports_deferred_fill(&self) -> bool {{ self.cfg.compression.is_none() }}\n\
+                     fn patch_ppn(&mut self, _vpn: Vpn, _ppn: Ppn) {{}}\n\
+                 }}\n"
+            ),
+        )]);
+        let v = analyze(&w);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DEFERRED);
+        assert!(v[0].message.contains("branches on the payload"), "{v:?}");
+    }
+
+    #[test]
+    fn conditional_claim_does_not_license_unrelated_guards() {
+        // A guard on an identifier the claim never mentions licenses
+        // nothing: the payload branch under it is still flagged.
+        let w = ws(&[(
+            "crates/tlb/src/condfake.rs",
+            &format!(
+                "{TLB_TRAIT}\
+                 pub struct Cfg {{ pub compression: Option<u64>, pub verbose: bool }}\n\
+                 pub struct CondFake {{ cfg: Cfg, slot: u64 }}\n\
+                 impl TranslationBuffer for CondFake {{\n\
+                     fn insert(&mut self, vpn: Vpn, ppn: Ppn) {{\n\
+                         if self.cfg.verbose {{\n\
+                             if ppn.0 == 0 {{ return; }}\n\
+                         }}\n\
+                         self.slot = vpn.0;\n\
+                     }}\n\
+                     fn supports_deferred_fill(&self) -> bool {{ self.cfg.compression.is_none() }}\n\
+                     fn patch_ppn(&mut self, _vpn: Vpn, _ppn: Ppn) {{}}\n\
+                 }}\n"
+            ),
+        )]);
+        let v = analyze(&w);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_DEFERRED);
     }
 
     #[test]

@@ -209,6 +209,49 @@ fn mutation_payload_dependent_deferred_insert_is_caught() {
 }
 
 #[test]
+fn mutation_conditionally_deferring_insert_with_unguarded_payload_is_caught() {
+    // The PartitionedTlb shape: a *conditional* claim
+    // (`supports_deferred_fill` = "only when compression is off") whose
+    // insert keeps its payload-dependent logic under the
+    // compression guard. The mutation hoists a payload branch OUT of the
+    // guard into the deferred path — exactly the bug that would make a
+    // sentinel insert diverge from a direct one — and the rule must
+    // catch it with no allow.
+    let mut files = BASE;
+    files[4].1 = "pub struct Vpn(pub u64);\npub struct Ppn(pub u64);\n\
+         pub struct Cfg { pub compression: Option<u64> }\n\
+         pub trait TranslationBuffer {\n\
+             fn insert(&mut self, vpn: Vpn, ppn: Ppn);\n\
+             fn supports_deferred_fill(&self) -> bool { false }\n\
+             fn patch_ppn(&mut self, vpn: Vpn, ppn: Ppn) { let _ = (vpn, ppn); }\n\
+         }\n\
+         pub struct CondTlb { cfg: Cfg, ppn: u64 }\n\
+         impl TranslationBuffer for CondTlb {\n\
+             fn insert(&mut self, vpn: Vpn, ppn: Ppn) {\n\
+                 if self.cfg.compression.is_some() {\n\
+                     if ppn.0 == 0 { return; }\n\
+                     self.ppn = ppn.0;\n\
+                     return;\n\
+                 }\n\
+                 if ppn.0 == 7 { return; }\n\
+                 self.ppn = vpn.0;\n\
+             }\n\
+             fn supports_deferred_fill(&self) -> bool { self.cfg.compression.is_none() }\n\
+             fn patch_ppn(&mut self, _vpn: Vpn, ppn: Ppn) { self.ppn = ppn.0; }\n\
+         }\n";
+    let v = lint_and_remove(write_tree("mut-cond-defer", &files));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::phase::RULE_DEFERRED);
+    assert_eq!(v[0].file, "crates/repro/src/tlb_impl.rs");
+    assert_eq!(v[0].line, 17, "flagged the unguarded branch, not the licensed one");
+    assert!(
+        v[0].message.contains("branches on the payload"),
+        "{}",
+        v[0].message
+    );
+}
+
+#[test]
 fn mutation_stray_thread_spawn_is_caught() {
     let v = lint_and_remove(write_tree(
         "mut-spawn",

@@ -98,6 +98,15 @@ pub struct CompressedTlb {
     /// Count of resident page translations (set mask bits over valid
     /// entries), maintained alongside `occupied`.
     resident: u32,
+    /// Per-set way index of the last lookup hit (`u32::MAX` = none).
+    /// Trusted only after re-checking the full match condition (valid +
+    /// base VPN + run bit), so stale memos fall back to the set walk and
+    /// the fast path stays bit-equal to it.
+    memo: Vec<u32>,
+    /// Lookups served via `memo` (host-side observability only).
+    fastpath: u64,
+    /// Fast path enabled (differential proptest runs a memo-less twin).
+    fastpath_on: bool,
 }
 
 impl CompressedTlb {
@@ -120,12 +129,22 @@ impl CompressedTlb {
             compressed_fills: 0,
             occupied: 0,
             resident: 0,
+            memo: vec![u32::MAX; config.sets()],
+            fastpath: 0,
+            fastpath_on: true,
         }
     }
 
     /// The geometry configuration.
     pub fn config(&self) -> &TlbConfig {
         &self.config
+    }
+
+    /// Enables or disables the MRU lookup fast path. Purely a wall-clock
+    /// knob — outcomes, stats and LRU state are bit-equal either way
+    /// (proven by the differential proptest in `tests/fastpath_diff.rs`).
+    pub fn set_fastpath(&mut self, on: bool) {
+        self.fastpath_on = on;
     }
 
     /// The compression parameters.
@@ -191,10 +210,39 @@ impl TranslationBuffer for CompressedTlb {
         let base = self.run_base(req.vpn);
         let off = self.run_offset(req.vpn);
         let set = self.set_of(req.vpn);
-        let range = self.set_range(set);
         let clock = self.clock;
-        for way in &mut self.ways[range] {
+        // Exact MRU fast path: re-validate the memoized way against the
+        // full match condition; the hit bookkeeping below mirrors the
+        // set-walk hit statement for statement. Insert's coherence scan
+        // guarantees at most one valid way holds a given (base, offset),
+        // so a revalidated memo and the walk find the same way.
+        if self.fastpath_on {
+            let m = self.memo[set];
+            if m != u32::MAX {
+                let way = &mut self.ways[m as usize];
+                if way.valid && way.base_vpn == base && way.mask & (1 << off) != 0 {
+                    way.stamp = clock;
+                    self.stats.record(true);
+                    self.fastpath += 1;
+                    let ppn = if way.literal {
+                        way.base_ppn
+                    } else {
+                        Ppn::new(way.base_ppn.raw() + off as u64)
+                    };
+                    let latency = self.config.lookup_latency
+                        + if way.mask.count_ones() > 1 {
+                            self.compression.decompress_latency
+                        } else {
+                            0
+                        };
+                    return TlbOutcome::hit(ppn, latency);
+                }
+            }
+        }
+        let range = self.set_range(set);
+        for (i, way) in self.ways[range.clone()].iter_mut().enumerate() {
             if way.valid && way.base_vpn == base && way.mask & (1 << off) != 0 {
+                self.memo[set] = (range.start + i) as u32;
                 way.stamp = clock;
                 self.stats.record(true);
                 let ppn = if way.literal {
@@ -299,6 +347,14 @@ impl TranslationBuffer for CompressedTlb {
         }
         self.occupied = 0;
         self.resident = 0;
+        // The invalidated ways already fail memo revalidation (hygiene).
+        for m in &mut self.memo {
+            *m = u32::MAX;
+        }
+    }
+
+    fn fastpath_hits(&self) -> u64 {
+        self.fastpath
     }
 
     fn capacity(&self) -> usize {
@@ -322,6 +378,12 @@ impl TranslationBuffer for CompressedTlb {
             (1u64 << self.compression.degree) - 1
         };
         for set in 0..self.config.sets() {
+            let m = self.memo[set];
+            if m != u32::MAX && !self.set_range(set).contains(&(m as usize)) {
+                return fail(format!(
+                    "set {set}: MRU memo {m} points outside the set's way range"
+                ));
+            }
             let ways = &self.ways[self.set_range(set)];
             for (i, w) in ways.iter().enumerate().filter(|(_, w)| w.valid) {
                 if w.mask == 0 {
@@ -626,6 +688,25 @@ mod tests {
         w.mask = 0;
         let v = t.check_invariants().unwrap_err();
         assert!(v.detail.contains("empty run mask"), "{}", v.detail);
+    }
+
+    #[test]
+    fn fastpath_rides_the_memo_and_survives_remap() {
+        let mut t = tlb();
+        for i in 0..8 {
+            t.insert(&req(i), Ppn::new(1000 + i));
+        }
+        assert!(t.lookup(&req(3)).hit); // walk arms the memo
+        assert_eq!(t.fastpath_hits(), 0);
+        let fast = t.lookup(&req(3));
+        assert_eq!(fast, TlbOutcome::hit(Ppn::new(1003), 2));
+        assert_eq!(t.fastpath_hits(), 1);
+        // Remap page 3 out of the run: the memoized way's bit clears, so
+        // the next lookup of vpn 3 must revalidate and find the new
+        // singleton entry — never the stale compressed frame.
+        t.insert(&req(3), Ppn::new(77));
+        assert_eq!(t.lookup(&req(3)).ppn, Some(Ppn::new(77)));
+        t.check_invariants().expect("memo stays inside its set");
     }
 
     #[test]

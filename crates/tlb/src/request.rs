@@ -156,6 +156,17 @@ pub trait TranslationBuffer: Send {
         false
     }
 
+    /// Lookups served by the organization's exact MRU fast path (a
+    /// per-set last-hit-way memo that skips the tag walk when it still
+    /// matches). The fast path is byte-identical to the slow path in
+    /// every architectural observable — outcome, [`TlbStats`], LRU
+    /// state — so this counter is pure host-side observability and is
+    /// deliberately *not* part of [`TlbStats`]. Organizations without a
+    /// fast path report 0.
+    fn fastpath_hits(&self) -> u64 {
+        0
+    }
+
     /// Validates the organization's internal invariants (LRU recency is a
     /// total order per set, stats identities hold, occupancy ≤ capacity,
     /// entries live where their owner may place them, ...). Called by the

@@ -64,6 +64,17 @@ pub struct SetAssocTlb {
     /// Count of valid ways, maintained on insert/evict/flush; equals the
     /// full-`tags` scan (debug-asserted in [`SetAssocTlb::occupancy`]).
     resident: usize,
+    /// Per-set way index of the last lookup hit (`u32::MAX` = none): the
+    /// exact MRU fast path. A memoized way is trusted only after its tag
+    /// re-matches the probe, so a stale memo (the way was since evicted
+    /// or refilled) silently falls back to the tag walk — state
+    /// transitions and stats are bit-equal either way.
+    memo: Vec<u32>,
+    /// Lookups served via `memo` (host-side observability only).
+    fastpath: u64,
+    /// Fast path enabled (the differential proptest runs a memo-less
+    /// twin to prove the two paths are indistinguishable).
+    fastpath_on: bool,
 }
 
 impl SetAssocTlb {
@@ -76,12 +87,22 @@ impl SetAssocTlb {
             clock: 0,
             stats: TlbStats::default(),
             resident: 0,
+            memo: vec![u32::MAX; config.sets()],
+            fastpath: 0,
+            fastpath_on: true,
         }
     }
 
     /// The TLB's configuration.
     pub fn config(&self) -> &TlbConfig {
         &self.config
+    }
+
+    /// Enables or disables the MRU lookup fast path. Purely a wall-clock
+    /// knob — outcomes, stats and LRU state are bit-equal either way
+    /// (proven by the differential proptest in `tests/fastpath_diff.rs`).
+    pub fn set_fastpath(&mut self, on: bool) {
+        self.fastpath_on = on;
     }
 
     fn set_of(&self, vpn: Vpn) -> usize {
@@ -123,11 +144,26 @@ impl TranslationBuffer for SetAssocTlb {
     fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
         self.clock += 1;
         let set = self.set_of(req.vpn);
-        let range = self.set_range(set);
         let tag = tag_of(req.vpn);
+        // Exact MRU fast path: the last way that hit in this set, trusted
+        // only if its tag still matches. The updates below are the same
+        // statements the tag-walk hit performs, so the two paths are
+        // bit-equal in every architectural observable.
+        if self.fastpath_on {
+            let m = self.memo[set];
+            if m != u32::MAX && self.tags[m as usize] == tag {
+                let way = &mut self.meta[m as usize];
+                way.stamp = self.clock;
+                self.stats.record(true);
+                self.fastpath += 1;
+                return TlbOutcome::hit(way.ppn, self.config.lookup_latency);
+            }
+        }
+        let range = self.set_range(set);
         // Hot probe loop: compare against the contiguous tag slice only;
         // the ppn/stamp payload is touched solely on a hit.
         if let Some(i) = self.tags[range.clone()].iter().position(|&t| t == tag) {
+            self.memo[set] = (range.start + i) as u32;
             let way = &mut self.meta[range.start + i];
             way.stamp = self.clock;
             self.stats.record(true);
@@ -204,6 +240,14 @@ impl TranslationBuffer for SetAssocTlb {
             *t = 0;
         }
         self.resident = 0;
+        // The cleared tags already invalidate every memo (hygiene only).
+        for m in &mut self.memo {
+            *m = u32::MAX;
+        }
+    }
+
+    fn fastpath_hits(&self) -> u64 {
+        self.fastpath
     }
 
     fn capacity(&self) -> usize {
@@ -238,6 +282,12 @@ impl TranslationBuffer for SetAssocTlb {
         }
         for set in 0..self.config.sets() {
             let range = self.set_range(set);
+            let m = self.memo[set];
+            if m != u32::MAX && !range.contains(&(m as usize)) {
+                return fail(format!(
+                    "set {set}: MRU memo {m} points outside the set's way range {range:?}"
+                ));
+            }
             for i in range.clone() {
                 if self.tags[i] == 0 {
                     continue;
@@ -413,6 +463,31 @@ mod tests {
             }
         }
         assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    fn fastpath_serves_repeated_hits_and_stays_exact() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(8, 2, 1));
+        t.insert(&req(3), Ppn::new(30));
+        assert_eq!(t.fastpath_hits(), 0);
+        // First hit walks the tags and arms the memo; repeats ride it.
+        assert!(t.lookup(&req(3)).hit);
+        assert_eq!(t.fastpath_hits(), 0);
+        for _ in 0..5 {
+            let out = t.lookup(&req(3));
+            assert_eq!(out, TlbOutcome::hit(Ppn::new(30), 1));
+        }
+        assert_eq!(t.fastpath_hits(), 5);
+        // Evicting the memoized way (1 set pair, force conflict) must
+        // drop silently to the slow path, never serve stale state.
+        let mut small = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        small.insert(&req(0), Ppn::new(0));
+        assert!(small.lookup(&req(0)).hit);
+        assert!(small.lookup(&req(0)).hit); // memo armed + used
+        small.insert(&req(2), Ppn::new(2));
+        small.insert(&req(4), Ppn::new(4)); // vpn 0 evicted
+        assert!(!small.lookup(&req(0)).hit, "stale memo must not resurrect an evicted entry");
+        small.check_invariants().expect("memo stays inside its set");
     }
 
     #[test]

@@ -252,12 +252,32 @@ impl AddressSpace {
         &mut self,
         va: VirtAddr,
     ) -> Result<(PhysAddr, FaultKind), VmemError> {
+        self.translate_with_walk_info(va).map(|(pa, kind, _)| (pa, kind))
+    }
+
+    /// Like [`translate_with_fault_info`], additionally reporting the
+    /// number of radix levels a walk of `va` touches — the same count a
+    /// separate [`AddressSpace::walk`] after the translation would
+    /// return, without paying for a second radix traversal (walker
+    /// latency models consume both on every miss).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`translate_or_fault`].
+    ///
+    /// [`translate_or_fault`]: AddressSpace::translate_or_fault
+    /// [`translate_with_fault_info`]: AddressSpace::translate_with_fault_info
+    pub fn translate_with_walk_info(
+        &mut self,
+        va: VirtAddr,
+    ) -> Result<(PhysAddr, FaultKind, u32), VmemError> {
         self.stats.translations += 1;
         if let Some(walk) = self.page_table.walk(va) {
             let off = va.page_offset(walk.page_size);
             return Ok((
                 PhysAddr::from_parts(walk.ppn, off, walk.page_size),
                 FaultKind::None,
+                walk.levels_touched,
             ));
         }
         if !self.is_covered(va) {
@@ -278,9 +298,16 @@ impl AddressSpace {
         )?;
         self.stats.demand_faults += 1;
         let off = va.page_offset(self.page_size);
+        // A freshly mapped page walks the full radix path: 4 levels for
+        // small pages, 3 for huge pages (leaf at the PD level).
+        let levels = match self.page_size {
+            PageSize::Small => crate::page_table::PAGE_TABLE_LEVELS as u32,
+            PageSize::Large => crate::page_table::PAGE_TABLE_LEVELS as u32 - 1,
+        };
         Ok((
             PhysAddr::from_parts(ppn, off, self.page_size),
             FaultKind::DemandPaged,
+            levels,
         ))
     }
 

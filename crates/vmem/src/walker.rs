@@ -8,7 +8,6 @@
 //! walk, as the MSHR-style merging in MASK/gem5-gpu does.
 
 use crate::addr::Vpn;
-use std::collections::BTreeMap;
 
 /// A submitted walk request.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -73,8 +72,10 @@ pub struct WalkerPool {
     /// Next-free cycle per walker.
     free_at: Vec<u64>,
     latency: u64,
-    /// In-flight walks by VPN -> completion cycle.
-    in_flight: BTreeMap<Vpn, u64>,
+    /// In-flight walks as `(vpn, completion cycle)` pairs with unique
+    /// VPNs. Lazy pruning bounds the list to a few times the walker
+    /// count, so a linear scan beats an ordered map on every submit.
+    in_flight: Vec<(Vpn, u64)>,
     stats: WalkerStats,
 }
 
@@ -90,7 +91,7 @@ impl WalkerPool {
         WalkerPool {
             free_at: vec![0; walkers],
             latency,
-            in_flight: BTreeMap::new(),
+            in_flight: Vec::new(),
             stats: WalkerStats::default(),
         }
     }
@@ -106,11 +107,13 @@ impl WalkerPool {
     /// Like [`WalkerPool::submit`] with an explicit per-walk latency
     /// (e.g. radix walks whose cost depends on the levels touched).
     pub fn submit_with_latency(&mut self, cycle: u64, vpn: Vpn, latency: u64) -> u64 {
-        // Drop completed walks from the in-flight map lazily.
+        // Drop completed walks from the in-flight list lazily.
         if self.in_flight.len() > 4 * self.free_at.len() {
-            self.in_flight.retain(|_, done| *done > cycle);
+            self.in_flight.retain(|&(_, done)| done > cycle);
         }
-        if let Some(&done) = self.in_flight.get(&vpn) {
+        let slot = self.in_flight.iter().position(|&(v, _)| v == vpn);
+        if let Some(i) = slot {
+            let done = self.in_flight[i].1;
             if done > cycle {
                 self.stats.coalesced += 1;
                 return done;
@@ -127,7 +130,11 @@ impl WalkerPool {
         let wait = begin - cycle;
         let done = begin + latency;
         self.free_at[idx] = done;
-        self.in_flight.insert(vpn, done);
+        // Unique VPNs: refresh a stale slot in place, else append.
+        match slot {
+            Some(i) => self.in_flight[i].1 = done,
+            None => self.in_flight.push((vpn, done)),
+        }
         self.stats.walks += 1;
         self.stats.queue_wait_cycles += wait;
         self.stats.max_queue_wait = self.stats.max_queue_wait.max(wait);
