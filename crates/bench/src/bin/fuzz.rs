@@ -15,10 +15,12 @@
 //!
 //! On the first divergence the failing case is shrunk to a minimal
 //! reproducer, written to `--out-dir` (default `fuzz-out/`), printed,
-//! and the process exits 1. `--mutate evict-mru|skip-flag-reset` runs
-//! the campaign against a deliberately-broken subject — the mutation
-//! test documented in TESTING.md — and is therefore *expected* to exit 1
-//! with a shrunk case.
+//! and the process exits 1. `--mutate
+//! evict-mru|skip-flag-reset|drop-asid-tag` runs the campaign against a
+//! deliberately-broken subject — the mutation test documented in
+//! TESTING.md — and is therefore *expected* to exit 1 with a shrunk
+//! case (`drop-asid-tag` is only killable by multi-app traces, which is
+//! exactly what its campaign generates).
 //!
 //! `--replay FILE` skips generation and replays checked-in `.case`
 //! reproducers (exit 1 if any diverges); `crates/bench/tests/corpus/`
@@ -93,7 +95,9 @@ fn parse_args() -> Args {
             "--mutate" => {
                 let v = value(&mut i, "--mutate");
                 parsed.mutation = Mutation::parse(&v)
-                    .unwrap_or_else(|| usage("--mutate wants none|evict-mru|skip-flag-reset"));
+                    .unwrap_or_else(|| {
+                        usage("--mutate wants none|evict-mru|skip-flag-reset|drop-asid-tag")
+                    });
             }
             "--engine-every" => {
                 // 0 disables engine cases entirely.

@@ -4,8 +4,15 @@
 //! repro [--scale test|small|paper] [--jobs N] [--sim-threads N]
 //!       [--sanitize] [--fig2] [--fig3] [--fig4] [--fig5] [--fig6]
 //!       [--fig10] [--fig11] [--fig12] [--hugepage] [--table2]
-//!       [--breakdown] [--all]
+//!       [--breakdown] [--all] [--apps a,b,...]
 //! ```
+//!
+//! `--apps a,b[,c,...]` switches to the multi-tenant co-run study: the
+//! named benchmarks run as concurrent address spaces sharing the GPU
+//! (2-16 apps), and the output reports each mechanism's per-app slowdown
+//! vs. solo, Jain fairness index and system throughput, followed by the
+//! per-app CSV rows. Like every other figure, output is byte-identical
+//! for any `--jobs`/`--sim-threads` combination.
 //!
 //! `--jobs N` runs up to `N` grid cells (benchmark × mechanism) in
 //! parallel; the default is the machine's available parallelism and the
@@ -30,8 +37,8 @@
 //! recorded provenance replay them.
 
 use bench::{
-    fig10_11_grid, fig11_variance_grid, fig12_grid, fig2_grid, fig3_4_grid, fig5_6_grid,
-    geomean, hugepage_grid, warp_study_grid, Grid, SEED,
+    corun_study_grid, fig10_11_grid, fig11_variance_grid, fig12_grid, fig2_grid, fig3_4_grid,
+    fig5_6_grid, geomean, hugepage_grid, warp_study_grid, Grid, SEED,
 };
 use orchestrated_tlb::{run_benchmark_cached, Mechanism};
 use workloads::{extended_registry, registry, BenchmarkSpec, Scale};
@@ -296,6 +303,36 @@ fn print_breakdown(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
     println!();
 }
 
+/// Prints the multi-tenant co-run study: per-app slowdown vs. solo,
+/// Jain fairness and system throughput per mechanism, then the per-app
+/// CSV rows.
+fn print_corun(apps: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
+    let names: Vec<&str> = apps.iter().map(|s| s.name).collect();
+    println!(
+        "== Multi-tenant co-run: {} concurrent address spaces ({}) ==",
+        apps.len(),
+        names.join("+")
+    );
+    print!("{:<18}", "mechanism");
+    for n in &names {
+        print!(" {:>10}", n);
+    }
+    println!(" {:>9} {:>11}  (slowdown vs solo; fairness/STP over progress)", "fairness", "throughput");
+    let rows = corun_study_grid(apps, scale, grid);
+    for r in &rows {
+        print!("{:<18}", r.mechanism);
+        for s in &r.slowdowns {
+            print!(" {:>10.3}", s);
+        }
+        println!(" {:>9.4} {:>11.4}", r.fairness, r.throughput);
+    }
+    println!();
+    println!("{}", gpu_sim::SimReport::csv_header_for_apps(apps.len()));
+    for r in &rows {
+        println!("{}", r.csv_row);
+    }
+}
+
 /// Prints every mechanism's headline counters as CSV for the selected
 /// benchmarks.
 fn print_csv(specs: &[BenchmarkSpec], scale: Scale, grid: &Grid) {
@@ -326,6 +363,7 @@ fn main() {
     let mut extended = false;
     let mut only: Vec<String> = Vec::new();
     let mut jobs = 0usize; // 0 = available parallelism
+    let mut apps: Vec<String> = Vec::new();
     let mut trace_cache: Option<String> = None;
     let mut traces: Vec<String> = Vec::new();
     let mut i = 0;
@@ -379,6 +417,18 @@ fn main() {
                     Some(name) => only.push(name.clone()),
                     None => {
                         eprintln!("--bench requires a benchmark name");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--apps" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) if !list.is_empty() => {
+                        apps.extend(list.split(',').map(str::to_owned));
+                    }
+                    _ => {
+                        eprintln!("--apps requires a comma-separated benchmark list");
                         std::process::exit(2);
                     }
                 }
@@ -442,6 +492,26 @@ fn main() {
     let grid = Grid::with_cache(jobs, cache);
     println!("# orchestrated-tlb repro (scale: {scale}, seed: {SEED})\n");
     let has = |x: &str| wanted.iter().any(|w| w == x);
+    if !apps.is_empty() {
+        // The co-run study is its own report: always resolve against the
+        // extended registry so any known benchmark can join a mix.
+        let all = extended_registry();
+        let corun_specs: Vec<BenchmarkSpec> = apps
+            .iter()
+            .map(|name| {
+                all.iter().find(|s| s.name == name).cloned().unwrap_or_else(|| {
+                    eprintln!("--apps: unknown benchmark {name}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if corun_specs.len() < 2 {
+            eprintln!("--apps needs at least two benchmarks to co-run");
+            std::process::exit(2);
+        }
+        print_corun(&corun_specs, scale, &grid);
+        return;
+    }
     if has("csv") {
         print_csv(&specs, scale, &grid);
         return;

@@ -454,6 +454,77 @@ pub fn warp_study_grid(scale: Scale, grid: &Grid) -> Vec<WarpStudyRow> {
     })
 }
 
+/// Per-mechanism result of the multi-tenant co-run study.
+#[derive(Clone, Debug)]
+pub struct CorunRow {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Per-app slowdown vs. solo, in app order.
+    pub slowdowns: Vec<f64>,
+    /// Jain's fairness index over per-app normalized progress.
+    pub fairness: f64,
+    /// System throughput (weighted speedup): sum of normalized progress.
+    pub throughput: f64,
+    /// The merged run's CSV row (carries the append-only per-app
+    /// columns).
+    pub csv_row: String,
+}
+
+/// The mechanisms the co-run study compares: the solo-tuned baseline and
+/// full proposal, plus the two multi-tenant shared-L2-TLB variants
+/// (MASK-style fill tokens and sub-entry sharing).
+pub const CORUN_MECHANISMS: [Mechanism; 4] = [
+    Mechanism::Baseline,
+    Mechanism::Full,
+    Mechanism::MaskTokens,
+    Mechanism::SubEntrySharing,
+];
+
+/// The multi-tenant co-run study: `apps` run as concurrent address
+/// spaces sharing the GPU under each of [`CORUN_MECHANISMS`]. Each app's
+/// solo baseline is a 1-app co-run through the same merged path, so the
+/// slowdown's numerator and denominator share dispatch semantics (see
+/// `gpu_sim`'s co-run module docs).
+pub fn corun_study(apps: &[BenchmarkSpec], scale: Scale) -> Vec<CorunRow> {
+    corun_study_grid(apps, scale, &Grid::serial())
+}
+
+/// [`corun_study`] over a parallel [`Grid`] (one cell per mechanism ×
+/// {co-run, each solo baseline}).
+pub fn corun_study_grid(apps: &[BenchmarkSpec], scale: Scale, grid: &Grid) -> Vec<CorunRow> {
+    let cells: Vec<(Mechanism, Option<usize>)> = CORUN_MECHANISMS
+        .iter()
+        .flat_map(|&m| {
+            std::iter::once((m, None)).chain((0..apps.len()).map(move |i| (m, Some(i))))
+        })
+        .collect();
+    let reports = grid.map(&cells, |&(m, solo)| {
+        let mut sim = m.simulator(GpuConfig::dac23_baseline());
+        let load = |i: usize| grid.cache().get(&apps[i], scale, SEED);
+        match solo {
+            Some(i) => sim.run_corun(vec![load(i)]),
+            None => sim.run_corun((0..apps.len()).map(load).collect()),
+        }
+    });
+    CORUN_MECHANISMS
+        .iter()
+        .zip(reports.chunks(1 + apps.len()))
+        .map(|(&m, chunk)| {
+            let corun = &chunk[0];
+            let solo: Vec<u64> = chunk[1..].iter().map(|r| r.per_app[0].cycles).collect();
+            let slowdowns = corun.per_app_slowdowns(&solo);
+            let progress = corun.per_app_progress(&solo);
+            CorunRow {
+                mechanism: m.to_string(),
+                slowdowns,
+                fairness: gpu_sim::jain_fairness(&progress),
+                throughput: gpu_sim::system_throughput(&progress),
+                csv_row: corun.to_csv_row(),
+            }
+        })
+        .collect()
+}
+
 /// Geometric mean helper used for the paper's summary statistics.
 pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0f64, 0u32);

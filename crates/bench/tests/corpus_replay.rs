@@ -35,7 +35,7 @@ fn corpus() -> Vec<(PathBuf, String)> {
 fn corpus_replays_with_expected_verdicts() {
     let corpus = corpus();
     assert!(
-        corpus.len() >= 11,
+        corpus.len() >= 13,
         "corpus should not silently shrink (found {})",
         corpus.len()
     );
@@ -60,14 +60,16 @@ fn corpus_replays_with_expected_verdicts() {
     }
 }
 
-/// The corpus exercises every model kind and both mutants — a guard
-/// against coverage rot as cases are added or rewritten.
+/// The corpus exercises every model kind, solo and co-run engine
+/// replays, and all three mutants — a guard against coverage rot as
+/// cases are added or rewritten.
 #[test]
 fn corpus_covers_all_models_and_mutants() {
     let mut setassoc = 0;
     let mut partitioned = 0;
     let mut scheduler = 0;
-    let mut engine = 0;
+    let mut engine_solo = 0;
+    let mut engine_corun = 0;
     let mut mutants = 0;
     for (path, text) in corpus() {
         match Case::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display())) {
@@ -81,14 +83,16 @@ fn corpus_covers_all_models_and_mutants() {
                     mutants += 1;
                 }
             }
-            Case::Engine(_) => engine += 1,
+            Case::Engine(e) if e.apps.is_empty() => engine_solo += 1,
+            Case::Engine(_) => engine_corun += 1,
         }
     }
     assert!(setassoc >= 2, "need set-assoc coverage");
     assert!(partitioned >= 5, "need partitioned coverage");
     assert!(scheduler >= 1, "need scheduler coverage");
-    assert!(engine >= 1, "need engine coverage");
-    assert_eq!(mutants, 2, "exactly the two known mutants are self-tests");
+    assert!(engine_solo >= 1, "need solo engine coverage");
+    assert!(engine_corun >= 1, "need co-run engine coverage");
+    assert_eq!(mutants, 3, "exactly the three known mutants are self-tests");
 }
 
 /// Every corpus file round-trips through the serializer: parse →

@@ -61,3 +61,55 @@ fn repro_with_two_sim_threads_matches_golden_byte_for_byte() {
 fn repro_with_four_sim_threads_matches_golden_byte_for_byte() {
     assert_matches_golden(&["--sim-threads", "4"]);
 }
+
+/// The 2-app co-run study's golden output (multi-tenant figure: per-app
+/// slowdown, Jain fairness, system throughput, per-app CSV columns).
+const GOLDEN_CORUN: &str = include_str!("golden/repro_corun_test.txt");
+
+/// Run `repro --apps gemm,bfs --scale test` with the given extra flags
+/// and assert stdout matches the co-run golden byte for byte.
+fn assert_matches_corun_golden(extra: &[&str]) {
+    let mut args = vec!["--apps", "gemm,bfs", "--scale", "test"];
+    args.extend_from_slice(extra);
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(&args)
+        .output()
+        .expect("repro binary must run");
+    assert!(
+        out.status.success(),
+        "repro {args:?} exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("repro output is UTF-8");
+    assert!(
+        got == GOLDEN_CORUN,
+        "repro {args:?} co-run output diverged from tests/golden/repro_corun_test.txt
+         (regenerate only for a deliberate timing change)"
+    );
+}
+
+#[test]
+fn corun_repro_matches_golden_byte_for_byte() {
+    assert_matches_corun_golden(&["--jobs", "2"]);
+}
+
+#[test]
+fn corun_repro_is_jobs_invariant() {
+    assert_matches_corun_golden(&["--jobs", "1"]);
+}
+
+#[test]
+fn corun_repro_with_two_sim_threads_matches_golden() {
+    assert_matches_corun_golden(&["--jobs", "2", "--sim-threads", "2"]);
+}
+
+#[test]
+fn corun_repro_with_four_sim_threads_matches_golden() {
+    assert_matches_corun_golden(&["--jobs", "2", "--sim-threads", "4"]);
+}
+
+#[test]
+fn corun_repro_sanitized_matches_golden() {
+    assert_matches_corun_golden(&["--jobs", "2", "--sanitize"]);
+}

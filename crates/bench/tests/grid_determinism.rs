@@ -55,9 +55,13 @@ fn cached_workload_reports_match_fresh_for_every_mechanism() {
         );
     }
 
-    // Across the 9-mechanism sweep the trace is generated exactly once;
-    // the other 8 runs must hit the cache, not regenerate.
+    // Across the full mechanism sweep the trace is generated exactly
+    // once; every later run must hit the cache, not regenerate.
     let stats = cache.stats();
     assert_eq!(stats.misses, 1, "workload generated more than once");
-    assert_eq!(stats.hits, 8, "expected every later mechanism to hit the cache");
+    assert_eq!(
+        stats.hits,
+        Mechanism::all().len() as u64 - 1,
+        "expected every later mechanism to hit the cache"
+    );
 }

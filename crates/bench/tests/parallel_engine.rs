@@ -51,6 +51,25 @@ fn assert_reports_equal(serial: &SimReport, parallel: &SimReport, context: &str)
         serial.fastpath_hits, parallel.fastpath_hits,
         "fastpath_hits diverged under {context}"
     );
+    assert_eq!(
+        serial.per_app, parallel.per_app,
+        "per-app reports diverged under {context}"
+    );
+}
+
+/// A 2-app co-run mix used by the multi-tenant invariance tests.
+fn corun_apps() -> Vec<Workload> {
+    let specs = registry();
+    ["gemm", "bfs"]
+        .iter()
+        .map(|name| {
+            specs
+                .iter()
+                .find(|s| s.name == *name)
+                .unwrap()
+                .generate(Scale::Test, SEED)
+        })
+        .collect()
 }
 
 /// Every mechanism of the paper is thread-count invariant (exhaustive:
@@ -76,6 +95,64 @@ fn every_mechanism_is_thread_count_invariant() {
                 &format!("{} --sim-threads {threads}", m.label()),
             );
         }
+    }
+}
+
+/// Every mechanism stays thread-count invariant when two applications
+/// co-run as concurrent address spaces — including the per-app report
+/// entries (slowdown/fairness figures are derived from them, so a
+/// nondeterministic per-app merge would corrupt the multi-tenant
+/// figures silently).
+#[test]
+fn every_mechanism_is_thread_count_invariant_under_corun() {
+    for m in Mechanism::all() {
+        let serial = m
+            .simulator(GpuConfig::dac23_baseline())
+            .with_sim_threads(1)
+            .run_corun(corun_apps());
+        assert_eq!(serial.per_app.len(), 2, "{}", m.label());
+        for threads in [2usize, 4] {
+            let parallel = m
+                .simulator(GpuConfig::dac23_baseline())
+                .with_sim_threads(threads)
+                .run_corun(corun_apps());
+            assert_reports_equal(
+                &serial,
+                &parallel,
+                &format!("{} co-run --sim-threads {threads}", m.label()),
+            );
+        }
+    }
+}
+
+/// The forced sharded drain stays byte-identical under a co-run for
+/// every mechanism — ASID-tagged deferred fills must shard exactly like
+/// solo ones (the shard key and the parked-fill payloads both carry the
+/// ASID).
+#[test]
+fn sharded_drain_is_report_invariant_under_corun() {
+    let forced = GpuConfig {
+        shard_threshold: 1,
+        shard_lane_overhead: 0,
+        l2_tlb_slices: 4,
+        ..GpuConfig::dac23_baseline()
+    };
+    for m in Mechanism::all() {
+        let serial = m
+            .simulator(forced.clone())
+            .with_sim_threads(1)
+            .with_sanitizer(false)
+            .run_corun(corun_apps());
+        let parallel = m
+            .simulator(forced.clone())
+            .with_sim_threads(4)
+            .with_sanitizer(false)
+            .run_corun(corun_apps());
+        assert_reports_equal(
+            &serial,
+            &parallel,
+            &format!("{} co-run forced-sharded", m.label()),
+        );
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::partitioned::{PartitionedTlb, PartitionedTlbConfig};
 use crate::scheduler::TlbAwareScheduler;
-use gpu_sim::{GpuConfig, SimReport, Simulator};
+use gpu_sim::{GpuConfig, L2Policy, SimReport, Simulator};
 use std::fmt;
 use tlb::{CompressedTlb, CompressionConfig, SetAssocTlb, TlbConfig, TranslationBuffer};
 use vmem::PageSize;
@@ -37,11 +37,17 @@ pub enum Mechanism {
     /// The full proposal plus translation-reuse-aware (TB-clustered) warp
     /// scheduling — the paper's §VII future work, implemented here.
     FullWithWarpClustering,
+    /// The full proposal with MASK-style per-app L2 TLB fill tokens and
+    /// bypass (multi-tenant baseline; only meaningful under co-runs).
+    MaskTokens,
+    /// The full proposal with a sub-entry-sharing shared L2 TLB
+    /// (multi-tenant alternative; only meaningful under co-runs).
+    SubEntrySharing,
 }
 
 impl Mechanism {
     /// All mechanisms in presentation order.
-    pub fn all() -> [Mechanism; 9] {
+    pub fn all() -> [Mechanism; 11] {
         [
             Mechanism::Baseline,
             Mechanism::LargeTlb,
@@ -52,6 +58,8 @@ impl Mechanism {
             Mechanism::Compression,
             Mechanism::FullWithCompression,
             Mechanism::FullWithWarpClustering,
+            Mechanism::MaskTokens,
+            Mechanism::SubEntrySharing,
         ]
     }
 
@@ -77,6 +85,8 @@ impl Mechanism {
             Mechanism::Compression => "compression",
             Mechanism::FullWithCompression => "ours+compression",
             Mechanism::FullWithWarpClustering => "ours+warp-clustered",
+            Mechanism::MaskTokens => "ours+mask-tokens",
+            Mechanism::SubEntrySharing => "ours+sub-entry",
         }
     }
 
@@ -85,6 +95,14 @@ impl Mechanism {
         if self == Mechanism::LargeTlb {
             config = config.with_l1_tlb(TlbConfig::dac23_l1_256());
         }
+        // The multi-tenant variants keep the full proposal's L1 and swap
+        // the shared L2 TLB policy; the quota/sub counts are sized for the
+        // 512-entry DAC'23 L2 split across 4 slices (128 entries each).
+        config = match self {
+            Mechanism::MaskTokens => config.with_l2_policy(L2Policy::MaskTokens { quota: 64 }),
+            Mechanism::SubEntrySharing => config.with_l2_policy(L2Policy::SubEntry { subs: 2 }),
+            _ => config,
+        };
         let geometry = config.l1_tlb;
         let sim = Simulator::new(config);
         let sim = match self {
@@ -94,7 +112,9 @@ impl Mechanism {
             | Mechanism::SchedPartition
             | Mechanism::Full
             | Mechanism::FullWithCompression
-            | Mechanism::FullWithWarpClustering => {
+            | Mechanism::FullWithWarpClustering
+            | Mechanism::MaskTokens
+            | Mechanism::SubEntrySharing => {
                 sim.with_tb_scheduler(Box::new(TlbAwareScheduler::new()))
             }
         };
@@ -119,7 +139,10 @@ impl Mechanism {
                     })) as Box<dyn TranslationBuffer>
                 }))
             }
-            Mechanism::Full | Mechanism::FullWithWarpClustering => {
+            Mechanism::Full
+            | Mechanism::FullWithWarpClustering
+            | Mechanism::MaskTokens
+            | Mechanism::SubEntrySharing => {
                 sim.with_l1_tlb_factory(Box::new(move |_| {
                     Box::new(PartitionedTlb::new(PartitionedTlbConfig {
                         geometry,

@@ -24,10 +24,10 @@
 
 use std::fmt::Write as _;
 use tlb::{
-    CompressionConfig, InvariantViolation, TlbConfig, TlbOutcome, TlbRequest, TlbStats,
-    TranslationBuffer,
+    CompressionConfig, InvariantViolation, PerAsidStats, TlbConfig, TlbOutcome, TlbRequest,
+    TlbStats, TranslationBuffer,
 };
-use vmem::{Ppn, Vpn};
+use vmem::{Asid, Ppn, Vpn};
 
 /// How TBs may share each other's TLB sets (paper §IV-B).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
@@ -118,10 +118,13 @@ impl Default for PartitionedTlbConfig {
 /// probe count. Purely a host-side accelerator; never architectural.
 #[derive(Copy, Clone, Debug)]
 struct LookupMemo {
+    /// Address space the memo was armed for; a slot re-used by another
+    /// app must never replay a stale memo.
+    asid: Asid,
     vpn: Vpn,
     way: u32,
-    /// `searchable_sets(tb).len()` at memo time (reproduces the multi-set
-    /// probe latency without recomputing the set list).
+    /// `searchable_sets(asid, tb).len()` at memo time (reproduces the
+    /// multi-set probe latency without recomputing the set list).
     sets_probed: u32,
     /// `struct_epoch` at memo time; 0 never matches (epochs start at 1).
     epoch: u64,
@@ -130,6 +133,7 @@ struct LookupMemo {
 impl LookupMemo {
     fn invalid() -> Self {
         LookupMemo {
+            asid: Asid::default(),
             vpn: Vpn::new(0),
             way: 0,
             sets_probed: 0,
@@ -138,9 +142,26 @@ impl LookupMemo {
     }
 }
 
+/// Per-ASID dynamic-sharing state: the paper's 1-bit-per-TB sharing
+/// register, replicated per address space. Keying the register by
+/// `(asid, tb)` instead of bare TB id means one app's spills never widen
+/// another app's lookup reach, and a finished TB only releases its own
+/// app's licences — cross-app spill rescue is impossible by construction.
+#[derive(Copy, Clone, Debug)]
+struct ShareState {
+    asid: Asid,
+    /// Bit `i` set ⇒ this app's TB `i` spilled into TB `i+1 (mod N)`.
+    flags: u16,
+    /// Per-TB spill counters for [`SharingPolicy::AdjacentCounter`].
+    counters: [u8; 16],
+}
+
 #[derive(Copy, Clone, Debug, Default)]
 struct Way {
     valid: bool,
+    /// Address space this translation belongs to; included in the tag
+    /// compare so co-running apps never hit each other's entries.
+    asid: Asid,
     /// Run base VPN (the full VPN itself when compression is off).
     base_vpn: Vpn,
     /// PPN of the run's base page (or the literal PPN, see `literal`).
@@ -182,12 +203,13 @@ pub struct PartitionedTlb {
     cfg: PartitionedTlbConfig,
     ways: Vec<Way>,
     concurrent_tbs: u8,
-    /// Bit `i` set ⇒ TB `i` spilled into TB `i+1 (mod N)`'s sets.
-    sharing_flags: u16,
-    /// Per-TB spill counters for [`SharingPolicy::AdjacentCounter`].
-    spill_counters: [u8; 16],
+    /// Per-app sharing registers, sorted by ASID (see [`ShareState`]).
+    share: Vec<ShareState>,
     clock: u64,
     stats: TlbStats,
+    /// Per-app stats; evictions are attributed to the victim's ASID,
+    /// everything else to the requester's. Sums to `stats`.
+    per_asid: PerAsidStats,
     /// Victims rescued into a neighbour's way.
     spills: u64,
     /// Bumped by every structural mutation (insert, flush, TB lifecycle);
@@ -220,10 +242,10 @@ impl PartitionedTlb {
             ways: vec![Way::default(); cfg.geometry.entries],
             cfg,
             concurrent_tbs: 16,
-            sharing_flags: 0,
-            spill_counters: [0; 16],
+            share: Vec::new(),
             clock: 0,
             stats: TlbStats::default(),
+            per_asid: PerAsidStats::default(),
             spills: 0,
             struct_epoch: 1,
             memo: vec![LookupMemo::invalid(); 16],
@@ -244,10 +266,36 @@ impl PartitionedTlb {
         &self.cfg
     }
 
-    /// Current sharing register (bit `i` = TB `i` shares into its
-    /// neighbour).
+    /// Union of every app's sharing register (bit `i` = some app's TB `i`
+    /// shares into its neighbour). Single-app callers see exactly the
+    /// pre-multi-tenant value.
     pub fn sharing_flags(&self) -> u16 {
-        self.sharing_flags
+        self.share.iter().fold(0, |acc, s| acc | s.flags)
+    }
+
+    /// One app's sharing register word (0 if the app never spilled).
+    pub fn sharing_flags_of(&self, asid: Asid) -> u16 {
+        self.share_of(asid).map_or(0, |s| s.flags)
+    }
+
+    fn share_of(&self, asid: Asid) -> Option<&ShareState> {
+        self.share.iter().find(|s| s.asid == asid)
+    }
+
+    fn share_mut(&mut self, asid: Asid) -> &mut ShareState {
+        if let Some(i) = self.share.iter().position(|s| s.asid == asid) {
+            return &mut self.share[i];
+        }
+        let at = self.share.partition_point(|s| s.asid < asid);
+        self.share.insert(
+            at,
+            ShareState {
+                asid,
+                flags: 0,
+                counters: [0; 16],
+            },
+        );
+        &mut self.share[at]
     }
 
     /// Victim entries rescued into a neighbour's sets so far.
@@ -260,13 +308,14 @@ impl PartitionedTlb {
         self.ways.iter().filter(|w| w.valid).count()
     }
 
-    /// Probes for `vpn` as TB `tb_slot` would, without updating stats,
-    /// stamps, or sharing state (diagnostics; the differential harness
-    /// uses it to compare resident contents against the oracle).
-    pub fn peek(&self, vpn: Vpn, tb_slot: u8) -> Option<Ppn> {
+    /// Probes for `vpn` as app `asid`'s TB `tb_slot` would, without
+    /// updating stats, stamps, or sharing state (diagnostics; the
+    /// differential harness uses it to compare resident contents against
+    /// the oracle).
+    pub fn peek(&self, asid: Asid, vpn: Vpn, tb_slot: u8) -> Option<Ppn> {
         let tb = self.norm_slot(tb_slot);
-        let sets = self.searchable_sets(tb);
-        self.find(&sets, vpn).map(|w| {
+        let sets = self.searchable_sets(asid, tb);
+        self.find(asid, &sets, vpn).map(|w| {
             let way = &self.ways[w];
             if way.literal {
                 way.base_ppn
@@ -336,28 +385,29 @@ impl PartitionedTlb {
         }
     }
 
-    /// Whether `tb`'s sharing flag is currently engaged.
-    fn flag_engaged(&self, tb: u8) -> bool {
-        let bit = self.sharing_flags & (1 << (tb as u16 % 16)) != 0;
+    /// Whether app `asid`'s flag for TB `tb` is currently engaged.
+    fn flag_engaged(&self, asid: Asid, tb: u8) -> bool {
+        let s = self.share_of(asid);
+        let bit = s.map_or(0, |s| s.flags) & (1 << (tb as u16 % 16)) != 0;
         match self.cfg.sharing {
             SharingPolicy::None => false,
             SharingPolicy::Adjacent => bit,
             SharingPolicy::AdjacentCounter { threshold } => {
-                self.spill_counters[tb as usize % 16] >= threshold
+                s.map_or(0, |s| s.counters[tb as usize % 16]) >= threshold
             }
             SharingPolicy::AllToAll => true,
         }
     }
 
-    /// Sets probed by a lookup from `tb`: its own group, plus the
-    /// neighbour's when the sharing flag is engaged (or every set under
-    /// all-to-all sharing).
-    fn searchable_sets(&self, tb: u8) -> Vec<usize> {
+    /// Sets probed by a lookup from app `asid`'s TB `tb`: its own group,
+    /// plus the neighbour's when this app's sharing flag is engaged (or
+    /// every set under all-to-all sharing).
+    fn searchable_sets(&self, asid: Asid, tb: u8) -> Vec<usize> {
         if self.cfg.sharing == SharingPolicy::AllToAll {
             return (0..self.cfg.geometry.sets()).collect();
         }
         let mut sets: Vec<usize> = self.group_of(tb).collect();
-        if self.flag_engaged(tb) {
+        if self.flag_engaged(asid, tb) {
             let neighbour = ((tb as usize + 1) % self.groups()) as u8;
             sets.extend(self.group_of(neighbour));
             sets.sort_unstable();
@@ -384,14 +434,20 @@ impl PartitionedTlb {
             }
     }
 
-    /// Finds the way holding `vpn`'s translation among `sets`.
-    fn find(&self, sets: &[usize], vpn: Vpn) -> Option<usize> {
+    /// Finds the way holding app `asid`'s translation of `vpn` among
+    /// `sets`. The ASID is part of the tag compare: another app's entry
+    /// for the same VPN never matches.
+    fn find(&self, asid: Asid, sets: &[usize], vpn: Vpn) -> Option<usize> {
         let base = self.run_base(vpn);
         let off = self.run_offset(vpn);
         for &set in sets {
             for w in self.ways_of_set(set) {
                 let way = &self.ways[w];
-                if way.valid && way.base_vpn == base && way.mask & (1 << off) != 0 {
+                if way.valid
+                    && way.asid == asid
+                    && way.base_vpn == base
+                    && way.mask & (1 << off) != 0
+                {
                     return Some(w);
                 }
             }
@@ -436,8 +492,12 @@ impl PartitionedTlb {
         // sharing, Figure 9): an empty way if one exists, otherwise a way
         // holding an entry *older* than the victim — the paper's "balance
         // the number of translations across multiple sets" between
-        // oversubscribed and under-used neighbours.
-        if self.cfg.sharing.spills() {
+        // oversubscribed and under-used neighbours. Rescue is gated on the
+        // victim belonging to the spilling app: the licence it would be
+        // placed under is `(req.asid, req.tb_slot)`, and another app's
+        // lookups never consult that flag, so a cross-app rescue would be
+        // permanently unreachable. Cross-app victims die in place instead.
+        if self.cfg.sharing.spills() && self.ways[victim].asid == req.asid {
             // Adjacent policies spill into the next TB's group; all-to-all
             // may spill anywhere outside the own group.
             let candidate_sets: Vec<usize> = if self.cfg.sharing == SharingPolicy::AllToAll {
@@ -462,22 +522,29 @@ impl PartitionedTlb {
             if displaceable {
                 let w = slot.expect("checked by displaceable"); // simlint: allow(hot-unwrap, reason = "displaceable is only true when slot is Some")
                 if self.ways[w].valid {
+                    let victim_asid = self.ways[w].asid;
                     self.stats.evictions += 1;
+                    self.per_asid.entry(victim_asid).evictions += 1;
                 }
                 self.ways[w] = self.ways[victim];
                 // The rescued entry is now placed under the spiller's
-                // sharing licence, not wherever its previous owner could
-                // reach.
+                // `(asid, tb)` sharing licence, not wherever its previous
+                // owner could reach.
                 self.ways[w].owner = req.tb_slot;
-                self.sharing_flags |= 1 << (req.tb_slot as u16 % 16);
-                self.spill_counters[req.tb_slot as usize % 16] =
-                    self.spill_counters[req.tb_slot as usize % 16].saturating_add(1);
+                let tb = req.tb_slot;
+                let s = self.share_mut(req.asid);
+                s.flags |= 1 << (tb as u16 % 16);
+                s.counters[tb as usize % 16] = s.counters[tb as usize % 16].saturating_add(1);
                 self.spills += 1;
             } else {
+                let victim_asid = self.ways[victim].asid;
                 self.stats.evictions += 1;
+                self.per_asid.entry(victim_asid).evictions += 1;
             }
         } else {
+            let victim_asid = self.ways[victim].asid;
             self.stats.evictions += 1;
+            self.per_asid.entry(victim_asid).evictions += 1;
         }
         self.ways[victim] = way;
     }
@@ -493,7 +560,7 @@ impl TranslationBuffer for PartitionedTlb {
         let tb = req.tb_slot as usize;
         if self.fastpath_on {
             let m = self.memo[tb];
-            if m.epoch == self.struct_epoch && m.vpn == req.vpn {
+            if m.epoch == self.struct_epoch && m.asid == req.asid && m.vpn == req.vpn {
                 // Nothing structural changed since the slow path hit this
                 // VPN for this TB: the tag walk would find the same way
                 // after probing the same set list. Replay the identical
@@ -514,12 +581,13 @@ impl TranslationBuffer for PartitionedTlb {
                     Ppn::new(way.base_ppn.raw() + off as u64)
                 };
                 self.stats.record(true);
+                self.per_asid.entry(req.asid).record(true);
                 self.fastpath += 1;
                 return TlbOutcome::hit(ppn, latency);
             }
         }
-        let sets = self.searchable_sets(req.tb_slot);
-        match self.find(&sets, req.vpn) {
+        let sets = self.searchable_sets(req.asid, req.tb_slot);
+        match self.find(req.asid, &sets, req.vpn) {
             Some(w) => {
                 let compressed = self.ways[w].mask.count_ones() > 1;
                 let latency = self.lookup_latency(sets.len(), compressed);
@@ -532,7 +600,9 @@ impl TranslationBuffer for PartitionedTlb {
                     Ppn::new(way.base_ppn.raw() + off as u64)
                 };
                 self.stats.record(true);
+                self.per_asid.entry(req.asid).record(true);
                 self.memo[tb] = LookupMemo {
+                    asid: req.asid,
                     vpn: req.vpn,
                     way: w as u32,
                     sets_probed: sets.len() as u32,
@@ -542,6 +612,7 @@ impl TranslationBuffer for PartitionedTlb {
             }
             None => {
                 self.stats.record(false);
+                self.per_asid.entry(req.asid).record(false);
                 TlbOutcome::miss(self.lookup_latency(sets.len(), false))
             }
         }
@@ -557,7 +628,7 @@ impl TranslationBuffer for PartitionedTlb {
         let clock = self.clock;
         let base = self.run_base(req.vpn);
         let off = self.run_offset(req.vpn);
-        let searchable = self.searchable_sets(req.tb_slot);
+        let searchable = self.searchable_sets(req.asid, req.tb_slot);
 
         if self.cfg.compression.is_some() {
             // Compressed runs are inherently payload-dependent (the
@@ -569,7 +640,7 @@ impl TranslationBuffer for PartitionedTlb {
             // Refresh in place if the translation is already reachable
             // (and coherent-remap any stale run bit).
             let expected_base_ppn = ppn.raw().checked_sub(off as u64);
-            if let Some(w) = self.find(&searchable, req.vpn) {
+            if let Some(w) = self.find(req.asid, &searchable, req.vpn) {
                 let way = &mut self.ways[w];
                 let coherent = if way.literal {
                     way.mask == 1 << off && way.base_ppn == ppn
@@ -586,13 +657,16 @@ impl TranslationBuffer for PartitionedTlb {
                 }
             }
 
-            // Merge into a compatible run in the TB's own sets.
+            // Merge into a compatible run in the TB's own sets. Runs
+            // never compress across address spaces: the candidate must
+            // carry the requester's ASID.
             if let Some(expected) = expected_base_ppn {
                 let own: Vec<usize> = self.group_of(req.tb_slot).collect();
                 for &set in &own {
                     for w in self.ways_of_set(set) {
                         let way = &mut self.ways[w];
                         if way.valid
+                            && way.asid == req.asid
                             && !way.literal
                             && way.base_vpn == base
                             && way.base_ppn == Ppn::new(expected)
@@ -606,6 +680,7 @@ impl TranslationBuffer for PartitionedTlb {
             }
 
             self.stats.insertions += 1;
+            self.per_asid.entry(req.asid).insertions += 1;
             let (new_ppn, literal) = match expected_base_ppn {
                 Some(expected) => (Ppn::new(expected), false),
                 None => (ppn, true), // underflow under compression: literal
@@ -614,6 +689,7 @@ impl TranslationBuffer for PartitionedTlb {
                 req,
                 Way {
                     valid: true,
+                    asid: req.asid,
                     base_vpn: base,
                     base_ppn: new_ppn,
                     mask: 1 << off,
@@ -629,7 +705,7 @@ impl TranslationBuffer for PartitionedTlb {
         // and placement depend only on the VPN, the set geometry, and
         // recency — never on `ppn` — so the engine may insert a sentinel
         // frame at miss time and `patch_ppn` the real one in later.
-        if let Some(w) = self.find(&searchable, req.vpn) {
+        if let Some(w) = self.find(req.asid, &searchable, req.vpn) {
             // Unconditional refresh-in-place: concurrent fill races for
             // the same page are benign (last writer wins, matching the
             // set-associative baseline), and no payload comparison decides
@@ -640,10 +716,12 @@ impl TranslationBuffer for PartitionedTlb {
             return;
         }
         self.stats.insertions += 1;
+        self.per_asid.entry(req.asid).insertions += 1;
         self.place(
             req,
             Way {
                 valid: true,
+                asid: req.asid,
                 base_vpn: base,
                 base_ppn: ppn,
                 mask: 1 << off,
@@ -660,10 +738,15 @@ impl TranslationBuffer for PartitionedTlb {
 
     fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+        self.per_asid.clear();
+    }
+
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.per_asid.non_empty()
     }
 
     fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
-        Some(self.peek(req.vpn, req.tb_slot))
+        Some(self.peek(req.asid, req.vpn, req.tb_slot))
     }
 
     fn flush(&mut self) {
@@ -671,8 +754,7 @@ impl TranslationBuffer for PartitionedTlb {
             w.valid = false;
             w.mask = 0;
         }
-        self.sharing_flags = 0;
-        self.spill_counters = [0; 16];
+        self.share.clear();
         self.struct_epoch += 1;
     }
 
@@ -695,7 +777,8 @@ impl TranslationBuffer for PartitionedTlb {
         // round, so `old` identifies the entry unambiguously. No stamp,
         // stats, flag, or epoch updates: payload only.
         for way in &mut self.ways {
-            if way.valid && way.base_vpn == req.vpn && way.base_ppn == old {
+            if way.valid && way.asid == req.asid && way.base_vpn == req.vpn && way.base_ppn == old
+            {
                 way.base_ppn = new;
                 return true;
             }
@@ -711,27 +794,36 @@ impl TranslationBuffer for PartitionedTlb {
         self.cfg.geometry.entries
     }
 
-    fn on_tb_finish(&mut self, tb_slot: u8) {
+    fn on_tb_finish(&mut self, asid: Asid, tb_slot: u8) {
         let tb_slot = self.norm_slot(tb_slot);
         self.struct_epoch += 1;
         // "We reset the sharing flag of a particular TLB set when a TB
         // that is currently indexed to that TLB set finishes": the flag
         // cleared is the *predecessor's* — the TB spilling INTO the
-        // finished TB's sets. Entries are kept (the paper explicitly
-        // avoids flushing to preserve inter-TB reuse).
+        // finished TB's sets. Only the finishing app's own register word
+        // is touched: another app's licences into the same sets survive
+        // (its TBs are still running). Entries are kept (the paper
+        // explicitly avoids flushing to preserve inter-TB reuse).
         let n = (self.groups() as u16).max(1);
         let pred = (tb_slot as u16 + n - 1) % n;
-        self.sharing_flags &= !(1 << (pred % 16));
-        self.spill_counters[(pred % 16) as usize] = 0;
+        if let Some(i) = self.share.iter().position(|s| s.asid == asid) {
+            self.share[i].flags &= !(1 << (pred % 16));
+            self.share[i].counters[(pred % 16) as usize] = 0;
+            if self.share[i].flags == 0 && self.share[i].counters.iter().all(|&c| c == 0) {
+                self.share.remove(i);
+            }
+        }
         // With the flag gone, the spiller can no longer reach entries it
         // parked outside its own group; hand those to each set's natural
         // owner so entry ownership keeps matching lookup reachability.
+        // Only this app's entries are affected — a licence is keyed by
+        // `(asid, tb)`, so other apps' parked entries stay licensed.
         // (When more than 16 TBs alias one flag bit, every aliasing owner
         // is covered.)
         let assoc = self.cfg.geometry.associativity;
         for i in 0..self.ways.len() {
             let w = self.ways[i];
-            if !w.valid || u16::from(w.owner) % 16 != pred % 16 {
+            if !w.valid || w.asid != asid || u16::from(w.owner) % 16 != pred % 16 {
                 continue;
             }
             let set = i / assoc;
@@ -750,8 +842,7 @@ impl TranslationBuffer for PartitionedTlb {
             // Geometry changed: sharing relationships are stale, and set
             // groups moved under the resident entries — re-home everything
             // to its set's natural owner.
-            self.sharing_flags = 0;
-            self.spill_counters = [0; 16];
+            self.share.clear();
             let assoc = self.cfg.geometry.associativity;
             for i in 0..self.ways.len() {
                 if self.ways[i].valid {
@@ -779,19 +870,35 @@ impl TranslationBuffer for PartitionedTlb {
                 self.capacity()
             ));
         }
+        let agg = self.per_asid.sum();
+        if agg != self.stats {
+            return fail(format!(
+                "per-ASID stats sum {agg:?} != aggregate {:?}",
+                self.stats
+            ));
+        }
         let n = self.groups();
         // Flag bits and spill counters for slots that cannot exist must
-        // stay clear (on_tb_finish / set_concurrent_tbs reset them).
-        if n < 16 {
-            if self.sharing_flags >> n != 0 {
-                return fail(format!(
-                    "sharing_flags {:#018b} has bits set for TB slots >= {n}",
-                    self.sharing_flags
-                ));
+        // stay clear (on_tb_finish / set_concurrent_tbs reset them), for
+        // every app's register word.
+        for s in &self.share {
+            if n < 16 {
+                if s.flags >> n != 0 {
+                    return fail(format!(
+                        "ASID {}: sharing flags {:#018b} have bits set for TB slots >= {n}",
+                        s.asid, s.flags
+                    ));
+                }
+                if let Some(i) = (n..16).find(|&i| s.counters[i] != 0) {
+                    return fail(format!(
+                        "ASID {}: spill counter {i} nonzero with only {n} TB slots",
+                        s.asid
+                    ));
+                }
             }
-            if let Some(i) = (n..16).find(|&i| self.spill_counters[i] != 0) {
-                return fail(format!("spill counter {i} nonzero with only {n} TB slots"));
-            }
+        }
+        if self.share.windows(2).any(|w| w[0].asid >= w[1].asid) {
+            return fail("sharing register table not strictly sorted by ASID".into());
         }
         if self.memo.len() != n {
             return fail(format!(
@@ -812,20 +919,22 @@ impl TranslationBuffer for PartitionedTlb {
                 let w = m.way as usize;
                 if w >= self.ways.len()
                     || !self.ways[w].valid
+                    || self.ways[w].asid != m.asid
                     || self.ways[w].base_vpn != self.run_base(m.vpn)
                 {
                     return fail(format!(
-                        "live memo for TB {tb} (vpn {:#x}) points at way {w} which no \
-                         longer holds it",
+                        "live memo for TB {tb} (asid {} vpn {:#x}) points at way {w} \
+                         which no longer holds it",
+                        m.asid,
                         m.vpn.raw()
                     ));
                 }
             }
         }
-        if self.cfg.sharing == SharingPolicy::None && self.sharing_flags != 0 {
+        if self.cfg.sharing == SharingPolicy::None && self.sharing_flags() != 0 {
             return fail(format!(
-                "sharing_flags {:#018b} set under SharingPolicy::None",
-                self.sharing_flags
+                "sharing flags {:#018b} set under SharingPolicy::None",
+                self.sharing_flags()
             ));
         }
         let degree_bits = if self.degree() >= 32 {
@@ -880,13 +989,16 @@ impl TranslationBuffer for PartitionedTlb {
                     ));
                 }
                 // §IV-B placement: an entry lives in its owner's group, or
-                // in territory the owner's sharing flag licenses (the
-                // adjacent group — or anywhere under all-to-all).
+                // in territory licensed by the owner's `(asid, tb)`
+                // sharing flag (the adjacent group — or anywhere under
+                // all-to-all). The licence is looked up in the entry's own
+                // app's register word: another app's spills never license
+                // this entry's placement.
                 let owner = way.owner;
                 if self.group_of(owner).contains(&set) {
                     continue;
                 }
-                let bit = self.sharing_flags & (1 << (u16::from(owner) % 16)) != 0;
+                let bit = self.sharing_flags_of(way.asid) & (1 << (u16::from(owner) % 16)) != 0;
                 let licensed = bit
                     && match self.cfg.sharing {
                         SharingPolicy::None => false,
@@ -898,8 +1010,9 @@ impl TranslationBuffer for PartitionedTlb {
                     };
                 if !licensed {
                     return fail(format!(
-                        "set {set}: entry vpn={:#x} owned by TB {owner} is outside group \
-                         {:?} and its sharing flag does not license set {set}",
+                        "set {set}: entry asid={} vpn={:#x} owned by TB {owner} is outside \
+                         group {:?} and its app's sharing flag does not license set {set}",
+                        way.asid,
                         way.base_vpn.raw(),
                         self.group_of(owner),
                     ));
@@ -912,18 +1025,24 @@ impl TranslationBuffer for PartitionedTlb {
     fn dump_state(&self) -> String {
         let mut s = format!(
             "PartitionedTlb: {} entries, {}-way, {:?}, concurrent_tbs={}, clock={}\n\
-             sharing_flags={:#018b} spill_counters={:?} spills={}\n\
+             sharing_flags={:#018b} (union) spills={}\n\
              stats {{{:?}}}\n",
             self.cfg.geometry.entries,
             self.cfg.geometry.associativity,
             self.cfg.sharing,
             self.concurrent_tbs,
             self.clock,
-            self.sharing_flags,
-            self.spill_counters,
+            self.sharing_flags(),
             self.spills,
             self.stats
         );
+        for sh in &self.share {
+            let _ = writeln!(
+                s,
+                "  asid {:4}: flags={:#018b} spill_counters={:?}",
+                sh.asid, sh.flags, sh.counters
+            );
+        }
         for tb in 0..self.groups().min(self.cfg.geometry.sets()) as u8 {
             let _ = write!(s, "  tb {tb:2} owns sets {:?}", self.group_of(tb));
             if tb % 4 == 3 {
@@ -940,7 +1059,8 @@ impl TranslationBuffer for PartitionedTlb {
             for w in ways.iter().filter(|w| w.valid) {
                 let _ = write!(
                     s,
-                    " [vpn={:#x} ppn={:#x} mask={:#b}{} owner={} @{}]",
+                    " [asid={} vpn={:#x} ppn={:#x} mask={:#b}{} owner={} @{}]",
+                    w.asid,
                     w.base_vpn.raw(),
                     w.base_ppn.raw(),
                     w.mask,
@@ -1045,7 +1165,7 @@ mod tests {
         }
         assert_ne!(t.sharing_flags(), 0);
         // Neighbour TB 1 finishing resets the flag into its sets.
-        t.on_tb_finish(1);
+        t.on_tb_finish(Asid::default(), 1);
         assert_eq!(t.sharing_flags() & 1, 0);
         // Entries are NOT flushed.
         assert!(t.occupancy() >= 4);
@@ -1162,8 +1282,12 @@ mod tests {
         // The spilled page is reachable through TB 0's engaged flag, and
         // invisible to TB 2 whose sets are elsewhere.
         for i in 0..5u64 {
-            assert_eq!(t.peek(Vpn::new(2000 + i), 0), Some(Ppn::new(i)), "page {i}");
-            assert_eq!(t.peek(Vpn::new(2000 + i), 2), None);
+            assert_eq!(
+                t.peek(Asid::default(), Vpn::new(2000 + i), 0),
+                Some(Ppn::new(i)),
+                "page {i}"
+            );
+            assert_eq!(t.peek(Asid::default(), Vpn::new(2000 + i), 2), None);
         }
         assert_eq!(t.stats().accesses(), 0, "peek must not touch stats");
         assert_eq!(
@@ -1242,7 +1366,7 @@ mod tests {
         assert!(t.lookup(&req(200, 0)).hit, "engaged before TB finish");
         // TB 1 finishing resets its predecessor's (TB 0's) counter and
         // flag: sharing disengages and the parked pages go dark for TB 0.
-        t.on_tb_finish(1);
+        t.on_tb_finish(Asid::default(), 1);
         assert_eq!(t.sharing_flags() & 1, 0);
         assert!(!t.lookup(&req(200, 0)).hit, "disengaged after TB finish");
         // The parked entries were adopted by the set's natural owner, so
@@ -1356,7 +1480,7 @@ mod tests {
                     t.insert(&r, Ppn::new(r.vpn.raw() + 1000));
                 }
                 if step % 37 == 0 {
-                    t.on_tb_finish(tb);
+                    t.on_tb_finish(Asid::default(), tb);
                 }
                 if let Err(v) = t.check_invariants() {
                     panic!("{sharing:?} step {step}: {v}");
@@ -1402,7 +1526,7 @@ mod tests {
         assert_eq!(t.fastpath_hits(), 5, "slow path re-armed the memo");
         // TB lifecycle events invalidate too (sharing flags may change the
         // probe count).
-        t.on_tb_finish(1);
+        t.on_tb_finish(Asid::default(), 1);
         assert!(t.lookup(&req(42, 0)).hit);
         assert_eq!(t.fastpath_hits(), 5);
         // The memo is per TB slot: TB 1 probing its own sets never sees
@@ -1482,5 +1606,110 @@ mod tests {
         assert_eq!(t.fastpath_hits(), before + 1, "memo survived the patch");
         assert_eq!(out.ppn, Some(Ppn::new(6)));
         t.check_invariants().expect("patched memo keeps invariants");
+    }
+
+    fn areq(asid: u16, vpn: u64, tb: u8) -> TlbRequest {
+        TlbRequest::new(Vpn::new(vpn), tb).with_asid(Asid::new(asid))
+    }
+
+    #[test]
+    fn asid_is_part_of_the_tag() {
+        let mut t = tlb(true);
+        t.insert(&areq(1, 700, 0), Ppn::new(11));
+        t.insert(&areq(2, 700, 0), Ppn::new(22));
+        // Same VPN, same TB slot: each app sees only its own frame.
+        assert_eq!(t.lookup(&areq(1, 700, 0)).ppn, Some(Ppn::new(11)));
+        assert_eq!(t.lookup(&areq(2, 700, 0)).ppn, Some(Ppn::new(22)));
+        assert_eq!(t.peek(Asid::new(3), Vpn::new(700), 0), None);
+        t.check_invariants().expect("two apps coexist in one set");
+    }
+
+    #[test]
+    fn fastpath_memo_never_serves_another_asid() {
+        let mut t = tlb(true);
+        t.insert(&areq(1, 900, 0), Ppn::new(5));
+        assert!(t.lookup(&areq(1, 900, 0)).hit); // arms the memo for asid 1
+        let before = t.fastpath_hits();
+        // App 2 probing the same (vpn, tb) must take the slow path and
+        // miss — the armed memo belongs to app 1.
+        assert!(!t.lookup(&areq(2, 900, 0)).hit);
+        assert_eq!(t.fastpath_hits(), before, "memo must not cross ASIDs");
+    }
+
+    #[test]
+    fn cross_app_victims_are_never_spill_rescued() {
+        let mut t = tlb(true);
+        // App 1 fills TB 0's set (4 ways at 16-TB concurrency)...
+        for i in 0..4u64 {
+            t.insert(&areq(1, 100 + i, 0), Ppn::new(i));
+        }
+        // ...then app 2 overflows the same slot. The LRU victim belongs
+        // to app 1, so rescue is forbidden: it dies in place, no flag is
+        // set for either app, and the eviction is charged to app 1.
+        t.insert(&areq(2, 500, 0), Ppn::new(99));
+        assert_eq!(t.spills(), 0, "cross-app rescue must not happen");
+        assert_eq!(t.sharing_flags(), 0);
+        assert_eq!(t.stats().evictions, 1);
+        let by_asid = t.stats_by_asid();
+        let of = |a: u16| {
+            by_asid
+                .iter()
+                .find(|(asid, _)| *asid == Asid::new(a))
+                .map(|(_, s)| *s)
+                .unwrap_or_default()
+        };
+        assert_eq!(of(1).evictions, 1, "victim's app is charged");
+        assert_eq!(of(2).evictions, 0);
+        assert_eq!(of(2).insertions, 1);
+        t.check_invariants().expect("cross-app eviction keeps invariants");
+    }
+
+    #[test]
+    fn sharing_flags_are_keyed_by_asid_and_tb() {
+        let mut t = tlb(true);
+        // App 1 overflows TB 0 into its neighbour: only app 1's word has
+        // the flag, so only app 1's lookups gain the neighbour's sets.
+        for i in 0..5u64 {
+            t.insert(&areq(1, 2000 + i, 0), Ppn::new(i));
+        }
+        assert_ne!(t.sharing_flags_of(Asid::new(1)) & 1, 0);
+        assert_eq!(t.sharing_flags_of(Asid::new(2)), 0);
+        for i in 0..5u64 {
+            assert!(t.lookup(&areq(1, 2000 + i, 0)).hit, "page {i}");
+        }
+        // App 2's TB 1 finishing must not release app 1's licence...
+        t.on_tb_finish(Asid::new(2), 1);
+        assert_ne!(t.sharing_flags_of(Asid::new(1)) & 1, 0);
+        assert!(t.lookup(&areq(1, 2000, 0)).hit, "licence survives");
+        // ...but app 1's own TB 1 finishing does.
+        t.on_tb_finish(Asid::new(1), 1);
+        assert_eq!(t.sharing_flags_of(Asid::new(1)), 0);
+        t.check_invariants()
+            .expect("adoption after per-app flag reset keeps invariants");
+    }
+
+    #[test]
+    fn per_asid_stats_sum_to_aggregate_under_mixed_traffic() {
+        let mut t = tlb(true);
+        for step in 0..300u64 {
+            let asid = (step % 3) as u16;
+            let tb = (step % 16) as u8;
+            let r = areq(asid, step * 11 % 40, tb);
+            if !t.lookup(&r).hit {
+                t.insert(&r, Ppn::new(step + 1));
+            }
+            if step % 41 == 0 {
+                t.on_tb_finish(Asid::new(asid), tb);
+            }
+            if let Err(v) = t.check_invariants() {
+                panic!("step {step}: {v}");
+            }
+        }
+        let sum = t
+            .stats_by_asid()
+            .iter()
+            .fold(TlbStats::default(), |a, (_, s)| a + *s);
+        assert_eq!(sum, t.stats());
+        assert!(t.stats_by_asid().len() >= 3, "all three apps recorded");
     }
 }

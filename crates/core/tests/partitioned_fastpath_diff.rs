@@ -2,14 +2,15 @@
 //! path and its payload-only `patch_ppn` are *exact*: a TLB with the
 //! memo enabled and a memo-less twin, driven by the same random stream
 //! of lookups, inserts, patches, TB lifecycle events, and flushes across
-//! every sharing policy (with and without compression), must agree on
+//! every sharing policy (with and without compression) and a mix of
+//! address spaces, must agree on
 //! every outcome, every stats counter, and the entire dumped state —
 //! LRU stamps, sharing flags, spill counters, and owners included.
 
 use orchestrated_tlb::{PartitionedTlb, PartitionedTlbConfig, SharingPolicy};
 use proptest::prelude::*;
 use tlb::{CompressionConfig, TlbConfig, TlbRequest, TranslationBuffer};
-use vmem::{Ppn, Vpn};
+use vmem::{Asid, Ppn, Vpn};
 
 /// One step of the driving stream. Lookup dominates (the memo's producer
 /// and consumer); inserts churn residency and sharing flags; patches swap
@@ -17,10 +18,10 @@ use vmem::{Ppn, Vpn};
 /// flags; flush wipes everything.
 #[derive(Clone, Debug)]
 enum Op {
-    Lookup(u64, u8),
-    Insert(u64, u8, u64),
-    Patch(u64, u64, u64),
-    TbFinish(u8),
+    Lookup(u16, u64, u8),
+    Insert(u16, u64, u8, u64),
+    Patch(u16, u64, u64, u64),
+    TbFinish(u16, u8),
     SetTbs(u8),
     Flush,
 }
@@ -30,14 +31,14 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
     // stream toward the path under test. Narrow VPN/PPN ranges maximize
     // refresh collisions and successful patches.
     let op = prop_oneof![
-        (0u64..64, 0u8..8).prop_map(|(v, t)| Op::Lookup(v, t)),
-        (0u64..64, 0u8..8).prop_map(|(v, t)| Op::Lookup(v, t)),
-        (0u64..64, 0u8..8).prop_map(|(v, t)| Op::Lookup(v, t)),
-        (0u64..64, 0u8..8).prop_map(|(v, t)| Op::Lookup(v, t)),
-        (0u64..64, 0u8..8, 0u64..16).prop_map(|(v, t, p)| Op::Insert(v, t, p)),
-        (0u64..64, 0u8..8, 0u64..16).prop_map(|(v, t, p)| Op::Insert(v, t, p)),
-        (0u64..64, 0u64..16, 0u64..16).prop_map(|(v, o, n)| Op::Patch(v, o, n)),
-        (0u8..8).prop_map(Op::TbFinish),
+        (0u16..3, 0u64..64, 0u8..8).prop_map(|(a, v, t)| Op::Lookup(a, v, t)),
+        (0u16..3, 0u64..64, 0u8..8).prop_map(|(a, v, t)| Op::Lookup(a, v, t)),
+        (0u16..3, 0u64..64, 0u8..8).prop_map(|(a, v, t)| Op::Lookup(a, v, t)),
+        (0u16..3, 0u64..64, 0u8..8).prop_map(|(a, v, t)| Op::Lookup(a, v, t)),
+        (0u16..3, 0u64..64, 0u8..8, 0u64..16).prop_map(|(a, v, t, p)| Op::Insert(a, v, t, p)),
+        (0u16..3, 0u64..64, 0u8..8, 0u64..16).prop_map(|(a, v, t, p)| Op::Insert(a, v, t, p)),
+        (0u16..3, 0u64..64, 0u64..16, 0u64..16).prop_map(|(a, v, o, n)| Op::Patch(a, v, o, n)),
+        (0u16..3, 0u8..8).prop_map(|(a, t)| Op::TbFinish(a, t)),
         (0u8..8).prop_map(|n| Op::SetTbs(n + 1)),
         Just(Op::Flush),
     ];
@@ -48,23 +49,26 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 /// observable after it.
 fn step(fast: &mut PartitionedTlb, slow: &mut PartitionedTlb, op: &Op) {
     match *op {
-        Op::Lookup(v, tb) => {
-            let a = fast.lookup(&TlbRequest::new(Vpn::new(v), tb));
-            let b = slow.lookup(&TlbRequest::new(Vpn::new(v), tb));
-            assert_eq!(a, b, "lookup({v}, tb {tb}) diverged");
+        Op::Lookup(a, v, tb) => {
+            let r = TlbRequest::new(Vpn::new(v), tb).with_asid(Asid::new(a));
+            let x = fast.lookup(&r);
+            let y = slow.lookup(&r);
+            assert_eq!(x, y, "lookup(asid {a}, {v}, tb {tb}) diverged");
         }
-        Op::Insert(v, tb, p) => {
-            fast.insert(&TlbRequest::new(Vpn::new(v), tb), Ppn::new(p));
-            slow.insert(&TlbRequest::new(Vpn::new(v), tb), Ppn::new(p));
+        Op::Insert(a, v, tb, p) => {
+            let r = TlbRequest::new(Vpn::new(v), tb).with_asid(Asid::new(a));
+            fast.insert(&r, Ppn::new(p));
+            slow.insert(&r, Ppn::new(p));
         }
-        Op::Patch(v, o, n) => {
-            let a = fast.patch_ppn(&TlbRequest::new(Vpn::new(v), 0), Ppn::new(o), Ppn::new(n));
-            let b = slow.patch_ppn(&TlbRequest::new(Vpn::new(v), 0), Ppn::new(o), Ppn::new(n));
-            assert_eq!(a, b, "patch_ppn({v}) diverged");
+        Op::Patch(a, v, o, n) => {
+            let r = TlbRequest::new(Vpn::new(v), 0).with_asid(Asid::new(a));
+            let x = fast.patch_ppn(&r, Ppn::new(o), Ppn::new(n));
+            let y = slow.patch_ppn(&r, Ppn::new(o), Ppn::new(n));
+            assert_eq!(x, y, "patch_ppn(asid {a}, {v}) diverged");
         }
-        Op::TbFinish(tb) => {
-            fast.on_tb_finish(tb);
-            slow.on_tb_finish(tb);
+        Op::TbFinish(a, tb) => {
+            fast.on_tb_finish(Asid::new(a), tb);
+            slow.on_tb_finish(Asid::new(a), tb);
         }
         Op::SetTbs(n) => {
             fast.set_concurrent_tbs(n);

@@ -10,15 +10,16 @@
 
 use orchestrated_tlb::{PartitionedTlb, PartitionedTlbConfig, SharingPolicy, TlbAwareScheduler};
 use proptest::prelude::*;
-use tlb::{CompressionConfig, TlbConfig, TlbRequest, TranslationBuffer};
-use vmem::{Ppn, Vpn};
+use tlb::{CompressionConfig, TlbConfig, TlbRequest, TlbStats, TranslationBuffer};
+use vmem::{Asid, Ppn, Vpn};
 
-/// One random TLB operation.
+/// One random TLB operation. Every address-carrying op also carries the
+/// issuing app's ASID so sequences exercise the multi-tenant paths.
 #[derive(Copy, Clone, Debug)]
 enum Op {
-    Lookup { vpn: u64, tb: u8 },
-    Insert { vpn: u64, tb: u8 },
-    TbFinish { tb: u8 },
+    Lookup { asid: u16, vpn: u64, tb: u8 },
+    Insert { asid: u16, vpn: u64, tb: u8 },
+    TbFinish { asid: u16, tb: u8 },
     SetConcurrency { tbs: u8 },
     Flush,
 }
@@ -27,14 +28,20 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     // The compat prop_oneof! has no weight syntax; repeating the hot
     // lookup/insert arms biases the mix toward them instead.
     prop_oneof![
-        (0u64..96, 0u8..8).prop_map(|(vpn, tb)| Op::Lookup { vpn, tb }),
-        (0u64..96, 0u8..8).prop_map(|(vpn, tb)| Op::Insert { vpn, tb }),
-        (96u64..192, 0u8..8).prop_map(|(vpn, tb)| Op::Lookup { vpn, tb }),
-        (96u64..192, 0u8..8).prop_map(|(vpn, tb)| Op::Insert { vpn, tb }),
-        (0u8..8).prop_map(|tb| Op::TbFinish { tb }),
+        (0u16..3, 0u64..96, 0u8..8).prop_map(|(asid, vpn, tb)| Op::Lookup { asid, vpn, tb }),
+        (0u16..3, 0u64..96, 0u8..8).prop_map(|(asid, vpn, tb)| Op::Insert { asid, vpn, tb }),
+        (0u16..3, 96u64..192, 0u8..8).prop_map(|(asid, vpn, tb)| Op::Lookup { asid, vpn, tb }),
+        (0u16..3, 96u64..192, 0u8..8).prop_map(|(asid, vpn, tb)| Op::Insert { asid, vpn, tb }),
+        (0u16..3, 0u8..8).prop_map(|(asid, tb)| Op::TbFinish { asid, tb }),
         (1u8..8).prop_map(|tbs| Op::SetConcurrency { tbs }),
         Just(Op::Flush),
     ]
+}
+
+/// App `asid` maps `vpn` to this frame: per-app ranges are disjoint, so
+/// any hit returning a frame outside the requester's range is a leak.
+fn frame_of(asid: u16, vpn: u64) -> u64 {
+    u64::from(asid) * 1_000_000 + vpn + 1000
 }
 
 fn policy_strategy() -> impl Strategy<Value = SharingPolicy> {
@@ -48,16 +55,32 @@ fn policy_strategy() -> impl Strategy<Value = SharingPolicy> {
 
 fn apply(t: &mut PartitionedTlb, op: Op) {
     match op {
-        Op::Lookup { vpn, tb } => {
-            t.lookup(&TlbRequest::new(Vpn::new(vpn), tb));
+        Op::Lookup { asid, vpn, tb } => {
+            let out = t.lookup(&TlbRequest::new(Vpn::new(vpn), tb).with_asid(Asid::new(asid)));
+            if let Some(ppn) = out.ppn {
+                assert_eq!(
+                    ppn.raw() / 1_000_000,
+                    u64::from(asid),
+                    "ASID {asid} received another app's frame {:#x}",
+                    ppn.raw()
+                );
+            }
         }
-        Op::Insert { vpn, tb } => {
-            t.insert(&TlbRequest::new(Vpn::new(vpn), tb), Ppn::new(vpn + 1000));
+        Op::Insert { asid, vpn, tb } => {
+            t.insert(
+                &TlbRequest::new(Vpn::new(vpn), tb).with_asid(Asid::new(asid)),
+                Ppn::new(frame_of(asid, vpn)),
+            );
         }
-        Op::TbFinish { tb } => t.on_tb_finish(tb),
+        Op::TbFinish { asid, tb } => t.on_tb_finish(Asid::new(asid), tb),
         Op::SetConcurrency { tbs } => t.set_concurrent_tbs(tbs),
         Op::Flush => t.flush(),
     }
+    let sum = t
+        .stats_by_asid()
+        .iter()
+        .fold(TlbStats::default(), |a, (_, s)| a + *s);
+    assert_eq!(sum, t.stats(), "per-ASID stats must sum to aggregate");
 }
 
 proptest! {

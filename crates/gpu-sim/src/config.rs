@@ -1,6 +1,6 @@
 //! Simulator configuration (the paper's Table III).
 
-use mem_hier::{CacheConfig, HierarchyConfig};
+use mem_hier::{CacheConfig, HierarchyConfig, L2Policy};
 use tlb::TlbConfig;
 
 /// Full GPU configuration.
@@ -90,6 +90,11 @@ pub struct GpuConfig {
     /// deal moves on (1 = pure round-robin). Purely a wall-clock knob;
     /// swept by `engine-bench --tune`.
     pub shard_chunk: usize,
+    /// Shared L2 TLB management policy across co-running address spaces
+    /// (`Shared` baseline, MASK-style fill tokens, or MIG-style
+    /// sub-entry sharing). Irrelevant to solo runs: with one ASID every
+    /// policy degenerates to `Shared` behavior.
+    pub l2_policy: L2Policy,
 }
 
 impl GpuConfig {
@@ -121,6 +126,7 @@ impl GpuConfig {
             shard_lane_overhead: 4,
             epoch_cycles: 4096,
             shard_chunk: 1,
+            l2_policy: L2Policy::Shared,
         }
     }
 
@@ -144,12 +150,19 @@ impl GpuConfig {
             l2_hit_latency: self.l2_hit_latency,
             dram_latency: self.dram_latency,
             demand_fault_latency: self.demand_fault_latency,
+            l2_policy: self.l2_policy,
         }
     }
 
     /// The Figure 2 variant with a 256-entry L1 TLB.
     pub fn with_l1_tlb(mut self, l1_tlb: TlbConfig) -> Self {
         self.l1_tlb = l1_tlb;
+        self
+    }
+
+    /// Swaps the shared L2 TLB multi-tenant policy.
+    pub fn with_l2_policy(mut self, policy: L2Policy) -> Self {
+        self.l2_policy = policy;
         self
     }
 }
@@ -194,6 +207,7 @@ mod tests {
             l2_tlb_slices: 4,
             l2_tlb_port_occupancy: 10,
             walk_latency_per_level: 25,
+            l2_policy: L2Policy::MaskTokens { quota: 7 },
             ..GpuConfig::dac23_baseline()
         };
         let h = c.hierarchy();
@@ -212,6 +226,7 @@ mod tests {
         assert_eq!(h.l2_hit_latency, c.l2_hit_latency);
         assert_eq!(h.dram_latency, c.dram_latency);
         assert_eq!(h.demand_fault_latency, c.demand_fault_latency);
+        assert_eq!(h.l2_policy, L2Policy::MaskTokens { quota: 7 });
     }
 
     #[test]

@@ -47,7 +47,7 @@ use mem_hier::{
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tlb::{SetAssocTlb, TranslationBuffer};
-use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, VirtAddr};
+use vmem::{AddressSpace, Asid, PageSize, PhysAddr, Ppn, VirtAddr};
 use workloads::format::{TraceError, TraceSource};
 use workloads::{TbTrace, WarpOp, Workload};
 
@@ -200,6 +200,31 @@ impl Simulator {
         }
     }
 
+    /// Co-runs several workloads as concurrent address spaces sharing
+    /// the GPU: app `k` runs under ASID `k` with its own page table,
+    /// the merged TB stream is app-interleaved round-robin (the
+    /// `corun` module's merge), and every TLB tags entries with the owning
+    /// ASID. The report's [`SimReport::per_app`] carries each app's
+    /// completion cycle and TLB counters; `workload` is the `a+b` merged
+    /// name. Like [`Simulator::run`], output is byte-identical for any
+    /// `--sim-threads N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or the apps disagree on page size.
+    pub fn run_corun(&mut self, apps: Vec<Workload>) -> SimReport {
+        let merged = crate::corun::merge_apps(apps);
+        let seq = KernelSeq::CoRun {
+            kernel: Box::new(merged.kernel),
+            asids: merged.asids,
+        };
+        match self.run_prepared_multi(merged.name, merged.app_names, merged.spaces, seq) {
+            Ok(report) => report,
+            // The in-memory feed has no I/O to fail on.
+            Err(e) => panic!("in-memory co-run replay cannot fail: {e}"),
+        }
+    }
+
     /// Runs a [`TraceSource`] to completion. A `Generated` source
     /// replays from RAM exactly like [`Simulator::run`]; a `File` source
     /// streams TB traces block by block from disk, keeping only the
@@ -224,15 +249,31 @@ impl Simulator {
         }
     }
 
-    /// The shared run loop behind [`Simulator::run`] and
-    /// [`Simulator::run_source`].
+    /// Solo entry into the shared run loop: one app, one address space,
+    /// ASID 0.
     fn run_prepared(
         &mut self,
         name: String,
         space: AddressSpace,
         seq: KernelSeq,
     ) -> Result<SimReport, TraceError> {
+        let app_names = vec![name.clone()];
+        self.run_prepared_multi(name, app_names, vec![space], seq)
+    }
+
+    /// The shared run loop behind [`Simulator::run`],
+    /// [`Simulator::run_source`] and [`Simulator::run_corun`]:
+    /// `spaces[k]` is ASID `k`'s page table, `app_names[k]` its label in
+    /// [`SimReport::per_app`].
+    fn run_prepared_multi(
+        &mut self,
+        name: String,
+        app_names: Vec<String>,
+        spaces: Vec<AddressSpace>,
+        seq: KernelSeq,
+    ) -> Result<SimReport, TraceError> {
         let n_sms = self.config.num_sms;
+        let num_apps = spaces.len();
         let sanitize = self.sanitize.unwrap_or_else(sanitize_enabled);
         let mut sanitizer = sanitize.then(|| Sanitizer::new(n_sms));
         let threads = self
@@ -250,9 +291,13 @@ impl Simulator {
         let l1_tlbs: Vec<Box<dyn TranslationBuffer>> = (0..n_sms)
             .map(|_| (self.l1_tlb_factory)(&self.config))
             .collect();
-        let page_size = space.page_size();
+        // A run with no address spaces has no traffic either; the page
+        // size is then irrelevant, so default rather than panic here.
+        let page_size = spaces
+            .first()
+            .map_or(PageSize::default(), AddressSpace::page_size);
         let (mut fronts, back) =
-            HierarchyBuilder::new(self.config.hierarchy()).build_split(space, l1_tlbs);
+            HierarchyBuilder::new(self.config.hierarchy()).build_split_multi(spaces, l1_tlbs);
         let mut shared = SharedState {
             back,
             page_size,
@@ -264,8 +309,18 @@ impl Simulator {
             scheduler: self.tb_scheduler.name().to_owned(),
             tb_placements: vec![0; n_sms],
             sm_instructions: vec![0; n_sms],
+            per_app: app_names
+                .into_iter()
+                .enumerate()
+                .map(|(k, workload)| crate::report::AppReport {
+                    asid: k as u16,
+                    workload,
+                    ..Default::default()
+                })
+                .collect(),
             ..Default::default()
         };
+        debug_assert_eq!(report.per_app.len(), num_apps, "one app label per space");
 
         let mut cycle: u64 = 0;
         for kernel_idx in 0..seq.len() {
@@ -310,6 +365,21 @@ impl Simulator {
             .iter()
             .fold(*shared.back.breakdown(), |a, f| a + *f.breakdown());
         report.translation_trace = shared.trace.take().unwrap_or_default();
+        // Per-app TLB counters: order-independent sums over fronts and
+        // slices, keyed by ASID (so they are `--sim-threads` invariant
+        // like every other accumulator).
+        for front in &fronts {
+            for (asid, stats) in front.tlb().stats_by_asid() {
+                if let Some(app) = report.per_app.get_mut(asid.index()) {
+                    app.l1_tlb += stats;
+                }
+            }
+        }
+        for (asid, stats) in shared.back.l2_tlb_stats_by_asid() {
+            if let Some(app) = report.per_app.get_mut(asid.index()) {
+                app.l2_tlb = stats;
+            }
+        }
         Ok(report)
     }
 }
@@ -344,6 +414,11 @@ pub(crate) struct Lane {
     /// Instructions issued this kernel (merged into the report at kernel
     /// end; pure sums, so the merge is order-independent).
     instructions: u64,
+    /// Per-app completion bound: the latest `ready_at` of any retired
+    /// warp of each ASID on this SM. Merged into the report by
+    /// order-independent max at kernel end, so co-run per-app cycles
+    /// are `--sim-threads` invariant.
+    app_done: Vec<u64>,
 }
 
 /// The phase-A -> phase-B boundary for one SM and one event cycle.
@@ -582,8 +657,9 @@ fn dispatch_tbs(
         let Some(lane) = lanes[target].as_mut() else {
             unreachable!("dispatch-visible lanes are home")
         };
+        let asid = feed.asid_of(*next_tb);
         let tb = feed.tb(*next_tb)?;
-        lane.sm.place_tb(tb, *next_tb as u32, cycle);
+        lane.sm.place_tb(tb, *next_tb as u32, cycle, asid);
         placements[target] += 1;
         *next_tb += 1;
     }
@@ -643,6 +719,7 @@ fn run_kernel(
                 scratch: IssueScratch::default(),
                 trace: Vec::new(),
                 instructions: 0,
+                app_done: vec![0; report.per_app.len().max(1)],
             }))
         })
         .collect();
@@ -1031,7 +1108,12 @@ fn run_kernel(
     if let Some(san) = sanitizer.as_mut() {
         let tlbs: Vec<&dyn TranslationBuffer> =
             lanes.iter().flatten().map(|l| l.front.tlb()).collect();
-        san.end_of_kernel(cycle, &tlbs, shared.back.l2_slices());
+        san.end_of_kernel(
+            cycle,
+            &tlbs,
+            shared.back.l2_slices(),
+            report.per_app.len().max(1),
+        );
         for lane in lanes.iter().flatten() {
             if let Err(e) = lane.front.check_accounting() {
                 Sanitizer::accounting_failure(
@@ -1067,6 +1149,11 @@ fn run_kernel(
         debug_assert!(lane.outbox.is_empty() && lane.trace.is_empty());
         report.instructions += lane.instructions;
         report.sm_instructions[lane.sm_idx] += lane.instructions;
+        for (k, &done) in lane.app_done.iter().enumerate() {
+            if let Some(app) = report.per_app.get_mut(k) {
+                app.cycles = app.cycles.max(done);
+            }
+        }
         fronts.push(lane.front);
     }
     Ok(cycle)
@@ -1133,10 +1220,13 @@ fn phase_a(
                 warp.retired = true;
                 sm.retired_warps += 1;
                 let slot = warp.tb_slot as usize;
+                let asid = warp.asid;
+                let done = warp.ready_at;
+                lane.app_done[asid.index()] = lane.app_done[asid.index()].max(done);
                 sm.slot_live_warps[slot] -= 1;
                 if sm.slot_live_warps[slot] == 0 {
                     sm.free_slots.push(slot as u8);
-                    front.tlb_mut().on_tb_finish(slot as u8);
+                    front.tlb_mut().on_tb_finish(asid, slot as u8);
                 }
             } else {
                 let due = warp.ready_at;
@@ -1204,6 +1294,7 @@ fn phase_a(
                             let acc = Access {
                                 at,
                                 sm: sm_idx,
+                                asid: warp.asid,
                                 tb_slot: warp.tb_slot,
                                 va: line,
                                 vpn,
@@ -1481,6 +1572,8 @@ struct IssueScratch {
 struct WarpRt {
     /// Stable per-SM warp id (launch order; lower = older).
     id: u32,
+    /// Address space (co-running app) this warp's TB belongs to.
+    asid: Asid,
     /// Static ops of this warp, shared with the workload trace (an `Arc`
     /// clone at TB placement, not a copy).
     ops: std::sync::Arc<Vec<WarpOp>>,
@@ -1538,7 +1631,7 @@ impl SmRt {
     /// decoded TB; each warp's op storage is `Arc`-cloned into the
     /// resident [`WarpRt`], keeping it alive after the feed recycles the
     /// decoded block.
-    fn place_tb(&mut self, tb: &TbTrace, tb_global: u32, cycle: u64) {
+    fn place_tb(&mut self, tb: &TbTrace, tb_global: u32, cycle: u64, asid: Asid) {
         let slot = self.free_slots.pop().expect("caller checked has_room"); // simlint: allow(hot-unwrap, reason = "dispatch loop asserts has_room before place_tb")
         let mut live = 0;
         for (warp_in_tb, warp) in tb.warps().iter().enumerate() {
@@ -1548,6 +1641,7 @@ impl SmRt {
             }
             self.warps.push(WarpRt {
                 id: self.next_warp_id,
+                asid,
                 ops: warp.shared_ops(),
                 op_idx: 0,
                 ready_at: cycle + 1,

@@ -14,6 +14,7 @@
 //!
 //! [`SmRt::place_tb`]: crate::engine
 
+use vmem::Asid;
 use workloads::format::{KernelMeta, TbStream, TraceError, TraceReader};
 use workloads::{KernelTrace, TbTrace};
 
@@ -22,6 +23,15 @@ use workloads::{KernelTrace, TbTrace};
 pub(crate) enum KernelFeed<'a> {
     /// A fully materialized in-RAM kernel.
     Mem(&'a KernelTrace),
+    /// An app-interleaved co-run: a merged in-RAM TB stream where TB
+    /// `i` belongs to the address space `asids[i]` (built by
+    /// [`crate::corun`]).
+    CoMem {
+        /// The merged kernel (all apps' TBs, round-robin interleaved).
+        kernel: &'a KernelTrace,
+        /// Owning address space of each TB, parallel to `kernel.tbs`.
+        asids: &'a [Asid],
+    },
     /// A kernel streamed from a `trace/v1` file.
     Stream {
         /// Footer metadata (name, occupancy hints, TB count).
@@ -40,7 +50,7 @@ impl KernelFeed<'_> {
     /// Kernel name (for `SimReport::kernel_cycles`).
     pub(crate) fn name(&self) -> &str {
         match self {
-            KernelFeed::Mem(k) => &k.name,
+            KernelFeed::Mem(k) | KernelFeed::CoMem { kernel: k, .. } => &k.name,
             KernelFeed::Stream { meta, .. } => &meta.name,
         }
     }
@@ -48,7 +58,7 @@ impl KernelFeed<'_> {
     /// Threads per TB (occupancy accounting).
     pub(crate) fn threads_per_tb(&self) -> u32 {
         match self {
-            KernelFeed::Mem(k) => k.threads_per_tb,
+            KernelFeed::Mem(k) | KernelFeed::CoMem { kernel: k, .. } => k.threads_per_tb,
             KernelFeed::Stream { meta, .. } => meta.threads_per_tb,
         }
     }
@@ -56,7 +66,7 @@ impl KernelFeed<'_> {
     /// Compile-time per-SM TB concurrency limit.
     pub(crate) fn max_concurrent_tbs_per_sm(&self) -> u8 {
         match self {
-            KernelFeed::Mem(k) => k.max_concurrent_tbs_per_sm,
+            KernelFeed::Mem(k) | KernelFeed::CoMem { kernel: k, .. } => k.max_concurrent_tbs_per_sm,
             KernelFeed::Stream { meta, .. } => meta.max_concurrent_tbs_per_sm,
         }
     }
@@ -64,8 +74,17 @@ impl KernelFeed<'_> {
     /// Number of TBs in the kernel's grid.
     pub(crate) fn tb_count(&self) -> usize {
         match self {
-            KernelFeed::Mem(k) => k.tbs.len(),
+            KernelFeed::Mem(k) | KernelFeed::CoMem { kernel: k, .. } => k.tbs.len(),
             KernelFeed::Stream { meta, .. } => meta.tb_count as usize,
+        }
+    }
+
+    /// Owning address space of the TB at global index `idx` (ASID 0 for
+    /// every solo feed).
+    pub(crate) fn asid_of(&self, idx: usize) -> Asid {
+        match self {
+            KernelFeed::CoMem { asids, .. } => asids[idx],
+            _ => Asid::default(),
         }
     }
 
@@ -76,9 +95,11 @@ impl KernelFeed<'_> {
     /// seek backwards) and decodes forward block by block.
     pub(crate) fn tb(&mut self, idx: usize) -> Result<&TbTrace, TraceError> {
         match self {
-            KernelFeed::Mem(k) => k.tbs.get(idx).ok_or_else(|| TraceError::NotATrace {
-                what: format!("TB index {idx} out of range ({} TBs)", k.tbs.len()),
-            }),
+            KernelFeed::Mem(k) | KernelFeed::CoMem { kernel: k, .. } => {
+                k.tbs.get(idx).ok_or_else(|| TraceError::NotATrace {
+                    what: format!("TB index {idx} out of range ({} TBs)", k.tbs.len()),
+                })
+            }
             KernelFeed::Stream {
                 stream,
                 next,
@@ -109,6 +130,14 @@ impl KernelFeed<'_> {
 pub(crate) enum KernelSeq {
     /// In-RAM kernels (shared storage from the workload).
     Mem(std::sync::Arc<Vec<KernelTrace>>),
+    /// An app-interleaved co-run: one merged launch whose TBs carry
+    /// per-app ASIDs (built by [`crate::corun::merge_apps`]).
+    CoRun {
+        /// The merged TB stream, dispatched as a single launch.
+        kernel: Box<KernelTrace>,
+        /// Owning ASID of each TB, parallel to `kernel.tbs`.
+        asids: Vec<Asid>,
+    },
     /// A trace file; each kernel opens its own streaming cursor. Boxed
     /// so the rare streaming variant doesn't inflate the in-RAM one.
     Stream(Box<TraceReader>),
@@ -119,6 +148,7 @@ impl KernelSeq {
     pub(crate) fn len(&self) -> usize {
         match self {
             KernelSeq::Mem(kernels) => kernels.len(),
+            KernelSeq::CoRun { .. } => 1,
             KernelSeq::Stream(reader) => reader.kernels().len(),
         }
     }
@@ -126,6 +156,14 @@ impl KernelSeq {
     /// Opens the feed for kernel `k`.
     pub(crate) fn feed(&self, k: usize) -> Result<KernelFeed<'_>, TraceError> {
         match self {
+            KernelSeq::CoRun { kernel, asids } => {
+                if k != 0 {
+                    return Err(TraceError::NotATrace {
+                        what: format!("co-run has a single merged launch, asked for kernel {k}"),
+                    });
+                }
+                Ok(KernelFeed::CoMem { kernel, asids })
+            }
             KernelSeq::Mem(kernels) => {
                 kernels
                     .get(k)

@@ -37,6 +37,7 @@
 
 mod coalesce;
 mod config;
+mod corun;
 mod engine;
 mod feed;
 mod pool;
@@ -48,12 +49,13 @@ mod warp_sched;
 // The data caches and cache/hierarchy configuration moved to the
 // `mem-hier` crate; re-export them so downstream callers keep compiling
 // against `gpu_sim::{Cache, CacheConfig, ...}` unchanged.
-pub use mem_hier::{Cache, CacheConfig, CacheStats, LatencyBreakdown, TranslationBreakdown};
+pub use mem_hier::{Cache, CacheConfig, CacheStats, L2Policy, LatencyBreakdown, TranslationBreakdown};
 
 pub use coalesce::{coalesce, coalesce_into};
 pub use config::GpuConfig;
+pub use corun::{jain_fairness, system_throughput};
 pub use engine::{set_sim_threads, sim_threads, L1TlbFactory, Simulator, WarpSchedulerFactory};
-pub use report::{SimReport, TranslationEvent};
+pub use report::{AppReport, SimReport, TranslationEvent};
 pub use sanitize::{sanitize_enabled, set_sanitize};
 pub use tb_sched::{RoundRobinScheduler, SmSnapshot, TbScheduler};
 pub use warp_sched::{GtoWarpScheduler, LrrWarpScheduler, WarpScheduler, WarpView};

@@ -20,6 +20,25 @@ pub struct TranslationEvent {
     pub vpn: u64,
 }
 
+/// Per-application results of a run (one entry per ASID, in ASID
+/// order). Solo runs carry a single entry; co-runs
+/// ([`crate::Simulator::run_corun`]) one per co-running app.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AppReport {
+    /// The app's address-space id (its index in the co-run).
+    pub asid: u16,
+    /// The app's workload name.
+    pub workload: String,
+    /// Completion cycle of the app's last warp.
+    pub cycles: u64,
+    /// The app's L1 TLB counters, summed over SMs (eviction counts
+    /// attribute to the victim's ASID, everything else to the
+    /// requester's).
+    pub l1_tlb: TlbStats,
+    /// The app's shared L2 TLB counters, summed over slices.
+    pub l2_tlb: TlbStats,
+}
+
 /// Everything a simulation run produces.
 #[derive(Clone, Debug, Default)]
 pub struct SimReport {
@@ -68,6 +87,10 @@ pub struct SimReport {
     /// is byte-identical to the walk it skips, and the lookup streams
     /// are thread-count invariant, so this counter is too.
     pub fastpath_hits: u64,
+    /// Per-application results in ASID order (a single entry for solo
+    /// runs). Populated by the engine from order-independent
+    /// per-ASID counter merges, so it is `--sim-threads` invariant.
+    pub per_app: Vec<AppReport>,
 }
 
 impl SimReport {
@@ -128,6 +151,36 @@ impl SimReport {
         baseline.total_cycles as f64 / self.total_cycles as f64
     }
 
+    /// Per-app slowdowns vs. the matching solo runs: entry `k` is the
+    /// app's co-run completion divided by `solo_cycles[k]` (> 1 means
+    /// sharing hurt it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `solo_cycles` does not match `per_app` in length.
+    pub fn per_app_slowdowns(&self, solo_cycles: &[u64]) -> Vec<f64> {
+        assert_eq!(
+            solo_cycles.len(),
+            self.per_app.len(),
+            "one solo baseline per co-running app"
+        );
+        self.per_app
+            .iter()
+            .zip(solo_cycles)
+            .map(|(app, &solo)| app.cycles as f64 / solo.max(1) as f64)
+            .collect()
+    }
+
+    /// Per-app normalized progress vs. solo (`1/slowdown` each): the
+    /// input for [`crate::jain_fairness`] and
+    /// [`crate::system_throughput`].
+    pub fn per_app_progress(&self, solo_cycles: &[u64]) -> Vec<f64> {
+        self.per_app_slowdowns(solo_cycles)
+            .into_iter()
+            .map(|s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect()
+    }
+
     /// Header row for [`SimReport::to_csv_row`].
     ///
     /// The first 12 columns are the pre-mem-hier schema and must stay in
@@ -145,6 +198,22 @@ impl SimReport {
         )
     }
 
+    /// [`SimReport::csv_header`] extended with the per-app columns a
+    /// co-run of `n_apps` appends after `fastpath_hits` (append-only:
+    /// the solo schema is the `n_apps <= 1` prefix, byte-identical to
+    /// [`SimReport::csv_header`]).
+    pub fn csv_header_for_apps(n_apps: usize) -> String {
+        let mut header = String::from(Self::csv_header());
+        if n_apps > 1 {
+            for k in 0..n_apps {
+                header.push_str(&format!(
+                    ",app{k}_name,app{k}_cycles,app{k}_l1_tlb_hit_rate,app{k}_l2_tlb_hit_rate"
+                ));
+            }
+        }
+        header
+    }
+
     /// One CSV row of the headline counters (matches
     /// [`SimReport::csv_header`]).
     pub fn to_csv_row(&self) -> String {
@@ -158,7 +227,7 @@ impl SimReport {
                 writebacks: a.writebacks + b.writebacks,
             });
         let lat = &self.latency;
-        format!(
+        let mut row = format!(
             "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.workload,
             self.scheduler,
@@ -184,7 +253,22 @@ impl SimReport {
             lat.end_to_end_cycles,
             self.sharded_rounds,
             self.fastpath_hits
-        )
+        );
+        // Per-app columns appended only for co-runs, so solo rows stay
+        // byte-identical to the pre-multi-tenant schema (golden CSVs
+        // pin this).
+        if self.per_app.len() > 1 {
+            for app in &self.per_app {
+                row.push_str(&format!(
+                    ",{},{},{:.6},{:.6}",
+                    app.workload,
+                    app.cycles,
+                    app.l1_tlb.hit_rate(),
+                    app.l2_tlb.hit_rate()
+                ));
+            }
+        }
+        row
     }
 }
 
@@ -366,6 +450,96 @@ mod tests {
         assert_eq!(field("fastpath_hits"), 4242);
         // And the recovered row still satisfies the stage-sum identity.
         assert!(r.latency.check().is_ok());
+    }
+
+    #[test]
+    fn per_app_columns_append_only_and_round_trip() {
+        // A 2-app co-run appends exactly the per-app columns after the
+        // frozen solo schema; the solo prefix stays byte-identical.
+        let solo = SimReport {
+            workload: "gemm".into(),
+            scheduler: "baseline".into(),
+            total_cycles: 10,
+            l1_tlb: vec![stats(1, 1)],
+            l1_cache: vec![CacheStats::default()],
+            ..Default::default()
+        };
+        let mut corun = solo.clone();
+        corun.workload = "gemm+bfs".into();
+        corun.per_app = vec![
+            AppReport {
+                asid: 0,
+                workload: "gemm".into(),
+                cycles: 8,
+                l1_tlb: stats(3, 1),
+                l2_tlb: stats(1, 1),
+            },
+            AppReport {
+                asid: 1,
+                workload: "bfs".into(),
+                cycles: 10,
+                l1_tlb: stats(1, 3),
+                l2_tlb: stats(0, 2),
+            },
+        ];
+        let header: Vec<String> = SimReport::csv_header_for_apps(2)
+            .split(',')
+            .map(str::to_owned)
+            .collect();
+        let row = corun.to_csv_row();
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), header.len());
+        // The solo schema is the exact prefix.
+        let base_cols = SimReport::csv_header().split(',').count();
+        assert_eq!(&header[..base_cols].join(","), SimReport::csv_header());
+        assert_eq!(SimReport::csv_header_for_apps(1), SimReport::csv_header());
+        let field = |name: &str| {
+            let i = header
+                .iter()
+                .position(|h| h == name)
+                .unwrap_or_else(|| panic!("missing column {name}"));
+            cols[i]
+        };
+        // Round trip: every appended per-app value parses back exactly.
+        assert_eq!(field("app0_name"), "gemm");
+        assert_eq!(field("app0_cycles").parse::<u64>().unwrap(), 8);
+        assert!((field("app0_l1_tlb_hit_rate").parse::<f64>().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(field("app1_name"), "bfs");
+        assert_eq!(field("app1_cycles").parse::<u64>().unwrap(), 10);
+        assert!((field("app1_l2_tlb_hit_rate").parse::<f64>().unwrap() - 0.0).abs() < 1e-9);
+        // Solo rows carry no per-app columns at all.
+        assert_eq!(
+            solo.to_csv_row().split(',').count(),
+            base_cols,
+            "solo schema must stay frozen"
+        );
+    }
+
+    #[test]
+    fn slowdowns_and_progress_vs_solo() {
+        let corun = SimReport {
+            per_app: vec![
+                AppReport {
+                    asid: 0,
+                    workload: "a".into(),
+                    cycles: 200,
+                    ..Default::default()
+                },
+                AppReport {
+                    asid: 1,
+                    workload: "b".into(),
+                    cycles: 150,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let slow = corun.per_app_slowdowns(&[100, 100]);
+        assert!((slow[0] - 2.0).abs() < 1e-12);
+        assert!((slow[1] - 1.5).abs() < 1e-12);
+        let prog = corun.per_app_progress(&[100, 100]);
+        assert!((prog[0] - 0.5).abs() < 1e-12);
+        assert!((prog[1] - 1.0 / 1.5).abs() < 1e-12);
     }
 
     #[test]

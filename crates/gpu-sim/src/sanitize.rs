@@ -19,6 +19,7 @@
 use crate::tb_sched::TbScheduler;
 use std::sync::atomic::{AtomicBool, Ordering};
 use tlb::{InvariantViolation, TlbStats, TranslationBuffer};
+use vmem::Asid;
 
 /// Process-wide default, so `--sanitize` reaches every simulator built by
 /// the experiment grid without threading a flag through each call site.
@@ -36,10 +37,79 @@ pub fn sanitize_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// What the end-of-kernel sweep needs from an L2 TLB slice: the real
+/// [`mem_hier::L2Slice`] (which wraps its buffer behind a token gate, so
+/// it is not itself a [`TranslationBuffer`]) and test stand-ins both
+/// qualify.
+pub(crate) trait L2SliceView {
+    /// Full structural check (placement, LRU order, per-ASID token
+    /// bounds).
+    fn check_invariants(&self) -> Result<(), InvariantViolation>;
+    /// Aggregate counters.
+    fn stats(&self) -> TlbStats;
+    /// Per-address-space counters; must sum to [`L2SliceView::stats`].
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)>;
+    /// State dump for violation reports.
+    fn dump_state(&self) -> String;
+}
+
+impl L2SliceView for mem_hier::L2Slice {
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        mem_hier::L2Slice::check_invariants(self)
+    }
+    fn stats(&self) -> TlbStats {
+        mem_hier::L2Slice::stats(self)
+    }
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        mem_hier::L2Slice::stats_by_asid(self)
+    }
+    fn dump_state(&self) -> String {
+        self.buffer().dump_state()
+    }
+}
+
 /// Per-run sanitizer state: the previous cycle's per-SM stats, for the
 /// monotonicity check.
 pub(crate) struct Sanitizer {
     last_l1: Vec<TlbStats>,
+}
+
+/// ASID-consistency check shared by the L1 and L2 end-of-kernel sweeps:
+/// per-ASID counters must sum to the aggregate (no lookup attributed to
+/// nobody, none double-counted), and every ASID with activity must name
+/// one of the run's `num_asids` configured address spaces — an entry
+/// attributed outside that range could not have come from any owning
+/// page table.
+fn check_per_asid(
+    context: &str,
+    aggregate: TlbStats,
+    by_asid: &[(Asid, TlbStats)],
+    num_asids: usize,
+    dump: String,
+) {
+    let sum = by_asid
+        .iter()
+        .fold(TlbStats::default(), |a, (_, s)| a + *s);
+    if sum != aggregate {
+        report(InvariantViolation::new(
+            context,
+            format!("per-ASID stats do not sum to the aggregate: {sum:?} != {aggregate:?}"),
+            dump,
+        ));
+    }
+    for (asid, stats) in by_asid {
+        let active = *stats != TlbStats::default();
+        if active && asid.index() >= num_asids {
+            report(InvariantViolation::new(
+                context,
+                format!(
+                    "ASID {asid} has activity but the run configured only \
+                     {num_asids} address spaces"
+                ),
+                dump,
+            ));
+        }
+    }
 }
 
 impl Sanitizer {
@@ -104,22 +174,41 @@ impl Sanitizer {
     }
 
     /// Exhaustive end-of-kernel sweep: every L1 TLB and L2 TLB slice gets
-    /// a full structural check (too costly per cycle, cheap per kernel).
+    /// a full structural check plus the ASID-consistency checks of
+    /// [`check_per_asid`] (too costly per cycle, cheap per kernel).
+    /// `num_asids` is the number of address spaces the run configured.
     pub(crate) fn end_of_kernel(
         &mut self,
         cycle: u64,
         l1_tlbs: &[&dyn TranslationBuffer],
-        l2_slices: &[impl TranslationBuffer],
+        l2_slices: &[impl L2SliceView],
+        num_asids: usize,
     ) {
         for (sm, tlb) in l1_tlbs.iter().enumerate() {
+            let context = format!("sm {sm} L1 TLB, end of kernel at cycle {cycle}");
             if let Err(v) = tlb.check_invariants() {
-                report(v.in_context(&format!("sm {sm} L1 TLB, end of kernel at cycle {cycle}")));
+                report(v.in_context(&context));
             }
+            check_per_asid(
+                &context,
+                tlb.stats(),
+                &tlb.stats_by_asid(),
+                num_asids,
+                tlb.dump_state(),
+            );
         }
         for (i, slice) in l2_slices.iter().enumerate() {
+            let context = format!("L2 TLB slice {i}, end of kernel at cycle {cycle}");
             if let Err(v) = slice.check_invariants() {
-                report(v.in_context(&format!("L2 TLB slice {i}, end of kernel at cycle {cycle}")));
+                report(v.in_context(&context));
             }
+            check_per_asid(
+                &context,
+                slice.stats(),
+                &slice.stats_by_asid(),
+                num_asids,
+                slice.dump_state(),
+            );
         }
     }
 
@@ -187,6 +276,9 @@ mod tests {
     struct Broken {
         stats: TlbStats,
         structural: Option<InvariantViolation>,
+        /// Overrides the per-ASID breakdown (`None` = the trait default:
+        /// everything on ASID 0, which always sums correctly).
+        per_asid: Option<Vec<(Asid, TlbStats)>>,
     }
 
     impl Broken {
@@ -194,6 +286,7 @@ mod tests {
             Broken {
                 stats: TlbStats::default(),
                 structural: None,
+                per_asid: None,
             }
         }
 
@@ -201,7 +294,23 @@ mod tests {
             Broken {
                 stats: TlbStats::default(),
                 structural: Some(InvariantViolation::new("FakeTlb", detail, dump)),
+                per_asid: None,
             }
+        }
+    }
+
+    impl L2SliceView for Broken {
+        fn check_invariants(&self) -> Result<(), InvariantViolation> {
+            TranslationBuffer::check_invariants(self)
+        }
+        fn stats(&self) -> TlbStats {
+            self.stats
+        }
+        fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+            TranslationBuffer::stats_by_asid(self)
+        }
+        fn dump_state(&self) -> String {
+            TranslationBuffer::dump_state(self)
         }
     }
 
@@ -222,6 +331,12 @@ mod tests {
             match &self.structural {
                 Some(v) => Err(v.clone()),
                 None => Ok(()),
+            }
+        }
+        fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+            match &self.per_asid {
+                Some(v) => v.clone(),
+                None => vec![(Asid::default(), self.stats)],
             }
         }
         fn dump_state(&self) -> String {
@@ -280,6 +395,7 @@ mod tests {
             100,
             &[&ok as &dyn TranslationBuffer, &bad as &dyn TranslationBuffer],
             &l2,
+            1,
         );
     }
 
@@ -291,7 +407,37 @@ mod tests {
             Broken::sound(),
             Broken::structurally("resident 513 exceeds capacity 512", "set 0: []"),
         ];
-        s.end_of_kernel(100, &[], &l2);
+        s.end_of_kernel(100, &[], &l2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-ASID stats do not sum to the aggregate")]
+    fn l1_per_asid_sum_mismatch_is_fatal() {
+        // An L1 TLB that attributes fewer lookups to its ASIDs than it
+        // counted in aggregate: a lookup went unattributed.
+        let mut bad = Broken::sound();
+        bad.stats.record(true);
+        bad.stats.record(true);
+        let mut app0 = TlbStats::default();
+        app0.record(true);
+        bad.per_asid = Some(vec![(Asid::default(), app0)]);
+        let mut s = Sanitizer::new(1);
+        let l2: Vec<Broken> = Vec::new();
+        s.end_of_kernel(100, &[&bad as &dyn TranslationBuffer], &l2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "address spaces")]
+    fn l2_activity_outside_configured_asids_is_fatal() {
+        // An L2 slice reporting activity for ASID 3 in a 2-app co-run:
+        // no configured page table can own those entries.
+        let mut bad = Broken::sound();
+        bad.stats.record(false);
+        let mut stray = TlbStats::default();
+        stray.record(false);
+        bad.per_asid = Some(vec![(Asid::new(3), stray)]);
+        let mut s = Sanitizer::new(0);
+        s.end_of_kernel(100, &[], &[bad], 2);
     }
 
     #[test]

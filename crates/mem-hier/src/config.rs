@@ -44,6 +44,33 @@ impl CacheConfig {
     }
 }
 
+/// Multi-tenant organization of the shared L2 TLB when applications
+/// co-run (DESIGN.md §6b). With a single resident app every variant
+/// behaves like [`L2Policy::Shared`] in the limit; the variants matter
+/// under cross-ASID contention.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum L2Policy {
+    /// Baseline: one ASID-tagged set-associative structure per slice,
+    /// apps compete freely for every way.
+    #[default]
+    Shared,
+    /// MASK-style L2 TLB-fill tokens: an app holding `quota` or more
+    /// resident entries in a slice has exhausted its tokens there, and
+    /// further fills *bypass* the slice (the translation still resolves,
+    /// it just isn't cached), protecting co-runners from fill floods.
+    MaskTokens {
+        /// Resident-entry budget per app per slice.
+        quota: usize,
+    },
+    /// MIG-style sub-entry sharing: ways are tagged by VPN alone and hold
+    /// `subs` per-ASID sub-entries, so co-runners mapping the same pages
+    /// share tag space without seeing each other's frames.
+    SubEntry {
+        /// Sub-entries per shared tag.
+        subs: usize,
+    },
+}
+
 /// Everything [`HierarchyBuilder`](crate::HierarchyBuilder) needs to
 /// assemble the baseline translation + data pipeline of the paper's
 /// Figure 1. The engine derives this from its own `GpuConfig`; variant
@@ -81,6 +108,8 @@ pub struct HierarchyConfig {
     pub dram_latency: u64,
     /// One-time UVM first-touch (demand-paging) penalty per page.
     pub demand_fault_latency: u64,
+    /// Multi-tenant organization of the shared L2 TLB.
+    pub l2_policy: L2Policy,
 }
 
 #[cfg(test)]
@@ -98,6 +127,17 @@ mod tests {
     #[should_panic(expected = "whole sets")]
     fn bad_cache_geometry_rejected() {
         let _ = CacheConfig::new(129 * 3, 2, 129 /* 3 lines, assoc 2 */);
+    }
+
+    #[test]
+    fn l2_policy_defaults_to_shared() {
+        assert_eq!(L2Policy::default(), L2Policy::Shared);
+        // The variants carry their own knobs and compare structurally.
+        assert_ne!(
+            L2Policy::MaskTokens { quota: 8 },
+            L2Policy::MaskTokens { quota: 9 }
+        );
+        assert_ne!(L2Policy::SubEntry { subs: 2 }, L2Policy::Shared);
     }
 
     #[test]

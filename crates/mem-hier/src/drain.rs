@@ -40,7 +40,7 @@ use crate::breakdown::{LatencyBreakdown, TranslationBreakdown};
 use crate::split::{PerSmFront, SharedBack, SharedRequest, SharedResponse, TranslationRef};
 use crate::stage::{Access, Outcome, Stage, StageStats};
 use crate::stages::L2TlbStage;
-use tlb::{TlbRequest, TranslationBuffer};
+use tlb::TlbRequest;
 use vmem::{PhysAddr, Ppn};
 
 /// Executes a batch of independent tasks, possibly in parallel.
@@ -97,7 +97,7 @@ fn slice_sentinel(slice: usize, local: usize) -> Ppn {
 }
 
 fn treq(acc: &Access) -> TlbRequest {
-    TlbRequest::with_page_size(acc.vpn, acc.tb_slot, acc.page_size)
+    TlbRequest::with_page_size(acc.vpn, acc.tb_slot, acc.page_size).with_asid(acc.asid)
 }
 
 /// How one translate request's frame and ready cycle get determined.
@@ -397,7 +397,7 @@ fn pass_front_translate(dl: &mut DrainLane<'_>, sc: &mut LaneScratch) {
 
 fn pass_slice(
     s: usize,
-    slice: &mut tlb::SetAssocTlb,
+    slice: &mut crate::stages::L2Slice,
     port: &mut crate::ports::Ports,
     shard: &mut SliceShard,
     lat: u64,
@@ -545,11 +545,11 @@ fn pass_resolve_and_data(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CacheConfig, HierarchyConfig};
-    use tlb::{SetAssocTlb, TlbConfig};
-    use vmem::{AddressSpace, PageSize, VirtAddr};
+    use crate::config::{CacheConfig, HierarchyConfig, L2Policy};
+    use tlb::{SetAssocTlb, TlbConfig, TranslationBuffer};
+    use vmem::{AddressSpace, Asid, PageSize, VirtAddr};
 
-    fn config(num_sms: usize, slices: usize) -> HierarchyConfig {
+    fn config_with(num_sms: usize, slices: usize, policy: L2Policy) -> HierarchyConfig {
         HierarchyConfig {
             num_sms,
             l1_cache: CacheConfig::new(512, 2, 128),
@@ -566,7 +566,12 @@ mod tests {
             l2_hit_latency: 30,
             dram_latency: 200,
             demand_fault_latency: 2000,
+            l2_policy: policy,
         }
+    }
+
+    fn config(num_sms: usize, slices: usize) -> HierarchyConfig {
+        config_with(num_sms, slices, L2Policy::Shared)
     }
 
     fn setup(
@@ -584,6 +589,30 @@ mod tests {
         (fronts, SharedBack::new(&cfg, space), base)
     }
 
+    /// Like [`setup`] but with `apps` twin address spaces behind one
+    /// shared back (co-run shape) and a configurable L2 policy.
+    fn setup_multi(
+        num_sms: usize,
+        slices: usize,
+        apps: usize,
+        policy: L2Policy,
+        l1: &dyn Fn() -> Box<dyn TranslationBuffer>,
+    ) -> (Vec<PerSmFront>, SharedBack, u64) {
+        let mut spaces = Vec::new();
+        let mut base = 0;
+        for _ in 0..apps {
+            let mut s = AddressSpace::new(PageSize::Small);
+            let buf = s.allocate("b", 1 << 22).expect("fresh space");
+            base = buf.addr_of(0).raw();
+            spaces.push(s);
+        }
+        let cfg = config_with(num_sms, slices, policy);
+        let fronts = (0..num_sms)
+            .map(|sm| PerSmFront::new(sm, l1(), &cfg))
+            .collect();
+        (fronts, SharedBack::new_multi(&cfg, spaces), base)
+    }
+
     fn acc(base: u64, at: u64, sm: usize, page: u64) -> Access {
         // Page index relative to the buffer base (identical in both
         // twin spaces: allocation is deterministic).
@@ -591,10 +620,28 @@ mod tests {
         Access {
             at,
             sm,
+            asid: Asid::default(),
             tb_slot: (page % 3) as u8,
             va,
             vpn: va.vpn(PageSize::Small),
             page_size: PageSize::Small,
+        }
+    }
+
+    /// Retags every translate access with an ASID derived from its VPN
+    /// (`(vpn >> 1) % apps`, so consecutive pages alternate apps and a
+    /// multi-slice L2 still sees mixed-ASID queues on every slice).
+    fn stripe_asids(reqs: &mut [Vec<SharedRequest>], apps: u16) {
+        for rs in reqs.iter_mut() {
+            for r in rs.iter_mut() {
+                match r {
+                    SharedRequest::TranslateMiss { acc, .. }
+                    | SharedRequest::TranslateReplay { acc } => {
+                        acc.asid = Asid::new(((acc.vpn.raw() >> 1) % u64::from(apps)) as u16);
+                    }
+                    _ => {}
+                }
+            }
         }
     }
 
@@ -763,14 +810,152 @@ mod tests {
                     for page in 0..24u64 {
                         let vpn = acc(base, 0, 0, page).vpn;
                         assert_eq!(
-                            sa.peek(vpn),
-                            sb.peek(vpn),
+                            sa.peek(Asid::default(), vpn),
+                            sb.peek(Asid::default(), vpn),
                             "{tag}: L2 slice {i} resident state for page {page}"
                         );
                     }
                 }
             }
         }
+    }
+
+    /// Serial-vs-sharded twin comparison for a 2-app co-run under one L2
+    /// policy: ASID-striped requests force mixed-ASID slice queues, twin
+    /// page tables, and per-app L1 sentinel traffic through the full
+    /// five-pass protocol.
+    fn twin_check_multi(policy: L2Policy) {
+        let apps = 2u16;
+        let l1: &dyn Fn() -> Box<dyn TranslationBuffer> =
+            &|| Box::new(SetAssocTlb::new(TlbConfig::new(8, 2, 1)));
+        for seed in 0..8 {
+            for slices in [1usize, 2, 4] {
+                let num_sms = 4;
+                let (mut fronts_a, mut back_a, base) =
+                    setup_multi(num_sms, slices, apps as usize, policy, l1);
+                let mut reqs = batch(base, num_sms, seed);
+                stripe_asids(&mut reqs, apps);
+                let mut serial: Vec<Vec<SharedResponse>> = Vec::new();
+                for (sm, rs) in reqs.iter().enumerate() {
+                    let mut resolved: Vec<(Ppn, u64)> = Vec::new();
+                    let mut out = Vec::new();
+                    for r in rs {
+                        let resp = back_a.apply(&mut fronts_a[sm], r, &resolved);
+                        if let Some(p) = resp.ppn {
+                            resolved.push((p, resp.ready_at));
+                        }
+                        out.push(resp);
+                    }
+                    serial.push(out);
+                }
+                let (mut fronts_b, mut back_b, base_b) =
+                    setup_multi(num_sms, slices, apps as usize, policy, l1);
+                assert_eq!(base, base_b, "twin allocation must be deterministic");
+                let mut resps: Vec<Vec<SharedResponse>> = vec![Vec::new(); num_sms];
+                {
+                    let mut lanes: Vec<DrainLane<'_>> = fronts_b
+                        .iter_mut()
+                        .zip(reqs.iter())
+                        .zip(resps.iter_mut())
+                        .enumerate()
+                        .map(|(sm, ((front, reqs), resps))| DrainLane {
+                            sm,
+                            front,
+                            reqs,
+                            resps,
+                        })
+                        .collect();
+                    drain_sharded(&mut back_b, &mut lanes, &SerialExec);
+                }
+                let tag = format!("{policy:?}: seed {seed} slices {slices}");
+                for sm in 0..num_sms {
+                    for (i, (a, b)) in serial[sm].iter().zip(&resps[sm]).enumerate() {
+                        assert_eq!(
+                            format!("{a:?}"),
+                            format!("{b:?}"),
+                            "{tag}: sm {sm} response {i} ({:?})",
+                            reqs[sm][i]
+                        );
+                    }
+                    assert_eq!(
+                        format!("{:?}", fronts_a[sm].tlb().stats_by_asid()),
+                        format!("{:?}", fronts_b[sm].tlb().stats_by_asid()),
+                        "{tag}: sm {sm} per-ASID L1 TLB stats"
+                    );
+                    // Resident state must agree per (asid, page).
+                    for page in 0..24u64 {
+                        let mut a = acc(base, 0, sm, page);
+                        for app in 0..apps {
+                            a.asid = Asid::new(app);
+                            let r = treq(&a);
+                            assert_eq!(
+                                fronts_a[sm].tlb().probe(&r),
+                                fronts_b[sm].tlb().probe(&r),
+                                "{tag}: sm {sm} asid {app} L1 state for page {page}"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(
+                    format!(
+                        "{:?} {:?} {:?} {:?}",
+                        back_a.l2_tlb_stats_by_asid(),
+                        back_a.stage_stats(),
+                        back_a.walker_stats(),
+                        back_a.breakdown()
+                    ),
+                    format!(
+                        "{:?} {:?} {:?} {:?}",
+                        back_b.l2_tlb_stats_by_asid(),
+                        back_b.stage_stats(),
+                        back_b.walker_stats(),
+                        back_b.breakdown()
+                    ),
+                    "{tag}: shared-back accounting"
+                );
+                assert_eq!(
+                    back_a.l2_token_bypasses(),
+                    back_b.l2_token_bypasses(),
+                    "{tag}: token-bypass counts"
+                );
+                assert_eq!(back_a.demand_faults(), back_b.demand_faults(), "{tag}");
+                for (i, (sa, sb)) in back_a
+                    .l2_slices()
+                    .iter()
+                    .zip(back_b.l2_slices())
+                    .enumerate()
+                {
+                    sa.check_invariants()
+                        .unwrap_or_else(|v| panic!("{tag}: slice {i}: {}", v.detail));
+                    for page in 0..24u64 {
+                        let vpn = acc(base, 0, 0, page).vpn;
+                        for app in 0..apps {
+                            assert_eq!(
+                                sa.peek(Asid::new(app), vpn),
+                                sb.peek(Asid::new(app), vpn),
+                                "{tag}: L2 slice {i} asid {app} state for page {page}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_drain_matches_serial_apply_for_two_asids() {
+        twin_check_multi(L2Policy::Shared);
+    }
+
+    #[test]
+    fn sharded_drain_matches_serial_apply_with_mask_tokens() {
+        // Tiny quota so bypasses actually fire in both twins.
+        twin_check_multi(L2Policy::MaskTokens { quota: 3 });
+    }
+
+    #[test]
+    fn sharded_drain_matches_serial_apply_with_sub_entry_l2() {
+        twin_check_multi(L2Policy::SubEntry { subs: 2 });
     }
 
     #[test]

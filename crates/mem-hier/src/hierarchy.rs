@@ -5,8 +5,9 @@ use crate::breakdown::{LatencyBreakdown, TranslationBreakdown};
 use crate::config::HierarchyConfig;
 use crate::split::{PerSmFront, SharedBack};
 use crate::stage::{Access, StageStats};
-use tlb::{SetAssocTlb, TlbStats, TranslationBuffer};
-use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, WalkerStats};
+use crate::stages::L2Slice;
+use tlb::{TlbStats, TranslationBuffer};
+use vmem::{AddressSpace, Asid, PageSize, PhysAddr, Ppn, WalkerStats};
 
 /// The hierarchy level that resolved a translation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -120,13 +121,18 @@ impl Hierarchy {
     }
 
     /// The L2 TLB slices, in interleave order.
-    pub fn l2_slices(&self) -> &[SetAssocTlb] {
+    pub fn l2_slices(&self) -> &[L2Slice] {
         self.back.l2_slices()
     }
 
     /// Aggregate L2 TLB counters summed over slices.
     pub fn l2_tlb_stats(&self) -> TlbStats {
         self.back.l2_tlb_stats()
+    }
+
+    /// Per-ASID L2 TLB counters merged over slices, sorted by ASID.
+    pub fn l2_tlb_stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.back.l2_tlb_stats_by_asid()
     }
 
     /// Per-SM L1 data-cache counters.
@@ -215,6 +221,21 @@ impl HierarchyBuilder {
         space: AddressSpace,
         l1_tlbs: Vec<Box<dyn TranslationBuffer>>,
     ) -> (Vec<PerSmFront>, SharedBack) {
+        self.build_split_multi(vec![space], l1_tlbs)
+    }
+
+    /// [`HierarchyBuilder::build_split`] for co-runs: one address space
+    /// per application, ASID `i` owning `spaces[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_tlbs.len()` differs from the configured SM count, or
+    /// if `spaces` is empty / mixes page sizes.
+    pub fn build_split_multi(
+        self,
+        spaces: Vec<AddressSpace>,
+        l1_tlbs: Vec<Box<dyn TranslationBuffer>>,
+    ) -> (Vec<PerSmFront>, SharedBack) {
         assert_eq!(
             l1_tlbs.len(),
             self.config.num_sms,
@@ -225,7 +246,7 @@ impl HierarchyBuilder {
             .enumerate()
             .map(|(sm, tlb)| PerSmFront::new(sm, tlb, &self.config))
             .collect();
-        let back = SharedBack::new(&self.config, space);
+        let back = SharedBack::new_multi(&self.config, spaces);
         (fronts, back)
     }
 
@@ -244,7 +265,7 @@ impl HierarchyBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::CacheConfig;
+    use crate::config::{CacheConfig, L2Policy};
     use tlb::TlbConfig;
     use vmem::VirtAddr;
 
@@ -265,6 +286,7 @@ mod tests {
             l2_hit_latency: 30,
             dram_latency: 200,
             demand_fault_latency: 2000,
+            l2_policy: L2Policy::Shared,
         }
     }
 
@@ -288,6 +310,7 @@ mod tests {
         Access {
             at,
             sm,
+            asid: Asid::default(),
             tb_slot: 0,
             va,
             vpn: va.vpn(PageSize::Small),

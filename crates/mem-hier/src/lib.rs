@@ -50,6 +50,7 @@
 //!     l2_hit_latency: 30,
 //!     dram_latency: 200,
 //!     demand_fault_latency: 2000,
+//!     l2_policy: mem_hier::L2Policy::Shared,
 //! };
 //! let l1s: Vec<Box<dyn TranslationBuffer>> =
 //!     vec![Box::new(SetAssocTlb::new(TlbConfig::dac23_l1()))];
@@ -59,6 +60,7 @@
 //! let t = hier.translate(&Access {
 //!     at: 0,
 //!     sm: 0,
+//!     asid: vmem::Asid::default(),
 //!     tb_slot: 0,
 //!     va,
 //!     vpn: va.vpn(PageSize::Small),
@@ -85,9 +87,9 @@ mod stages;
 pub use breakdown::{LatencyBreakdown, TranslationBreakdown};
 pub use drain::{drain_sharded, DrainExec, DrainLane, SerialExec};
 pub use cache::{Cache, CacheStats};
-pub use config::{CacheConfig, HierarchyConfig};
+pub use config::{CacheConfig, HierarchyConfig, L2Policy};
 pub use hierarchy::{Hierarchy, HierarchyBuilder, HitLevel, Translation};
 pub use ports::Ports;
 pub use split::{PerSmFront, SharedBack, SharedRequest, SharedResponse, TranslationRef};
 pub use stage::{Access, Outcome, Stage, StageStats};
-pub use stages::{IcntLink, L2TlbStage, WalkerStage};
+pub use stages::{IcntLink, L2Slice, L2TlbStage, SliceKind, WalkerStage};

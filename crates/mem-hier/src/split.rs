@@ -27,12 +27,12 @@ use crate::cache::{Cache, CacheStats};
 use crate::config::HierarchyConfig;
 use crate::hierarchy::{HitLevel, Translation};
 use crate::stage::{Access, Outcome, Stage, StageStats};
-use crate::stages::{IcntLink, L2TlbStage, WalkerStage};
-use tlb::{SetAssocTlb, TlbRequest, TlbStats, TranslationBuffer};
-use vmem::{AddressSpace, PageSize, PhysAddr, Ppn, WalkerStats};
+use crate::stages::{IcntLink, L2Slice, L2TlbStage, WalkerStage};
+use tlb::{TlbRequest, TlbStats, TranslationBuffer};
+use vmem::{AddressSpace, Asid, PageSize, PhysAddr, Ppn, WalkerStats};
 
 fn request(acc: &Access) -> TlbRequest {
-    TlbRequest::with_page_size(acc.vpn, acc.tb_slot, acc.page_size)
+    TlbRequest::with_page_size(acc.vpn, acc.tb_slot, acc.page_size).with_asid(acc.asid)
 }
 
 /// One SM's private slice of the hierarchy: its L1 TLB and L1 data
@@ -303,8 +303,20 @@ pub struct SharedBack {
 }
 
 impl SharedBack {
-    /// Assembles the shared stages from the hierarchy geometry.
+    /// Assembles the shared stages from the hierarchy geometry around a
+    /// single address space (the solo-run shape).
     pub fn new(config: &HierarchyConfig, space: AddressSpace) -> Self {
+        Self::new_multi(config, vec![space])
+    }
+
+    /// Assembles the shared stages around one address space per
+    /// co-running app (ASID `i` owns `spaces[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spaces` is empty or disagrees on page size (via
+    /// [`WalkerStage::new_multi`]).
+    pub fn new_multi(config: &HierarchyConfig, spaces: Vec<AddressSpace>) -> Self {
         SharedBack {
             icnt: IcntLink::new(config.icnt_latency),
             l2_tlb: L2TlbStage::new(
@@ -312,9 +324,10 @@ impl SharedBack {
                 config.l2_tlb_slices,
                 config.l2_tlb_ports,
                 config.l2_tlb_port_occupancy,
+                config.l2_policy,
             ),
-            walker: WalkerStage::new(
-                space,
+            walker: WalkerStage::new_multi(
+                spaces,
                 config.walkers,
                 config.walk_latency,
                 config.walk_latency_per_level,
@@ -470,13 +483,23 @@ impl SharedBack {
     }
 
     /// The L2 TLB slices, in interleave order.
-    pub fn l2_slices(&self) -> &[SetAssocTlb] {
+    pub fn l2_slices(&self) -> &[L2Slice] {
         self.l2_tlb.slices()
     }
 
     /// Aggregate L2 TLB counters summed over slices.
     pub fn l2_tlb_stats(&self) -> TlbStats {
         self.l2_tlb.tlb_stats()
+    }
+
+    /// Per-ASID L2 TLB counters merged over slices, sorted by ASID.
+    pub fn l2_tlb_stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.l2_tlb.tlb_stats_by_asid()
+    }
+
+    /// L2 fills that bypassed their slice on exhausted MASK tokens.
+    pub fn l2_token_bypasses(&self) -> u64 {
+        self.l2_tlb.token_bypasses()
     }
 
     /// Shared L2 data-cache counters.
@@ -499,9 +522,14 @@ impl SharedBack {
         self.walker.page_size()
     }
 
-    /// The address space being translated.
+    /// The address space being translated (ASID 0's in a co-run).
     pub fn space(&self) -> &AddressSpace {
         self.walker.space()
+    }
+
+    /// All address spaces, indexed by ASID.
+    pub fn spaces(&self) -> &[AddressSpace] {
+        self.walker.spaces()
     }
 
     /// The back's share of the latency attribution (miss-path
@@ -554,8 +582,8 @@ impl SharedBack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::CacheConfig;
-    use tlb::TlbConfig;
+    use crate::config::{CacheConfig, L2Policy};
+    use tlb::{SetAssocTlb, TlbConfig};
     use vmem::{VirtAddr, Vpn};
 
     fn config(num_sms: usize) -> HierarchyConfig {
@@ -575,6 +603,7 @@ mod tests {
             l2_hit_latency: 30,
             dram_latency: 200,
             demand_fault_latency: 2000,
+            l2_policy: L2Policy::Shared,
         }
     }
 
@@ -590,6 +619,7 @@ mod tests {
         Access {
             at,
             sm: 0,
+            asid: Asid::default(),
             tb_slot: 0,
             va: Vpn::new(vpn).base_addr(PageSize::Small),
             vpn: Vpn::new(vpn),
@@ -664,6 +694,47 @@ mod tests {
         let merged = *f.breakdown() + *b.breakdown();
         assert_eq!(merged.translations, 2);
         assert!(merged.check().is_ok());
+    }
+
+    #[test]
+    fn co_run_back_keeps_address_spaces_apart() {
+        // Two apps with twin layouts translate the same VA through one
+        // shared back: each walks its own page table (two demand faults)
+        // and the L2 TLB never serves one app the other's entry.
+        let mut spaces = Vec::new();
+        let mut va = None;
+        for _ in 0..2 {
+            let mut s = AddressSpace::new(PageSize::Small);
+            let buf = s.allocate("b", 1 << 20).expect("fresh space");
+            va = Some(buf.addr_of(0));
+            spaces.push(s);
+        }
+        let va = va.expect("allocated");
+        let mut b = SharedBack::new_multi(&config(1), spaces);
+        let mut f = front(0);
+        let mk = |asid: u16, at: u64| Access {
+            va,
+            vpn: va.vpn(PageSize::Small),
+            asid: Asid::new(asid),
+            ..acc(at, 0)
+        };
+        let a0 = mk(0, 0);
+        let l1 = f.probe_translate(&a0);
+        let t0 = b.translate_miss(&mut f, &a0, l1.ready_at, l1.service_cycles);
+        let a1 = mk(1, 0);
+        let l1 = f.probe_translate(&a1);
+        let t1 = b.translate_miss(&mut f, &a1, l1.ready_at, l1.service_cycles);
+        assert_eq!(b.demand_faults(), 2, "each app first-touches its own page");
+        assert_eq!(t1.level, HitLevel::Walk, "no cross-ASID L2 hit");
+        // Warm lookups resolve per-app from the tagged L1.
+        assert_eq!(f.probe_translate(&mk(0, 9_000)).ppn, Some(t0.ppn));
+        assert_eq!(f.probe_translate(&mk(1, 9_500)).ppn, Some(t1.ppn));
+        let by = b.l2_tlb_stats_by_asid();
+        assert_eq!(by.len(), 2);
+        let agg = by.iter().fold(TlbStats::default(), |s, (_, t)| s + *t);
+        assert_eq!(agg, b.l2_tlb_stats());
+        f.check_accounting().expect("front accounting holds");
+        b.check_accounting().expect("back accounting holds");
     }
 
     #[test]

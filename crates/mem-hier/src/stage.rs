@@ -8,7 +8,7 @@
 //! level (the invariant checked by
 //! [`LatencyBreakdown`](crate::LatencyBreakdown)).
 
-use vmem::{PageSize, Ppn, VirtAddr, Vpn};
+use vmem::{Asid, PageSize, Ppn, VirtAddr, Vpn};
 
 /// One translation request traversing the hierarchy.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -17,6 +17,10 @@ pub struct Access {
     pub at: u64,
     /// Issuing SM.
     pub sm: usize,
+    /// Address space (co-running application) issuing the request; every
+    /// TLB stage includes it in the tag compare and the walker stage
+    /// selects the matching page table.
+    pub asid: Asid,
     /// Hardware TB slot of the requesting thread block (the paper's
     /// TB id used by the partitioned L1 TLB).
     pub tb_slot: u8,
@@ -183,6 +187,7 @@ mod tests {
         let a = Access {
             at: 10,
             sm: 3,
+            asid: Asid::new(1),
             tb_slot: 2,
             va: VirtAddr::new(0x1000),
             vpn: Vpn::new(1),
@@ -191,6 +196,7 @@ mod tests {
         let b = a.arriving_at(99);
         assert_eq!(b.at, 99);
         assert_eq!(b.sm, 3);
+        assert_eq!(b.asid, Asid::new(1));
         assert_eq!(b.vpn, a.vpn);
     }
 }

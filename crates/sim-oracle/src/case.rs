@@ -21,6 +21,11 @@
 //! op check
 //! ```
 //!
+//! `lookup`, `insert` and `finish` take an optional trailing ASID
+//! (`op lookup 1 0 2` — app 2's TB 0 translating VPN 1); omitting it
+//! means ASID 0, so every pre-multi-tenant case file parses unchanged
+//! and solo cases serialize byte-identically to before.
+//!
 //! Headers may appear in any order before the first `op`; trace headers
 //! irrelevant to the model (e.g. `sharing` for `model setassoc`) may be
 //! omitted. `kind engine` cases instead carry `bench`, `mechanism`,
@@ -56,6 +61,9 @@ pub enum Mutation {
     EvictMru,
     /// Partitioned TLB that ignores TB-finish notifications.
     SkipFlagReset,
+    /// Set-associative TLB that drops the ASID from its tag compare, so
+    /// co-running apps hit each other's translations.
+    DropAsidTag,
 }
 
 impl Mutation {
@@ -65,6 +73,7 @@ impl Mutation {
             "none" => Mutation::None,
             "evict-mru" => Mutation::EvictMru,
             "skip-flag-reset" => Mutation::SkipFlagReset,
+            "drop-asid-tag" => Mutation::DropAsidTag,
             _ => return None,
         })
     }
@@ -75,6 +84,7 @@ impl Mutation {
             Mutation::None => "none",
             Mutation::EvictMru => "evict-mru",
             Mutation::SkipFlagReset => "skip-flag-reset",
+            Mutation::DropAsidTag => "drop-asid-tag",
         }
     }
 }
@@ -82,14 +92,16 @@ impl Mutation {
 /// One step of a trace case.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Op {
-    /// Translate `vpn` as TB `tb`.
+    /// Translate `vpn` as app `asid`'s TB `tb`.
     Lookup {
         /// Virtual page number.
         vpn: u64,
         /// Hardware TB slot issuing the request.
         tb: u8,
+        /// Address space issuing the request (raw [`vmem::Asid`] value).
+        asid: u16,
     },
-    /// Fill `vpn -> ppn` on behalf of TB `tb`.
+    /// Fill `vpn -> ppn` on behalf of app `asid`'s TB `tb`.
     Insert {
         /// Virtual page number.
         vpn: u64,
@@ -97,11 +109,15 @@ pub enum Op {
         tb: u8,
         /// Frame number provided by the fill path.
         ppn: u64,
+        /// Address space the fill belongs to.
+        asid: u16,
     },
-    /// TB in slot `tb` finished.
+    /// App `asid`'s TB in slot `tb` finished.
     Finish {
         /// The released hardware slot.
         tb: u8,
+        /// Address space the finished TB ran on behalf of.
+        asid: u16,
     },
     /// Kernel-launch concurrency change.
     Concurrency {
@@ -180,6 +196,11 @@ pub struct TraceRef {
 pub struct EngineCase {
     /// Benchmark name from the `workloads` registry.
     pub bench: String,
+    /// Co-running benchmark names (including `bench` itself). When this
+    /// holds two or more names the replay is an app-interleaved co-run —
+    /// each app gets its own ASID and address space — instead of a solo
+    /// run of `bench`. Empty means solo.
+    pub apps: Vec<String>,
     /// Mechanism label (see `Mechanism::label`).
     pub mechanism: String,
     /// Number of SMs.
@@ -238,14 +259,23 @@ impl Case {
                 let _ = writeln!(s, "mutate {}", t.mutation.name());
                 for op in &t.ops {
                     match op {
-                        Op::Lookup { vpn, tb } => {
-                            let _ = writeln!(s, "op lookup {vpn} {tb}");
+                        Op::Lookup { vpn, tb, asid } => {
+                            let _ = match asid {
+                                0 => writeln!(s, "op lookup {vpn} {tb}"),
+                                a => writeln!(s, "op lookup {vpn} {tb} {a}"),
+                            };
                         }
-                        Op::Insert { vpn, tb, ppn } => {
-                            let _ = writeln!(s, "op insert {vpn} {tb} {ppn}");
+                        Op::Insert { vpn, tb, ppn, asid } => {
+                            let _ = match asid {
+                                0 => writeln!(s, "op insert {vpn} {tb} {ppn}"),
+                                a => writeln!(s, "op insert {vpn} {tb} {ppn} {a}"),
+                            };
                         }
-                        Op::Finish { tb } => {
-                            let _ = writeln!(s, "op finish {tb}");
+                        Op::Finish { tb, asid } => {
+                            let _ = match asid {
+                                0 => writeln!(s, "op finish {tb}"),
+                                a => writeln!(s, "op finish {tb} {a}"),
+                            };
                         }
                         Op::Concurrency { tbs } => {
                             let _ = writeln!(s, "op concurrency {tbs}");
@@ -266,6 +296,9 @@ impl Case {
             Case::Engine(e) => {
                 s.push_str("kind engine\n");
                 let _ = writeln!(s, "bench {}", e.bench);
+                if !e.apps.is_empty() {
+                    let _ = writeln!(s, "apps {}", e.apps.join(" "));
+                }
                 let _ = writeln!(s, "mechanism {}", e.mechanism);
                 let _ = writeln!(s, "sms {}", e.sms);
                 let _ = writeln!(s, "seed {}", e.seed);
@@ -284,6 +317,7 @@ impl Case {
         let mut trace = TraceCase::default();
         let mut engine = EngineCase {
             bench: String::new(),
+            apps: Vec::new(),
             mechanism: String::new(),
             sms: 4,
             seed: 0,
@@ -370,6 +404,12 @@ impl Case {
                         .ok_or_else(|| err("unknown mutation"))?;
                 }
                 "bench" => engine.bench = rest.first().unwrap_or(&"").to_string(),
+                "apps" => {
+                    if rest.len() < 2 {
+                        return Err(err("apps wants two or more benchmark names"));
+                    }
+                    engine.apps = rest.iter().map(|v| v.to_string()).collect();
+                }
                 "mechanism" => engine.mechanism = rest.first().unwrap_or(&"").to_string(),
                 "sms" => {
                     engine.sms = rest
@@ -403,18 +443,27 @@ impl Case {
                             .and_then(|v| v.parse::<u64>().ok())
                             .ok_or_else(|| err(what))
                     };
+                    // A trailing ASID is optional on lookup/insert/finish:
+                    // absent means ASID 0 (the solo default).
+                    let opt = |i: usize, what: &str| match rest.get(i) {
+                        None => Ok(0u16),
+                        Some(v) => v.parse::<u16>().map_err(|_| err(what)),
+                    };
                     let op = match rest.first().copied() {
                         Some("lookup") => Op::Lookup {
-                            vpn: int(1, "lookup wants vpn tb")?,
-                            tb: int(2, "lookup wants vpn tb")? as u8,
+                            vpn: int(1, "lookup wants vpn tb [asid]")?,
+                            tb: int(2, "lookup wants vpn tb [asid]")? as u8,
+                            asid: opt(3, "lookup wants vpn tb [asid]")?,
                         },
                         Some("insert") => Op::Insert {
-                            vpn: int(1, "insert wants vpn tb ppn")?,
-                            tb: int(2, "insert wants vpn tb ppn")? as u8,
-                            ppn: int(3, "insert wants vpn tb ppn")?,
+                            vpn: int(1, "insert wants vpn tb ppn [asid]")?,
+                            tb: int(2, "insert wants vpn tb ppn [asid]")? as u8,
+                            ppn: int(3, "insert wants vpn tb ppn [asid]")?,
+                            asid: opt(4, "insert wants vpn tb ppn [asid]")?,
                         },
                         Some("finish") => Op::Finish {
-                            tb: int(1, "finish wants tb")? as u8,
+                            tb: int(1, "finish wants tb [asid]")? as u8,
+                            asid: opt(2, "finish wants tb [asid]")?,
                         },
                         Some("concurrency") => Op::Concurrency {
                             tbs: int(1, "concurrency wants tbs")? as u8,
@@ -473,15 +522,36 @@ mod tests {
             concurrency: 2,
             mutation: Mutation::SkipFlagReset,
             ops: vec![
-                Op::Insert { vpn: 5, tb: 0, ppn: 50 },
-                Op::Lookup { vpn: 5, tb: 1 },
-                Op::Finish { tb: 1 },
+                Op::Insert { vpn: 5, tb: 0, ppn: 50, asid: 0 },
+                Op::Insert { vpn: 5, tb: 0, ppn: 90, asid: 2 },
+                Op::Lookup { vpn: 5, tb: 1, asid: 0 },
+                Op::Lookup { vpn: 5, tb: 1, asid: 2 },
+                Op::Finish { tb: 1, asid: 1 },
                 Op::Concurrency { tbs: 4 },
                 Op::Flush,
                 Op::Check,
             ],
         });
         let text = case.serialize();
+        assert_eq!(Case::parse(&text), Ok(case));
+    }
+
+    #[test]
+    fn solo_ops_serialize_without_an_asid_column() {
+        // Pre-multi-tenant corpus files must keep parsing, and solo cases
+        // must keep serializing byte-identically: ASID 0 is omitted.
+        let case = Case::Trace(TraceCase {
+            ops: vec![
+                Op::Insert { vpn: 5, tb: 0, ppn: 50, asid: 0 },
+                Op::Lookup { vpn: 5, tb: 0, asid: 0 },
+                Op::Finish { tb: 0, asid: 0 },
+            ],
+            ..TraceCase::default()
+        });
+        let text = case.serialize();
+        assert!(text.contains("op insert 5 0 50\n"), "{text}");
+        assert!(text.contains("op lookup 5 0\n"), "{text}");
+        assert!(text.contains("op finish 0\n"), "{text}");
         assert_eq!(Case::parse(&text), Ok(case));
     }
 
@@ -503,18 +573,41 @@ mod tests {
     fn engine_round_trips() {
         let case = Case::Engine(EngineCase {
             bench: "gemm".to_owned(),
+            apps: Vec::new(),
             mechanism: "sched+part+share".to_owned(),
             sms: 4,
             seed: 9,
             trace: None,
         });
-        assert_eq!(Case::parse(&case.serialize()), Ok(case));
+        let text = case.serialize();
+        assert!(!text.contains("apps"), "solo cases omit the apps line: {text}");
+        assert_eq!(Case::parse(&text), Ok(case));
+    }
+
+    #[test]
+    fn corun_engine_round_trips() {
+        let case = Case::Engine(EngineCase {
+            bench: "gemm".to_owned(),
+            apps: vec!["gemm".to_owned(), "bfs".to_owned(), "mvt".to_owned()],
+            mechanism: "ours+mask-tokens".to_owned(),
+            sms: 4,
+            seed: 3,
+            trace: None,
+        });
+        let text = case.serialize();
+        assert!(text.contains("apps gemm bfs mvt\n"), "{text}");
+        assert_eq!(Case::parse(&text), Ok(case));
+        assert!(
+            Case::parse("kind engine\nbench gemm\napps gemm\nmechanism baseline\n").is_err(),
+            "a one-app apps line is not a co-run"
+        );
     }
 
     #[test]
     fn engine_trace_ref_round_trips() {
         let case = Case::Engine(EngineCase {
             bench: "bfs".to_owned(),
+            apps: Vec::new(),
             mechanism: "baseline".to_owned(),
             sms: 2,
             seed: 7,
@@ -545,7 +638,7 @@ mod tests {
         let Case::Trace(t) = Case::parse(text).expect("parses") else {
             panic!("expected trace");
         };
-        assert_eq!(t.ops, vec![Op::Lookup { vpn: 3, tb: 0 }]);
+        assert_eq!(t.ops, vec![Op::Lookup { vpn: 3, tb: 0, asid: 0 }]);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! a run of the subject's own `check_invariants`.
 
 use crate::case::{Case, ModelKind, Mutation, Op, TraceCase};
-use crate::mutate::{EvictMruTlb, SkipFlagReset};
+use crate::mutate::{DropAsidTag, EvictMruTlb, SkipFlagReset};
 use crate::partitioned_ref::{OraclePartitionedConfig, OraclePartitionedTlb};
 use crate::reference::{InfiniteTlb, OracleSetAssocTlb};
 use crate::sched_ref::OracleScheduler;
@@ -22,7 +22,7 @@ use orchestrated_tlb::{PartitionedTlb, PartitionedTlbConfig, TlbAwareScheduler};
 use std::collections::BTreeSet;
 use std::fmt;
 use tlb::{CompressionConfig, SetAssocTlb, TlbConfig, TlbRequest, TranslationBuffer};
-use vmem::{Ppn, Vpn};
+use vmem::{Asid, Ppn, Vpn};
 
 /// The first point where subject and oracle disagreed on a case.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,6 +77,7 @@ impl Divergence {
 enum Subject {
     Set(SetAssocTlb),
     EvictMru(EvictMruTlb),
+    DropAsid(DropAsidTag),
     Part(PartitionedTlb),
     NoFlagReset(SkipFlagReset),
 }
@@ -86,13 +87,11 @@ impl Subject {
         let (entries, associativity, lookup_latency) = case.geometry;
         let geometry = TlbConfig::new(entries, associativity, lookup_latency);
         match case.model {
-            ModelKind::SetAssoc => {
-                if case.mutation == Mutation::EvictMru {
-                    Subject::EvictMru(EvictMruTlb::new(geometry))
-                } else {
-                    Subject::Set(SetAssocTlb::new(geometry))
-                }
-            }
+            ModelKind::SetAssoc => match case.mutation {
+                Mutation::EvictMru => Subject::EvictMru(EvictMruTlb::new(geometry)),
+                Mutation::DropAsidTag => Subject::DropAsid(DropAsidTag::new(geometry)),
+                _ => Subject::Set(SetAssocTlb::new(geometry)),
+            },
             ModelKind::Partitioned | ModelKind::Scheduler => {
                 let cfg = PartitionedTlbConfig {
                     geometry,
@@ -121,6 +120,7 @@ impl Subject {
         match self {
             Subject::Set(t) => t,
             Subject::EvictMru(t) => t,
+            Subject::DropAsid(t) => t,
             Subject::Part(t) => t,
             Subject::NoFlagReset(t) => t,
         }
@@ -130,6 +130,7 @@ impl Subject {
         match self {
             Subject::Set(t) => t,
             Subject::EvictMru(t) => t,
+            Subject::DropAsid(t) => t,
             Subject::Part(t) => t,
             Subject::NoFlagReset(t) => t,
         }
@@ -192,9 +193,9 @@ impl Oracle {
         }
     }
 
-    fn on_tb_finish(&mut self, tb: u8) {
+    fn on_tb_finish(&mut self, asid: Asid, tb: u8) {
         if let Oracle::Part(t) = self {
-            t.on_tb_finish(tb);
+            t.on_tb_finish(asid, tb);
         }
     }
 
@@ -204,10 +205,17 @@ impl Oracle {
         }
     }
 
-    fn peek(&self, vpn: Vpn, tb: u8) -> Option<Ppn> {
+    fn peek(&self, asid: Asid, vpn: Vpn, tb: u8) -> Option<Ppn> {
         match self {
-            Oracle::Set(t) => t.peek(vpn),
-            Oracle::Part(t) => t.peek(vpn, tb),
+            Oracle::Set(t) => t.peek(asid, vpn),
+            Oracle::Part(t) => t.peek(asid, vpn, tb),
+        }
+    }
+
+    fn stats_by_asid(&self) -> Vec<(Asid, tlb::TlbStats)> {
+        match self {
+            Oracle::Set(t) => t.stats_by_asid(),
+            Oracle::Part(t) => t.stats_by_asid(),
         }
     }
 
@@ -276,36 +284,36 @@ fn run_tlb_trace(case: &TraceCase) -> Option<Divergence> {
     let mut subject = Subject::build(case);
     let mut oracle = Oracle::build(case);
     let mut infinite = InfiniteTlb::new();
-    // Every VPN the trace mentioned: the content-sweep universe.
-    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    // Every (asid, vpn) the trace mentioned: the content-sweep universe.
+    let mut seen: BTreeSet<(u16, u64)> = BTreeSet::new();
     let partitioned = case.model == ModelKind::Partitioned;
 
     for (i, op) in case.ops.iter().enumerate() {
         match *op {
-            Op::Lookup { vpn, tb } => {
-                seen.insert(vpn);
-                let req = TlbRequest::new(Vpn::new(vpn), tb);
+            Op::Lookup { vpn, tb, asid } => {
+                seen.insert((asid, vpn));
+                let req = TlbRequest::new(Vpn::new(vpn), tb).with_asid(Asid::new(asid));
                 let want = oracle.lookup(&req);
                 let got = subject.as_tb().lookup(&req);
                 if want != got {
                     return Some(Divergence::new(Some(i), "outcome", want, got));
                 }
                 if got.hit {
-                    if let Err(e) = infinite.check_hit(req.vpn, got.ppn) {
+                    if let Err(e) = infinite.check_hit(req.asid, req.vpn, got.ppn) {
                         return Some(Divergence::new(Some(i), "soundness", "a sound hit", e));
                     }
                 }
             }
-            Op::Insert { vpn, tb, ppn } => {
-                seen.insert(vpn);
-                let req = TlbRequest::new(Vpn::new(vpn), tb);
+            Op::Insert { vpn, tb, ppn, asid } => {
+                seen.insert((asid, vpn));
+                let req = TlbRequest::new(Vpn::new(vpn), tb).with_asid(Asid::new(asid));
                 oracle.insert(&req, Ppn::new(ppn));
                 subject.as_tb().insert(&req, Ppn::new(ppn));
-                infinite.insert(req.vpn, Ppn::new(ppn));
+                infinite.insert(req.asid, req.vpn, Ppn::new(ppn));
             }
-            Op::Finish { tb } => {
-                oracle.on_tb_finish(tb);
-                subject.as_tb().on_tb_finish(tb);
+            Op::Finish { tb, asid } => {
+                oracle.on_tb_finish(Asid::new(asid), tb);
+                subject.as_tb().on_tb_finish(Asid::new(asid), tb);
             }
             Op::Concurrency { tbs } => {
                 oracle.set_concurrent_tbs(tbs);
@@ -341,14 +349,15 @@ fn run_tlb_trace(case: &TraceCase) -> Option<Divergence> {
     full_check(None, &subject, &oracle, &seen, partitioned)
 }
 
-/// Content sweep + subject invariants: for every VPN the trace touched,
-/// from every TB viewpoint, the subject's non-perturbing probe must
-/// agree with the oracle's.
+/// Content sweep + subject invariants: for every (ASID, VPN) the trace
+/// touched, from every TB viewpoint, the subject's non-perturbing probe
+/// must agree with the oracle's; the per-ASID stats breakdowns must
+/// match entry for entry and sum back to the aggregate.
 fn full_check(
     op_index: Option<usize>,
     subject: &Subject,
     oracle: &Oracle,
-    seen: &BTreeSet<u64>,
+    seen: &BTreeSet<(u16, u64)>,
     partitioned: bool,
 ) -> Option<Divergence> {
     let viewpoints: &[u8] = if partitioned {
@@ -356,22 +365,34 @@ fn full_check(
     } else {
         &[0]
     };
-    for &vpn in seen {
+    for &(asid, vpn) in seen {
         for &tb in viewpoints {
-            let req = TlbRequest::new(Vpn::new(vpn), tb);
+            let req = TlbRequest::new(Vpn::new(vpn), tb).with_asid(Asid::new(asid));
             let Some(got) = subject.as_tb_ref().probe(&req) else {
                 continue;
             };
-            let want = oracle.peek(req.vpn, tb);
+            let want = oracle.peek(req.asid, req.vpn, tb);
             if want != got {
                 return Some(Divergence {
                     op_index,
                     field: "content".to_owned(),
-                    expected: format!("vpn {vpn:#x} via tb {tb} -> {want:?}"),
-                    actual: format!("vpn {vpn:#x} via tb {tb} -> {got:?}"),
+                    expected: format!("asid {asid} vpn {vpn:#x} via tb {tb} -> {want:?}"),
+                    actual: format!("asid {asid} vpn {vpn:#x} via tb {tb} -> {got:?}"),
                 });
             }
         }
+    }
+    let want = oracle.stats_by_asid();
+    let got = subject.as_tb_ref().stats_by_asid();
+    if want != got {
+        return Some(Divergence::new(op_index, "per-asid-stats", want, got));
+    }
+    let sum = got
+        .iter()
+        .fold(tlb::TlbStats::default(), |a, &(_, s)| a + s);
+    let aggregate = subject.as_tb_ref().stats();
+    if sum != aggregate {
+        return Some(Divergence::new(op_index, "per-asid-sum", aggregate, sum));
     }
     if let Err(e) = subject.as_tb_ref().check_invariants() {
         return Some(Divergence::new(op_index, "invariant", "Ok", e.to_string()));
@@ -399,14 +420,16 @@ mod tests {
                             vpn: i % 11,
                             tb: (i % 3) as u8,
                             ppn: 100 + i % 11,
+                            asid: (i % 2) as u16,
                         },
                         Op::Lookup {
                             vpn: (i + 1) % 11,
                             tb: (i % 3) as u8,
+                            asid: (i % 2) as u16,
                         },
                     ]
                 })
-                .chain([Op::Finish { tb: 1 }, Op::Check])
+                .chain([Op::Finish { tb: 1, asid: 0 }, Op::Check])
                 .collect(),
             ..TraceCase::default()
         });
@@ -423,10 +446,10 @@ mod tests {
             geometry: (2, 2, 1),
             mutation: Mutation::EvictMru,
             ops: vec![
-                Op::Insert { vpn: 0, tb: 0, ppn: 10 },
-                Op::Insert { vpn: 1, tb: 0, ppn: 11 },
-                Op::Lookup { vpn: 0, tb: 0 },
-                Op::Insert { vpn: 2, tb: 0, ppn: 12 },
+                Op::Insert { vpn: 0, tb: 0, ppn: 10, asid: 0 },
+                Op::Insert { vpn: 1, tb: 0, ppn: 11, asid: 0 },
+                Op::Lookup { vpn: 0, tb: 0, asid: 0 },
+                Op::Insert { vpn: 2, tb: 0, ppn: 12, asid: 0 },
                 Op::Check,
             ],
             ..TraceCase::default()
@@ -444,9 +467,10 @@ mod tests {
                 vpn: 2000 + i,
                 tb: 0,
                 ppn: i,
+                asid: 0,
             })
             .collect();
-        ops.push(Op::Finish { tb: 1 });
+        ops.push(Op::Finish { tb: 1, asid: 0 });
         ops.push(Op::Check);
         let case = Case::Trace(TraceCase {
             model: ModelKind::Partitioned,
@@ -459,6 +483,79 @@ mod tests {
         });
         let d = run_case(&case).expect("mutant must diverge");
         assert_eq!(d.field, "sharing-flags");
+    }
+
+    #[test]
+    fn drop_asid_tag_mutant_is_caught_on_a_corun() {
+        // App 1 installs vpn 7, then app 2 asks for the same VPN: the
+        // ASID-blind mutant serves app 1's frame where the oracle misses.
+        let case = Case::Trace(TraceCase {
+            model: ModelKind::SetAssoc,
+            geometry: (8, 2, 1),
+            mutation: Mutation::DropAsidTag,
+            ops: vec![
+                Op::Insert { vpn: 7, tb: 0, ppn: 111, asid: 1 },
+                Op::Lookup { vpn: 7, tb: 0, asid: 2 },
+            ],
+            ..TraceCase::default()
+        });
+        let d = run_case(&case).expect("mutant must diverge");
+        assert_eq!(d.field, "outcome");
+    }
+
+    #[test]
+    fn drop_asid_tag_mutant_survives_a_solo_trace() {
+        // The bug is invisible without co-running address spaces — which
+        // is exactly why the fuzzer's multi-app scenarios must exist.
+        let case = Case::Trace(TraceCase {
+            model: ModelKind::SetAssoc,
+            geometry: (8, 2, 1),
+            mutation: Mutation::DropAsidTag,
+            ops: vec![
+                Op::Insert { vpn: 7, tb: 0, ppn: 111, asid: 0 },
+                Op::Lookup { vpn: 7, tb: 0, asid: 0 },
+                Op::Lookup { vpn: 9, tb: 0, asid: 0 },
+                Op::Check,
+            ],
+            ..TraceCase::default()
+        });
+        assert_eq!(run_case(&case), None, "solo traces cannot kill this mutant");
+    }
+
+    #[test]
+    fn corun_traces_replay_cleanly_per_asid() {
+        // A clean 3-app churn over both models: the per-ASID stats
+        // comparison and per-ASID content sweep must stay silent.
+        for model in [ModelKind::SetAssoc, ModelKind::Partitioned] {
+            let case = Case::Trace(TraceCase {
+                model,
+                geometry: (16, 2, 1),
+                sharing: SharingPolicy::Adjacent,
+                concurrency: 4,
+                margin: 2,
+                ops: (0..120u64)
+                    .flat_map(|i| {
+                        let asid = (i % 3) as u16;
+                        [
+                            Op::Insert {
+                                vpn: i % 13,
+                                tb: (i % 4) as u8,
+                                ppn: 100 + i % 13 + 1000 * u64::from(asid),
+                                asid,
+                            },
+                            Op::Lookup {
+                                vpn: (i + 1) % 13,
+                                tb: (i % 4) as u8,
+                                asid,
+                            },
+                        ]
+                    })
+                    .chain([Op::Finish { tb: 1, asid: 1 }, Op::Check])
+                    .collect(),
+                ..TraceCase::default()
+            });
+            assert_eq!(run_case(&case), None, "{model:?}");
+        }
     }
 
     #[test]

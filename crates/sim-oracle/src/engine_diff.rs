@@ -34,9 +34,11 @@ fn setup_error(what: String) -> Divergence {
 /// forces the sharded phase-B drain on every round (and turns the
 /// sanitizer off, since its per-cycle hook pins the serial drain).
 fn simulate(case: &EngineCase, threads: usize, shard: bool) -> Result<SimReport, Divergence> {
-    let spec = registry()
-        .into_iter()
+    let benches = registry();
+    let spec = benches
+        .iter()
         .find(|s| s.name == case.bench)
+        .cloned()
         .ok_or_else(|| setup_error(format!("unknown benchmark {:?}", case.bench)))?;
     let mechanism = Mechanism::all()
         .into_iter()
@@ -51,6 +53,27 @@ fn simulate(case: &EngineCase, threads: usize, shard: bool) -> Result<SimReport,
         .simulator(config)
         .with_sim_threads(threads)
         .with_sanitizer(!shard);
+    // A co-run case replays an app-interleaved mix of address spaces:
+    // each named app is generated at the case seed and gets its own
+    // ASID. Trace streaming does not apply — the merged TB stream is
+    // regenerated from names + seed, which pins it just as hard.
+    if case.apps.len() >= 2 {
+        if case.trace.is_some() {
+            return Err(setup_error("co-run cases cannot stream a trace".to_owned()));
+        }
+        let apps = case
+            .apps
+            .iter()
+            .map(|name| {
+                benches
+                    .iter()
+                    .find(|s| s.name == *name)
+                    .map(|s| s.generate(Scale::Test, case.seed))
+                    .ok_or_else(|| setup_error(format!("unknown co-run app {name:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(sim.run_corun(apps));
+    }
     // A trace reference pins the replay input by content hash: refuse
     // to run (as a setup divergence) rather than silently diverge
     // against different bytes, and stream from the file on a match.
@@ -108,6 +131,22 @@ fn diff_reports(serial: &SimReport, threaded: &SimReport, tag: &str) -> Option<D
             format!("{:?}", threaded.l2_tlb),
         );
     }
+    if serial.per_app.len() != threaded.per_app.len() {
+        return diff(
+            format!("per-app-count@{tag}"),
+            serial.per_app.len().to_string(),
+            threaded.per_app.len().to_string(),
+        );
+    }
+    for (k, (a, b)) in serial.per_app.iter().zip(&threaded.per_app).enumerate() {
+        if a != b {
+            return diff(
+                format!("per-app[{k}]@{tag}"),
+                format!("{a:?}"),
+                format!("{b:?}"),
+            );
+        }
+    }
     // The CSV row folds in every remaining aggregate (walks, per-stage
     // latency attribution, ...): one comparison covers them all.
     let (a, b) = (serial.to_csv_row(), threaded.to_csv_row());
@@ -117,16 +156,25 @@ fn diff_reports(serial: &SimReport, threaded: &SimReport, tag: &str) -> Option<D
     None
 }
 
-/// Replays the case at 2 and 4 worker threads (plus 4 threads with the
-/// sharded drain forced) and returns the first report field where any
-/// replay disagrees with the serial run.
+/// Replays the case at 2 and 4 worker threads (plus the forced-sharded
+/// drain at 1 and 4 threads) and returns the first report field where
+/// any replay disagrees with its serial reference.
+///
+/// The forced-shard replays use a *different config* (`shard_threshold`
+/// 1, sanitizer off), and the [`SimReport::sharded_rounds`] counter
+/// deliberately reflects the configured policy — so they are diffed
+/// against a serial run of the same forced config (where the counter
+/// must be thread-count-identical), and that serial forced run is in
+/// turn diffed against the sanitized reference with only the
+/// `sharded_rounds` counter exempted: neither the shard policy nor the
+/// sanitizer may perturb any simulated statistic.
 pub fn run_engine(case: &EngineCase) -> Option<Divergence> {
     let serial = match simulate(case, 1, false) {
         Ok(r) => r,
         Err(d) => return Some(d),
     };
-    for (threads, shard, tag) in [(2, false, "2t"), (4, false, "4t"), (4, true, "4t-sharded")] {
-        let threaded = match simulate(case, threads, shard) {
+    for (threads, tag) in [(2, "2t"), (4, "4t")] {
+        let threaded = match simulate(case, threads, false) {
             Ok(r) => r,
             Err(d) => return Some(d),
         };
@@ -134,7 +182,20 @@ pub fn run_engine(case: &EngineCase) -> Option<Divergence> {
             return Some(d);
         }
     }
-    None
+    let serial_sharded = match simulate(case, 1, true) {
+        Ok(r) => r,
+        Err(d) => return Some(d),
+    };
+    let mut masked = serial_sharded.clone();
+    masked.sharded_rounds = serial.sharded_rounds;
+    if let Some(d) = diff_reports(&serial, &masked, "1t-sharded") {
+        return Some(d);
+    }
+    let sharded = match simulate(case, 4, true) {
+        Ok(r) => r,
+        Err(d) => return Some(d),
+    };
+    diff_reports(&serial_sharded, &sharded, "4t-sharded")
 }
 
 #[cfg(test)]
@@ -145,6 +206,7 @@ mod tests {
     fn thread_counts_agree_on_a_small_case() {
         let case = EngineCase {
             bench: "gemm".to_owned(),
+            apps: Vec::new(),
             mechanism: "sched+part+share".to_owned(),
             sms: 2,
             seed: 11,
@@ -153,10 +215,53 @@ mod tests {
         assert_eq!(run_engine(&case), None);
     }
 
+    /// A co-run engine case (two address spaces, MASK fill tokens so
+    /// the token gate sits on the replayed path) is byte-identical
+    /// across thread counts and the forced-sharded drain, end to end.
+    #[test]
+    fn corun_cases_are_thread_equivalent() {
+        let case = EngineCase {
+            bench: "gemm".to_owned(),
+            apps: vec!["gemm".to_owned(), "bfs".to_owned()],
+            mechanism: "ours+mask-tokens".to_owned(),
+            sms: 2,
+            seed: 11,
+            trace: None,
+        };
+        assert_eq!(run_engine(&case), None);
+    }
+
+    #[test]
+    fn corun_cases_refuse_unknown_apps_and_trace_refs() {
+        use crate::case::TraceRef;
+
+        let case = EngineCase {
+            bench: "gemm".to_owned(),
+            apps: vec!["gemm".to_owned(), "no-such-app".to_owned()],
+            mechanism: "baseline".to_owned(),
+            sms: 2,
+            seed: 0,
+            trace: None,
+        };
+        let d = run_engine(&case).expect("must not replay");
+        assert_eq!(d.field, "setup");
+        assert!(d.actual.contains("no-such-app"), "{d}");
+
+        let with_trace = EngineCase {
+            apps: vec!["gemm".to_owned(), "bfs".to_owned()],
+            trace: Some(TraceRef { hash: 0, path: "x.trace".to_owned() }),
+            ..case
+        };
+        let d = run_engine(&with_trace).expect("must not replay");
+        assert_eq!(d.field, "setup");
+        assert!(d.actual.contains("cannot stream"), "{d}");
+    }
+
     #[test]
     fn unknown_names_become_setup_divergences() {
         let case = EngineCase {
             bench: "no-such-bench".to_owned(),
+            apps: Vec::new(),
             mechanism: "baseline".to_owned(),
             sms: 2,
             seed: 0,
@@ -182,6 +287,7 @@ mod tests {
         // generated one.
         let case = EngineCase {
             bench: "gemm".to_owned(),
+            apps: Vec::new(),
             mechanism: "sched+part+share".to_owned(),
             sms: 2,
             seed: 11,

@@ -8,10 +8,14 @@
 //! regression test.
 //!
 //! Rather than sampling uniformly (which would mostly produce traces
-//! that never fill a set), each iteration picks one of six adversarial
+//! that never fill a set), each iteration picks one of eight adversarial
 //! scenarios aimed at the paper's interesting regimes: TB churn with
 //! slot reuse, single-set pressure, neighbour-spill storms, pathological
-//! strides, concurrency reshaping, and plain uniform churn as a control.
+//! strides, concurrency reshaping, plain uniform churn as a control, and
+//! two multi-tenant regimes — cross-app set pressure (several address
+//! spaces hammering the same dense VPN range, each mapping it to its own
+//! frames) and ASID-striped TB churn (apps interleaved across TB slots
+//! with (asid, tb)-keyed finishes).
 
 use crate::case::{Case, EngineCase, ModelKind, Mutation, Op, TraceCase, TraceRef};
 use crate::diff::{run_case, Divergence};
@@ -102,19 +106,32 @@ fn shrink_divergence(case: &Case, d: Divergence) -> (Case, Divergence) {
 }
 
 /// One whole-simulation case per seed, rotating through the registry
-/// and the §V mechanism list.
+/// and the §V mechanism list. Every fourth seed becomes a co-run case:
+/// two or three registry apps sharing the machine under distinct ASIDs
+/// (trace streaming does not apply to co-runs, so those regenerate).
 fn gen_engine(seed: u64) -> EngineCase {
     let benches = workloads::registry();
     let mechanisms = Mechanism::all();
     let spec = &benches[(seed % benches.len() as u64) as usize];
+    let apps = if seed % 4 == 3 {
+        let n = benches.len() as u64;
+        let width = 2 + (seed / 4 % 2) as usize;
+        (0..width)
+            .map(|k| benches[((seed + 1 + 3 * k as u64) % n) as usize].name.to_owned())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let corun = !apps.is_empty();
     EngineCase {
         bench: spec.name.to_owned(),
+        apps,
         mechanism: mechanisms[(seed / benches.len() as u64 % mechanisms.len() as u64) as usize]
             .label()
             .to_owned(),
         sms: [2, 4, 8][(seed % 3) as usize],
         seed,
-        trace: trace_ref_for(spec, seed),
+        trace: if corun { None } else { trace_ref_for(spec, seed) },
     }
 }
 
@@ -147,6 +164,7 @@ fn trace_ref_for(spec: &workloads::BenchmarkSpec, seed: u64) -> Option<TraceRef>
 fn gen_trace(rng: &mut SmallRng, mutation: Mutation) -> TraceCase {
     let model = match mutation {
         Mutation::EvictMru => ModelKind::SetAssoc,
+        Mutation::DropAsidTag => ModelKind::SetAssoc,
         Mutation::SkipFlagReset => ModelKind::Partitioned,
         Mutation::None => match rng.gen_range(0u32..5) {
             0 => ModelKind::SetAssoc,
@@ -216,13 +234,25 @@ fn gen_scheduler_ops(rng: &mut SmallRng, case: &mut TraceCase) {
 }
 
 /// The adversarial scenarios (see module docs). Each returns the
-/// `(vpn, tb)` for one step; churn/concurrency side effects are pushed
-/// directly.
+/// `(vpn, tb, asid)` for one step; churn/concurrency side effects are
+/// pushed directly.
 fn gen_tlb_ops(rng: &mut SmallRng, case: &mut TraceCase) {
     let scenario = match case.mutation {
         // Spill storms and TB churn corner the skip-flag-reset mutant.
         Mutation::SkipFlagReset => [1, 3][rng.gen_range(0..2usize)],
-        _ => rng.gen_range(0u32..6),
+        // Only co-runs can expose a dropped ASID tag.
+        Mutation::DropAsidTag => [6, 7][rng.gen_range(0..2usize)],
+        _ => rng.gen_range(0u32..8),
+    };
+    // Co-running address spaces: always ≥ 2 for the multi-tenant
+    // scenarios, occasionally sprinkled into the classic ones so every
+    // regime also runs tagged.
+    let napps: u16 = if scenario >= 6 {
+        rng.gen_range(2u16..=4)
+    } else if case.mutation == Mutation::None && rng.gen_bool(0.25) {
+        rng.gen_range(2u16..=3)
+    } else {
+        1
     };
     let n_ops = 48 + rng.gen_range(0u64..112);
     let vpn_space = 1 + rng.gen_range(0u64..64);
@@ -243,25 +273,41 @@ fn gen_tlb_ops(rng: &mut SmallRng, case: &mut TraceCase) {
             }
             // Pathological strides across the set index space.
             4 => ((i * stride) % 64, (i % 4) as u8),
-            // Uniform churn (0), TB churn (1), concurrency churn (5).
+            // Cross-app set pressure: every app hammers the same dense
+            // VPN range, so the same (set, tag-sans-ASID) keeps
+            // colliding across address spaces.
+            6 => (rng.gen_range(0..vpn_space.min(8)), hot_tb),
+            // Uniform churn (0), TB churn (1), concurrency churn (5),
+            // ASID-striped TB churn (7).
             _ => (rng.gen_range(0..vpn_space), rng.gen_range(0u8..20)),
         };
+        let asid: u16 = match scenario {
+            // Stripe apps across TB slots: finishes below use the same
+            // keying, so (asid, tb) licence resets get exercised.
+            7 => u16::from(tb) % napps,
+            _ if napps > 1 => rng.gen_range(0..napps),
+            _ => 0,
+        };
         if rng.gen_bool(0.45) {
-            // Mostly identity-plus-offset mappings; a sprinkle of remaps
-            // exercises the incoherent-refresh path (and under
-            // compression, run-breaking literals).
+            // Mostly identity-plus-offset mappings, *per address space* —
+            // apps map the same VPN to different frames, so a cross-app
+            // leak surfaces as a wrong PPN rather than a lucky match. A
+            // sprinkle of remaps exercises the incoherent-refresh path
+            // (and under compression, run-breaking literals).
             let ppn = if rng.gen_bool(0.08) {
-                rng.gen_range(5000u64..6000)
+                rng.gen_range(5000u64..6000) + 10_000 * u64::from(asid)
             } else {
-                1000 + vpn
+                1000 + vpn + 7777 * u64::from(asid)
             };
-            case.ops.push(Op::Insert { vpn, tb, ppn });
+            case.ops.push(Op::Insert { vpn, tb, ppn, asid });
         } else {
-            case.ops.push(Op::Lookup { vpn, tb });
+            case.ops.push(Op::Lookup { vpn, tb, asid });
         }
-        if scenario == 1 && rng.gen_bool(0.1) {
+        if (scenario == 1 || scenario == 7) && rng.gen_bool(0.1) {
+            let ftb = rng.gen_range(0u8..20);
             case.ops.push(Op::Finish {
-                tb: rng.gen_range(0u8..20),
+                tb: ftb,
+                asid: if napps > 1 { u16::from(ftb) % napps } else { 0 },
             });
         }
         if scenario == 5 && rng.gen_bool(0.05) {
@@ -283,11 +329,15 @@ fn gen_tlb_ops(rng: &mut SmallRng, case: &mut TraceCase) {
 mod tests {
     use super::*;
 
-    /// The harness's own sensitivity proof: both deliberately-broken
-    /// subjects are caught by fuzzing and shrink to replayable cases.
+    /// The harness's own sensitivity proof: every deliberately-broken
+    /// subject is caught by fuzzing and shrinks to a replayable case.
     #[test]
     fn mutants_are_caught_and_shrunk() {
-        for mutation in [Mutation::EvictMru, Mutation::SkipFlagReset] {
+        for mutation in [
+            Mutation::EvictMru,
+            Mutation::SkipFlagReset,
+            Mutation::DropAsidTag,
+        ] {
             let mut found = None;
             for seed in 0..4u64 {
                 let report = fuzz_seed(seed, 40, mutation, false);

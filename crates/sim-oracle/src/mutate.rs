@@ -1,15 +1,15 @@
 //! Deliberately-broken subject variants: the harness's own test suite.
 //!
 //! A differential harness that never fires is indistinguishable from one
-//! that cannot fire. These mutants inject the two classic TLB-model bugs
-//! — a wrong eviction order and a dropped notification — so tests (and
-//! the CI `fuzz-smoke` job) can demonstrate that fuzzing actually
-//! catches them and shrinks them to minimal reproducers. See TESTING.md
-//! for the workflow.
+//! that cannot fire. These mutants inject three classic TLB-model bugs
+//! — a wrong eviction order, a dropped notification, and a dropped
+//! ASID tag — so tests (and the CI `fuzz-smoke` job) can demonstrate
+//! that fuzzing actually catches them and shrinks them to minimal
+//! reproducers. See TESTING.md for the workflow.
 
 use orchestrated_tlb::PartitionedTlb;
-use tlb::{TlbConfig, TlbOutcome, TlbRequest, TlbStats, TranslationBuffer};
-use vmem::{Ppn, Vpn};
+use tlb::{PerAsidStats, SetAssocTlb, TlbConfig, TlbOutcome, TlbRequest, TlbStats, TranslationBuffer};
+use vmem::{Asid, Ppn, Vpn};
 
 /// A set-associative TLB that evicts the **most**-recently-used way — a
 /// one-comparison bug (`min` vs `max` over the recency stamps) that
@@ -19,9 +19,10 @@ use vmem::{Ppn, Vpn};
 #[derive(Debug, Clone)]
 pub struct EvictMruTlb {
     cfg: TlbConfig,
-    sets: Vec<Vec<(Vpn, Ppn, u64)>>,
+    sets: Vec<Vec<(Asid, Vpn, Ppn, u64)>>,
     clock: u64,
     stats: TlbStats,
+    per_asid: PerAsidStats,
 }
 
 impl EvictMruTlb {
@@ -32,6 +33,7 @@ impl EvictMruTlb {
             cfg,
             clock: 0,
             stats: TlbStats::default(),
+            per_asid: PerAsidStats::default(),
         }
     }
 
@@ -48,13 +50,15 @@ impl TranslationBuffer for EvictMruTlb {
         let latency = self.cfg.lookup_latency;
         let set = self.set_of(req.vpn);
         for e in &mut self.sets[set] {
-            if e.0 == req.vpn {
-                e.2 = clock;
+            if e.0 == req.asid && e.1 == req.vpn {
+                e.3 = clock;
                 self.stats.record(true);
-                return TlbOutcome::hit(e.1, latency);
+                self.per_asid.entry(req.asid).record(true);
+                return TlbOutcome::hit(e.2, latency);
             }
         }
         self.stats.record(false);
+        self.per_asid.entry(req.asid).record(false);
         TlbOutcome::miss(latency)
     }
 
@@ -64,25 +68,30 @@ impl TranslationBuffer for EvictMruTlb {
         let assoc = self.cfg.associativity;
         let idx = self.set_of(req.vpn);
         let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|e| e.0 == req.vpn) {
-            e.1 = ppn;
-            e.2 = clock;
+        if let Some(e) = set.iter_mut().find(|e| e.0 == req.asid && e.1 == req.vpn) {
+            e.2 = ppn;
+            e.3 = clock;
             return;
         }
         self.stats.insertions += 1;
+        self.per_asid.entry(req.asid).insertions += 1;
         if set.len() == assoc {
             // THE BUG: the most-recently-used entry dies instead of the
-            // least-recently-used one.
+            // least-recently-used one. Attribution still follows the real
+            // subject's convention (eviction charged to the victim's
+            // ASID) so the bug stays invisible to every counter.
             let mru = set
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, e)| e.2)
+                .max_by_key(|(_, e)| e.3)
                 .map(|(i, _)| i)
                 .expect("a full set is non-empty");
+            let victim_asid = set[mru].0;
             set.swap_remove(mru);
             self.stats.evictions += 1;
+            self.per_asid.entry(victim_asid).evictions += 1;
         }
-        set.push((req.vpn, ppn, clock));
+        set.push((req.asid, req.vpn, ppn, clock));
     }
 
     fn stats(&self) -> TlbStats {
@@ -91,14 +100,19 @@ impl TranslationBuffer for EvictMruTlb {
 
     fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+        self.per_asid.clear();
+    }
+
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.per_asid.non_empty()
     }
 
     fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
         Some(
             self.sets[self.set_of(req.vpn)]
                 .iter()
-                .find(|e| e.0 == req.vpn)
-                .map(|e| e.1),
+                .find(|e| e.0 == req.asid && e.1 == req.vpn)
+                .map(|e| e.2),
         )
     }
 
@@ -150,6 +164,10 @@ impl TranslationBuffer for SkipFlagReset {
         self.0.reset_stats()
     }
 
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.0.stats_by_asid()
+    }
+
     fn flush(&mut self) {
         self.0.flush()
     }
@@ -158,7 +176,7 @@ impl TranslationBuffer for SkipFlagReset {
         self.0.capacity()
     }
 
-    fn on_tb_finish(&mut self, _tb_slot: u8) {
+    fn on_tb_finish(&mut self, _asid: Asid, _tb_slot: u8) {
         // THE BUG: the notification is dropped on the floor.
     }
 
@@ -168,6 +186,63 @@ impl TranslationBuffer for SkipFlagReset {
 
     fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
         self.0.probe(req)
+    }
+}
+
+/// A set-associative TLB that omits the ASID from its tag compare — the
+/// multi-tenant bug the paper's co-run scenarios exist to rule out. Every
+/// request is silently retargeted at ASID 0, so one application can hit
+/// on (and be handed the frame of) another application's translation.
+/// Counters for solo traces are untouched; only a co-run exposes it,
+/// first as an `outcome` divergence (a cross-app hit the ASID-aware
+/// oracle calls a miss) and independently as an [`crate::reference::InfiniteTlb`]
+/// soundness violation.
+#[derive(Debug, Clone)]
+pub struct DropAsidTag(pub SetAssocTlb);
+
+impl DropAsidTag {
+    /// Creates the mutant.
+    pub fn new(cfg: TlbConfig) -> Self {
+        DropAsidTag(SetAssocTlb::new(cfg))
+    }
+
+    fn strip(req: &TlbRequest) -> TlbRequest {
+        // THE BUG: the ASID never reaches the tag compare.
+        req.with_asid(Asid::default())
+    }
+}
+
+impl TranslationBuffer for DropAsidTag {
+    fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
+        self.0.lookup(&Self::strip(req))
+    }
+
+    fn insert(&mut self, req: &TlbRequest, ppn: Ppn) {
+        self.0.insert(&Self::strip(req), ppn)
+    }
+
+    fn stats(&self) -> TlbStats {
+        self.0.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.0.reset_stats()
+    }
+
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.0.stats_by_asid()
+    }
+
+    fn flush(&mut self) {
+        self.0.flush()
+    }
+
+    fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+
+    fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
+        self.0.probe(&Self::strip(req))
     }
 }
 
@@ -189,9 +264,38 @@ mod tests {
         }
         // Counters agree — the bug is invisible to stats...
         assert_eq!(mutant.stats(), real.stats());
+        assert_eq!(mutant.stats_by_asid(), real.stats_by_asid());
         // ...but the surviving entry differs.
         assert_eq!(real.probe(&r(0)), Some(Some(Ppn::new(0))));
         assert_eq!(mutant.probe(&r(0)), Some(None), "mutant killed the MRU entry");
+    }
+
+    #[test]
+    fn evict_mru_attributes_evictions_to_the_victim_asid() {
+        let cfg = TlbConfig::new(2, 2, 1); // one set, two ways
+        let mut mutant = EvictMruTlb::new(cfg);
+        let mut real = tlb::SetAssocTlb::new(cfg);
+        let r = |vpn: u64, asid: u16| {
+            TlbRequest::new(Vpn::new(vpn), 0).with_asid(Asid::new(asid))
+        };
+        for t in [&mut mutant as &mut dyn TranslationBuffer, &mut real] {
+            t.insert(&r(0, 1), Ppn::new(10));
+            t.insert(&r(1, 2), Ppn::new(20));
+            let _ = t.lookup(&r(1, 2)); // app 2's entry becomes MRU
+            // Overflow: the mutant evicts app 2's MRU entry, the real TLB
+            // evicts app 1's LRU entry — but each charges the eviction to
+            // its own victim, so the aggregate counters still agree.
+            t.insert(&r(2, 1), Ppn::new(30));
+        }
+        assert_eq!(mutant.stats(), real.stats());
+        let sum = mutant
+            .stats_by_asid()
+            .into_iter()
+            .fold(TlbStats::default(), |a, (_, s)| a + s);
+        assert_eq!(sum, mutant.stats(), "per-ASID stats sum to aggregate");
+        // The attribution itself differs because the victims differ —
+        // which is exactly what the harness's per-ASID comparison sees.
+        assert_ne!(mutant.stats_by_asid(), real.stats_by_asid());
     }
 
     #[test]
@@ -203,7 +307,28 @@ mod tests {
             mutant.insert(&TlbRequest::new(Vpn::new(2000 + i), 0), Ppn::new(i));
         }
         assert_ne!(mutant.sharing_flags() & 1, 0);
-        mutant.on_tb_finish(1);
+        mutant.on_tb_finish(Asid::default(), 1);
         assert_ne!(mutant.sharing_flags() & 1, 0, "mutant never resets the flag");
+    }
+
+    #[test]
+    fn drop_asid_tag_leaks_translations_across_apps() {
+        let cfg = TlbConfig::new(4, 2, 1);
+        let mut mutant = DropAsidTag::new(cfg);
+        let mut real = tlb::SetAssocTlb::new(cfg);
+        let a = TlbRequest::new(Vpn::new(7), 0).with_asid(Asid::new(1));
+        let b = TlbRequest::new(Vpn::new(7), 0).with_asid(Asid::new(2));
+        mutant.insert(&a, Ppn::new(111));
+        real.insert(&a, Ppn::new(111));
+        // App 2 asks for the same VPN: the real TLB misses (different
+        // address space), the mutant hands over app 1's frame.
+        assert!(!real.lookup(&b).hit);
+        let leaked = mutant.lookup(&b);
+        assert!(leaked.hit, "mutant hits across the ASID boundary");
+        assert_eq!(leaked.ppn, Some(Ppn::new(111)), "with the other app's frame");
+        // Solo traffic is indistinguishable from the real subject.
+        let solo = TlbRequest::new(Vpn::new(9), 0);
+        mutant.insert(&solo, Ppn::new(99));
+        assert_eq!(mutant.lookup(&solo), TlbOutcome::hit(Ppn::new(99), 1));
     }
 }

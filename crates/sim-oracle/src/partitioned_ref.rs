@@ -35,8 +35,9 @@
 //! later victims — so the reference models slot positions exactly.
 
 use orchestrated_tlb::SharingPolicy;
-use tlb::{TlbConfig, TlbOutcome, TlbRequest, TlbStats};
-use vmem::{Ppn, Vpn};
+use std::collections::BTreeMap;
+use tlb::{PerAsidStats, TlbConfig, TlbOutcome, TlbRequest, TlbStats};
+use vmem::{Asid, Ppn, Vpn};
 
 /// Configuration of the reference model (mirrors
 /// `PartitionedTlbConfig`, flattened to plain fields).
@@ -59,6 +60,9 @@ pub struct OraclePartitionedConfig {
 /// single literal page).
 #[derive(Copy, Clone, Debug)]
 struct Entry {
+    /// Address space the run belongs to: part of the tag compare, so one
+    /// app never hits (or merges into) another app's runs.
+    asid: Asid,
     base_vpn: Vpn,
     base_ppn: Ppn,
     /// Valid pages within the run (bit 0 alone when uncompressed).
@@ -75,6 +79,16 @@ struct Entry {
 struct Slot {
     entry: Option<Entry>,
     stamp: u64,
+}
+
+/// One app's dynamic-sharing state: the §IV-B register word and the
+/// `AdjacentCounter` spill counters, keyed by `(asid, tb)` exactly like
+/// the subject — one app's spills never widen another app's reach, and a
+/// finished TB only releases its own app's licences.
+#[derive(Copy, Clone, Debug, Default)]
+struct ShareWord {
+    flags: u16,
+    counters: [u8; 16],
 }
 
 /// Reference model of the TB-id-partitioned TLB.
@@ -106,13 +120,13 @@ pub struct OraclePartitionedTlb {
     /// `sets()` arrays of `associativity` slots each.
     sets: Vec<Vec<Slot>>,
     concurrent_tbs: u8,
-    /// The §IV-B sharing register: bit `i` set means TB `i` spilled into
-    /// its successor's sets.
-    sharing_flags: u16,
-    /// Per-TB spill counters for `SharingPolicy::AdjacentCounter`.
-    spill_counters: [u8; 16],
+    /// Per-app sharing registers (see [`ShareWord`]).
+    share: BTreeMap<Asid, ShareWord>,
     clock: u64,
     stats: TlbStats,
+    /// Per-app stats mirror: evictions to the victim's app, the rest to
+    /// the requester's. Sums to `stats`.
+    per_asid: PerAsidStats,
     spills: u64,
 }
 
@@ -124,10 +138,10 @@ impl OraclePartitionedTlb {
             sets: vec![vec![Slot::default(); cfg.geometry.associativity]; cfg.geometry.sets()],
             cfg,
             concurrent_tbs: 16,
-            sharing_flags: 0,
-            spill_counters: [0; 16],
+            share: BTreeMap::new(),
             clock: 0,
             stats: TlbStats::default(),
+            per_asid: PerAsidStats::default(),
             spills: 0,
         }
     }
@@ -179,12 +193,15 @@ impl OraclePartitionedTlb {
         }
     }
 
-    fn flag_engaged(&self, tb: u8) -> bool {
+    /// Whether app `asid`'s flag for TB `tb` is engaged — each app reads
+    /// only its own register word.
+    fn flag_engaged(&self, asid: Asid, tb: u8) -> bool {
+        let word = self.share.get(&asid).copied().unwrap_or_default();
         match self.cfg.sharing {
             SharingPolicy::None => false,
-            SharingPolicy::Adjacent => self.sharing_flags & (1 << (u16::from(tb) % 16)) != 0,
+            SharingPolicy::Adjacent => word.flags & (1 << (u16::from(tb) % 16)) != 0,
             SharingPolicy::AdjacentCounter { threshold } => {
-                self.spill_counters[usize::from(tb) % 16] >= threshold
+                word.counters[usize::from(tb) % 16] >= threshold
             }
             SharingPolicy::AllToAll => true,
             // SharingPolicy is non_exhaustive upstream-style matching is
@@ -192,13 +209,13 @@ impl OraclePartitionedTlb {
         }
     }
 
-    /// Sets a lookup from `tb` probes, in probe order.
-    fn searchable_sets(&self, tb: u8) -> Vec<usize> {
+    /// Sets a lookup from app `asid`'s TB `tb` probes, in probe order.
+    fn searchable_sets(&self, asid: Asid, tb: u8) -> Vec<usize> {
         if self.cfg.sharing == SharingPolicy::AllToAll {
             return (0..self.cfg.geometry.sets()).collect();
         }
         let mut sets = self.group_of(tb);
-        if self.flag_engaged(tb) {
+        if self.flag_engaged(asid, tb) {
             let successor = ((usize::from(tb) + 1) % self.groups()) as u8;
             sets.extend(self.group_of(successor));
             sets.sort_unstable();
@@ -222,14 +239,15 @@ impl OraclePartitionedTlb {
         probe + decompress
     }
 
-    /// First slot (in probe order) holding `vpn`, as `(set, way)`.
-    fn find(&self, sets: &[usize], vpn: Vpn) -> Option<(usize, usize)> {
+    /// First slot (in probe order) holding app `asid`'s `vpn`, as
+    /// `(set, way)`. The ASID is part of the tag compare.
+    fn find(&self, asid: Asid, sets: &[usize], vpn: Vpn) -> Option<(usize, usize)> {
         let base = self.run_base(vpn);
         let off = self.run_offset(vpn);
         for &set in sets {
             for (way, slot) in self.sets[set].iter().enumerate() {
                 if let Some(e) = slot.entry {
-                    if e.base_vpn == base && e.mask & (1 << off) != 0 {
+                    if e.asid == asid && e.base_vpn == base && e.mask & (1 << off) != 0 {
                         return Some((set, way));
                     }
                 }
@@ -250,18 +268,20 @@ impl OraclePartitionedTlb {
     pub fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
         let tb = self.norm_slot(req.tb_slot);
         self.clock += 1;
-        let sets = self.searchable_sets(tb);
-        match self.find(&sets, req.vpn) {
+        let sets = self.searchable_sets(req.asid, tb);
+        match self.find(req.asid, &sets, req.vpn) {
             Some((set, way)) => {
                 let e = self.sets[set][way].entry.expect("find returns live slots");
                 let compressed = e.mask.count_ones() > 1;
                 let latency = self.lookup_latency(sets.len(), compressed);
                 self.sets[set][way].stamp = self.clock;
                 self.stats.record(true);
+                self.per_asid.entry(req.asid).record(true);
                 TlbOutcome::hit(self.ppn_of(&e, req.vpn), latency)
             }
             None => {
                 self.stats.record(false);
+                self.per_asid.entry(req.asid).record(false);
                 TlbOutcome::miss(self.lookup_latency(sets.len(), false))
             }
         }
@@ -288,7 +308,7 @@ impl OraclePartitionedTlb {
         //    refresh only when coherent, otherwise drop the stale page
         //    from its run (the slot's stamp survives even if the run
         //    empties).
-        if let Some((set, way)) = self.find(&self.searchable_sets(tb), req.vpn) {
+        if let Some((set, way)) = self.find(req.asid, &self.searchable_sets(req.asid, tb), req.vpn) {
             let slot = &mut self.sets[set][way];
             let e = slot.entry.as_mut().expect("find returns live slots");
             if self.cfg.compression.is_none() {
@@ -312,12 +332,18 @@ impl OraclePartitionedTlb {
         }
 
         // 2. Compression: extend a coherent run already in the own group.
+        //    Runs never compress across address spaces: the candidate
+        //    must carry the requester's ASID.
         if self.cfg.compression.is_some() {
             if let Some(expected) = expected_base_ppn {
                 for set in self.group_of(tb) {
                     for slot in &mut self.sets[set] {
                         if let Some(e) = slot.entry.as_mut() {
-                            if !e.literal && e.base_vpn == base && e.base_ppn.raw() == expected {
+                            if e.asid == req.asid
+                                && !e.literal
+                                && e.base_vpn == base
+                                && e.base_ppn.raw() == expected
+                            {
                                 e.mask |= 1 << off;
                                 slot.stamp = clock;
                                 return;
@@ -330,8 +356,10 @@ impl OraclePartitionedTlb {
 
         // 3. A new entry is needed.
         self.stats.insertions += 1;
+        self.per_asid.entry(req.asid).insertions += 1;
         let new_entry = match expected_base_ppn {
             Some(expected) if self.cfg.compression.is_some() => Entry {
+                asid: req.asid,
                 base_vpn: base,
                 base_ppn: Ppn::new(expected),
                 mask: 1 << off,
@@ -341,6 +369,7 @@ impl OraclePartitionedTlb {
             // No compression, or the run-base PPN would underflow:
             // store the single page literally.
             _ => Entry {
+                asid: req.asid,
                 base_vpn: base,
                 base_ppn: ppn,
                 mask: 1 << off,
@@ -395,8 +424,15 @@ impl OraclePartitionedTlb {
         //     Empty slots win over live ones; among equals the lowest
         //     stamp wins, first in scan order on ties (dead stamps made
         //     this matter — see module docs).
+        // Rescue is gated on the victim belonging to the spilling app:
+        // the licence it would sit under is `(req.asid, tb)`, which
+        // another app's lookups never consult — a cross-app rescue would
+        // be permanently unreachable. Cross-app victims die in place.
+        let victim_is_ours = victim
+            .entry
+            .is_some_and(|e| e.asid == req.asid);
         let mut rescued = false;
-        if self.cfg.sharing != SharingPolicy::None {
+        if self.cfg.sharing != SharingPolicy::None && victim_is_ours {
             let spill_sets: Vec<usize> = if self.cfg.sharing == SharingPolicy::AllToAll {
                 (0..self.cfg.geometry.sets())
                     .filter(|s| !own.contains(s))
@@ -420,7 +456,12 @@ impl OraclePartitionedTlb {
                     !live || stamp.saturating_add(self.cfg.displacement_margin) < victim.stamp;
                 if displaceable {
                     if live {
+                        let displaced_asid = self.sets[set][way]
+                            .entry
+                            .expect("live slot has an entry")
+                            .asid;
                         self.stats.evictions += 1;
+                        self.per_asid.entry(displaced_asid).evictions += 1;
                     }
                     // The rescued entry moves with its stamp, re-owned
                     // by the spilling TB whose flag licenses the spot.
@@ -429,8 +470,9 @@ impl OraclePartitionedTlb {
                         e.owner = tb;
                     }
                     self.sets[set][way] = moved;
-                    self.sharing_flags |= 1 << (u16::from(tb) % 16);
-                    let c = &mut self.spill_counters[usize::from(tb) % 16];
+                    let word = self.share.entry(req.asid).or_default();
+                    word.flags |= 1 << (u16::from(tb) % 16);
+                    let c = &mut word.counters[usize::from(tb) % 16];
                     *c = c.saturating_add(1);
                     self.spills += 1;
                     rescued = true;
@@ -438,7 +480,12 @@ impl OraclePartitionedTlb {
             }
         }
         if !rescued {
+            let victim_asid = victim
+                .entry
+                .map(|e| e.asid)
+                .unwrap_or_default();
             self.stats.evictions += 1;
+            self.per_asid.entry(victim_asid).evictions += 1;
         }
         self.sets[candidate][victim_way] = Slot {
             entry: Some(new_entry),
@@ -446,32 +493,37 @@ impl OraclePartitionedTlb {
         };
     }
 
-    /// Non-perturbing content probe as TB `tb_slot` would see it.
-    pub fn peek(&self, vpn: Vpn, tb_slot: u8) -> Option<Ppn> {
+    /// Non-perturbing content probe as app `asid`'s TB `tb_slot` would
+    /// see it.
+    pub fn peek(&self, asid: Asid, vpn: Vpn, tb_slot: u8) -> Option<Ppn> {
         let tb = self.norm_slot(tb_slot);
-        let sets = self.searchable_sets(tb);
-        self.find(&sets, vpn).map(|(set, way)| {
+        let sets = self.searchable_sets(asid, tb);
+        self.find(asid, &sets, vpn).map(|(set, way)| {
             let e = self.sets[set][way].entry.expect("find returns live slots");
             self.ppn_of(&e, vpn)
         })
     }
 
-    /// The TB occupying `tb_slot` finished: clear its *predecessor's*
-    /// sharing flag (the TB spilling INTO the finished TB's sets) and
-    /// hand entries the predecessor parked abroad to each set's natural
-    /// owner. Entries are kept — the paper explicitly avoids flushing.
-    pub fn on_tb_finish(&mut self, tb_slot: u8) {
+    /// App `asid`'s TB occupying `tb_slot` finished: clear its
+    /// *predecessor's* sharing flag (the TB spilling INTO the finished
+    /// TB's sets) in that app's register word only, and hand entries the
+    /// predecessor parked abroad — this app's entries only — to each
+    /// set's natural owner. Entries are kept; other apps' licences into
+    /// the same sets survive (their TBs are still running).
+    pub fn on_tb_finish(&mut self, asid: Asid, tb_slot: u8) {
         let tb = self.norm_slot(tb_slot);
         let n = self.groups() as u16;
         let pred = (u16::from(tb) + n - 1) % n;
-        self.sharing_flags &= !(1 << (pred % 16));
-        self.spill_counters[usize::from(pred % 16)] = 0;
+        if let Some(word) = self.share.get_mut(&asid) {
+            word.flags &= !(1 << (pred % 16));
+            word.counters[usize::from(pred % 16)] = 0;
+        }
         for set in 0..self.cfg.geometry.sets() {
             for way in 0..self.cfg.geometry.associativity {
                 let Some(e) = self.sets[set][way].entry else {
                     continue;
                 };
-                if u16::from(e.owner) % 16 != pred % 16 {
+                if e.asid != asid || u16::from(e.owner) % 16 != pred % 16 {
                     continue;
                 }
                 if !self.group_of(e.owner).contains(&set) {
@@ -490,8 +542,7 @@ impl OraclePartitionedTlb {
             return;
         }
         self.concurrent_tbs = tbs;
-        self.sharing_flags = 0;
-        self.spill_counters = [0; 16];
+        self.share.clear();
         for set in 0..self.cfg.geometry.sets() {
             let home = self.home_tb(set);
             for slot in &mut self.sets[set] {
@@ -511,8 +562,7 @@ impl OraclePartitionedTlb {
                 slot.entry = None;
             }
         }
-        self.sharing_flags = 0;
-        self.spill_counters = [0; 16];
+        self.share.clear();
     }
 
     /// Cumulative statistics.
@@ -520,9 +570,21 @@ impl OraclePartitionedTlb {
         self.stats
     }
 
-    /// The sharing register.
+    /// Union of every app's sharing register word — single-app callers
+    /// see exactly the pre-multi-tenant value.
     pub fn sharing_flags(&self) -> u16 {
-        self.sharing_flags
+        self.share.values().fold(0, |acc, w| acc | w.flags)
+    }
+
+    /// One app's sharing register word (0 if the app never spilled).
+    pub fn sharing_flags_of(&self, asid: Asid) -> u16 {
+        self.share.get(&asid).map_or(0, |w| w.flags)
+    }
+
+    /// Per-app breakdown of the cumulative statistics (mirrors
+    /// [`tlb::TranslationBuffer::stats_by_asid`]).
+    pub fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.per_asid.non_empty()
     }
 
     /// Victims rescued into a neighbour's sets so far.
@@ -595,8 +657,8 @@ mod tests {
                     subject.insert(&r, Ppn::new(500 + vpn.raw()));
                 }
                 if i % 53 == 52 {
-                    oracle.on_tb_finish(tb);
-                    subject.on_tb_finish(tb);
+                    oracle.on_tb_finish(Asid::default(), tb);
+                    subject.on_tb_finish(Asid::default(), tb);
                 }
                 assert_eq!(oracle.stats(), subject.stats(), "{sharing:?} stats {i}");
                 assert_eq!(
@@ -633,6 +695,64 @@ mod tests {
         }
     }
 
+    /// Reference and subject agree op-for-op when two apps co-run on the
+    /// same partitioned TLB: tag isolation, per-app sharing licences,
+    /// per-app stats attribution, and (asid, tb)-scoped finish resets.
+    #[test]
+    fn tracks_the_optimized_tlb_across_address_spaces() {
+        for sharing in [
+            SharingPolicy::None,
+            SharingPolicy::Adjacent,
+            SharingPolicy::AdjacentCounter { threshold: 2 },
+            SharingPolicy::AllToAll,
+        ] {
+            let (mut oracle, mut subject) = pair(sharing, None);
+            oracle.set_concurrent_tbs(4);
+            subject.set_concurrent_tbs(4);
+            for i in 0..600u64 {
+                let asid = Asid::new((i % 3) as u16);
+                let vpn = Vpn::new(i * 13 % 37);
+                let tb = (i % 5) as u8;
+                let r = TlbRequest::new(vpn, tb).with_asid(asid);
+                let a = oracle.lookup(&r);
+                let b = subject.lookup(&r);
+                assert_eq!(a, b, "{sharing:?} asid {asid} lookup {i}");
+                if !a.hit {
+                    // Per-app frames: the same VPN maps differently in
+                    // each address space, so a tag-isolation bug would
+                    // surface as a wrong PPN, not a coincidental match.
+                    let ppn = Ppn::new(500 + vpn.raw() + 10_000 * asid.raw() as u64);
+                    oracle.insert(&r, ppn);
+                    subject.insert(&r, ppn);
+                }
+                if i % 53 == 52 {
+                    oracle.on_tb_finish(asid, tb);
+                    subject.on_tb_finish(asid, tb);
+                }
+                assert_eq!(oracle.stats(), subject.stats(), "{sharing:?} stats {i}");
+                assert_eq!(
+                    oracle.stats_by_asid(),
+                    subject.stats_by_asid(),
+                    "{sharing:?} per-asid stats {i}"
+                );
+                for a in 0..3u16 {
+                    assert_eq!(
+                        oracle.sharing_flags_of(Asid::new(a)),
+                        subject.sharing_flags_of(Asid::new(a)),
+                        "{sharing:?} asid {a} flags {i}"
+                    );
+                }
+                assert_eq!(oracle.spills(), subject.spills(), "{sharing:?} spills {i}");
+            }
+            subject.check_invariants().expect("subject stays sound");
+            let sum = oracle
+                .stats_by_asid()
+                .into_iter()
+                .fold(TlbStats::default(), |a, (_, s)| a + s);
+            assert_eq!(sum, oracle.stats(), "per-ASID stats sum to aggregate");
+        }
+    }
+
     #[test]
     fn dead_stamps_steer_spill_slots() {
         // Two TBs, 2 sets x 2 ways. TB 1's set gains entries, loses them
@@ -663,8 +783,8 @@ mod tests {
         for vpn in [1u64, 2, 3, 4, 100, 101] {
             for tb in 0..2u8 {
                 assert_eq!(
-                    oracle.peek(Vpn::new(vpn), tb),
-                    subject.peek(Vpn::new(vpn), tb),
+                    oracle.peek(Asid::default(), Vpn::new(vpn), tb),
+                    subject.peek(Asid::default(), Vpn::new(vpn), tb),
                     "vpn {vpn} tb {tb}"
                 );
             }

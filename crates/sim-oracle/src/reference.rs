@@ -13,12 +13,15 @@
 //! soundness checks that hold for *any* TLB organization.
 
 use std::collections::{BTreeMap, BTreeSet};
-use tlb::{TlbConfig, TlbOutcome, TlbRequest, TlbStats};
-use vmem::{Ppn, Vpn};
+use tlb::{PerAsidStats, TlbConfig, TlbOutcome, TlbRequest, TlbStats};
+use vmem::{Asid, Ppn, Vpn};
 
 /// One cached translation in a reference model.
 #[derive(Copy, Clone, Debug)]
 struct Entry {
+    /// Address space the translation belongs to: part of the tag, so
+    /// co-running apps never hit each other's entries.
+    asid: Asid,
     vpn: Vpn,
     ppn: Ppn,
     /// Monotone recency stamp (larger = more recently used).
@@ -40,6 +43,9 @@ struct Entry {
 /// assert!(!oracle.lookup(&req).hit);
 /// oracle.insert(&req, Ppn::new(70));
 /// assert_eq!(oracle.lookup(&req).ppn, Some(Ppn::new(70)));
+/// // Another app probing the same VPN misses: the ASID is in the tag.
+/// use vmem::Asid;
+/// assert!(!oracle.lookup(&req.with_asid(Asid::new(1))).hit);
 /// ```
 #[derive(Debug, Clone)]
 pub struct OracleSetAssocTlb {
@@ -48,6 +54,9 @@ pub struct OracleSetAssocTlb {
     sets: Vec<Vec<Entry>>,
     clock: u64,
     stats: TlbStats,
+    /// Per-app counters (evictions to the victim's app, the rest to the
+    /// requester's) — must sum to `stats`, mirroring the subject.
+    per_asid: PerAsidStats,
 }
 
 impl OracleSetAssocTlb {
@@ -58,6 +67,7 @@ impl OracleSetAssocTlb {
             cfg,
             clock: 0,
             stats: TlbStats::default(),
+            per_asid: PerAsidStats::default(),
         }
     }
 
@@ -74,13 +84,15 @@ impl OracleSetAssocTlb {
         let latency = self.cfg.lookup_latency;
         let set = self.set_of(req.vpn);
         for e in &mut self.sets[set] {
-            if e.vpn == req.vpn {
+            if e.asid == req.asid && e.vpn == req.vpn {
                 e.stamp = clock;
                 self.stats.record(true);
+                self.per_asid.entry(req.asid).record(true);
                 return TlbOutcome::hit(e.ppn, latency);
             }
         }
         self.stats.record(false);
+        self.per_asid.entry(req.asid).record(false);
         TlbOutcome::miss(latency)
     }
 
@@ -94,26 +106,33 @@ impl OracleSetAssocTlb {
         let assoc = self.cfg.associativity;
         let idx = self.set_of(req.vpn);
         let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|e| e.vpn == req.vpn) {
+        if let Some(e) = set
+            .iter_mut()
+            .find(|e| e.asid == req.asid && e.vpn == req.vpn)
+        {
             e.ppn = ppn;
             e.stamp = clock;
             return;
         }
         self.stats.insertions += 1;
+        self.per_asid.entry(req.asid).insertions += 1;
         if set.len() == assoc {
             // Evict the entry that has gone longest without use. Stamps
             // are unique (the clock advances on every operation), so the
-            // minimum is unambiguous.
+            // minimum is unambiguous. The eviction is charged to the
+            // victim's app, which may differ from the requester's.
             let lru = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(i, _)| i)
                 .expect("a full set is non-empty");
-            set.swap_remove(lru);
+            let victim = set.swap_remove(lru);
             self.stats.evictions += 1;
+            self.per_asid.entry(victim.asid).evictions += 1;
         }
         set.push(Entry {
+            asid: req.asid,
             vpn: req.vpn,
             ppn,
             stamp: clock,
@@ -121,11 +140,12 @@ impl OracleSetAssocTlb {
     }
 
     /// Non-perturbing content probe (the specification of
-    /// [`tlb::TranslationBuffer::probe`]).
-    pub fn peek(&self, vpn: Vpn) -> Option<Ppn> {
+    /// [`tlb::TranslationBuffer::probe`]): only app `asid`'s own entry
+    /// for `vpn` is visible.
+    pub fn peek(&self, asid: Asid, vpn: Vpn) -> Option<Ppn> {
         self.sets[self.set_of(vpn)]
             .iter()
-            .find(|e| e.vpn == vpn)
+            .find(|e| e.asid == asid && e.vpn == vpn)
             .map(|e| e.ppn)
     }
 
@@ -139,6 +159,12 @@ impl OracleSetAssocTlb {
     /// Cumulative statistics.
     pub fn stats(&self) -> TlbStats {
         self.stats
+    }
+
+    /// Per-app breakdown of the cumulative statistics (the specification
+    /// of [`tlb::TranslationBuffer::stats_by_asid`]).
+    pub fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.per_asid.non_empty()
     }
 
     /// Number of resident translations.
@@ -159,8 +185,8 @@ impl OracleSetAssocTlb {
 /// *invent* one.
 #[derive(Debug, Clone, Default)]
 pub struct InfiniteTlb {
-    /// Every PPN inserted for each VPN since the last flush.
-    inserted: BTreeMap<u64, BTreeSet<u64>>,
+    /// Every PPN inserted for each `(asid, vpn)` since the last flush.
+    inserted: BTreeMap<(u16, u64), BTreeSet<u64>>,
 }
 
 impl InfiniteTlb {
@@ -169,9 +195,12 @@ impl InfiniteTlb {
         Self::default()
     }
 
-    /// Records a fill.
-    pub fn insert(&mut self, vpn: Vpn, ppn: Ppn) {
-        self.inserted.entry(vpn.raw()).or_default().insert(ppn.raw());
+    /// Records a fill into `asid`'s address space.
+    pub fn insert(&mut self, asid: Asid, vpn: Vpn, ppn: Ppn) {
+        self.inserted
+            .entry((asid.raw(), vpn.raw()))
+            .or_default()
+            .insert(ppn.raw());
     }
 
     /// Forgets everything (mirrors a TLB flush: no stale entry can
@@ -180,28 +209,34 @@ impl InfiniteTlb {
         self.inserted.clear();
     }
 
-    /// Whether an infinite TLB would hold `vpn` at all.
-    pub fn contains(&self, vpn: Vpn) -> bool {
-        self.inserted.contains_key(&vpn.raw())
+    /// Whether an infinite TLB would hold `asid`'s `vpn` at all.
+    pub fn contains(&self, asid: Asid, vpn: Vpn) -> bool {
+        self.inserted.contains_key(&(asid.raw(), vpn.raw()))
     }
 
     /// Checks a subject's hit against the soundness bound; returns a
-    /// description of the violation if the hit is impossible.
-    pub fn check_hit(&self, vpn: Vpn, ppn: Option<Ppn>) -> Result<(), String> {
-        let Some(ppns) = self.inserted.get(&vpn.raw()) else {
+    /// description of the violation if the hit is impossible. The bound
+    /// is per address space: a PPN only ever filled for another app does
+    /// not justify this app's hit (that is exactly the leak an
+    /// ASID-dropping tag compare would introduce).
+    pub fn check_hit(&self, asid: Asid, vpn: Vpn, ppn: Option<Ppn>) -> Result<(), String> {
+        let Some(ppns) = self.inserted.get(&(asid.raw(), vpn.raw())) else {
             return Err(format!(
-                "hit on vpn {:#x} which was never inserted since the last flush",
+                "hit on asid {asid} vpn {:#x} which was never inserted since the last flush",
                 vpn.raw()
             ));
         };
         match ppn {
             Some(p) if ppns.contains(&p.raw()) => Ok(()),
             Some(p) => Err(format!(
-                "hit on vpn {:#x} returned ppn {:#x}, never provided by any fill (saw {ppns:?})",
+                "hit on asid {asid} vpn {:#x} returned ppn {:#x},                  never provided by any fill (saw {ppns:?})",
                 vpn.raw(),
                 p.raw()
             )),
-            None => Err(format!("hit on vpn {:#x} carried no ppn", vpn.raw())),
+            None => Err(format!(
+                "hit on asid {asid} vpn {:#x} carried no ppn",
+                vpn.raw()
+            )),
         }
     }
 }
@@ -241,28 +276,62 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
+        let a0 = Asid::default();
         let mut t = OracleSetAssocTlb::new(TlbConfig::new(2, 2, 1));
         t.insert(&req(0), Ppn::new(0));
         t.insert(&req(1), Ppn::new(1));
         assert!(t.lookup(&req(0)).hit);
         t.insert(&req(2), Ppn::new(2));
-        assert_eq!(t.peek(Vpn::new(0)), Some(Ppn::new(0)));
-        assert_eq!(t.peek(Vpn::new(1)), None, "LRU entry evicted");
+        assert_eq!(t.peek(a0, Vpn::new(0)), Some(Ppn::new(0)));
+        assert_eq!(t.peek(a0, Vpn::new(1)), None, "LRU entry evicted");
         assert_eq!(t.stats().evictions, 1);
+    }
+
+    /// The oracle and the optimized subject agree on cross-app isolation
+    /// and on how a cross-app eviction is attributed.
+    #[test]
+    fn asid_isolation_matches_the_subject() {
+        let cfg = TlbConfig::new(2, 2, 1); // one set, two ways
+        let mut oracle = OracleSetAssocTlb::new(cfg);
+        let mut subject = tlb::SetAssocTlb::new(cfg);
+        let r = |vpn: u64, asid: u16| req(vpn).with_asid(Asid::new(asid));
+        for step in [r(7, 0), r(7, 1), r(9, 1)] {
+            // Same VPN under two apps occupies two ways; a third insert
+            // evicts the LRU (app 0's entry) and charges app 0.
+            oracle.insert(&step, Ppn::new(100 + step.vpn.raw()));
+            subject.insert(&step, Ppn::new(100 + step.vpn.raw()));
+        }
+        let evicted = (oracle.lookup(&r(7, 0)), subject.lookup(&r(7, 0)));
+        assert_eq!(evicted.0, evicted.1);
+        assert!(!evicted.0.hit, "app 0 entry was the victim");
+        let survivor = (oracle.lookup(&r(7, 1)), subject.lookup(&r(7, 1)));
+        assert_eq!(survivor.0, survivor.1);
+        assert!(survivor.0.hit, "app 1's copy of the same VPN survives");
+        assert_eq!(oracle.stats(), subject.stats());
+        assert_eq!(oracle.stats_by_asid(), subject.stats_by_asid());
+        let sum = oracle
+            .stats_by_asid()
+            .into_iter()
+            .fold(TlbStats::default(), |a, (_, s)| a + s);
+        assert_eq!(sum, oracle.stats(), "per-ASID stats sum to aggregate");
     }
 
     #[test]
     fn infinite_tlb_rejects_invented_hits() {
+        let a0 = Asid::default();
+        let a1 = Asid::new(1);
         let mut inf = InfiniteTlb::new();
-        inf.insert(Vpn::new(5), Ppn::new(50));
-        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(50))).is_ok());
-        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(51))).is_err());
-        assert!(inf.check_hit(Vpn::new(6), Some(Ppn::new(60))).is_err());
+        inf.insert(a0, Vpn::new(5), Ppn::new(50));
+        assert!(inf.check_hit(a0, Vpn::new(5), Some(Ppn::new(50))).is_ok());
+        assert!(inf.check_hit(a0, Vpn::new(5), Some(Ppn::new(51))).is_err());
+        assert!(inf.check_hit(a0, Vpn::new(6), Some(Ppn::new(60))).is_err());
+        // The bound is per app: app 1 never received this fill.
+        assert!(inf.check_hit(a1, Vpn::new(5), Some(Ppn::new(50))).is_err());
         // Remaps accumulate: both PPNs are legitimate (a stale copy may
         // survive in a temporarily unreachable set).
-        inf.insert(Vpn::new(5), Ppn::new(99));
-        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(50))).is_ok());
+        inf.insert(a0, Vpn::new(5), Ppn::new(99));
+        assert!(inf.check_hit(a0, Vpn::new(5), Some(Ppn::new(50))).is_ok());
         inf.flush();
-        assert!(inf.check_hit(Vpn::new(5), Some(Ppn::new(50))).is_err());
+        assert!(inf.check_hit(a0, Vpn::new(5), Some(Ppn::new(50))).is_err());
     }
 }

@@ -4,9 +4,10 @@
 //!
 //! Trace cases go through ddmin-style delta debugging — remove chunks of
 //! operations at halving granularity while the divergence persists —
-//! followed by a one-op-at-a-time sweep. Engine cases only have one
-//! shrinkable axis, the machine size, which is halved while the
-//! divergence survives. The predicate is arbitrary (`reproduces`), so
+//! followed by a one-op-at-a-time sweep. Engine cases shrink along two
+//! axes: the co-run mix is narrowed first (solo if possible, else one
+//! app at a time down to a pair), then the machine size is halved while
+//! the divergence survives. The predicate is arbitrary (`reproduces`), so
 //! shrinking works the same for real divergences, mutant self-tests and
 //! unit tests with synthetic predicates.
 
@@ -23,6 +24,24 @@ pub fn shrink(case: &Case, reproduces: impl Fn(&Case) -> bool) -> Case {
         Case::Trace(t) => Case::Trace(shrink_trace(t, |t| reproduces(&Case::Trace(t.clone())))),
         Case::Engine(e) => {
             let mut best = e.clone();
+            if !best.apps.is_empty() {
+                let mut solo = best.clone();
+                solo.apps.clear();
+                if reproduces(&Case::Engine(solo.clone())) {
+                    best = solo;
+                } else {
+                    let mut i = 0;
+                    while best.apps.len() > 2 && i < best.apps.len() {
+                        let mut candidate = best.clone();
+                        candidate.apps.remove(i);
+                        if reproduces(&Case::Engine(candidate.clone())) {
+                            best = candidate;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
             while best.sms > 1 {
                 let mut candidate = best.clone();
                 candidate.sms /= 2;
@@ -107,7 +126,7 @@ mod tests {
     /// ops") shrinks a 100-op trace down to exactly the two markers.
     #[test]
     fn shrinks_to_the_minimal_witness() {
-        let mut ops: Vec<Op> = (0..100u64).map(|i| Op::Lookup { vpn: i, tb: 0 }).collect();
+        let mut ops: Vec<Op> = (0..100u64).map(|i| Op::Lookup { vpn: i, tb: 0, asid: 0 }).collect();
         ops[17] = Op::Flush;
         ops[83] = Op::Check;
         let case = Case::Trace(trace_with(ops));
@@ -131,6 +150,7 @@ mod tests {
     fn engine_cases_shrink_their_machine() {
         let case = Case::Engine(EngineCase {
             bench: "gemm".to_owned(),
+            apps: Vec::new(),
             mechanism: "baseline".to_owned(),
             sms: 16,
             seed: 0,
@@ -144,5 +164,44 @@ mod tests {
             panic!("engine in, engine out");
         };
         assert_eq!(small.sms, 4);
+    }
+
+    #[test]
+    fn corun_engine_cases_narrow_their_mix_before_their_machine() {
+        let case = Case::Engine(EngineCase {
+            bench: "gemm".to_owned(),
+            apps: ["gemm", "bfs", "mvt", "atax"].iter().map(|s| s.to_string()).collect(),
+            mechanism: "baseline".to_owned(),
+            sms: 8,
+            seed: 0,
+            trace: None,
+        });
+        // Divergence needs bfs co-running with at least one other app
+        // (so a solo replay never reproduces) and at least 2 SMs.
+        let Case::Engine(small) = shrink(&case, |c| {
+            let Case::Engine(e) = c else { return false };
+            e.apps.iter().any(|a| a == "bfs") && e.apps.len() >= 2 && e.sms >= 2
+        }) else {
+            panic!("engine in, engine out");
+        };
+        assert_eq!(small.apps, vec!["bfs".to_owned(), "atax".to_owned()]);
+        assert_eq!(small.sms, 2);
+    }
+
+    #[test]
+    fn corun_engine_cases_shrink_to_solo_when_the_mix_is_irrelevant() {
+        let case = Case::Engine(EngineCase {
+            bench: "gemm".to_owned(),
+            apps: vec!["gemm".to_owned(), "bfs".to_owned()],
+            mechanism: "baseline".to_owned(),
+            sms: 4,
+            seed: 0,
+            trace: None,
+        });
+        let Case::Engine(small) = shrink(&case, |c| matches!(c, Case::Engine(_))) else {
+            panic!("engine in, engine out");
+        };
+        assert!(small.apps.is_empty(), "mix should collapse to solo");
+        assert_eq!(small.sms, 1);
     }
 }

@@ -107,10 +107,11 @@ pub const RESULT_CRATES: [&str; 8] = [
 /// one release cycle as a cross-check against graph-derived facts (every
 /// `TranslationBuffer` impl and every phase-entry/shared-state
 /// definition must live in one of these files).
-pub const HOT_PATHS: [&str; 12] = [
+pub const HOT_PATHS: [&str; 14] = [
     "crates/gpu-sim/src/engine.rs",
     "crates/gpu-sim/src/feed.rs",
     "crates/gpu-sim/src/pool.rs",
+    "crates/gpu-sim/src/corun.rs",
     "crates/mem-hier/src/drain.rs",
     "crates/mem-hier/src/hierarchy.rs",
     "crates/mem-hier/src/split.rs",
@@ -118,6 +119,7 @@ pub const HOT_PATHS: [&str; 12] = [
     "crates/mem-hier/src/ports.rs",
     "crates/tlb/src/set_assoc.rs",
     "crates/tlb/src/compressed.rs",
+    "crates/tlb/src/sub_entry.rs",
     "crates/core/src/partitioned.rs",
     "crates/core/src/way_partitioned.rs",
 ];
@@ -1195,6 +1197,11 @@ mod tests {
             "crates/tlb/src/set_assoc.rs",
             "crates/tlb/src/compressed.rs",
             "crates/core/src/partitioned.rs",
+            // Multi-tenant hot paths: the app-interleaved co-run merge
+            // runs per TB launch, and the sub-entry-sharing L2 TLB sits
+            // on the shared lookup path and claims deferred-fill support.
+            "crates/gpu-sim/src/corun.rs",
+            "crates/tlb/src/sub_entry.rs",
         ] {
             assert!(HOT_PATHS.contains(&f), "{f} missing from HOT_PATHS");
         }

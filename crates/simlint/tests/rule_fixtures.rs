@@ -252,6 +252,42 @@ fn mutation_conditionally_deferring_insert_with_unguarded_payload_is_caught() {
 }
 
 #[test]
+fn mutation_payload_dependent_sub_entry_merge_is_caught() {
+    // The SubEntryTlb shape: one way holds per-ASID sub-entry slots and
+    // claims deferred-fill support because way victims key on stamps
+    // and slot victims on a round-robin cursor. The mutation makes the
+    // slot-merge decision branch on the incoming frame (merge only
+    // even PPNs) — a sentinel insert would then pick a different slot
+    // than the later patched fill, so the rule must flag it.
+    let mut files = BASE;
+    files[4].1 = "pub struct Vpn(pub u64);\npub struct Ppn(pub u64);\n\
+         pub trait TranslationBuffer {\n\
+             fn insert(&mut self, vpn: Vpn, ppn: Ppn);\n\
+             fn supports_deferred_fill(&self) -> bool { false }\n\
+             fn patch_ppn(&mut self, vpn: Vpn, ppn: Ppn) { let _ = (vpn, ppn); }\n\
+         }\n\
+         pub struct SubWay { pub vpn: u64, pub slots: [u64; 2], pub cursor: usize }\n\
+         pub struct SubTlb { way: SubWay }\n\
+         impl TranslationBuffer for SubTlb {\n\
+             fn insert(&mut self, vpn: Vpn, ppn: Ppn) {\n\
+                 if ppn.0 % 2 == 0 {\n\
+                     self.way.slots[self.way.cursor] = ppn.0;\n\
+                     return;\n\
+                 }\n\
+                 self.way.vpn = vpn.0;\n\
+                 self.way.cursor = (self.way.cursor + 1) % 2;\n\
+                 self.way.slots[self.way.cursor] = ppn.0;\n\
+             }\n\
+             fn supports_deferred_fill(&self) -> bool { true }\n\
+             fn patch_ppn(&mut self, _vpn: Vpn, ppn: Ppn) { self.way.slots[self.way.cursor] = ppn.0; }\n\
+         }\n";
+    let v = lint_and_remove(write_tree("mut-sub-entry-defer", &files));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::phase::RULE_DEFERRED);
+    assert_eq!(v[0].file, "crates/repro/src/tlb_impl.rs");
+}
+
+#[test]
 fn mutation_stray_thread_spawn_is_caught() {
     let v = lint_and_remove(write_tree(
         "mut-spawn",

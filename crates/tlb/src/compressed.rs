@@ -15,9 +15,9 @@
 use crate::config::TlbConfig;
 use crate::request::{TlbOutcome, TlbRequest, TranslationBuffer};
 use crate::sanitize::InvariantViolation;
-use crate::stats::TlbStats;
+use crate::stats::{PerAsidStats, TlbStats};
 use std::fmt::Write as _;
-use vmem::{Ppn, Vpn};
+use vmem::{Asid, Ppn, Vpn};
 
 /// Parameters of the compression scheme.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -49,6 +49,9 @@ impl Default for CompressionConfig {
 #[derive(Copy, Clone, Debug, Default)]
 struct CompressedWay {
     valid: bool,
+    /// Address space owning the run; part of the match condition, so a
+    /// run never serves (or compresses) another app's translations.
+    asid: Asid,
     /// Base VPN of the run, aligned to `degree`.
     base_vpn: Vpn,
     /// PPN the base page of the run maps to (pages in the run map to
@@ -88,6 +91,9 @@ pub struct CompressedTlb {
     ways: Vec<CompressedWay>,
     clock: u64,
     stats: TlbStats,
+    /// Per-ASID breakdown of `stats` (evictions attributed to the
+    /// victim's ASID); sums to the aggregate exactly.
+    per_asid: PerAsidStats,
     /// Translations stored that share an entry with at least one other
     /// translation (a measure of achieved compression).
     compressed_fills: u64,
@@ -126,6 +132,7 @@ impl CompressedTlb {
             ways: vec![CompressedWay::default(); config.entries],
             clock: 0,
             stats: TlbStats::default(),
+            per_asid: PerAsidStats::default(),
             compressed_fills: 0,
             occupied: 0,
             resident: 0,
@@ -220,9 +227,14 @@ impl TranslationBuffer for CompressedTlb {
             let m = self.memo[set];
             if m != u32::MAX {
                 let way = &mut self.ways[m as usize];
-                if way.valid && way.base_vpn == base && way.mask & (1 << off) != 0 {
+                if way.valid
+                    && way.asid == req.asid
+                    && way.base_vpn == base
+                    && way.mask & (1 << off) != 0
+                {
                     way.stamp = clock;
                     self.stats.record(true);
+                    self.per_asid.entry(req.asid).record(true);
                     self.fastpath += 1;
                     let ppn = if way.literal {
                         way.base_ppn
@@ -241,10 +253,15 @@ impl TranslationBuffer for CompressedTlb {
         }
         let range = self.set_range(set);
         for (i, way) in self.ways[range.clone()].iter_mut().enumerate() {
-            if way.valid && way.base_vpn == base && way.mask & (1 << off) != 0 {
+            if way.valid
+                && way.asid == req.asid
+                && way.base_vpn == base
+                && way.mask & (1 << off) != 0
+            {
                 self.memo[set] = (range.start + i) as u32;
                 way.stamp = clock;
                 self.stats.record(true);
+                self.per_asid.entry(req.asid).record(true);
                 let ppn = if way.literal {
                     way.base_ppn
                 } else {
@@ -260,6 +277,7 @@ impl TranslationBuffer for CompressedTlb {
             }
         }
         self.stats.record(false);
+        self.per_asid.entry(req.asid).record(false);
         TlbOutcome::miss(self.config.lookup_latency)
     }
 
@@ -272,16 +290,18 @@ impl TranslationBuffer for CompressedTlb {
             // Physically impossible to express as a contiguous run member;
             // store as a singleton run below by falling through with a
             // degenerate base equal to the page itself.
-            return self.insert_singleton(req.vpn, ppn);
+            return self.insert_singleton(req.asid, req.vpn, ppn);
         };
         let set = self.set_of(req.vpn);
         let range = self.set_range(set);
         let clock = self.clock;
         // Invalidate any stale translation for this page held under a
         // different PPN (coherence on remap): clear its run bit and drop
-        // the entry entirely when it empties.
+        // the entry entirely when it empties. Scoped to the requesting
+        // ASID — another app's identical VPN is a distinct translation.
         for way in &mut self.ways[range.clone()] {
             if way.valid
+                && way.asid == req.asid
                 && way.base_vpn == base
                 && way.mask & (1 << off) != 0
                 && (way.literal || way.base_ppn != Ppn::new(expected_base_ppn))
@@ -294,9 +314,14 @@ impl TranslationBuffer for CompressedTlb {
                 }
             }
         }
-        // Try to compress into an existing compatible entry.
+        // Try to compress into an existing compatible entry (same app
+        // only: runs never span address spaces).
         if let Some(way) = self.ways[range.clone()].iter_mut().find(|w| {
-            w.valid && !w.literal && w.base_vpn == base && w.base_ppn == Ppn::new(expected_base_ppn)
+            w.valid
+                && !w.literal
+                && w.asid == req.asid
+                && w.base_vpn == base
+                && w.base_ppn == Ppn::new(expected_base_ppn)
         }) {
             if way.mask & (1 << off) == 0 {
                 way.mask |= 1 << off;
@@ -308,22 +333,26 @@ impl TranslationBuffer for CompressedTlb {
         }
         // Allocate a fresh entry for this run.
         self.stats.insertions += 1;
+        self.per_asid.entry(req.asid).insertions += 1;
         let victim = self.ways[range.clone()]
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| (w.valid, w.stamp))
             .map(|(i, _)| i)
             .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
-        let way = &mut self.ways[range.start + victim];
-        if way.valid {
+        let widx = range.start + victim;
+        if self.ways[widx].valid {
             self.stats.evictions += 1;
-            self.resident -= way.mask.count_ones();
+            self.resident -= self.ways[widx].mask.count_ones();
+            let victim_asid = self.ways[widx].asid;
+            self.per_asid.entry(victim_asid).evictions += 1;
         } else {
             self.occupied += 1;
         }
         self.resident += 1;
-        *way = CompressedWay {
+        self.ways[widx] = CompressedWay {
             valid: true,
+            asid: req.asid,
             base_vpn: base,
             base_ppn: Ppn::new(expected_base_ppn),
             mask: 1 << off,
@@ -338,6 +367,11 @@ impl TranslationBuffer for CompressedTlb {
 
     fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+        self.per_asid.clear();
+    }
+
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.per_asid.non_empty()
     }
 
     fn flush(&mut self) {
@@ -371,6 +405,13 @@ impl TranslationBuffer for CompressedTlb {
         };
         if let Err(e) = self.stats.check() {
             return fail(e);
+        }
+        let asid_sum = self.per_asid.sum();
+        if asid_sum != self.stats {
+            return fail(format!(
+                "per-ASID stats sum {asid_sum:?} != aggregate {:?}",
+                self.stats
+            ));
         }
         let degree_mask = if self.compression.degree >= 64 {
             u64::MAX
@@ -461,7 +502,8 @@ impl TranslationBuffer for CompressedTlb {
             for w in ways.iter().filter(|w| w.valid) {
                 let _ = write!(
                     s,
-                    " [base_vpn={:#x} base_ppn={:#x} mask={:#010b}{} @{}]",
+                    " [asid={} base_vpn={:#x} base_ppn={:#x} mask={:#010b}{} @{}]",
+                    w.asid,
                     w.base_vpn.raw(),
                     w.base_ppn.raw(),
                     w.mask,
@@ -479,15 +521,16 @@ impl CompressedTlb {
     /// Stores a translation that cannot participate in any run (its PPN
     /// underflows the run base) as a single-page entry keyed at its own
     /// VPN.
-    fn insert_singleton(&mut self, vpn: Vpn, ppn: Ppn) {
+    fn insert_singleton(&mut self, asid: Asid, vpn: Vpn, ppn: Ppn) {
         self.clock += 1;
         let set = self.set_of(vpn);
         let range = self.set_range(set);
-        // Coherence on remap: clear any existing translation for this page.
+        // Coherence on remap: clear any existing translation this app
+        // holds for the page.
         let base = self.run_base(vpn);
         let off_bit = 1u32 << self.run_offset(vpn);
         for way in &mut self.ways[range.clone()] {
-            if way.valid && way.base_vpn == base && way.mask & off_bit != 0 {
+            if way.valid && way.asid == asid && way.base_vpn == base && way.mask & off_bit != 0 {
                 way.mask &= !off_bit;
                 self.resident -= 1;
                 if way.mask == 0 {
@@ -497,6 +540,7 @@ impl CompressedTlb {
             }
         }
         self.stats.insertions += 1;
+        self.per_asid.entry(asid).insertions += 1;
         let victim = self.ways[range.clone()]
             .iter()
             .enumerate()
@@ -505,16 +549,19 @@ impl CompressedTlb {
             .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
         let off = self.run_offset(vpn);
         let base_vpn = self.run_base(vpn);
-        let way = &mut self.ways[range.start + victim];
-        if way.valid {
+        let widx = range.start + victim;
+        if self.ways[widx].valid {
             self.stats.evictions += 1;
-            self.resident -= way.mask.count_ones();
+            self.resident -= self.ways[widx].mask.count_ones();
+            let victim_asid = self.ways[widx].asid;
+            self.per_asid.entry(victim_asid).evictions += 1;
         } else {
             self.occupied += 1;
         }
         self.resident += 1;
-        *way = CompressedWay {
+        self.ways[widx] = CompressedWay {
             valid: true,
+            asid,
             base_vpn,
             base_ppn: ppn,
             mask: 1 << off,
@@ -707,6 +754,45 @@ mod tests {
         t.insert(&req(3), Ppn::new(77));
         assert_eq!(t.lookup(&req(3)).ppn, Some(Ppn::new(77)));
         t.check_invariants().expect("memo stays inside its set");
+    }
+
+    fn areq(asid: u16, vpn: u64) -> TlbRequest {
+        TlbRequest::new(Vpn::new(vpn), 0).with_asid(Asid::new(asid))
+    }
+
+    #[test]
+    fn runs_never_compress_across_asids() {
+        let mut t = tlb();
+        // Identical VPN/PPN pattern from two apps: must occupy two
+        // entries, and each app only ever sees its own frames.
+        for i in 0..8 {
+            t.insert(&areq(1, i), Ppn::new(1000 + i));
+            t.insert(&areq(2, i), Ppn::new(2000 + i));
+        }
+        assert_eq!(t.occupied_entries(), 2);
+        for i in 0..8 {
+            assert_eq!(t.lookup(&areq(1, i)).ppn, Some(Ppn::new(1000 + i)));
+            assert_eq!(t.lookup(&areq(2, i)).ppn, Some(Ppn::new(2000 + i)));
+        }
+        t.check_invariants().expect("mixed-ASID runs stay consistent");
+    }
+
+    #[test]
+    fn cross_asid_lookup_misses_even_after_memo() {
+        let mut t = tlb();
+        for i in 0..8 {
+            t.insert(&areq(1, i), Ppn::new(1000 + i));
+        }
+        assert!(t.lookup(&areq(1, 3)).hit); // arm memo
+        assert!(!t.lookup(&areq(2, 3)).hit, "memo must not serve another app");
+        let by: std::collections::HashMap<_, _> = t.stats_by_asid().into_iter().collect();
+        assert_eq!(by[&Asid::new(1)].hits, 1);
+        assert_eq!(by[&Asid::new(2)].misses, 1);
+        let sum = t
+            .stats_by_asid()
+            .iter()
+            .fold(TlbStats::default(), |a, (_, s)| a + *s);
+        assert_eq!(sum, t.stats());
     }
 
     #[test]

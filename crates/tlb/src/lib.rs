@@ -13,6 +13,14 @@
 //! * [`CompressedTlb`] — a model of the PACT'20 TLB-compression comparator
 //!   used in the paper's Figure 12: contiguous translations coalesce into
 //!   one entry at the cost of (de)compression latency on the critical path.
+//! * [`SubEntryTlb`] — a sub-entry-sharing multi-tenant organization for
+//!   the shared L2: ways are tagged by VPN alone and hold per-ASID
+//!   sub-entries, so co-running apps that map the same VPNs share tags
+//!   without ever seeing each other's frames.
+//!
+//! Every organization tags its entries with the requesting [`vmem::Asid`]
+//! and includes it in the tag compare, so concurrent address spaces are
+//! isolated by construction.
 //!
 //! # Example
 //!
@@ -38,10 +46,12 @@ mod request;
 mod sanitize;
 mod set_assoc;
 mod stats;
+mod sub_entry;
 
 pub use compressed::{CompressedTlb, CompressionConfig};
 pub use config::TlbConfig;
 pub use request::{TlbOutcome, TlbRequest, TranslationBuffer};
 pub use sanitize::InvariantViolation;
 pub use set_assoc::SetAssocTlb;
-pub use stats::TlbStats;
+pub use stats::{PerAsidStats, TlbStats};
+pub use sub_entry::SubEntryTlb;

@@ -3,14 +3,16 @@
 
 use crate::sanitize::InvariantViolation;
 use crate::stats::TlbStats;
-use vmem::{PageSize, Ppn, Vpn};
+use vmem::{Asid, PageSize, Ppn, Vpn};
 
 /// A translation request presented to a TLB.
 ///
 /// In addition to the virtual page, the request carries the hardware TB
 /// slot (the paper's `TB_id`) of the requesting thread block: the baseline
 /// TLB ignores it, while the paper's partitioned TLB uses it as the set
-/// index.
+/// index. Co-running applications are distinguished by the request's
+/// [`Asid`]: every organization includes the ASID in its tag compare, so
+/// one app can never hit on another app's translations.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TlbRequest {
     /// Virtual page number being translated.
@@ -18,27 +20,38 @@ pub struct TlbRequest {
     /// Hardware TB slot of the requesting thread block on this SM
     /// (0..max concurrent TBs, reused as TBs finish — the paper's `TB_id`).
     pub tb_slot: u8,
+    /// Address space (application) issuing the request.
+    pub asid: Asid,
     /// Page size of the mapping (affects VPN width, not indexing).
     pub page_size: PageSize,
 }
 
 impl TlbRequest {
-    /// Creates a 4 KiB-page request.
+    /// Creates a 4 KiB-page request in the default address space (ASID 0).
     pub fn new(vpn: Vpn, tb_slot: u8) -> Self {
         TlbRequest {
             vpn,
             tb_slot,
+            asid: Asid::default(),
             page_size: PageSize::Small,
         }
     }
 
-    /// Creates a request with an explicit page size.
+    /// Creates a request with an explicit page size (ASID 0).
     pub fn with_page_size(vpn: Vpn, tb_slot: u8, page_size: PageSize) -> Self {
         TlbRequest {
             vpn,
             tb_slot,
+            asid: Asid::default(),
             page_size,
         }
+    }
+
+    /// Returns the request re-targeted at `asid`'s address space.
+    #[must_use]
+    pub fn with_asid(mut self, asid: Asid) -> Self {
+        self.asid = asid;
+        self
     }
 }
 
@@ -97,18 +110,31 @@ pub trait TranslationBuffer: Send {
     /// Resets statistics (keeps contents).
     fn reset_stats(&mut self);
 
+    /// Per-address-space breakdown of the cumulative statistics, as
+    /// `(asid, stats)` pairs for every ASID that issued traffic. The
+    /// per-ASID entries always sum to [`TranslationBuffer::stats`]
+    /// (evictions are attributed to the *victim's* ASID, everything else
+    /// to the requester's). The default covers single-tenant
+    /// organizations: all traffic under ASID 0.
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        vec![(Asid::default(), self.stats())]
+    }
+
     /// Invalidates all entries.
     fn flush(&mut self);
 
     /// Total entry capacity.
     fn capacity(&self) -> usize;
 
-    /// Notification that the TB occupying `tb_slot` finished and released
-    /// its resources. The baseline ignores this; the partitioned TLB uses
-    /// it to reset sharing flags (the entries themselves are *kept* — the
-    /// paper explicitly avoids flushing on TB completion).
-    fn on_tb_finish(&mut self, tb_slot: u8) {
-        let _ = tb_slot;
+    /// Notification that the TB occupying `tb_slot` (running on behalf of
+    /// address space `asid`) finished and released its resources. The
+    /// baseline ignores this; the partitioned TLB uses it to reset sharing
+    /// flags — keyed by `(asid, tb_slot)` so one app's completion never
+    /// clears a licence another app's spill established (the entries
+    /// themselves are *kept* — the paper explicitly avoids flushing on TB
+    /// completion).
+    fn on_tb_finish(&mut self, asid: Asid, tb_slot: u8) {
+        let _ = (asid, tb_slot);
     }
 
     /// Notification of how many TBs can run concurrently on this SM
@@ -205,5 +231,15 @@ mod tests {
         assert_eq!(r.tb_slot, 3);
         let r2 = TlbRequest::with_page_size(Vpn::new(5), 3, PageSize::Large);
         assert_eq!(r2.page_size, PageSize::Large);
+    }
+
+    #[test]
+    fn request_defaults_to_asid_zero_and_retargets() {
+        let r = TlbRequest::new(Vpn::new(5), 3);
+        assert_eq!(r.asid, Asid::default());
+        let r2 = r.with_asid(Asid::new(7));
+        assert_eq!(r2.asid, Asid::new(7));
+        assert_eq!(r2.vpn, r.vpn);
+        assert_eq!(r2.tb_slot, r.tb_slot);
     }
 }

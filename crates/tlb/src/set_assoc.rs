@@ -14,9 +14,9 @@
 use crate::config::TlbConfig;
 use crate::request::{TlbOutcome, TlbRequest, TranslationBuffer};
 use crate::sanitize::InvariantViolation;
-use crate::stats::TlbStats;
+use crate::stats::{PerAsidStats, TlbStats};
 use std::fmt::Write as _;
-use vmem::{Ppn, Vpn};
+use vmem::{Asid, Ppn, Vpn};
 
 /// Payload of one way; the probe tag is stored separately in
 /// [`SetAssocTlb::tags`].
@@ -27,12 +27,32 @@ struct WayMeta {
     stamp: u64,
 }
 
-/// Packed probe tag: `(vpn << 1) | 1` for a valid way, `0` for invalid.
-/// VPNs are at most 52 bits (64-bit VA minus the 12-bit small-page
-/// offset), so the shift cannot lose bits.
-fn tag_of(vpn: Vpn) -> u64 {
-    debug_assert_eq!(vpn.raw() >> 63, 0, "VPN uses bit 63; tag encoding would alias");
-    (vpn.raw() << 1) | 1
+/// Bit position of the ASID field inside a packed probe tag.
+const TAG_ASID_SHIFT: u32 = 53;
+
+/// Packed probe tag: `(asid << 53) | (vpn << 1) | 1` for a valid way, `0`
+/// for invalid. VPNs are at most 52 bits (64-bit VA minus the 12-bit
+/// small-page offset) and ASIDs at most 11 bits ([`Asid::MAX_ASIDS`]), so
+/// the whole tag packs losslessly in a `u64` and a single integer compare
+/// covers both the page and the owning address space — a cross-ASID hit
+/// is impossible by construction.
+fn tag_of(asid: Asid, vpn: Vpn) -> u64 {
+    debug_assert_eq!(
+        vpn.raw() >> (TAG_ASID_SHIFT - 1),
+        0,
+        "VPN uses bits above 52; tag encoding would alias with the ASID field"
+    );
+    ((asid.raw() as u64) << TAG_ASID_SHIFT) | (vpn.raw() << 1) | 1
+}
+
+/// Recovers the owning ASID from a packed (valid) probe tag.
+fn tag_asid(tag: u64) -> Asid {
+    Asid::new((tag >> TAG_ASID_SHIFT) as u16)
+}
+
+/// Recovers the VPN from a packed (valid) probe tag.
+fn tag_vpn(tag: u64) -> u64 {
+    (tag & ((1u64 << TAG_ASID_SHIFT) - 1)) >> 1
 }
 
 /// A VPN-indexed, set-associative TLB with LRU replacement.
@@ -61,9 +81,17 @@ pub struct SetAssocTlb {
     meta: Vec<WayMeta>,
     clock: u64,
     stats: TlbStats,
+    /// Per-ASID breakdown of `stats` (evictions attributed to the
+    /// victim's ASID, everything else to the requester's); sums to the
+    /// aggregate exactly.
+    per_asid: PerAsidStats,
     /// Count of valid ways, maintained on insert/evict/flush; equals the
     /// full-`tags` scan (debug-asserted in [`SetAssocTlb::occupancy`]).
     resident: usize,
+    /// Per-ASID split of `resident`, indexed by raw ASID (victim ASIDs
+    /// are recovered from the packed tag on eviction). The MASK-style
+    /// token policy reads this to bound how many entries an app may hold.
+    resident_by_asid: Vec<u32>,
     /// Per-set way index of the last lookup hit (`u32::MAX` = none): the
     /// exact MRU fast path. A memoized way is trusted only after its tag
     /// re-matches the probe, so a stale memo (the way was since evicted
@@ -86,7 +114,9 @@ impl SetAssocTlb {
             meta: vec![WayMeta::default(); config.entries],
             clock: 0,
             stats: TlbStats::default(),
+            per_asid: PerAsidStats::default(),
             resident: 0,
+            resident_by_asid: Vec::new(),
             memo: vec![u32::MAX; config.sets()],
             fastpath: 0,
             fastpath_on: true,
@@ -128,15 +158,36 @@ impl SetAssocTlb {
         self.resident
     }
 
-    /// Probes for `vpn` without updating stats or LRU state (diagnostics).
-    pub fn peek(&self, vpn: Vpn) -> Option<Ppn> {
+    /// Probes for `(asid, vpn)` without updating stats or LRU state
+    /// (diagnostics).
+    pub fn peek(&self, asid: Asid, vpn: Vpn) -> Option<Ppn> {
         let set = self.set_of(vpn);
         let range = self.set_range(set);
-        let tag = tag_of(vpn);
+        let tag = tag_of(asid, vpn);
         self.tags[range.clone()]
             .iter()
             .position(|&t| t == tag)
             .map(|i| self.meta[range.start + i].ppn)
+    }
+
+    /// Number of valid entries currently owned by `asid` (O(1)); the
+    /// MASK-style L2 token policy gates fills on this count.
+    pub fn resident_of(&self, asid: Asid) -> usize {
+        self.resident_by_asid
+            .get(asid.index())
+            .map_or(0, |&c| c as usize)
+    }
+
+    fn bump_resident(&mut self, asid: Asid, delta: i32) {
+        let i = asid.index();
+        if i >= self.resident_by_asid.len() {
+            self.resident_by_asid.resize(i + 1, 0);
+        }
+        let c = &mut self.resident_by_asid[i];
+        // Saturate instead of panicking on the hot path: an underflow
+        // desyncs the counter from the tag scan, which
+        // `check_invariants` reports with a full state dump.
+        *c = c.saturating_add_signed(delta);
     }
 }
 
@@ -144,17 +195,20 @@ impl TranslationBuffer for SetAssocTlb {
     fn lookup(&mut self, req: &TlbRequest) -> TlbOutcome {
         self.clock += 1;
         let set = self.set_of(req.vpn);
-        let tag = tag_of(req.vpn);
+        let tag = tag_of(req.asid, req.vpn);
         // Exact MRU fast path: the last way that hit in this set, trusted
-        // only if its tag still matches. The updates below are the same
-        // statements the tag-walk hit performs, so the two paths are
-        // bit-equal in every architectural observable.
+        // only if its tag still matches (the tag packs the ASID, so a
+        // memo armed by another app's hit never serves this one). The
+        // updates below are the same statements the tag-walk hit
+        // performs, so the two paths are bit-equal in every
+        // architectural observable.
         if self.fastpath_on {
             let m = self.memo[set];
             if m != u32::MAX && self.tags[m as usize] == tag {
                 let way = &mut self.meta[m as usize];
                 way.stamp = self.clock;
                 self.stats.record(true);
+                self.per_asid.entry(req.asid).record(true);
                 self.fastpath += 1;
                 return TlbOutcome::hit(way.ppn, self.config.lookup_latency);
             }
@@ -167,9 +221,11 @@ impl TranslationBuffer for SetAssocTlb {
             let way = &mut self.meta[range.start + i];
             way.stamp = self.clock;
             self.stats.record(true);
+            self.per_asid.entry(req.asid).record(true);
             return TlbOutcome::hit(way.ppn, self.config.lookup_latency);
         }
         self.stats.record(false);
+        self.per_asid.entry(req.asid).record(false);
         TlbOutcome::miss(self.config.lookup_latency)
     }
 
@@ -177,7 +233,7 @@ impl TranslationBuffer for SetAssocTlb {
         self.clock += 1;
         let set = self.set_of(req.vpn);
         let range = self.set_range(set);
-        let tag = tag_of(req.vpn);
+        let tag = tag_of(req.asid, req.vpn);
         // Refresh in place if already present (fill races are benign).
         if let Some(i) = self.tags[range.clone()].iter().position(|&t| t == tag) {
             let way = &mut self.meta[range.start + i];
@@ -186,6 +242,7 @@ impl TranslationBuffer for SetAssocTlb {
             return;
         }
         self.stats.insertions += 1;
+        self.per_asid.entry(req.asid).insertions += 1;
         // Prefer an invalid way; otherwise evict LRU.
         let victim = range
             .clone()
@@ -193,9 +250,13 @@ impl TranslationBuffer for SetAssocTlb {
             .expect("associativity is non-zero"); // simlint: allow(hot-unwrap, reason = "TlbConfig validates associativity > 0 at construction")
         if self.tags[victim] != 0 {
             self.stats.evictions += 1;
+            let victim_asid = tag_asid(self.tags[victim]);
+            self.per_asid.entry(victim_asid).evictions += 1;
+            self.bump_resident(victim_asid, -1);
         } else {
             self.resident += 1;
         }
+        self.bump_resident(req.asid, 1);
         self.tags[victim] = tag;
         self.meta[victim] = WayMeta {
             ppn,
@@ -209,6 +270,11 @@ impl TranslationBuffer for SetAssocTlb {
 
     fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+        self.per_asid.clear();
+    }
+
+    fn stats_by_asid(&self) -> Vec<(Asid, TlbStats)> {
+        self.per_asid.non_empty()
     }
 
     // Victim choice keys on `(valid, stamp)` and the tag encodes only
@@ -220,7 +286,7 @@ impl TranslationBuffer for SetAssocTlb {
     fn patch_ppn(&mut self, req: &TlbRequest, old: Ppn, new: Ppn) -> bool {
         let set = self.set_of(req.vpn);
         let range = self.set_range(set);
-        let tag = tag_of(req.vpn);
+        let tag = tag_of(req.asid, req.vpn);
         if let Some(i) = self.tags[range.clone()].iter().position(|&t| t == tag) {
             let way = &mut self.meta[range.start + i];
             if way.ppn == old {
@@ -232,7 +298,7 @@ impl TranslationBuffer for SetAssocTlb {
     }
 
     fn probe(&self, req: &TlbRequest) -> Option<Option<Ppn>> {
-        Some(self.peek(req.vpn))
+        Some(self.peek(req.asid, req.vpn))
     }
 
     fn flush(&mut self) {
@@ -240,6 +306,7 @@ impl TranslationBuffer for SetAssocTlb {
             *t = 0;
         }
         self.resident = 0;
+        self.resident_by_asid.clear();
         // The cleared tags already invalidate every memo (hygiene only).
         for m in &mut self.memo {
             *m = u32::MAX;
@@ -280,6 +347,34 @@ impl TranslationBuffer for SetAssocTlb {
                 self.capacity()
             ));
         }
+        // Multi-tenant accounting: the per-ASID splits must sum to the
+        // aggregates exactly and the per-ASID resident counters must
+        // match a tag scan keyed on the packed ASID field.
+        let asid_sum = self.per_asid.sum();
+        if asid_sum != self.stats {
+            return fail(format!(
+                "per-ASID stats sum {asid_sum:?} != aggregate {:?}",
+                self.stats
+            ));
+        }
+        let by_asid_total: u64 = self.resident_by_asid.iter().map(|&c| u64::from(c)).sum();
+        if by_asid_total != scanned as u64 {
+            return fail(format!(
+                "per-ASID resident counters sum to {by_asid_total}, expected {scanned}"
+            ));
+        }
+        for (i, &c) in self.resident_by_asid.iter().enumerate() {
+            let owned = self
+                .tags
+                .iter()
+                .filter(|&&t| t != 0 && tag_asid(t) == Asid::new(i as u16))
+                .count();
+            if owned != c as usize {
+                return fail(format!(
+                    "ASID {i}: resident counter {c} != tag scan {owned}"
+                ));
+            }
+        }
         for set in 0..self.config.sets() {
             let range = self.set_range(set);
             let m = self.memo[set];
@@ -313,8 +408,9 @@ impl TranslationBuffer for SetAssocTlb {
                 }
                 if (range.start..i).any(|j| self.tags[j] == self.tags[i]) {
                     return fail(format!(
-                        "set {set}: VPN {:#x} resident twice",
-                        self.tags[i] >> 1
+                        "set {set}: (asid {}, VPN {:#x}) resident twice",
+                        tag_asid(self.tags[i]),
+                        tag_vpn(self.tags[i])
                     ));
                 }
             }
@@ -339,8 +435,9 @@ impl TranslationBuffer for SetAssocTlb {
                 }
                 let _ = write!(
                     s,
-                    " [vpn={:#x} ppn={:#x} @{}]",
-                    self.tags[i] >> 1,
+                    " [asid={} vpn={:#x} ppn={:#x} @{}]",
+                    tag_asid(self.tags[i]),
+                    tag_vpn(self.tags[i]),
                     self.meta[i].ppn.raw(),
                     self.meta[i].stamp
                 );
@@ -429,8 +526,8 @@ mod tests {
     fn peek_does_not_perturb_state() {
         let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
         t.insert(&req(9), Ppn::new(3));
-        assert_eq!(t.peek(Vpn::new(9)), Some(Ppn::new(3)));
-        assert_eq!(t.peek(Vpn::new(10)), None);
+        assert_eq!(t.peek(Asid::default(), Vpn::new(9)), Some(Ppn::new(3)));
+        assert_eq!(t.peek(Asid::default(), Vpn::new(10)), None);
         assert_eq!(t.stats().accesses(), 0);
     }
 
@@ -564,13 +661,86 @@ mod tests {
         // untouched, so a later insert still evicts the same victim it
         // would have without the patch.
         assert!(t.patch_ppn(&req(0), Ppn::new(100), Ppn::new(7)));
-        assert_eq!(t.peek(Vpn::new(0)), Some(Ppn::new(7)));
+        assert_eq!(t.peek(Asid::default(), Vpn::new(0)), Some(Ppn::new(7)));
         assert_eq!(t.meta.iter().map(|w| w.stamp).collect::<Vec<_>>(), stamps);
         assert_eq!(t.stats().accesses(), 0);
         // Wrong old frame or absent tag: refused, nothing changes.
         assert!(!t.patch_ppn(&req(0), Ppn::new(100), Ppn::new(8)));
         assert!(!t.patch_ppn(&req(5), Ppn::new(0), Ppn::new(8)));
-        assert_eq!(t.peek(Vpn::new(0)), Some(Ppn::new(7)));
+        assert_eq!(t.peek(Asid::default(), Vpn::new(0)), Some(Ppn::new(7)));
+    }
+
+    fn areq(asid: u16, vpn: u64) -> TlbRequest {
+        TlbRequest::new(Vpn::new(vpn), 0).with_asid(Asid::new(asid))
+    }
+
+    #[test]
+    fn same_vpn_different_asid_never_hits() {
+        let mut t = SetAssocTlb::new(TlbConfig::dac23_l1());
+        t.insert(&areq(1, 9), Ppn::new(100));
+        assert!(!t.lookup(&areq(2, 9)).hit, "cross-ASID lookup must miss");
+        assert!(t.lookup(&areq(1, 9)).hit);
+        // Both apps can hold the same VPN with different frames.
+        t.insert(&areq(2, 9), Ppn::new(200));
+        assert_eq!(t.lookup(&areq(1, 9)).ppn, Some(Ppn::new(100)));
+        assert_eq!(t.lookup(&areq(2, 9)).ppn, Some(Ppn::new(200)));
+        t.check_invariants().expect("mixed-ASID state is consistent");
+    }
+
+    #[test]
+    fn fastpath_memo_respects_asid() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(8, 2, 1));
+        t.insert(&areq(1, 3), Ppn::new(30));
+        // Arm the memo with app 1's hit, then probe the same set/VPN as
+        // app 2: the packed-tag compare must reject the memo and miss.
+        assert!(t.lookup(&areq(1, 3)).hit);
+        assert!(t.lookup(&areq(1, 3)).hit);
+        assert_eq!(t.fastpath_hits(), 1);
+        assert!(!t.lookup(&areq(2, 3)).hit);
+        assert_eq!(t.fastpath_hits(), 1, "cross-ASID probe must not ride the memo");
+    }
+
+    #[test]
+    fn per_asid_stats_and_residency_sum_to_aggregate() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(4, 2, 1));
+        for i in 0..12u64 {
+            let r = areq((i % 3) as u16, i % 5);
+            if !t.lookup(&r).hit {
+                t.insert(&r, Ppn::new(1000 + i));
+            }
+        }
+        let by_asid = t.stats_by_asid();
+        let sum = by_asid
+            .iter()
+            .fold(TlbStats::default(), |a, (_, s)| a + *s);
+        assert_eq!(sum, t.stats());
+        let resident_sum: usize = (0..3).map(|a| t.resident_of(Asid::new(a))).sum();
+        assert_eq!(resident_sum, t.occupancy());
+        t.check_invariants().expect("per-ASID accounting is consistent");
+    }
+
+    #[test]
+    fn eviction_attributed_to_victim_asid() {
+        // 1 set x 2 ways: app 2's insert evicts app 1's LRU entry.
+        let mut t = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        t.insert(&areq(1, 0), Ppn::new(0));
+        t.insert(&areq(1, 1), Ppn::new(1));
+        t.insert(&areq(2, 2), Ppn::new(2));
+        assert_eq!(t.resident_of(Asid::new(1)), 1);
+        assert_eq!(t.resident_of(Asid::new(2)), 1);
+        let by: std::collections::HashMap<_, _> = t.stats_by_asid().into_iter().collect();
+        assert_eq!(by[&Asid::new(1)].evictions, 1, "victim's ASID owns the eviction");
+        assert_eq!(by[&Asid::new(2)].evictions, 0);
+        assert_eq!(by[&Asid::new(2)].insertions, 1);
+    }
+
+    #[test]
+    fn corrupted_per_asid_counter_is_reported() {
+        let mut t = SetAssocTlb::new(TlbConfig::new(2, 2, 1));
+        t.insert(&areq(1, 0), Ppn::new(0));
+        t.resident_by_asid[1] = 9; // bypass insert accounting
+        let v = t.check_invariants().unwrap_err();
+        assert!(v.detail.contains("resident counter"), "{}", v.detail);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign};
+use vmem::Asid;
 
 /// Hit/miss counters for a TLB.
 ///
@@ -106,6 +107,68 @@ impl AddAssign for TlbStats {
     }
 }
 
+/// Per-address-space [`TlbStats`] table, indexed by raw ASID and grown on
+/// demand. Organizations that tag entries with ASIDs keep one of these
+/// alongside the aggregate counters; the multi-tenant invariant checked by
+/// the sanitizer and the proptests is that [`PerAsidStats::sum`] equals
+/// the aggregate exactly.
+///
+/// # Example
+///
+/// ```
+/// use tlb::PerAsidStats;
+/// use vmem::Asid;
+///
+/// let mut p = PerAsidStats::default();
+/// p.entry(Asid::new(1)).record(true);
+/// p.entry(Asid::new(3)).record(false);
+/// assert_eq!(p.sum().lookups, 2);
+/// assert_eq!(p.non_empty().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerAsidStats {
+    table: Vec<TlbStats>,
+}
+
+impl PerAsidStats {
+    /// The mutable counters for `asid`, growing the table as needed.
+    pub fn entry(&mut self, asid: Asid) -> &mut TlbStats {
+        let i = asid.index();
+        if i >= self.table.len() {
+            self.table.resize(i + 1, TlbStats::default());
+        }
+        &mut self.table[i]
+    }
+
+    /// The counters for `asid` (zero if it never issued traffic).
+    pub fn get(&self, asid: Asid) -> TlbStats {
+        self.table.get(asid.index()).copied().unwrap_or_default()
+    }
+
+    /// Sum over all ASIDs; the multi-tenant accounting identity requires
+    /// this to equal the owning TLB's aggregate [`TlbStats`].
+    pub fn sum(&self) -> TlbStats {
+        self.table
+            .iter()
+            .fold(TlbStats::default(), |a, s| a + *s)
+    }
+
+    /// `(asid, stats)` pairs for every ASID with at least one counter set.
+    pub fn non_empty(&self) -> Vec<(Asid, TlbStats)> {
+        self.table
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != TlbStats::default())
+            .map(|(i, s)| (Asid::new(i as u16), *s))
+            .collect()
+    }
+
+    /// Clears every ASID's counters.
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+}
+
 impl fmt::Display for TlbStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -196,5 +259,25 @@ mod tests {
         s.record(true);
         s.record(true);
         assert!(s.to_string().contains("100.0%"));
+    }
+
+    #[test]
+    fn per_asid_table_sums_and_filters() {
+        let mut p = PerAsidStats::default();
+        p.entry(Asid::new(0)).record(true);
+        p.entry(Asid::new(2)).record(false);
+        p.entry(Asid::new(2)).insertions += 1;
+        assert_eq!(p.get(Asid::new(0)).hits, 1);
+        assert_eq!(p.get(Asid::new(1)), TlbStats::default());
+        assert_eq!(p.get(Asid::new(2)).insertions, 1);
+        let sum = p.sum();
+        assert_eq!(sum.lookups, 2);
+        assert_eq!(sum.insertions, 1);
+        let pairs = p.non_empty();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, Asid::new(0));
+        assert_eq!(pairs[1].0, Asid::new(2));
+        p.clear();
+        assert_eq!(p.sum(), TlbStats::default());
     }
 }

@@ -2,12 +2,17 @@
 
 use proptest::prelude::*;
 use tlb::{
-    CompressedTlb, CompressionConfig, SetAssocTlb, TlbConfig, TlbRequest, TranslationBuffer,
+    CompressedTlb, CompressionConfig, SetAssocTlb, SubEntryTlb, TlbConfig, TlbRequest, TlbStats,
+    TranslationBuffer,
 };
-use vmem::{Ppn, Vpn};
+use vmem::{Asid, Ppn, Vpn};
 
 fn req(vpn: u64) -> TlbRequest {
     TlbRequest::new(Vpn::new(vpn), 0)
+}
+
+fn areq(asid: u16, vpn: u64) -> TlbRequest {
+    TlbRequest::new(Vpn::new(vpn), 0).with_asid(Asid::new(asid))
 }
 
 proptest! {
@@ -26,7 +31,7 @@ proptest! {
         }
         // Every resident entry agrees with the truth map.
         for &(vpn, _) in &ops {
-            if let Some(p) = t.peek(Vpn::new(vpn)) {
+            if let Some(p) = t.peek(Asid::default(), Vpn::new(vpn)) {
                 prop_assert_eq!(p.raw(), truth[&vpn]);
             }
         }
@@ -112,5 +117,75 @@ proptest! {
                 None => prop_assert!(!out.hit, "phantom hit for vpn {}", v),
             }
         }
+    }
+}
+
+/// Drives a mixed-ASID op stream against `t` and checks the two
+/// multi-tenant invariants on every step: a hit never returns a frame
+/// that another app's page table owns (each app's frames live in a
+/// disjoint numeric range here), and the per-ASID stats always sum to
+/// the aggregate.
+fn check_isolation<T: TranslationBuffer>(t: &mut T, ops: &[(u16, u64)]) {
+    // App `a` maps vpn -> a * 1_000_000 + vpn: ranges never overlap.
+    let frame_of = |asid: u16, vpn: u64| u64::from(asid) * 1_000_000 + vpn;
+    let owner_of = |ppn: u64| (ppn / 1_000_000) as u16;
+    for &(asid, vpn) in ops {
+        let r = areq(asid, vpn);
+        let out = t.lookup(&r);
+        if out.hit {
+            let ppn = out.ppn.expect("hit carries ppn").raw();
+            assert_eq!(
+                owner_of(ppn),
+                asid,
+                "ASID {asid} received a frame owned by ASID {}",
+                owner_of(ppn)
+            );
+            assert_eq!(ppn, frame_of(asid, vpn));
+        } else {
+            t.insert(&r, Ppn::new(frame_of(asid, vpn)));
+        }
+        let sum = t
+            .stats_by_asid()
+            .iter()
+            .fold(TlbStats::default(), |a, (_, s)| a + *s);
+        assert_eq!(sum, t.stats(), "per-ASID stats must sum to aggregate");
+        if let Err(v) = t.check_invariants() {
+            panic!("invariant violation: {}", v.detail);
+        }
+    }
+}
+
+proptest! {
+    /// Cross-app isolation for the baseline set-associative TLB: small
+    /// geometry forces heavy cross-ASID set pressure.
+    #[test]
+    fn set_assoc_isolates_asids(
+        ops in proptest::collection::vec((0u16..4, 0u64..64), 1..400),
+    ) {
+        let mut t = SetAssocTlb::new(TlbConfig::new(16, 4, 1));
+        check_isolation(&mut t, &ops);
+    }
+
+    /// Cross-app isolation for the compressed TLB: runs must never
+    /// compress or serve across address spaces.
+    #[test]
+    fn compressed_tlb_isolates_asids(
+        ops in proptest::collection::vec((0u16..4, 0u64..64), 1..400),
+        degree in prop_oneof![Just(2usize), Just(4), Just(8)],
+    ) {
+        let cfg = CompressionConfig { degree, decompress_latency: 1 };
+        let mut t = CompressedTlb::new(TlbConfig::new(16, 4, 1), cfg);
+        check_isolation(&mut t, &ops);
+    }
+
+    /// Cross-app isolation for the sub-entry-sharing TLB: shared VPN tags
+    /// must still serve each app only its own sub-entry.
+    #[test]
+    fn sub_entry_tlb_isolates_asids(
+        ops in proptest::collection::vec((0u16..6, 0u64..64), 1..400),
+        subs in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let mut t = SubEntryTlb::new(TlbConfig::new(16, 4, 1), subs);
+        check_isolation(&mut t, &ops);
     }
 }

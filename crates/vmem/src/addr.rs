@@ -44,6 +44,67 @@ pub struct Vpn(u64);
 #[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ppn(u64);
 
+/// An address-space identifier distinguishing co-running applications.
+///
+/// Every translation structure tags its entries with the owning ASID so
+/// co-running apps can never hit on (or be evicted through a sharing
+/// rescue into) another app's translations. ASIDs are small: at most
+/// [`Asid::MAX_ASIDS`] concurrent address spaces, so an ASID packs into
+/// the high bits of a TLB probe tag alongside a ≤52-bit VPN.
+///
+/// # Example
+///
+/// ```
+/// use vmem::Asid;
+///
+/// let a = Asid::new(3);
+/// assert_eq!(a.raw(), 3);
+/// assert_eq!(Asid::default(), Asid::new(0));
+/// ```
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// Upper bound (exclusive) on ASID values: 11 bits, so
+    /// `(asid << 53) | (vpn << 1) | 1` packs losslessly with a 52-bit VPN.
+    pub const MAX_ASIDS: u16 = 1 << 11;
+
+    /// Wraps a raw ASID value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= Asid::MAX_ASIDS`.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        assert!(raw < Self::MAX_ASIDS, "ASID out of range");
+        Asid(raw)
+    }
+
+    /// Returns the raw ASID value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The raw value widened for index arithmetic.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Asid({})", self.0)
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 macro_rules! addr_common {
     ($ty:ident) => {
         impl $ty {
@@ -307,5 +368,22 @@ mod tests {
     fn ordering_follows_raw_value() {
         assert!(VirtAddr::new(1) < VirtAddr::new(2));
         assert!(Ppn::new(9) > Ppn::new(8));
+    }
+
+    #[test]
+    fn asid_basics() {
+        let a = Asid::new(5);
+        assert_eq!(a.raw(), 5);
+        assert_eq!(a.index(), 5);
+        assert_eq!(format!("{a}"), "5");
+        assert_eq!(format!("{a:?}"), "Asid(5)");
+        assert_eq!(Asid::default(), Asid::new(0));
+        assert!(Asid::new(1) < Asid::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ASID out of range")]
+    fn asid_rejects_out_of_range() {
+        let _ = Asid::new(Asid::MAX_ASIDS);
     }
 }

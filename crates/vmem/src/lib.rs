@@ -41,7 +41,7 @@ mod page_table;
 mod space;
 mod walker;
 
-pub use addr::{PhysAddr, Ppn, VirtAddr, Vpn};
+pub use addr::{Asid, PhysAddr, Ppn, VirtAddr, Vpn};
 pub use error::VmemError;
 pub use frame::FrameAllocator;
 pub use page::{PageSize, PAGE_SIZE_2M, PAGE_SIZE_4K};
